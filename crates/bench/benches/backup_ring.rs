@@ -1,0 +1,40 @@
+//! Micro-benchmark: Figure 6 backup-ring operations.
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim::types::VirtAddr;
+use nicsim::rx::{RingId, RxDescriptor, RxEngine, RxFaultMode};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("backup_ring_fault_merge_cycle", |b| {
+        b.iter(|| {
+            let mut rx: RxEngine<u32> = RxEngine::new(RxFaultMode::BackupRing { capacity: 256 });
+            rx.create_ring(RingId(0), 64, 128);
+            for i in 0..64u64 {
+                rx.post_descriptor(
+                    RingId(0),
+                    RxDescriptor {
+                        addr: VirtAddr(0x1000 * i),
+                        capacity: 4096,
+                    },
+                );
+            }
+            for i in 0..32u32 {
+                let v = rx.recv(RingId(0), i, 1500, i % 4 == 0);
+                if let nicsim::rx::RxVerdict::Backup {
+                    bit_index,
+                    target_index,
+                    ..
+                } = v
+                {
+                    let e = rx.pop_backup().unwrap();
+                    rx.place_resolved(RingId(0), target_index, e.payload, e.len);
+                    rx.resolve_rnpfs(RingId(0), bit_index);
+                }
+            }
+            while rx.consume(RingId(0)).is_some() {}
+            std::hint::black_box(rx.counters().get("stored"))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

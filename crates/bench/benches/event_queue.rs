@@ -1,0 +1,24 @@
+//! Micro-benchmark: the deterministic event queue (every testbed's hot
+//! loop).
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::event::EventQueue;
+use simcore::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule_in(SimDuration::from_nanos(i * 13 % 977), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            std::hint::black_box(sum)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

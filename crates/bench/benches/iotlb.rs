@@ -1,0 +1,30 @@
+//! Micro-benchmark: IOTLB lookup/insert/invalidate.
+use criterion::{criterion_group, criterion_main, Criterion};
+use iommu::iotlb::IoTlb;
+use iommu::DomainId;
+use memsim::types::{FrameId, Vpn};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("iotlb_lookup_hit", |b| {
+        let mut tlb = IoTlb::new(1024);
+        for i in 0..1024 {
+            tlb.insert(DomainId(0), Vpn(i), FrameId(i));
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            std::hint::black_box(tlb.lookup(DomainId(0), Vpn(i)))
+        })
+    });
+    c.bench_function("iotlb_insert_evict", |b| {
+        let mut tlb = IoTlb::new(256);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tlb.insert(DomainId(0), Vpn(i), FrameId(i));
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-benchmark: the full NPF resolution path (engine-level).
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim::manager::{MemConfig, MemoryManager};
+use memsim::space::Backing;
+use memsim::types::Vpn;
+use npf_core::npf::{NpfConfig, NpfEngine};
+use simcore::rng::SimRng;
+use simcore::units::ByteSize;
+use simcore::SimTime;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("npf_begin_complete_4kb", |b| {
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::gib(4),
+            ..MemConfig::default()
+        });
+        let mut engine = NpfEngine::new(NpfConfig::default(), mm, SimRng::new(1));
+        let space = engine.memory_mut().create_space();
+        let region = engine
+            .memory_mut()
+            .mmap(space, ByteSize::gib(2), Backing::Anonymous)
+            .unwrap();
+        let domain = engine.create_channel(space);
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = Vpn(region.start.0 + i % 500_000).base();
+            i += 1;
+            if engine.dma_ready(domain, addr, 4096, true) {
+                return;
+            }
+            let id = engine
+                .begin_fault(SimTime::ZERO, domain, addr, 4096, true, None)
+                .unwrap()
+                .id;
+            std::hint::black_box(engine.complete_fault(id));
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

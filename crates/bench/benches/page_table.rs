@@ -1,0 +1,30 @@
+//! Micro-benchmark: I/O page-table walks (ODP mode).
+use criterion::{criterion_group, criterion_main, Criterion};
+use iommu::pagetable::{IoPageTable, TableMode};
+use iommu::DomainId;
+use memsim::types::{FrameId, Vpn};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("io_pagetable_walk_present", |b| {
+        let mut t = IoPageTable::new(DomainId(0), TableMode::PageFaultCapable);
+        for i in 0..4096 {
+            t.map(Vpn(i), FrameId(i), true);
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            std::hint::black_box(t.translate(Vpn(i), true))
+        })
+    });
+    c.bench_function("io_pagetable_walk_fault", |b| {
+        let mut t = IoPageTable::new(DomainId(0), TableMode::PageFaultCapable);
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(t.translate(Vpn(i), true))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

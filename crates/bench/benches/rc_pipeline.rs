@@ -1,0 +1,52 @@
+//! Micro-benchmark: RC QP send/recv pipeline (loopback).
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim::types::VirtAddr;
+use netsim::packet::NodeId;
+use rdmasim::rc::RcQp;
+use rdmasim::types::{PinnedGate, QpId, QpOutput, RcConfig, RecvWqe, SendOp};
+use simcore::SimTime;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("rc_send_recv_4kb_message", |b| {
+        let mut a = RcQp::new(RcConfig::default(), QpId(1), QpId(2), NodeId(1));
+        let mut bqp = RcQp::new(RcConfig::default(), QpId(2), QpId(1), NodeId(0));
+        let mut wr = 0u64;
+        b.iter(|| {
+            wr += 1;
+            bqp.post_recv(RecvWqe {
+                wr_id: wr,
+                addr: VirtAddr(0x10000),
+                capacity: 4096,
+            });
+            let outs = a.post_send(
+                SimTime::ZERO,
+                wr,
+                SendOp::Send {
+                    local: VirtAddr(0x2000),
+                    len: 4096,
+                },
+                &mut PinnedGate,
+            );
+            let mut to_b = Vec::new();
+            for o in outs {
+                if let QpOutput::Send { packet, .. } = o {
+                    to_b.push(packet);
+                }
+            }
+            let mut to_a = Vec::new();
+            for p in to_b {
+                for o in bqp.on_packet(SimTime::ZERO, p, &mut PinnedGate) {
+                    if let QpOutput::Send { packet, .. } = o {
+                        to_a.push(packet);
+                    }
+                }
+            }
+            for p in to_a {
+                std::hint::black_box(a.on_packet(SimTime::ZERO, p, &mut PinnedGate));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmark: TCP segment processing (established data path).
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::SimTime;
+use tcpsim::{TcpConfig, TcpConnection, TcpOutput};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("tcp_data_segment_roundtrip", |b| {
+        // Establish once, then stream data segments through both ends.
+        let mut client = TcpConnection::new(TcpConfig::linux(), 1, 2);
+        let mut server = TcpConnection::new(TcpConfig::lwip(), 2, 1);
+        server.listen();
+        let mut wire: Vec<_> = client
+            .connect(SimTime::ZERO)
+            .into_iter()
+            .filter_map(|o| match o {
+                TcpOutput::Send(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for seg in wire.drain(..) {
+                let outs = if seg.dst_port == 2 {
+                    server.on_segment(SimTime::ZERO, seg, false)
+                } else {
+                    client.on_segment(SimTime::ZERO, seg, false)
+                };
+                for o in outs {
+                    if let TcpOutput::Send(s) = o {
+                        next.push(s);
+                    }
+                }
+            }
+            wire = next;
+        }
+        b.iter(|| {
+            let outs = client.write(SimTime::ZERO, 1448);
+            let mut acks = Vec::new();
+            for o in outs {
+                if let TcpOutput::Send(s) = o {
+                    for o2 in server.on_segment(SimTime::ZERO, s, false) {
+                        if let TcpOutput::Send(a) = o2 {
+                            acks.push(a);
+                        }
+                    }
+                }
+            }
+            for a in acks {
+                client.on_segment(SimTime::ZERO, a, false);
+            }
+            std::hint::black_box(server.read(1448))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

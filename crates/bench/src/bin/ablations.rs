@@ -1,0 +1,20 @@
+//! Ablations of the paper's design choices.
+fn main() {
+    print!("{}", npf_bench::ablations::ablation_batching().render());
+    println!();
+    print!(
+        "{}",
+        npf_bench::ablations::ablation_firmware_bypass().render()
+    );
+    println!();
+    print!("{}", npf_bench::ablations::ablation_concurrency().render());
+    println!();
+    print!(
+        "{}",
+        npf_bench::ablations::ablation_pindown_sweep(30).render()
+    );
+    println!();
+    print!("{}", npf_bench::ablations::ablation_read_rnr().render());
+    println!();
+    print!("{}", npf_bench::ablations::ablation_prefaulting().render());
+}

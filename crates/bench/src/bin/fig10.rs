@@ -1,0 +1,12 @@
+//! Regenerates Figure 10: what-if analysis with synthetic rNPFs.
+fn main() {
+    print!(
+        "{}",
+        npf_bench::ib_experiments::fig10_ethernet(500).render()
+    );
+    println!();
+    print!(
+        "{}",
+        npf_bench::ib_experiments::fig10_infiniband(3000).render()
+    );
+}

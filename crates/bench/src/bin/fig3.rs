@@ -1,0 +1,4 @@
+//! Regenerates Figure 3: NPF and invalidation execution breakdown.
+fn main() {
+    print!("{}", npf_bench::micro::fig3(500).render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 4: the cold ring problem.
+fn main() {
+    print!("{}", npf_bench::eth_experiments::fig4a(20).render());
+    println!();
+    print!(
+        "{}",
+        npf_bench::eth_experiments::fig4b(10_000, 150).render()
+    );
+}

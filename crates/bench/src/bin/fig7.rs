@@ -1,0 +1,4 @@
+//! Regenerates Figure 7: dynamic working sets under a shared cgroup.
+fn main() {
+    print!("{}", npf_bench::eth_experiments::fig7(30, 10).render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8: storage bandwidth and memory usage.
+fn main() {
+    print!("{}", npf_bench::ib_experiments::fig8a(4000).render());
+    println!();
+    print!("{}", npf_bench::ib_experiments::fig8b(1500).render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 9: IMB collectives under each registration
+//! strategy.
+fn main() {
+    print!("{}", npf_bench::ib_experiments::fig9(30, 8).render());
+    println!();
+    print!(
+        "{}",
+        npf_bench::ib_experiments::fig9_allreduce(30, 8).render()
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 4: tail latency of NPFs.
+fn main() {
+    print!("{}", npf_bench::micro::table4(3000).render());
+}

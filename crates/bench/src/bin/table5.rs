@@ -1,0 +1,4 @@
+//! Regenerates Table 5: memory overcommitment with 1-4 memcached VMs.
+fn main() {
+    print!("{}", npf_bench::eth_experiments::table5(4).render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 6: effective communication bandwidth (beff).
+fn main() {
+    print!("{}", npf_bench::ib_experiments::table6(20, 8).render());
+}

@@ -1,0 +1,369 @@
+//! E8–E12: the InfiniBand-side experiments (Figure 8, Figure 9,
+//! Table 6, Figure 10).
+
+use npf_core::pinning::Strategy;
+use simcore::time::SimDuration;
+use simcore::units::ByteSize;
+use testbed::ib::{IbCluster, IbConfig};
+use testbed::mpi_run::{run_collective, MpiRunConfig};
+use testbed::storage_bed::{run_storage, StorageBedConfig};
+use testbed::stream_eth::{run_stream, StreamBedConfig, StreamMode};
+use workloads::mpi::Collective;
+use workloads::storage::StorageConfig;
+
+use memsim::types::PageRange;
+use rdmasim::types::{SendOp, WcOpcode};
+
+use crate::report::{f, Report};
+
+/// E8 — Figure 8(a): storage bandwidth vs target memory.
+pub fn fig8a(total_ios: u64) -> Report {
+    let mut r = Report::new("Storage bandwidth vs memory limit", "Figure 8(a)");
+    r.columns(["memory[GB]", "npf[GB/s]", "pin[GB/s]", "npf/pin"]);
+    for mem_gib in 4..=8u64 {
+        let cfg = |odp| StorageBedConfig {
+            target_memory: ByteSize::gib(mem_gib),
+            // OS + tgt daemon heap + kernel structures (calibrated so the
+            // pinned service caches the full LUN only from ~7 GB, §6.1).
+            reserved: ByteSize::mib(1600),
+            block_size: 512 * 1024,
+            total_ios,
+            odp,
+            pinned_headroom: ByteSize::mib(2200),
+            storage: StorageConfig::default(), // 4 GB LUN, 1 GiB pool
+            queue_depth: 16,
+            warm_cache: true,
+            // The paper's "high-performance hard drive" with NCQ:
+            // ~0.5 ms effective access, 500 MB/s streaming.
+            disk: memsim::swap::DiskConfig {
+                access_latency: simcore::SimDuration::from_micros(500),
+                bandwidth: simcore::Bandwidth::mbytes_per_sec(500),
+            },
+            ..StorageBedConfig::default()
+        };
+        let npf = run_storage(cfg(true)).expect("npf run");
+        let pin = run_storage(cfg(false));
+        let (pin_cell, ratio) = match pin {
+            Ok(p) => (
+                f(p.bandwidth_gb_s, 2),
+                f(npf.bandwidth_gb_s / p.bandwidth_gb_s.max(1e-9), 2),
+            ),
+            Err(_) => ("fails to load".to_owned(), "-".to_owned()),
+        };
+        r.row([
+            format!("{mem_gib}"),
+            f(npf.bandwidth_gb_s, 2),
+            pin_cell,
+            ratio,
+        ]);
+    }
+    r.note("paper: pinned fails below 5GB; NPFs up to 1.9x faster; parity from ~7GB");
+    r
+}
+
+/// E9 — Figure 8(b): target memory usage vs initiator sessions at a
+/// fixed 6 GB.
+pub fn fig8b(total_ios_per_point: u64) -> Report {
+    let mut r = Report::new(
+        "Target memory usage vs initiator sessions (6 GB)",
+        "Figure 8(b)",
+    );
+    r.columns(["sessions", "pin[GB]", "npf 64KB[GB]", "npf 512KB[GB]"]);
+    for sessions in [1u32, 16, 40, 80] {
+        let run_cfg = |odp: bool, block: u64| StorageBedConfig {
+            target_memory: ByteSize::gib(6),
+            reserved: ByteSize::mib(100),
+            block_size: block,
+            sessions,
+            queue_depth: 16,
+            total_ios: total_ios_per_point,
+            odp,
+            pinned_headroom: ByteSize::ZERO,
+            storage: StorageConfig::default(),
+            ..StorageBedConfig::default()
+        };
+        let pin = run_storage(run_cfg(false, 512 * 1024)).expect("pin run");
+        let npf64 = run_storage(run_cfg(true, 64 * 1024)).expect("npf64 run");
+        let npf512 = run_storage(run_cfg(true, 512 * 1024)).expect("npf512 run");
+        // Memory "used by the tgt daemon": comm buffers (resident) plus
+        // the pinned pool for the baseline. The reserved baseline is
+        // excluded, as the paper plots the daemon's resident set.
+        let reserved = ByteSize::mib(100).as_gib_f64();
+        r.row([
+            format!("{sessions}"),
+            f(pin.resident.as_gib_f64() - reserved, 2),
+            f(npf64.resident.as_gib_f64() - reserved, 2),
+            f(npf512.resident.as_gib_f64() - reserved, 2),
+        ]);
+    }
+    r.note("paper: pin flat at ~1.05GB; npf grows with sessions; 64KB blocks use ~1/8 of 512KB");
+    r
+}
+
+/// E10 — Figure 9: IMB collectives runtime by message size and
+/// registration strategy.
+pub fn fig9(iterations: u32, ranks: u32) -> Report {
+    let mut r = Report::new(
+        "IMB collectives (off-cache): time per iteration",
+        "Figure 9",
+    );
+    r.columns([
+        "benchmark",
+        "size[KB]",
+        "copy[us]",
+        "pin[us]",
+        "npf[us]",
+        "copy/pin",
+        "npf/pin",
+    ]);
+    let strategies = [
+        Strategy::Copy,
+        Strategy::PinDownCache {
+            capacity: ByteSize::mib(256),
+        },
+        Strategy::Odp,
+    ];
+    for collective in [
+        Collective::SendRecv,
+        Collective::Bcast,
+        Collective::AllToAll,
+    ] {
+        for kb in [16u64, 32, 64, 128] {
+            let mut per_iter = Vec::new();
+            for strategy in strategies {
+                let res = run_collective(MpiRunConfig {
+                    ranks,
+                    message_bytes: kb * 1024,
+                    iterations,
+                    warmup_iterations: 18,
+                    strategy,
+                    off_cache_buffers: 16,
+                    collective,
+                    seed: 9,
+                });
+                per_iter.push(res.per_iteration.as_micros_f64());
+            }
+            r.row([
+                collective.name().to_owned(),
+                format!("{kb}"),
+                f(per_iter[0], 1),
+                f(per_iter[1], 1),
+                f(per_iter[2], 1),
+                f(per_iter[0] / per_iter[1], 2),
+                f(per_iter[2] / per_iter[1], 2),
+            ]);
+        }
+    }
+    r.note("paper: copy 1.1-2.2x slower than pin-down cache; NPF matches the cache");
+    r
+}
+
+/// E10b — allreduce: the collective where copying does not hurt (the
+/// CPU reduction forces data through the caches anyway).
+pub fn fig9_allreduce(iterations: u32, ranks: u32) -> Report {
+    let mut r = Report::new("IMB allreduce: copy vs pin vs npf", "Figure 9 (text)");
+    r.columns(["size[KB]", "copy[us]", "pin[us]", "npf[us]"]);
+    for kb in [16u64, 64] {
+        let mut per_iter = Vec::new();
+        for strategy in [
+            Strategy::Copy,
+            Strategy::PinDownCache {
+                capacity: ByteSize::mib(256),
+            },
+            Strategy::Odp,
+        ] {
+            let res = run_collective(MpiRunConfig {
+                ranks,
+                message_bytes: kb * 1024,
+                iterations,
+                warmup_iterations: 18,
+                strategy,
+                off_cache_buffers: 16,
+                collective: Collective::AllReduce,
+                seed: 10,
+            });
+            per_iter.push(res.per_iteration.as_micros_f64());
+        }
+        r.row([
+            format!("{kb}"),
+            f(per_iter[0], 1),
+            f(per_iter[1], 1),
+            f(per_iter[2], 1),
+        ]);
+    }
+    r.note("paper: allreduce shows little difference between copying and pinning");
+    r
+}
+
+/// E11 — Table 6: effective bandwidth (beff-style aggregate).
+pub fn table6(iterations: u32, ranks: u32) -> Report {
+    let mut r = Report::new("Effective communication bandwidth (beff)", "Table 6");
+    r.columns(["strategy", "bandwidth[MB/s]", "vs pin"]);
+    let mut results = Vec::new();
+    for (name, strategy) in [
+        (
+            "pinning",
+            Strategy::PinDownCache {
+                capacity: ByteSize::mib(256),
+            },
+        ),
+        ("NPF", Strategy::Odp),
+        ("copying", Strategy::Copy),
+    ] {
+        // beff mixes patterns and sizes; aggregate bandwidth over the
+        // mix.
+        let mut bytes = 0u64;
+        let mut secs = 0f64;
+        for (collective, kb) in [
+            (Collective::SendRecv, 64u64),
+            (Collective::SendRecv, 1024),
+            (Collective::AllToAll, 256),
+            (Collective::Bcast, 256),
+        ] {
+            let res = run_collective(MpiRunConfig {
+                ranks,
+                message_bytes: kb * 1024,
+                iterations,
+                warmup_iterations: 18,
+                strategy,
+                off_cache_buffers: 16,
+                collective,
+                seed: 11,
+            });
+            bytes += res.bytes_moved;
+            secs += res.total.as_secs_f64();
+        }
+        results.push((name, bytes as f64 / 1e6 / secs));
+    }
+    let pin_bw = results[0].1;
+    for (name, bw) in &results {
+        r.row([(*name).to_owned(), f(*bw, 0), f(*bw / pin_bw, 2)]);
+    }
+    r.note("paper: pinning 16410, NPF 16440, copying 8020 MB/s (copy ~0.5x)");
+    r
+}
+
+/// E12 (Ethernet half) — Figure 10 left: stream throughput vs synthetic
+/// rNPF frequency.
+pub fn fig10_ethernet(duration_ms: u64) -> Report {
+    let mut r = Report::new(
+        "Stream throughput vs rNPF frequency (Ethernet)",
+        "Figure 10 left",
+    );
+    r.columns([
+        "freq",
+        "minor brng[Gb/s]",
+        "major brng[Gb/s]",
+        "minor drop[Gb/s]",
+        "major drop[Gb/s]",
+    ]);
+    for exp in [10u32, 14, 18, 22, 26] {
+        let freq = (0.5f64).powi(exp as i32);
+        let mut cells = vec![format!("2^-{exp}")];
+        for (mode, major) in [
+            (StreamMode::Backup, false),
+            (StreamMode::Backup, true),
+            (StreamMode::Drop, false),
+            (StreamMode::Drop, true),
+        ] {
+            let res = run_stream(StreamBedConfig {
+                mode,
+                fault_frequency: freq,
+                major_faults: major,
+                duration: SimDuration::from_millis(duration_ms),
+                ..StreamBedConfig::default()
+            });
+            cells.push(f(res.goodput_gbps, 2));
+        }
+        r.row(cells);
+    }
+    r.note("paper: backup ring sustains bandwidth at high frequencies; dropping collapses; fault type only matters when dropping (RTO >> resolution)");
+    r
+}
+
+/// E12 (InfiniBand half) — Figure 10 right: ib_send_bw with RNR-NACK
+/// recovery, as % of the clean optimum.
+pub fn fig10_infiniband(messages: u64) -> Report {
+    let mut r = Report::new(
+        "ib_send_bw vs rNPF frequency (InfiniBand)",
+        "Figure 10 right",
+    );
+    r.columns(["freq", "throughput[Gb/s]", "% of optimum"]);
+    let run = |freq: f64| -> f64 {
+        let mut c = IbCluster::new(IbConfig {
+            nodes: 2,
+            seed: 5,
+            ..IbConfig::default()
+        });
+        let (qa, qb) = c.connect(0, 1);
+        let msg = 64 * 1024u64;
+        let src = c.alloc_buffers(0, ByteSize::mib(8));
+        let dst = c.alloc_buffers(1, ByteSize::mib(8));
+        let da = c.node(0).domain_of(qa);
+        let db = c.node(1).domain_of(qb);
+        c.node_mut(0)
+            .engine_mut()
+            .pin_and_map(da, PageRange::covering(src, 8 << 20))
+            .expect("pre-fault");
+        c.node_mut(1)
+            .engine_mut()
+            .pin_and_map(db, PageRange::covering(dst, 8 << 20))
+            .expect("pre-fault");
+        if freq > 0.0 {
+            c.set_synthetic_faults(1, freq, SimDuration::from_micros(220), 77);
+        }
+        // Keep a deep pipeline of sends.
+        let mut sent = 0u64;
+        let mut done = 0u64;
+        let depth = 64u64;
+        for i in 0..depth.min(messages) {
+            c.post_recv(1, qb, 10_000 + i, dst, 8 << 20);
+            c.post_send(
+                0,
+                qa,
+                i,
+                SendOp::Send {
+                    local: src,
+                    len: msg,
+                },
+            );
+            sent += 1;
+        }
+        let start = simcore::time::SimTime::ZERO;
+        while done < messages {
+            if !c.step() {
+                break;
+            }
+            let comps = c.drain_completions(1);
+            for comp in comps {
+                if comp.opcode == WcOpcode::Recv {
+                    done += 1;
+                    if sent < messages {
+                        c.post_recv(1, qb, 20_000 + sent, dst, 8 << 20);
+                        c.post_send(
+                            0,
+                            qa,
+                            sent,
+                            SendOp::Send {
+                                local: src,
+                                len: msg,
+                            },
+                        );
+                        sent += 1;
+                    }
+                }
+            }
+        }
+        let elapsed = c.now().saturating_since(start).as_secs_f64();
+        (done * msg) as f64 * 8.0 / 1e9 / elapsed.max(1e-12)
+    };
+    let optimum = run(0.0);
+    for exp in [10u32, 12, 14, 16, 18, 20] {
+        let freq = (0.5f64).powi(exp as i32);
+        let bw = run(freq);
+        r.row([format!("2^-{exp}"), f(bw, 1), f(100.0 * bw / optimum, 0)]);
+    }
+    r.note(format!("clean optimum: {optimum:.1} Gb/s"));
+    r.note("paper: RNR NACK keeps high utilization; recovery costs grow as frequency rises");
+    r
+}

@@ -1,0 +1,125 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! Every experiment emits a [`Report`]: a titled set of aligned columns
+//! plus free-form notes, so `cargo run --bin all_experiments` produces
+//! one consistent document (the source of `EXPERIMENTS.md`).
+
+use std::fmt::Write as _;
+
+/// A renderable experiment report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    title: String,
+    paper_ref: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report titled `title`, annotated with the paper
+    /// table/figure it regenerates.
+    #[must_use]
+    pub fn new(title: &str, paper_ref: &str) -> Self {
+        Report {
+            title: title.to_owned(),
+            paper_ref: paper_ref.to_owned(),
+            ..Report::default()
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn columns<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cols: I) -> &mut Self {
+        self.columns = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one row.
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends a free-form note shown under the table.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// The number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the report as aligned plain text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ({}) ==", self.title, self.paper_ref);
+        let ncols = self
+            .columns
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, c) in self.columns.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
+                let _ = write!(line, "{cell:>w$}  ", w = w);
+            }
+            line.trim_end().to_owned()
+        };
+        if !self.columns.is_empty() {
+            let _ = writeln!(out, "{}", render_row(&self.columns));
+            let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+            let _ = writeln!(out, "{}", "-".repeat(total.min(100)));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+#[must_use]
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("Demo", "Table 0");
+        r.columns(["size", "value"]);
+        r.row(["4KB", "215"]);
+        r.row(["4MB", "352"]);
+        r.note("calibration run");
+        let text = r.render();
+        assert!(text.contains("== Demo (Table 0) =="));
+        assert!(text.contains("4KB"));
+        assert!(text.contains("note: calibration run"));
+        assert_eq!(r.row_count(), 2);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(10.0, 0), "10");
+    }
+}

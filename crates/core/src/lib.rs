@@ -1,0 +1,55 @@
+//! # npf-core — network page fault support
+//!
+//! The paper's contribution, reproduced in simulation: an IOprovider
+//! driver that lets direct-I/O NIC DMAs take page faults instead of
+//! requiring pinned memory.
+//!
+//! * [`npf::NpfEngine`] — the Figure 2 flows: fault resolution (with
+//!   batching, firmware-bypass resume, and per-channel concurrency
+//!   limits — the §4 optimizations) and MMU-notifier invalidation.
+//! * [`backup_driver::BackupDriver`] — the §5 Ethernet design: the
+//!   IOprovider half of the backup ring (software queues + resolver
+//!   thread), keeping IOusers unaware of rNPFs.
+//! * [`pinning::Registrar`] — the competing registration strategies of
+//!   §2.2 (static, fine-grained, pin-down cache, copy) priced against
+//!   the same engine, for apples-to-apples comparisons.
+//! * [`cost::CostModel`] — constants calibrated to Figure 3/Table 4.
+//!
+//! # Examples
+//!
+//! ```
+//! use npf_core::npf::{NpfConfig, NpfEngine};
+//! use memsim::manager::{MemConfig, MemoryManager};
+//! use memsim::space::Backing;
+//! use simcore::{SimRng, SimTime, ByteSize};
+//!
+//! let mm = MemoryManager::new(MemConfig::default());
+//! let mut engine = NpfEngine::new(NpfConfig::default(), mm, SimRng::new(7));
+//! let space = engine.memory_mut().create_space();
+//! let range = engine.memory_mut().mmap(space, ByteSize::mib(1), Backing::Anonymous)?;
+//! let channel = engine.create_channel(space);
+//!
+//! // A DMA to the cold buffer faults; the engine resolves it.
+//! assert!(!engine.dma_ready(channel, range.start.base(), 4096, true));
+//! let fault = engine
+//!     .begin_fault(SimTime::ZERO, channel, range.start.base(), 4096, true, None)?
+//!     .clone();
+//! engine.complete_fault(fault.id);
+//! assert!(engine.dma_ready(channel, range.start.base(), 4096, true));
+//! # Ok::<(), memsim::manager::MemError>(())
+//! ```
+
+pub mod backup_driver;
+pub mod cost;
+pub mod npf;
+pub mod pinning;
+
+pub use backup_driver::{BackupDriver, ResolveStep};
+pub use cost::{CostModel, InvalidationBreakdown, NpfBreakdown};
+pub use npf::{FaultRecord, NpfConfig, NpfEngine};
+pub use pinning::{Registrar, RegistrarStats, Strategy};
+
+/// Testbed convention: every IOuser maps its RX packet buffers as a
+/// page-per-slot array at this virtual address (the NIC metadata lets
+/// the backup driver reconstruct slot addresses from indices).
+pub const RX_BUFFER_BASE: u64 = 0x4000_0000;

@@ -1,0 +1,861 @@
+//! The NPF engine: the IOprovider driver of Figure 2.
+//!
+//! Owns the host [`MemoryManager`] and the [`Iommu`] and implements both
+//! flows of Figure 2:
+//!
+//! * **NPF flow (1–4):** the NIC raises a fault; the driver queries the
+//!   OS (allocating / swapping in pages), batch-updates the I/O page
+//!   tables, and tells the NIC to resume. Batching and pre-faulting of
+//!   whole scatter-gather ranges is the paper's third optimization; the
+//!   firmware-bypass resume is the second; the per-channel concurrency
+//!   limit (four outstanding faults) is the first.
+//! * **Invalidation flow (a–d):** when the OS reclaims a page (an MMU
+//!   notifier in Linux), the driver removes the IOMMU mapping — cheap
+//!   when the page was never mapped, since ODP maps lazily.
+//!
+//! The engine is sans-IO: `begin_fault` computes *when* the fault will
+//! be resolved and `complete_fault` applies the IOMMU update; the
+//! testbed schedules the completion event.
+
+use std::collections::HashMap;
+
+use iommu::{DomainId, Iommu, TableMode};
+use memsim::manager::{Invalidation, MemError, MemoryManager};
+use memsim::types::{PageRange, SpaceId, VirtAddr, Vpn};
+use memsim::FrameId;
+use simcore::rng::SimRng;
+use simcore::stats::{Counters, DurationHistogram};
+use simcore::time::{SimDuration, SimTime};
+
+use crate::cost::{CostModel, NpfBreakdown};
+
+/// Engine configuration: the paper's optimizations as toggles, for the
+/// ablation benches.
+#[derive(Debug, Clone, Copy)]
+pub struct NpfConfig {
+    /// Costs in force.
+    pub cost: CostModel,
+    /// Maximum concurrently-serviced faults per channel (the prototype
+    /// uses four, §4). Extra faults queue behind outstanding ones.
+    pub concurrent_faults_per_channel: u32,
+    /// Resolve the NIC-provided *entire* scatter-gather range per fault
+    /// event (`true`, the paper's design) or one page per event (ATS/PRI
+    /// discipline — the ablation showing >220 ms cold 4 MB messages).
+    pub batch_resolution: bool,
+    /// Use the firmware-bypass fast resume.
+    pub firmware_bypass: bool,
+}
+
+impl Default for NpfConfig {
+    fn default() -> Self {
+        NpfConfig {
+            cost: CostModel::default(),
+            concurrent_faults_per_channel: 4,
+            batch_resolution: true,
+            firmware_bypass: false,
+        }
+    }
+}
+
+/// A fault in flight.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// Correlation id.
+    pub id: u64,
+    /// Faulting channel's IOMMU domain.
+    pub domain: DomainId,
+    /// Owning address space.
+    pub space: SpaceId,
+    /// Pages being resolved by this event.
+    pub range: PageRange,
+    /// Write access?
+    pub write: bool,
+    /// When resolution completes and the NIC may resume.
+    pub ready_at: SimTime,
+    /// Cost breakdown (for Figure 3 / Table 4).
+    pub breakdown: NpfBreakdown,
+    /// Mappings to install at completion.
+    mappings: Vec<(Vpn, FrameId)>,
+}
+
+/// The NPF engine.
+#[derive(Debug)]
+pub struct NpfEngine {
+    config: NpfConfig,
+    mm: MemoryManager,
+    iommu: Iommu,
+    bindings: HashMap<DomainId, SpaceId>,
+    pending: HashMap<u64, FaultRecord>,
+    /// Completion times of outstanding faults, per domain (concurrency
+    /// limiting).
+    outstanding: HashMap<DomainId, Vec<SimTime>>,
+    next_fault: u64,
+    rng: SimRng,
+    counters: Counters,
+    fault_latency: DurationHistogram,
+    fault_latency_by_tag: HashMap<&'static str, DurationHistogram>,
+    last_breakdown: Option<NpfBreakdown>,
+}
+
+impl NpfEngine {
+    /// Creates an engine over `mm` with an IOTLB of 4096 entries.
+    #[must_use]
+    pub fn new(config: NpfConfig, mm: MemoryManager, rng: SimRng) -> Self {
+        NpfEngine {
+            config,
+            mm,
+            iommu: Iommu::new(4096),
+            bindings: HashMap::new(),
+            pending: HashMap::new(),
+            outstanding: HashMap::new(),
+            next_fault: 0,
+            rng,
+            counters: Counters::new(),
+            fault_latency: DurationHistogram::new(),
+            fault_latency_by_tag: HashMap::new(),
+            last_breakdown: None,
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &NpfConfig {
+        &self.config
+    }
+
+    /// The host memory manager.
+    #[must_use]
+    pub fn memory(&self) -> &MemoryManager {
+        &self.mm
+    }
+
+    /// Mutable host memory access — for CPU-side workload touches. Use
+    /// [`NpfEngine::touch`] instead when invalidation propagation is
+    /// needed (it almost always is).
+    pub fn memory_mut(&mut self) -> &mut MemoryManager {
+        &mut self.mm
+    }
+
+    /// The IOMMU.
+    #[must_use]
+    pub fn iommu(&self) -> &Iommu {
+        &self.iommu
+    }
+
+    /// Mutable IOMMU access.
+    pub fn iommu_mut(&mut self) -> &mut Iommu {
+        &mut self.iommu
+    }
+
+    /// Statistics: `npf_events`, `npf_pages`, `npf_major`,
+    /// `invalidations`, `invalidations_mapped`.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// End-to-end fault latency histogram (Table 4).
+    pub fn fault_latency(&mut self) -> &mut DurationHistogram {
+        &mut self.fault_latency
+    }
+
+    /// Latency histogram for faults recorded under `tag` (e.g. one per
+    /// message size).
+    pub fn fault_latency_tagged(&mut self, tag: &'static str) -> &mut DurationHistogram {
+        self.fault_latency_by_tag.entry(tag).or_default()
+    }
+
+    /// The breakdown of the most recent fault (Figure 3a plumbing).
+    #[must_use]
+    pub fn last_breakdown(&self) -> Option<NpfBreakdown> {
+        self.last_breakdown
+    }
+
+    /// Creates an IOchannel: a page-fault-capable IOMMU domain bound to
+    /// `space`.
+    pub fn create_channel(&mut self, space: SpaceId) -> DomainId {
+        let d = self.iommu.create_domain(TableMode::PageFaultCapable);
+        self.bindings.insert(d, space);
+        d
+    }
+
+    /// Creates a legacy (pinned-only) channel for baseline
+    /// configurations.
+    pub fn create_pinned_channel(&mut self, space: SpaceId) -> DomainId {
+        let d = self.iommu.create_domain(TableMode::PinnedOnly);
+        self.bindings.insert(d, space);
+        d
+    }
+
+    /// The space a domain is bound to.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unbound domains (wiring bug).
+    #[must_use]
+    pub fn space_of(&self, domain: DomainId) -> SpaceId {
+        *self.bindings.get(&domain).expect("unbound domain")
+    }
+
+    /// Whether a DMA of `len` bytes at `addr` would currently succeed.
+    #[must_use]
+    pub fn dma_ready(&self, domain: DomainId, addr: VirtAddr, len: u64, write: bool) -> bool {
+        self.iommu
+            .probe_range(domain, PageRange::covering(addr, len.max(1)), write)
+    }
+
+    /// Is any pending fault already covering `addr..addr+len`? Returns
+    /// its id — the NIC's in-flight-fault bitmap (§4's second
+    /// optimization) maps onto this: repeated faults on the same range
+    /// do not raise new events.
+    #[must_use]
+    pub fn pending_fault_covering(
+        &self,
+        domain: DomainId,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Option<u64> {
+        let r = PageRange::covering(addr, len.max(1));
+        self.pending
+            .values()
+            .find(|f| f.domain == domain && f.range.overlaps(r))
+            .map(|f| f.id)
+    }
+
+    /// A pending fault by id.
+    #[must_use]
+    pub fn pending_fault(&self, id: u64) -> Option<&FaultRecord> {
+        self.pending.get(&id)
+    }
+
+    /// Number of unresolved faults.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Begins resolving an NPF for `addr..addr+len` in `domain`,
+    /// optionally tagging the latency sample. Returns the fault record;
+    /// the caller schedules `complete_fault(id)` at `record.ready_at`.
+    ///
+    /// The OS work (allocation, swap-in, reclaim) happens *now*; the
+    /// IOMMU mappings are installed at completion. Invalidation costs of
+    /// any reclaim are folded into the driver component.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors (OOM, swap full).
+    pub fn begin_fault(
+        &mut self,
+        now: SimTime,
+        domain: DomainId,
+        addr: VirtAddr,
+        len: u64,
+        write: bool,
+        tag: Option<&'static str>,
+    ) -> Result<&FaultRecord, MemError> {
+        let space = self.space_of(domain);
+        let full_range = PageRange::covering(addr, len.max(1));
+        // ATS/PRI ablation: one page per fault event.
+        let range = if self.config.batch_resolution {
+            full_range
+        } else {
+            PageRange::new(full_range.start, 1)
+        };
+
+        // Resolve all non-resident pages and collect mappings for the
+        // whole (possibly batched) range.
+        let mut os_cost = SimDuration::ZERO;
+        let mut mappings = Vec::new();
+        let mut invalidation_cost = SimDuration::ZERO;
+        let mut major = false;
+        for vpn in range.iter() {
+            let pte = self.mm.space(space)?.pte(vpn)?;
+            let frame = if let Some(f) = pte.frame() {
+                if write && pte.cow {
+                    // A DMA write to a COW-shared page must break the
+                    // sharing first (otherwise the device would scribble
+                    // on the other sharers' frame).
+                    let access = self.mm.touch(space, vpn, true)?;
+                    let broke = access.fault.expect("COW break reports a fault");
+                    os_cost += broke.cost;
+                    for inv in &broke.invalidations {
+                        invalidation_cost += self.run_invalidation(*inv);
+                    }
+                    broke.frame
+                } else {
+                    f
+                }
+            } else {
+                let res = self.mm.resolve_fault(space, vpn, write)?;
+                // Only the I/O share: the driver's own software costs
+                // (per-page translation, PT updates) come from the
+                // calibrated cost model below.
+                os_cost += res.io_cost;
+                major |= res.kind == memsim::FaultKind::Major;
+                if res.kind == memsim::FaultKind::Major {
+                    self.counters.bump("npf_major");
+                }
+                // Reclaim may have revoked other pages: purge their
+                // IOMMU mappings now (Figure 2 a–d).
+                for inv in &res.invalidations {
+                    invalidation_cost += self.run_invalidation(*inv);
+                }
+                res.frame
+            };
+            mappings.push((vpn, frame));
+        }
+
+        let breakdown = self.config.cost.npf(
+            range.pages,
+            os_cost + invalidation_cost,
+            self.config.firmware_bypass,
+            &mut self.rng,
+        );
+
+        // Concurrency limiting: if the channel already has the maximum
+        // outstanding faults, this one starts after the earliest
+        // completes.
+        let slots = self.outstanding.entry(domain).or_default();
+        slots.retain(|&t| t > now);
+        let start = if slots.len() >= self.config.concurrent_faults_per_channel as usize {
+            let (idx, &earliest) = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, t)| *t)
+                .expect("nonempty");
+            slots.remove(idx);
+            earliest
+        } else {
+            now
+        };
+        let ready_at = start + breakdown.total();
+        slots.push(ready_at);
+
+        let id = self.next_fault;
+        self.next_fault += 1;
+        self.counters.bump("npf_events");
+        self.counters.add("npf_pages", range.pages);
+        let _ = major;
+        let latency = ready_at.saturating_since(now);
+        self.fault_latency.record(latency);
+        if let Some(t) = tag {
+            self.fault_latency_by_tag
+                .entry(t)
+                .or_default()
+                .record(latency);
+        }
+        self.last_breakdown = Some(breakdown);
+
+        let record = FaultRecord {
+            id,
+            domain,
+            space,
+            range,
+            write,
+            ready_at,
+            breakdown,
+            mappings,
+        };
+        self.pending.insert(id, record);
+        Ok(self.pending.get(&id).expect("just inserted"))
+    }
+
+    /// Completes a fault: installs the IOMMU mappings so subsequent DMA
+    /// succeeds. Call at `ready_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown fault ids.
+    pub fn complete_fault(&mut self, id: u64) -> FaultRecord {
+        let record = self.pending.remove(&id).expect("unknown fault id");
+        // Pages may have been reclaimed again between fault start and
+        // completion under extreme pressure; map only what is still
+        // resident (the next access faults again, which is correct).
+        for &(vpn, frame) in &record.mappings {
+            if self
+                .mm
+                .space(record.space)
+                .map(|s| s.frame_of(vpn) == Some(frame))
+                .unwrap_or(false)
+            {
+                self.iommu.map(record.domain, vpn, frame, true);
+            }
+        }
+        record
+    }
+
+    /// Runs the Figure 2 invalidation flow for one revoked page,
+    /// returning its cost.
+    fn run_invalidation(&mut self, inv: Invalidation) -> SimDuration {
+        self.counters.bump("invalidations");
+        // Find the domains bound to the space that lost the page.
+        let domains: Vec<DomainId> = self
+            .bindings
+            .iter()
+            .filter(|(_, &s)| s == inv.space)
+            .map(|(&d, _)| d)
+            .collect();
+        let mut cost = SimDuration::ZERO;
+        for d in domains {
+            let was_mapped = self.iommu.invalidate(d, inv.vpn);
+            if was_mapped {
+                self.counters.bump("invalidations_mapped");
+            }
+            cost += self.config.cost.invalidation(1, was_mapped).total();
+        }
+        cost
+    }
+
+    /// Forks an IOuser's address space with COW sharing and runs the
+    /// resulting invalidation storm against the IOMMU (§5 names forking
+    /// as a cause of cold sequences: every formerly-mapped page must be
+    /// re-faulted before the NIC can DMA again). Returns the child space
+    /// and the total invalidation cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn fork_iouser(&mut self, parent: SpaceId) -> Result<(SpaceId, SimDuration), MemError> {
+        let (child, invalidations) = self.mm.fork_space(parent)?;
+        let mut cost = SimDuration::ZERO;
+        for inv in invalidations {
+            cost += self.run_invalidation(inv);
+        }
+        Ok((child, cost))
+    }
+
+    /// CPU-side touch with invalidation propagation: workloads use this
+    /// instead of raw `MemoryManager::touch`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn touch(
+        &mut self,
+        space: SpaceId,
+        vpn: Vpn,
+        write: bool,
+    ) -> Result<SimDuration, MemError> {
+        let access = self.mm.touch(space, vpn, write)?;
+        let mut cost = access.cost();
+        for inv in access.invalidations().to_vec() {
+            cost += self.run_invalidation(inv);
+        }
+        Ok(cost)
+    }
+
+    /// Touches a whole byte range (see [`NpfEngine::touch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn touch_range(
+        &mut self,
+        space: SpaceId,
+        addr: VirtAddr,
+        len: u64,
+        write: bool,
+    ) -> Result<SimDuration, MemError> {
+        let (cpu, io) = self.touch_range_split(space, addr, len, write)?;
+        Ok(cpu + io)
+    }
+
+    /// Like [`NpfEngine::touch_range`] but splits the cost into a CPU
+    /// share and a blocking-I/O share (major-fault disk waits). Hosts
+    /// with a CPU model charge only the CPU share to a core; the I/O
+    /// share is wall-clock sleep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn touch_range_split(
+        &mut self,
+        space: SpaceId,
+        addr: VirtAddr,
+        len: u64,
+        write: bool,
+    ) -> Result<(SimDuration, SimDuration), MemError> {
+        let mut cpu = SimDuration::ZERO;
+        let mut io = SimDuration::ZERO;
+        for vpn in PageRange::covering(addr, len.max(1)).iter() {
+            let access = self.mm.touch(space, vpn, write)?;
+            let total = access.cost();
+            let fault_io = access
+                .fault
+                .as_ref()
+                .map_or(SimDuration::ZERO, |res| res.io_cost);
+            cpu += total.saturating_sub(fault_io);
+            io += fault_io;
+            for inv in access.invalidations().to_vec() {
+                cpu += self.run_invalidation(inv);
+            }
+        }
+        Ok((cpu, io))
+    }
+
+    /// Pins a range and maps it in the IOMMU (registration-time work of
+    /// the pinning strategies). Returns the total cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors, including `RLIMIT_MEMLOCK`.
+    pub fn pin_and_map(
+        &mut self,
+        domain: DomainId,
+        range: PageRange,
+    ) -> Result<SimDuration, MemError> {
+        let space = self.space_of(domain);
+        let outcome = self.mm.pin_range(space, range)?;
+        let mut cost = outcome.cost;
+        for inv in outcome.invalidations {
+            cost += self.run_invalidation(inv);
+        }
+        for vpn in range.iter() {
+            let frame = self
+                .mm
+                .space(space)?
+                .frame_of(vpn)
+                .expect("pinned page is resident");
+            self.iommu.map(domain, vpn, frame, true);
+        }
+        cost += self.config.cost.register_pinned(range.pages);
+        Ok(cost)
+    }
+
+    /// Unpins and unmaps a range, returning the cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn unpin_and_unmap(
+        &mut self,
+        domain: DomainId,
+        range: PageRange,
+    ) -> Result<SimDuration, MemError> {
+        let space = self.space_of(domain);
+        self.mm.unpin_range(space, range)?;
+        self.iommu.invalidate_range(domain, range);
+        Ok(self.config.cost.deregister_pinned(range.pages))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::manager::MemConfig;
+    use memsim::space::Backing;
+    use simcore::units::ByteSize;
+
+    fn engine() -> (NpfEngine, SpaceId, DomainId, PageRange) {
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::mib(16),
+            ..MemConfig::default()
+        });
+        let mut e = NpfEngine::new(NpfConfig::default(), mm, SimRng::new(1));
+        let space = e.memory_mut().create_space();
+        let range = e
+            .memory_mut()
+            .mmap(space, ByteSize::mib(4), Backing::Anonymous)
+            .expect("mmap");
+        let domain = e.create_channel(space);
+        (e, space, domain, range)
+    }
+
+    #[test]
+    fn fault_lifecycle_installs_mappings() {
+        let (mut e, _s, d, r) = engine();
+        let addr = r.start.base();
+        assert!(!e.dma_ready(d, addr, 4096, true));
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, addr, 4096, true, None)
+            .expect("fault")
+            .clone();
+        assert!(rec.ready_at > SimTime::ZERO);
+        assert!(
+            !e.dma_ready(d, addr, 4096, true),
+            "mapping invisible until completion"
+        );
+        e.complete_fault(rec.id);
+        assert!(e.dma_ready(d, addr, 4096, true));
+        assert_eq!(e.counters().get("npf_events"), 1);
+    }
+
+    #[test]
+    fn minor_4kb_fault_latency_matches_paper() {
+        let (mut e, _s, d, r) = engine();
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 4096, true, None)
+            .expect("fault")
+            .clone();
+        let us = rec.ready_at.saturating_since(SimTime::ZERO).as_micros_f64();
+        assert!((150.0..350.0).contains(&us), "got {us:.1} us");
+    }
+
+    #[test]
+    fn batched_fault_resolves_whole_range() {
+        let (mut e, _s, d, r) = engine();
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 4 << 20, true, None)
+            .expect("fault")
+            .clone();
+        assert_eq!(rec.range.pages, 1024);
+        e.complete_fault(rec.id);
+        assert!(e.dma_ready(d, r.start.base(), 4 << 20, true));
+        assert_eq!(e.counters().get("npf_pages"), 1024);
+    }
+
+    #[test]
+    fn unbatched_mode_resolves_one_page() {
+        let mm = MemoryManager::new(MemConfig::default());
+        let mut e = NpfEngine::new(
+            NpfConfig {
+                batch_resolution: false,
+                ..NpfConfig::default()
+            },
+            mm,
+            SimRng::new(1),
+        );
+        let s = e.memory_mut().create_space();
+        let r = e
+            .memory_mut()
+            .mmap(s, ByteSize::mib(4), Backing::Anonymous)
+            .expect("mmap");
+        let d = e.create_channel(s);
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 4 << 20, true, None)
+            .expect("fault")
+            .clone();
+        assert_eq!(rec.range.pages, 1);
+        e.complete_fault(rec.id);
+        assert!(!e.dma_ready(d, r.start.base(), 4 << 20, true));
+        assert!(e.dma_ready(d, r.start.base(), 4096, true));
+    }
+
+    #[test]
+    fn concurrency_limit_queues_fifth_fault() {
+        let (mut e, _s, d, r) = engine();
+        let mut readies = Vec::new();
+        for i in 0..5 {
+            let rec = e
+                .begin_fault(
+                    SimTime::ZERO,
+                    d,
+                    Vpn(r.start.0 + i).base(),
+                    4096,
+                    true,
+                    None,
+                )
+                .expect("fault")
+                .clone();
+            readies.push(rec.ready_at);
+        }
+        let min_first_four = readies[..4].iter().min().copied().expect("four");
+        assert!(
+            readies[4] >= min_first_four + SimDuration::from_micros(150),
+            "fifth fault must wait for a slot: {readies:?}"
+        );
+    }
+
+    #[test]
+    fn pending_fault_covering_suppresses_duplicates() {
+        let (mut e, _s, d, r) = engine();
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 8192, true, None)
+            .expect("fault")
+            .clone();
+        assert_eq!(
+            e.pending_fault_covering(d, r.start.base(), 4096),
+            Some(rec.id)
+        );
+        assert_eq!(
+            e.pending_fault_covering(d, Vpn(r.start.0 + 100).base(), 1),
+            None
+        );
+        e.complete_fault(rec.id);
+        assert_eq!(e.pending_fault_covering(d, r.start.base(), 4096), None);
+    }
+
+    #[test]
+    fn reclaim_invalidates_iommu_mappings() {
+        // Tiny memory: faulting in new pages evicts old ones, whose
+        // IOMMU mappings must disappear.
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(32), // 8 frames
+            ..MemConfig::default()
+        });
+        let mut e = NpfEngine::new(NpfConfig::default(), mm, SimRng::new(1));
+        let s = e.memory_mut().create_space();
+        let r = e
+            .memory_mut()
+            .mmap(s, ByteSize::kib(64), Backing::Anonymous)
+            .expect("mmap");
+        let d = e.create_channel(s);
+        // Map the first page via a fault.
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 4096, true, None)
+            .expect("fault")
+            .clone();
+        e.complete_fault(rec.id);
+        assert!(e.dma_ready(d, r.start.base(), 1, true));
+        // Touch every other page from the CPU until the first is
+        // evicted.
+        for vpn in r.iter().skip(1) {
+            e.touch(s, vpn, true).expect("touch");
+        }
+        assert!(
+            !e.dma_ready(d, r.start.base(), 1, true),
+            "stale IOMMU mapping survived reclaim"
+        );
+        assert!(e.counters().get("invalidations_mapped") >= 1);
+    }
+
+    #[test]
+    fn pin_and_map_makes_dma_ready() {
+        let (mut e, _s, d, r) = engine();
+        let sub = PageRange::new(r.start, 16);
+        let cost = e.pin_and_map(d, sub).expect("pin");
+        assert!(cost > SimDuration::ZERO);
+        assert!(e.dma_ready(d, r.start.base(), 16 * 4096, true));
+        let uncost = e.unpin_and_unmap(d, sub).expect("unpin");
+        assert!(uncost > SimDuration::ZERO);
+        assert!(!e.dma_ready(d, r.start.base(), 1, true));
+    }
+
+    #[test]
+    fn major_faults_cost_disk_time() {
+        // Force swapping with tiny memory, then fault a swapped page
+        // back via the NPF path.
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(16),
+            ..MemConfig::default()
+        });
+        let mut e = NpfEngine::new(NpfConfig::default(), mm, SimRng::new(1));
+        let s = e.memory_mut().create_space();
+        let r = e
+            .memory_mut()
+            .mmap(s, ByteSize::kib(64), Backing::Anonymous)
+            .expect("mmap");
+        let d = e.create_channel(s);
+        for vpn in r.iter() {
+            e.touch(s, vpn, true).expect("touch");
+        }
+        // The first page was swapped out; an NPF on it is major.
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 1, true, None)
+            .expect("fault")
+            .clone();
+        assert!(
+            rec.breakdown.total() > SimDuration::from_millis(4),
+            "major fault must include disk latency, got {}",
+            rec.breakdown.total()
+        );
+        assert_eq!(e.counters().get("npf_major"), 1);
+    }
+}
+
+#[cfg(test)]
+mod cow_fork_tests {
+    use super::*;
+    use memsim::manager::MemConfig;
+    use memsim::space::Backing;
+    use simcore::units::ByteSize;
+
+    /// §5's fork-causes-cold-sequences story, end to end: a DMA-ready
+    /// channel loses its mappings when the IOuser forks, and the next
+    /// DMA takes an NPF instead of corrupting the now-shared frame.
+    #[test]
+    fn fork_invalidates_dma_mappings() {
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::mib(32),
+            ..MemConfig::default()
+        });
+        let mut e = NpfEngine::new(NpfConfig::default(), mm, SimRng::new(5));
+        let parent = e.memory_mut().create_space();
+        let r = e
+            .memory_mut()
+            .mmap(parent, ByteSize::kib(64), Backing::Anonymous)
+            .expect("mmap");
+        let d = e.create_channel(parent);
+        // Warm the channel: DMA-ready across the whole buffer.
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 64 * 1024, true, None)
+            .expect("fault")
+            .clone();
+        e.complete_fault(rec.id);
+        assert!(e.dma_ready(d, r.start.base(), 64 * 1024, true));
+
+        // Fork: the invalidation storm purges the parent's mappings.
+        let (child, cost) = e.fork_iouser(parent).expect("fork");
+        assert!(
+            cost > SimDuration::from_micros(100),
+            "16 invalidations cost time"
+        );
+        assert!(
+            !e.dma_ready(d, r.start.base(), 1, true),
+            "stale writable mapping must not survive the fork"
+        );
+        assert!(e.counters().get("invalidations_mapped") >= 16);
+
+        // The cold sequence: the next DMA faults; resolution breaks COW
+        // (write fault on a shared page) and the channel re-warms.
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 4096, true, None)
+            .expect("refault")
+            .clone();
+        e.complete_fault(rec.id);
+        assert!(e.dma_ready(d, r.start.base(), 4096, true));
+        // The child still shares the remaining pages untouched.
+        assert_eq!(e.memory().space(child).expect("child").resident_pages(), 16);
+    }
+}
+
+#[cfg(test)]
+mod cow_dma_tests {
+    use super::*;
+    use memsim::manager::MemConfig;
+    use memsim::space::Backing;
+    use simcore::units::ByteSize;
+
+    /// A DMA write fault on a COW page breaks the sharing: the channel
+    /// maps a *private* frame, never the shared one.
+    #[test]
+    fn dma_write_fault_breaks_cow() {
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::mib(8),
+            ..MemConfig::default()
+        });
+        let mut e = NpfEngine::new(NpfConfig::default(), mm, SimRng::new(6));
+        let parent = e.memory_mut().create_space();
+        let r = e
+            .memory_mut()
+            .mmap(parent, ByteSize::kib(4), Backing::Anonymous)
+            .expect("mmap");
+        e.memory_mut()
+            .touch(parent, r.start, true)
+            .expect("populate");
+        let (child, _cost) = e.fork_iouser(parent).expect("fork");
+        let shared = e.memory().space(child).expect("child").frame_of(r.start);
+
+        // The parent's channel DMA-writes the page.
+        let d = e.create_channel(parent);
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 4096, true, None)
+            .expect("fault")
+            .clone();
+        e.complete_fault(rec.id);
+        let parent_frame = e.memory().space(parent).expect("parent").frame_of(r.start);
+        assert_ne!(
+            parent_frame, shared,
+            "the DMA target must be a private copy, not the shared frame"
+        );
+        assert_eq!(
+            e.memory().space(child).expect("child").frame_of(r.start),
+            shared,
+            "the child keeps the original"
+        );
+        assert!(e.dma_ready(d, r.start.base(), 4096, true));
+        assert!(e.counters().get("npf_events") >= 1);
+        assert_eq!(e.memory().counters().get("cow_breaks"), 1);
+    }
+}

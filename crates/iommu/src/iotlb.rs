@@ -1,0 +1,201 @@
+//! The IOTLB: a translation cache in front of the I/O page tables.
+//!
+//! Because the device caches translations, the IOprovider must
+//! *invalidate* them when mappings change (Figure 2, steps a–d); stale
+//! entries would let the device DMA into reused frames. The cache is a
+//! capacity-bounded LRU keyed by `(domain, vpn)`.
+
+use std::collections::HashMap;
+
+use memsim::types::{FrameId, PageRange, Vpn};
+
+use crate::pagetable::DomainId;
+
+/// A bounded LRU translation cache.
+#[derive(Debug)]
+pub struct IoTlb {
+    capacity: usize,
+    map: HashMap<(DomainId, Vpn), (FrameId, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl IoTlb {
+    /// Creates a cache holding up to `capacity` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "IOTLB needs at least one entry");
+        IoTlb {
+            capacity,
+            map: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries invalidated so far.
+    #[must_use]
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Current number of cached translations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a translation, promoting it on a hit.
+    pub fn lookup(&mut self, domain: DomainId, vpn: Vpn) -> Option<FrameId> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&(domain, vpn)) {
+            Some((frame, t)) => {
+                *t = tick;
+                self.hits += 1;
+                Some(*frame)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a translation after a successful walk, evicting the LRU
+    /// entry if full.
+    pub fn insert(&mut self, domain: DomainId, vpn: Vpn, frame: FrameId) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&(domain, vpn)) {
+            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, &(_, t))| t) {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert((domain, vpn), (frame, self.tick));
+    }
+
+    /// Invalidates one translation. Returns `true` when an entry was
+    /// dropped.
+    pub fn invalidate(&mut self, domain: DomainId, vpn: Vpn) -> bool {
+        let hit = self.map.remove(&(domain, vpn)).is_some();
+        if hit {
+            self.invalidations += 1;
+        }
+        hit
+    }
+
+    /// Invalidates every cached translation of a range.
+    pub fn invalidate_range(&mut self, domain: DomainId, range: PageRange) -> u64 {
+        range
+            .iter()
+            .filter(|&vpn| self.invalidate(domain, vpn))
+            .count() as u64
+    }
+
+    /// Invalidates everything belonging to a domain (channel teardown).
+    pub fn invalidate_domain(&mut self, domain: DomainId) -> u64 {
+        let victims: Vec<(DomainId, Vpn)> = self
+            .map
+            .keys()
+            .filter(|(d, _)| *d == domain)
+            .copied()
+            .collect();
+        let n = victims.len() as u64;
+        for v in victims {
+            self.map.remove(&v);
+        }
+        self.invalidations += n;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D0: DomainId = DomainId(0);
+    const D1: DomainId = DomainId(1);
+
+    #[test]
+    fn hit_after_insert() {
+        let mut tlb = IoTlb::new(4);
+        assert_eq!(tlb.lookup(D0, Vpn(1)), None);
+        tlb.insert(D0, Vpn(1), FrameId(9));
+        assert_eq!(tlb.lookup(D0, Vpn(1)), Some(FrameId(9)));
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn domains_are_isolated() {
+        let mut tlb = IoTlb::new(4);
+        tlb.insert(D0, Vpn(1), FrameId(1));
+        assert_eq!(tlb.lookup(D1, Vpn(1)), None);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut tlb = IoTlb::new(2);
+        tlb.insert(D0, Vpn(1), FrameId(1));
+        tlb.insert(D0, Vpn(2), FrameId(2));
+        tlb.lookup(D0, Vpn(1)); // promote 1
+        tlb.insert(D0, Vpn(3), FrameId(3)); // evicts 2
+        assert_eq!(tlb.lookup(D0, Vpn(2)), None);
+        assert_eq!(tlb.lookup(D0, Vpn(1)), Some(FrameId(1)));
+        assert_eq!(tlb.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_drops_entry() {
+        let mut tlb = IoTlb::new(4);
+        tlb.insert(D0, Vpn(1), FrameId(1));
+        assert!(tlb.invalidate(D0, Vpn(1)));
+        assert!(!tlb.invalidate(D0, Vpn(1)));
+        assert_eq!(tlb.lookup(D0, Vpn(1)), None);
+        assert_eq!(tlb.invalidations(), 1);
+    }
+
+    #[test]
+    fn invalidate_domain_sweeps() {
+        let mut tlb = IoTlb::new(8);
+        tlb.insert(D0, Vpn(1), FrameId(1));
+        tlb.insert(D0, Vpn(2), FrameId(2));
+        tlb.insert(D1, Vpn(1), FrameId(3));
+        assert_eq!(tlb.invalidate_domain(D0), 2);
+        assert_eq!(tlb.lookup(D1, Vpn(1)), Some(FrameId(3)));
+    }
+
+    #[test]
+    fn invalidate_range_counts() {
+        let mut tlb = IoTlb::new(8);
+        tlb.insert(D0, Vpn(1), FrameId(1));
+        tlb.insert(D0, Vpn(5), FrameId(5));
+        assert_eq!(tlb.invalidate_range(D0, PageRange::new(Vpn(0), 4)), 1);
+    }
+}

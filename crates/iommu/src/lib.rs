@@ -1,0 +1,36 @@
+//! # iommu — simulated I/O memory management unit
+//!
+//! Models the translation hardware between DMA engines and physical
+//! memory: per-IOchannel I/O page tables whose entries may be
+//! **non-present** (the paper's key firmware change, §4), an IOTLB that
+//! must be invalidated when mappings change (Figure 2 steps a–d), and a
+//! PRI-style page-request queue that the NPF driver drains. A
+//! [`nested::NestedWalk`] models the 2D (guest/host) tables of §2.4.
+//!
+//! # Examples
+//!
+//! ```
+//! use iommu::{Iommu, DmaCheck, TableMode};
+//! use memsim::types::{FrameId, Vpn};
+//!
+//! let mut mmu = Iommu::new(64);
+//! let dom = mmu.create_domain(TableMode::PageFaultCapable);
+//!
+//! // A DMA to an unmapped page raises a recoverable page request...
+//! let DmaCheck::Fault(req) = mmu.check_dma(dom, Vpn(9), true) else {
+//!     unreachable!()
+//! };
+//! // ...which the driver resolves by installing the mapping.
+//! mmu.map(dom, req.vpn, FrameId(3), true);
+//! assert_eq!(mmu.check_dma(dom, Vpn(9), true), DmaCheck::Ok(FrameId(3)));
+//! ```
+
+pub mod iotlb;
+pub mod nested;
+pub mod pagetable;
+pub mod unit;
+
+pub use iotlb::IoTlb;
+pub use nested::{Gpn, NestedTranslation, NestedWalk};
+pub use pagetable::{DomainId, IoPageTable, IoPte, TableMode, Translation};
+pub use unit::{DmaCheck, Iommu, PageRequest};

@@ -1,0 +1,144 @@
+//! Two-dimensional (nested) IOMMU translation.
+//!
+//! §2.4 of the paper: recent hardware supports separate guest and host
+//! I/O page tables — the guest table translates guest-virtual to
+//! guest-physical pages (the IOuser can use it for *strict protection*
+//! against errant devices), and the host table translates guest-physical
+//! to host-physical frames (the IOprovider needs page faults here for the
+//! canonical memory optimizations). The hardware concatenates the two.
+//!
+//! This module models that concatenation so the protection property and
+//! the NPF property can be exercised independently.
+
+use memsim::types::{FrameId, Vpn};
+
+use crate::pagetable::{IoPageTable, Translation};
+
+/// A guest-physical page number (the intermediate address of the 2D
+/// walk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gpn(pub u64);
+
+/// Result of a nested walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NestedTranslation {
+    /// Both stages translated.
+    Ok(FrameId),
+    /// The *guest* stage rejected the access: a protection event the
+    /// IOuser configured deliberately; not recoverable by the host.
+    GuestDenied,
+    /// The *host* stage missed: a normal NPF the IOprovider resolves.
+    HostFault(Gpn),
+    /// The host stage rejected the access outright (pinned-only mode or
+    /// permission violation).
+    HostError,
+}
+
+/// A two-stage translation pipeline.
+///
+/// The guest stage maps IOuser virtual pages to guest-physical pages;
+/// the host stage maps guest-physical pages to host frames. The guest
+/// table reuses [`IoPageTable`] with `FrameId` standing in for `Gpn`
+/// (both are raw page numbers).
+#[derive(Debug)]
+pub struct NestedWalk<'a> {
+    /// Guest stage (gVA -> gPA), owned by the IOuser.
+    pub guest: &'a mut IoPageTable,
+    /// Host stage (gPA -> hPA), owned by the IOprovider.
+    pub host: &'a mut IoPageTable,
+}
+
+impl NestedWalk<'_> {
+    /// Performs the concatenated walk for one access.
+    pub fn translate(&mut self, vpn: Vpn, write: bool) -> NestedTranslation {
+        let gpn = match self.guest.translate(vpn, write) {
+            Translation::Ok(f) => Gpn(f.0),
+            // A guest-stage miss or permission failure is the IOuser's
+            // protection policy firing, regardless of the table mode.
+            Translation::Fault | Translation::Error => return NestedTranslation::GuestDenied,
+        };
+        match self.host.translate(Vpn(gpn.0), write) {
+            Translation::Ok(frame) => NestedTranslation::Ok(frame),
+            Translation::Fault => NestedTranslation::HostFault(gpn),
+            Translation::Error => NestedTranslation::HostError,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagetable::{DomainId, TableMode};
+
+    fn tables() -> (IoPageTable, IoPageTable) {
+        (
+            IoPageTable::new(DomainId(0), TableMode::PinnedOnly),
+            IoPageTable::new(DomainId(1), TableMode::PageFaultCapable),
+        )
+    }
+
+    #[test]
+    fn both_stages_present_translates() {
+        let (mut guest, mut host) = tables();
+        guest.map(Vpn(5), FrameId(100), true); // gVA 5 -> gPA 100
+        host.map(Vpn(100), FrameId(7), true); // gPA 100 -> hPA 7
+        let mut w = NestedWalk {
+            guest: &mut guest,
+            host: &mut host,
+        };
+        assert_eq!(w.translate(Vpn(5), true), NestedTranslation::Ok(FrameId(7)));
+    }
+
+    #[test]
+    fn guest_stage_protects() {
+        let (mut guest, mut host) = tables();
+        host.map(Vpn(100), FrameId(7), true);
+        let mut w = NestedWalk {
+            guest: &mut guest,
+            host: &mut host,
+        };
+        // The IOuser never granted the device access to gVA 5.
+        assert_eq!(w.translate(Vpn(5), false), NestedTranslation::GuestDenied);
+    }
+
+    #[test]
+    fn host_stage_faults_for_npf() {
+        let (mut guest, mut host) = tables();
+        guest.map(Vpn(5), FrameId(100), true);
+        let mut w = NestedWalk {
+            guest: &mut guest,
+            host: &mut host,
+        };
+        // The guest allowed the access, but the IOprovider has paged the
+        // guest-physical page out: a recoverable NPF.
+        assert_eq!(
+            w.translate(Vpn(5), false),
+            NestedTranslation::HostFault(Gpn(100))
+        );
+    }
+
+    #[test]
+    fn host_resolution_makes_walk_succeed() {
+        let (mut guest, mut host) = tables();
+        guest.map(Vpn(5), FrameId(100), true);
+        {
+            let mut w = NestedWalk {
+                guest: &mut guest,
+                host: &mut host,
+            };
+            assert!(matches!(
+                w.translate(Vpn(5), false),
+                NestedTranslation::HostFault(_)
+            ));
+        }
+        host.map(Vpn(100), FrameId(3), true);
+        let mut w = NestedWalk {
+            guest: &mut guest,
+            host: &mut host,
+        };
+        assert_eq!(
+            w.translate(Vpn(5), false),
+            NestedTranslation::Ok(FrameId(3))
+        );
+    }
+}

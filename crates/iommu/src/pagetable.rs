@@ -1,0 +1,229 @@
+//! I/O page tables.
+//!
+//! Each direct-I/O channel (IOchannel) gets a translation **domain** with
+//! its own I/O page table mapping I/O virtual addresses (IOVAs — in this
+//! reproduction, the IOuser's virtual page numbers) to physical frames.
+//!
+//! The paper's key hardware change (§4) is allowing **non-present** PTEs:
+//! the baseline Connect-IB required every PTE to be valid, which forces
+//! pinning; the modified firmware tolerates invalid entries and reports
+//! faults instead. [`TableMode`] captures both behaviours.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use memsim::types::{FrameId, PageRange, Vpn};
+
+/// Identifier of a translation domain (one per IOchannel).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DomainId(pub u32);
+
+impl std::fmt::Display for DomainId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+/// Whether the table tolerates non-present entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableMode {
+    /// Baseline hardware: every registered page must be mapped (pinned)
+    /// before DMA; a miss is a fatal programming error surfaced as
+    /// [`Translation::Error`].
+    PinnedOnly,
+    /// Paper's modified firmware: entries may be invalid; a miss is a
+    /// recoverable page fault ([`Translation::Fault`]).
+    PageFaultCapable,
+}
+
+/// One I/O page table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoPte {
+    /// Backing frame.
+    pub frame: FrameId,
+    /// Whether DMA writes are permitted.
+    pub writable: bool,
+}
+
+/// Result of a table walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Translation {
+    /// Present and permitted.
+    Ok(FrameId),
+    /// Not present: recoverable in [`TableMode::PageFaultCapable`] mode.
+    Fault,
+    /// Not present in [`TableMode::PinnedOnly`] mode, or a write through
+    /// a read-only mapping — a programming error, not a page fault.
+    Error,
+}
+
+impl Translation {
+    /// The frame, if the walk succeeded.
+    #[must_use]
+    pub fn frame(self) -> Option<FrameId> {
+        match self {
+            Translation::Ok(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// An I/O page table for one domain.
+#[derive(Debug, Clone)]
+pub struct IoPageTable {
+    domain: DomainId,
+    mode: TableMode,
+    entries: HashMap<Vpn, IoPte>,
+    walks: u64,
+    faults: u64,
+}
+
+impl IoPageTable {
+    /// Creates an empty table for `domain`.
+    #[must_use]
+    pub fn new(domain: DomainId, mode: TableMode) -> Self {
+        IoPageTable {
+            domain,
+            mode,
+            entries: HashMap::new(),
+            walks: 0,
+            faults: 0,
+        }
+    }
+
+    /// The owning domain.
+    #[must_use]
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// The table's fault tolerance mode.
+    #[must_use]
+    pub fn mode(&self) -> TableMode {
+        self.mode
+    }
+
+    /// Number of present entries.
+    #[must_use]
+    pub fn present_pages(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total walks performed.
+    #[must_use]
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Walks that found no present entry.
+    #[must_use]
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Installs (or updates) the entry for `vpn`.
+    pub fn map(&mut self, vpn: Vpn, frame: FrameId, writable: bool) {
+        self.entries.insert(vpn, IoPte { frame, writable });
+    }
+
+    /// Removes the entry for `vpn`. Returns `true` when it was present —
+    /// the paper notes invalidations of never-mapped pages cost nothing
+    /// extra (§4, Figure 3b).
+    pub fn unmap(&mut self, vpn: Vpn) -> bool {
+        self.entries.remove(&vpn).is_some()
+    }
+
+    /// Removes every entry in `range`, returning how many were present.
+    pub fn unmap_range(&mut self, range: PageRange) -> u64 {
+        range.iter().filter(|&vpn| self.unmap(vpn)).count() as u64
+    }
+
+    /// Whether `vpn` is currently mapped.
+    #[must_use]
+    pub fn is_mapped(&self, vpn: Vpn) -> bool {
+        self.entries.contains_key(&vpn)
+    }
+
+    /// The PTE for `vpn`, if present.
+    #[must_use]
+    pub fn pte(&self, vpn: Vpn) -> Option<IoPte> {
+        self.entries.get(&vpn).copied()
+    }
+
+    /// Walks the table for a DMA access.
+    pub fn translate(&mut self, vpn: Vpn, write: bool) -> Translation {
+        self.walks += 1;
+        match self.entries.get(&vpn) {
+            Some(pte) if write && !pte.writable => Translation::Error,
+            Some(pte) => Translation::Ok(pte.frame),
+            None => {
+                self.faults += 1;
+                match self.mode {
+                    TableMode::PageFaultCapable => Translation::Fault,
+                    TableMode::PinnedOnly => Translation::Error,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(mode: TableMode) -> IoPageTable {
+        IoPageTable::new(DomainId(1), mode)
+    }
+
+    #[test]
+    fn present_entries_translate() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.map(Vpn(5), FrameId(42), true);
+        assert_eq!(t.translate(Vpn(5), true), Translation::Ok(FrameId(42)));
+        assert_eq!(t.translate(Vpn(5), false), Translation::Ok(FrameId(42)));
+        assert_eq!(t.present_pages(), 1);
+    }
+
+    #[test]
+    fn missing_entry_faults_in_odp_mode() {
+        let mut t = table(TableMode::PageFaultCapable);
+        assert_eq!(t.translate(Vpn(5), false), Translation::Fault);
+        assert_eq!(t.faults(), 1);
+    }
+
+    #[test]
+    fn missing_entry_errors_in_pinned_mode() {
+        let mut t = table(TableMode::PinnedOnly);
+        assert_eq!(t.translate(Vpn(5), false), Translation::Error);
+    }
+
+    #[test]
+    fn write_through_readonly_errors() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.map(Vpn(1), FrameId(1), false);
+        assert_eq!(t.translate(Vpn(1), true), Translation::Error);
+        assert_eq!(t.translate(Vpn(1), false), Translation::Ok(FrameId(1)));
+    }
+
+    #[test]
+    fn unmap_reports_presence() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.map(Vpn(1), FrameId(1), true);
+        assert!(t.unmap(Vpn(1)));
+        assert!(!t.unmap(Vpn(1)), "second unmap finds nothing");
+        assert_eq!(t.translate(Vpn(1), false), Translation::Fault);
+    }
+
+    #[test]
+    fn unmap_range_counts_present() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.map(Vpn(1), FrameId(1), true);
+        t.map(Vpn(3), FrameId(3), true);
+        let n = t.unmap_range(PageRange::new(Vpn(0), 8));
+        assert_eq!(n, 2);
+        assert_eq!(t.present_pages(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Physical frame allocation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::FrameId;
+
+/// Allocator for physical page frames.
+///
+/// Frames are fungible in the simulation (no contents are stored), so the
+/// allocator is a free list plus accounting. Exhaustion is the signal the
+/// memory manager uses to trigger reclaim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameAllocator {
+    total: u64,
+    free: Vec<FrameId>,
+    next_unused: u64,
+    allocated: u64,
+    high_watermark: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator managing `total` frames.
+    #[must_use]
+    pub fn new(total: u64) -> Self {
+        FrameAllocator {
+            total,
+            free: Vec::new(),
+            next_unused: 0,
+            allocated: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Total frames managed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Frames currently allocated.
+    #[must_use]
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Frames currently free.
+    #[must_use]
+    pub fn free_count(&self) -> u64 {
+        self.total - self.allocated
+    }
+
+    /// The largest number of frames ever simultaneously allocated.
+    #[must_use]
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark
+    }
+
+    /// Allocates one frame, or `None` when memory is exhausted (the
+    /// caller should reclaim and retry).
+    pub fn alloc(&mut self) -> Option<FrameId> {
+        let frame = if let Some(f) = self.free.pop() {
+            f
+        } else if self.next_unused < self.total {
+            let f = FrameId(self.next_unused);
+            self.next_unused += 1;
+            f
+        } else {
+            return None;
+        };
+        self.allocated += 1;
+        self.high_watermark = self.high_watermark.max(self.allocated);
+        Some(frame)
+    }
+
+    /// Returns a frame to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocator's books would go negative (double free).
+    pub fn free(&mut self, frame: FrameId) {
+        assert!(self.allocated > 0, "double free of {frame}");
+        debug_assert!(frame.0 < self.total, "foreign frame {frame}");
+        self.allocated -= 1;
+        self.free.push(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_until_exhaustion() {
+        let mut a = FrameAllocator::new(3);
+        let f1 = a.alloc().expect("frame 1");
+        let f2 = a.alloc().expect("frame 2");
+        let f3 = a.alloc().expect("frame 3");
+        assert_ne!(f1, f2);
+        assert_ne!(f2, f3);
+        assert!(a.alloc().is_none());
+        assert_eq!(a.free_count(), 0);
+    }
+
+    #[test]
+    fn freeing_allows_reuse() {
+        let mut a = FrameAllocator::new(1);
+        let f = a.alloc().expect("frame");
+        assert!(a.alloc().is_none());
+        a.free(f);
+        assert_eq!(a.alloc(), Some(f));
+    }
+
+    #[test]
+    fn watermark_tracks_peak() {
+        let mut a = FrameAllocator::new(10);
+        let f1 = a.alloc().expect("frame");
+        let _f2 = a.alloc().expect("frame");
+        a.free(f1);
+        a.alloc().expect("frame");
+        assert_eq!(a.high_watermark(), 2);
+        assert_eq!(a.allocated(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = FrameAllocator::new(1);
+        let f = a.alloc().expect("frame");
+        a.free(f);
+        a.free(f);
+    }
+}

@@ -1,0 +1,191 @@
+//! LRU tracking of resident pages for reclaim.
+//!
+//! The tracker orders resident, *unpinned* pages by last access. Reclaim
+//! pops the globally oldest page, or — when a cgroup is over its limit —
+//! the oldest page belonging to one address space.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::types::{SpaceId, Vpn};
+
+/// Least-recently-used ordering over `(space, page)` entries.
+///
+/// `touch` promotes a page to most-recently-used; `pop_oldest` evicts.
+/// All operations are `O(log n)`.
+#[derive(Debug, Default)]
+pub struct LruTracker {
+    tick: u64,
+    global: BTreeMap<u64, (SpaceId, Vpn)>,
+    by_space: HashMap<SpaceId, BTreeMap<u64, Vpn>>,
+    entries: HashMap<(SpaceId, Vpn), u64>,
+}
+
+impl LruTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        LruTracker::default()
+    }
+
+    /// Number of tracked pages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of tracked pages belonging to `space`.
+    #[must_use]
+    pub fn len_in(&self, space: SpaceId) -> usize {
+        self.by_space.get(&space).map_or(0, BTreeMap::len)
+    }
+
+    /// Inserts a page as most-recently-used, or promotes it if present.
+    pub fn touch(&mut self, space: SpaceId, vpn: Vpn) {
+        self.tick += 1;
+        let t = self.tick;
+        self.touch_tick(space, vpn, t);
+    }
+
+    /// Like [`LruTracker::touch`] with a caller-supplied recency tick —
+    /// lets several trackers share one clock so their relative ages are
+    /// comparable (the unified LRU of mapped memory and page cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is not newer than every tick already stored.
+    pub fn touch_tick(&mut self, space: SpaceId, vpn: Vpn, tick: u64) {
+        self.remove(space, vpn);
+        assert!(
+            self.global.last_key_value().is_none_or(|(&t, _)| t < tick),
+            "recency ticks must increase"
+        );
+        self.tick = self.tick.max(tick);
+        self.global.insert(tick, (space, vpn));
+        self.by_space.entry(space).or_default().insert(tick, vpn);
+        self.entries.insert((space, vpn), tick);
+    }
+
+    /// The recency tick of the oldest tracked page, if any.
+    #[must_use]
+    pub fn oldest_tick(&self) -> Option<u64> {
+        self.global.keys().next().copied()
+    }
+
+    /// Removes a page from tracking (it was evicted, pinned, or unmapped).
+    /// Returns `true` when the page was tracked.
+    pub fn remove(&mut self, space: SpaceId, vpn: Vpn) -> bool {
+        if let Some(t) = self.entries.remove(&(space, vpn)) {
+            self.global.remove(&t);
+            if let Some(m) = self.by_space.get_mut(&space) {
+                m.remove(&t);
+                if m.is_empty() {
+                    self.by_space.remove(&space);
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` when the page is tracked.
+    #[must_use]
+    pub fn contains(&self, space: SpaceId, vpn: Vpn) -> bool {
+        self.entries.contains_key(&(space, vpn))
+    }
+
+    /// Removes and returns the least-recently-used page across all spaces.
+    pub fn pop_oldest(&mut self) -> Option<(SpaceId, Vpn)> {
+        let (&t, &(space, vpn)) = self.global.iter().next()?;
+        self.global.remove(&t);
+        self.entries.remove(&(space, vpn));
+        if let Some(m) = self.by_space.get_mut(&space) {
+            m.remove(&t);
+            if m.is_empty() {
+                self.by_space.remove(&space);
+            }
+        }
+        Some((space, vpn))
+    }
+
+    /// The recency tick of the oldest page of one space, if any.
+    #[must_use]
+    pub fn oldest_tick_in(&self, space: SpaceId) -> Option<u64> {
+        self.by_space
+            .get(&space)
+            .and_then(|m| m.keys().next().copied())
+    }
+
+    /// Removes and returns the least-recently-used page of one space.
+    pub fn pop_oldest_in(&mut self, space: SpaceId) -> Option<Vpn> {
+        let m = self.by_space.get_mut(&space)?;
+        let (&t, &vpn) = m.iter().next()?;
+        m.remove(&t);
+        if m.is_empty() {
+            self.by_space.remove(&space);
+        }
+        self.global.remove(&t);
+        self.entries.remove(&(space, vpn));
+        Some(vpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S0: SpaceId = SpaceId(0);
+    const S1: SpaceId = SpaceId(1);
+
+    #[test]
+    fn evicts_in_access_order() {
+        let mut lru = LruTracker::new();
+        lru.touch(S0, Vpn(1));
+        lru.touch(S0, Vpn(2));
+        lru.touch(S0, Vpn(3));
+        assert_eq!(lru.pop_oldest(), Some((S0, Vpn(1))));
+        assert_eq!(lru.pop_oldest(), Some((S0, Vpn(2))));
+        assert_eq!(lru.pop_oldest(), Some((S0, Vpn(3))));
+        assert_eq!(lru.pop_oldest(), None);
+    }
+
+    #[test]
+    fn touch_promotes() {
+        let mut lru = LruTracker::new();
+        lru.touch(S0, Vpn(1));
+        lru.touch(S0, Vpn(2));
+        lru.touch(S0, Vpn(1)); // promote 1 past 2
+        assert_eq!(lru.pop_oldest(), Some((S0, Vpn(2))));
+        assert_eq!(lru.pop_oldest(), Some((S0, Vpn(1))));
+    }
+
+    #[test]
+    fn per_space_eviction() {
+        let mut lru = LruTracker::new();
+        lru.touch(S0, Vpn(1));
+        lru.touch(S1, Vpn(9));
+        lru.touch(S0, Vpn(2));
+        assert_eq!(lru.len_in(S0), 2);
+        assert_eq!(lru.pop_oldest_in(S1), Some(Vpn(9)));
+        assert_eq!(lru.pop_oldest_in(S1), None);
+        // Global ordering is unaffected for the remaining entries.
+        assert_eq!(lru.pop_oldest(), Some((S0, Vpn(1))));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn remove_untracks() {
+        let mut lru = LruTracker::new();
+        lru.touch(S0, Vpn(1));
+        assert!(lru.contains(S0, Vpn(1)));
+        assert!(lru.remove(S0, Vpn(1)));
+        assert!(!lru.remove(S0, Vpn(1)));
+        assert!(lru.is_empty());
+    }
+}

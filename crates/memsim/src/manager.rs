@@ -1,0 +1,1297 @@
+//! The host memory manager: demand paging, reclaim, pinning, cgroups.
+//!
+//! [`MemoryManager`] is the OS side of Figure 2's NPF flow: it owns the
+//! frame pool, resolves page faults (allocating, zero-filling, swapping
+//! in, or reading through the page cache), reclaims memory under
+//! pressure, and reports **invalidations** — pages it took away — so the
+//! NPF driver can purge IOMMU mappings (the MMU-notifier path).
+//!
+//! The manager is sans-IO: every operation returns the simulated time it
+//! cost; the caller (testbed event loop) advances the clock.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use simcore::stats::Counters;
+use simcore::time::SimDuration;
+use simcore::units::ByteSize;
+
+use crate::frame::FrameAllocator;
+use crate::lru::LruTracker;
+use crate::pagecache::{CacheKey, PageCache};
+use crate::space::{AddressSpace, Backing, PageState, SpaceError};
+use crate::swap::{DiskConfig, SwapDevice};
+use crate::types::{FileId, FrameId, PageRange, SpaceId, Vpn, PAGE_SIZE};
+
+/// A memory-control group: a set of address spaces sharing a resident
+/// limit (the paper constrains memcached pairs with Linux cgroups, §6.1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CgroupId(pub u32);
+
+/// Configuration of the memory subsystem.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Physical memory available to the host.
+    pub total_memory: ByteSize,
+    /// Disk model for swap and page-cache misses.
+    pub disk: DiskConfig,
+    /// Swap space.
+    pub swap_capacity: ByteSize,
+    /// Fixed software cost of resolving any fault (trap + bookkeeping).
+    pub fault_sw_cost: SimDuration,
+    /// Extra software cost per page resolved (translation, zeroing); the
+    /// paper measures ~115 ns/page of OS work for large messages (§4).
+    pub per_page_sw_cost: SimDuration,
+    /// Per-space mlock limit (`RLIMIT_MEMLOCK`); `None` disables the
+    /// check (privileged IOproviders).
+    pub rlimit_memlock: Option<ByteSize>,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            total_memory: ByteSize::gib(8),
+            disk: DiskConfig::hard_drive(),
+            swap_capacity: ByteSize::gib(16),
+            fault_sw_cost: SimDuration::from_micros(1),
+            per_page_sw_cost: SimDuration::from_nanos(115),
+            rlimit_memlock: None,
+        }
+    }
+}
+
+/// The class of a resolved fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Resolved without disk I/O (zero-fill or page-cache hit).
+    Minor,
+    /// Required disk I/O (swap-in or page-cache miss).
+    Major,
+}
+
+/// A page mapping the OS revoked; consumers with I/O mappings (the NPF
+/// driver) must invalidate them before the frame is reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Invalidation {
+    /// The space that lost the page.
+    pub space: SpaceId,
+    /// The page that went away.
+    pub vpn: Vpn,
+}
+
+/// Result of resolving one fault (or touching one page).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultResolution {
+    /// Minor or major.
+    pub kind: FaultKind,
+    /// The frame now backing the page.
+    pub frame: FrameId,
+    /// Total simulated cost (software + any disk I/O, including eviction
+    /// writeback performed to make room).
+    pub cost: SimDuration,
+    /// The disk-I/O share of `cost` (swap-in / page-cache miss). NPF
+    /// drivers charge this on top of their own software model rather
+    /// than double-counting the CPU components.
+    pub io_cost: SimDuration,
+    /// Pages revoked to make room.
+    pub invalidations: Vec<Invalidation>,
+}
+
+/// Result of touching a page from the CPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// The fault that was resolved, or `None` when the page was resident.
+    pub fault: Option<FaultResolution>,
+}
+
+impl Access {
+    /// The time the access cost (zero for resident pages).
+    #[must_use]
+    pub fn cost(&self) -> SimDuration {
+        self.fault.as_ref().map_or(SimDuration::ZERO, |f| f.cost)
+    }
+
+    /// Invalidations produced while making room.
+    #[must_use]
+    pub fn invalidations(&self) -> &[Invalidation] {
+        self.fault.as_ref().map_or(&[], |f| &f.invalidations)
+    }
+}
+
+/// Result of pinning a range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinOutcome {
+    /// Total cost: faulting in non-resident pages plus pin bookkeeping.
+    pub cost: SimDuration,
+    /// Number of pages that had to be faulted in.
+    pub faulted_pages: u64,
+    /// Invalidations produced while making room.
+    pub invalidations: Vec<Invalidation>,
+}
+
+/// Errors from memory-management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Unknown address space.
+    NoSuchSpace(SpaceId),
+    /// Structural error (unmapped page, overlapping mmap).
+    Space(SpaceError),
+    /// All memory is pinned or otherwise unreclaimable.
+    OutOfMemory,
+    /// The swap device is full.
+    SwapFull,
+    /// The per-space `RLIMIT_MEMLOCK` would be exceeded.
+    MlockLimit {
+        /// The limit in force.
+        limit: ByteSize,
+        /// The pinned size the request would have produced.
+        requested: ByteSize,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::NoSuchSpace(id) => write!(f, "no such address space {id}"),
+            MemError::Space(e) => write!(f, "{e}"),
+            MemError::OutOfMemory => write!(f, "out of memory: nothing reclaimable"),
+            MemError::SwapFull => write!(f, "swap space exhausted"),
+            MemError::MlockLimit { limit, requested } => {
+                write!(f, "mlock limit {limit} exceeded (requested {requested})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl From<SpaceError> for MemError {
+    fn from(e: SpaceError) -> Self {
+        MemError::Space(e)
+    }
+}
+
+/// The host memory subsystem.
+#[derive(Debug)]
+pub struct MemoryManager {
+    config: MemConfig,
+    frames: FrameAllocator,
+    spaces: HashMap<SpaceId, AddressSpace>,
+    space_group: HashMap<SpaceId, CgroupId>,
+    group_limit: HashMap<CgroupId, u64>, // pages
+    group_resident: HashMap<CgroupId, u64>,
+    group_members: HashMap<CgroupId, Vec<SpaceId>>,
+    swap: SwapDevice,
+    cache: PageCache,
+    lru: LruTracker,
+    /// Reference counts of frames shared by COW (absent = 1 owner).
+    frame_refs: HashMap<FrameId, u32>,
+    /// Shared recency clock across mapped memory and the page cache
+    /// (their relative ages decide reclaim order, as in Linux).
+    clock: u64,
+    counters: Counters,
+    next_space: u32,
+    next_group: u32,
+}
+
+impl MemoryManager {
+    fn next_tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Creates a manager over `config.total_memory` of physical memory.
+    #[must_use]
+    pub fn new(config: MemConfig) -> Self {
+        let total_frames = config.total_memory.bytes() / PAGE_SIZE;
+        let swap_slots = config.swap_capacity.bytes() / PAGE_SIZE;
+        MemoryManager {
+            frames: FrameAllocator::new(total_frames),
+            spaces: HashMap::new(),
+            space_group: HashMap::new(),
+            group_limit: HashMap::new(),
+            group_resident: HashMap::new(),
+            group_members: HashMap::new(),
+            swap: SwapDevice::new(config.disk, swap_slots),
+            cache: PageCache::new(),
+            lru: LruTracker::new(),
+            frame_refs: HashMap::new(),
+            clock: 0,
+            counters: Counters::new(),
+            next_space: 0,
+            next_group: 0,
+            config,
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Statistics counters (`minor_faults`, `major_faults`, `evictions`,
+    /// `swap_outs`, `cache_drops`).
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Free physical frames.
+    #[must_use]
+    pub fn free_frames(&self) -> u64 {
+        self.frames.free_count()
+    }
+
+    /// Total physical frames.
+    #[must_use]
+    pub fn total_frames(&self) -> u64 {
+        self.frames.total()
+    }
+
+    /// Pages held by the page cache.
+    #[must_use]
+    pub fn cache_pages(&self) -> u64 {
+        self.cache.len() as u64
+    }
+
+    /// Page cache hit ratio so far.
+    #[must_use]
+    pub fn cache_hit_ratio(&self) -> f64 {
+        self.cache.hit_ratio()
+    }
+
+    /// Creates a new, unconstrained address space.
+    pub fn create_space(&mut self) -> SpaceId {
+        let id = SpaceId(self.next_space);
+        self.next_space += 1;
+        self.spaces.insert(id, AddressSpace::new(id));
+        id
+    }
+
+    /// Creates a memory cgroup with a resident-set limit.
+    pub fn create_cgroup(&mut self, limit: ByteSize) -> CgroupId {
+        let id = CgroupId(self.next_group);
+        self.next_group += 1;
+        self.group_limit.insert(id, limit.bytes() / PAGE_SIZE);
+        self.group_resident.insert(id, 0);
+        self.group_members.insert(id, Vec::new());
+        id
+    }
+
+    /// Puts a space into a cgroup (at creation time, before it has
+    /// resident pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space already has resident pages or the group does
+    /// not exist.
+    pub fn attach_to_cgroup(&mut self, space: SpaceId, group: CgroupId) {
+        let s = self.spaces.get(&space).expect("attach of unknown space");
+        assert_eq!(s.resident_pages(), 0, "attach must precede residency");
+        assert!(self.group_limit.contains_key(&group), "unknown cgroup");
+        self.space_group.insert(space, group);
+        self.group_members
+            .get_mut(&group)
+            .expect("group exists")
+            .push(space);
+    }
+
+    /// Direct read-only view of a space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchSpace`] for unknown ids.
+    pub fn space(&self, id: SpaceId) -> Result<&AddressSpace, MemError> {
+        self.spaces.get(&id).ok_or(MemError::NoSuchSpace(id))
+    }
+
+    fn space_mut(&mut self, id: SpaceId) -> Result<&mut AddressSpace, MemError> {
+        self.spaces.get_mut(&id).ok_or(MemError::NoSuchSpace(id))
+    }
+
+    /// Maps `size` of `backing` into `space`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchSpace`] for unknown ids.
+    pub fn mmap(
+        &mut self,
+        space: SpaceId,
+        size: ByteSize,
+        backing: Backing,
+    ) -> Result<PageRange, MemError> {
+        Ok(self.space_mut(space)?.mmap(size.pages(), backing))
+    }
+
+    /// Maps `range` at a fixed location (the testbeds use well-known
+    /// buffer addresses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchSpace`] or a structural overlap error.
+    pub fn mmap_fixed(
+        &mut self,
+        space: SpaceId,
+        range: PageRange,
+        backing: Backing,
+    ) -> Result<(), MemError> {
+        self.space_mut(space)?.mmap_fixed(range, backing)?;
+        Ok(())
+    }
+
+    /// Unmaps `range`, freeing its frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural errors from the space.
+    pub fn munmap(&mut self, space: SpaceId, range: PageRange) -> Result<(), MemError> {
+        let freed = self.space_mut(space)?.munmap(range)?;
+        let group = self.space_group.get(&space).copied();
+        for (vpn, frame) in freed {
+            self.lru.remove(space, vpn);
+            self.release_frame(frame);
+            if let Some(g) = group {
+                *self.group_resident.get_mut(&g).expect("group exists") -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Touches one page from the CPU, resolving a fault if needed.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors, plus [`MemError::OutOfMemory`]/[`MemError::SwapFull`]
+    /// when reclaim cannot make room.
+    pub fn touch(&mut self, space: SpaceId, vpn: Vpn, write: bool) -> Result<Access, MemError> {
+        {
+            let s = self.space(space)?;
+            if s.is_resident(vpn) {
+                let pte = s.pte(vpn)?;
+                if write && pte.cow {
+                    let fault = self.break_cow(space, vpn)?;
+                    return Ok(Access { fault: Some(fault) });
+                }
+                let s = self.space_mut(space)?;
+                s.mark_access(vpn, write);
+                if !s.pte(vpn)?.is_pinned() {
+                    let t = self.next_tick();
+                    self.lru.touch_tick(space, vpn, t);
+                }
+                return Ok(Access { fault: None });
+            }
+        }
+        let fault = self.resolve_fault(space, vpn, write)?;
+        Ok(Access { fault: Some(fault) })
+    }
+
+    /// Forks `parent` into a new space: same mappings, resident pages
+    /// shared copy-on-write (Table 1's canonical optimization; §5 names
+    /// COW forks as a cause of cold sequences for direct I/O).
+    ///
+    /// Returns the child id plus the invalidations the fork produced:
+    /// every formerly-writable parent page is now write-protected, so
+    /// any I/O mapping of it is stale (this is the MMU-notifier storm a
+    /// real fork triggers, and why §5 lists forking as a cold-sequence
+    /// cause).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchSpace`] for unknown parents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent has pinned or swapped-out pages.
+    pub fn fork_space(
+        &mut self,
+        parent: SpaceId,
+    ) -> Result<(SpaceId, Vec<Invalidation>), MemError> {
+        if !self.spaces.contains_key(&parent) {
+            return Err(MemError::NoSuchSpace(parent));
+        }
+        let child_id = SpaceId(self.next_space);
+        self.next_space += 1;
+        let child = self
+            .spaces
+            .get_mut(&parent)
+            .expect("checked above")
+            .fork_into(child_id);
+        // Account frame sharing, track the child's pages for reclaim,
+        // and collect the parent-side invalidations.
+        let shared: Vec<(Vpn, FrameId)> = child.resident_iter().collect();
+        let mut invalidations = Vec::with_capacity(shared.len());
+        for (vpn, frame) in shared {
+            *self.frame_refs.entry(frame).or_insert(1) += 1;
+            let t = self.next_tick();
+            self.lru.touch_tick(child_id, vpn, t);
+            invalidations.push(Invalidation { space: parent, vpn });
+        }
+        self.spaces.insert(child_id, child);
+        self.counters.bump("forks");
+        Ok((child_id, invalidations))
+    }
+
+    /// Breaks copy-on-write sharing for a written page: the writer gets
+    /// a private copy (or the page outright if it is the last sharer).
+    /// The old mapping must be invalidated in any IOMMU.
+    fn break_cow(&mut self, space: SpaceId, vpn: Vpn) -> Result<FaultResolution, MemError> {
+        let old = self
+            .space(space)?
+            .frame_of(vpn)
+            .expect("COW break on resident page");
+        let refs = self.frame_refs.get(&old).copied().unwrap_or(1);
+        self.counters.bump("cow_breaks");
+        // The writer's translation changes either way: existing I/O
+        // mappings of this page are stale.
+        let mut invalidations = vec![Invalidation { space, vpn }];
+        let mut cost = self.config.fault_sw_cost;
+        let frame = if refs > 1 {
+            let (new, alloc_cost, inv) = self.alloc_frame()?;
+            cost += alloc_cost;
+            invalidations.extend(inv);
+            // Page copy: ~4 KiB at memory bandwidth.
+            cost += SimDuration::from_nanos(800);
+            self.release_frame(old);
+            self.spaces
+                .get_mut(&space)
+                .expect("space checked")
+                .replace_frame(vpn, new);
+            new
+        } else {
+            self.spaces
+                .get_mut(&space)
+                .expect("space checked")
+                .clear_cow(vpn, true);
+            old
+        };
+        let t = self.next_tick();
+        self.lru.touch_tick(space, vpn, t);
+        Ok(FaultResolution {
+            kind: FaultKind::Minor,
+            frame,
+            cost,
+            io_cost: SimDuration::ZERO,
+            invalidations,
+        })
+    }
+
+    /// Touches every page of a byte range, summing costs. Convenience
+    /// for workloads that walk buffers.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryManager::touch`].
+    pub fn touch_range(
+        &mut self,
+        space: SpaceId,
+        range: PageRange,
+        write: bool,
+    ) -> Result<(SimDuration, Vec<Invalidation>), MemError> {
+        let mut cost = SimDuration::ZERO;
+        let mut inv = Vec::new();
+        for vpn in range.iter() {
+            let a = self.touch(space, vpn, write)?;
+            cost += a.cost();
+            inv.extend_from_slice(a.invalidations());
+        }
+        Ok((cost, inv))
+    }
+
+    /// Resolves a fault on `vpn`, making the page resident.
+    ///
+    /// This is the entry point the NPF driver uses on behalf of the NIC
+    /// (step 3 of Figure 2): it performs allocation, zero-fill, swap-in,
+    /// or page-cache fill, reclaiming memory if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors, plus [`MemError::OutOfMemory`]/[`MemError::SwapFull`]
+    /// when reclaim cannot make room.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a page that is already resident.
+    pub fn resolve_fault(
+        &mut self,
+        space: SpaceId,
+        vpn: Vpn,
+        write: bool,
+    ) -> Result<FaultResolution, MemError> {
+        let pte = self.space(space)?.pte(vpn)?;
+        assert!(
+            pte.frame().is_none(),
+            "resolve_fault on resident page {vpn}"
+        );
+        let backing = self.space(space)?.backing_of(vpn)?;
+
+        let mut cost = self.config.fault_sw_cost + self.config.per_page_sw_cost;
+        let mut io_cost = SimDuration::ZERO;
+        let mut invalidations = Vec::new();
+
+        // Respect the cgroup resident limit before taking a new frame.
+        let group = self.space_group.get(&space).copied();
+        if let Some(g) = group {
+            let limit = self.group_limit[&g];
+            while self.group_resident[&g] >= limit {
+                let (inv, c) = self.evict_from_group(g)?;
+                cost += c;
+                invalidations.push(inv);
+            }
+        }
+
+        let (frame, alloc_cost, mut alloc_inv) = self.alloc_frame()?;
+        cost += alloc_cost;
+        invalidations.append(&mut alloc_inv);
+
+        // Fill the page according to its backing.
+        let kind = match (backing, pte.state) {
+            (Backing::Anonymous, PageState::SwappedOut { slot }) => {
+                let io = self.swap.swap_in(slot);
+                cost += io;
+                io_cost += io;
+                self.counters.bump("major_faults");
+                FaultKind::Major
+            }
+            (Backing::Anonymous, _) => {
+                // Zero-fill (delayed allocation). Charged in the per-page
+                // software cost.
+                self.counters.bump("minor_faults");
+                FaultKind::Minor
+            }
+            (Backing::File { .. }, _) => {
+                let (file, page) = self
+                    .space(space)?
+                    .file_page_of(vpn)
+                    .expect("file backing has file page");
+                let key = CacheKey { file, page };
+                let t = self.next_tick();
+                if self.cache.lookup(key, t).is_some() {
+                    self.counters.bump("minor_faults");
+                    FaultKind::Minor
+                } else {
+                    // Read through the cache: the newly allocated frame
+                    // holds the data and is *also* accounted to the cache
+                    // conceptually; for simplicity the mapped copy is the
+                    // only copy (no double caching).
+                    let io = self.config.disk.io_time(PAGE_SIZE);
+                    cost += io;
+                    io_cost += io;
+                    self.counters.bump("major_faults");
+                    FaultKind::Major
+                }
+            }
+        };
+
+        let s = self.spaces.get_mut(&space).expect("space checked");
+        s.install(vpn, frame, write);
+        let t = self.next_tick();
+        self.lru.touch_tick(space, vpn, t);
+        if let Some(g) = group {
+            *self.group_resident.get_mut(&g).expect("group exists") += 1;
+        }
+
+        Ok(FaultResolution {
+            kind,
+            frame,
+            cost,
+            io_cost,
+            invalidations,
+        })
+    }
+
+    /// Drops one reference to `frame`, freeing it when this was the
+    /// last.
+    fn release_frame(&mut self, frame: FrameId) {
+        match self.frame_refs.get_mut(&frame) {
+            Some(refs) if *refs > 2 => *refs -= 1,
+            Some(_) => {
+                self.frame_refs.remove(&frame);
+            }
+            None => self.frames.free(frame),
+        }
+    }
+
+    /// Allocates a frame, reclaiming if the pool is exhausted.
+    fn alloc_frame(&mut self) -> Result<(FrameId, SimDuration, Vec<Invalidation>), MemError> {
+        if let Some(f) = self.frames.alloc() {
+            return Ok((f, SimDuration::ZERO, Vec::new()));
+        }
+        let mut cost = SimDuration::ZERO;
+        let mut invalidations = Vec::new();
+        loop {
+            let (inv, c) = self.reclaim_one()?;
+            cost += c;
+            if let Some(i) = inv {
+                invalidations.push(i);
+            }
+            if let Some(f) = self.frames.alloc() {
+                return Ok((f, cost, invalidations));
+            }
+        }
+    }
+
+    /// Reclaims one page: whichever of the page cache and the mapped
+    /// LRU holds the globally least-recently-used page loses it (one
+    /// unified LRU, as in Linux).
+    fn reclaim_one(&mut self) -> Result<(Option<Invalidation>, SimDuration), MemError> {
+        let cache_age = self.cache.oldest_tick();
+        let mapped_age = self.lru.oldest_tick();
+        let take_cache = match (cache_age, mapped_age) {
+            (Some(c), Some(m)) => c < m,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return Err(MemError::OutOfMemory),
+        };
+        if take_cache {
+            let frame = self.cache.evict_oldest().expect("age implies entry");
+            self.frames.free(frame);
+            self.counters.bump("cache_drops");
+            return Ok((None, SimDuration::ZERO));
+        }
+        let (space, vpn) = self.lru.pop_oldest().expect("age implies entry");
+        let cost = self.evict_mapped(space, vpn)?;
+        Ok((Some(Invalidation { space, vpn }), cost))
+    }
+
+    /// Evicts the LRU page of a cgroup: the least recently used page
+    /// across all member spaces.
+    fn evict_from_group(
+        &mut self,
+        group: CgroupId,
+    ) -> Result<(Invalidation, SimDuration), MemError> {
+        let members = self.group_members.get(&group).expect("group exists");
+        let victim_space = members
+            .iter()
+            .filter_map(|&m| self.lru.oldest_tick_in(m).map(|t| (t, m)))
+            .min()
+            .map(|(_, m)| m);
+        let Some(space) = victim_space else {
+            return Err(MemError::OutOfMemory);
+        };
+        let vpn = self.lru.pop_oldest_in(space).expect("tick implies entry");
+        let cost = self.evict_mapped(space, vpn)?;
+        Ok((Invalidation { space, vpn }, cost))
+    }
+
+    /// Performs the eviction of one resident mapped page.
+    ///
+    /// Dirty-page writeback is asynchronous (kswapd writes back ahead of
+    /// reclaim), so only a small CPU cost lands on the allocating path;
+    /// the disk time of the write is not charged to the faulting task.
+    fn evict_mapped(&mut self, space: SpaceId, vpn: Vpn) -> Result<SimDuration, MemError> {
+        let s = self.spaces.get_mut(&space).expect("lru entry has space");
+        let backing = s.backing_of(vpn)?;
+        let is_anon = matches!(backing, Backing::Anonymous);
+        let pte = s.pte(vpn)?;
+        let mut cost = SimDuration::ZERO;
+        let shared = pte
+            .frame()
+            .is_some_and(|f| self.frame_refs.get(&f).copied().unwrap_or(1) > 1);
+        let (frame, _dirty) = if is_anon && pte.dirty && !shared {
+            let Some((slot, _io)) = self.swap.swap_out() else {
+                return Err(MemError::SwapFull);
+            };
+            cost += SimDuration::from_micros(3); // writeback queueing CPU
+            self.counters.bump("swap_outs");
+            s.evict(vpn, Some(slot))
+        } else {
+            // Clean anonymous pages are all-zero: drop and re-zero later.
+            // Clean file pages re-read from the cache/disk. A COW-shared
+            // page just drops this mapping; the frame lives on in the
+            // other sharers (approximation: a re-touch here is a minor
+            // zero-fill rather than a content-preserving re-share).
+            s.evict(vpn, None)
+        };
+        self.release_frame(frame);
+        self.counters.bump("evictions");
+        if let Some(&g) = self.space_group.get(&space) {
+            *self.group_resident.get_mut(&g).expect("group exists") -= 1;
+        }
+        Ok(cost)
+    }
+
+    /// Pins a range (mlock / DMA registration): faults pages in and
+    /// excludes them from reclaim.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::MlockLimit`] when `RLIMIT_MEMLOCK` would be exceeded;
+    /// otherwise as for [`MemoryManager::resolve_fault`].
+    pub fn pin_range(&mut self, space: SpaceId, range: PageRange) -> Result<PinOutcome, MemError> {
+        if let Some(limit) = self.config.rlimit_memlock {
+            let current = self.space(space)?.pinned_pages() * PAGE_SIZE;
+            let requested = ByteSize::bytes_exact(current + range.pages * PAGE_SIZE);
+            if requested.bytes() > limit.bytes() {
+                return Err(MemError::MlockLimit { limit, requested });
+            }
+        }
+        let mut cost = SimDuration::ZERO;
+        let mut faulted = 0;
+        let mut invalidations = Vec::new();
+        for vpn in range.iter() {
+            if !self.space(space)?.is_resident(vpn) {
+                let f = self.resolve_fault(space, vpn, false)?;
+                cost += f.cost;
+                invalidations.extend(f.invalidations);
+                faulted += 1;
+            }
+            let s = self.space_mut(space)?;
+            if s.pin(vpn) {
+                self.lru.remove(space, vpn);
+            }
+        }
+        Ok(PinOutcome {
+            cost,
+            faulted_pages: faulted,
+            invalidations,
+        })
+    }
+
+    /// Unpins a range, making its pages reclaimable again.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors for unmapped pages.
+    pub fn unpin_range(&mut self, space: SpaceId, range: PageRange) -> Result<(), MemError> {
+        for vpn in range.iter() {
+            let s = self.space_mut(space)?;
+            if s.pte(vpn)?.is_pinned() && s.unpin(vpn) {
+                let t = self.next_tick();
+                self.lru.touch_tick(space, vpn, t);
+            }
+        }
+        Ok(())
+    }
+
+    /// Resident bytes of a space (its RSS).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NoSuchSpace`] for unknown ids.
+    pub fn resident_bytes(&self, space: SpaceId) -> Result<ByteSize, MemError> {
+        Ok(ByteSize::bytes_exact(
+            self.space(space)?.resident_pages() * PAGE_SIZE,
+        ))
+    }
+
+    /// Pinned bytes of a space.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NoSuchSpace`] for unknown ids.
+    pub fn pinned_bytes(&self, space: SpaceId) -> Result<ByteSize, MemError> {
+        Ok(ByteSize::bytes_exact(
+            self.space(space)?.pinned_pages() * PAGE_SIZE,
+        ))
+    }
+
+    /// Reads a file page through the page cache without mapping it
+    /// (buffered I/O for the storage target). Returns whether it hit and
+    /// the cost.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] when no frame can be found for a miss.
+    pub fn read_file_page(
+        &mut self,
+        file: FileId,
+        page: u64,
+    ) -> Result<crate::pagecache::CachedRead, MemError> {
+        let key = CacheKey { file, page };
+        let t = self.next_tick();
+        if self.cache.lookup(key, t).is_some() {
+            return Ok(crate::pagecache::CachedRead {
+                hit: true,
+                cost: SimDuration::ZERO,
+            });
+        }
+        let (frame, alloc_cost, _inv) = self.alloc_frame()?;
+        let t = self.next_tick();
+        self.cache.insert(key, frame, t);
+        let cost = alloc_cost + self.config.disk.io_time(PAGE_SIZE);
+        Ok(crate::pagecache::CachedRead { hit: false, cost })
+    }
+
+    /// Reads `pages` consecutive file pages, aggregating disk time. One
+    /// seek is charged per run of misses rather than per page, modelling
+    /// sequential readahead of a block.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryManager::read_file_page`].
+    pub fn read_file_block(
+        &mut self,
+        file: FileId,
+        first_page: u64,
+        pages: u64,
+    ) -> Result<crate::pagecache::CachedRead, MemError> {
+        let mut any_miss = false;
+        let mut miss_pages = 0u64;
+        for p in first_page..first_page + pages {
+            let key = CacheKey { file, page: p };
+            let t = self.next_tick();
+            if self.cache.lookup(key, t).is_none() {
+                let (frame, _c, _i) = self.alloc_frame()?;
+                let t = self.next_tick();
+                self.cache.insert(key, frame, t);
+                any_miss = true;
+                miss_pages += 1;
+            }
+        }
+        let cost = if any_miss {
+            self.config.disk.access_latency
+                + self
+                    .config
+                    .disk
+                    .bandwidth
+                    .transfer_time(miss_pages * PAGE_SIZE)
+        } else {
+            SimDuration::ZERO
+        };
+        Ok(crate::pagecache::CachedRead {
+            hit: !any_miss,
+            cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_manager(mib: u64) -> MemoryManager {
+        MemoryManager::new(MemConfig {
+            total_memory: ByteSize::mib(mib),
+            ..MemConfig::default()
+        })
+    }
+
+    #[test]
+    fn first_touch_is_minor_fault() {
+        let mut mm = small_manager(4);
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(8), Backing::Anonymous).unwrap();
+        let a = mm.touch(s, r.start, true).unwrap();
+        let f = a.fault.expect("fault on first touch");
+        assert_eq!(f.kind, FaultKind::Minor);
+        assert!(f.cost > SimDuration::ZERO);
+        // Second touch is free.
+        let a2 = mm.touch(s, r.start, false).unwrap();
+        assert!(a2.fault.is_none());
+        assert_eq!(mm.counters().get("minor_faults"), 1);
+    }
+
+    #[test]
+    fn pressure_evicts_and_invalidates() {
+        // 16 KiB of memory = 4 frames; map 8 pages and walk them twice.
+        let mut mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(16),
+            ..MemConfig::default()
+        });
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(32), Backing::Anonymous).unwrap();
+        let mut invalidations = 0;
+        for vpn in r.iter() {
+            let a = mm.touch(s, vpn, true).unwrap();
+            invalidations += a.invalidations().len();
+        }
+        assert!(invalidations >= 4, "older pages must be revoked");
+        assert!(mm.counters().get("swap_outs") > 0, "dirty pages swap out");
+        // Reaccessing an evicted page is a major fault.
+        let a = mm.touch(s, r.start, false).unwrap();
+        assert_eq!(a.fault.expect("major fault").kind, FaultKind::Major);
+    }
+
+    #[test]
+    fn clean_anonymous_pages_do_not_swap() {
+        let mut mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(8), // 2 frames
+            ..MemConfig::default()
+        });
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(16), Backing::Anonymous).unwrap();
+        for vpn in r.iter() {
+            mm.touch(s, vpn, false).unwrap(); // read-only: clean
+        }
+        assert_eq!(mm.counters().get("swap_outs"), 0);
+        // Re-touching a dropped clean page is again a minor zero-fill.
+        let a = mm.touch(s, r.start, false).unwrap();
+        assert_eq!(a.fault.expect("fault").kind, FaultKind::Minor);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let mut mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(16), // 4 frames
+            ..MemConfig::default()
+        });
+        let s = mm.create_space();
+        let pinned = mm.mmap(s, ByteSize::kib(8), Backing::Anonymous).unwrap();
+        mm.pin_range(s, pinned).unwrap();
+        let big = mm.mmap(s, ByteSize::kib(32), Backing::Anonymous).unwrap();
+        for vpn in big.iter() {
+            mm.touch(s, vpn, true).unwrap();
+        }
+        for vpn in pinned.iter() {
+            assert!(mm.space(s).unwrap().is_resident(vpn), "pinned page evicted");
+        }
+    }
+
+    #[test]
+    fn everything_pinned_is_oom() {
+        let mut mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(8), // 2 frames
+            ..MemConfig::default()
+        });
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(8), Backing::Anonymous).unwrap();
+        mm.pin_range(s, r).unwrap();
+        let more = mm.mmap(s, ByteSize::kib(4), Backing::Anonymous).unwrap();
+        assert_eq!(mm.touch(s, more.start, true), Err(MemError::OutOfMemory));
+    }
+
+    #[test]
+    fn mlock_limit_enforced() {
+        let mut mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::mib(1),
+            rlimit_memlock: Some(ByteSize::kib(64)), // the Linux default
+            ..MemConfig::default()
+        });
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(128), Backing::Anonymous).unwrap();
+        let err = mm.pin_range(s, r).unwrap_err();
+        assert!(matches!(err, MemError::MlockLimit { .. }));
+        // Within the limit succeeds.
+        let small = PageRange::new(r.start, 16);
+        assert!(mm.pin_range(s, small).is_ok());
+    }
+
+    #[test]
+    fn cgroup_limit_constrains_residency() {
+        let mut mm = small_manager(64);
+        let g = mm.create_cgroup(ByteSize::kib(16)); // 4 pages
+        let s = mm.create_space();
+        mm.attach_to_cgroup(s, g);
+        let r = mm.mmap(s, ByteSize::kib(64), Backing::Anonymous).unwrap();
+        for vpn in r.iter() {
+            mm.touch(s, vpn, true).unwrap();
+        }
+        assert!(
+            mm.space(s).unwrap().resident_pages() <= 4,
+            "cgroup limit exceeded: {} pages resident",
+            mm.space(s).unwrap().resident_pages()
+        );
+        assert!(mm.free_frames() > 0, "host memory is not the constraint");
+    }
+
+    #[test]
+    fn file_pages_hit_cache_after_first_read() {
+        let mut mm = small_manager(64);
+        let s = mm.create_space();
+        let file = FileId(7);
+        let r = mm
+            .mmap(
+                s,
+                ByteSize::kib(8),
+                Backing::File {
+                    file,
+                    page_offset: 0,
+                },
+            )
+            .unwrap();
+        // Populate the cache via direct read, then map: minor fault.
+        mm.read_file_page(file, 0).unwrap();
+        let a = mm.touch(s, r.start, false).unwrap();
+        assert_eq!(a.fault.expect("fault").kind, FaultKind::Minor);
+        // An uncached file page is a major fault.
+        let a2 = mm.touch(s, r.start.next(), false).unwrap();
+        assert_eq!(a2.fault.expect("fault").kind, FaultKind::Major);
+    }
+
+    #[test]
+    fn block_reads_charge_one_seek() {
+        let mut mm = small_manager(64);
+        let file = FileId(1);
+        let miss = mm.read_file_block(file, 0, 128).unwrap();
+        assert!(!miss.hit);
+        let single_seek = mm.config().disk.access_latency;
+        assert!(miss.cost > single_seek);
+        assert!(
+            miss.cost < single_seek * 3,
+            "must not charge per-page seeks: {}",
+            miss.cost
+        );
+        let hit = mm.read_file_block(file, 0, 128).unwrap();
+        assert!(hit.hit);
+        assert_eq!(hit.cost, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cache_yields_to_mapped_memory() {
+        // Fill memory with page cache, then map anonymous memory; the
+        // cache must shrink rather than the mapping failing.
+        let mut mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(32), // 8 frames
+            ..MemConfig::default()
+        });
+        mm.read_file_block(FileId(1), 0, 8).unwrap();
+        assert_eq!(mm.cache_pages(), 8);
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(16), Backing::Anonymous).unwrap();
+        for vpn in r.iter() {
+            mm.touch(s, vpn, true).unwrap();
+        }
+        assert_eq!(mm.cache_pages(), 4);
+        assert_eq!(mm.counters().get("cache_drops"), 4);
+    }
+
+    #[test]
+    fn munmap_frees_frames() {
+        let mut mm = small_manager(1);
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(16), Backing::Anonymous).unwrap();
+        for vpn in r.iter() {
+            mm.touch(s, vpn, true).unwrap();
+        }
+        let before = mm.free_frames();
+        mm.munmap(s, r).unwrap();
+        assert_eq!(mm.free_frames(), before + 4);
+    }
+
+    #[test]
+    fn resident_and_pinned_accounting() {
+        let mut mm = small_manager(4);
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(16), Backing::Anonymous).unwrap();
+        mm.pin_range(s, PageRange::new(r.start, 2)).unwrap();
+        mm.touch(s, Vpn(r.start.0 + 2), false).unwrap();
+        assert_eq!(mm.resident_bytes(s).unwrap(), ByteSize::kib(12));
+        assert_eq!(mm.pinned_bytes(s).unwrap(), ByteSize::kib(8));
+        mm.unpin_range(s, PageRange::new(r.start, 2)).unwrap();
+        assert_eq!(mm.pinned_bytes(s).unwrap(), ByteSize::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod cow_tests {
+    use super::*;
+    use crate::space::Backing;
+
+    fn manager() -> MemoryManager {
+        MemoryManager::new(MemConfig {
+            total_memory: ByteSize::mib(1),
+            ..MemConfig::default()
+        })
+    }
+
+    #[test]
+    fn fork_shares_frames_until_write() {
+        let mut mm = manager();
+        let parent = mm.create_space();
+        let r = mm
+            .mmap(parent, ByteSize::kib(16), Backing::Anonymous)
+            .unwrap();
+        for vpn in r.iter() {
+            mm.touch(parent, vpn, true).unwrap();
+        }
+        let free_before = mm.free_frames();
+        let (child, _inv) = mm.fork_space(parent).unwrap();
+        // No frames consumed by the fork itself.
+        assert_eq!(mm.free_frames(), free_before);
+        assert_eq!(mm.space(child).unwrap().resident_pages(), 4);
+        // Reads stay shared.
+        let a = mm.touch(child, r.start, false).unwrap();
+        assert!(a.fault.is_none());
+        assert_eq!(
+            mm.space(child).unwrap().frame_of(r.start),
+            mm.space(parent).unwrap().frame_of(r.start)
+        );
+    }
+
+    #[test]
+    fn write_breaks_cow_with_invalidation() {
+        let mut mm = manager();
+        let parent = mm.create_space();
+        let r = mm
+            .mmap(parent, ByteSize::kib(8), Backing::Anonymous)
+            .unwrap();
+        for vpn in r.iter() {
+            mm.touch(parent, vpn, true).unwrap();
+        }
+        let (child, _inv) = mm.fork_space(parent).unwrap();
+        let free_before = mm.free_frames();
+        // Child writes: gets a private copy; the stale mapping is
+        // reported for IOMMU invalidation.
+        let a = mm.touch(child, r.start, true).unwrap();
+        let fault = a.fault.expect("COW break is a (minor) fault");
+        assert_eq!(fault.kind, FaultKind::Minor);
+        assert!(fault.invalidations.contains(&Invalidation {
+            space: child,
+            vpn: r.start
+        }));
+        assert_eq!(mm.free_frames(), free_before - 1, "one private copy");
+        assert_ne!(
+            mm.space(child).unwrap().frame_of(r.start),
+            mm.space(parent).unwrap().frame_of(r.start)
+        );
+        assert_eq!(mm.counters().get("cow_breaks"), 1);
+        // Parent's subsequent write is the *last sharer*: no copy.
+        let a = mm.touch(parent, r.start, true).unwrap();
+        let fault = a.fault.expect("still reported as a transition");
+        assert_eq!(mm.free_frames(), free_before - 1, "no extra frame");
+        assert!(fault.cost.as_nanos() > 0);
+        // Second write is free.
+        let a = mm.touch(parent, r.start, true).unwrap();
+        assert!(a.fault.is_none());
+    }
+
+    #[test]
+    fn cow_chain_parent_child_grandchild() {
+        let mut mm = manager();
+        let parent = mm.create_space();
+        let r = mm
+            .mmap(parent, ByteSize::kib(4), Backing::Anonymous)
+            .unwrap();
+        mm.touch(parent, r.start, true).unwrap();
+        let (child, _inv) = mm.fork_space(parent).unwrap();
+        let (grandchild, _inv2) = mm.fork_space(child).unwrap();
+        // Three sharers of one frame.
+        let f = mm.space(parent).unwrap().frame_of(r.start).unwrap();
+        assert_eq!(mm.space(grandchild).unwrap().frame_of(r.start), Some(f));
+        // Each write peels one sharer off.
+        mm.touch(grandchild, r.start, true).unwrap();
+        assert_ne!(mm.space(grandchild).unwrap().frame_of(r.start), Some(f));
+        assert_eq!(mm.space(child).unwrap().frame_of(r.start), Some(f));
+        mm.touch(child, r.start, true).unwrap();
+        assert_ne!(mm.space(child).unwrap().frame_of(r.start), Some(f));
+        // Parent keeps the original frame, now private.
+        mm.touch(parent, r.start, true).unwrap();
+        assert_eq!(mm.space(parent).unwrap().frame_of(r.start), Some(f));
+    }
+
+    #[test]
+    fn munmap_of_shared_pages_keeps_frames_for_sharers() {
+        let mut mm = manager();
+        let parent = mm.create_space();
+        let r = mm
+            .mmap(parent, ByteSize::kib(8), Backing::Anonymous)
+            .unwrap();
+        for vpn in r.iter() {
+            mm.touch(parent, vpn, true).unwrap();
+        }
+        let (child, _inv) = mm.fork_space(parent).unwrap();
+        let free_before = mm.free_frames();
+        mm.munmap(child, r).unwrap();
+        assert_eq!(
+            mm.free_frames(),
+            free_before,
+            "shared frames survive the child's unmap"
+        );
+        // Parent still resident; a parent write is now a last-sharer
+        // transition with no copy.
+        assert!(mm.space(parent).unwrap().is_resident(r.start));
+        mm.touch(parent, r.start, true).unwrap();
+        assert!(mm.space(parent).unwrap().is_resident(r.start));
+        // Unmapping the parent finally frees them.
+        mm.munmap(parent, r).unwrap();
+        assert_eq!(mm.free_frames(), free_before + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned")]
+    fn fork_with_pinned_pages_panics() {
+        let mut mm = manager();
+        let parent = mm.create_space();
+        let r = mm
+            .mmap(parent, ByteSize::kib(4), Backing::Anonymous)
+            .unwrap();
+        mm.pin_range(parent, r).unwrap();
+        let _ = mm.fork_space(parent);
+    }
+
+    #[test]
+    fn eviction_of_shared_page_spares_the_frame() {
+        // Fork, then pressure the child until its shared page is
+        // evicted: the parent keeps the frame.
+        let mut mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(24), // 6 frames
+            ..MemConfig::default()
+        });
+        let parent = mm.create_space();
+        let r = mm
+            .mmap(parent, ByteSize::kib(4), Backing::Anonymous)
+            .unwrap();
+        mm.touch(parent, r.start, true).unwrap();
+        let (child, _inv) = mm.fork_space(parent).unwrap();
+        // The child allocates enough private memory to evict everything
+        // reclaimable, including its shared view of the page.
+        let big = mm
+            .mmap(child, ByteSize::kib(24), Backing::Anonymous)
+            .unwrap();
+        // Keep the parent's copy hot so the child's is the LRU victim.
+        for vpn in big.iter() {
+            mm.touch(child, vpn, true).unwrap();
+            mm.touch(parent, r.start, false).unwrap();
+        }
+        assert!(
+            mm.space(parent).unwrap().is_resident(r.start),
+            "the parent's view must survive"
+        );
+        // The child's mapping of the shared page is gone or dropped; its
+        // private pages may have swapped, but the shared frame survived.
+        let f = mm.space(parent).unwrap().frame_of(r.start);
+        assert!(f.is_some());
+    }
+}
+
+#[cfg(test)]
+mod exhaustion_tests {
+    use super::*;
+    use crate::space::Backing;
+
+    #[test]
+    fn swap_exhaustion_is_reported() {
+        // 2 frames of RAM, 1 page of swap: the third dirty page cannot
+        // be evicted anywhere.
+        let mut mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(8),
+            swap_capacity: ByteSize::kib(4),
+            ..MemConfig::default()
+        });
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(16), Backing::Anonymous).unwrap();
+        let mut result = Ok(());
+        for vpn in r.iter() {
+            if let Err(e) = mm.touch(s, vpn, true) {
+                result = Err(e);
+                break;
+            }
+        }
+        assert_eq!(result, Err(MemError::SwapFull));
+    }
+
+    #[test]
+    fn swap_in_frees_slot_for_reuse() {
+        // One frame, two swap slots: pages ping-pong indefinitely (the
+        // victim is written out before the faulting page's slot is
+        // released, so the device needs one slot of slack).
+        let mut mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(4),
+            swap_capacity: ByteSize::kib(8),
+            ..MemConfig::default()
+        });
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(8), Backing::Anonymous).unwrap();
+        let a = r.start;
+        let b = a.next();
+        for _ in 0..6 {
+            mm.touch(s, a, true).unwrap();
+            mm.touch(s, b, true).unwrap();
+        }
+        assert!(mm.counters().get("major_faults") >= 8, "ping-pong swaps");
+    }
+}

@@ -1,0 +1,584 @@
+//! Address spaces: memory areas (VMAs) and page table entries.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{FileId, FrameId, PageRange, SpaceId, Vpn};
+
+/// What backs a virtual memory area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backing {
+    /// Anonymous memory: zero-filled on first touch (delayed allocation),
+    /// swapped out under pressure.
+    Anonymous,
+    /// A memory-mapped file: pages come from the page cache; clean pages
+    /// are dropped (not swapped) under pressure. `page_offset` is the
+    /// file page at which the mapping starts.
+    File {
+        /// Backing file.
+        file: FileId,
+        /// File page corresponding to the first page of the VMA.
+        page_offset: u64,
+    },
+}
+
+/// A virtual memory area: a contiguous mapped range with one backing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vma {
+    /// The pages covered.
+    pub range: PageRange,
+    /// What backs them.
+    pub backing: Backing,
+}
+
+/// Residency state of one virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageState {
+    /// Mapped by a VMA but never touched: first access is a minor fault
+    /// with zero-fill (anonymous) or a page-cache lookup (file).
+    Untouched,
+    /// Backed by a physical frame.
+    Resident(FrameId),
+    /// Anonymous page written out to a swap slot: access is a major fault.
+    SwappedOut {
+        /// Swap slot holding the page.
+        slot: u64,
+    },
+    /// File page whose frame was reclaimed; a re-access goes back to the
+    /// page cache (and possibly the disk).
+    Dropped,
+}
+
+/// A page table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pte {
+    /// Residency state.
+    pub state: PageState,
+    /// Pinned pages are excluded from reclaim (mlock / DMA registration).
+    /// Counts nested pins.
+    pub pin_count: u32,
+    /// Set on write access; dirty anonymous pages must be swapped out on
+    /// eviction rather than dropped.
+    pub dirty: bool,
+    /// Write-protected, sharing its frame with another space (fork with
+    /// copy-on-write, Table 1). A write must break the sharing.
+    pub cow: bool,
+}
+
+impl Pte {
+    fn untouched() -> Self {
+        Pte {
+            state: PageState::Untouched,
+            pin_count: 0,
+            dirty: false,
+            cow: false,
+        }
+    }
+
+    /// The backing frame if resident.
+    #[must_use]
+    pub fn frame(&self) -> Option<FrameId> {
+        match self.state {
+            PageState::Resident(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// `true` when the page may not be reclaimed.
+    #[must_use]
+    pub fn is_pinned(&self) -> bool {
+        self.pin_count > 0
+    }
+}
+
+/// A virtual address space (one IOuser: a process or a VM).
+///
+/// Tracks VMAs and per-page residency. Fault resolution policy lives in
+/// [`crate::manager::MemoryManager`]; this type only answers structural
+/// questions (is this page mapped? what backs it?).
+#[derive(Debug)]
+pub struct AddressSpace {
+    id: SpaceId,
+    vmas: BTreeMap<u64, Vma>, // keyed by range.start.0
+    ptes: HashMap<Vpn, Pte>,
+    next_free_vpn: u64,
+    resident_pages: u64,
+    pinned_pages: u64,
+}
+
+/// Errors from address-space structural operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceError {
+    /// The page is not covered by any VMA.
+    NotMapped(Vpn),
+    /// A requested mapping overlaps an existing VMA.
+    Overlap,
+}
+
+impl std::fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpaceError::NotMapped(vpn) => write!(f, "page {vpn} is not mapped"),
+            SpaceError::Overlap => write!(f, "mapping overlaps an existing area"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    #[must_use]
+    pub fn new(id: SpaceId) -> Self {
+        AddressSpace {
+            id,
+            vmas: BTreeMap::new(),
+            ptes: HashMap::new(),
+            next_free_vpn: 0x10, // skip the first pages, like real systems
+            resident_pages: 0,
+            pinned_pages: 0,
+        }
+    }
+
+    /// The space identifier.
+    #[must_use]
+    pub fn id(&self) -> SpaceId {
+        self.id
+    }
+
+    /// Number of resident (frame-backed) pages.
+    #[must_use]
+    pub fn resident_pages(&self) -> u64 {
+        self.resident_pages
+    }
+
+    /// Number of pinned pages.
+    #[must_use]
+    pub fn pinned_pages(&self) -> u64 {
+        self.pinned_pages
+    }
+
+    /// Total pages covered by VMAs (the virtual size).
+    #[must_use]
+    pub fn mapped_pages(&self) -> u64 {
+        self.vmas.values().map(|v| v.range.pages).sum()
+    }
+
+    /// Maps `pages` pages of `backing` at the next free region, returning
+    /// the range. This is the `mmap(NULL, ...)` form.
+    pub fn mmap(&mut self, pages: u64, backing: Backing) -> PageRange {
+        let start = Vpn(self.next_free_vpn);
+        let range = PageRange::new(start, pages);
+        // Leave a one-page guard gap, as real mmap tends to.
+        self.next_free_vpn += pages + 1;
+        self.vmas.insert(range.start.0, Vma { range, backing });
+        range
+    }
+
+    /// Maps `range` with `backing` at a fixed location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::Overlap`] when the range intersects an
+    /// existing VMA.
+    pub fn mmap_fixed(&mut self, range: PageRange, backing: Backing) -> Result<(), SpaceError> {
+        for vma in self.vmas.values() {
+            if vma.range.overlaps(range) {
+                return Err(SpaceError::Overlap);
+            }
+        }
+        self.next_free_vpn = self.next_free_vpn.max(range.end().0 + 1);
+        self.vmas.insert(range.start.0, Vma { range, backing });
+        Ok(())
+    }
+
+    /// Removes the VMA covering exactly `range`, returning the frames of
+    /// its resident pages so the caller can free them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::NotMapped`] when no VMA starts at
+    /// `range.start` with the same length.
+    pub fn munmap(&mut self, range: PageRange) -> Result<Vec<(Vpn, FrameId)>, SpaceError> {
+        match self.vmas.get(&range.start.0) {
+            Some(vma) if vma.range == range => {}
+            _ => return Err(SpaceError::NotMapped(range.start)),
+        }
+        self.vmas.remove(&range.start.0);
+        let mut freed = Vec::new();
+        for vpn in range.iter() {
+            if let Some(pte) = self.ptes.remove(&vpn) {
+                if let PageState::Resident(f) = pte.state {
+                    self.resident_pages -= 1;
+                    if pte.is_pinned() {
+                        self.pinned_pages -= 1;
+                    }
+                    freed.push((vpn, f));
+                }
+            }
+        }
+        Ok(freed)
+    }
+
+    /// The VMA covering `vpn`, if any.
+    #[must_use]
+    pub fn vma_of(&self, vpn: Vpn) -> Option<&Vma> {
+        self.vmas
+            .range(..=vpn.0)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.range.contains(vpn))
+    }
+
+    /// The backing of `vpn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::NotMapped`] for addresses outside every VMA.
+    pub fn backing_of(&self, vpn: Vpn) -> Result<Backing, SpaceError> {
+        self.vma_of(vpn)
+            .map(|v| v.backing)
+            .ok_or(SpaceError::NotMapped(vpn))
+    }
+
+    /// For a file-backed page, the `(file, file_page)` it maps.
+    #[must_use]
+    pub fn file_page_of(&self, vpn: Vpn) -> Option<(FileId, u64)> {
+        let vma = self.vma_of(vpn)?;
+        match vma.backing {
+            Backing::File { file, page_offset } => {
+                Some((file, page_offset + (vpn.0 - vma.range.start.0)))
+            }
+            Backing::Anonymous => None,
+        }
+    }
+
+    /// The PTE for `vpn`. Pages inside a VMA that were never touched
+    /// report an [`PageState::Untouched`] entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::NotMapped`] for addresses outside every VMA.
+    pub fn pte(&self, vpn: Vpn) -> Result<Pte, SpaceError> {
+        if self.vma_of(vpn).is_none() {
+            return Err(SpaceError::NotMapped(vpn));
+        }
+        Ok(self.ptes.get(&vpn).copied().unwrap_or_else(Pte::untouched))
+    }
+
+    /// The frame backing `vpn`, if the page is resident.
+    #[must_use]
+    pub fn frame_of(&self, vpn: Vpn) -> Option<FrameId> {
+        self.ptes.get(&vpn).and_then(Pte::frame)
+    }
+
+    /// `true` when `vpn` is resident.
+    #[must_use]
+    pub fn is_resident(&self, vpn: Vpn) -> bool {
+        self.frame_of(vpn).is_some()
+    }
+
+    /// Installs `frame` for `vpn` (fault resolution). Marks dirty on
+    /// write access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already resident; the manager must not
+    /// double-install.
+    pub fn install(&mut self, vpn: Vpn, frame: FrameId, write: bool) {
+        let pte = self.ptes.entry(vpn).or_insert_with(Pte::untouched);
+        assert!(
+            pte.frame().is_none(),
+            "page {vpn} already resident in {}",
+            self.id
+        );
+        pte.state = PageState::Resident(frame);
+        pte.dirty = write;
+        pte.cow = false;
+        self.resident_pages += 1;
+        if pte.is_pinned() {
+            self.pinned_pages += 1;
+        }
+    }
+
+    /// Replaces the frame of a resident page in place (a COW break: the
+    /// space receives its private copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident.
+    pub fn replace_frame(&mut self, vpn: Vpn, frame: FrameId) {
+        let pte = self.ptes.get_mut(&vpn).expect("replace of unmapped page");
+        assert!(pte.frame().is_some(), "replace of non-resident page {vpn}");
+        pte.state = PageState::Resident(frame);
+        pte.cow = false;
+        pte.dirty = true;
+    }
+
+    /// Marks a resident page as COW-shared (write-protected, shared
+    /// frame).
+    pub fn mark_cow(&mut self, vpn: Vpn) {
+        if let Some(pte) = self.ptes.get_mut(&vpn) {
+            if pte.frame().is_some() {
+                pte.cow = true;
+                pte.dirty = false;
+            }
+        }
+    }
+
+    /// Clears the COW flag (last sharer: the page is private again).
+    pub fn clear_cow(&mut self, vpn: Vpn, write: bool) {
+        if let Some(pte) = self.ptes.get_mut(&vpn) {
+            pte.cow = false;
+            if write {
+                pte.dirty = true;
+            }
+        }
+    }
+
+    /// Snapshot of `(vpn, pte)` pairs (fork support).
+    pub fn pte_iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        self.ptes.iter().map(|(&v, &p)| (v, p))
+    }
+
+    /// Snapshot of the VMAs (fork support).
+    pub fn vma_iter(&self) -> impl Iterator<Item = Vma> + '_ {
+        self.vmas.values().copied()
+    }
+
+    /// Builds a forked copy of this space's structure under a new id:
+    /// identical VMAs; resident pages shared (both marked COW);
+    /// untouched/dropped pages copied as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent has pinned or swapped-out pages (fork is
+    /// supported for unpinned, in-core parents; swap-slot sharing is out
+    /// of scope — touch the pages in first).
+    pub fn fork_into(&mut self, child_id: SpaceId) -> AddressSpace {
+        let mut child = AddressSpace::new(child_id);
+        child.next_free_vpn = self.next_free_vpn;
+        for vma in self.vmas.values() {
+            child.vmas.insert(vma.range.start.0, *vma);
+        }
+        let parent_ptes: Vec<(Vpn, Pte)> = self.pte_iter().collect();
+        for (vpn, pte) in parent_ptes {
+            assert!(!pte.is_pinned(), "fork of a space with pinned pages");
+            match pte.state {
+                PageState::Resident(frame) => {
+                    self.mark_cow(vpn);
+                    child.ptes.insert(
+                        vpn,
+                        Pte {
+                            state: PageState::Resident(frame),
+                            pin_count: 0,
+                            dirty: false,
+                            cow: true,
+                        },
+                    );
+                    child.resident_pages += 1;
+                }
+                PageState::SwappedOut { .. } => {
+                    panic!("fork of a space with swapped-out pages");
+                }
+                PageState::Untouched | PageState::Dropped => {
+                    child.ptes.insert(vpn, pte);
+                }
+            }
+        }
+        child
+    }
+
+    /// Marks an access to a resident page (sets dirty on writes).
+    pub fn mark_access(&mut self, vpn: Vpn, write: bool) {
+        if let Some(pte) = self.ptes.get_mut(&vpn) {
+            if write {
+                pte.dirty = true;
+            }
+        }
+    }
+
+    /// Evicts a resident page, transitioning it to `SwappedOut` (with
+    /// `slot`) for anonymous pages or `Dropped` for file pages. Returns
+    /// the freed frame and whether the page was dirty. COW state is
+    /// dropped with the mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident or is pinned.
+    pub fn evict(&mut self, vpn: Vpn, swap_slot: Option<u64>) -> (FrameId, bool) {
+        let pte = self.ptes.get_mut(&vpn).expect("evicting untracked page");
+        let frame = pte.frame().expect("evicting non-resident page");
+        assert!(!pte.is_pinned(), "evicting pinned page {vpn}");
+        let dirty = pte.dirty;
+        pte.state = match swap_slot {
+            Some(slot) => PageState::SwappedOut { slot },
+            None => PageState::Dropped,
+        };
+        pte.dirty = false;
+        self.resident_pages -= 1;
+        (frame, dirty)
+    }
+
+    /// Increments the pin count of a *resident* page. Returns `true` when
+    /// the page transitioned from unpinned to pinned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident (pin after fault-in only).
+    pub fn pin(&mut self, vpn: Vpn) -> bool {
+        let pte = self.ptes.get_mut(&vpn).expect("pin of unmapped page");
+        assert!(pte.frame().is_some(), "pin of non-resident page {vpn}");
+        pte.pin_count += 1;
+        if pte.pin_count == 1 {
+            self.pinned_pages += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decrements the pin count. Returns `true` when the page became
+    /// unpinned (and should re-enter LRU tracking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was not pinned.
+    pub fn unpin(&mut self, vpn: Vpn) -> bool {
+        let pte = self.ptes.get_mut(&vpn).expect("unpin of unmapped page");
+        assert!(pte.pin_count > 0, "unpin of unpinned page {vpn}");
+        pte.pin_count -= 1;
+        if pte.pin_count == 0 {
+            self.pinned_pages -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates resident pages (for teardown).
+    pub fn resident_iter(&self) -> impl Iterator<Item = (Vpn, FrameId)> + '_ {
+        self.ptes
+            .iter()
+            .filter_map(|(&vpn, pte)| pte.frame().map(|f| (vpn, f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(SpaceId(0))
+    }
+
+    #[test]
+    fn mmap_assigns_disjoint_ranges() {
+        let mut s = space();
+        let a = s.mmap(10, Backing::Anonymous);
+        let b = s.mmap(5, Backing::Anonymous);
+        assert!(!a.overlaps(b));
+        assert_eq!(s.mapped_pages(), 15);
+    }
+
+    #[test]
+    fn mmap_fixed_rejects_overlap() {
+        let mut s = space();
+        let a = s.mmap(10, Backing::Anonymous);
+        let overlapping = PageRange::new(a.start, 1);
+        assert_eq!(
+            s.mmap_fixed(overlapping, Backing::Anonymous),
+            Err(SpaceError::Overlap)
+        );
+    }
+
+    #[test]
+    fn untouched_pages_report_untouched() {
+        let mut s = space();
+        let r = s.mmap(4, Backing::Anonymous);
+        let pte = s.pte(r.start).expect("mapped");
+        assert_eq!(pte.state, PageState::Untouched);
+        assert!(!s.is_resident(r.start));
+    }
+
+    #[test]
+    fn unmapped_pages_error() {
+        let s = space();
+        assert!(matches!(s.pte(Vpn(0xdead)), Err(SpaceError::NotMapped(_))));
+        assert!(matches!(
+            s.backing_of(Vpn(0xdead)),
+            Err(SpaceError::NotMapped(_))
+        ));
+    }
+
+    #[test]
+    fn install_and_evict_roundtrip() {
+        let mut s = space();
+        let r = s.mmap(1, Backing::Anonymous);
+        s.install(r.start, FrameId(7), true);
+        assert_eq!(s.frame_of(r.start), Some(FrameId(7)));
+        assert_eq!(s.resident_pages(), 1);
+        let (frame, dirty) = s.evict(r.start, Some(3));
+        assert_eq!(frame, FrameId(7));
+        assert!(dirty, "written page must evict dirty");
+        assert_eq!(
+            s.pte(r.start).expect("mapped").state,
+            PageState::SwappedOut { slot: 3 }
+        );
+        assert_eq!(s.resident_pages(), 0);
+    }
+
+    #[test]
+    fn clean_file_pages_drop() {
+        let mut s = space();
+        let r = s.mmap(
+            2,
+            Backing::File {
+                file: FileId(1),
+                page_offset: 100,
+            },
+        );
+        s.install(r.start, FrameId(1), false);
+        let (_, dirty) = s.evict(r.start, None);
+        assert!(!dirty);
+        assert_eq!(s.pte(r.start).expect("mapped").state, PageState::Dropped);
+        assert_eq!(s.file_page_of(r.start.next()), Some((FileId(1), 101)));
+    }
+
+    #[test]
+    fn pin_counts_nest() {
+        let mut s = space();
+        let r = s.mmap(1, Backing::Anonymous);
+        s.install(r.start, FrameId(0), false);
+        assert!(s.pin(r.start));
+        assert!(!s.pin(r.start), "second pin is not a transition");
+        assert_eq!(s.pinned_pages(), 1);
+        assert!(!s.unpin(r.start));
+        assert!(s.unpin(r.start), "last unpin is the transition");
+        assert_eq!(s.pinned_pages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "evicting pinned page")]
+    fn evicting_pinned_page_panics() {
+        let mut s = space();
+        let r = s.mmap(1, Backing::Anonymous);
+        s.install(r.start, FrameId(0), false);
+        s.pin(r.start);
+        s.evict(r.start, None);
+    }
+
+    #[test]
+    fn munmap_returns_frames() {
+        let mut s = space();
+        let r = s.mmap(3, Backing::Anonymous);
+        s.install(r.start, FrameId(1), false);
+        s.install(r.start.next(), FrameId(2), false);
+        let freed = s.munmap(r).expect("munmap");
+        assert_eq!(freed.len(), 2);
+        assert!(s.pte(r.start).is_err(), "pages gone after munmap");
+        // Wrong range errors.
+        assert!(s.munmap(r).is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! Fabric topologies: back-to-back cables and a star through a switch.
+//!
+//! The paper's Ethernet testbed is two servers connected back-to-back;
+//! the InfiniBand testbed is eight servers through a SwitchX-2. A
+//! [`Fabric`] owns the links and computes end-to-end delivery times,
+//! store-and-forward through the switch.
+
+use std::collections::HashMap;
+
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+
+use crate::link::{Link, LinkConfig, SendOutcome};
+use crate::packet::NodeId;
+
+/// Topology of a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Topology {
+    /// Two nodes, one cable.
+    BackToBack,
+    /// All nodes connected to one switch.
+    Star {
+        /// Store-and-forward latency of the switch.
+        switch_latency: SimDuration,
+    },
+}
+
+/// A network fabric connecting a fixed set of nodes.
+#[derive(Debug)]
+pub struct Fabric {
+    topology: Topology,
+    nodes: u32,
+    /// For back-to-back: key (from, to). For star: uplinks keyed
+    /// (from, SWITCH) and downlinks keyed (SWITCH, to).
+    links: HashMap<(u32, u32), Link>,
+}
+
+const SWITCH: u32 = u32::MAX;
+
+impl Fabric {
+    /// Two nodes (`NodeId(0)`, `NodeId(1)`) connected directly.
+    #[must_use]
+    pub fn back_to_back(config: LinkConfig, rng: &mut SimRng) -> Self {
+        let mut links = HashMap::new();
+        links.insert((0, 1), Link::new(config, rng.fork(0x01)));
+        links.insert((1, 0), Link::new(config, rng.fork(0x10)));
+        Fabric {
+            topology: Topology::BackToBack,
+            nodes: 2,
+            links,
+        }
+    }
+
+    /// `nodes` nodes connected through one switch.
+    #[must_use]
+    pub fn star(
+        config: LinkConfig,
+        nodes: u32,
+        switch_latency: SimDuration,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut links = HashMap::new();
+        for n in 0..nodes {
+            links.insert((n, SWITCH), Link::new(config, rng.fork(u64::from(n) * 2)));
+            links.insert(
+                (SWITCH, n),
+                Link::new(config, rng.fork(u64::from(n) * 2 + 1)),
+            );
+        }
+        Fabric {
+            topology: Topology::Star { switch_latency },
+            nodes,
+            links,
+        }
+    }
+
+    /// Number of attached nodes.
+    #[must_use]
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Sends `size_bytes` from `from` to `to` at `now`, returning the
+    /// end-to-end outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints are unknown or equal.
+    pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, size_bytes: u64) -> SendOutcome {
+        assert_ne!(from, to, "loopback is not modelled");
+        assert!(from.0 < self.nodes && to.0 < self.nodes, "unknown node");
+        match self.topology {
+            Topology::BackToBack => {
+                let link = self.links.get_mut(&(from.0, to.0)).expect("link exists");
+                link.send(now, size_bytes)
+            }
+            Topology::Star { switch_latency } => {
+                let up = self.links.get_mut(&(from.0, SWITCH)).expect("uplink");
+                match up.send(now, size_bytes) {
+                    SendOutcome::Dropped => SendOutcome::Dropped,
+                    SendOutcome::Delivered {
+                        arrives_at,
+                        ecn_marked,
+                    } => {
+                        let down = self.links.get_mut(&(SWITCH, to.0)).expect("downlink");
+                        match down.send(arrives_at + switch_latency, size_bytes) {
+                            SendOutcome::Dropped => SendOutcome::Dropped,
+                            SendOutcome::Delivered {
+                                arrives_at,
+                                ecn_marked: m2,
+                            } => SendOutcome::Delivered {
+                                arrives_at,
+                                ecn_marked: ecn_marked || m2,
+                            },
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pauses all transmission *toward* `node` until `until` (802.3x
+    /// pause emitted by `node`). On a star this pauses the switch's
+    /// downlink; back-to-back it pauses the peer.
+    pub fn pause_toward(&mut self, node: NodeId, until: SimTime) {
+        match self.topology {
+            Topology::BackToBack => {
+                let peer = 1 - node.0;
+                self.links
+                    .get_mut(&(peer, node.0))
+                    .expect("link exists")
+                    .pause_until(until);
+            }
+            Topology::Star { .. } => {
+                self.links
+                    .get_mut(&(SWITCH, node.0))
+                    .expect("downlink")
+                    .pause_until(until);
+            }
+        }
+    }
+
+    /// Total drops across all links.
+    #[must_use]
+    pub fn total_drops(&self) -> u64 {
+        self.links.values().map(Link::dropped_packets).sum()
+    }
+
+    /// Total packets accepted across all links (a star counts both hops).
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.links.values().map(Link::sent_packets).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::Bandwidth;
+
+    fn rng() -> SimRng {
+        SimRng::new(7)
+    }
+
+    #[test]
+    fn back_to_back_delivery() {
+        let mut r = rng();
+        let mut f = Fabric::back_to_back(LinkConfig::datacenter(Bandwidth::gbps(10)), &mut r);
+        let out = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 1250);
+        assert_eq!(
+            out,
+            SendOutcome::Delivered {
+                arrives_at: SimTime::from_micros(2),
+                ecn_marked: false
+            }
+        );
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut r = rng();
+        let mut f = Fabric::back_to_back(LinkConfig::datacenter(Bandwidth::gbps(10)), &mut r);
+        // Saturate 0 -> 1; the reverse path is unaffected.
+        for _ in 0..100 {
+            f.send(SimTime::ZERO, NodeId(0), NodeId(1), 1250);
+        }
+        let out = f.send(SimTime::ZERO, NodeId(1), NodeId(0), 1250);
+        assert_eq!(
+            out,
+            SendOutcome::Delivered {
+                arrives_at: SimTime::from_micros(2),
+                ecn_marked: false
+            }
+        );
+    }
+
+    #[test]
+    fn star_adds_switch_hop() {
+        let mut r = rng();
+        let mut f = Fabric::star(
+            LinkConfig::datacenter(Bandwidth::gbps(56)),
+            8,
+            SimDuration::from_nanos(200),
+            &mut r,
+        );
+        let SendOutcome::Delivered { arrives_at, .. } =
+            f.send(SimTime::ZERO, NodeId(0), NodeId(7), 4096)
+        else {
+            panic!("delivered");
+        };
+        // Two serializations (585 ns each), two propagations (1 us each),
+        // one switch latency (200 ns).
+        assert_eq!(
+            arrives_at,
+            SimTime::from_nanos(585 + 1000 + 200 + 585 + 1000)
+        );
+    }
+
+    #[test]
+    fn star_isolates_disjoint_pairs() {
+        let mut r = rng();
+        let mut f = Fabric::star(
+            LinkConfig::datacenter(Bandwidth::gbps(56)),
+            4,
+            SimDuration::from_nanos(200),
+            &mut r,
+        );
+        for _ in 0..50 {
+            f.send(SimTime::ZERO, NodeId(0), NodeId(1), 4096);
+        }
+        let congested = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 4096);
+        let clean = f.send(SimTime::ZERO, NodeId(2), NodeId(3), 4096);
+        let (
+            SendOutcome::Delivered { arrives_at: t1, .. },
+            SendOutcome::Delivered { arrives_at: t2, .. },
+        ) = (congested, clean)
+        else {
+            panic!("both delivered");
+        };
+        assert!(t2 < t1, "disjoint pair must not queue behind the busy one");
+    }
+
+    #[test]
+    fn pause_toward_blocks_last_hop() {
+        let mut r = rng();
+        let mut f = Fabric::back_to_back(LinkConfig::datacenter(Bandwidth::gbps(10)), &mut r);
+        f.pause_toward(NodeId(1), SimTime::from_micros(50));
+        let SendOutcome::Delivered { arrives_at, .. } =
+            f.send(SimTime::ZERO, NodeId(0), NodeId(1), 1250)
+        else {
+            panic!("delivered");
+        };
+        assert!(arrives_at >= SimTime::from_micros(51));
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_rejected() {
+        let mut r = rng();
+        let mut f = Fabric::back_to_back(LinkConfig::datacenter(Bandwidth::gbps(10)), &mut r);
+        f.send(SimTime::ZERO, NodeId(0), NodeId(0), 64);
+    }
+}
+
+#[cfg(test)]
+mod star_pause_tests {
+    use super::*;
+    use simcore::units::Bandwidth;
+
+    #[test]
+    fn pause_toward_star_node_blocks_only_its_downlink() {
+        let mut r = SimRng::new(3);
+        let mut f = Fabric::star(
+            LinkConfig::datacenter(Bandwidth::gbps(56)),
+            4,
+            SimDuration::from_nanos(200),
+            &mut r,
+        );
+        f.pause_toward(NodeId(1), SimTime::from_micros(100));
+        let SendOutcome::Delivered { arrives_at: paused, .. } =
+            f.send(SimTime::ZERO, NodeId(0), NodeId(1), 4096)
+        else {
+            panic!("delivered")
+        };
+        let SendOutcome::Delivered { arrives_at: clear, .. } =
+            f.send(SimTime::ZERO, NodeId(0), NodeId(2), 4096)
+        else {
+            panic!("delivered")
+        };
+        assert!(paused >= SimTime::from_micros(100), "paused path waits");
+        assert!(
+            clear < SimTime::from_micros(10),
+            "other nodes are unaffected: {clear}"
+        );
+    }
+}

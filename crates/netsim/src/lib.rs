@@ -1,0 +1,33 @@
+//! # netsim — simulated network fabric
+//!
+//! Links with serialization, propagation, bounded queues, tail-drop,
+//! ECN marking, random loss injection, and 802.3x pause frames; fabrics
+//! composing them back-to-back (the paper's Ethernet testbed) or through
+//! a switch (the InfiniBand cluster).
+//!
+//! Everything is sans-IO: offering a packet returns the arrival time (or
+//! a drop), and the caller schedules the delivery event on its
+//! [`simcore::event::EventQueue`].
+//!
+//! # Examples
+//!
+//! ```
+//! use netsim::{Fabric, LinkConfig, NodeId, SendOutcome};
+//! use simcore::{SimRng, SimTime, Bandwidth};
+//!
+//! let mut rng = SimRng::new(1);
+//! let mut fabric =
+//!     Fabric::back_to_back(LinkConfig::datacenter(Bandwidth::gbps(12)), &mut rng);
+//! match fabric.send(SimTime::ZERO, NodeId(0), NodeId(1), 1500) {
+//!     SendOutcome::Delivered { arrives_at, .. } => assert!(arrives_at > SimTime::ZERO),
+//!     SendOutcome::Dropped => unreachable!("empty queue cannot drop"),
+//! }
+//! ```
+
+pub mod fabric;
+pub mod link;
+pub mod packet;
+
+pub use fabric::Fabric;
+pub use link::{Link, LinkConfig, SendOutcome};
+pub use packet::{NodeId, Packet};

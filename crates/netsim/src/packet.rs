@@ -1,0 +1,82 @@
+//! Network packets and node addressing.
+//!
+//! Packets carry a byte *size* (which drives serialization and queueing)
+//! and a typed, simulation-level *payload* — no real wire encoding. The
+//! fabric layers are generic over the payload so the same links and
+//! switches carry TCP segments, RoCE/InfiniBand packets, or raw test
+//! traffic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a host/NIC attached to a fabric.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet<P> {
+    /// Sender.
+    pub src: NodeId,
+    /// Destination.
+    pub dst: NodeId,
+    /// On-wire size in bytes, including headers.
+    pub size_bytes: u64,
+    /// Explicit congestion notification mark (set by queues when
+    /// ECN-enabled and congested).
+    pub ecn_marked: bool,
+    /// Simulation payload.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Creates an unmarked packet.
+    pub fn new(src: NodeId, dst: NodeId, size_bytes: u64, payload: P) -> Self {
+        Packet {
+            src,
+            dst,
+            size_bytes,
+            ecn_marked: false,
+            payload,
+        }
+    }
+
+    /// Maps the payload type, keeping addressing and size.
+    pub fn map<Q>(self, f: impl FnOnce(P) -> Q) -> Packet<Q> {
+        Packet {
+            src: self.src,
+            dst: self.dst,
+            size_bytes: self.size_bytes,
+            ecn_marked: self.ecn_marked,
+            payload: f(self.payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_defaults() {
+        let p = Packet::new(NodeId(0), NodeId(1), 1500, "data");
+        assert!(!p.ecn_marked);
+        assert_eq!(p.size_bytes, 1500);
+    }
+
+    #[test]
+    fn map_preserves_envelope() {
+        let p = Packet::new(NodeId(0), NodeId(1), 64, 7u32).map(|n| n * 2);
+        assert_eq!(p.payload, 14);
+        assert_eq!(p.dst, NodeId(1));
+    }
+}

@@ -1,0 +1,129 @@
+//! Interrupt moderation (coalescing).
+//!
+//! The backup ring "enjoys standard optimizations such as interrupt
+//! coalescing and NAPI" (§5). The moderator rate-limits interrupt
+//! delivery per vector: an interrupt requested within the holdoff
+//! window of the previous one is deferred to the window's end, and
+//! further requests merge into the deferred one.
+
+use simcore::time::{SimDuration, SimTime};
+
+/// Decision for one interrupt request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptDecision {
+    /// Deliver at the given time (possibly immediately).
+    FireAt(SimTime),
+    /// Already scheduled; this request merged into the pending one.
+    Coalesced,
+}
+
+/// A per-vector interrupt moderator.
+#[derive(Debug, Clone, Copy)]
+pub struct InterruptModerator {
+    holdoff: SimDuration,
+    last_fired: Option<SimTime>,
+    pending_at: Option<SimTime>,
+    delivered: u64,
+    coalesced: u64,
+}
+
+impl InterruptModerator {
+    /// Creates a moderator with the given holdoff window. A zero
+    /// holdoff delivers every interrupt immediately.
+    #[must_use]
+    pub fn new(holdoff: SimDuration) -> Self {
+        InterruptModerator {
+            holdoff,
+            last_fired: None,
+            pending_at: None,
+            delivered: 0,
+            coalesced: 0,
+        }
+    }
+
+    /// Interrupts delivered.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Requests coalesced into pending deliveries.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Requests an interrupt at `now`. The caller schedules an event at
+    /// the returned time for `FireAt` and must then call
+    /// [`InterruptModerator::fired`] when it delivers.
+    pub fn request(&mut self, now: SimTime) -> InterruptDecision {
+        if self.pending_at.is_some() {
+            self.coalesced += 1;
+            return InterruptDecision::Coalesced;
+        }
+        let at = match self.last_fired {
+            Some(last) if now.saturating_since(last) < self.holdoff => last + self.holdoff,
+            _ => now,
+        };
+        self.pending_at = Some(at);
+        InterruptDecision::FireAt(at)
+    }
+
+    /// Records the delivery of the pending interrupt.
+    pub fn fired(&mut self, now: SimTime) {
+        self.pending_at = None;
+        self.last_fired = Some(now);
+        self.delivered += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_interrupt_is_immediate() {
+        let mut m = InterruptModerator::new(SimDuration::from_micros(50));
+        assert_eq!(
+            m.request(SimTime::from_micros(5)),
+            InterruptDecision::FireAt(SimTime::from_micros(5))
+        );
+        m.fired(SimTime::from_micros(5));
+        assert_eq!(m.delivered(), 1);
+    }
+
+    #[test]
+    fn requests_inside_holdoff_defer() {
+        let mut m = InterruptModerator::new(SimDuration::from_micros(50));
+        m.request(SimTime::ZERO);
+        m.fired(SimTime::ZERO);
+        // 10 us later: deferred to the 50 us boundary.
+        assert_eq!(
+            m.request(SimTime::from_micros(10)),
+            InterruptDecision::FireAt(SimTime::from_micros(50))
+        );
+        // Further requests merge.
+        assert_eq!(
+            m.request(SimTime::from_micros(20)),
+            InterruptDecision::Coalesced
+        );
+        assert_eq!(m.coalesced(), 1);
+        m.fired(SimTime::from_micros(50));
+        // After the window, immediate again.
+        assert_eq!(
+            m.request(SimTime::from_micros(200)),
+            InterruptDecision::FireAt(SimTime::from_micros(200))
+        );
+    }
+
+    #[test]
+    fn zero_holdoff_never_defers() {
+        let mut m = InterruptModerator::new(SimDuration::ZERO);
+        m.request(SimTime::ZERO);
+        m.fired(SimTime::ZERO);
+        assert_eq!(
+            m.request(SimTime::ZERO),
+            InterruptDecision::FireAt(SimTime::ZERO)
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Transmit queues.
+//!
+//! The IOuser posts send descriptors; the NIC gathers the payload by
+//! DMA. A gather fault is a *send-side* NPF: the queue stalls (the data
+//! is local, so waiting is safe — §4) until the driver resolves the
+//! fault and resumes the queue.
+
+use std::collections::VecDeque;
+
+use memsim::types::VirtAddr;
+
+use crate::rx::RingId;
+
+/// A posted transmit descriptor.
+#[derive(Debug, Clone)]
+pub struct TxDescriptor<P> {
+    /// Gather address in the IOuser's space.
+    pub addr: VirtAddr,
+    /// Payload length.
+    pub len: u64,
+    /// The packet payload to put on the wire.
+    pub payload: P,
+}
+
+/// State of a transmit queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxState {
+    /// Transmitting normally.
+    Running,
+    /// Stalled on a send-side NPF; `resume` restarts it.
+    Stalled {
+        /// Correlation id of the blocking fault.
+        fault_id: u64,
+    },
+}
+
+/// A transmit queue for one IOchannel.
+#[derive(Debug)]
+pub struct TxQueue<P> {
+    ring: RingId,
+    queue: VecDeque<TxDescriptor<P>>,
+    state: TxState,
+    transmitted: u64,
+    stalls: u64,
+}
+
+impl<P> TxQueue<P> {
+    /// Creates an empty queue for the channel owning `ring`.
+    #[must_use]
+    pub fn new(ring: RingId) -> Self {
+        TxQueue {
+            ring,
+            queue: VecDeque::new(),
+            state: TxState::Running,
+            transmitted: 0,
+            stalls: 0,
+        }
+    }
+
+    /// The owning channel's ring id.
+    #[must_use]
+    pub fn ring(&self) -> RingId {
+        self.ring
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> TxState {
+        self.state
+    }
+
+    /// Descriptors waiting.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Packets put on the wire.
+    #[must_use]
+    pub fn transmitted(&self) -> u64 {
+        self.transmitted
+    }
+
+    /// Send-side NPF stalls experienced.
+    #[must_use]
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// IOuser posts a descriptor.
+    pub fn post(&mut self, desc: TxDescriptor<P>) {
+        self.queue.push_back(desc);
+    }
+
+    /// The next descriptor the NIC would gather, without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&TxDescriptor<P>> {
+        if matches!(self.state, TxState::Stalled { .. }) {
+            None
+        } else {
+            self.queue.front()
+        }
+    }
+
+    /// Pops the head descriptor after a successful gather DMA.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the queue is empty or stalled (callers must `peek`
+    /// first).
+    pub fn complete_head(&mut self) -> TxDescriptor<P> {
+        assert_eq!(self.state, TxState::Running, "pop from stalled queue");
+        self.transmitted += 1;
+        self.queue.pop_front().expect("pop from empty tx queue")
+    }
+
+    /// Stalls the queue on a send-side NPF.
+    pub fn stall(&mut self, fault_id: u64) {
+        self.stalls += 1;
+        self.state = TxState::Stalled { fault_id };
+    }
+
+    /// The driver resolved `fault_id`; returns `true` when this queue
+    /// was unblocked.
+    pub fn resume(&mut self, fault_id: u64) -> bool {
+        if self.state == (TxState::Stalled { fault_id }) {
+            self.state = TxState::Running;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(tag: &'static str) -> TxDescriptor<&'static str> {
+        TxDescriptor {
+            addr: VirtAddr(0x1000),
+            len: 1500,
+            payload: tag,
+        }
+    }
+
+    #[test]
+    fn fifo_transmission() {
+        let mut q = TxQueue::new(RingId(0));
+        q.post(desc("a"));
+        q.post(desc("b"));
+        assert_eq!(q.peek().expect("head").payload, "a");
+        assert_eq!(q.complete_head().payload, "a");
+        assert_eq!(q.complete_head().payload, "b");
+        assert_eq!(q.transmitted(), 2);
+        assert!(q.peek().is_none());
+    }
+
+    #[test]
+    fn stall_blocks_until_matching_resume() {
+        let mut q = TxQueue::new(RingId(0));
+        q.post(desc("a"));
+        q.stall(42);
+        assert!(q.peek().is_none(), "stalled queue yields nothing");
+        assert!(!q.resume(41), "wrong fault id does not resume");
+        assert!(q.resume(42));
+        assert_eq!(q.peek().expect("head").payload, "a");
+        assert_eq!(q.stalls(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn popping_stalled_queue_panics() {
+        let mut q = TxQueue::new(RingId(0));
+        q.post(desc("a"));
+        q.stall(1);
+        q.complete_head();
+    }
+}

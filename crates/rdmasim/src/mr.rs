@@ -1,0 +1,201 @@
+//! Memory regions: the verbs registration surface.
+//!
+//! A memory region (MR) grants a NIC access to a span of an IOuser's
+//! virtual memory. Registration style is the crux of the paper:
+//!
+//! * a **pinned** MR requires every page resident and locked for the
+//!   region's lifetime (the `ibv_reg_mr` default), while
+//! * an **ODP** MR (`IBV_ACCESS_ON_DEMAND`) is registered instantly with
+//!   no pages present; the NIC faults pages in as they are touched.
+//!
+//! The cost difference between the two is what Figure 9 and Table 6
+//! measure; the registration *work* itself (pin calls, page-table
+//! population) is performed by the NPF engine in `npf-core` — this
+//! module only records the bookkeeping.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use memsim::types::{PageRange, SpaceId, VirtAddr};
+
+/// A registration key (stands in for lkey/rkey, which are equal here).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MrKey(pub u32);
+
+/// How a region was registered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MrMode {
+    /// Pages pinned for the MR's lifetime.
+    Pinned,
+    /// On-demand paging: no pages pinned; NPFs resolve access.
+    OnDemand,
+}
+
+/// A registered memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryRegion {
+    /// The key naming this region.
+    pub key: MrKey,
+    /// Owning address space (IOuser).
+    pub space: SpaceId,
+    /// Pages covered.
+    pub range: PageRange,
+    /// Registration style.
+    pub mode: MrMode,
+    /// Whether remote peers may write (RDMA write targets).
+    pub remote_write: bool,
+}
+
+impl MemoryRegion {
+    /// `true` when `addr..addr+len` lies inside the region.
+    #[must_use]
+    pub fn covers(&self, addr: VirtAddr, len: u64) -> bool {
+        if len == 0 {
+            return self.range.contains(addr.vpn());
+        }
+        let r = PageRange::covering(addr, len);
+        self.range.start.0 <= r.start.0 && r.end().0 <= self.range.end().0
+    }
+}
+
+/// The per-NIC table of registered regions.
+#[derive(Debug, Default)]
+pub struct MrTable {
+    regions: HashMap<MrKey, MemoryRegion>,
+    next_key: u32,
+}
+
+impl MrTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        MrTable::default()
+    }
+
+    /// Registers a region and returns it.
+    pub fn register(
+        &mut self,
+        space: SpaceId,
+        range: PageRange,
+        mode: MrMode,
+        remote_write: bool,
+    ) -> MemoryRegion {
+        let key = MrKey(self.next_key);
+        self.next_key += 1;
+        let mr = MemoryRegion {
+            key,
+            space,
+            range,
+            mode,
+            remote_write,
+        };
+        self.regions.insert(key, mr);
+        mr
+    }
+
+    /// Deregisters a region. Returns it if it existed.
+    pub fn deregister(&mut self, key: MrKey) -> Option<MemoryRegion> {
+        self.regions.remove(&key)
+    }
+
+    /// Looks up a region.
+    #[must_use]
+    pub fn get(&self, key: MrKey) -> Option<&MemoryRegion> {
+        self.regions.get(&key)
+    }
+
+    /// The region covering `addr..addr+len` in `space`, if any.
+    #[must_use]
+    pub fn find_covering(&self, space: SpaceId, addr: VirtAddr, len: u64) -> Option<&MemoryRegion> {
+        self.regions
+            .values()
+            .find(|mr| mr.space == space && mr.covers(addr, len))
+    }
+
+    /// Number of live regions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// `true` when no regions are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Total pages covered by pinned regions (what static/coarse pinning
+    /// holds down).
+    #[must_use]
+    pub fn pinned_pages(&self) -> u64 {
+        self.regions
+            .values()
+            .filter(|mr| mr.mode == MrMode::Pinned)
+            .map(|mr| mr.range.pages)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::types::Vpn;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut t = MrTable::new();
+        let mr = t.register(
+            SpaceId(1),
+            PageRange::new(Vpn(0x10), 16),
+            MrMode::OnDemand,
+            true,
+        );
+        assert_eq!(t.get(mr.key), Some(&mr));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn covers_respects_bounds() {
+        let mut t = MrTable::new();
+        let mr = t.register(
+            SpaceId(1),
+            PageRange::new(Vpn(0x10), 2),
+            MrMode::Pinned,
+            false,
+        );
+        assert!(mr.covers(VirtAddr(0x10000), 8192));
+        assert!(!mr.covers(VirtAddr(0x10000), 8193));
+        assert!(!mr.covers(VirtAddr(0xf000), 1));
+    }
+
+    #[test]
+    fn find_covering_filters_by_space() {
+        let mut t = MrTable::new();
+        t.register(SpaceId(1), PageRange::new(Vpn(1), 4), MrMode::Pinned, false);
+        assert!(t.find_covering(SpaceId(1), VirtAddr(0x1000), 100).is_some());
+        assert!(t.find_covering(SpaceId(2), VirtAddr(0x1000), 100).is_none());
+    }
+
+    #[test]
+    fn pinned_pages_counts_only_pinned() {
+        let mut t = MrTable::new();
+        t.register(
+            SpaceId(1),
+            PageRange::new(Vpn(0), 10),
+            MrMode::Pinned,
+            false,
+        );
+        let odp = t.register(
+            SpaceId(1),
+            PageRange::new(Vpn(100), 1000),
+            MrMode::OnDemand,
+            true,
+        );
+        assert_eq!(t.pinned_pages(), 10);
+        t.deregister(odp.key);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,1880 @@
+//! The reliable-connection (RC) queue pair.
+//!
+//! Implements the transport behaviour §4 of the paper relies on:
+//!
+//! * go-back-N reliability with cumulative ACKs, sequence-error NAKs and
+//!   a transport retransmission timer,
+//! * **RNR NACK**: when an inbound packet's scatter DMA faults (an rNPF)
+//!   or no receive buffer is posted, the responder NACKs and the sender
+//!   pauses for a bounded time and then resumes *from the NACKed PSN* —
+//!   data already in flight is dropped and retransmitted from the
+//!   sender's queue, requiring no receiver-side buffering,
+//! * **local-fault stalling**: when an outbound packet's gather DMA
+//!   faults, the QP simply stops transmitting until the fault resolves,
+//! * **RDMA read rewind**: RC permits no RNR NACK for read responses
+//!   (§4's noted limitation); a faulting initiator instead drops
+//!   responses and, once the fault resolves, re-requests the remainder.
+//!
+//! Every DMA consults a [`DmaGate`], which the NPF engine implements; a
+//! pinned channel uses [`crate::types::PinnedGate`] and never faults.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use memsim::types::VirtAddr;
+use netsim::packet::NodeId;
+use simcore::time::SimTime;
+
+use crate::types::{
+    Completion, DmaGate, GateDecision, MessageRange, QpId, QpOutput, QpTimer, RcConfig, RcPacket,
+    RcPacketKind, RecvWqe, SendOp, WcOpcode, WcStatus, WrId,
+};
+
+#[cfg(test)]
+use crate::types::PinnedGate;
+
+/// Why the QP is not transmitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pause {
+    None,
+    /// Received RNR NACK; resume at the given time.
+    Rnr(SimTime),
+    /// A gather DMA faulted locally; resume on `fault_resolved`.
+    LocalFault(u64),
+}
+
+/// One packet the requester may need to retransmit.
+#[derive(Debug, Clone, Copy)]
+struct TxDesc {
+    kind: RcPacketKind,
+    /// Local gather address (None for read requests).
+    gather: Option<(VirtAddr, u64)>,
+    /// Full extent of the owning work request (for batched pre-fault).
+    message: MessageRange,
+    /// Completion to deliver when this packet is cumulatively acked.
+    complete: Option<(WrId, WcOpcode, u64)>,
+}
+
+/// An item waiting to be put on the wire.
+#[derive(Debug, Clone, Copy)]
+enum TxItem {
+    /// A retransmission (PSN already assigned).
+    Retransmit { psn: u64, desc: TxDesc },
+    /// A read-response slice (responder side; PSN pre-assigned from the
+    /// request's reserved range).
+    ReadResponse {
+        psn: u64,
+        addr: VirtAddr,
+        offset: u64,
+        len: u64,
+        last: bool,
+        message: MessageRange,
+    },
+}
+
+/// A posted send-queue work request being packetized.
+#[derive(Debug, Clone, Copy)]
+struct SqWr {
+    wr_id: WrId,
+    op: SendOp,
+    /// Bytes already packetized.
+    cursor: u64,
+}
+
+/// Progress of an in-flight inbound SEND message.
+#[derive(Debug, Clone, Copy)]
+struct RecvProgress {
+    wqe: RecvWqe,
+    received: u64,
+}
+
+/// Initiator-side state of one outstanding RDMA read.
+#[derive(Debug, Clone, Copy)]
+struct ReadState {
+    wr_id: WrId,
+    local: VirtAddr,
+    remote: VirtAddr,
+    len: u64,
+    packets: u64,
+    /// PSN of the next in-order response we will accept.
+    next_resp_psn: u64,
+    received: u64,
+}
+
+/// Transport statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RcStats {
+    /// Data packets transmitted (including retransmissions).
+    pub data_packets_sent: u64,
+    /// Payload bytes transmitted (including retransmissions).
+    pub bytes_sent: u64,
+    /// Packets retransmitted.
+    pub retransmits: u64,
+    /// Transport timer expirations.
+    pub timeouts: u64,
+    /// RNR NACKs sent (responder).
+    pub rnr_nacks_sent: u64,
+    /// RNR NACKs received (requester).
+    pub rnr_nacks_received: u64,
+    /// Sequence-error NAKs sent.
+    pub seq_naks_sent: u64,
+    /// Messages fully received.
+    pub messages_received: u64,
+    /// Inbound packets dropped (out of sequence, RNR window, read
+    /// faults).
+    pub rx_dropped: u64,
+    /// Read-RNR extension NAKs sent (initiator side).
+    pub read_rnr_sent: u64,
+    /// Read-RNR extension NAKs received (responder side).
+    pub read_rnr_received: u64,
+}
+
+/// A reliable-connection queue pair.
+#[derive(Debug)]
+pub struct RcQp {
+    cfg: RcConfig,
+    qpn: QpId,
+    peer_qp: QpId,
+    peer_node: NodeId,
+
+    // Requester.
+    sq: VecDeque<SqWr>,
+    tx: VecDeque<TxItem>,
+    inflight: BTreeMap<u64, TxDesc>,
+    next_psn: u64,
+    pause: Pause,
+    retry: u32,
+    rnr_retry: u32,
+    timer_armed: bool,
+    reads: BTreeMap<u64, ReadState>,
+    read_fault: Option<(u64, u64)>, // (fault_id, base_psn)
+
+    // Responder.
+    epsn: u64,
+    rq: VecDeque<RecvWqe>,
+    cur_recv: Option<RecvProgress>,
+    nak_outstanding: bool,
+    since_ack: u64,
+    /// Read responses parked by a NakReadNotReady (the §4 extension):
+    /// released when the RnrResume timer fires.
+    parked_read_responses: VecDeque<TxItem>,
+    /// Recently served reads (base PSN, remote, len, packets), kept so a
+    /// read-RNR NAK can re-serve already-transmitted slices. Bounded.
+    served_reads: VecDeque<(u64, VirtAddr, u64, u64)>,
+
+    errored: bool,
+    stats: RcStats,
+}
+
+impl RcQp {
+    /// Creates a connected QP talking to `peer_qp` on `peer_node`.
+    #[must_use]
+    pub fn new(cfg: RcConfig, qpn: QpId, peer_qp: QpId, peer_node: NodeId) -> Self {
+        RcQp {
+            cfg,
+            qpn,
+            peer_qp,
+            peer_node,
+            sq: VecDeque::new(),
+            tx: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            next_psn: 0,
+            pause: Pause::None,
+            retry: 0,
+            rnr_retry: 0,
+            timer_armed: false,
+            reads: BTreeMap::new(),
+            read_fault: None,
+            epsn: 0,
+            rq: VecDeque::new(),
+            cur_recv: None,
+            nak_outstanding: false,
+            since_ack: 0,
+            parked_read_responses: VecDeque::new(),
+            served_reads: VecDeque::new(),
+            errored: false,
+            stats: RcStats::default(),
+        }
+    }
+
+    /// This QP's number.
+    #[must_use]
+    pub fn qpn(&self) -> QpId {
+        self.qpn
+    }
+
+    /// The peer's node (physical destination of emitted packets).
+    #[must_use]
+    pub fn peer_node(&self) -> NodeId {
+        self.peer_node
+    }
+
+    /// Transport statistics.
+    #[must_use]
+    pub fn stats(&self) -> &RcStats {
+        &self.stats
+    }
+
+    /// `true` once the QP hit a fatal error.
+    #[must_use]
+    pub fn is_errored(&self) -> bool {
+        self.errored
+    }
+
+    /// Work requests not yet fully acknowledged (pending sends + reads).
+    #[must_use]
+    pub fn pending_work(&self) -> usize {
+        self.sq.len() + self.inflight.len() + self.reads.len() + self.tx.len()
+    }
+
+    /// Posts a receive buffer.
+    pub fn post_recv(&mut self, wqe: RecvWqe) {
+        self.rq.push_back(wqe);
+    }
+
+    /// Number of posted, unconsumed receive buffers.
+    #[must_use]
+    pub fn recv_queue_depth(&self) -> usize {
+        self.rq.len()
+    }
+
+    /// Posts a send-queue operation and transmits what the window and
+    /// gates allow.
+    pub fn post_send(
+        &mut self,
+        now: SimTime,
+        wr_id: WrId,
+        op: SendOp,
+        gate: &mut dyn DmaGate,
+    ) -> Vec<QpOutput> {
+        let mut out = Vec::new();
+        if self.errored {
+            out.push(QpOutput::Complete(Completion {
+                wr_id,
+                opcode: opcode_of(&op),
+                status: WcStatus::RetryExceeded,
+                len: op.len(),
+            }));
+            return out;
+        }
+        self.sq.push_back(SqWr {
+            wr_id,
+            op,
+            cursor: 0,
+        });
+        self.pump(now, gate, &mut out);
+        out
+    }
+
+    /// Handles an inbound packet.
+    pub fn on_packet(
+        &mut self,
+        now: SimTime,
+        pkt: RcPacket,
+        gate: &mut dyn DmaGate,
+    ) -> Vec<QpOutput> {
+        let mut out = Vec::new();
+        if self.errored {
+            return out;
+        }
+        debug_assert_eq!(pkt.dst_qp, self.qpn, "mis-routed packet");
+        match pkt.kind {
+            RcPacketKind::Ack => self.on_ack(now, pkt.psn, &mut out),
+            RcPacketKind::NakSequenceError => self.on_seq_nak(now, pkt.psn, &mut out),
+            RcPacketKind::NakReceiverNotReady { wait } => {
+                self.stats.rnr_nacks_received += 1;
+                self.rnr_retry += 1;
+                if self.rnr_retry > self.cfg.max_rnr_retries {
+                    self.fail(WcStatus::RnrRetryExceeded, &mut out);
+                    return out;
+                }
+                self.rewind_to(pkt.psn);
+                self.pause = Pause::Rnr(now + wait);
+                out.push(QpOutput::SetTimer(QpTimer::RnrResume, now + wait));
+            }
+            RcPacketKind::ReadResponse { offset, len, last } => {
+                self.on_read_response(now, pkt.psn, offset, len, last, gate, &mut out);
+            }
+            RcPacketKind::NakReadNotReady { wait } => {
+                // §4 extension, responder side: stop serving this read
+                // and re-serve everything from the NACKed PSN after the
+                // requested pause. Not-yet-sent slices are discarded
+                // (they will be regenerated), already-sent ones are
+                // regenerated from the served-reads history.
+                self.stats.read_rnr_received += 1;
+                let nacked = pkt.psn;
+                let mut kept = VecDeque::new();
+                while let Some(item) = self.tx.pop_front() {
+                    match item {
+                        TxItem::ReadResponse { psn, .. } if psn >= nacked => {}
+                        other => kept.push_back(other),
+                    }
+                }
+                self.tx = kept;
+                self.parked_read_responses.retain(
+                    |item| !matches!(item, TxItem::ReadResponse { psn, .. } if *psn >= nacked),
+                );
+                if let Some(&(base, remote, len, packets)) = self
+                    .served_reads
+                    .iter()
+                    .find(|&&(base, _, _, packets)| nacked > base && nacked <= base + packets)
+                {
+                    let message = MessageRange::new(remote, len);
+                    let mtu = self.cfg.mtu;
+                    for i in 0..packets {
+                        let psn = base + 1 + i;
+                        if psn < nacked {
+                            continue;
+                        }
+                        let offset = i * mtu;
+                        let chunk = (len - offset).min(mtu);
+                        self.parked_read_responses.push_back(TxItem::ReadResponse {
+                            psn,
+                            addr: VirtAddr(remote.0 + offset),
+                            offset,
+                            len: chunk,
+                            last: i + 1 == packets,
+                            message,
+                        });
+                    }
+                }
+                out.push(QpOutput::SetTimer(QpTimer::RnrResume, now + wait));
+            }
+            _ => self.responder_path(now, pkt, gate, &mut out),
+        }
+        self.pump(now, gate, &mut out);
+        out
+    }
+
+    /// Handles a timer expiry.
+    pub fn on_timer(
+        &mut self,
+        now: SimTime,
+        timer: QpTimer,
+        gate: &mut dyn DmaGate,
+    ) -> Vec<QpOutput> {
+        let mut out = Vec::new();
+        if self.errored {
+            return out;
+        }
+        match timer {
+            QpTimer::RnrResume | QpTimer::FaultResume => {
+                if matches!(self.pause, Pause::Rnr(_)) {
+                    self.pause = Pause::None;
+                }
+                // Release any read responses parked by the §4 read-RNR
+                // extension.
+                while let Some(item) = self.parked_read_responses.pop_front() {
+                    self.tx.push_back(item);
+                }
+            }
+            QpTimer::Retransmit => {
+                self.timer_armed = false;
+                if self.inflight.is_empty() && self.reads.is_empty() {
+                    return out;
+                }
+                self.stats.timeouts += 1;
+                self.retry += 1;
+                if self.retry > self.cfg.max_retries {
+                    self.fail(WcStatus::RetryExceeded, &mut out);
+                    return out;
+                }
+                // Go-back-N: everything unacked is resent in order.
+                let oldest = self.inflight.keys().next().copied();
+                if let Some(psn) = oldest {
+                    self.rewind_to(psn);
+                }
+                // Stalled reads re-request their remainders.
+                self.reissue_read_continuations(&mut out);
+            }
+        }
+        self.pump(now, gate, &mut out);
+        out
+    }
+
+    /// The NPF engine resolved a fault this QP is paused on.
+    pub fn fault_resolved(
+        &mut self,
+        now: SimTime,
+        fault_id: u64,
+        gate: &mut dyn DmaGate,
+    ) -> Vec<QpOutput> {
+        let mut out = Vec::new();
+        if self.errored {
+            return out;
+        }
+        if self.pause == Pause::LocalFault(fault_id) {
+            self.pause = Pause::None;
+        }
+        if let Some((fid, _base)) = self.read_fault {
+            if fid == fault_id {
+                self.read_fault = None;
+                if !self.cfg.rnr_for_reads {
+                    // Standard RC: the only recovery is rewinding the
+                    // read request. Under the §4 extension the responder
+                    // resumes by itself after the RNR wait.
+                    self.reissue_read_continuations(&mut out);
+                }
+            }
+        }
+        self.pump(now, gate, &mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Requester internals.
+    // ------------------------------------------------------------------
+
+    fn fail(&mut self, status: WcStatus, out: &mut Vec<QpOutput>) {
+        self.errored = true;
+        out.push(QpOutput::CancelTimer(QpTimer::Retransmit));
+        // Flush completions for everything outstanding, oldest first.
+        let mut flushed: Vec<Completion> = Vec::new();
+        for (_psn, desc) in std::mem::take(&mut self.inflight) {
+            if let Some((wr_id, opcode, len)) = desc.complete {
+                flushed.push(Completion {
+                    wr_id,
+                    opcode,
+                    status,
+                    len,
+                });
+            }
+        }
+        for item in std::mem::take(&mut self.tx) {
+            if let TxItem::Retransmit { desc, .. } = item {
+                if let Some((wr_id, opcode, len)) = desc.complete {
+                    flushed.push(Completion {
+                        wr_id,
+                        opcode,
+                        status,
+                        len,
+                    });
+                }
+            }
+        }
+        for wr in std::mem::take(&mut self.sq) {
+            flushed.push(Completion {
+                wr_id: wr.wr_id,
+                opcode: opcode_of(&wr.op),
+                status,
+                len: wr.op.len(),
+            });
+        }
+        for (_base, r) in std::mem::take(&mut self.reads) {
+            flushed.push(Completion {
+                wr_id: r.wr_id,
+                opcode: WcOpcode::Read,
+                status,
+                len: r.len,
+            });
+        }
+        out.extend(flushed.into_iter().map(QpOutput::Complete));
+    }
+
+    fn on_ack(&mut self, now: SimTime, psn: u64, out: &mut Vec<QpOutput>) {
+        let acked: Vec<u64> = self.inflight.range(..=psn).map(|(&p, _)| p).collect();
+        if acked.is_empty() {
+            return;
+        }
+        self.retry = 0;
+        self.rnr_retry = 0;
+        for p in acked {
+            let desc = self.inflight.remove(&p).expect("keys from range");
+            if let Some((wr_id, opcode, len)) = desc.complete {
+                out.push(QpOutput::Complete(Completion {
+                    wr_id,
+                    opcode,
+                    status: WcStatus::Success,
+                    len,
+                }));
+            }
+        }
+        self.rearm_timer(now, out);
+    }
+
+    fn on_seq_nak(&mut self, now: SimTime, psn: u64, out: &mut Vec<QpOutput>) {
+        // Cumulative ack of everything before the missing PSN.
+        if psn > 0 {
+            self.on_ack(now, psn - 1, out);
+        }
+        self.rewind_to(psn);
+    }
+
+    /// Moves every unacked packet with `psn >= from` back onto the front
+    /// of the tx queue, in PSN order.
+    fn rewind_to(&mut self, from: u64) {
+        let resend: Vec<(u64, TxDesc)> =
+            self.inflight.range(from..).map(|(&p, d)| (p, *d)).collect();
+        for &(p, _) in &resend {
+            self.inflight.remove(&p);
+        }
+        for (psn, desc) in resend.into_iter().rev() {
+            self.tx.push_front(TxItem::Retransmit { psn, desc });
+        }
+    }
+
+    fn reissue_read_continuations(&mut self, out: &mut Vec<QpOutput>) {
+        let conts: Vec<(u64, ReadState)> = self.reads.iter().map(|(&b, r)| (b, *r)).collect();
+        for (_base, r) in conts {
+            if r.received >= r.len {
+                continue;
+            }
+            let remaining = r.len - r.received;
+            let packets = remaining.div_ceil(self.cfg.mtu).max(1);
+            // Continuation request: PSN = last successfully received
+            // response (or the original request PSN), so the responder
+            // re-streams `next_resp_psn ..`.
+            let pkt = RcPacket {
+                dst_qp: self.peer_qp,
+                src_qp: self.qpn,
+                psn: r.next_resp_psn - 1,
+                kind: RcPacketKind::ReadRequest {
+                    remote: VirtAddr(r.remote.0 + r.received),
+                    len: remaining,
+                    packets,
+                },
+            };
+            out.push(QpOutput::Send {
+                to: self.peer_node,
+                packet: pkt,
+            });
+        }
+    }
+
+    fn rearm_timer(&mut self, now: SimTime, out: &mut Vec<QpOutput>) {
+        let need = !self.inflight.is_empty() || !self.reads.is_empty();
+        if need {
+            self.timer_armed = true;
+            out.push(QpOutput::SetTimer(
+                QpTimer::Retransmit,
+                now + self.cfg.retransmit_timeout,
+            ));
+        } else if self.timer_armed {
+            self.timer_armed = false;
+            out.push(QpOutput::CancelTimer(QpTimer::Retransmit));
+        }
+    }
+
+    /// Emits everything the window, pause state, and gather gate allow.
+    fn pump(&mut self, now: SimTime, gate: &mut dyn DmaGate, out: &mut Vec<QpOutput>) {
+        if self.errored {
+            return;
+        }
+        loop {
+            match self.pause {
+                Pause::None => {}
+                Pause::Rnr(until) if until <= now => self.pause = Pause::None,
+                _ => break,
+            }
+            // Priority 1: queued retransmissions and read responses.
+            if let Some(item) = self.tx.front().copied() {
+                match item {
+                    TxItem::Retransmit { psn, desc } => {
+                        if let Some((addr, len)) = desc.gather {
+                            if let GateDecision::Fault { fault_id } =
+                                gate.gather(self.qpn, addr, len, desc.message)
+                            {
+                                self.pause = Pause::LocalFault(fault_id);
+                                break;
+                            }
+                        }
+                        self.tx.pop_front();
+                        self.emit(psn, desc, true, out);
+                    }
+                    TxItem::ReadResponse {
+                        psn,
+                        addr,
+                        offset,
+                        len,
+                        last,
+                        message,
+                    } => {
+                        if let GateDecision::Fault { fault_id } =
+                            gate.gather(self.qpn, addr, len, message)
+                        {
+                            self.pause = Pause::LocalFault(fault_id);
+                            break;
+                        }
+                        self.tx.pop_front();
+                        self.stats.data_packets_sent += 1;
+                        self.stats.bytes_sent += len;
+                        out.push(QpOutput::Send {
+                            to: self.peer_node,
+                            packet: RcPacket {
+                                dst_qp: self.peer_qp,
+                                src_qp: self.qpn,
+                                psn,
+                                kind: RcPacketKind::ReadResponse { offset, len, last },
+                            },
+                        });
+                    }
+                }
+                continue;
+            }
+            // Priority 2: new packets from the send queue, window
+            // permitting.
+            if self.inflight.len() as u64 >= self.cfg.window_packets {
+                break;
+            }
+            let Some(wr) = self.sq.front().copied() else {
+                break;
+            };
+            match wr.op {
+                SendOp::Send { local, len } => {
+                    let offset = wr.cursor;
+                    let chunk = (len - offset).min(self.cfg.mtu);
+                    let last = offset + chunk >= len;
+                    let addr = VirtAddr(local.0 + offset);
+                    let message = MessageRange::new(local, len);
+                    if let GateDecision::Fault { fault_id } =
+                        gate.gather(self.qpn, addr, chunk, message)
+                    {
+                        self.pause = Pause::LocalFault(fault_id);
+                        break;
+                    }
+                    let desc = TxDesc {
+                        kind: RcPacketKind::SendData {
+                            offset,
+                            len: chunk,
+                            last,
+                            message_len: len,
+                        },
+                        gather: Some((addr, chunk)),
+                        message,
+                        complete: last.then_some((wr.wr_id, WcOpcode::Send, len)),
+                    };
+                    self.advance_sq(last, chunk);
+                    let psn = self.next_psn;
+                    self.next_psn += 1;
+                    self.emit(psn, desc, false, out);
+                }
+                SendOp::Write { local, remote, len } => {
+                    let offset = wr.cursor;
+                    let chunk = (len - offset).min(self.cfg.mtu);
+                    let last = offset + chunk >= len;
+                    let addr = VirtAddr(local.0 + offset);
+                    let message = MessageRange::new(local, len);
+                    if let GateDecision::Fault { fault_id } =
+                        gate.gather(self.qpn, addr, chunk, message)
+                    {
+                        self.pause = Pause::LocalFault(fault_id);
+                        break;
+                    }
+                    let desc = TxDesc {
+                        kind: RcPacketKind::WriteData {
+                            remote: VirtAddr(remote.0 + offset),
+                            len: chunk,
+                            last,
+                        },
+                        gather: Some((addr, chunk)),
+                        message,
+                        complete: last.then_some((wr.wr_id, WcOpcode::Write, len)),
+                    };
+                    self.advance_sq(last, chunk);
+                    let psn = self.next_psn;
+                    self.next_psn += 1;
+                    self.emit(psn, desc, false, out);
+                }
+                SendOp::Read { local, remote, len } => {
+                    let packets = len.div_ceil(self.cfg.mtu).max(1);
+                    let base = self.next_psn;
+                    self.next_psn += packets + 1;
+                    self.sq.pop_front();
+                    self.reads.insert(
+                        base,
+                        ReadState {
+                            wr_id: wr.wr_id,
+                            local,
+                            remote,
+                            len,
+                            packets,
+                            next_resp_psn: base + 1,
+                            received: 0,
+                        },
+                    );
+                    out.push(QpOutput::Send {
+                        to: self.peer_node,
+                        packet: RcPacket {
+                            dst_qp: self.peer_qp,
+                            src_qp: self.qpn,
+                            psn: base,
+                            kind: RcPacketKind::ReadRequest {
+                                remote,
+                                len,
+                                packets,
+                            },
+                        },
+                    });
+                }
+            }
+        }
+        self.rearm_timer(now, out);
+    }
+
+    fn advance_sq(&mut self, last: bool, chunk: u64) {
+        let wr = self.sq.front_mut().expect("pump checked front");
+        wr.cursor += chunk;
+        if last {
+            self.sq.pop_front();
+        }
+    }
+
+    fn emit(&mut self, psn: u64, desc: TxDesc, retransmit: bool, out: &mut Vec<QpOutput>) {
+        if retransmit {
+            self.stats.retransmits += 1;
+        }
+        let len = match desc.kind {
+            RcPacketKind::SendData { len, .. } | RcPacketKind::WriteData { len, .. } => len,
+            _ => 0,
+        };
+        self.stats.data_packets_sent += 1;
+        self.stats.bytes_sent += len;
+        self.inflight.insert(psn, desc);
+        out.push(QpOutput::Send {
+            to: self.peer_node,
+            packet: RcPacket {
+                dst_qp: self.peer_qp,
+                src_qp: self.qpn,
+                psn,
+                kind: desc.kind,
+            },
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Responder internals.
+    // ------------------------------------------------------------------
+
+    fn responder_path(
+        &mut self,
+        _now: SimTime,
+        pkt: RcPacket,
+        gate: &mut dyn DmaGate,
+        out: &mut Vec<QpOutput>,
+    ) {
+        // Rewound read requests may legitimately arrive below ePSN.
+        if let RcPacketKind::ReadRequest {
+            remote,
+            len,
+            packets,
+        } = pkt.kind
+        {
+            if pkt.psn < self.epsn {
+                self.queue_read_responses(pkt.psn, remote, len, packets);
+                return;
+            }
+        }
+        if pkt.psn < self.epsn {
+            // Duplicate from a go-back-N rewind: re-ack so the sender
+            // advances.
+            self.stats.rx_dropped += 1;
+            self.send_ack(out);
+            return;
+        }
+        if pkt.psn > self.epsn {
+            self.stats.rx_dropped += 1;
+            if !self.nak_outstanding {
+                self.nak_outstanding = true;
+                self.stats.seq_naks_sent += 1;
+                out.push(QpOutput::Send {
+                    to: self.peer_node,
+                    packet: RcPacket {
+                        dst_qp: self.peer_qp,
+                        src_qp: self.qpn,
+                        psn: self.epsn,
+                        kind: RcPacketKind::NakSequenceError,
+                    },
+                });
+            }
+            return;
+        }
+
+        // In sequence.
+        match pkt.kind {
+            RcPacketKind::SendData {
+                offset,
+                len,
+                last,
+                message_len,
+            } => {
+                if offset == 0 && self.cur_recv.is_none() {
+                    match self.rq.pop_front() {
+                        Some(wqe) => {
+                            self.cur_recv = Some(RecvProgress { wqe, received: 0 });
+                        }
+                        None => {
+                            // Classic RNR: no buffer posted.
+                            self.send_rnr(u64::MAX, out);
+                            return;
+                        }
+                    }
+                }
+                let Some(progress) = self.cur_recv else {
+                    // Mid-message packet with no message in progress: the
+                    // first packet was RNR'd; keep NACKing until rewind.
+                    self.send_rnr(u64::MAX, out);
+                    return;
+                };
+                let addr = VirtAddr(progress.wqe.addr.0 + offset);
+                let message = MessageRange::new(progress.wqe.addr, message_len);
+                match gate.scatter(self.qpn, addr, len, message) {
+                    GateDecision::Ok => {}
+                    GateDecision::Fault { fault_id } => {
+                        self.send_rnr(fault_id, out);
+                        out.push(QpOutput::RnrIssued { fault_id });
+                        return;
+                    }
+                }
+                let progress = self.cur_recv.as_mut().expect("checked above");
+                progress.received += len;
+                self.accept_packet(last, out);
+                if last {
+                    let progress = self.cur_recv.take().expect("message in progress");
+                    self.stats.messages_received += 1;
+                    out.push(QpOutput::Complete(Completion {
+                        wr_id: progress.wqe.wr_id,
+                        opcode: WcOpcode::Recv,
+                        status: WcStatus::Success,
+                        len: message_len,
+                    }));
+                }
+            }
+            RcPacketKind::WriteData { remote, len, last } => {
+                // The RETH of the first packet carries the full DMA
+                // extent in real IB; here each packet self-describes.
+                let message = MessageRange::new(remote, len);
+                match gate.scatter(self.qpn, remote, len, message) {
+                    GateDecision::Ok => {}
+                    GateDecision::Fault { fault_id } => {
+                        self.send_rnr(fault_id, out);
+                        out.push(QpOutput::RnrIssued { fault_id });
+                        return;
+                    }
+                }
+                self.accept_packet(last, out);
+            }
+            RcPacketKind::ReadRequest {
+                remote,
+                len,
+                packets,
+            } => {
+                self.epsn += packets + 1;
+                self.nak_outstanding = false;
+                self.queue_read_responses(pkt.psn, remote, len, packets);
+            }
+            _ => unreachable!("ack/nak/read-response handled by caller"),
+        }
+    }
+
+    fn accept_packet(&mut self, last: bool, out: &mut Vec<QpOutput>) {
+        self.epsn += 1;
+        self.nak_outstanding = false;
+        self.since_ack += 1;
+        if last || self.since_ack >= self.cfg.ack_every {
+            self.send_ack(out);
+        }
+    }
+
+    fn send_ack(&mut self, out: &mut Vec<QpOutput>) {
+        self.since_ack = 0;
+        out.push(QpOutput::Send {
+            to: self.peer_node,
+            packet: RcPacket {
+                dst_qp: self.peer_qp,
+                src_qp: self.qpn,
+                psn: self.epsn.saturating_sub(1),
+                kind: RcPacketKind::Ack,
+            },
+        });
+    }
+
+    fn send_rnr(&mut self, _fault_id: u64, out: &mut Vec<QpOutput>) {
+        self.stats.rnr_nacks_sent += 1;
+        out.push(QpOutput::Send {
+            to: self.peer_node,
+            packet: RcPacket {
+                dst_qp: self.peer_qp,
+                src_qp: self.qpn,
+                psn: self.epsn,
+                kind: RcPacketKind::NakReceiverNotReady {
+                    wait: self.cfg.rnr_wait,
+                },
+            },
+        });
+    }
+
+    fn queue_read_responses(&mut self, base_psn: u64, remote: VirtAddr, len: u64, packets: u64) {
+        self.served_reads
+            .push_back((base_psn, remote, len, packets));
+        if self.served_reads.len() > 64 {
+            self.served_reads.pop_front();
+        }
+        let message = MessageRange::new(remote, len);
+        let mut offset = 0;
+        for i in 0..packets {
+            let chunk = (len - offset).min(self.cfg.mtu);
+            let last = i + 1 == packets;
+            self.tx.push_back(TxItem::ReadResponse {
+                psn: base_psn + 1 + i,
+                addr: VirtAddr(remote.0 + offset),
+                offset,
+                len: chunk,
+                last,
+                message,
+            });
+            offset += chunk;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_read_response(
+        &mut self,
+        _now: SimTime,
+        psn: u64,
+        offset: u64,
+        len: u64,
+        last: bool,
+        gate: &mut dyn DmaGate,
+        out: &mut Vec<QpOutput>,
+    ) {
+        // Drop everything while a read fault is pending (§4: no RNR for
+        // reads; recovery is rewind-after-resolution).
+        if self.read_fault.is_some() {
+            self.stats.rx_dropped += 1;
+            return;
+        }
+        // Find the read whose reserved range contains this PSN.
+        let Some((&base, _)) = self.reads.range(..psn).next_back() else {
+            self.stats.rx_dropped += 1;
+            return;
+        };
+        let read = self.reads.get_mut(&base).expect("range hit");
+        if psn > base + read.packets || psn != read.next_resp_psn {
+            // Out of order or stale: drop; the timer re-requests.
+            self.stats.rx_dropped += 1;
+            return;
+        }
+        let addr = VirtAddr(read.local.0 + offset);
+        let message = MessageRange::new(read.local, read.len);
+        match gate.scatter(self.qpn, addr, len, message) {
+            GateDecision::Ok => {}
+            GateDecision::Fault { fault_id } => {
+                self.stats.rx_dropped += 1;
+                self.read_fault = Some((fault_id, base));
+                if self.cfg.rnr_for_reads {
+                    // §4 extension: stop the responder instead of letting
+                    // it stream responses into the void.
+                    self.stats.read_rnr_sent += 1;
+                    out.push(QpOutput::Send {
+                        to: self.peer_node,
+                        packet: RcPacket {
+                            dst_qp: self.peer_qp,
+                            src_qp: self.qpn,
+                            psn,
+                            kind: RcPacketKind::NakReadNotReady {
+                                wait: self.cfg.rnr_wait,
+                            },
+                        },
+                    });
+                }
+                return;
+            }
+        }
+        read.next_resp_psn += 1;
+        read.received += len;
+        self.retry = 0;
+        if last || read.received >= read.len {
+            let read = self.reads.remove(&base).expect("present");
+            out.push(QpOutput::Complete(Completion {
+                wr_id: read.wr_id,
+                opcode: WcOpcode::Read,
+                status: WcStatus::Success,
+                len: read.len,
+            }));
+        }
+    }
+}
+
+fn opcode_of(op: &SendOp) -> WcOpcode {
+    match op {
+        SendOp::Send { .. } => WcOpcode::Send,
+        SendOp::Write { .. } => WcOpcode::Write,
+        SendOp::Read { .. } => WcOpcode::Read,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    const NODE_A: NodeId = NodeId(0);
+    const NODE_B: NodeId = NodeId(1);
+
+    fn qp_pair() -> (RcQp, RcQp) {
+        let a = RcQp::new(RcConfig::default(), QpId(1), QpId(2), NODE_B);
+        let b = RcQp::new(RcConfig::default(), QpId(2), QpId(1), NODE_A);
+        (a, b)
+    }
+
+    /// Delivers all queued packets between two QPs until quiescent,
+    /// collecting completions from both sides.
+    fn run(
+        a: &mut RcQp,
+        b: &mut RcQp,
+        first: Vec<QpOutput>,
+        gate_a: &mut dyn DmaGate,
+        gate_b: &mut dyn DmaGate,
+        now: SimTime,
+    ) -> (Vec<Completion>, Vec<Completion>) {
+        let mut comps_a = Vec::new();
+        let mut comps_b = Vec::new();
+        let mut to_b: Vec<RcPacket> = Vec::new();
+        let mut to_a: Vec<RcPacket> = Vec::new();
+        let absorb = |outs: Vec<QpOutput>, tx: &mut Vec<RcPacket>, comps: &mut Vec<Completion>| {
+            for o in outs {
+                match o {
+                    QpOutput::Send { packet, .. } => tx.push(packet),
+                    QpOutput::Complete(c) => comps.push(c),
+                    _ => {}
+                }
+            }
+        };
+        absorb(first, &mut to_b, &mut comps_a);
+        for _ in 0..10_000 {
+            if to_b.is_empty() && to_a.is_empty() {
+                break;
+            }
+            if let Some(pkt) = to_b.first().copied() {
+                to_b.remove(0);
+                absorb(b.on_packet(now, pkt, gate_b), &mut to_a, &mut comps_b);
+            }
+            if let Some(pkt) = to_a.first().copied() {
+                to_a.remove(0);
+                absorb(a.on_packet(now, pkt, gate_a), &mut to_b, &mut comps_a);
+            }
+        }
+        (comps_a, comps_b)
+    }
+
+    #[test]
+    fn send_recv_single_packet() {
+        let (mut a, mut b) = qp_pair();
+        b.post_recv(RecvWqe {
+            wr_id: 77,
+            addr: VirtAddr(0x10000),
+            capacity: 8192,
+        });
+        let outs = a.post_send(
+            SimTime::ZERO,
+            1,
+            SendOp::Send {
+                local: VirtAddr(0x2000),
+                len: 1000,
+            },
+            &mut PinnedGate,
+        );
+        let (ca, cb) = run(
+            &mut a,
+            &mut b,
+            outs,
+            &mut PinnedGate,
+            &mut PinnedGate,
+            SimTime::ZERO,
+        );
+        assert_eq!(ca.len(), 1);
+        assert_eq!(ca[0].opcode, WcOpcode::Send);
+        assert_eq!(ca[0].status, WcStatus::Success);
+        assert_eq!(cb.len(), 1);
+        assert_eq!(cb[0].wr_id, 77);
+        assert_eq!(cb[0].opcode, WcOpcode::Recv);
+        assert_eq!(cb[0].len, 1000);
+    }
+
+    #[test]
+    fn multi_packet_message_segments_by_mtu() {
+        let (mut a, mut b) = qp_pair();
+        b.post_recv(RecvWqe {
+            wr_id: 9,
+            addr: VirtAddr(0x10000),
+            capacity: 1 << 22,
+        });
+        // 4 MiB message = 1024 MTU packets.
+        let outs = a.post_send(
+            SimTime::ZERO,
+            1,
+            SendOp::Send {
+                local: VirtAddr(0),
+                len: 4 << 20,
+            },
+            &mut PinnedGate,
+        );
+        let (ca, cb) = run(
+            &mut a,
+            &mut b,
+            outs,
+            &mut PinnedGate,
+            &mut PinnedGate,
+            SimTime::ZERO,
+        );
+        assert_eq!(ca.len(), 1);
+        assert_eq!(cb.len(), 1);
+        assert_eq!(cb[0].len, 4 << 20);
+        assert_eq!(a.stats().data_packets_sent, 1024);
+        assert_eq!(b.stats().messages_received, 1);
+    }
+
+    #[test]
+    fn rdma_write_needs_no_recv_wqe() {
+        let (mut a, mut b) = qp_pair();
+        let outs = a.post_send(
+            SimTime::ZERO,
+            3,
+            SendOp::Write {
+                local: VirtAddr(0),
+                remote: VirtAddr(0x9000),
+                len: 10_000,
+            },
+            &mut PinnedGate,
+        );
+        let (ca, cb) = run(
+            &mut a,
+            &mut b,
+            outs,
+            &mut PinnedGate,
+            &mut PinnedGate,
+            SimTime::ZERO,
+        );
+        assert_eq!(ca.len(), 1);
+        assert_eq!(ca[0].opcode, WcOpcode::Write);
+        assert!(cb.is_empty(), "inbound writes are invisible to the app");
+    }
+
+    #[test]
+    fn rdma_read_round_trip() {
+        let (mut a, mut b) = qp_pair();
+        let outs = a.post_send(
+            SimTime::ZERO,
+            4,
+            SendOp::Read {
+                local: VirtAddr(0x4000),
+                remote: VirtAddr(0x8000),
+                len: 10_000,
+            },
+            &mut PinnedGate,
+        );
+        let (ca, _cb) = run(
+            &mut a,
+            &mut b,
+            outs,
+            &mut PinnedGate,
+            &mut PinnedGate,
+            SimTime::ZERO,
+        );
+        assert_eq!(ca.len(), 1);
+        assert_eq!(ca[0].opcode, WcOpcode::Read);
+        assert_eq!(ca[0].len, 10_000);
+        assert!(a.reads.is_empty());
+    }
+
+    #[test]
+    fn missing_recv_wqe_triggers_rnr_and_recovers() {
+        let (mut a, mut b) = qp_pair();
+        // No recv posted: the first delivery attempt RNR-NACKs.
+        let outs = a.post_send(
+            SimTime::ZERO,
+            5,
+            SendOp::Send {
+                local: VirtAddr(0),
+                len: 500,
+            },
+            &mut PinnedGate,
+        );
+        let pkt = outs
+            .iter()
+            .find_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .expect("data packet");
+        let nacks = b.on_packet(SimTime::ZERO, pkt, &mut PinnedGate);
+        let nak = nacks
+            .iter()
+            .find_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .expect("rnr nack");
+        assert!(matches!(nak.kind, RcPacketKind::NakReceiverNotReady { .. }));
+        assert_eq!(b.stats().rnr_nacks_sent, 1);
+        // Sender pauses...
+        let outs = a.on_packet(SimTime::ZERO, nak, &mut PinnedGate);
+        assert!(
+            !outs
+                .iter()
+                .any(|o| matches!(o, QpOutput::Send { packet, .. } if packet.wire_size() > 64)),
+            "paused sender must not retransmit data yet"
+        );
+        assert_eq!(a.stats().rnr_nacks_received, 1);
+        // ...the app posts a buffer, the RNR timer fires, and the
+        // retransmission completes the exchange.
+        b.post_recv(RecvWqe {
+            wr_id: 50,
+            addr: VirtAddr(0x10000),
+            capacity: 4096,
+        });
+        let resume = SimTime::ZERO + RcConfig::default().rnr_wait;
+        let outs = a.on_timer(resume, QpTimer::RnrResume, &mut PinnedGate);
+        let (ca, cb) = run(
+            &mut a,
+            &mut b,
+            outs,
+            &mut PinnedGate,
+            &mut PinnedGate,
+            resume,
+        );
+        assert_eq!(ca.len(), 1);
+        assert_eq!(cb.len(), 1);
+        assert!(a.stats().retransmits >= 1);
+    }
+
+    /// A gate that faults the first `n` scatter accesses.
+    struct FaultFirstN {
+        remaining: u32,
+        next_id: u64,
+        pub faults: Vec<u64>,
+    }
+
+    impl FaultFirstN {
+        fn new(n: u32) -> Self {
+            FaultFirstN {
+                remaining: n,
+                next_id: 100,
+                faults: Vec::new(),
+            }
+        }
+    }
+
+    impl DmaGate for FaultFirstN {
+        fn gather(
+            &mut self,
+            _qp: QpId,
+            _addr: VirtAddr,
+            _len: u64,
+            _m: MessageRange,
+        ) -> GateDecision {
+            GateDecision::Ok
+        }
+        fn scatter(
+            &mut self,
+            _qp: QpId,
+            _addr: VirtAddr,
+            _len: u64,
+            _m: MessageRange,
+        ) -> GateDecision {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                let id = self.next_id;
+                self.next_id += 1;
+                self.faults.push(id);
+                GateDecision::Fault { fault_id: id }
+            } else {
+                GateDecision::Ok
+            }
+        }
+    }
+
+    #[test]
+    fn rnpf_on_receive_rnr_nacks_then_recovers() {
+        let (mut a, mut b) = qp_pair();
+        b.post_recv(RecvWqe {
+            wr_id: 7,
+            addr: VirtAddr(0x10000),
+            capacity: 4096,
+        });
+        let mut faulty = FaultFirstN::new(1);
+        let outs = a.post_send(
+            SimTime::ZERO,
+            6,
+            SendOp::Send {
+                local: VirtAddr(0),
+                len: 2000,
+            },
+            &mut PinnedGate,
+        );
+        let pkt = outs
+            .iter()
+            .find_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .expect("data");
+        // The receive DMA faults: RNR NACK + RnrIssued effect.
+        let outs = b.on_packet(SimTime::ZERO, pkt, &mut faulty);
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, QpOutput::RnrIssued { fault_id } if *fault_id == 100)));
+        let nak = outs
+            .iter()
+            .find_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .expect("nak");
+        a.on_packet(SimTime::ZERO, nak, &mut PinnedGate);
+        // After the pause the fault is resolved (gate accepts) and the
+        // retransmitted packet lands.
+        let resume = SimTime::ZERO + RcConfig::default().rnr_wait;
+        let outs = a.on_timer(resume, QpTimer::RnrResume, &mut PinnedGate);
+        let (ca, cb) = run(&mut a, &mut b, outs, &mut PinnedGate, &mut faulty, resume);
+        assert_eq!(ca.len(), 1);
+        assert_eq!(cb.len(), 1);
+        assert_eq!(cb[0].len, 2000);
+    }
+
+    /// A gate that faults gathers once.
+    struct GatherFaultOnce {
+        armed: bool,
+    }
+
+    impl DmaGate for GatherFaultOnce {
+        fn gather(
+            &mut self,
+            _qp: QpId,
+            _addr: VirtAddr,
+            _len: u64,
+            _m: MessageRange,
+        ) -> GateDecision {
+            if self.armed {
+                self.armed = false;
+                GateDecision::Fault { fault_id: 555 }
+            } else {
+                GateDecision::Ok
+            }
+        }
+        fn scatter(
+            &mut self,
+            _qp: QpId,
+            _addr: VirtAddr,
+            _len: u64,
+            _m: MessageRange,
+        ) -> GateDecision {
+            GateDecision::Ok
+        }
+    }
+
+    #[test]
+    fn local_fault_pauses_sender_until_resolved() {
+        let (mut a, mut b) = qp_pair();
+        b.post_recv(RecvWqe {
+            wr_id: 8,
+            addr: VirtAddr(0x10000),
+            capacity: 4096,
+        });
+        let mut gate = GatherFaultOnce { armed: true };
+        let outs = a.post_send(
+            SimTime::ZERO,
+            9,
+            SendOp::Send {
+                local: VirtAddr(0),
+                len: 100,
+            },
+            &mut gate,
+        );
+        assert!(
+            !outs.iter().any(|o| matches!(o, QpOutput::Send { .. })),
+            "faulted gather must emit nothing"
+        );
+        // The NPF engine resolves fault 555; transmission resumes.
+        let outs = a.fault_resolved(SimTime::from_micros(220), 555, &mut gate);
+        let (ca, cb) = run(
+            &mut a,
+            &mut b,
+            outs,
+            &mut gate,
+            &mut PinnedGate,
+            SimTime::from_micros(220),
+        );
+        assert_eq!(ca.len(), 1);
+        assert_eq!(cb.len(), 1);
+    }
+
+    #[test]
+    fn read_response_fault_drops_then_rewinds() {
+        let (mut a, mut b) = qp_pair();
+        let mut faulty = FaultFirstN::new(1);
+        let outs = a.post_send(
+            SimTime::ZERO,
+            10,
+            SendOp::Read {
+                local: VirtAddr(0x4000),
+                remote: VirtAddr(0x8000),
+                len: 10_000,
+            },
+            &mut PinnedGate,
+        );
+        // Deliver the request; collect the responses.
+        let req = outs
+            .iter()
+            .find_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .expect("request");
+        let outs = b.on_packet(SimTime::ZERO, req, &mut PinnedGate);
+        let responses: Vec<RcPacket> = outs
+            .iter()
+            .filter_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(responses.len(), 3, "10 KB = 3 MTU packets");
+        // First response faults at the initiator; the rest are dropped.
+        for r in &responses {
+            a.on_packet(SimTime::ZERO, *r, &mut faulty);
+        }
+        assert_eq!(a.stats().rx_dropped, 3);
+        assert!(a.reads.len() == 1, "read still outstanding");
+        // Resolution triggers a rewound request for the full remainder.
+        let outs = a.fault_resolved(SimTime::from_micros(300), faulty.faults[0], &mut faulty);
+        let (ca, _cb) = run(
+            &mut a,
+            &mut b,
+            outs,
+            &mut faulty,
+            &mut PinnedGate,
+            SimTime::from_micros(300),
+        );
+        assert_eq!(ca.len(), 1);
+        assert_eq!(ca[0].opcode, WcOpcode::Read);
+        assert_eq!(ca[0].status, WcStatus::Success);
+    }
+
+    #[test]
+    fn retransmit_timeout_goes_back_n() {
+        let (mut a, mut b) = qp_pair();
+        b.post_recv(RecvWqe {
+            wr_id: 1,
+            addr: VirtAddr(0x10000),
+            capacity: 1 << 20,
+        });
+        let outs = a.post_send(
+            SimTime::ZERO,
+            11,
+            SendOp::Send {
+                local: VirtAddr(0),
+                len: 3 * 4096,
+            },
+            &mut PinnedGate,
+        );
+        let pkts: Vec<RcPacket> = outs
+            .iter()
+            .filter_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pkts.len(), 3);
+        // Lose all three; fire the retransmission timer.
+        let deadline = SimTime::ZERO + RcConfig::default().retransmit_timeout;
+        let outs = a.on_timer(deadline, QpTimer::Retransmit, &mut PinnedGate);
+        let retx: Vec<RcPacket> = outs
+            .iter()
+            .filter_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retx.len(), 3, "go-back-N resends the window");
+        assert_eq!(retx[0].psn, 0);
+        let (ca, cb) = run(
+            &mut a,
+            &mut b,
+            outs,
+            &mut PinnedGate,
+            &mut PinnedGate,
+            deadline,
+        );
+        assert_eq!(ca.len(), 1);
+        assert_eq!(cb.len(), 1);
+    }
+
+    #[test]
+    fn out_of_sequence_packet_naked_and_recovered() {
+        let (mut a, mut b) = qp_pair();
+        b.post_recv(RecvWqe {
+            wr_id: 1,
+            addr: VirtAddr(0x10000),
+            capacity: 1 << 20,
+        });
+        let outs = a.post_send(
+            SimTime::ZERO,
+            12,
+            SendOp::Send {
+                local: VirtAddr(0),
+                len: 3 * 4096,
+            },
+            &mut PinnedGate,
+        );
+        let pkts: Vec<RcPacket> = outs
+            .iter()
+            .filter_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .collect();
+        // Drop packet 0; deliver 1 and 2: one NAK comes back.
+        let naks = b.on_packet(SimTime::ZERO, pkts[1], &mut PinnedGate);
+        let nak = naks
+            .iter()
+            .find_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .expect("nak");
+        assert_eq!(nak.kind, RcPacketKind::NakSequenceError);
+        assert_eq!(nak.psn, 0);
+        let more = b.on_packet(SimTime::ZERO, pkts[2], &mut PinnedGate);
+        assert!(
+            !more.iter().any(|o| matches!(o, QpOutput::Send { .. })),
+            "NAK storm suppressed"
+        );
+        // The NAK rewinds the sender; the retransmitted stream completes.
+        let outs = a.on_packet(SimTime::ZERO, nak, &mut PinnedGate);
+        let (ca, cb) = run(
+            &mut a,
+            &mut b,
+            outs,
+            &mut PinnedGate,
+            &mut PinnedGate,
+            SimTime::ZERO,
+        );
+        assert_eq!(ca.len(), 1);
+        assert_eq!(cb.len(), 1);
+        assert_eq!(b.stats().messages_received, 1);
+    }
+
+    #[test]
+    fn retry_exhaustion_errors_the_qp() {
+        let cfg = RcConfig {
+            max_retries: 2,
+            ..RcConfig::default()
+        };
+        let mut a = RcQp::new(cfg, QpId(1), QpId(2), NODE_B);
+        let outs = a.post_send(
+            SimTime::ZERO,
+            13,
+            SendOp::Send {
+                local: VirtAddr(0),
+                len: 100,
+            },
+            &mut PinnedGate,
+        );
+        assert!(outs.iter().any(|o| matches!(o, QpOutput::Send { .. })));
+        let mut now = SimTime::ZERO;
+        let mut failed = Vec::new();
+        for _ in 0..5 {
+            now += cfg.retransmit_timeout;
+            for o in a.on_timer(now, QpTimer::Retransmit, &mut PinnedGate) {
+                if let QpOutput::Complete(c) = o {
+                    failed.push(c);
+                }
+            }
+            if a.is_errored() {
+                break;
+            }
+        }
+        assert!(a.is_errored());
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].status, WcStatus::RetryExceeded);
+        // Posts after the error complete immediately with failure.
+        let outs = a.post_send(
+            now,
+            14,
+            SendOp::Send {
+                local: VirtAddr(0),
+                len: 1,
+            },
+            &mut PinnedGate,
+        );
+        assert!(matches!(
+            outs[0],
+            QpOutput::Complete(Completion {
+                status: WcStatus::RetryExceeded,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn window_limits_outstanding_packets() {
+        let cfg = RcConfig {
+            window_packets: 4,
+            ..RcConfig::default()
+        };
+        let mut a = RcQp::new(cfg, QpId(1), QpId(2), NODE_B);
+        let outs = a.post_send(
+            SimTime::ZERO,
+            15,
+            SendOp::Send {
+                local: VirtAddr(0),
+                len: 100 * 4096,
+            },
+            &mut PinnedGate,
+        );
+        let sent = outs
+            .iter()
+            .filter(|o| matches!(o, QpOutput::Send { .. }))
+            .count();
+        assert_eq!(sent, 4, "window caps the burst");
+    }
+}
+
+#[cfg(test)]
+mod read_rnr_extension_tests {
+    use super::*;
+    use crate::types::PinnedGate;
+
+    /// The §4 extension end to end: a faulting read initiator stops the
+    /// responder with a read-RNR NAK; the responder resumes after the
+    /// wait and the read completes without a rewound request.
+    #[test]
+    fn read_rnr_extension_recovers_without_rewind() {
+        let cfg = RcConfig {
+            rnr_for_reads: true,
+            ..RcConfig::default()
+        };
+        let mut a = RcQp::new(cfg, QpId(1), QpId(2), NodeId(1));
+        let mut b = RcQp::new(cfg, QpId(2), QpId(1), NodeId(0));
+
+        struct FaultOnce {
+            armed: bool,
+        }
+        impl DmaGate for FaultOnce {
+            fn gather(&mut self, _: QpId, _: VirtAddr, _: u64, _: MessageRange) -> GateDecision {
+                GateDecision::Ok
+            }
+            fn scatter(&mut self, _: QpId, _: VirtAddr, _: u64, _: MessageRange) -> GateDecision {
+                if self.armed {
+                    self.armed = false;
+                    GateDecision::Fault { fault_id: 42 }
+                } else {
+                    GateDecision::Ok
+                }
+            }
+        }
+        let mut gate = FaultOnce { armed: true };
+
+        let outs = a.post_send(
+            SimTime::ZERO,
+            1,
+            SendOp::Read {
+                local: VirtAddr(0x4000),
+                remote: VirtAddr(0x8000),
+                len: 12_288,
+            },
+            &mut PinnedGate,
+        );
+        let req = outs
+            .iter()
+            .find_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .expect("request");
+        let responses: Vec<RcPacket> = b
+            .on_packet(SimTime::ZERO, req, &mut PinnedGate)
+            .into_iter()
+            .filter_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(packet),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(responses.len(), 3);
+
+        // First response faults at the initiator: a read-RNR NAK goes
+        // back instead of silence.
+        let outs = a.on_packet(SimTime::ZERO, responses[0], &mut gate);
+        let nak = outs
+            .iter()
+            .find_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(*packet),
+                _ => None,
+            })
+            .expect("read-rnr nak");
+        assert!(matches!(nak.kind, RcPacketKind::NakReadNotReady { .. }));
+        assert_eq!(a.stats().read_rnr_sent, 1);
+        // In-flight responses are dropped while the fault is pending.
+        a.on_packet(SimTime::ZERO, responses[1], &mut gate);
+        a.on_packet(SimTime::ZERO, responses[2], &mut gate);
+        assert_eq!(a.stats().rx_dropped, 3);
+
+        // The responder parks its stream (nothing new goes out) and
+        // arms a resume timer.
+        let outs = b.on_packet(SimTime::ZERO, nak, &mut PinnedGate);
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, QpOutput::SetTimer(QpTimer::RnrResume, _))));
+        assert_eq!(b.stats().read_rnr_received, 1);
+
+        // Initiator's fault resolves (gate now accepts); no rewound
+        // request is sent under the extension.
+        let outs = a.fault_resolved(SimTime::from_micros(220), 42, &mut gate);
+        assert!(
+            !outs.iter().any(|o| matches!(o, QpOutput::Send { .. })),
+            "extension avoids the rewind request"
+        );
+
+        // The responder's timer fires and it re-streams from the NACKed
+        // PSN; the read completes.
+        let resume = SimTime::ZERO + cfg.rnr_wait;
+        let resent: Vec<RcPacket> = b
+            .on_timer(resume, QpTimer::RnrResume, &mut PinnedGate)
+            .into_iter()
+            .filter_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(packet),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(resent.len(), 3, "responder re-serves the parked slices");
+        let mut comps = Vec::new();
+        for p in resent {
+            for o in a.on_packet(resume, p, &mut gate) {
+                if let QpOutput::Complete(c) = o {
+                    comps.push(c);
+                }
+            }
+        }
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].opcode, WcOpcode::Read);
+        assert_eq!(comps[0].status, WcStatus::Success);
+    }
+}
+
+#[cfg(test)]
+mod exhaustion_tests {
+    use super::*;
+    use crate::types::PinnedGate;
+
+    /// RNR retries are bounded: a receiver that never becomes ready
+    /// eventually errors the QP with `RnrRetryExceeded`.
+    #[test]
+    fn rnr_retry_exhaustion_errors_qp() {
+        let cfg = RcConfig {
+            max_rnr_retries: 3,
+            ..RcConfig::default()
+        };
+        let mut a = RcQp::new(cfg, QpId(1), QpId(2), NodeId(1));
+        let mut b = RcQp::new(cfg, QpId(2), QpId(1), NodeId(0));
+        // No receive buffer is ever posted at b.
+        let mut now = SimTime::ZERO;
+        let mut outs = a.post_send(
+            now,
+            1,
+            SendOp::Send {
+                local: VirtAddr(0),
+                len: 100,
+            },
+            &mut PinnedGate,
+        );
+        let mut failed = None;
+        for _ in 0..10 {
+            // Deliver a's data packets to b; b RNR-NACKs; deliver the
+            // NACK back; fire a's resume timer.
+            let data: Vec<RcPacket> = outs
+                .iter()
+                .filter_map(|o| match o {
+                    QpOutput::Send { packet, .. } => Some(*packet),
+                    _ => None,
+                })
+                .collect();
+            let mut naks = Vec::new();
+            for p in data {
+                for o in b.on_packet(now, p, &mut PinnedGate) {
+                    if let QpOutput::Send { packet, .. } = o {
+                        naks.push(packet);
+                    }
+                }
+            }
+            let mut resume_at = None;
+            for n in naks {
+                for o in a.on_packet(now, n, &mut PinnedGate) {
+                    match o {
+                        QpOutput::SetTimer(QpTimer::RnrResume, t) => resume_at = Some(t),
+                        QpOutput::Complete(c) => failed = Some(c),
+                        _ => {}
+                    }
+                }
+            }
+            if failed.is_some() {
+                break;
+            }
+            let Some(t) = resume_at else { break };
+            now = t;
+            outs = a.on_timer(now, QpTimer::RnrResume, &mut PinnedGate);
+        }
+        let failure = failed.expect("RNR retries must exhaust");
+        assert_eq!(failure.status, WcStatus::RnrRetryExceeded);
+        assert!(a.is_errored());
+    }
+
+    /// The send window refills as cumulative ACKs arrive: a message
+    /// larger than the window completes through multiple bursts.
+    #[test]
+    fn window_refills_on_ack() {
+        // Ack coalescing must not exceed the window or the pipeline
+        // stalls until the retransmission timer (as on real hardware).
+        let cfg = RcConfig {
+            window_packets: 2,
+            ack_every: 2,
+            ..RcConfig::default()
+        };
+        let mut a = RcQp::new(cfg, QpId(1), QpId(2), NodeId(1));
+        let mut b = RcQp::new(cfg, QpId(2), QpId(1), NodeId(0));
+        b.post_recv(RecvWqe {
+            wr_id: 1,
+            addr: VirtAddr(0x10000),
+            capacity: 1 << 20,
+        });
+        let mut wire: Vec<RcPacket> = a
+            .post_send(
+                SimTime::ZERO,
+                1,
+                SendOp::Send {
+                    local: VirtAddr(0),
+                    len: 10 * 4096,
+                },
+                &mut PinnedGate,
+            )
+            .into_iter()
+            .filter_map(|o| match o {
+                QpOutput::Send { packet, .. } => Some(packet),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(wire.len(), 2, "window caps the first burst");
+        let mut recv_done = false;
+        for _ in 0..40 {
+            if wire.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            for p in wire.drain(..) {
+                let qp: &mut RcQp = if p.dst_qp == QpId(2) { &mut b } else { &mut a };
+                for o in qp.on_packet(SimTime::ZERO, p, &mut PinnedGate) {
+                    match o {
+                        QpOutput::Send { packet, .. } => next.push(packet),
+                        QpOutput::Complete(c) if c.opcode == WcOpcode::Recv => {
+                            recv_done = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            wire = next;
+        }
+        assert!(
+            recv_done,
+            "10-packet message completes through a 2-packet window"
+        );
+        assert_eq!(a.stats().data_packets_sent, 10);
+    }
+}

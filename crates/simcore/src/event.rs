@@ -1,0 +1,300 @@
+//! Deterministic event queue.
+//!
+//! Every testbed owns exactly one [`EventQueue`]; it is the only source of
+//! time advancement in a simulation. Events scheduled for the same instant
+//! are popped in FIFO order of scheduling (a monotone sequence number breaks
+//! ties), which makes runs bit-for-bit reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::event::EventQueue;
+//! use simcore::time::{SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule_at(SimTime::from_micros(5), "b");
+//! q.schedule_at(SimTime::from_micros(1), "a");
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+//! assert!(q.pop().is_none());
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (time, seq) wins.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Handle identifying a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+/// A time-ordered queue of simulation events.
+///
+/// `E` is the testbed-specific event type. The queue tracks the current
+/// simulated time: popping an event advances [`EventQueue::now`] to the
+/// event's timestamp. Scheduling in the past is clamped to `now` (the
+/// event fires "immediately", still in deterministic order).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    next_seq: u64,
+    pending: std::collections::HashSet<u64>,
+    cancelled: std::collections::HashSet<u64>,
+    scheduled_total: u64,
+    popped_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+            scheduled_total: 0,
+            popped_total: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever scheduled.
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total number of events ever popped (delivered).
+    #[must_use]
+    pub fn popped_total(&self) -> u64 {
+        self.popped_total
+    }
+
+    /// Schedules `event` at absolute time `at`. Times in the past are
+    /// clamped to `now`. Returns a token usable with [`EventQueue::cancel`].
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
+        let at = if at < self.now { self.now } else { at };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.pending.insert(seq);
+        let token = EventToken(seq);
+        self.heap.push(Entry { at, seq, event });
+        token
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventToken {
+        self.schedule_at(self.now.saturating_add(delay), event)
+    }
+
+    /// Schedules `event` to fire at the current time, after any events
+    /// already queued for this instant.
+    pub fn schedule_now(&mut self, event: E) -> EventToken {
+        self.schedule_at(self.now, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending. Cancelling twice, or cancelling an event that
+    /// already fired, returns `false`.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if !self.pending.remove(&token.0) {
+            return false;
+        }
+        // Lazily mark; the entry is skipped at pop time.
+        self.cancelled.insert(token.0);
+        true
+    }
+
+    /// Removes and returns the next event along with its timestamp,
+    /// advancing the simulated clock. Returns `None` when the queue is
+    /// drained.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "time must be monotone");
+            self.pending.remove(&entry.seq);
+            self.now = entry.at;
+            self.popped_total += 1;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// The timestamp of the next pending event without removing it.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Discards all pending events without changing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(30), 3);
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_for_equal_times() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(7);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(10), "late");
+        q.pop();
+        q.schedule_at(SimTime::from_micros(1), "clamped");
+        let (t, e) = q.pop().expect("event");
+        assert_eq!(e, "clamped");
+        assert_eq!(t, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_nanos(1), "a");
+        q.schedule_at(SimTime::from_nanos(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_nanos(1), "a");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        // Cancelling now must not poison a future event that reuses state.
+        assert!(!q.cancel(a), "cancelling a fired event reports false");
+        q.schedule_at(SimTime::from_nanos(2), "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(100), "first");
+        q.pop();
+        q.schedule_in(SimDuration::from_micros(50), "second");
+        let (t, _) = q.pop().expect("event");
+        assert_eq!(t, SimTime::from_micros(150));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_nanos(1), "a");
+        q.schedule_at(SimTime::from_nanos(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q = EventQueue::new();
+        q.schedule_now(1);
+        q.schedule_now(2);
+        q.pop();
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.popped_total(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! Seeded randomness for reproducible simulations.
+//!
+//! All stochastic behaviour in the simulator (jitter, workload key
+//! selection, loss) draws from a [`SimRng`] so that a run is fully
+//! determined by its seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::rng::SimRng;
+//!
+//! let mut a = SimRng::new(42);
+//! let mut b = SimRng::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random number generator for simulations.
+///
+/// Wraps [`rand::rngs::StdRng`] with convenience samplers used across the
+/// workloads: uniform ranges, Bernoulli trials, exponential inter-arrival
+/// times, Zipf-like key popularity, and log-normal latency jitter.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// component its own stream so adding draws in one component does not
+    /// perturb another.
+    #[must_use]
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let child = self
+            .inner
+            .next_u64()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(label);
+        SimRng::new(child)
+    }
+
+    /// A uniformly random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniformly random value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        Uniform::from(0..n).sample(&mut self.inner)
+    }
+
+    /// A uniformly random value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        Uniform::from(lo..hi).sample(&mut self.inner)
+    }
+
+    /// A uniformly random float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A Bernoulli trial that succeeds with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
+
+    /// An exponentially distributed duration with the given mean; used for
+    /// Poisson arrival processes.
+    pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
+        let u = 1.0 - self.unit(); // (0, 1]
+        SimDuration::from_secs_f64(-u.ln() * mean.as_secs_f64())
+    }
+
+    /// A log-normally jittered duration around `base`: the result has
+    /// median `base` and sigma controlling tail heaviness. Used to model
+    /// the latency tails of Table 4.
+    pub fn lognormal_jitter(&mut self, base: SimDuration, sigma: f64) -> SimDuration {
+        // Box-Muller transform; two uniforms -> one standard normal.
+        let u1 = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        SimDuration::from_secs_f64(base.as_secs_f64() * (sigma * z).exp())
+    }
+
+    /// Samples a key in `[0, n)` with approximately Zipfian popularity
+    /// (exponent `s`), the classic skew of key-value workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n > 0, "zipf over empty domain");
+        if n == 1 {
+            return 0;
+        }
+        // Inverse-CDF approximation for the continuous analogue; exact
+        // Zipf sampling is unnecessary for workload modelling.
+        let u = self.unit().max(f64::MIN_POSITIVE);
+        if (s - 1.0).abs() < 1e-9 {
+            let hmax = (n as f64).ln();
+            return ((u * hmax).exp() - 1.0).min((n - 1) as f64) as u64;
+        }
+        let e = 1.0 - s;
+        let hmax = ((n as f64).powf(e) - 1.0) / e;
+        let x = (1.0 + u * hmax * e).powf(1.0 / e) - 1.0;
+        (x.min((n - 1) as f64)) as u64
+    }
+
+    /// Fisher-Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        let mut fa = a.fork(1);
+        let mut fb = b.fork(1);
+        assert_eq!(fa.next_u64(), fb.next_u64());
+        // Drawing from the fork does not perturb the parent.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exponential_mean_roughly_correct() {
+        let mut r = SimRng::new(11);
+        let mean = SimDuration::from_micros(100);
+        let n = 20_000;
+        let total: SimDuration = (0..n).map(|_| r.exponential(mean)).sum();
+        let avg = total.as_secs_f64() / n as f64;
+        assert!((avg - 1e-4).abs() < 5e-6, "sample mean {avg} too far");
+    }
+
+    #[test]
+    fn lognormal_median_near_base() {
+        let mut r = SimRng::new(13);
+        let base = SimDuration::from_micros(220);
+        let mut samples: Vec<u64> = (0..10_001)
+            .map(|_| r.lognormal_jitter(base, 0.1).as_nanos())
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2] as f64;
+        assert!((median / base.as_nanos() as f64 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn zipf_skews_to_small_keys() {
+        let mut r = SimRng::new(17);
+        let mut low = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if r.zipf(1000, 0.99) < 100 {
+                low += 1;
+            }
+        }
+        // With skew 0.99, the first 10% of keys receive well over half
+        // of the draws.
+        assert!(low > n / 2, "only {low}/{n} in the head");
+        assert_eq!(r.zipf(1, 0.99), 0);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = SimRng::new(19);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+}

@@ -1,0 +1,469 @@
+//! Measurement plumbing: histograms, percentiles, time series, and
+//! throughput meters.
+//!
+//! Every experiment in the benchmark harness reports through these types so
+//! that table/figure regeneration shares one definition of "95th
+//! percentile" or "throughput".
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::stats::DurationHistogram;
+//! use simcore::time::SimDuration;
+//!
+//! let mut h = DurationHistogram::new();
+//! for us in [1u64, 2, 3, 4, 100] {
+//!     h.record(SimDuration::from_micros(us));
+//! }
+//! assert_eq!(h.percentile(0.50), SimDuration::from_micros(3));
+//! assert_eq!(h.max(), SimDuration::from_micros(100));
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Running mean/variance over f64 samples (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation, or 0.0 with fewer than two samples.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample, or 0.0 when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0.0 when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// An exact-percentile histogram of durations.
+///
+/// Stores every sample (simulation runs record at most a few million), so
+/// percentiles are exact rather than bucketed — important for reproducing
+/// Table 4's tail latencies faithfully.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DurationHistogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl DurationHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        DurationHistogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0.0–1.0) using the nearest-rank method, or zero
+    /// when empty.
+    pub fn percentile(&mut self, q: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        SimDuration::from_nanos(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&mut self) -> SimDuration {
+        self.percentile(0.50)
+    }
+
+    /// Largest sample, or zero when empty.
+    #[must_use]
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Smallest sample, or zero when empty.
+    #[must_use]
+    pub fn min(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// Arithmetic mean, or zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| u128::from(s)).sum();
+        SimDuration::from_nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Removes all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sorted = true;
+    }
+}
+
+/// A `(time, value)` series, e.g. throughput over time for Figure 4(a).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a point. Points should be pushed in time order.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.points.push((at, value));
+    }
+
+    /// The recorded points in insertion order.
+    #[must_use]
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values over a time window `[from, to)`.
+    #[must_use]
+    pub fn window_mean(&self, from: SimTime, to: SimTime) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for &(t, v) in &self.points {
+            if t >= from && t < to {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// The first time at which `value >= threshold` held for a point, if
+    /// any. Used to detect "recovered from the cold ring" instants.
+    #[must_use]
+    pub fn first_reaching(&self, threshold: f64) -> Option<SimTime> {
+        self.points
+            .iter()
+            .find(|&&(_, v)| v >= threshold)
+            .map(|&(t, _)| t)
+    }
+}
+
+/// Counts discrete completions and converts windows into rates.
+///
+/// A workload calls [`ThroughputMeter::record`] once per completed
+/// operation; periodic sampling converts counts into operations/second
+/// series.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    total: u64,
+    window: u64,
+    series: TimeSeries,
+    last_sample: SimTime,
+}
+
+impl ThroughputMeter {
+    /// Creates an idle meter.
+    #[must_use]
+    pub fn new() -> Self {
+        ThroughputMeter::default()
+    }
+
+    /// Records `n` completed operations.
+    pub fn record(&mut self, n: u64) {
+        self.total += n;
+        self.window += n;
+    }
+
+    /// Total operations recorded since creation.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Closes the current window at `now`, appending an ops/second point
+    /// to the series, and starts a new window.
+    pub fn sample(&mut self, now: SimTime) {
+        let span = now.saturating_since(self.last_sample);
+        let rate = if span.is_zero() {
+            0.0
+        } else {
+            self.window as f64 / span.as_secs_f64()
+        };
+        self.series.push(now, rate);
+        self.window = 0;
+        self.last_sample = now;
+    }
+
+    /// The ops/second series accumulated by [`ThroughputMeter::sample`].
+    #[must_use]
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Overall average rate between time zero and `now`.
+    #[must_use]
+    pub fn overall_rate(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            self.total as f64 / now.as_secs_f64()
+        }
+    }
+}
+
+/// Simple named counters for component statistics (faults, drops,
+/// retransmissions, ...).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counters {
+    entries: std::collections::BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.entries.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn bump(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads counter `name` (zero if never touched).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_mean_and_std() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let mut h = DurationHistogram::new();
+        for us in 1..=100u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.percentile(0.50), SimDuration::from_micros(50));
+        assert_eq!(h.percentile(0.95), SimDuration::from_micros(95));
+        assert_eq!(h.percentile(0.99), SimDuration::from_micros(99));
+        assert_eq!(h.percentile(1.0), SimDuration::from_micros(100));
+        assert_eq!(h.percentile(0.0), SimDuration::from_micros(1));
+        assert_eq!(h.max(), SimDuration::from_micros(100));
+        assert_eq!(h.min(), SimDuration::from_micros(1));
+        assert_eq!(h.mean(), SimDuration::from_nanos(50_500));
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let mut h = DurationHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_interleaves_record_and_query() {
+        let mut h = DurationHistogram::new();
+        h.record(SimDuration::from_micros(5));
+        assert_eq!(h.median(), SimDuration::from_micros(5));
+        h.record(SimDuration::from_micros(1));
+        assert_eq!(h.percentile(0.0), SimDuration::from_micros(1));
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn time_series_window_mean() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(1), 10.0);
+        ts.push(SimTime::from_secs(2), 20.0);
+        ts.push(SimTime::from_secs(3), 30.0);
+        assert_eq!(
+            ts.window_mean(SimTime::from_secs(1), SimTime::from_secs(3)),
+            15.0
+        );
+        assert_eq!(
+            ts.window_mean(SimTime::from_secs(10), SimTime::from_secs(20)),
+            0.0
+        );
+        assert_eq!(ts.first_reaching(25.0), Some(SimTime::from_secs(3)));
+        assert_eq!(ts.first_reaching(99.0), None);
+    }
+
+    #[test]
+    fn throughput_meter_rates() {
+        let mut m = ThroughputMeter::new();
+        m.record(500);
+        m.sample(SimTime::from_secs(1));
+        m.record(1500);
+        m.sample(SimTime::from_secs(2));
+        let pts = m.series().points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].1 - 500.0).abs() < 1e-9);
+        assert!((pts[1].1 - 1500.0).abs() < 1e-9);
+        assert_eq!(m.total(), 2000);
+        assert!((m.overall_rate(SimTime::from_secs(2)) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::new();
+        c.bump("rnpf");
+        c.add("rnpf", 2);
+        c.bump("drops");
+        assert_eq!(c.get("rnpf"), 3);
+        assert_eq!(c.get("drops"), 1);
+        assert_eq!(c.get("missing"), 0);
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["drops", "rnpf"]);
+    }
+}

@@ -1,0 +1,1211 @@
+//! The TCP connection state machine.
+//!
+//! Sans-IO: each call returns [`TcpOutput`] effects (segments to emit,
+//! the retransmission timer to arm, application notifications); the host
+//! event loop performs them. The implementation covers what the paper's
+//! experiments exercise:
+//!
+//! * three-way handshake with SYN retransmission and exponential backoff
+//!   (connection establishment "fails before" NPFs can be signalled, §3),
+//! * slow start / congestion avoidance / fast retransmit / NewReno-style
+//!   recovery,
+//! * RFC 6298 RTO estimation with exponential backoff and a maximum
+//!   retry count after which the stack reports failure to the
+//!   application (the cold-ring abort of §5),
+//! * out-of-order reassembly and cumulative ACKs (whose duplicates drive
+//!   fast retransmit),
+//! * ECN echo handling (§3 discusses why ECN cannot substitute for rNPF
+//!   support).
+//!
+//! Deliberately out of scope: SACK, timestamps, window scaling beyond a
+//! fixed advertised window, and zero-window probing — none affect the
+//! reproduced figures.
+
+use std::collections::BTreeMap;
+
+use simcore::time::{SimDuration, SimTime};
+
+use crate::types::{TcpConfig, TcpFlags, TcpSegment};
+
+/// Connection lifecycle states (RFC 793 subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Passive open; waiting for a SYN.
+    Listen,
+    /// Active open; SYN sent.
+    SynSent,
+    /// SYN received; SYN-ACK sent.
+    SynReceived,
+    /// Data may flow.
+    Established,
+    /// We sent FIN, awaiting its ACK.
+    FinWait1,
+    /// Our FIN is acked; awaiting the peer's FIN.
+    FinWait2,
+    /// Peer sent FIN; we may still send.
+    CloseWait,
+    /// We sent FIN after CloseWait.
+    LastAck,
+    /// Connection over.
+    Done,
+    /// The stack gave up (max retries, reset).
+    Failed,
+}
+
+/// Why a connection failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// SYN retransmission limit exceeded.
+    ConnectTimeout,
+    /// Data retransmission limit exceeded (`tcp_retries2`).
+    RetransmitLimit,
+    /// Peer reset the connection.
+    Reset,
+}
+
+/// Effects produced by the state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpOutput {
+    /// Transmit a segment.
+    Send(TcpSegment),
+    /// (Re)arm the retransmission timer for this absolute time,
+    /// replacing any previous arm.
+    SetTimer(SimTime),
+    /// Disarm the retransmission timer.
+    CancelTimer,
+    /// The three-way handshake completed.
+    Connected,
+    /// New in-order bytes are readable.
+    Readable,
+    /// The peer closed its direction.
+    PeerClosed,
+    /// The connection failed.
+    Failed(FailReason),
+}
+
+/// A TCP endpoint.
+#[derive(Debug)]
+pub struct TcpConnection {
+    config: TcpConfig,
+    state: TcpState,
+    local_port: u16,
+    remote_port: u16,
+
+    // Send side.
+    iss: u64,
+    snd_una: u64,
+    snd_nxt: u64,
+    /// Absolute sequence limit of application data written so far.
+    snd_limit: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    dupacks: u32,
+    /// NewReno recovery point: in recovery until snd_una passes this.
+    recover: Option<u64>,
+    peer_window: u64,
+    /// Congestion response armed once per window for ECN.
+    ecn_cwr_point: u64,
+
+    // Timers / RTO state.
+    rto: SimDuration,
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    retries: u32,
+    rtt_probe: Option<(u64, SimTime)>,
+    timer_armed: bool,
+
+    // Receive side.
+    irs: u64,
+    rcv_nxt: u64,
+    ooo: BTreeMap<u64, u64>, // start -> end
+    readable: u64,
+    pending_ece: bool,
+
+    fin_queued: bool,
+
+    // Statistics.
+    retransmitted_segments: u64,
+    fast_retransmits: u64,
+    timeouts: u64,
+    delivered_bytes: u64,
+}
+
+impl TcpConnection {
+    /// Creates a closed endpoint bound to `local_port` talking to
+    /// `remote_port`.
+    #[must_use]
+    pub fn new(config: TcpConfig, local_port: u16, remote_port: u16) -> Self {
+        let iss = 1; // deterministic ISN: contents are virtual
+        TcpConnection {
+            state: TcpState::Closed,
+            local_port,
+            remote_port,
+            iss,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_limit: iss + 1, // +1 for the SYN
+            cwnd: config.initial_cwnd(),
+            ssthresh: u64::MAX / 2,
+            dupacks: 0,
+            recover: None,
+            peer_window: config.receive_window,
+            ecn_cwr_point: 0,
+            rto: config.rto_initial,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            retries: 0,
+            rtt_probe: None,
+            timer_armed: false,
+            irs: 0,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            readable: 0,
+            pending_ece: false,
+            fin_queued: false,
+            retransmitted_segments: 0,
+            fast_retransmits: 0,
+            timeouts: 0,
+            delivered_bytes: 0,
+            config,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// The local port.
+    #[must_use]
+    pub fn local_port(&self) -> u16 {
+        self.local_port
+    }
+
+    /// The remote port.
+    #[must_use]
+    pub fn remote_port(&self) -> u16 {
+        self.remote_port
+    }
+
+    /// Bytes readable by the application.
+    #[must_use]
+    pub fn readable_bytes(&self) -> u64 {
+        self.readable
+    }
+
+    /// Consumes up to `n` readable bytes, returning how many were read.
+    pub fn read(&mut self, n: u64) -> u64 {
+        let taken = n.min(self.readable);
+        self.readable -= taken;
+        taken
+    }
+
+    /// Total in-order bytes delivered to the application so far.
+    #[must_use]
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Segments retransmitted (any cause).
+    #[must_use]
+    pub fn retransmitted_segments(&self) -> u64 {
+        self.retransmitted_segments
+    }
+
+    /// Fast retransmits triggered.
+    #[must_use]
+    pub fn fast_retransmits(&self) -> u64 {
+        self.fast_retransmits
+    }
+
+    /// RTO expirations.
+    #[must_use]
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Current congestion window in bytes.
+    #[must_use]
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    /// Current retransmission timeout.
+    #[must_use]
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// Bytes in flight.
+    #[must_use]
+    pub fn flight_size(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Bytes written but not yet transmitted.
+    #[must_use]
+    pub fn send_queue_bytes(&self) -> u64 {
+        self.snd_limit.saturating_sub(self.snd_nxt)
+    }
+
+    fn segment(&self, seq: u64, len: u64, flags: TcpFlags) -> TcpSegment {
+        TcpSegment {
+            src_port: self.local_port,
+            dst_port: self.remote_port,
+            seq,
+            ack: self.rcv_nxt,
+            len,
+            window: self.config.receive_window,
+            flags,
+        }
+    }
+
+    fn ack_segment(&mut self) -> TcpSegment {
+        let mut flags = TcpFlags::ack();
+        if self.pending_ece {
+            flags.ece = true;
+            self.pending_ece = false;
+        }
+        self.segment(self.snd_nxt, 0, flags)
+    }
+
+    fn arm_timer(&mut self, now: SimTime, out: &mut Vec<TcpOutput>) {
+        self.timer_armed = true;
+        out.push(TcpOutput::SetTimer(now + self.rto));
+    }
+
+    fn cancel_timer(&mut self, out: &mut Vec<TcpOutput>) {
+        if self.timer_armed {
+            self.timer_armed = false;
+            out.push(TcpOutput::CancelTimer);
+        }
+    }
+
+    /// Starts an active open. Returns the SYN and timer arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the connection is closed.
+    pub fn connect(&mut self, now: SimTime) -> Vec<TcpOutput> {
+        assert_eq!(self.state, TcpState::Closed, "connect on open connection");
+        self.state = TcpState::SynSent;
+        let mut out = vec![TcpOutput::Send(self.segment(self.iss, 0, TcpFlags::syn()))];
+        self.snd_nxt = self.iss + 1;
+        self.arm_timer(now, &mut out);
+        out
+    }
+
+    /// Starts a passive open.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the connection is closed.
+    pub fn listen(&mut self) {
+        assert_eq!(self.state, TcpState::Closed, "listen on open connection");
+        self.state = TcpState::Listen;
+    }
+
+    /// Queues `bytes` of application data and transmits what the windows
+    /// allow.
+    pub fn write(&mut self, now: SimTime, bytes: u64) -> Vec<TcpOutput> {
+        self.snd_limit += bytes;
+        let mut out = Vec::new();
+        self.pump(now, &mut out);
+        out
+    }
+
+    /// Requests an orderly close after all queued data.
+    pub fn close(&mut self, now: SimTime) -> Vec<TcpOutput> {
+        self.fin_queued = true;
+        let mut out = Vec::new();
+        self.pump(now, &mut out);
+        out
+    }
+
+    /// Transmits new data permitted by the congestion and peer windows.
+    fn pump(&mut self, now: SimTime, out: &mut Vec<TcpOutput>) {
+        if !matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::LastAck
+        ) {
+            return;
+        }
+        let window = self.cwnd.min(self.peer_window);
+        let mut sent_any = false;
+        while self.snd_nxt < self.snd_limit && self.flight_size() < window {
+            let remaining = self.snd_limit - self.snd_nxt;
+            let allowance = window - self.flight_size();
+            let len = remaining.min(self.config.mss).min(allowance);
+            if len == 0 {
+                break;
+            }
+            let seg = self.segment(self.snd_nxt, len, TcpFlags::ack());
+            if self.rtt_probe.is_none() {
+                self.rtt_probe = Some((self.snd_nxt + len, now));
+            }
+            self.snd_nxt += len;
+            out.push(TcpOutput::Send(seg));
+            sent_any = true;
+        }
+        // FIN once all data is out.
+        if self.fin_queued && self.snd_nxt == self.snd_limit && self.flight_size() < window {
+            let mut flags = TcpFlags::ack();
+            flags.fin = true;
+            let seg = self.segment(self.snd_nxt, 0, flags);
+            self.snd_nxt += 1;
+            self.snd_limit += 1;
+            self.fin_queued = false;
+            self.state = match self.state {
+                TcpState::CloseWait => TcpState::LastAck,
+                _ => TcpState::FinWait1,
+            };
+            out.push(TcpOutput::Send(seg));
+            sent_any = true;
+        }
+        if sent_any && !self.timer_armed {
+            self.arm_timer(now, out);
+        }
+    }
+
+    /// Handles the retransmission timer firing.
+    pub fn on_timer(&mut self, now: SimTime) -> Vec<TcpOutput> {
+        let mut out = Vec::new();
+        self.timer_armed = false;
+        self.timeouts += 1;
+        match self.state {
+            TcpState::SynSent => {
+                self.retries += 1;
+                if self.retries > self.config.max_syn_retries {
+                    self.state = TcpState::Failed;
+                    out.push(TcpOutput::Failed(FailReason::ConnectTimeout));
+                    return out;
+                }
+                self.rto = self.rto.doubled().min(self.config.rto_max);
+                out.push(TcpOutput::Send(self.segment(self.iss, 0, TcpFlags::syn())));
+                self.arm_timer(now, &mut out);
+                self.retransmitted_segments += 1;
+            }
+            TcpState::SynReceived => {
+                self.retries += 1;
+                if self.retries > self.config.max_syn_retries {
+                    self.state = TcpState::Failed;
+                    out.push(TcpOutput::Failed(FailReason::ConnectTimeout));
+                    return out;
+                }
+                self.rto = self.rto.doubled().min(self.config.rto_max);
+                out.push(TcpOutput::Send(self.segment(
+                    self.iss,
+                    0,
+                    TcpFlags::syn_ack(),
+                )));
+                self.arm_timer(now, &mut out);
+                self.retransmitted_segments += 1;
+            }
+            _ if self.flight_size() > 0 => {
+                self.retries += 1;
+                if self.retries > self.config.max_data_retries {
+                    self.state = TcpState::Failed;
+                    out.push(TcpOutput::Failed(FailReason::RetransmitLimit));
+                    return out;
+                }
+                // RFC 5681 timeout response.
+                let flight = self.flight_size();
+                self.ssthresh = (flight / 2).max(2 * self.config.mss);
+                self.cwnd = self.config.mss;
+                self.recover = None;
+                self.dupacks = 0;
+                self.rto = self.rto.doubled().min(self.config.rto_max);
+                self.rtt_probe = None; // Karn: do not sample retransmits
+                self.retransmit_head(&mut out);
+                self.arm_timer(now, &mut out);
+            }
+            _ => {
+                // Spurious timer with nothing outstanding: ignore.
+            }
+        }
+        out
+    }
+
+    fn retransmit_head(&mut self, out: &mut Vec<TcpOutput>) {
+        let len = (self.snd_limit.min(self.snd_una + self.config.mss) - self.snd_una)
+            .min(self.flight_size())
+            .min(self.config.mss);
+        let seg = self.segment(self.snd_una, len, TcpFlags::ack());
+        self.retransmitted_segments += 1;
+        out.push(TcpOutput::Send(seg));
+    }
+
+    /// Processes an incoming segment. `ecn_marked` reports a
+    /// congestion-experienced mark from the network.
+    pub fn on_segment(
+        &mut self,
+        now: SimTime,
+        seg: TcpSegment,
+        ecn_marked: bool,
+    ) -> Vec<TcpOutput> {
+        let mut out = Vec::new();
+        if matches!(
+            self.state,
+            TcpState::Failed | TcpState::Done | TcpState::Closed
+        ) {
+            return out;
+        }
+        if seg.flags.rst {
+            self.state = TcpState::Failed;
+            self.cancel_timer(&mut out);
+            out.push(TcpOutput::Failed(FailReason::Reset));
+            return out;
+        }
+        if ecn_marked && self.config.ecn {
+            self.pending_ece = true;
+        }
+
+        match self.state {
+            TcpState::Listen => {
+                if seg.flags.syn {
+                    self.irs = seg.seq;
+                    self.rcv_nxt = seg.seq + 1;
+                    self.peer_window = seg.window;
+                    self.state = TcpState::SynReceived;
+                    self.retries = 0;
+                    out.push(TcpOutput::Send(self.segment(
+                        self.iss,
+                        0,
+                        TcpFlags::syn_ack(),
+                    )));
+                    self.snd_nxt = self.iss + 1;
+                    self.arm_timer(now, &mut out);
+                }
+                out
+            }
+            TcpState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == self.iss + 1 {
+                    self.irs = seg.seq;
+                    self.rcv_nxt = seg.seq + 1;
+                    self.snd_una = seg.ack;
+                    self.peer_window = seg.window;
+                    self.state = TcpState::Established;
+                    self.retries = 0;
+                    self.rto = self.config.rto_initial;
+                    self.cancel_timer(&mut out);
+                    out.push(TcpOutput::Connected);
+                    out.push(TcpOutput::Send(self.ack_segment()));
+                    self.pump(now, &mut out);
+                }
+                out
+            }
+            _ => {
+                self.established_path(now, seg, &mut out);
+                out
+            }
+        }
+    }
+
+    fn established_path(&mut self, now: SimTime, seg: TcpSegment, out: &mut Vec<TcpOutput>) {
+        // Handshake completion on the passive side.
+        if self.state == TcpState::SynReceived && seg.flags.ack && seg.ack > self.iss {
+            self.state = TcpState::Established;
+            self.snd_una = self.snd_una.max(seg.ack.min(self.snd_nxt));
+            self.retries = 0;
+            self.rto = self.config.rto_initial;
+            self.cancel_timer(out);
+            out.push(TcpOutput::Connected);
+        }
+
+        if seg.flags.ack {
+            self.process_ack(now, &seg, out);
+        }
+
+        // Receive data / FIN.
+        let had_payload = seg.len > 0 || seg.flags.fin;
+        if had_payload {
+            self.process_data(&seg, out);
+            out.push(TcpOutput::Send(self.ack_segment()));
+        }
+        self.pump(now, out);
+    }
+
+    fn process_ack(&mut self, now: SimTime, seg: &TcpSegment, out: &mut Vec<TcpOutput>) {
+        self.peer_window = seg.window;
+        let ack = seg.ack.min(self.snd_nxt);
+
+        // ECN echo from the peer: one multiplicative decrease per window.
+        if seg.flags.ece && self.config.ecn && self.snd_una >= self.ecn_cwr_point {
+            let flight = self.flight_size();
+            self.ssthresh = (flight / 2).max(2 * self.config.mss);
+            self.cwnd = self.ssthresh;
+            self.ecn_cwr_point = self.snd_nxt;
+        }
+
+        if ack > self.snd_una {
+            let acked = ack - self.snd_una;
+            self.snd_una = ack;
+            self.retries = 0;
+
+            // RTT sampling (Karn-compliant: probe cleared on retransmit).
+            if let Some((probe_end, sent_at)) = self.rtt_probe {
+                if ack >= probe_end {
+                    self.sample_rtt(now.saturating_since(sent_at));
+                    self.rtt_probe = None;
+                }
+            }
+
+            match self.recover {
+                Some(point) if ack < point => {
+                    // NewReno partial ack: the next hole is lost too.
+                    self.retransmit_head(out);
+                    self.cwnd =
+                        self.cwnd.saturating_sub(acked).max(self.config.mss) + self.config.mss;
+                }
+                _ => {
+                    if self.recover.take().is_some() {
+                        // Full recovery: deflate.
+                        self.cwnd = self.ssthresh;
+                    } else if self.cwnd < self.ssthresh {
+                        self.cwnd += acked.min(self.config.mss); // slow start
+                    } else {
+                        // Congestion avoidance: +mss per RTT.
+                        self.cwnd += (self.config.mss * self.config.mss / self.cwnd).max(1);
+                    }
+                    self.dupacks = 0;
+                }
+            }
+
+            if self.flight_size() == 0 {
+                self.cancel_timer(out);
+            } else {
+                self.arm_timer(now, out);
+            }
+
+            // Our FIN acked?
+            if self.state == TcpState::FinWait1 && self.snd_una == self.snd_nxt {
+                self.state = TcpState::FinWait2;
+            } else if self.state == TcpState::LastAck && self.snd_una == self.snd_nxt {
+                self.state = TcpState::Done;
+                self.cancel_timer(out);
+            }
+        } else if ack == self.snd_una && self.flight_size() > 0 && seg.len == 0 && !seg.flags.fin {
+            self.dupacks += 1;
+            if self.dupacks == 3 {
+                // Fast retransmit + NewReno recovery.
+                let flight = self.flight_size();
+                self.ssthresh = (flight / 2).max(2 * self.config.mss);
+                self.cwnd = self.ssthresh + 3 * self.config.mss;
+                self.recover = Some(self.snd_nxt);
+                self.fast_retransmits += 1;
+                self.rtt_probe = None;
+                self.retransmit_head(out);
+            } else if self.dupacks > 3 && self.recover.is_some() {
+                self.cwnd += self.config.mss; // inflation
+            }
+        }
+    }
+
+    fn process_data(&mut self, seg: &TcpSegment, out: &mut Vec<TcpOutput>) {
+        let start = seg.seq;
+        let end = seg.seq + seg.len;
+        if seg.len > 0 {
+            if end <= self.rcv_nxt {
+                // Entirely old: the ACK we send is a duplicate.
+            } else if start <= self.rcv_nxt {
+                let fresh = end - self.rcv_nxt;
+                self.rcv_nxt = end;
+                self.readable += fresh;
+                self.delivered_bytes += fresh;
+                self.drain_ooo();
+                out.push(TcpOutput::Readable);
+            } else {
+                // Out of order: buffer.
+                let e = self.ooo.entry(start).or_insert(end);
+                if *e < end {
+                    *e = end;
+                }
+            }
+        }
+        if seg.flags.fin && seg.seq_end() - 1 == self.rcv_nxt {
+            // FIN in order (its sequence number is end-of-data).
+            self.rcv_nxt += 1;
+            match self.state {
+                TcpState::Established => self.state = TcpState::CloseWait,
+                TcpState::FinWait2 | TcpState::FinWait1 => self.state = TcpState::Done,
+                _ => {}
+            }
+            out.push(TcpOutput::PeerClosed);
+        }
+    }
+
+    fn drain_ooo(&mut self) {
+        loop {
+            let Some((&start, &end)) = self.ooo.iter().next() else {
+                return;
+            };
+            if start > self.rcv_nxt {
+                return;
+            }
+            self.ooo.remove(&start);
+            if end > self.rcv_nxt {
+                let fresh = end - self.rcv_nxt;
+                self.rcv_nxt = end;
+                self.readable += fresh;
+                self.delivered_bytes += fresh;
+            }
+        }
+    }
+
+    fn sample_rtt(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = (self.rttvar * 3) / 4 + delta / 4;
+                self.srtt = Some((srtt * 7) / 8 + rtt / 8);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        self.rto = (srtt + self.rttvar * 4)
+            .max(self.config.rto_min)
+            .min(self.config.rto_max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpConnection, TcpConnection) {
+        let client = TcpConnection::new(TcpConfig::linux(), 1000, 80);
+        let mut server = TcpConnection::new(TcpConfig::lwip(), 80, 1000);
+        server.listen();
+        (client, server)
+    }
+
+    /// Drives two connections to completion over a perfect zero-latency
+    /// wire, returning all app-visible notifications in order.
+    fn run_lockstep(
+        client: &mut TcpConnection,
+        server: &mut TcpConnection,
+        mut first: Vec<TcpOutput>,
+        now: SimTime,
+    ) -> Vec<&'static str> {
+        let mut notes = Vec::new();
+        let mut to_server: Vec<TcpSegment> = Vec::new();
+        let mut to_client: Vec<TcpSegment> = Vec::new();
+        let absorb = |outs: Vec<TcpOutput>,
+                      tx: &mut Vec<TcpSegment>,
+                      notes: &mut Vec<&'static str>,
+                      who: &'static str| {
+            for o in outs {
+                match o {
+                    TcpOutput::Send(s) => tx.push(s),
+                    TcpOutput::Connected => notes.push(if who == "c" {
+                        "client-connected"
+                    } else {
+                        "server-connected"
+                    }),
+                    TcpOutput::Readable => notes.push(if who == "c" {
+                        "client-readable"
+                    } else {
+                        "server-readable"
+                    }),
+                    TcpOutput::PeerClosed => notes.push("peer-closed"),
+                    TcpOutput::Failed(_) => notes.push("failed"),
+                    _ => {}
+                }
+            }
+        };
+        absorb(std::mem::take(&mut first), &mut to_server, &mut notes, "c");
+        for _ in 0..200 {
+            if to_server.is_empty() && to_client.is_empty() {
+                break;
+            }
+            for seg in std::mem::take(&mut to_server) {
+                let outs = server.on_segment(now, seg, false);
+                absorb(outs, &mut to_client, &mut notes, "s");
+            }
+            for seg in std::mem::take(&mut to_client) {
+                let outs = client.on_segment(now, seg, false);
+                absorb(outs, &mut to_server, &mut notes, "c");
+            }
+        }
+        notes
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let (mut c, mut s) = pair();
+        let first = c.connect(SimTime::ZERO);
+        let notes = run_lockstep(&mut c, &mut s, first, SimTime::ZERO);
+        assert!(notes.contains(&"client-connected"));
+        assert!(notes.contains(&"server-connected"));
+        assert_eq!(c.state(), TcpState::Established);
+        assert_eq!(s.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn data_transfer_delivers_bytes() {
+        let (mut c, mut s) = pair();
+        let first = c.connect(SimTime::ZERO);
+        run_lockstep(&mut c, &mut s, first, SimTime::ZERO);
+        let outs = c.write(SimTime::ZERO, 10_000);
+        let notes = run_lockstep(&mut c, &mut s, outs, SimTime::ZERO);
+        assert!(notes.contains(&"server-readable"));
+        assert_eq!(s.readable_bytes(), 10_000);
+        assert_eq!(s.read(4_000), 4_000);
+        assert_eq!(s.readable_bytes(), 6_000);
+        assert_eq!(c.flight_size(), 0, "everything acked");
+    }
+
+    #[test]
+    fn write_respects_initial_cwnd() {
+        let (mut c, mut s) = pair();
+        let first = c.connect(SimTime::ZERO);
+        run_lockstep(&mut c, &mut s, first, SimTime::ZERO);
+        // Write far more than the initial window; only cwnd may fly.
+        let outs = c.write(SimTime::ZERO, 1_000_000);
+        let sent: u64 = outs
+            .iter()
+            .filter_map(|o| match o {
+                TcpOutput::Send(s) => Some(s.len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(sent, c.cwnd().min(1_000_000));
+        assert!(sent < 1_000_000);
+    }
+
+    #[test]
+    fn syn_retransmits_with_backoff_then_fails() {
+        let mut c = TcpConnection::new(TcpConfig::linux(), 1, 2);
+        let outs = c.connect(SimTime::ZERO);
+        let TcpOutput::SetTimer(t1) = outs[1] else {
+            panic!("timer expected");
+        };
+        assert_eq!(t1, SimTime::from_secs(1));
+        let mut deadline = t1;
+        let mut failures = 0;
+        let mut rtos = Vec::new();
+        for _ in 0..10 {
+            let outs = c.on_timer(deadline);
+            let mut next = None;
+            for o in &outs {
+                match o {
+                    TcpOutput::SetTimer(t) => next = Some(*t),
+                    TcpOutput::Failed(FailReason::ConnectTimeout) => failures += 1,
+                    _ => {}
+                }
+            }
+            match next {
+                Some(t) => {
+                    rtos.push(t.saturating_since(deadline));
+                    deadline = t;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(failures, 1, "exactly one failure notification");
+        assert_eq!(c.state(), TcpState::Failed);
+        // Exponential backoff: 2s, 4s, 8s, ...
+        assert_eq!(rtos[0], SimDuration::from_secs(2));
+        assert_eq!(rtos[1], SimDuration::from_secs(4));
+        assert_eq!(rtos[2], SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn lost_data_recovered_by_rto() {
+        let (mut c, mut s) = pair();
+        let first = c.connect(SimTime::ZERO);
+        run_lockstep(&mut c, &mut s, first, SimTime::ZERO);
+        // Send one segment and lose it.
+        let outs = c.write(SimTime::ZERO, 1000);
+        let timer = outs.iter().find_map(|o| match o {
+            TcpOutput::SetTimer(t) => Some(*t),
+            _ => None,
+        });
+        let deadline = timer.expect("retransmission timer armed");
+        // RTO fires; the retransmission reaches the server this time.
+        let outs = c.on_timer(deadline);
+        let retx: Vec<TcpSegment> = outs
+            .iter()
+            .filter_map(|o| match o {
+                TcpOutput::Send(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retx.len(), 1);
+        assert_eq!(retx[0].len, 1000);
+        assert_eq!(c.cwnd(), TcpConfig::linux().mss, "timeout collapses cwnd");
+        let notes = run_lockstep(&mut c, &mut s, outs, deadline);
+        assert!(notes.contains(&"server-readable"));
+        assert_eq!(s.readable_bytes(), 1000);
+    }
+
+    #[test]
+    fn triple_dupack_triggers_fast_retransmit() {
+        let (mut c, mut s) = pair();
+        let first = c.connect(SimTime::ZERO);
+        run_lockstep(&mut c, &mut s, first, SimTime::ZERO);
+        let mss = TcpConfig::linux().mss;
+        // Send 5 segments; drop the first, deliver the rest.
+        let outs = c.write(SimTime::ZERO, 5 * mss);
+        let segs: Vec<TcpSegment> = outs
+            .iter()
+            .filter_map(|o| match o {
+                TcpOutput::Send(sg) => Some(*sg),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(segs.len(), 5);
+        let mut acks = Vec::new();
+        for seg in &segs[1..] {
+            for o in s.on_segment(SimTime::ZERO, *seg, false) {
+                if let TcpOutput::Send(a) = o {
+                    acks.push(a);
+                }
+            }
+        }
+        // Four dupacks come back; the third triggers fast retransmit.
+        let mut retransmitted = Vec::new();
+        for a in acks {
+            for o in c.on_segment(SimTime::ZERO, a, false) {
+                if let TcpOutput::Send(sg) = o {
+                    retransmitted.push(sg);
+                }
+            }
+        }
+        assert_eq!(c.fast_retransmits(), 1);
+        assert!(retransmitted.iter().any(|sg| sg.seq == segs[0].seq));
+        // Deliver the retransmission: everything is acked cumulatively.
+        let mut final_acks = Vec::new();
+        for o in s.on_segment(SimTime::ZERO, retransmitted[0], false) {
+            if let TcpOutput::Send(a) = o {
+                final_acks.push(a);
+            }
+        }
+        for a in final_acks {
+            c.on_segment(SimTime::ZERO, a, false);
+        }
+        assert_eq!(c.flight_size(), 0);
+        assert_eq!(s.readable_bytes(), 5 * mss);
+    }
+
+    #[test]
+    fn out_of_order_data_reassembles() {
+        let (mut c, mut s) = pair();
+        let first = c.connect(SimTime::ZERO);
+        run_lockstep(&mut c, &mut s, first, SimTime::ZERO);
+        let mss = TcpConfig::linux().mss;
+        let outs = c.write(SimTime::ZERO, 3 * mss);
+        let segs: Vec<TcpSegment> = outs
+            .iter()
+            .filter_map(|o| match o {
+                TcpOutput::Send(sg) => Some(*sg),
+                _ => None,
+            })
+            .collect();
+        // Deliver in order 2, 0, 1.
+        s.on_segment(SimTime::ZERO, segs[2], false);
+        assert_eq!(s.readable_bytes(), 0, "gap holds delivery");
+        s.on_segment(SimTime::ZERO, segs[0], false);
+        assert_eq!(s.readable_bytes(), mss);
+        s.on_segment(SimTime::ZERO, segs[1], false);
+        assert_eq!(s.readable_bytes(), 3 * mss, "hole filled drains OOO");
+    }
+
+    #[test]
+    fn data_retry_limit_fails_connection() {
+        let cfg = TcpConfig {
+            max_data_retries: 3,
+            ..TcpConfig::linux()
+        };
+        let mut c = TcpConnection::new(cfg, 1, 2);
+        let mut s = TcpConnection::new(TcpConfig::lwip(), 2, 1);
+        s.listen();
+        let first = c.connect(SimTime::ZERO);
+        run_lockstep(&mut c, &mut s, first, SimTime::ZERO);
+        let outs = c.write(SimTime::ZERO, 100);
+        let mut deadline = outs
+            .iter()
+            .find_map(|o| match o {
+                TcpOutput::SetTimer(t) => Some(*t),
+                _ => None,
+            })
+            .expect("timer");
+        let mut failed = false;
+        for _ in 0..10 {
+            let outs = c.on_timer(deadline);
+            let mut next = None;
+            for o in outs {
+                match o {
+                    TcpOutput::SetTimer(t) => next = Some(t),
+                    TcpOutput::Failed(FailReason::RetransmitLimit) => failed = true,
+                    _ => {}
+                }
+            }
+            match next {
+                Some(t) => deadline = t,
+                None => break,
+            }
+        }
+        assert!(failed, "retry limit must fail the connection");
+        assert_eq!(c.state(), TcpState::Failed);
+    }
+
+    #[test]
+    fn rst_fails_immediately() {
+        let (mut c, mut s) = pair();
+        let first = c.connect(SimTime::ZERO);
+        run_lockstep(&mut c, &mut s, first, SimTime::ZERO);
+        let rst = TcpSegment {
+            src_port: 80,
+            dst_port: 1000,
+            seq: 0,
+            ack: 0,
+            len: 0,
+            window: 0,
+            flags: TcpFlags::rst(),
+        };
+        let outs = c.on_segment(SimTime::ZERO, rst, false);
+        assert!(outs.contains(&TcpOutput::Failed(FailReason::Reset)));
+    }
+
+    #[test]
+    fn orderly_close_both_ways() {
+        let (mut c, mut s) = pair();
+        let first = c.connect(SimTime::ZERO);
+        run_lockstep(&mut c, &mut s, first, SimTime::ZERO);
+        let outs = c.close(SimTime::ZERO);
+        let notes = run_lockstep(&mut c, &mut s, outs, SimTime::ZERO);
+        assert!(notes.contains(&"peer-closed"));
+        assert_eq!(s.state(), TcpState::CloseWait);
+        // Server closes its side; shuttle segments in the right
+        // direction until both ends are done.
+        let mut to_client: Vec<TcpSegment> = s
+            .close(SimTime::ZERO)
+            .into_iter()
+            .filter_map(|o| match o {
+                TcpOutput::Send(sg) => Some(sg),
+                _ => None,
+            })
+            .collect();
+        let mut to_server: Vec<TcpSegment> = Vec::new();
+        for _ in 0..20 {
+            if to_client.is_empty() && to_server.is_empty() {
+                break;
+            }
+            for seg in std::mem::take(&mut to_client) {
+                for o in c.on_segment(SimTime::ZERO, seg, false) {
+                    if let TcpOutput::Send(sg) = o {
+                        to_server.push(sg);
+                    }
+                }
+            }
+            for seg in std::mem::take(&mut to_server) {
+                for o in s.on_segment(SimTime::ZERO, seg, false) {
+                    if let TcpOutput::Send(sg) = o {
+                        to_client.push(sg);
+                    }
+                }
+            }
+        }
+        assert_eq!(s.state(), TcpState::Done);
+        assert_eq!(c.state(), TcpState::Done);
+    }
+
+    #[test]
+    fn rtt_sampling_tightens_rto() {
+        let (mut c, mut s) = pair();
+        let first = c.connect(SimTime::ZERO);
+        run_lockstep(&mut c, &mut s, first, SimTime::ZERO);
+        assert_eq!(c.rto(), SimDuration::from_secs(1));
+        // One send/ack exchange with a 10 ms RTT.
+        let outs = c.write(SimTime::ZERO, 100);
+        let seg = outs
+            .iter()
+            .find_map(|o| match o {
+                TcpOutput::Send(sg) => Some(*sg),
+                _ => None,
+            })
+            .expect("segment");
+        let acks = s.on_segment(SimTime::from_millis(5), seg, false);
+        let ack = acks
+            .iter()
+            .find_map(|o| match o {
+                TcpOutput::Send(a) => Some(*a),
+                _ => None,
+            })
+            .expect("ack");
+        c.on_segment(SimTime::from_millis(10), ack, false);
+        // RTO now reflects srtt + 4*rttvar, floored at rto_min.
+        assert_eq!(c.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn ecn_echo_halves_rate_once_per_window() {
+        let cfg = TcpConfig {
+            ecn: true,
+            ..TcpConfig::linux()
+        };
+        let mut c = TcpConnection::new(cfg, 1, 2);
+        let scfg = TcpConfig {
+            ecn: true,
+            ..TcpConfig::lwip()
+        };
+        let mut s = TcpConnection::new(scfg, 2, 1);
+        s.listen();
+        let first = c.connect(SimTime::ZERO);
+        run_lockstep(&mut c, &mut s, first, SimTime::ZERO);
+        let before = c.cwnd();
+        let outs = c.write(SimTime::ZERO, 4 * cfg.mss);
+        let segs: Vec<TcpSegment> = outs
+            .iter()
+            .filter_map(|o| match o {
+                TcpOutput::Send(sg) => Some(*sg),
+                _ => None,
+            })
+            .collect();
+        // Mark the first segment as congestion-experienced.
+        let acks: Vec<TcpSegment> = s
+            .on_segment(SimTime::ZERO, segs[0], true)
+            .into_iter()
+            .filter_map(|o| match o {
+                TcpOutput::Send(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        assert!(acks.iter().any(|a| a.flags.ece), "receiver echoes ECN");
+        for a in acks {
+            c.on_segment(SimTime::ZERO, a, false);
+        }
+        assert!(c.cwnd() < before, "ECE reduces the window");
+    }
+}
+
+#[cfg(test)]
+mod congestion_tests {
+    use super::*;
+
+    /// cwnd grows while acks flow, collapses on timeout, and regrows
+    /// past the new ssthresh into congestion avoidance.
+    #[test]
+    fn slow_start_then_congestion_avoidance() {
+        let cfg = TcpConfig {
+            initial_cwnd_segments: 2,
+            ..TcpConfig::linux()
+        };
+        let mut c = TcpConnection::new(cfg, 1, 2);
+        let mut s = TcpConnection::new(TcpConfig::lwip(), 2, 1);
+        s.listen();
+        let mut now = SimTime::ZERO;
+        let mut timer: Option<SimTime> = None;
+
+        // Shuttle helper: runs segments both ways, tracking the client's
+        // retransmission timer.
+        let shuttle = |c: &mut TcpConnection,
+                       s: &mut TcpConnection,
+                       first: Vec<TcpOutput>,
+                       now: SimTime,
+                       timer: &mut Option<SimTime>| {
+            let mut wire: Vec<TcpSegment> = Vec::new();
+            let absorb = |outs: Vec<TcpOutput>,
+                          wire: &mut Vec<TcpSegment>,
+                          timer: &mut Option<SimTime>,
+                          from_client: bool| {
+                for o in outs {
+                    match o {
+                        TcpOutput::Send(seg) => wire.push(seg),
+                        TcpOutput::SetTimer(t) if from_client => *timer = Some(t),
+                        TcpOutput::CancelTimer if from_client => *timer = None,
+                        _ => {}
+                    }
+                }
+            };
+            absorb(first, &mut wire, timer, true);
+            for _ in 0..200 {
+                if wire.is_empty() {
+                    break;
+                }
+                let mut next = Vec::new();
+                for seg in wire.drain(..) {
+                    let from_client = seg.dst_port != 2;
+                    let outs = if seg.dst_port == 2 {
+                        s.on_segment(now, seg, false)
+                    } else {
+                        c.on_segment(now, seg, false)
+                    };
+                    absorb(outs, &mut next, timer, !from_client);
+                }
+                wire = next;
+            }
+        };
+
+        let first = c.connect(now);
+        shuttle(&mut c, &mut s, first, now, &mut timer);
+        assert_eq!(c.state(), TcpState::Established);
+
+        // Slow start: each fully-acked flight grows cwnd roughly
+        // exponentially.
+        let mut growth = vec![c.cwnd()];
+        for _ in 0..4 {
+            let outs = c.write(now, 64 * cfg.mss);
+            shuttle(&mut c, &mut s, outs, now, &mut timer);
+            growth.push(c.cwnd());
+        }
+        assert!(
+            growth.windows(2).all(|w| w[1] >= w[0]),
+            "cwnd grows in slow start: {growth:?}"
+        );
+        assert!(
+            *growth.last().expect("nonempty") >= growth[0] * 4,
+            "growth is multiplicative early on: {growth:?}"
+        );
+
+        // Lose a flight: the timeout collapses cwnd to 1 MSS and halves
+        // ssthresh.
+        let before = c.cwnd();
+        let outs = c.write(now, 4 * cfg.mss);
+        // Discard the segments (lost); keep the timer.
+        for o in outs {
+            if let TcpOutput::SetTimer(t) = o {
+                timer = Some(t);
+            }
+        }
+        now = timer.expect("retransmission timer armed");
+        let outs = c.on_timer(now);
+        assert_eq!(c.cwnd(), cfg.mss, "timeout collapses cwnd");
+        assert!(c.timeouts() >= 1);
+        // Recover: keep delivering retransmissions (and firing the timer
+        // when needed) until the flight clears.
+        shuttle(&mut c, &mut s, outs, now, &mut timer);
+        for _ in 0..20 {
+            if c.flight_size() == 0 {
+                break;
+            }
+            now = timer.expect("timer while data in flight");
+            let outs = c.on_timer(now);
+            shuttle(&mut c, &mut s, outs, now, &mut timer);
+        }
+        assert_eq!(c.flight_size(), 0, "recovery completes");
+        assert!(c.cwnd() < before, "post-recovery window is modest");
+
+        // Congestion avoidance: per-ack growth is mss^2/cwnd, so the
+        // per-round deltas shrink as the window grows (concave), unlike
+        // slow start's multiplicative (convex) trajectory.
+        let mut ca = vec![c.cwnd()];
+        for _ in 0..3 {
+            let outs = c.write(now, 64 * cfg.mss);
+            shuttle(&mut c, &mut s, outs, now, &mut timer);
+            ca.push(c.cwnd());
+        }
+        let deltas: Vec<u64> = ca.windows(2).map(|w| w[1].saturating_sub(w[0])).collect();
+        assert!(
+            deltas.windows(2).all(|d| d[1] <= d[0]),
+            "sublinear growth in congestion avoidance: {ca:?} (deltas {deltas:?})"
+        );
+    }
+}

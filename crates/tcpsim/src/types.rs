@@ -1,0 +1,219 @@
+//! TCP wire types and configuration.
+//!
+//! Segments carry logical byte counts, not bytes: the simulation tracks
+//! sequence ranges exactly but never materializes payloads.
+
+use serde::{Deserialize, Serialize};
+
+use simcore::time::SimDuration;
+
+/// Segment control flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TcpFlags {
+    /// Synchronize (connection open).
+    pub syn: bool,
+    /// Acknowledgment field is valid.
+    pub ack: bool,
+    /// Sender has finished sending.
+    pub fin: bool,
+    /// Hard reset.
+    pub rst: bool,
+    /// ECN echo: the receiver saw a congestion-experienced mark.
+    pub ece: bool,
+}
+
+impl TcpFlags {
+    /// A pure data/ACK segment.
+    #[must_use]
+    pub fn ack() -> Self {
+        TcpFlags {
+            ack: true,
+            ..TcpFlags::default()
+        }
+    }
+
+    /// A SYN.
+    #[must_use]
+    pub fn syn() -> Self {
+        TcpFlags {
+            syn: true,
+            ..TcpFlags::default()
+        }
+    }
+
+    /// A SYN-ACK.
+    #[must_use]
+    pub fn syn_ack() -> Self {
+        TcpFlags {
+            syn: true,
+            ack: true,
+            ..TcpFlags::default()
+        }
+    }
+
+    /// An RST.
+    #[must_use]
+    pub fn rst() -> Self {
+        TcpFlags {
+            rst: true,
+            ..TcpFlags::default()
+        }
+    }
+}
+
+/// A TCP segment (simulation form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// First sequence number covered (SYN/FIN occupy one number each).
+    pub seq: u64,
+    /// Cumulative acknowledgment (valid when `flags.ack`).
+    pub ack: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Advertised receive window in bytes.
+    pub window: u64,
+    /// Control flags.
+    pub flags: TcpFlags,
+}
+
+impl TcpSegment {
+    /// On-wire size: payload plus 40 bytes of TCP/IP headers + 14 of
+    /// Ethernet framing.
+    #[must_use]
+    pub fn wire_size(&self) -> u64 {
+        self.len + 54
+    }
+
+    /// The sequence number following this segment (accounting for
+    /// SYN/FIN consuming one).
+    #[must_use]
+    pub fn seq_end(&self) -> u64 {
+        self.seq + self.len + u64::from(self.flags.syn) + u64::from(self.flags.fin)
+    }
+}
+
+/// TCP tuning knobs.
+///
+/// Two presets match the paper's endpoints: [`TcpConfig::linux`] for the
+/// memaslap client machine and [`TcpConfig::lwip`] for the IOuser's
+/// user-level stack.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: u64,
+    /// Initial congestion window, in segments.
+    pub initial_cwnd_segments: u64,
+    /// Initial retransmission timeout before any RTT sample (RFC 6298:
+    /// 1 second).
+    pub rto_initial: SimDuration,
+    /// Lower bound on the RTO (Linux: 200 ms).
+    pub rto_min: SimDuration,
+    /// Upper bound on the RTO backoff.
+    pub rto_max: SimDuration,
+    /// Consecutive RTOs on the same data before the connection is
+    /// declared dead (Linux `tcp_retries2` ≈ 15).
+    pub max_data_retries: u32,
+    /// SYN retransmissions before `connect` fails (Linux
+    /// `tcp_syn_retries` = 6).
+    pub max_syn_retries: u32,
+    /// Fixed advertised receive window.
+    pub receive_window: u64,
+    /// React to ECN echoes as to loss (rate halving without retransmit).
+    pub ecn: bool,
+}
+
+impl TcpConfig {
+    /// A Linux 3.x-era sender (the paper's client machine).
+    #[must_use]
+    pub fn linux() -> Self {
+        TcpConfig {
+            mss: 1448,
+            initial_cwnd_segments: 10,
+            rto_initial: SimDuration::from_secs(1),
+            rto_min: SimDuration::from_millis(200),
+            rto_max: SimDuration::from_secs(120),
+            max_data_retries: 15,
+            max_syn_retries: 6,
+            receive_window: 1 << 20,
+            ecn: false,
+        }
+    }
+
+    /// The lwIP user-level stack the IOuser runs (§5): small initial
+    /// window, same standardized timers.
+    #[must_use]
+    pub fn lwip() -> Self {
+        TcpConfig {
+            mss: 1448,
+            initial_cwnd_segments: 2,
+            rto_initial: SimDuration::from_secs(1),
+            rto_min: SimDuration::from_millis(200),
+            rto_max: SimDuration::from_secs(60),
+            max_data_retries: 12,
+            max_syn_retries: 6,
+            receive_window: 256 * 1024,
+            ecn: false,
+        }
+    }
+
+    /// Initial congestion window in bytes.
+    #[must_use]
+    pub fn initial_cwnd(&self) -> u64 {
+        self.initial_cwnd_segments * self.mss
+    }
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig::linux()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_end_counts_syn_and_fin() {
+        let mut seg = TcpSegment {
+            src_port: 1,
+            dst_port: 2,
+            seq: 100,
+            ack: 0,
+            len: 10,
+            window: 0,
+            flags: TcpFlags::ack(),
+        };
+        assert_eq!(seg.seq_end(), 110);
+        seg.flags.syn = true;
+        assert_eq!(seg.seq_end(), 111);
+        seg.flags.fin = true;
+        assert_eq!(seg.seq_end(), 112);
+    }
+
+    #[test]
+    fn wire_size_includes_headers() {
+        let seg = TcpSegment {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            len: 1448,
+            window: 0,
+            flags: TcpFlags::ack(),
+        };
+        assert_eq!(seg.wire_size(), 1502);
+    }
+
+    #[test]
+    fn presets_differ_where_it_matters() {
+        let linux = TcpConfig::linux();
+        let lwip = TcpConfig::lwip();
+        assert!(linux.initial_cwnd() > lwip.initial_cwnd());
+        assert_eq!(linux.rto_initial, lwip.rto_initial);
+    }
+}

@@ -1,0 +1,1023 @@
+//! The Ethernet testbed: memcached IOusers behind a direct-I/O NIC
+//! (§5's running example, §6.1's memory experiments).
+//!
+//! Topology matches the paper: one client machine (unmodified Linux
+//! TCP, memaslap load generators) connected back-to-back to one server
+//! machine whose NIC is the 12 Gb/s NPF prototype. Each memcached
+//! instance is an IOuser: a lightweight VM with its own address space,
+//! lwIP user-level stack, SR-IOV IOchannel (receive ring + IOMMU
+//! domain), steered by TCP port.
+//!
+//! The receive path is exact: packets DMA into IOuser ring buffers; a
+//! non-present buffer is an rNPF handled per the configured
+//! [`RxMode`] — pinned (never faults), drop (the Figure 4 strawman), or
+//! the backup ring.
+
+use std::collections::{HashMap, VecDeque};
+
+use memsim::manager::{MemConfig, MemError, MemoryManager};
+use memsim::space::Backing;
+use memsim::types::{PageRange, SpaceId, VirtAddr};
+use netsim::link::{Link, LinkConfig, SendOutcome};
+use nicsim::interrupt::{InterruptDecision, InterruptModerator};
+use nicsim::rx::{RingId, RxDescriptor, RxEngine, RxFaultMode, RxVerdict};
+use nicsim::sriov::ChannelTable;
+use npf_core::backup_driver::{BackupDriver, ResolveStep};
+use npf_core::npf::{NpfConfig, NpfEngine};
+use npf_core::RX_BUFFER_BASE;
+use simcore::event::{EventQueue, EventToken};
+use simcore::rng::SimRng;
+use simcore::stats::ThroughputMeter;
+use simcore::time::{SimDuration, SimTime};
+use simcore::units::{Bandwidth, ByteSize};
+use tcpsim::{ConnId, TcpConfig, TcpOutput, TcpSegment, TcpStack};
+use workloads::memcached::{KvOp, Memaslap, Memcached, MemcachedConfig};
+
+use crate::cpu::CpuPool;
+
+/// Receive-fault policy of the server NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxMode {
+    /// Statically pin every IOuser's memory (the production baseline).
+    Pin,
+    /// Drop faulting packets (resolving the fault in the background).
+    Drop,
+    /// The paper's backup ring.
+    Backup,
+}
+
+/// Testbed configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EthConfig {
+    /// Fault policy.
+    pub mode: RxMode,
+    /// memcached instances (IOusers / lightweight VMs).
+    pub instances: u32,
+    /// Concurrent closed-loop connections per instance.
+    pub conns_per_instance: u32,
+    /// RX ring entries per IOchannel.
+    pub ring_entries: u64,
+    /// Per-ring rNPF budget (`bm_size`).
+    pub bm_size: u64,
+    /// Backup ring capacity (packets).
+    pub backup_capacity: u64,
+    /// Server physical memory.
+    pub host_memory: ByteSize,
+    /// Per-instance memcached configuration (its `max_bytes` is the
+    /// VM's memory allocation).
+    pub memcached: MemcachedConfig,
+    /// Keys in each instance's working set.
+    pub working_set_keys: u64,
+    /// Optional cgroup limit shared by *all* instances (Figure 7).
+    pub cgroup_limit: Option<ByteSize>,
+    /// Link rate (12 Gb/s: the duplication prototype's effective rate).
+    pub bandwidth: Bandwidth,
+    /// Interrupt moderation holdoff.
+    pub interrupt_holdoff: SimDuration,
+    /// Server cores.
+    pub cores: u32,
+    /// Pre-fault the receive rings at startup (used by the what-if
+    /// stream runs; Figure 4 wants them cold).
+    pub prefault_rings: bool,
+    /// Pre-populate each instance's cache with its working set
+    /// (memaslap's warmup phase); steady-state experiments want this.
+    pub preload: bool,
+    /// §3's pre-faulting optimization: on an rNPF, resolve this many
+    /// *subsequent* ring buffers in the same fault event (0 disables).
+    /// Helps cold sequences; the paper notes it is not a complete
+    /// solution on its own.
+    pub prefault_window: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EthConfig {
+    fn default() -> Self {
+        EthConfig {
+            mode: RxMode::Backup,
+            instances: 1,
+            conns_per_instance: 16,
+            ring_entries: 64,
+            bm_size: 128,
+            backup_capacity: 512,
+            host_memory: ByteSize::gib(8),
+            memcached: MemcachedConfig::default(),
+            working_set_keys: 100_000,
+            cgroup_limit: None,
+            bandwidth: Bandwidth::gbps(12),
+            // Calibrated: NAPI-style moderation dominating the
+            // client-visible RTT (~85 us), matching the paper's
+            // per-instance throughput.
+            interrupt_holdoff: SimDuration::from_micros(85),
+            cores: 4,
+            prefault_rings: false,
+            preload: true,
+            prefault_window: 0,
+            seed: 1,
+        }
+    }
+}
+
+/// Events of the Ethernet testbed.
+#[derive(Debug)]
+enum EthEvent {
+    ToServer(TcpSegment),
+    ToClient(TcpSegment),
+    ClientTimer(ConnId),
+    ServerTimer(u32, ConnId),
+    IoUserInterrupt(u32),
+    BackupInterrupt,
+    ResolverStep(RingId),
+    FaultDone(u64),
+    OpDone {
+        instance: u32,
+        conn: ConnId,
+        response_bytes: u64,
+        hit: bool,
+    },
+    Sample,
+}
+
+/// One memcached IOuser instance.
+struct Instance {
+    space: SpaceId,
+    domain: iommu::DomainId,
+    ring: RingId,
+    stack: TcpStack,
+    app: Memcached,
+    rx_moderator: InterruptModerator,
+    timers: HashMap<ConnId, EventToken>,
+    /// Oracle framing: per-connection queue of `(request_bytes, op)` the
+    /// client has written (stands in for protocol parsing).
+    req_oracle: HashMap<ConnId, VecDeque<(u64, KvOp)>>,
+    /// Descriptors posted so far (absolute).
+    posted: u64,
+}
+
+/// Per-connection client state.
+struct ClientConn {
+    instance: u32,
+    alive: bool,
+}
+
+/// The client machine.
+struct Client {
+    stack: TcpStack,
+    timers: HashMap<ConnId, EventToken>,
+    conns: HashMap<ConnId, ClientConn>,
+    /// Oracle framing: per-connection queue of `(response_bytes, hit)`.
+    resp_oracle: HashMap<ConnId, VecDeque<(u64, bool)>>,
+    generators: Vec<Memaslap>,
+}
+
+/// Per-instance measurements.
+#[derive(Debug, Default, Clone)]
+pub struct InstanceMetrics {
+    /// Completed operations per second over time.
+    pub ops: ThroughputMeter,
+    /// GET hits per second over time (Figure 7's metric).
+    pub hits: ThroughputMeter,
+    /// Connections that failed (TCP gave up).
+    pub failed_conns: u32,
+}
+
+/// The Ethernet testbed.
+pub struct EthTestbed {
+    config: EthConfig,
+    queue: EventQueue<EthEvent>,
+    engine: NpfEngine,
+    rx: RxEngine<TcpSegment>,
+    driver: BackupDriver<TcpSegment>,
+    channels: ChannelTable,
+    instances: Vec<Instance>,
+    client: Client,
+    metrics: Vec<InstanceMetrics>,
+    link_c2s: Link,
+    link_s2c: Link,
+    cpu: CpuPool,
+    backup_moderator: InterruptModerator,
+    sample_every: SimDuration,
+    sampling: bool,
+}
+
+impl EthTestbed {
+    /// Builds the testbed.
+    ///
+    /// # Errors
+    ///
+    /// Under [`RxMode::Pin`], returns the pinning failure when the
+    /// host cannot pin every instance's memory — this is exactly the
+    /// Table 5 "N/A" outcome.
+    pub fn new(config: EthConfig) -> Result<Self, MemError> {
+        let mut rng = SimRng::new(config.seed);
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: config.host_memory,
+            ..MemConfig::default()
+        });
+        let mut engine = NpfEngine::new(NpfConfig::default(), mm, rng.fork(1));
+        let fault_mode = match config.mode {
+            RxMode::Backup => RxFaultMode::BackupRing {
+                capacity: config.backup_capacity,
+            },
+            _ => RxFaultMode::Drop,
+        };
+        let mut rx = RxEngine::new(fault_mode);
+        let mut driver = BackupDriver::new();
+        let mut channels = ChannelTable::new();
+
+        let cgroup = config
+            .cgroup_limit
+            .map(|limit| engine.memory_mut().create_cgroup(limit));
+
+        let mut instances = Vec::new();
+        for i in 0..config.instances {
+            let space = engine.memory_mut().create_space();
+            if let Some(g) = cgroup {
+                engine.memory_mut().attach_to_cgroup(space, g);
+            }
+            // RX buffer array: one page per ring slot at the well-known
+            // base.
+            let rx_range = PageRange::new(VirtAddr(RX_BUFFER_BASE).vpn(), config.ring_entries);
+            engine
+                .memory_mut()
+                .mmap_fixed(space, rx_range, Backing::Anonymous)?;
+            // Item slab: the VM's memory allocation.
+            let app = Memcached::new(config.memcached);
+            let slab_pages = app.slab_bytes().pages();
+            engine.memory_mut().mmap_fixed(
+                space,
+                PageRange::new(config.memcached.slab_base.vpn(), slab_pages.max(1)),
+                Backing::Anonymous,
+            )?;
+
+            let domain = engine.create_channel(space);
+            let ring = RingId(i);
+            rx.create_ring(ring, config.ring_entries, config.bm_size);
+            driver.bind_ring(ring, domain, config.ring_entries);
+            let ch = channels.create(space, domain, ring);
+            channels.steer_port(11211 + i as u16, ch);
+
+            if config.mode == RxMode::Pin {
+                // Static pinning: the IOprovider pins the entire IOuser
+                // address space (RX buffers and slab).
+                engine.pin_and_map(domain, rx_range)?;
+                engine.pin_and_map(
+                    domain,
+                    PageRange::new(config.memcached.slab_base.vpn(), slab_pages.max(1)),
+                )?;
+            } else if config.prefault_rings {
+                // Warm the ring: touch and map each buffer page.
+                for vpn in rx_range.iter() {
+                    engine.touch(space, vpn, true)?;
+                    let frame = engine
+                        .memory()
+                        .space(space)?
+                        .frame_of(vpn)
+                        .expect("just touched");
+                    engine.iommu_mut().map(domain, vpn, frame, true);
+                }
+            }
+
+            let mut app = app;
+            if config.preload {
+                // memaslap warmup: populate the working set so GETs hit
+                // from the start (steady state).
+                for key in 0..config.working_set_keys {
+                    let outcome = app.process(KvOp::Set { key });
+                    if let Some((addr, len, write)) = outcome.touch {
+                        let _ = engine.touch_range(space, addr, len, write);
+                    }
+                }
+            }
+            let mut stack = TcpStack::new();
+            stack.listen(11211 + i as u16, TcpConfig::lwip());
+            let mut inst = Instance {
+                space,
+                domain,
+                ring,
+                stack,
+                app,
+                rx_moderator: InterruptModerator::new(config.interrupt_holdoff),
+                timers: HashMap::new(),
+                req_oracle: HashMap::new(),
+                posted: 0,
+            };
+            // IOuser posts its whole ring at startup.
+            for _ in 0..config.ring_entries {
+                Self::post_one(&mut rx, &mut inst, config.ring_entries);
+            }
+            instances.push(inst);
+        }
+
+        let generators = (0..config.instances)
+            .map(|i| {
+                Memaslap::new(
+                    config.working_set_keys,
+                    config.memcached.value_size,
+                    rng.fork(100 + u64::from(i)),
+                )
+            })
+            .collect();
+
+        let link_cfg = LinkConfig {
+            bandwidth: config.bandwidth,
+            propagation: SimDuration::from_micros(1),
+            // Flow control enabled (§6): queues absorb bursts instead of
+            // dropping.
+            queue_capacity: 8 << 20,
+            ecn_threshold: None,
+            loss_probability: 0.0,
+        };
+        let metrics = vec![InstanceMetrics::default(); config.instances as usize];
+
+        let mut bed = EthTestbed {
+            queue: EventQueue::new(),
+            engine,
+            rx,
+            driver,
+            channels,
+            instances,
+            client: Client {
+                stack: TcpStack::new(),
+                timers: HashMap::new(),
+                conns: HashMap::new(),
+                resp_oracle: HashMap::new(),
+                generators,
+            },
+            metrics,
+            link_c2s: Link::new(link_cfg, rng.fork(7)),
+            link_s2c: Link::new(link_cfg, rng.fork(8)),
+            cpu: CpuPool::new(config.cores),
+            backup_moderator: InterruptModerator::new(config.interrupt_holdoff),
+            sample_every: SimDuration::from_millis(250),
+            sampling: false,
+            config,
+        };
+        bed.open_connections();
+        Ok(bed)
+    }
+
+    fn post_one(rx: &mut RxEngine<TcpSegment>, inst: &mut Instance, ring_entries: u64) -> bool {
+        let addr = VirtAddr(RX_BUFFER_BASE + (inst.posted % ring_entries) * memsim::PAGE_SIZE);
+        inst.posted += 1;
+        rx.post_descriptor(
+            inst.ring,
+            RxDescriptor {
+                addr,
+                capacity: memsim::PAGE_SIZE,
+            },
+        )
+    }
+
+    fn open_connections(&mut self) {
+        let now = self.queue.now();
+        for i in 0..self.config.instances {
+            for c in 0..self.config.conns_per_instance {
+                let local = 20000 + (i * self.config.conns_per_instance + c) as u16;
+                let remote = 11211 + i as u16;
+                let (cid, outs) = self
+                    .client
+                    .stack
+                    .connect(now, local, remote, TcpConfig::linux());
+                self.client.conns.insert(
+                    cid,
+                    ClientConn {
+                        instance: i,
+                        alive: true,
+                    },
+                );
+                self.handle_client_outputs(now, cid, outs);
+            }
+        }
+    }
+
+    /// The testbed's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EthConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Per-instance metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &[InstanceMetrics] {
+        &self.metrics
+    }
+
+    /// The NPF engine (for counters and memory state).
+    #[must_use]
+    pub fn engine(&self) -> &NpfEngine {
+        &self.engine
+    }
+
+    /// The NIC receive engine counters.
+    #[must_use]
+    pub fn rx_counters(&self) -> &simcore::stats::Counters {
+        self.rx.counters()
+    }
+
+    /// Total operations completed across all instances.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.metrics.iter().map(|m| m.ops.total()).sum()
+    }
+
+    /// Total failed connections.
+    #[must_use]
+    pub fn total_failed_conns(&self) -> u32 {
+        self.metrics.iter().map(|m| m.failed_conns).sum()
+    }
+
+    /// Resident bytes of instance `i`'s space.
+    #[must_use]
+    pub fn resident_bytes(&self, i: u32) -> ByteSize {
+        self.engine
+            .memory()
+            .resident_bytes(self.instances[i as usize].space)
+            .unwrap_or(ByteSize::ZERO)
+    }
+
+    /// Changes instance `i`'s working set (Figure 7).
+    pub fn resize_working_set(&mut self, i: u32, keys: u64) {
+        self.client.generators[i as usize].resize_working_set(keys);
+    }
+
+    /// Populates `keys` items into instance `i`'s cache and touches
+    /// their memory (a manual warmup for experiments with per-instance
+    /// initial sets; pair with `preload: false`).
+    pub fn preload_instance(&mut self, i: u32, keys: u64) {
+        let inst = &mut self.instances[i as usize];
+        let space = inst.space;
+        for key in 0..keys {
+            let outcome = inst.app.process(KvOp::Set { key });
+            if let Some((addr, len, write)) = outcome.touch {
+                let _ = self.engine.touch_range(space, addr, len, write);
+            }
+        }
+    }
+
+    /// Enables periodic throughput sampling.
+    pub fn start_sampling(&mut self) {
+        if !self.sampling {
+            self.sampling = true;
+            self.queue.schedule_in(self.sample_every, EthEvent::Sample);
+        }
+    }
+
+    /// Runs until simulated time `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs until `ops` total operations completed or `deadline`
+    /// passes; returns the completion time if reached.
+    pub fn run_until_ops(&mut self, ops: u64, deadline: SimTime) -> Option<SimTime> {
+        while self.total_ops() < ops {
+            let t = self.queue.peek_time()?;
+            if t > deadline {
+                return None;
+            }
+            self.step();
+        }
+        Some(self.queue.now())
+    }
+
+    fn step(&mut self) {
+        let Some((now, event)) = self.queue.pop() else {
+            return;
+        };
+        match event {
+            EthEvent::ToServer(seg) => self.server_rx(now, seg),
+            EthEvent::ToClient(seg) => self.client_rx(now, seg),
+            EthEvent::ClientTimer(cid) => {
+                self.client.timers.remove(&cid);
+                let outs = self.client.stack.on_timer(now, cid);
+                self.handle_client_outputs(now, cid, outs);
+            }
+            EthEvent::ServerTimer(i, cid) => {
+                self.instances[i as usize].timers.remove(&cid);
+                let outs = self.instances[i as usize].stack.on_timer(now, cid);
+                self.handle_server_outputs(now, i, cid, outs);
+            }
+            EthEvent::IoUserInterrupt(i) => self.iouser_interrupt(now, i),
+            EthEvent::BackupInterrupt => {
+                self.backup_moderator.fired(now);
+                let (woken, cost) = self.driver.on_backup_interrupt(&self.engine, &mut self.rx);
+                for ring in woken {
+                    self.queue.schedule_in(cost, EthEvent::ResolverStep(ring));
+                }
+            }
+            EthEvent::ResolverStep(ring) => self.resolver_step(now, ring),
+            EthEvent::FaultDone(id) => {
+                if self.engine.pending_fault(id).is_some() {
+                    self.engine.complete_fault(id);
+                }
+            }
+            EthEvent::OpDone {
+                instance,
+                conn,
+                response_bytes,
+                hit,
+            } => {
+                // The server writes the response; tell the client's
+                // framing oracle.
+                let client_cid = (conn.1, conn.0);
+                self.client
+                    .resp_oracle
+                    .entry(client_cid)
+                    .or_default()
+                    .push_back((response_bytes, hit));
+                let outs = match self.instances[instance as usize].stack.conn_mut(conn) {
+                    Some(c) => c.write(now, response_bytes),
+                    None => Vec::new(),
+                };
+                self.handle_server_outputs(now, instance, conn, outs);
+            }
+            EthEvent::Sample => {
+                for m in &mut self.metrics {
+                    m.ops.sample(now);
+                    m.hits.sample(now);
+                }
+                if self.sampling {
+                    self.queue.schedule_in(self.sample_every, EthEvent::Sample);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Server side.
+    // ------------------------------------------------------------------
+
+    fn server_rx(&mut self, now: SimTime, seg: TcpSegment) {
+        let Some(channel) = self.channels.lookup_port(seg.dst_port) else {
+            return; // no such IOuser
+        };
+        let idx = channel.id.0;
+        let inst = &mut self.instances[idx as usize];
+        let wire = seg.wire_size();
+
+        // Presence check: is there a posted descriptor whose buffer
+        // translates?
+        let present = match self.rx.target_descriptor(inst.ring) {
+            Some(d) => {
+                if self.config.mode == RxMode::Pin {
+                    true
+                } else {
+                    let len = wire.min(d.capacity);
+                    let ready = self.engine.dma_ready(inst.domain, d.addr, len, true);
+                    if !ready
+                        && self
+                            .engine
+                            .pending_fault_covering(inst.domain, d.addr, len)
+                            .is_none()
+                    {
+                        // The NIC raises the page request; the driver
+                        // resolves it in the background. With §3's
+                        // pre-faulting optimization it also resolves the
+                        // next `prefault_window` ring buffers (the
+                        // page-per-slot array is contiguous).
+                        let span = if self.config.prefault_window > 0 {
+                            let slot_page = (d.addr.0 - RX_BUFFER_BASE) / memsim::PAGE_SIZE;
+                            let remaining = self.config.ring_entries - slot_page;
+                            (1 + self.config.prefault_window).min(remaining) * memsim::PAGE_SIZE
+                        } else {
+                            len
+                        };
+                        match self
+                            .engine
+                            .begin_fault(now, inst.domain, d.addr, span, true, None)
+                        {
+                            Ok(rec) => {
+                                let (id, ready_at) = (rec.id, rec.ready_at);
+                                self.queue.schedule_at(ready_at, EthEvent::FaultDone(id));
+                            }
+                            Err(_) => { /* OOM under pressure: stays faulted */ }
+                        }
+                    }
+                    ready
+                }
+            }
+            None => false,
+        };
+
+        match self.rx.recv(inst.ring, seg, wire, present) {
+            RxVerdict::Stored { notify_iouser, .. } => {
+                if notify_iouser {
+                    self.request_iouser_irq(now, idx);
+                }
+            }
+            RxVerdict::Backup { .. } => {
+                if let InterruptDecision::FireAt(at) = self.backup_moderator.request(now) {
+                    self.queue.schedule_at(at, EthEvent::BackupInterrupt);
+                }
+            }
+            RxVerdict::Dropped { burned_descriptor } => {
+                // Lost; TCP will retransmit. A burned descriptor is
+                // announced (error completion) so the IOuser reposts.
+                if burned_descriptor {
+                    self.request_iouser_irq(now, idx);
+                }
+            }
+        }
+    }
+
+    fn request_iouser_irq(&mut self, now: SimTime, idx: u32) {
+        let inst = &mut self.instances[idx as usize];
+        if let InterruptDecision::FireAt(at) = inst.rx_moderator.request(now) {
+            self.queue.schedule_at(at, EthEvent::IoUserInterrupt(idx));
+        }
+    }
+
+    fn iouser_interrupt(&mut self, now: SimTime, idx: u32) {
+        self.instances[idx as usize].rx_moderator.fired(now);
+        loop {
+            let inst = &mut self.instances[idx as usize];
+            // Repost descriptors for drop-mode holes passed over.
+            let holes = self.rx.take_skipped_holes(inst.ring);
+            for _ in 0..holes {
+                Self::post_one(&mut self.rx, inst, self.config.ring_entries);
+            }
+            let inst = &mut self.instances[idx as usize];
+            let Some((seg, _len)) = self.rx.consume(inst.ring) else {
+                // A trailing run of holes still needs reposting.
+                let holes = self.rx.take_skipped_holes(inst.ring);
+                let inst = &mut self.instances[idx as usize];
+                for _ in 0..holes {
+                    Self::post_one(&mut self.rx, inst, self.config.ring_entries);
+                }
+                break;
+            };
+            // Repost a descriptor for the consumed slot.
+            let fired_tail = Self::post_one(&mut self.rx, inst, self.config.ring_entries);
+            if fired_tail && self.driver.on_tail_interrupt(inst.ring) {
+                let ring = inst.ring;
+                self.queue.schedule_now(EthEvent::ResolverStep(ring));
+            }
+            // lwIP processes the packet.
+            if let Some((cid, outs)) = self.instances[idx as usize]
+                .stack
+                .on_segment(now, seg, false)
+            {
+                self.handle_server_outputs(now, idx, cid, outs);
+            }
+        }
+    }
+
+    fn resolver_step(&mut self, now: SimTime, ring: RingId) {
+        match self
+            .driver
+            .resolve_step(now, &mut self.engine, &mut self.rx, ring)
+        {
+            Ok(ResolveStep::Resolved {
+                ring,
+                notify_iouser,
+                ready_at,
+            }) => {
+                if notify_iouser {
+                    let idx = self
+                        .channels
+                        .by_ring(ring)
+                        .expect("ring belongs to a channel")
+                        .id
+                        .0;
+                    self.request_iouser_irq(ready_at, idx);
+                }
+                if self.driver.has_work(ring) {
+                    self.queue
+                        .schedule_at(ready_at, EthEvent::ResolverStep(ring));
+                }
+            }
+            Ok(ResolveStep::WaitingForRing(_) | ResolveStep::Idle) => {}
+            Err(_) => {
+                // Memory exhaustion: retry after a reclaim-scale delay.
+                self.queue
+                    .schedule_in(SimDuration::from_millis(1), EthEvent::ResolverStep(ring));
+            }
+        }
+    }
+
+    fn handle_server_outputs(&mut self, now: SimTime, idx: u32, cid: ConnId, outs: Vec<TcpOutput>) {
+        for out in outs {
+            match out {
+                TcpOutput::Send(seg) => match self.link_s2c.send(now, seg.wire_size()) {
+                    SendOutcome::Delivered { arrives_at, .. } => {
+                        self.queue.schedule_at(arrives_at, EthEvent::ToClient(seg));
+                    }
+                    SendOutcome::Dropped => {}
+                },
+                TcpOutput::SetTimer(at) => {
+                    let inst = &mut self.instances[idx as usize];
+                    if let Some(tok) = inst.timers.remove(&cid) {
+                        self.queue.cancel(tok);
+                    }
+                    let tok = self.queue.schedule_at(at, EthEvent::ServerTimer(idx, cid));
+                    self.instances[idx as usize].timers.insert(cid, tok);
+                }
+                TcpOutput::CancelTimer => {
+                    if let Some(tok) = self.instances[idx as usize].timers.remove(&cid) {
+                        self.queue.cancel(tok);
+                    }
+                }
+                TcpOutput::Readable => self.server_readable(now, idx, cid),
+                TcpOutput::Connected | TcpOutput::PeerClosed | TcpOutput::Failed(_) => {}
+            }
+        }
+    }
+
+    fn server_readable(&mut self, now: SimTime, idx: u32, cid: ConnId) {
+        loop {
+            let inst = &mut self.instances[idx as usize];
+            let Some(q) = inst.req_oracle.get_mut(&cid) else {
+                return;
+            };
+            let Some(&(req_bytes, op)) = q.front() else {
+                return;
+            };
+            let Some(conn) = inst.stack.conn_mut(cid) else {
+                return;
+            };
+            if conn.readable_bytes() < req_bytes {
+                return;
+            }
+            conn.read(req_bytes);
+            q.pop_front();
+            // Process the operation: protocol CPU plus value-memory
+            // touches (which may fault, swap, and invalidate under
+            // pressure).
+            let outcome = inst.app.process(op);
+            let mut cpu_cost = outcome.cpu;
+            let mut io_cost = SimDuration::ZERO;
+            if let Some((addr, len, write)) = outcome.touch {
+                let space = inst.space;
+                let (cpu, io) = self
+                    .engine
+                    .touch_range_split(space, addr, len, write)
+                    .unwrap_or((SimDuration::from_millis(1), SimDuration::ZERO));
+                cpu_cost += cpu;
+                io_cost += io;
+            }
+            // Disk waits block the request, not a core (memcached's
+            // worker sleeps on the fault).
+            let end = self.cpu.run(now, cpu_cost) + io_cost;
+            self.queue.schedule_at(
+                end,
+                EthEvent::OpDone {
+                    instance: idx,
+                    conn: cid,
+                    response_bytes: outcome.response_bytes,
+                    hit: outcome.hit,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client side.
+    // ------------------------------------------------------------------
+
+    fn client_rx(&mut self, now: SimTime, seg: TcpSegment) {
+        if let Some((cid, outs)) = self.client.stack.on_segment(now, seg, false) {
+            self.handle_client_outputs(now, cid, outs);
+        }
+    }
+
+    fn handle_client_outputs(&mut self, now: SimTime, cid: ConnId, outs: Vec<TcpOutput>) {
+        for out in outs {
+            match out {
+                TcpOutput::Send(seg) => match self.link_c2s.send(now, seg.wire_size()) {
+                    SendOutcome::Delivered { arrives_at, .. } => {
+                        self.queue.schedule_at(arrives_at, EthEvent::ToServer(seg));
+                    }
+                    SendOutcome::Dropped => {}
+                },
+                TcpOutput::SetTimer(at) => {
+                    if let Some(tok) = self.client.timers.remove(&cid) {
+                        self.queue.cancel(tok);
+                    }
+                    let tok = self.queue.schedule_at(at, EthEvent::ClientTimer(cid));
+                    self.client.timers.insert(cid, tok);
+                }
+                TcpOutput::CancelTimer => {
+                    if let Some(tok) = self.client.timers.remove(&cid) {
+                        self.queue.cancel(tok);
+                    }
+                }
+                TcpOutput::Connected => self.issue_op(now, cid),
+                TcpOutput::Readable => self.client_readable(now, cid),
+                TcpOutput::Failed(_) => {
+                    if let Some(c) = self.client.conns.get_mut(&cid) {
+                        if c.alive {
+                            c.alive = false;
+                            self.metrics[c.instance as usize].failed_conns += 1;
+                        }
+                    }
+                }
+                TcpOutput::PeerClosed => {}
+            }
+        }
+    }
+
+    fn client_readable(&mut self, now: SimTime, cid: ConnId) {
+        loop {
+            let Some(q) = self.client.resp_oracle.get_mut(&cid) else {
+                return;
+            };
+            let Some(&(bytes, hit)) = q.front() else {
+                return;
+            };
+            let Some(conn) = self.client.stack.conn_mut(cid) else {
+                return;
+            };
+            if conn.readable_bytes() < bytes {
+                return;
+            }
+            conn.read(bytes);
+            q.pop_front();
+            let instance = self.client.conns[&cid].instance;
+            let m = &mut self.metrics[instance as usize];
+            m.ops.record(1);
+            if hit {
+                m.hits.record(1);
+            }
+            self.issue_op(now, cid);
+        }
+    }
+
+    fn issue_op(&mut self, now: SimTime, cid: ConnId) {
+        let Some(conn_state) = self.client.conns.get(&cid) else {
+            return;
+        };
+        if !conn_state.alive {
+            return;
+        }
+        let instance = conn_state.instance;
+        let (op, req_bytes) = self.client.generators[instance as usize].next_op();
+        // Tell the server's framing oracle.
+        let server_cid = (cid.1, cid.0);
+        self.instances[instance as usize]
+            .req_oracle
+            .entry(server_cid)
+            .or_default()
+            .push_back((req_bytes, op));
+        let outs = match self.client.stack.conn_mut(cid) {
+            Some(c) => c.write(now, req_bytes),
+            None => Vec::new(),
+        };
+        self.handle_client_outputs(now, cid, outs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(mode: RxMode) -> EthConfig {
+        EthConfig {
+            mode,
+            instances: 1,
+            conns_per_instance: 4,
+            ring_entries: 64,
+            host_memory: ByteSize::mib(512),
+            memcached: MemcachedConfig {
+                max_bytes: ByteSize::mib(64),
+                value_size: 1024,
+                ..MemcachedConfig::default()
+            },
+            working_set_keys: 1000,
+            ..EthConfig::default()
+        }
+    }
+
+    #[test]
+    fn pinned_testbed_serves_operations() {
+        let mut bed = EthTestbed::new(small_config(RxMode::Pin)).expect("setup");
+        bed.run_until(SimTime::from_secs(1));
+        assert!(
+            bed.total_ops() > 1000,
+            "pinned mode must serve ops quickly: {}",
+            bed.total_ops()
+        );
+        assert_eq!(bed.engine().counters().get("npf_events"), 0);
+        assert_eq!(bed.total_failed_conns(), 0);
+    }
+
+    #[test]
+    fn backup_testbed_recovers_from_cold_ring() {
+        let mut bed = EthTestbed::new(small_config(RxMode::Backup)).expect("setup");
+        bed.run_until(SimTime::from_secs(1));
+        assert!(
+            bed.total_ops() > 1000,
+            "backup ring must ride through cold ring: {}",
+            bed.total_ops()
+        );
+        assert!(
+            bed.rx_counters().get("backup_stored") > 0,
+            "cold ring must have faulted into the backup ring"
+        );
+        assert_eq!(bed.total_failed_conns(), 0);
+    }
+
+    #[test]
+    fn drop_testbed_stalls_on_cold_ring() {
+        let mut drop_bed = EthTestbed::new(small_config(RxMode::Drop)).expect("setup");
+        drop_bed.run_until(SimTime::from_secs(1));
+        let mut backup_bed = EthTestbed::new(small_config(RxMode::Backup)).expect("setup");
+        backup_bed.run_until(SimTime::from_secs(1));
+        assert!(
+            drop_bed.total_ops() * 10 < backup_bed.total_ops().max(1),
+            "dropping must be far slower during cold start: drop {} vs backup {}",
+            drop_bed.total_ops(),
+            backup_bed.total_ops()
+        );
+        assert!(drop_bed.rx_counters().get("dropped_fault") > 0);
+    }
+
+    #[test]
+    fn prefaulted_drop_ring_behaves_like_pinned() {
+        let mut cfg = small_config(RxMode::Drop);
+        cfg.prefault_rings = true;
+        let mut bed = EthTestbed::new(cfg).expect("setup");
+        bed.run_until(SimTime::from_secs(1));
+        assert!(
+            bed.total_ops() > 1000,
+            "a warm ring must not drop: {}",
+            bed.total_ops()
+        );
+    }
+
+    #[test]
+    fn pin_mode_fails_when_memory_insufficient() {
+        let mut cfg = small_config(RxMode::Pin);
+        cfg.memcached.max_bytes = ByteSize::gib(1); // exceeds 512 MiB host
+        let err = EthTestbed::new(cfg).err();
+        assert!(err.is_some(), "pinning 1 GiB into 512 MiB must fail");
+        // The same allocation works with NPFs.
+        let mut cfg2 = small_config(RxMode::Backup);
+        cfg2.memcached.max_bytes = ByteSize::gib(1);
+        assert!(EthTestbed::new(cfg2).is_ok());
+    }
+
+    #[test]
+    fn sampling_produces_time_series() {
+        let mut bed = EthTestbed::new(small_config(RxMode::Pin)).expect("setup");
+        bed.start_sampling();
+        bed.run_until(SimTime::from_secs(1));
+        let series = bed.metrics()[0].ops.series();
+        assert!(series.len() >= 3, "samples recorded: {}", series.len());
+        let late = series.window_mean(SimTime::from_millis(500), SimTime::from_secs(1));
+        assert!(late > 0.0, "steady-state throughput visible");
+    }
+}
+
+#[cfg(test)]
+mod prefault_tests {
+    use super::*;
+
+    #[test]
+    fn prefault_window_shortens_cold_sequences() {
+        let cfg = |window: u64| EthConfig {
+            mode: RxMode::Backup,
+            instances: 1,
+            conns_per_instance: 8,
+            ring_entries: 512,
+            bm_size: 1024,
+            host_memory: ByteSize::mib(512),
+            memcached: MemcachedConfig {
+                max_bytes: ByteSize::mib(64),
+                ..MemcachedConfig::default()
+            },
+            working_set_keys: 1_000,
+            prefault_window: window,
+            ..EthConfig::default()
+        };
+        let run = |window| {
+            let mut bed = EthTestbed::new(cfg(window)).expect("setup");
+            bed.run_until_ops(2_000, SimTime::from_secs(30))
+                .expect("completes")
+        };
+        let without = run(0);
+        let with = run(64);
+        assert!(
+            with <= without,
+            "pre-faulting must not slow the cold ring: {with} vs {without}"
+        );
+        // And it reduces the number of distinct fault events.
+        let events = |window| {
+            let mut bed = EthTestbed::new(cfg(window)).expect("setup");
+            bed.run_until(SimTime::from_millis(500));
+            bed.engine().counters().get("npf_events")
+        };
+        assert!(events(64) < events(0), "wider resolutions, fewer events");
+    }
+}

@@ -1,0 +1,846 @@
+//! The InfiniBand cluster testbed (§6's 8-node, 56 Gb/s setup).
+//!
+//! Each node owns an [`NpfEngine`] (its host memory + NIC IOMMU) and a
+//! set of RC QPs. Every QP DMA consults the engine through a gate: a
+//! miss starts an NPF whose completion is a scheduled event, so fault
+//! latency, RNR NACK timing, and transport retries all interleave on
+//! one deterministic clock.
+
+use std::collections::HashMap;
+
+use memsim::manager::{MemConfig, MemoryManager};
+use memsim::space::Backing;
+use memsim::swap::DiskConfig;
+use memsim::types::{SpaceId, VirtAddr};
+use netsim::fabric::Fabric;
+use netsim::link::{LinkConfig, SendOutcome};
+use netsim::packet::NodeId;
+use npf_core::npf::{NpfConfig, NpfEngine};
+use rdmasim::rc::RcQp;
+use rdmasim::types::{
+    Completion, DmaGate, GateDecision, MessageRange, QpId, QpOutput, QpTimer, RcConfig, RcPacket,
+    RecvWqe, SendOp, WrId,
+};
+use simcore::event::{EventQueue, EventToken};
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+use simcore::units::{Bandwidth, ByteSize};
+use workloads::stream::SyntheticFaults;
+
+use iommu::DomainId;
+
+/// Cluster configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IbConfig {
+    /// Number of nodes (the paper uses eight).
+    pub nodes: u32,
+    /// Per-node physical memory (the paper's nodes have 128 GB).
+    pub node_memory: ByteSize,
+    /// Link rate (56 Gb/s FDR).
+    pub bandwidth: Bandwidth,
+    /// Switch store-and-forward latency.
+    pub switch_latency: SimDuration,
+    /// RC transport tuning.
+    pub rc: RcConfig,
+    /// NPF engine configuration.
+    pub npf: NpfConfig,
+    /// Secondary-storage model of every node.
+    pub disk: DiskConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IbConfig {
+    fn default() -> Self {
+        IbConfig {
+            nodes: 8,
+            node_memory: ByteSize::gib(8),
+            bandwidth: Bandwidth::gbps(56),
+            switch_latency: SimDuration::from_nanos(200),
+            rc: RcConfig::default(),
+            npf: NpfConfig::default(),
+            disk: DiskConfig::hard_drive(),
+            seed: 1,
+        }
+    }
+}
+
+/// Synthetic receive-fault injection for one node (Figure 10's IB
+/// side).
+#[derive(Debug)]
+struct SyntheticInjector {
+    generator: SyntheticFaults,
+    /// Resolution latency of an injected fault.
+    delay: SimDuration,
+    next_id: u64,
+}
+
+/// One cluster node.
+pub struct IbNode {
+    engine: NpfEngine,
+    space: SpaceId,
+    default_domain: DomainId,
+    qps: HashMap<QpId, RcQp>,
+    domains: HashMap<QpId, DomainId>,
+    timers: HashMap<(QpId, QpTimer), EventToken>,
+    completions: Vec<Completion>,
+    synthetic: Option<SyntheticInjector>,
+}
+
+impl IbNode {
+    /// The node's NPF engine.
+    #[must_use]
+    pub fn engine(&self) -> &NpfEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut NpfEngine {
+        &mut self.engine
+    }
+
+    /// The node's application address space.
+    #[must_use]
+    pub fn space(&self) -> SpaceId {
+        self.space
+    }
+
+    /// The IOMMU domain of a QP's channel.
+    #[must_use]
+    pub fn domain_of(&self, qp: QpId) -> DomainId {
+        self.domains[&qp]
+    }
+
+    /// The node's shared protection-domain-like channel (all QPs
+    /// created with [`IbCluster::connect_shared`] use it).
+    #[must_use]
+    pub fn default_domain(&self) -> DomainId {
+        self.default_domain
+    }
+
+    /// A QP's transport statistics.
+    #[must_use]
+    pub fn qp_stats(&self, qp: QpId) -> rdmasim::rc::RcStats {
+        *self.qps[&qp].stats()
+    }
+}
+
+/// Cluster events.
+#[derive(Debug)]
+enum IbEvent {
+    Deliver {
+        node: u32,
+        pkt: RcPacket,
+    },
+    QpTimer {
+        node: u32,
+        qp: QpId,
+        timer: QpTimer,
+    },
+    FaultDone {
+        node: u32,
+        fault: u64,
+    },
+    SynthDone {
+        node: u32,
+        fault: u64,
+    },
+    PostSend {
+        node: u32,
+        qp: QpId,
+        wr_id: WrId,
+        op: SendOp,
+    },
+    /// Clock sentinel (used to advance simulated time across CPU-side
+    /// work that produces no packets).
+    Nop,
+}
+
+/// The gate wiring a QP's DMAs to a node's NPF engine.
+struct EngineGate<'a> {
+    engine: &'a mut NpfEngine,
+    domain: DomainId,
+    now: SimTime,
+    /// Newly begun engine faults: `(id, ready_at)`.
+    new_faults: Vec<(u64, SimTime)>,
+    /// Synthetic injector, receive path only.
+    synthetic: Option<&'a mut SyntheticInjector>,
+    /// Synthetic faults injected by this call: `(id, resolve_at)`.
+    new_synthetic: Vec<(u64, SimTime)>,
+}
+
+impl EngineGate<'_> {
+    fn check(
+        &mut self,
+        addr: VirtAddr,
+        len: u64,
+        message: MessageRange,
+        write: bool,
+    ) -> GateDecision {
+        if self.engine.dma_ready(self.domain, addr, len.max(1), write) {
+            return GateDecision::Ok;
+        }
+        if let Some(id) = self
+            .engine
+            .pending_fault_covering(self.domain, addr, len.max(1))
+        {
+            return GateDecision::Fault { fault_id: id };
+        }
+        // Batched pre-fault: the driver parses the work request and
+        // resolves the *whole* message buffer in one event (§4).
+        match self.engine.begin_fault(
+            self.now,
+            self.domain,
+            message.base,
+            message.len.max(len).max(1),
+            write,
+            None,
+        ) {
+            Ok(rec) => {
+                let (id, ready) = (rec.id, rec.ready_at);
+                self.new_faults.push((id, ready));
+                GateDecision::Fault { fault_id: id }
+            }
+            Err(e) => panic!("NPF resolution failed: {e}"),
+        }
+    }
+}
+
+impl DmaGate for EngineGate<'_> {
+    fn gather(
+        &mut self,
+        _qp: QpId,
+        addr: VirtAddr,
+        len: u64,
+        message: MessageRange,
+    ) -> GateDecision {
+        self.check(addr, len, message, false)
+    }
+
+    fn scatter(
+        &mut self,
+        _qp: QpId,
+        addr: VirtAddr,
+        len: u64,
+        message: MessageRange,
+    ) -> GateDecision {
+        if let Some(injector) = self.synthetic.as_deref_mut() {
+            if injector.generator.should_fault() {
+                // Synthetic rNPF: the page is actually present; the NIC
+                // behaves as if it were not, and "resolution" is a pure
+                // delay.
+                injector.next_id += 1;
+                let id = u64::MAX - injector.next_id;
+                let at = self.now + injector.delay;
+                self.new_synthetic.push((id, at));
+                return GateDecision::Fault { fault_id: id };
+            }
+        }
+        self.check(addr, len, message, true)
+    }
+}
+
+/// The 8-node cluster.
+pub struct IbCluster {
+    config: IbConfig,
+    queue: EventQueue<IbEvent>,
+    fabric: Fabric,
+    nodes: Vec<IbNode>,
+    next_qp: u32,
+}
+
+impl IbCluster {
+    /// Builds the cluster.
+    #[must_use]
+    pub fn new(config: IbConfig) -> Self {
+        let mut rng = SimRng::new(config.seed);
+        let mut link = LinkConfig::datacenter(config.bandwidth);
+        // Lossless fabric: credit-based flow control means queues never
+        // tail-drop.
+        link.queue_capacity = u64::MAX / 4;
+        let fabric = Fabric::star(link, config.nodes, config.switch_latency, &mut rng);
+        let nodes = (0..config.nodes)
+            .map(|i| {
+                let mm = MemoryManager::new(MemConfig {
+                    total_memory: config.node_memory,
+                    disk: config.disk,
+                    ..MemConfig::default()
+                });
+                let mut engine = NpfEngine::new(config.npf, mm, rng.fork(u64::from(i)));
+                let space = engine.memory_mut().create_space();
+                let default_domain = engine.create_channel(space);
+                IbNode {
+                    engine,
+                    space,
+                    default_domain,
+                    qps: HashMap::new(),
+                    domains: HashMap::new(),
+                    timers: HashMap::new(),
+                    completions: Vec::new(),
+                    synthetic: None,
+                }
+            })
+            .collect();
+        IbCluster {
+            config,
+            queue: EventQueue::new(),
+            fabric,
+            nodes,
+            next_qp: 0,
+        }
+    }
+
+    /// The cluster configuration.
+    #[must_use]
+    pub fn config(&self) -> &IbConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// A node.
+    #[must_use]
+    pub fn node(&self, n: u32) -> &IbNode {
+        &self.nodes[n as usize]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, n: u32) -> &mut IbNode {
+        &mut self.nodes[n as usize]
+    }
+
+    /// Allocates an anonymous buffer region of `bytes` in node `n`'s
+    /// space, returning its base address.
+    pub fn alloc_buffers(&mut self, n: u32, bytes: ByteSize) -> VirtAddr {
+        let node = &mut self.nodes[n as usize];
+        let range = node
+            .engine
+            .memory_mut()
+            .mmap(node.space, bytes, Backing::Anonymous)
+            .expect("buffer mmap");
+        range.start.base()
+    }
+
+    /// Connects nodes `a` and `b` with an RC QP pair, returning
+    /// `(qp_at_a, qp_at_b)`. Each QP gets its own page-fault-capable
+    /// IOMMU domain (its IOchannel).
+    pub fn connect(&mut self, a: u32, b: u32) -> (QpId, QpId) {
+        let qa = QpId(self.next_qp);
+        let qb = QpId(self.next_qp + 1);
+        self.next_qp += 2;
+        {
+            let node = &mut self.nodes[a as usize];
+            let dom = node.engine.create_channel(node.space);
+            node.qps
+                .insert(qa, RcQp::new(self.config.rc, qa, qb, NodeId(b)));
+            node.domains.insert(qa, dom);
+        }
+        {
+            let node = &mut self.nodes[b as usize];
+            let dom = node.engine.create_channel(node.space);
+            node.qps
+                .insert(qb, RcQp::new(self.config.rc, qb, qa, NodeId(a)));
+            node.domains.insert(qb, dom);
+        }
+        (qa, qb)
+    }
+
+    /// Like [`IbCluster::connect`] but both QPs share their node's
+    /// default domain (one protection domain per process, as MPI
+    /// libraries do).
+    pub fn connect_shared(&mut self, a: u32, b: u32) -> (QpId, QpId) {
+        let qa = QpId(self.next_qp);
+        let qb = QpId(self.next_qp + 1);
+        self.next_qp += 2;
+        {
+            let node = &mut self.nodes[a as usize];
+            let dom = node.default_domain;
+            node.qps
+                .insert(qa, RcQp::new(self.config.rc, qa, qb, NodeId(b)));
+            node.domains.insert(qa, dom);
+        }
+        {
+            let node = &mut self.nodes[b as usize];
+            let dom = node.default_domain;
+            node.qps
+                .insert(qb, RcQp::new(self.config.rc, qb, qa, NodeId(a)));
+            node.domains.insert(qb, dom);
+        }
+        (qa, qb)
+    }
+
+    /// Arms synthetic receive faults on node `n` (Figure 10 IB).
+    pub fn set_synthetic_faults(&mut self, n: u32, frequency: f64, delay: SimDuration, seed: u64) {
+        let mut generator = SyntheticFaults::new(frequency, SimRng::new(seed));
+        generator.arm();
+        self.nodes[n as usize].synthetic = Some(SyntheticInjector {
+            generator,
+            delay,
+            next_id: 0,
+        });
+    }
+
+    /// Posts a receive buffer on `(node, qp)`.
+    pub fn post_recv(&mut self, node: u32, qp: QpId, wr_id: WrId, addr: VirtAddr, capacity: u64) {
+        self.nodes[node as usize]
+            .qps
+            .get_mut(&qp)
+            .expect("unknown qp")
+            .post_recv(RecvWqe {
+                wr_id,
+                addr,
+                capacity,
+            });
+    }
+
+    /// Posts a send-queue operation immediately.
+    pub fn post_send(&mut self, node: u32, qp: QpId, wr_id: WrId, op: SendOp) {
+        let now = self.queue.now();
+        self.drive_qp(now, node, qp, QpDrive::PostSend { wr_id, op });
+    }
+
+    /// Schedules a send-queue post after `delay` (modelling CPU-side
+    /// preparation such as registration work).
+    pub fn post_send_after(
+        &mut self,
+        delay: SimDuration,
+        node: u32,
+        qp: QpId,
+        wr_id: WrId,
+        op: SendOp,
+    ) {
+        self.queue.schedule_in(
+            delay,
+            IbEvent::PostSend {
+                node,
+                qp,
+                wr_id,
+                op,
+            },
+        );
+    }
+
+    /// Drains completions collected at `node`.
+    pub fn drain_completions(&mut self, node: u32) -> Vec<Completion> {
+        std::mem::take(&mut self.nodes[node as usize].completions)
+    }
+
+    /// Completions currently collected at `node` (without draining).
+    #[must_use]
+    pub fn completions(&self, node: u32) -> &[Completion] {
+        &self.nodes[node as usize].completions
+    }
+
+    /// Advances the clock to `target`, processing any events due before
+    /// it (models CPU-side work between rounds).
+    pub fn run_idle_until(&mut self, target: SimTime) {
+        self.queue.schedule_at(target, IbEvent::Nop);
+        while let Some((_, ev)) = {
+            // Pop only events at or before the target.
+            match self.queue.peek_time() {
+                Some(t) if t <= target => self.queue.pop(),
+                _ => None,
+            }
+        } {
+            self.dispatch(ev);
+        }
+    }
+
+    /// Runs until no events remain or `max_events` were processed.
+    /// Returns the number of events handled.
+    pub fn run_until_quiescent(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events {
+            if !self.step() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Processes one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((_, event)) = self.queue.pop() else {
+            return false;
+        };
+        self.dispatch(event);
+        true
+    }
+
+    fn dispatch(&mut self, event: IbEvent) {
+        let now = self.queue.now();
+        match event {
+            IbEvent::Deliver { node, pkt } => {
+                self.drive_qp(now, node, pkt.dst_qp, QpDrive::Packet(pkt));
+            }
+            IbEvent::QpTimer { node, qp, timer } => {
+                self.nodes[node as usize].timers.remove(&(qp, timer));
+                self.drive_qp(now, node, qp, QpDrive::Timer(timer));
+            }
+            IbEvent::FaultDone { node, fault } => {
+                let n = &mut self.nodes[node as usize];
+                if n.engine.pending_fault(fault).is_some() {
+                    n.engine.complete_fault(fault);
+                }
+                // Wake every QP that might be paused on this fault.
+                let qpids: Vec<QpId> = n.qps.keys().copied().collect();
+                for qp in qpids {
+                    self.drive_qp(now, node, qp, QpDrive::FaultResolved(fault));
+                }
+            }
+            IbEvent::SynthDone { node, fault } => {
+                let qpids: Vec<QpId> = self.nodes[node as usize].qps.keys().copied().collect();
+                for qp in qpids {
+                    self.drive_qp(now, node, qp, QpDrive::FaultResolved(fault));
+                }
+            }
+            IbEvent::PostSend {
+                node,
+                qp,
+                wr_id,
+                op,
+            } => {
+                self.drive_qp(now, node, qp, QpDrive::PostSend { wr_id, op });
+            }
+            IbEvent::Nop => {}
+        }
+    }
+
+    /// Drives one QP with one stimulus and performs its effects.
+    fn drive_qp(&mut self, now: SimTime, node_idx: u32, qp: QpId, drive: QpDrive) {
+        let node = &mut self.nodes[node_idx as usize];
+        let Some(queue_pair) = node.qps.get_mut(&qp) else {
+            return;
+        };
+        let domain = node.domains[&qp];
+        let mut gate = EngineGate {
+            engine: &mut node.engine,
+            domain,
+            now,
+            new_faults: Vec::new(),
+            synthetic: node.synthetic.as_mut(),
+            new_synthetic: Vec::new(),
+        };
+        let outputs = match drive {
+            QpDrive::Packet(pkt) => queue_pair.on_packet(now, pkt, &mut gate),
+            QpDrive::Timer(t) => queue_pair.on_timer(now, t, &mut gate),
+            QpDrive::PostSend { wr_id, op } => queue_pair.post_send(now, wr_id, op, &mut gate),
+            QpDrive::FaultResolved(id) => queue_pair.fault_resolved(now, id, &mut gate),
+        };
+        let new_faults = std::mem::take(&mut gate.new_faults);
+        let new_synth = std::mem::take(&mut gate.new_synthetic);
+        drop(gate);
+
+        for (id, ready) in new_faults {
+            self.queue.schedule_at(
+                ready,
+                IbEvent::FaultDone {
+                    node: node_idx,
+                    fault: id,
+                },
+            );
+        }
+        for (id, at) in new_synth {
+            self.queue.schedule_at(
+                at,
+                IbEvent::SynthDone {
+                    node: node_idx,
+                    fault: id,
+                },
+            );
+        }
+
+        for out in outputs {
+            match out {
+                QpOutput::Send { to, packet } => {
+                    match self
+                        .fabric
+                        .send(now, NodeId(node_idx), to, packet.wire_size())
+                    {
+                        SendOutcome::Delivered { arrives_at, .. } => {
+                            self.queue.schedule_at(
+                                arrives_at,
+                                IbEvent::Deliver {
+                                    node: to.0,
+                                    pkt: packet,
+                                },
+                            );
+                        }
+                        SendOutcome::Dropped => {
+                            unreachable!("lossless IB fabric dropped a packet")
+                        }
+                    }
+                }
+                QpOutput::SetTimer(timer, at) => {
+                    let node = &mut self.nodes[node_idx as usize];
+                    if let Some(tok) = node.timers.remove(&(qp, timer)) {
+                        self.queue.cancel(tok);
+                    }
+                    let tok = self.queue.schedule_at(
+                        at,
+                        IbEvent::QpTimer {
+                            node: node_idx,
+                            qp,
+                            timer,
+                        },
+                    );
+                    self.nodes[node_idx as usize]
+                        .timers
+                        .insert((qp, timer), tok);
+                }
+                QpOutput::CancelTimer(timer) => {
+                    let node = &mut self.nodes[node_idx as usize];
+                    if let Some(tok) = node.timers.remove(&(qp, timer)) {
+                        self.queue.cancel(tok);
+                    }
+                }
+                QpOutput::Complete(c) => {
+                    self.nodes[node_idx as usize].completions.push(c);
+                }
+                QpOutput::RnrIssued { .. } => {
+                    // The gate already started resolution (or it is
+                    // synthetic); nothing further to do.
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum QpDrive {
+    Packet(RcPacket),
+    Timer(QpTimer),
+    PostSend { wr_id: WrId, op: SendOp },
+    FaultResolved(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdmasim::types::{WcOpcode, WcStatus};
+
+    fn two_node_cluster() -> IbCluster {
+        IbCluster::new(IbConfig {
+            nodes: 2,
+            ..IbConfig::default()
+        })
+    }
+
+    #[test]
+    fn send_recv_over_cold_odp_buffers_completes() {
+        let mut c = two_node_cluster();
+        let (qa, qb) = c.connect(0, 1);
+        let src = c.alloc_buffers(0, ByteSize::mib(8));
+        let dst = c.alloc_buffers(1, ByteSize::mib(8));
+        c.post_recv(1, qb, 100, dst, 8 << 20);
+        c.post_send(
+            0,
+            qa,
+            1,
+            SendOp::Send {
+                local: src,
+                len: 1 << 20,
+            },
+        );
+        c.run_until_quiescent(1_000_000);
+        let ca = c.drain_completions(0);
+        let cb = c.drain_completions(1);
+        assert_eq!(ca.len(), 1, "send completion");
+        assert_eq!(ca[0].status, WcStatus::Success);
+        assert_eq!(cb.len(), 1, "recv completion");
+        assert_eq!(cb[0].len, 1 << 20);
+        // Cold buffers mean both sides faulted at least once.
+        assert!(
+            c.node(0).engine().counters().get("npf_events") >= 1,
+            "send-side NPF"
+        );
+        assert!(c.node(1).engine().counters().get("npf_events") >= 1, "rNPF");
+        assert!(
+            c.node(1).qp_stats(qb).rnr_nacks_sent >= 1,
+            "rNPF sent RNR NACK"
+        );
+    }
+
+    #[test]
+    fn warm_buffers_transfer_without_faults() {
+        let mut c = two_node_cluster();
+        let (qa, qb) = c.connect(0, 1);
+        let src = c.alloc_buffers(0, ByteSize::mib(1));
+        let dst = c.alloc_buffers(1, ByteSize::mib(1));
+        // Pin both sides (the static-pinning baseline).
+        let da = c.node(0).domain_of(qa);
+        let db = c.node(1).domain_of(qb);
+        let ra = memsim::types::PageRange::covering(src, 1 << 20);
+        let rb = memsim::types::PageRange::covering(dst, 1 << 20);
+        c.node_mut(0)
+            .engine_mut()
+            .pin_and_map(da, ra)
+            .expect("pin src");
+        c.node_mut(1)
+            .engine_mut()
+            .pin_and_map(db, rb)
+            .expect("pin dst");
+        c.post_recv(1, qb, 5, dst, 1 << 20);
+        c.post_send(
+            0,
+            qa,
+            6,
+            SendOp::Send {
+                local: src,
+                len: 1 << 20,
+            },
+        );
+        c.run_until_quiescent(1_000_000);
+        assert_eq!(c.node(0).engine().counters().get("npf_events"), 0);
+        assert_eq!(c.node(1).engine().counters().get("npf_events"), 0);
+        assert_eq!(c.drain_completions(1).len(), 1);
+    }
+
+    #[test]
+    fn pinned_transfer_is_faster_than_cold_odp() {
+        // Same message, warm vs cold: the cold one pays fault latency.
+        let mut warm = two_node_cluster();
+        let (qa, qb) = warm.connect(0, 1);
+        let src = warm.alloc_buffers(0, ByteSize::mib(1));
+        let dst = warm.alloc_buffers(1, ByteSize::mib(1));
+        let da = warm.node(0).domain_of(qa);
+        let db = warm.node(1).domain_of(qb);
+        warm.node_mut(0)
+            .engine_mut()
+            .pin_and_map(da, memsim::types::PageRange::covering(src, 1 << 20))
+            .expect("pin");
+        warm.node_mut(1)
+            .engine_mut()
+            .pin_and_map(db, memsim::types::PageRange::covering(dst, 1 << 20))
+            .expect("pin");
+        warm.post_recv(1, qb, 1, dst, 1 << 20);
+        warm.post_send(
+            0,
+            qa,
+            2,
+            SendOp::Send {
+                local: src,
+                len: 1 << 20,
+            },
+        );
+        warm.run_until_quiescent(1_000_000);
+        let warm_done = warm.now();
+
+        let mut cold = two_node_cluster();
+        let (qa, qb) = cold.connect(0, 1);
+        let src = cold.alloc_buffers(0, ByteSize::mib(1));
+        let dst = cold.alloc_buffers(1, ByteSize::mib(1));
+        cold.post_recv(1, qb, 1, dst, 1 << 20);
+        cold.post_send(
+            0,
+            qa,
+            2,
+            SendOp::Send {
+                local: src,
+                len: 1 << 20,
+            },
+        );
+        cold.run_until_quiescent(1_000_000);
+        let cold_done = cold.now();
+        assert!(
+            cold_done > warm_done + SimDuration::from_micros(100),
+            "cold {cold_done} vs warm {warm_done}"
+        );
+        assert_eq!(cold.drain_completions(1).len(), 1, "cold still completes");
+    }
+
+    #[test]
+    fn rdma_write_and_read_complete() {
+        let mut c = two_node_cluster();
+        let (qa, _qb) = c.connect(0, 1);
+        let local = c.alloc_buffers(0, ByteSize::mib(2));
+        let remote = c.alloc_buffers(1, ByteSize::mib(2));
+        c.post_send(
+            0,
+            qa,
+            11,
+            SendOp::Write {
+                local,
+                remote,
+                len: 256 * 1024,
+            },
+        );
+        c.run_until_quiescent(1_000_000);
+        let comps = c.drain_completions(0);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].opcode, WcOpcode::Write);
+        // Now read it back.
+        c.post_send(
+            0,
+            qa,
+            12,
+            SendOp::Read {
+                local: VirtAddr(local.0 + (1 << 20)),
+                remote,
+                len: 256 * 1024,
+            },
+        );
+        c.run_until_quiescent(1_000_000);
+        let comps = c.drain_completions(0);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].opcode, WcOpcode::Read);
+        assert_eq!(comps[0].status, WcStatus::Success);
+    }
+
+    #[test]
+    fn synthetic_faults_slow_but_do_not_stop_the_stream() {
+        // Two identical streams; one receiver injects faults.
+        let run = |freq: f64| -> SimTime {
+            let mut c = two_node_cluster();
+            let (qa, qb) = c.connect(0, 1);
+            let src = c.alloc_buffers(0, ByteSize::mib(8));
+            let dst = c.alloc_buffers(1, ByteSize::mib(8));
+            // Warm both sides (the benchmark pre-faults, §6.4).
+            let da = c.node(0).domain_of(qa);
+            let db = c.node(1).domain_of(qb);
+            c.node_mut(0)
+                .engine_mut()
+                .pin_and_map(da, memsim::types::PageRange::covering(src, 8 << 20))
+                .expect("pin");
+            c.node_mut(1)
+                .engine_mut()
+                .pin_and_map(db, memsim::types::PageRange::covering(dst, 8 << 20))
+                .expect("pin");
+            if freq > 0.0 {
+                c.set_synthetic_faults(1, freq, SimDuration::from_micros(220), 42);
+            }
+            for i in 0..64 {
+                c.post_recv(1, qb, 100 + i, dst, 8 << 20);
+            }
+            for i in 0..64 {
+                c.post_send(
+                    0,
+                    qa,
+                    i,
+                    SendOp::Send {
+                        local: src,
+                        len: 64 * 1024,
+                    },
+                );
+            }
+            c.run_until_quiescent(10_000_000);
+            assert_eq!(
+                c.drain_completions(1).len(),
+                64,
+                "all messages delivered at freq {freq}"
+            );
+            c.now()
+        };
+        let clean = run(0.0);
+        let faulty = run(1.0 / 64.0);
+        assert!(
+            faulty > clean,
+            "faults must cost time: clean {clean}, faulty {faulty}"
+        );
+    }
+}

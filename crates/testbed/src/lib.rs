@@ -1,0 +1,56 @@
+//! # testbed — experiment drivers
+//!
+//! Deterministic event-loop testbeds mirroring the paper's two setups:
+//!
+//! * [`eth::EthTestbed`] — the Ethernet pair: a Linux-TCP client machine
+//!   back-to-back with a 12 Gb/s NPF-prototype server hosting memcached
+//!   IOusers over direct channels (§5–6: cold ring, overcommit, dynamic
+//!   working sets).
+//! * [`ib::IbCluster`] — the 8-node, 56 Gb/s InfiniBand cluster with RC
+//!   QPs whose DMAs consult each node's NPF engine (§4, §6).
+//! * [`mpi_run`] — IMB-style collective execution over the cluster
+//!   (Figure 9, Table 6).
+//! * [`storage_bed`] — the tgt/fio storage experiment (Figure 8).
+//! * [`stream_eth`] — the Netperf-style what-if stream with synthetic
+//!   rNPF injection (Figure 10 left).
+//!
+//! Testbeds own the event loops; every substrate stays sans-IO. All
+//! runs are deterministic in their seeds (asserted by integration
+//! tests).
+//!
+//! # Examples
+//!
+//! ```
+//! use testbed::eth::{EthConfig, EthTestbed, RxMode};
+//! use simcore::{ByteSize, SimTime};
+//! use workloads::memcached::MemcachedConfig;
+//!
+//! let mut bed = EthTestbed::new(EthConfig {
+//!     mode: RxMode::Backup,
+//!     conns_per_instance: 4,
+//!     host_memory: ByteSize::mib(256),
+//!     memcached: MemcachedConfig {
+//!         max_bytes: ByteSize::mib(32),
+//!         ..MemcachedConfig::default()
+//!     },
+//!     working_set_keys: 500,
+//!     ..EthConfig::default()
+//! })
+//! .expect("host memory suffices");
+//! bed.run_until(SimTime::from_millis(200));
+//! assert!(bed.total_ops() > 0);
+//! ```
+
+pub mod cpu;
+pub mod eth;
+pub mod ib;
+pub mod mpi_run;
+pub mod storage_bed;
+pub mod stream_eth;
+
+pub use cpu::CpuPool;
+pub use eth::{EthConfig, EthTestbed, InstanceMetrics, RxMode};
+pub use ib::{IbCluster, IbConfig, IbNode};
+pub use mpi_run::{run_collective, MpiRunConfig, MpiRunResult};
+pub use storage_bed::{run_storage, StorageBedConfig, StorageBedResult};
+pub use stream_eth::{run_stream, StreamBedConfig, StreamBedResult, StreamMode};

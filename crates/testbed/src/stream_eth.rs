@@ -1,0 +1,448 @@
+//! The Ethernet what-if stream benchmark (§6.4, Figure 10 left).
+//!
+//! A Netperf-style TCP stream from the client (standard Linux stack)
+//! into an lwIP IOuser behind the direct channel. The receive ring is
+//! pre-faulted ("to eliminate the cold ring problem"), and synthetic
+//! rNPFs are injected at a configurable per-packet frequency. Depending
+//! on the NIC's policy a faulting packet is either dropped (TCP
+//! retransmission recovers it, slowly) or parked in the backup ring and
+//! merged once the synthetic fault "resolves".
+
+use std::collections::HashMap;
+
+use memsim::manager::{MemConfig, MemoryManager};
+use memsim::space::Backing;
+use memsim::types::{PageRange, VirtAddr};
+use netsim::link::{Link, LinkConfig, SendOutcome};
+use nicsim::rx::{RingId, RxDescriptor, RxEngine, RxFaultMode, RxVerdict};
+use npf_core::npf::{NpfConfig, NpfEngine};
+use npf_core::RX_BUFFER_BASE;
+use simcore::event::{EventQueue, EventToken};
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+use simcore::units::{Bandwidth, ByteSize};
+use tcpsim::{ConnId, TcpConfig, TcpOutput, TcpSegment, TcpStack};
+use workloads::stream::{StreamReceiver, SyntheticFaults};
+
+/// Fault policy for the stream run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// Faulting packets are dropped.
+    Drop,
+    /// Faulting packets park in the backup ring.
+    Backup,
+}
+
+/// Configuration of a stream run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamBedConfig {
+    /// Fault policy.
+    pub mode: StreamMode,
+    /// Per-packet synthetic rNPF probability.
+    pub fault_frequency: f64,
+    /// Major (disk-latency) or minor fault resolution.
+    pub major_faults: bool,
+    /// Link rate (the 12 Gb/s prototype NIC).
+    pub bandwidth: Bandwidth,
+    /// Receive ring entries.
+    pub ring_entries: u64,
+    /// How long to run.
+    pub duration: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StreamBedConfig {
+    fn default() -> Self {
+        StreamBedConfig {
+            mode: StreamMode::Backup,
+            fault_frequency: 0.0,
+            major_faults: false,
+            bandwidth: Bandwidth::gbps(12),
+            ring_entries: 512,
+            duration: SimDuration::from_secs(2),
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a stream run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamBedResult {
+    /// Application goodput at the receiver, Gb/s.
+    pub goodput_gbps: f64,
+    /// Synthetic faults injected.
+    pub faults_injected: u64,
+    /// Packets dropped at the NIC.
+    pub nic_drops: u64,
+    /// Packets that took the backup path.
+    pub backup_packets: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    ToServer(TcpSegment),
+    ToClient(TcpSegment),
+    ClientTimer(ConnId),
+    ServerTimer(ConnId),
+    /// A synthetic fault resolved: merge the oldest backup entry back.
+    Merge,
+    /// Announce ring contents to the IOuser.
+    Consume,
+}
+
+/// Runs the Ethernet stream benchmark.
+pub fn run_stream(config: StreamBedConfig) -> StreamBedResult {
+    const PORT: u16 = 9000;
+    const MSG: u64 = 64 * 1024;
+    let mut rng = SimRng::new(config.seed);
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+
+    // Server: one IOuser with a pre-faulted ring.
+    let mm = MemoryManager::new(MemConfig {
+        total_memory: ByteSize::gib(4),
+        ..MemConfig::default()
+    });
+    let mut engine = NpfEngine::new(NpfConfig::default(), mm, rng.fork(1));
+    let space = engine.memory_mut().create_space();
+    let ring = RingId(0);
+    let rx_range = PageRange::new(VirtAddr(RX_BUFFER_BASE).vpn(), config.ring_entries);
+    engine
+        .memory_mut()
+        .mmap_fixed(space, rx_range, Backing::Anonymous)
+        .expect("rx mapping");
+    let domain = engine.create_channel(space);
+    for vpn in rx_range.iter() {
+        engine.touch(space, vpn, true).expect("prefault");
+        let frame = engine
+            .memory()
+            .space(space)
+            .expect("space")
+            .frame_of(vpn)
+            .expect("resident");
+        engine.iommu_mut().map(domain, vpn, frame, true);
+    }
+    let mut rx: RxEngine<TcpSegment> = RxEngine::new(match config.mode {
+        StreamMode::Drop => RxFaultMode::Drop,
+        StreamMode::Backup => RxFaultMode::BackupRing { capacity: 2048 },
+    });
+    rx.create_ring(ring, config.ring_entries, config.ring_entries * 2);
+    let mut posted = 0u64;
+    let post_one = |rx: &mut RxEngine<TcpSegment>, posted: &mut u64| {
+        let addr = VirtAddr(RX_BUFFER_BASE + (*posted % config.ring_entries) * memsim::PAGE_SIZE);
+        *posted += 1;
+        rx.post_descriptor(
+            ring,
+            RxDescriptor {
+                addr,
+                capacity: memsim::PAGE_SIZE,
+            },
+        )
+    };
+    for _ in 0..config.ring_entries {
+        post_one(&mut rx, &mut posted);
+    }
+
+    let mut synth = SyntheticFaults::new(config.fault_frequency, rng.fork(2));
+    synth.arm();
+    let fault_delay_base = NpfConfig::default();
+    let minor = SimDuration::from_micros(220);
+    let major = minor + fault_delay_base.cost.memcpy(0) + SimDuration::from_millis(5);
+    let resolve_delay = if config.major_faults { major } else { minor };
+
+    let mut server = TcpStack::new();
+    server.listen(PORT, TcpConfig::lwip());
+    let mut client = TcpStack::new();
+    let link_cfg = LinkConfig {
+        bandwidth: config.bandwidth,
+        propagation: SimDuration::from_micros(1),
+        queue_capacity: 8 << 20,
+        ecn_threshold: None,
+        loss_probability: 0.0,
+    };
+    let mut link_c2s = Link::new(link_cfg, rng.fork(3));
+    let mut link_s2c = Link::new(link_cfg, rng.fork(4));
+
+    let mut receiver = StreamReceiver::new();
+    let mut client_timers: HashMap<ConnId, EventToken> = HashMap::new();
+    let mut server_timers: HashMap<ConnId, EventToken> = HashMap::new();
+
+    let (cid, outs) = client.connect(SimTime::ZERO, 5000, PORT, TcpConfig::linux());
+    // Effects helpers are plain closures over the queue + links.
+    fn client_effects(
+        now: SimTime,
+        outs: Vec<TcpOutput>,
+        cid: ConnId,
+        queue: &mut EventQueue<Ev>,
+        link_c2s: &mut Link,
+        timers: &mut HashMap<ConnId, EventToken>,
+        client: &mut TcpStack,
+    ) {
+        for out in outs {
+            match out {
+                TcpOutput::Send(seg) => {
+                    if let SendOutcome::Delivered { arrives_at, .. } =
+                        link_c2s.send(now, seg.wire_size())
+                    {
+                        queue.schedule_at(arrives_at, Ev::ToServer(seg));
+                    }
+                }
+                TcpOutput::SetTimer(at) => {
+                    if let Some(t) = timers.remove(&cid) {
+                        queue.cancel(t);
+                    }
+                    timers.insert(cid, queue.schedule_at(at, Ev::ClientTimer(cid)));
+                }
+                TcpOutput::CancelTimer => {
+                    if let Some(t) = timers.remove(&cid) {
+                        queue.cancel(t);
+                    }
+                }
+                TcpOutput::Connected => {
+                    // Start the stream: keep the pipe full.
+                    if let Some(conn) = client.conn_mut(cid) {
+                        let outs = conn.write(now, MSG * 8);
+                        client_effects(now, outs, cid, queue, link_c2s, timers, client);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    client_effects(
+        SimTime::ZERO,
+        outs,
+        cid,
+        &mut queue,
+        &mut link_c2s,
+        &mut client_timers,
+        &mut client,
+    );
+
+    let deadline = SimTime::ZERO + config.duration;
+    while let Some(t) = queue.peek_time() {
+        if t > deadline {
+            break;
+        }
+        let Some((now, ev)) = queue.pop() else { break };
+        match ev {
+            Ev::ToServer(seg) => {
+                // Presence: ring is warm; only synthetic faults fire.
+                let posted_desc = rx.target_descriptor(ring).is_some();
+                let present = posted_desc && !synth.should_fault();
+                match rx.recv(ring, seg, seg.wire_size(), present) {
+                    RxVerdict::Stored { notify_iouser, .. } => {
+                        if notify_iouser {
+                            queue.schedule_in(SimDuration::from_micros(4), Ev::Consume);
+                        }
+                    }
+                    RxVerdict::Backup { .. } => {
+                        queue.schedule_in(resolve_delay, Ev::Merge);
+                    }
+                    RxVerdict::Dropped { burned_descriptor } => {
+                        if burned_descriptor {
+                            queue.schedule_in(SimDuration::from_micros(4), Ev::Consume);
+                        }
+                    }
+                }
+            }
+            Ev::Merge => {
+                if let Some(entry) = rx.pop_backup() {
+                    let placed =
+                        rx.place_resolved(ring, entry.target_index, entry.payload, entry.len);
+                    if placed && rx.resolve_rnpfs(ring, entry.bit_index) {
+                        queue.schedule_in(SimDuration::from_micros(4), Ev::Consume);
+                    }
+                }
+            }
+            Ev::Consume => loop {
+                for _ in 0..rx.take_skipped_holes(ring) {
+                    post_one(&mut rx, &mut posted);
+                }
+                let Some((seg, _)) = rx.consume(ring) else {
+                    for _ in 0..rx.take_skipped_holes(ring) {
+                        post_one(&mut rx, &mut posted);
+                    }
+                    break;
+                };
+                post_one(&mut rx, &mut posted);
+                if let Some((scid, outs)) = server.on_segment(now, seg, false) {
+                    for out in outs {
+                        match out {
+                            TcpOutput::Send(s) => {
+                                if let SendOutcome::Delivered { arrives_at, .. } =
+                                    link_s2c.send(now, s.wire_size())
+                                {
+                                    queue.schedule_at(arrives_at, Ev::ToClient(s));
+                                }
+                            }
+                            TcpOutput::SetTimer(at) => {
+                                if let Some(t) = server_timers.remove(&scid) {
+                                    queue.cancel(t);
+                                }
+                                server_timers
+                                    .insert(scid, queue.schedule_at(at, Ev::ServerTimer(scid)));
+                            }
+                            TcpOutput::CancelTimer => {
+                                if let Some(t) = server_timers.remove(&scid) {
+                                    queue.cancel(t);
+                                }
+                            }
+                            TcpOutput::Readable => {
+                                if let Some(conn) = server.conn_mut(scid) {
+                                    let n = conn.readable_bytes();
+                                    conn.read(n);
+                                    receiver.deliver(now, n);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            },
+            Ev::ToClient(seg) => {
+                if let Some((ccid, outs)) = client.on_segment(now, seg, false) {
+                    client_effects(
+                        now,
+                        outs,
+                        ccid,
+                        &mut queue,
+                        &mut link_c2s,
+                        &mut client_timers,
+                        &mut client,
+                    );
+                    // Keep the stream saturated.
+                    if let Some(conn) = client.conn_mut(ccid) {
+                        if conn.send_queue_bytes() < MSG * 4 {
+                            let outs = conn.write(now, MSG * 4);
+                            client_effects(
+                                now,
+                                outs,
+                                ccid,
+                                &mut queue,
+                                &mut link_c2s,
+                                &mut client_timers,
+                                &mut client,
+                            );
+                        }
+                    }
+                }
+            }
+            Ev::ClientTimer(tcid) => {
+                client_timers.remove(&tcid);
+                let outs = client.on_timer(now, tcid);
+                client_effects(
+                    now,
+                    outs,
+                    tcid,
+                    &mut queue,
+                    &mut link_c2s,
+                    &mut client_timers,
+                    &mut client,
+                );
+            }
+            Ev::ServerTimer(scid) => {
+                server_timers.remove(&scid);
+                for out in server.on_timer(now, scid) {
+                    if let TcpOutput::Send(s) = out {
+                        if let SendOutcome::Delivered { arrives_at, .. } =
+                            link_s2c.send(now, s.wire_size())
+                        {
+                            queue.schedule_at(arrives_at, Ev::ToClient(s));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    StreamBedResult {
+        goodput_gbps: receiver.bytes() as f64 * 8.0
+            / 1e9
+            / config.duration.as_secs_f64().max(1e-12),
+        faults_injected: synth.injected(),
+        nic_drops: rx.counters().get("dropped_fault") + rx.counters().get("dropped_no_buffer"),
+        backup_packets: rx.counters().get("backup_stored"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_stream_approaches_line_rate() {
+        let r = run_stream(StreamBedConfig {
+            duration: SimDuration::from_millis(400),
+            ..StreamBedConfig::default()
+        });
+        assert!(
+            r.goodput_gbps > 8.0,
+            "a clean 12 Gb/s stream should exceed 8 Gb/s: {}",
+            r.goodput_gbps
+        );
+        assert_eq!(r.faults_injected, 0);
+    }
+
+    #[test]
+    fn backup_ring_tolerates_frequent_faults() {
+        let r = run_stream(StreamBedConfig {
+            fault_frequency: 1.0 / 1024.0,
+            mode: StreamMode::Backup,
+            duration: SimDuration::from_millis(400),
+            ..StreamBedConfig::default()
+        });
+        assert!(r.faults_injected > 0);
+        assert!(r.backup_packets > 0);
+        assert!(
+            r.goodput_gbps > 4.0,
+            "backup ring must keep most of the bandwidth: {}",
+            r.goodput_gbps
+        );
+    }
+
+    #[test]
+    fn dropping_collapses_under_frequent_faults() {
+        let drop = run_stream(StreamBedConfig {
+            fault_frequency: 1.0 / 1024.0,
+            mode: StreamMode::Drop,
+            duration: SimDuration::from_millis(400),
+            ..StreamBedConfig::default()
+        });
+        let backup = run_stream(StreamBedConfig {
+            fault_frequency: 1.0 / 1024.0,
+            mode: StreamMode::Backup,
+            duration: SimDuration::from_millis(400),
+            ..StreamBedConfig::default()
+        });
+        assert!(drop.nic_drops > 0);
+        assert!(
+            drop.goodput_gbps < backup.goodput_gbps / 2.0,
+            "drop {} vs backup {}",
+            drop.goodput_gbps,
+            backup.goodput_gbps
+        );
+    }
+
+    #[test]
+    fn major_faults_hurt_more_than_minor() {
+        let minor = run_stream(StreamBedConfig {
+            fault_frequency: 1.0 / 512.0,
+            major_faults: false,
+            duration: SimDuration::from_millis(400),
+            ..StreamBedConfig::default()
+        });
+        let major = run_stream(StreamBedConfig {
+            fault_frequency: 1.0 / 512.0,
+            major_faults: true,
+            duration: SimDuration::from_millis(400),
+            ..StreamBedConfig::default()
+        });
+        assert!(
+            major.goodput_gbps < minor.goodput_gbps,
+            "major {} vs minor {}",
+            major.goodput_gbps,
+            minor.goodput_gbps
+        );
+    }
+}

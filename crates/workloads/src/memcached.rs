@@ -1,0 +1,478 @@
+//! A memcached-like key-value cache and its memaslap-like load
+//! generator (§5's running example; §6.1's memory-utilization
+//! experiments).
+//!
+//! The server is an LRU cache bounded by `max_bytes`, exactly like
+//! memcached: when the working set exceeds the configured capacity,
+//! hit rate drops proportionally. Item values live at deterministic
+//! addresses in the server's address space, so GET/SET translate into
+//! page touches that the testbed charges against the host memory
+//! subsystem (faults, swapping, cgroup pressure — the Figure 7
+//! dynamics).
+
+use std::collections::HashMap;
+
+use memsim::types::VirtAddr;
+use serde::{Deserialize, Serialize};
+use simcore::rng::SimRng;
+use simcore::time::SimDuration;
+use simcore::units::ByteSize;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MemcachedConfig {
+    /// Cache capacity (`-m` in memcached).
+    pub max_bytes: ByteSize,
+    /// Value size of every item (memaslap uses fixed-size items).
+    pub value_size: u64,
+    /// Base address of the item slab in the server's address space.
+    pub slab_base: VirtAddr,
+    /// CPU time to parse + hash + respond to one request, excluding
+    /// memory-touch costs.
+    pub cpu_per_op: SimDuration,
+}
+
+impl Default for MemcachedConfig {
+    fn default() -> Self {
+        MemcachedConfig {
+            max_bytes: ByteSize::gib(1),
+            value_size: 1024,
+            slab_base: VirtAddr(0x1_0000_0000),
+            // Calibrated: ~8 us of parse+hash+respond per operation
+            // saturates four 3.1 GHz cores near the paper's aggregate
+            // throughput (Table 5).
+            cpu_per_op: SimDuration::from_micros(8),
+        }
+    }
+}
+
+/// A request the client sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvOp {
+    /// Read a key.
+    Get {
+        /// Key.
+        key: u64,
+    },
+    /// Write a key.
+    Set {
+        /// Key.
+        key: u64,
+    },
+}
+
+/// Outcome of processing one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvOutcome {
+    /// `true` for a GET that found the item.
+    pub hit: bool,
+    /// Memory range the server touched (value bytes), if any.
+    pub touch: Option<(VirtAddr, u64, bool)>, // (addr, len, write)
+    /// CPU cost excluding memory touches.
+    pub cpu: SimDuration,
+    /// Response payload size in bytes.
+    pub response_bytes: u64,
+}
+
+/// The server.
+#[derive(Debug)]
+pub struct Memcached {
+    config: MemcachedConfig,
+    /// key -> (slot, lru tick)
+    items: HashMap<u64, (u64, u64)>,
+    /// slot -> key (for eviction bookkeeping)
+    slots: HashMap<u64, u64>,
+    free_slots: Vec<u64>,
+    next_slot: u64,
+    max_items: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Memcached {
+    /// Creates a server with `config`.
+    #[must_use]
+    pub fn new(config: MemcachedConfig) -> Self {
+        let max_items = (config.max_bytes.bytes() / config.value_size).max(1);
+        Memcached {
+            config,
+            items: HashMap::new(),
+            slots: HashMap::new(),
+            free_slots: Vec::new(),
+            next_slot: 0,
+            max_items,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &MemcachedConfig {
+        &self.config
+    }
+
+    /// Items currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// GET hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// GET misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// LRU evictions so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit ratio in `[0, 1]`.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Size of the virtual slab region the server needs mapped
+    /// (`max_items * value_size`, page aligned).
+    #[must_use]
+    pub fn slab_bytes(&self) -> ByteSize {
+        ByteSize::bytes_exact(self.max_items * self.config.value_size)
+    }
+
+    fn slot_addr(&self, slot: u64) -> VirtAddr {
+        VirtAddr(self.config.slab_base.0 + slot * self.config.value_size)
+    }
+
+    /// Processes one operation, returning what to touch and charge.
+    pub fn process(&mut self, op: KvOp) -> KvOutcome {
+        self.tick += 1;
+        match op {
+            KvOp::Get { key } => match self.items.get_mut(&key) {
+                Some((slot, tick)) => {
+                    *tick = self.tick;
+                    let slot = *slot;
+                    let addr = VirtAddr(self.config.slab_base.0 + slot * self.config.value_size);
+                    self.hits += 1;
+                    KvOutcome {
+                        hit: true,
+                        touch: Some((addr, self.config.value_size, false)),
+                        cpu: self.config.cpu_per_op,
+                        response_bytes: self.config.value_size + 48,
+                    }
+                }
+                None => {
+                    self.misses += 1;
+                    KvOutcome {
+                        hit: false,
+                        touch: None,
+                        cpu: self.config.cpu_per_op,
+                        response_bytes: 32,
+                    }
+                }
+            },
+            KvOp::Set { key } => {
+                let slot = if let Some(&(slot, _)) = self.items.get(&key) {
+                    slot
+                } else {
+                    let slot = if let Some(s) = self.free_slots.pop() {
+                        s
+                    } else if self.next_slot < self.max_items {
+                        let s = self.next_slot;
+                        self.next_slot += 1;
+                        s
+                    } else {
+                        // LRU eviction.
+                        let (&victim_key, &(victim_slot, _)) = self
+                            .items
+                            .iter()
+                            .min_by_key(|(_, &(_, t))| t)
+                            .expect("cache full implies nonempty");
+                        self.items.remove(&victim_key);
+                        self.slots.remove(&victim_slot);
+                        self.evictions += 1;
+                        victim_slot
+                    };
+                    self.items.insert(key, (slot, self.tick));
+                    self.slots.insert(slot, key);
+                    slot
+                };
+                self.items.insert(key, (slot, self.tick));
+                KvOutcome {
+                    hit: false,
+                    touch: Some((self.slot_addr(slot), self.config.value_size, true)),
+                    cpu: self.config.cpu_per_op,
+                    response_bytes: 16,
+                }
+            }
+        }
+    }
+}
+
+/// Key popularity of the generated load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely (memaslap's default; what the paper's
+    /// experiments use).
+    Uniform,
+    /// Zipf-like skew with the given exponent (realistic cache traffic;
+    /// useful for sensitivity studies).
+    Zipf(f64),
+}
+
+/// memaslap-like closed-loop load generator: 90 % GET / 10 % SET over a
+/// sliding key window (the "working set").
+#[derive(Debug)]
+pub struct Memaslap {
+    /// Number of distinct keys in the working set.
+    working_set_keys: u64,
+    /// First key of the window (shifting it changes the working set,
+    /// Figure 7).
+    window_start: u64,
+    /// Probability of GET (the rest are SETs).
+    get_fraction: f64,
+    value_size: u64,
+    distribution: KeyDistribution,
+    rng: SimRng,
+    issued: u64,
+}
+
+impl Memaslap {
+    /// Creates a generator over `working_set_keys` keys with the
+    /// canonical 90/10 GET/SET mix and uniform key popularity.
+    #[must_use]
+    pub fn new(working_set_keys: u64, value_size: u64, rng: SimRng) -> Self {
+        Memaslap {
+            working_set_keys: working_set_keys.max(1),
+            window_start: 0,
+            get_fraction: 0.9,
+            value_size,
+            distribution: KeyDistribution::Uniform,
+            rng,
+            issued: 0,
+        }
+    }
+
+    /// Switches the key popularity model.
+    pub fn set_distribution(&mut self, distribution: KeyDistribution) {
+        self.distribution = distribution;
+    }
+
+    /// Operations issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Current working-set size in keys.
+    #[must_use]
+    pub fn working_set_keys(&self) -> u64 {
+        self.working_set_keys
+    }
+
+    /// Resizes the working set (Figure 7's 100 MB↔900 MB shift). The
+    /// window stays anchored: growing keeps the old items hot, shrinking
+    /// keeps a hot subset — "the set increases by a factor of nine".
+    pub fn resize_working_set(&mut self, keys: u64) {
+        self.working_set_keys = keys.max(1);
+    }
+
+    /// Draws the next operation and its request size in bytes.
+    pub fn next_op(&mut self) -> (KvOp, u64) {
+        self.issued += 1;
+        let offset = match self.distribution {
+            KeyDistribution::Uniform => self.rng.below(self.working_set_keys),
+            KeyDistribution::Zipf(s) => self.rng.zipf(self.working_set_keys, s),
+        };
+        let key = self.window_start + offset;
+        if self.rng.unit() < self.get_fraction {
+            (KvOp::Get { key }, 40)
+        } else {
+            (KvOp::Set { key }, self.value_size + 40)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(max_items: u64) -> Memcached {
+        Memcached::new(MemcachedConfig {
+            max_bytes: ByteSize::bytes_exact(max_items * 1024),
+            value_size: 1024,
+            ..MemcachedConfig::default()
+        })
+    }
+
+    #[test]
+    fn get_miss_then_set_then_hit() {
+        let mut s = server(10);
+        let miss = s.process(KvOp::Get { key: 5 });
+        assert!(!miss.hit);
+        assert!(miss.touch.is_none());
+        let set = s.process(KvOp::Set { key: 5 });
+        let (_, len, write) = set.touch.expect("set touches the value");
+        assert_eq!(len, 1024);
+        assert!(write);
+        let hit = s.process(KvOp::Get { key: 5 });
+        assert!(hit.hit);
+        let (_, _, write) = hit.touch.expect("hit touches the value");
+        assert!(!write);
+        assert_eq!(s.hits(), 1);
+        assert_eq!(s.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_beyond_capacity() {
+        let mut s = server(2);
+        s.process(KvOp::Set { key: 1 });
+        s.process(KvOp::Set { key: 2 });
+        s.process(KvOp::Get { key: 1 }); // promote 1
+        s.process(KvOp::Set { key: 3 }); // evicts 2
+        assert_eq!(s.evictions(), 1);
+        assert!(s.process(KvOp::Get { key: 1 }).hit);
+        assert!(!s.process(KvOp::Get { key: 2 }).hit);
+        assert!(s.process(KvOp::Get { key: 3 }).hit);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn items_reuse_slot_addresses() {
+        let mut s = server(4);
+        let a = s.process(KvOp::Set { key: 1 }).touch.expect("touch").0;
+        let b = s.process(KvOp::Set { key: 1 }).touch.expect("touch").0;
+        assert_eq!(a, b, "same key keeps its slot");
+        let c = s.process(KvOp::Set { key: 2 }).touch.expect("touch").0;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hit_ratio_tracks_capacity_pressure() {
+        // Working set double the capacity: steady-state hit rate falls
+        // well below 1.
+        let mut s = server(100);
+        let mut gen = Memaslap::new(200, 1024, SimRng::new(5));
+        for _ in 0..20_000 {
+            let (op, _) = gen.next_op();
+            s.process(op);
+        }
+        assert!(
+            s.hit_ratio() < 0.75,
+            "over-capacity working set must miss: {}",
+            s.hit_ratio()
+        );
+        assert!(s.evictions() > 0);
+    }
+
+    #[test]
+    fn full_capacity_working_set_hits() {
+        let mut s = server(256);
+        let mut gen = Memaslap::new(200, 1024, SimRng::new(5));
+        for _ in 0..20_000 {
+            let (op, _) = gen.next_op();
+            s.process(op);
+        }
+        assert!(
+            s.hit_ratio() > 0.85,
+            "in-capacity working set should mostly hit: {}",
+            s.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn resize_keeps_window_anchored() {
+        let mut gen = Memaslap::new(100, 1024, SimRng::new(6));
+        let (KvOp::Get { key } | KvOp::Set { key }, _) = gen.next_op();
+        assert!(key < 100);
+        gen.resize_working_set(900);
+        assert_eq!(gen.working_set_keys(), 900);
+        let mut saw_old = false;
+        for _ in 0..200 {
+            let (KvOp::Get { key } | KvOp::Set { key }, _) = gen.next_op();
+            assert!(key < 900, "anchored window: {key}");
+            saw_old |= key < 100;
+        }
+        assert!(saw_old, "old keys stay in the set");
+    }
+
+    #[test]
+    fn request_sizes_differ_by_op() {
+        let mut gen = Memaslap::new(10, 2048, SimRng::new(7));
+        let mut get_size = 0;
+        let mut set_size = 0;
+        for _ in 0..200 {
+            let (op, bytes) = gen.next_op();
+            match op {
+                KvOp::Get { .. } => get_size = bytes,
+                KvOp::Set { .. } => set_size = bytes,
+            }
+        }
+        assert_eq!(get_size, 40);
+        assert_eq!(set_size, 2088);
+    }
+}
+
+#[cfg(test)]
+mod distribution_tests {
+    use super::*;
+
+    #[test]
+    fn zipf_load_concentrates_on_hot_keys() {
+        let mut s = Memcached::new(MemcachedConfig {
+            max_bytes: ByteSize::bytes_exact(100 * 1024),
+            value_size: 1024,
+            ..MemcachedConfig::default()
+        });
+        // Working set 10x the capacity: uniform traffic would miss a lot;
+        // Zipf traffic concentrates on the cached head.
+        let mut uniform = Memaslap::new(1000, 1024, SimRng::new(1));
+        for _ in 0..20_000 {
+            let (op, _) = uniform.next_op();
+            s.process(op);
+        }
+        let uniform_hits = s.hit_ratio();
+
+        let mut s2 = Memcached::new(MemcachedConfig {
+            max_bytes: ByteSize::bytes_exact(100 * 1024),
+            value_size: 1024,
+            ..MemcachedConfig::default()
+        });
+        let mut zipf = Memaslap::new(1000, 1024, SimRng::new(1));
+        zipf.set_distribution(KeyDistribution::Zipf(0.99));
+        for _ in 0..20_000 {
+            let (op, _) = zipf.next_op();
+            s2.process(op);
+        }
+        assert!(
+            s2.hit_ratio() > uniform_hits + 0.15,
+            "zipf {:.2} vs uniform {:.2}",
+            s2.hit_ratio(),
+            uniform_hits
+        );
+    }
+}

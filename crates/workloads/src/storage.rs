@@ -1,0 +1,275 @@
+//! The storage workload: a tgt-like iSER target and a fio-like random
+//! read initiator (§6.1 "Storage", Figure 8).
+//!
+//! The target exposes one LUN backed by a simulated disk file. Reads go
+//! through the host page cache; data travels to the initiator through
+//! per-transaction *communication buffers*. tgt's quirk — it
+//! "allocates a fixed size chunk (512 KB) for each transaction,
+//! regardless of its actual size" — is modelled directly, because it is
+//! what makes Figure 8(b) interesting: with 64 KB blocks most of each
+//! chunk is never touched, so under ODP it is never backed by frames.
+
+use memsim::types::{FileId, VirtAddr};
+use serde::{Deserialize, Serialize};
+use simcore::rng::SimRng;
+use simcore::time::SimDuration;
+use simcore::units::ByteSize;
+
+/// Target configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StorageConfig {
+    /// The LUN's backing file.
+    pub lun_file: FileId,
+    /// LUN size.
+    pub lun_size: ByteSize,
+    /// Fixed per-transaction communication chunk (tgt uses 512 KB).
+    pub chunk_size: u64,
+    /// Total communication chunks in the global pool (tgt statically
+    /// sizes this; 2048 x 512 KB = 1 GiB).
+    pub total_chunks: u64,
+    /// Base address of the communication-buffer pool in the target's
+    /// address space.
+    pub comm_base: VirtAddr,
+    /// CPU cost per I/O transaction (SCSI processing).
+    pub cpu_per_io: SimDuration,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            lun_file: FileId(1),
+            lun_size: ByteSize::gib(4),
+            chunk_size: 512 * 1024,
+            total_chunks: 2048,
+            comm_base: VirtAddr(0x2_0000_0000),
+            cpu_per_io: SimDuration::from_micros(6),
+        }
+    }
+}
+
+/// One read transaction plan: what the target must do for a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadPlan {
+    /// First LUN page to read.
+    pub first_page: u64,
+    /// Pages to read from the LUN (via the page cache).
+    pub pages: u64,
+    /// The communication buffer the payload is staged in. Only
+    /// `touch_len` bytes of the `chunk_size` chunk are written.
+    pub comm_buffer: VirtAddr,
+    /// The pool chunk backing `comm_buffer`; return it with
+    /// [`StorageTarget::release_chunk`] when the transfer completes.
+    pub chunk: u64,
+    /// Bytes actually staged (the request size).
+    pub touch_len: u64,
+    /// CPU cost of the transaction.
+    pub cpu: SimDuration,
+}
+
+/// The target.
+///
+/// Chunks are allocated from a global LIFO free list, as an allocator
+/// would: under a fixed queue depth only a small hot subset of the pool
+/// is ever touched, which is what lets ODP leave most of the static
+/// pool unbacked (Figure 8).
+#[derive(Debug)]
+pub struct StorageTarget {
+    config: StorageConfig,
+    free_chunks: Vec<u64>,
+    ios: u64,
+    peak_outstanding: u64,
+}
+
+impl StorageTarget {
+    /// Creates a target serving `sessions` initiator sessions (sessions
+    /// share the global pool).
+    #[must_use]
+    pub fn new(config: StorageConfig, sessions: u32) -> Self {
+        let _ = sessions;
+        // LIFO: chunk 0 on top.
+        let free_chunks = (0..config.total_chunks).rev().collect();
+        StorageTarget {
+            config,
+            free_chunks,
+            ios: 0,
+            peak_outstanding: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// Transactions served.
+    #[must_use]
+    pub fn ios(&self) -> u64 {
+        self.ios
+    }
+
+    /// Most chunks simultaneously outstanding.
+    #[must_use]
+    pub fn peak_outstanding(&self) -> u64 {
+        self.peak_outstanding
+    }
+
+    /// Total communication-pool bytes (what the pinned baseline must
+    /// lock — tgt's static 1 GB allocation).
+    #[must_use]
+    pub fn comm_pool_bytes(&self) -> ByteSize {
+        ByteSize::bytes_exact(self.config.chunk_size * self.config.total_chunks)
+    }
+
+    /// The base address of pool chunk `c`.
+    fn chunk_addr(&self, chunk: u64) -> VirtAddr {
+        VirtAddr(self.config.comm_base.0 + chunk * self.config.chunk_size)
+    }
+
+    /// Plans one read of `len` bytes at `offset` for `session`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the request exceeds the chunk size, falls outside
+    /// the LUN, or the pool is exhausted (queue depth exceeded the
+    /// pool — a configuration error).
+    pub fn plan_read(&mut self, session: u32, offset: u64, len: u64) -> ReadPlan {
+        let _ = session;
+        assert!(len <= self.config.chunk_size, "request exceeds chunk");
+        assert!(
+            offset + len <= self.config.lun_size.bytes(),
+            "read beyond LUN"
+        );
+        let chunk = self
+            .free_chunks
+            .pop()
+            .expect("communication pool exhausted");
+        self.ios += 1;
+        let outstanding = self.config.total_chunks - self.free_chunks.len() as u64;
+        self.peak_outstanding = self.peak_outstanding.max(outstanding);
+        ReadPlan {
+            first_page: offset / memsim::PAGE_SIZE,
+            pages: len.div_ceil(memsim::PAGE_SIZE),
+            comm_buffer: self.chunk_addr(chunk),
+            chunk,
+            touch_len: len,
+            cpu: self.config.cpu_per_io,
+        }
+    }
+
+    /// Returns a chunk to the pool once its transfer completed.
+    pub fn release_chunk(&mut self, chunk: u64) {
+        debug_assert!(chunk < self.config.total_chunks);
+        self.free_chunks.push(chunk);
+    }
+}
+
+/// fio-like random-read generator.
+#[derive(Debug)]
+pub struct FioClient {
+    block_size: u64,
+    lun_size: u64,
+    rng: SimRng,
+    issued: u64,
+}
+
+impl FioClient {
+    /// Creates a generator issuing `block_size` random reads over a
+    /// `lun_size` device.
+    #[must_use]
+    pub fn new(block_size: u64, lun_size: ByteSize, rng: SimRng) -> Self {
+        FioClient {
+            block_size,
+            lun_size: lun_size.bytes(),
+            rng,
+            issued: 0,
+        }
+    }
+
+    /// Requests issued.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The configured block size.
+    #[must_use]
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Draws the next `(offset, len)`, block-aligned.
+    pub fn next_read(&mut self) -> (u64, u64) {
+        self.issued += 1;
+        let blocks = self.lun_size / self.block_size;
+        let block = self.rng.below(blocks);
+        (block * self.block_size, self.block_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_reuses_the_hottest_chunk() {
+        let mut t = StorageTarget::new(StorageConfig::default(), 1);
+        let a = t.plan_read(0, 0, 512 * 1024);
+        t.release_chunk(a.chunk);
+        let b = t.plan_read(0, 512 * 1024, 512 * 1024);
+        assert_eq!(a.comm_buffer, b.comm_buffer, "freed chunk reused first");
+        assert_eq!(a.pages, 128);
+    }
+
+    #[test]
+    fn queue_depth_bounds_touched_chunks() {
+        let mut t = StorageTarget::new(StorageConfig::default(), 4);
+        // Depth-3 pipeline over many requests touches exactly 3 chunks.
+        let mut seen = std::collections::HashSet::new();
+        let mut live = std::collections::VecDeque::new();
+        for i in 0..100u64 {
+            let p = t.plan_read(0, (i % 8) * 512 * 1024, 512 * 1024);
+            seen.insert(p.chunk);
+            live.push_back(p.chunk);
+            if live.len() > 3 {
+                t.release_chunk(live.pop_front().expect("live"));
+            }
+        }
+        assert!(seen.len() <= 4, "LIFO keeps the hot set small: {seen:?}");
+        assert_eq!(t.peak_outstanding(), 4);
+    }
+
+    #[test]
+    fn small_blocks_touch_less_than_chunk() {
+        let mut t = StorageTarget::new(StorageConfig::default(), 1);
+        let p = t.plan_read(0, 0, 64 * 1024);
+        assert_eq!(p.touch_len, 64 * 1024);
+        assert_eq!(t.config().chunk_size, 512 * 1024);
+        assert_eq!(p.pages, 16);
+    }
+
+    #[test]
+    fn comm_pool_size_matches_tgt() {
+        let t = StorageTarget::new(StorageConfig::default(), 32);
+        // 512 KB * 2048 chunks = 1 GiB — tgt's static buffer.
+        assert_eq!(t.comm_pool_bytes(), ByteSize::gib(1));
+    }
+
+    #[test]
+    fn fio_reads_are_aligned_and_in_bounds() {
+        let mut f = FioClient::new(512 * 1024, ByteSize::gib(4), SimRng::new(1));
+        for _ in 0..1000 {
+            let (off, len) = f.next_read();
+            assert_eq!(off % (512 * 1024), 0);
+            assert!(off + len <= ByteSize::gib(4).bytes());
+        }
+        assert_eq!(f.issued(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond LUN")]
+    fn read_past_lun_panics() {
+        let mut t = StorageTarget::new(StorageConfig::default(), 1);
+        t.plan_read(0, ByteSize::gib(4).bytes(), 4096);
+    }
+}

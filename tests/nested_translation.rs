@@ -1,0 +1,70 @@
+//! §2.4 end to end: strict protection (guest stage) composes with NPFs
+//! (host stage). The IOuser configures its own table to fence the
+//! device; the IOprovider's table stays fault-capable for the canonical
+//! memory optimizations. The two are orthogonal, as the paper argues.
+
+use iommu::nested::{Gpn, NestedTranslation, NestedWalk};
+use iommu::pagetable::{DomainId, IoPageTable, TableMode};
+use memsim::manager::{MemConfig, MemoryManager};
+use memsim::space::Backing;
+use memsim::types::{FrameId, Vpn};
+use simcore::units::ByteSize;
+
+#[test]
+fn guest_protection_and_host_faults_are_orthogonal() {
+    // The IOuser grants the device exactly one buffer (gVA page 0x50 ->
+    // gPA 0x100) in its strict-protection table.
+    let mut guest = IoPageTable::new(DomainId(0), TableMode::PinnedOnly);
+    guest.map(Vpn(0x50), FrameId(0x100), true);
+
+    // The IOprovider's table is fault-capable and starts empty.
+    let mut host = IoPageTable::new(DomainId(1), TableMode::PageFaultCapable);
+
+    // The host OS backs guest-physical page 0x100 on demand.
+    let mut mm = MemoryManager::new(MemConfig {
+        total_memory: ByteSize::mib(4),
+        ..MemConfig::default()
+    });
+    let space = mm.create_space();
+    let region = mm
+        .mmap(space, ByteSize::mib(1), Backing::Anonymous)
+        .unwrap();
+
+    // 1. An access outside the grant is denied by the *guest* stage, no
+    //    matter what the host has mapped: strict protection.
+    let mut walk = NestedWalk {
+        guest: &mut guest,
+        host: &mut host,
+    };
+    assert_eq!(
+        walk.translate(Vpn(0x51), true),
+        NestedTranslation::GuestDenied
+    );
+
+    // 2. An access inside the grant passes the guest stage but faults in
+    //    the *host* stage: a recoverable NPF the IOprovider resolves.
+    let outcome = walk.translate(Vpn(0x50), true);
+    assert_eq!(outcome, NestedTranslation::HostFault(Gpn(0x100)));
+
+    // 3. The IOprovider resolves the fault: it backs the page and maps
+    //    gPA -> hPA in its stage.
+    let vpn = region.start;
+    let access = mm.touch(space, vpn, true).unwrap();
+    let frame = access.fault.expect("first touch faults").frame;
+    host.map(Vpn(0x100), frame, true);
+
+    // 4. The same access now fully translates; the denied one stays
+    //    denied.
+    let mut walk = NestedWalk {
+        guest: &mut guest,
+        host: &mut host,
+    };
+    assert_eq!(
+        walk.translate(Vpn(0x50), true),
+        NestedTranslation::Ok(frame)
+    );
+    assert_eq!(
+        walk.translate(Vpn(0x51), true),
+        NestedTranslation::GuestDenied
+    );
+}

@@ -1,0 +1,97 @@
+//! §4 "Applicability": the Ethernet backup-ring solution applies to UD,
+//! which has no connection to suspend. Datagrams landing on faulting
+//! buffers would simply be lost; with the backup ring they are parked
+//! and merged in order.
+
+use memsim::types::VirtAddr;
+use netsim::packet::NodeId;
+use nicsim::rx::{RingId, RxDescriptor, RxEngine, RxFaultMode, RxVerdict};
+use rdmasim::types::{PinnedGate, QpId, RecvWqe};
+use rdmasim::ud::{UdQp, UdRecvOutcome};
+
+const R: RingId = RingId(0);
+
+fn post(rx: &mut RxEngine<rdmasim::ud::UdDatagram>, n: u64) {
+    for i in 0..n {
+        rx.post_descriptor(
+            R,
+            RxDescriptor {
+                addr: VirtAddr(0x1000 * (i + 1)),
+                capacity: 4096,
+            },
+        );
+    }
+}
+
+#[test]
+fn ud_datagrams_survive_rnpfs_via_backup_ring() {
+    let mut tx = UdQp::new(QpId(1), 4096);
+    let mut rx_qp = UdQp::new(QpId(2), 4096);
+    let mut ring: RxEngine<rdmasim::ud::UdDatagram> =
+        RxEngine::new(RxFaultMode::BackupRing { capacity: 64 });
+    ring.create_ring(R, 16, 32);
+    post(&mut ring, 16);
+
+    // Eight datagrams; every second one hits an rNPF at the NIC.
+    let mut backups = Vec::new();
+    for i in 0..8u64 {
+        let dg = tx.send(QpId(2), NodeId(1), 1000 + i);
+        let present = i % 2 == 0;
+        match ring.recv(R, dg, dg.wire_size(), present) {
+            RxVerdict::Backup {
+                bit_index,
+                target_index,
+                ..
+            } => backups.push((bit_index, target_index)),
+            RxVerdict::Stored { .. } => {}
+            RxVerdict::Dropped { .. } => panic!("backup ring must absorb the fault"),
+        }
+    }
+    assert_eq!(backups.len(), 4);
+
+    // The IOprovider resolves each fault and merges the datagrams back.
+    while let Some(e) = ring.pop_backup() {
+        assert!(ring.place_resolved(R, e.target_index, e.payload, e.len));
+        ring.resolve_rnpfs(R, e.bit_index);
+    }
+
+    // The IOuser consumes *in order* and feeds its UD queue pair: every
+    // datagram arrives despite UD's zero delivery guarantees.
+    for i in 0..8u64 {
+        rx_qp.post_recv(RecvWqe {
+            wr_id: i,
+            addr: VirtAddr(0x100000),
+            capacity: 4096,
+        });
+    }
+    let mut lens = Vec::new();
+    while let Some((dg, _)) = ring.consume(R) {
+        match rx_qp.on_datagram(dg, &mut PinnedGate) {
+            UdRecvOutcome::Delivered(c) => lens.push(c.len),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert_eq!(lens, (0..8).map(|i| 1000 + i).collect::<Vec<_>>());
+    assert_eq!(rx_qp.delivered(), 8);
+    assert_eq!(rx_qp.dropped(), 0);
+}
+
+#[test]
+fn ud_datagrams_are_lost_without_backup_ring() {
+    let mut tx = UdQp::new(QpId(1), 4096);
+    let mut ring: RxEngine<rdmasim::ud::UdDatagram> = RxEngine::new(RxFaultMode::Drop);
+    ring.create_ring(R, 16, 32);
+    post(&mut ring, 16);
+    let mut lost = 0;
+    for i in 0..8u64 {
+        let dg = tx.send(QpId(2), NodeId(1), 1000 + i);
+        if matches!(
+            ring.recv(R, dg, dg.wire_size(), i % 2 == 0),
+            RxVerdict::Dropped { .. }
+        ) {
+            lost += 1;
+        }
+    }
+    // No connection, no retransmission: the data is simply gone.
+    assert_eq!(lost, 4);
+}

@@ -1,20 +1,24 @@
 //! Ablations of the paper's design choices.
+//!
+//! Supports `--trace <path>` / `--metrics <path>`.
 fn main() {
-    print!("{}", npf_bench::ablations::ablation_batching().render());
-    println!();
-    print!(
-        "{}",
-        npf_bench::ablations::ablation_firmware_bypass().render()
-    );
-    println!();
-    print!("{}", npf_bench::ablations::ablation_concurrency().render());
-    println!();
-    print!(
-        "{}",
-        npf_bench::ablations::ablation_pindown_sweep(30).render()
-    );
-    println!();
-    print!("{}", npf_bench::ablations::ablation_read_rnr().render());
-    println!();
-    print!("{}", npf_bench::ablations::ablation_prefaulting().render());
+    npf_bench::tracectl::run(|| {
+        print!("{}", npf_bench::ablations::ablation_batching().render());
+        println!();
+        print!(
+            "{}",
+            npf_bench::ablations::ablation_firmware_bypass().render()
+        );
+        println!();
+        print!("{}", npf_bench::ablations::ablation_concurrency().render());
+        println!();
+        print!(
+            "{}",
+            npf_bench::ablations::ablation_pindown_sweep(30).render()
+        );
+        println!();
+        print!("{}", npf_bench::ablations::ablation_read_rnr().render());
+        println!();
+        print!("{}", npf_bench::ablations::ablation_prefaulting().render());
+    });
 }

@@ -1,32 +1,37 @@
 //! Runs every experiment (E1-E12 plus ablations) and prints the full
 //! report document — the source of `EXPERIMENTS.md`.
+//!
+//! Supports `--trace <path>` / `--metrics <path>`.
 fn main() {
     let t0 = std::time::Instant::now();
-    let reports = [
-        npf_bench::micro::fig3(500),
-        npf_bench::micro::table4(3000),
-        npf_bench::eth_experiments::fig4a(20),
-        npf_bench::eth_experiments::fig4b(10_000, 150),
-        npf_bench::eth_experiments::table5(4),
-        npf_bench::eth_experiments::fig7(30, 10),
-        npf_bench::ib_experiments::fig8a(4000),
-        npf_bench::ib_experiments::fig8b(1500),
-        npf_bench::ib_experiments::fig9(30, 8),
-        npf_bench::ib_experiments::fig9_allreduce(30, 8),
-        npf_bench::ib_experiments::table6(20, 8),
-        npf_bench::ib_experiments::fig10_ethernet(500),
-        npf_bench::ib_experiments::fig10_infiniband(3000),
-        npf_bench::ablations::ablation_batching(),
-        npf_bench::ablations::ablation_firmware_bypass(),
-        npf_bench::ablations::ablation_concurrency(),
-        npf_bench::ablations::ablation_pindown_sweep(30),
-        npf_bench::ablations::ablation_read_rnr(),
-        npf_bench::ablations::ablation_prefaulting(),
-    ];
-    for r in &reports {
-        print!("{}", r.render());
-        println!();
-    }
+    npf_bench::tracectl::run(|| {
+        let reports = [
+            npf_bench::micro::fig3(500),
+            npf_bench::micro::fig3_traced(500),
+            npf_bench::micro::table4(3000),
+            npf_bench::eth_experiments::fig4a(20),
+            npf_bench::eth_experiments::fig4b(10_000, 150),
+            npf_bench::eth_experiments::table5(4),
+            npf_bench::eth_experiments::fig7(30, 10),
+            npf_bench::ib_experiments::fig8a(4000),
+            npf_bench::ib_experiments::fig8b(1500),
+            npf_bench::ib_experiments::fig9(30, 8),
+            npf_bench::ib_experiments::fig9_allreduce(30, 8),
+            npf_bench::ib_experiments::table6(20, 8),
+            npf_bench::ib_experiments::fig10_ethernet(500),
+            npf_bench::ib_experiments::fig10_infiniband(3000),
+            npf_bench::ablations::ablation_batching(),
+            npf_bench::ablations::ablation_firmware_bypass(),
+            npf_bench::ablations::ablation_concurrency(),
+            npf_bench::ablations::ablation_pindown_sweep(30),
+            npf_bench::ablations::ablation_read_rnr(),
+            npf_bench::ablations::ablation_prefaulting(),
+        ];
+        for r in &reports {
+            print!("{}", r.render());
+            println!();
+        }
+    });
     eprintln!(
         "all experiments finished in {:.1}s",
         t0.elapsed().as_secs_f64()

@@ -1,12 +1,16 @@
 //! Regenerates Figure 10: what-if analysis with synthetic rNPFs.
+//!
+//! Supports `--trace <path>` / `--metrics <path>`.
 fn main() {
-    print!(
-        "{}",
-        npf_bench::ib_experiments::fig10_ethernet(500).render()
-    );
-    println!();
-    print!(
-        "{}",
-        npf_bench::ib_experiments::fig10_infiniband(3000).render()
-    );
+    npf_bench::tracectl::run(|| {
+        print!(
+            "{}",
+            npf_bench::ib_experiments::fig10_ethernet(500).render()
+        );
+        println!();
+        print!(
+            "{}",
+            npf_bench::ib_experiments::fig10_infiniband(3000).render()
+        );
+    });
 }

@@ -1,4 +1,9 @@
 //! Regenerates Figure 3: NPF and invalidation execution breakdown.
+//!
+//! Pass `--trace <path>` to record a Perfetto-loadable Chrome trace of
+//! the run, and/or `--metrics <path>` for the flat metrics registry.
 fn main() {
-    print!("{}", npf_bench::micro::fig3(500).render());
+    npf_bench::tracectl::run(|| {
+        print!("{}", npf_bench::micro::fig3(500).render());
+    });
 }

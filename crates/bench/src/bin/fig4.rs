@@ -1,9 +1,13 @@
 //! Regenerates Figure 4: the cold ring problem.
+//!
+//! Supports `--trace <path>` / `--metrics <path>`.
 fn main() {
-    print!("{}", npf_bench::eth_experiments::fig4a(20).render());
-    println!();
-    print!(
-        "{}",
-        npf_bench::eth_experiments::fig4b(10_000, 150).render()
-    );
+    npf_bench::tracectl::run(|| {
+        print!("{}", npf_bench::eth_experiments::fig4a(20).render());
+        println!();
+        print!(
+            "{}",
+            npf_bench::eth_experiments::fig4b(10_000, 150).render()
+        );
+    });
 }

@@ -1,4 +1,8 @@
 //! Regenerates Figure 7: dynamic working sets under a shared cgroup.
+//!
+//! Supports `--trace <path>` / `--metrics <path>`.
 fn main() {
-    print!("{}", npf_bench::eth_experiments::fig7(30, 10).render());
+    npf_bench::tracectl::run(|| {
+        print!("{}", npf_bench::eth_experiments::fig7(30, 10).render());
+    });
 }

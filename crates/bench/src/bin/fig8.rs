@@ -1,6 +1,10 @@
 //! Regenerates Figure 8: storage bandwidth and memory usage.
+//!
+//! Supports `--trace <path>` / `--metrics <path>`.
 fn main() {
-    print!("{}", npf_bench::ib_experiments::fig8a(4000).render());
-    println!();
-    print!("{}", npf_bench::ib_experiments::fig8b(1500).render());
+    npf_bench::tracectl::run(|| {
+        print!("{}", npf_bench::ib_experiments::fig8a(4000).render());
+        println!();
+        print!("{}", npf_bench::ib_experiments::fig8b(1500).render());
+    });
 }

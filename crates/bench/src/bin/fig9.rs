@@ -1,10 +1,14 @@
 //! Regenerates Figure 9: IMB collectives under each registration
 //! strategy.
+//!
+//! Supports `--trace <path>` / `--metrics <path>`.
 fn main() {
-    print!("{}", npf_bench::ib_experiments::fig9(30, 8).render());
-    println!();
-    print!(
-        "{}",
-        npf_bench::ib_experiments::fig9_allreduce(30, 8).render()
-    );
+    npf_bench::tracectl::run(|| {
+        print!("{}", npf_bench::ib_experiments::fig9(30, 8).render());
+        println!();
+        print!(
+            "{}",
+            npf_bench::ib_experiments::fig9_allreduce(30, 8).render()
+        );
+    });
 }

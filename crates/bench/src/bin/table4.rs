@@ -1,4 +1,8 @@
 //! Regenerates Table 4: tail latency of NPFs.
+//!
+//! Supports `--trace <path>` / `--metrics <path>`.
 fn main() {
-    print!("{}", npf_bench::micro::table4(3000).render());
+    npf_bench::tracectl::run(|| {
+        print!("{}", npf_bench::micro::table4(3000).render());
+    });
 }

@@ -1,4 +1,8 @@
 //! Regenerates Table 5: memory overcommitment with 1-4 memcached VMs.
+//!
+//! Supports `--trace <path>` / `--metrics <path>`.
 fn main() {
-    print!("{}", npf_bench::eth_experiments::table5(4).render());
+    npf_bench::tracectl::run(|| {
+        print!("{}", npf_bench::eth_experiments::table5(4).render());
+    });
 }

@@ -1,4 +1,8 @@
 //! Regenerates Table 6: effective communication bandwidth (beff).
+//!
+//! Supports `--trace <path>` / `--metrics <path>`.
 fn main() {
-    print!("{}", npf_bench::ib_experiments::table6(20, 8).render());
+    npf_bench::tracectl::run(|| {
+        print!("{}", npf_bench::ib_experiments::table6(20, 8).render());
+    });
 }

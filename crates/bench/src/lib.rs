@@ -18,5 +18,6 @@ pub mod eth_experiments;
 pub mod ib_experiments;
 pub mod micro;
 pub mod report;
+pub mod tracectl;
 
 pub use report::Report;

@@ -13,6 +13,7 @@ use npf_core::npf::{NpfConfig, NpfEngine};
 use simcore::rng::SimRng;
 use simcore::stats::DurationHistogram;
 use simcore::time::SimTime;
+use simcore::trace::{self, TraceRecord, TraceRecorder};
 use simcore::units::ByteSize;
 
 use crate::report::{f, Report};
@@ -144,6 +145,118 @@ pub fn fig3(iterations: u32) -> Report {
     r
 }
 
+/// Component averages recovered from `npf` trace spans.
+///
+/// The engine emits one parent `npf` span per fault whose children
+/// (`fault_trigger`, `driver_sw`, `os_translate`, `update_hw_pt`,
+/// `resume`) tile it exactly; `driver_sw + os_translate` corresponds to
+/// the cost model's `driver` component.
+fn traced_breakdown<'a, I: Iterator<Item = &'a TraceRecord>>(records: I) -> (BreakdownAvg, u32) {
+    let mut avg = BreakdownAvg::default();
+    let mut faults = 0u32;
+    for r in records {
+        if let TraceRecord::Span {
+            track: "npf",
+            name,
+            duration,
+            ..
+        } = r
+        {
+            let us = duration.as_micros_f64();
+            match *name {
+                "npf" => faults += 1,
+                "fault_trigger" => avg.trigger += us,
+                "driver_sw" | "os_translate" => avg.driver += us,
+                "update_hw_pt" => avg.update += us,
+                "resume" => avg.resume += us,
+                _ => {}
+            }
+        }
+    }
+    if faults > 0 {
+        let n = f64::from(faults);
+        avg.trigger /= n;
+        avg.driver /= n;
+        avg.update /= n;
+        avg.resume /= n;
+    }
+    (avg, faults)
+}
+
+/// Like [`measure_npf`], but with tracing live: returns the cost-model
+/// averages alongside the averages re-derived from recorded spans, plus
+/// the number of faults the spans cover.
+///
+/// Records into the already-installed recorder when one is present
+/// (e.g. under a bench binary's `--trace` flag), otherwise installs a
+/// private one for the duration of the run.
+pub fn measure_npf_traced(
+    message_bytes: u64,
+    iterations: u32,
+    seed: u64,
+) -> (BreakdownAvg, BreakdownAvg, u32) {
+    let own = !trace::enabled();
+    if own {
+        // Each fault emits its parent+children spans plus one memsim
+        // instant per page, so size the ring to the page count or the
+        // 4MB runs wrap and lose the early parent spans.
+        let pages = message_bytes.div_ceil(memsim::PAGE_SIZE) as usize;
+        trace::install(TraceRecorder::new(iterations as usize * (pages + 16) + 64));
+    }
+    let mut before = 0usize;
+    trace::with(|t| before = t.len());
+    let (model, _) = measure_npf(message_bytes, iterations, seed);
+    let mut derived = (BreakdownAvg::default(), 0u32);
+    trace::with(|t| derived = traced_breakdown(t.records().skip(before)));
+    if own {
+        trace::uninstall();
+    }
+    (model, derived.0, derived.1)
+}
+
+/// Figure 3 regenerated from recorded spans: the observability layer's
+/// cross-check that span-derived component totals agree with the cost
+/// model within 1%.
+pub fn fig3_traced(iterations: u32) -> Report {
+    let (m4k, s4k, n4k) = measure_npf_traced(4 * 1024, iterations, 31);
+    let (m4m, s4m, n4m) = measure_npf_traced(4 << 20, iterations, 32);
+
+    let mut r = Report::new(
+        "NPF execution breakdown derived from recorded spans",
+        "Figure 3, traced",
+    );
+    r.columns(["size", "component", "model[us]", "spans[us]", "delta[%]"]);
+    let mut worst = 0.0f64;
+    for (size, m, s) in [("4KB", m4k, s4k), ("4MB", m4m, s4m)] {
+        for (name, model_us, span_us) in [
+            ("trigger", m.trigger, s.trigger),
+            ("driver", m.driver, s.driver),
+            ("updatePT", m.update, s.update),
+            ("resume", m.resume, s.resume),
+            ("total", m.total(), s.total()),
+        ] {
+            let delta = if model_us == 0.0 {
+                0.0
+            } else {
+                100.0 * (span_us - model_us).abs() / model_us
+            };
+            worst = worst.max(delta);
+            r.row([
+                size.into(),
+                name.into(),
+                f(model_us, 2),
+                f(span_us, 2),
+                f(delta, 3),
+            ]);
+        }
+    }
+    r.note(format!(
+        "spans cover {}+{} faults; worst disagreement {worst:.3}% (acceptance: <1%)",
+        n4k, n4m
+    ));
+    r
+}
+
 /// E3 — Table 4: tail latency of NPFs.
 pub fn table4(iterations: u32) -> Report {
     let (_, mut h4k) = measure_npf(4 * 1024, iterations, 41);
@@ -205,5 +318,35 @@ mod tests {
         assert!(r.render().contains("NPF"));
         let r = table4(100);
         assert!(r.render().contains("4MB"));
+    }
+
+    #[test]
+    fn span_breakdown_matches_cost_model_within_1pct() {
+        for (bytes, seed) in [(4 * 1024, 31), (4 << 20, 32)] {
+            let (model, spans, faults) = measure_npf_traced(bytes, 100, seed);
+            assert_eq!(faults, 100, "one parent span per fault");
+            for (name, m, s) in [
+                ("trigger", model.trigger, spans.trigger),
+                ("driver", model.driver, spans.driver),
+                ("updatePT", model.update, spans.update),
+                ("resume", model.resume, spans.resume),
+                ("total", model.total(), spans.total()),
+            ] {
+                let delta = 100.0 * (s - m).abs() / m.max(f64::EPSILON);
+                assert!(
+                    delta < 1.0,
+                    "{name}: model {m:.3}us spans {s:.3}us ({delta:.3}%)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_report_renders_and_leaves_tracing_off() {
+        let r = fig3_traced(50);
+        let text = r.render();
+        assert!(text.contains("spans[us]"));
+        assert!(text.contains("worst disagreement"));
+        assert!(!trace::enabled(), "private recorder uninstalled");
     }
 }

@@ -1,0 +1,130 @@
+//! `--trace` / `--metrics` support for the bench binaries.
+//!
+//! Every `bin/` target wraps its body in [`run`], which scans argv for
+//!
+//! * `--trace <path>` (or `--trace=<path>`): install a
+//!   [`TraceRecorder`] for the duration of the run and write the
+//!   Chrome trace-event JSON (Perfetto-loadable) to `path` on exit.
+//! * `--metrics <path>` (or `--metrics=<path>`): write the flat
+//!   metrics registry on exit — CSV if `path` ends in `.csv`, JSON
+//!   otherwise.
+//!
+//! Traces are stamped exclusively with [`simcore::time::SimTime`], so
+//! the same seed produces byte-identical files.
+
+use std::path::{Path, PathBuf};
+
+use simcore::trace::{self, TraceRecorder};
+
+/// Default ring capacity for binary-driven traces: large enough to
+/// hold full experiment runs without wrapping.
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Extracts the value of `--<flag> <path>` or `--<flag>=<path>` from
+/// an argv-style iterator.
+fn flag_value<I: IntoIterator<Item = String>>(args: I, flag: &str) -> Option<PathBuf> {
+    let long = format!("--{flag}");
+    let eq = format!("--{flag}=");
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == long {
+            let value = args.next();
+            if value.is_none() {
+                eprintln!("warning: {long} requires a path argument; ignoring");
+            }
+            return value.map(PathBuf::from);
+        }
+        if let Some(rest) = a.strip_prefix(&eq) {
+            return Some(PathBuf::from(rest));
+        }
+    }
+    None
+}
+
+/// `--trace <path>` from the process arguments, if present.
+#[must_use]
+pub fn trace_path() -> Option<PathBuf> {
+    flag_value(std::env::args().skip(1), "trace")
+}
+
+/// `--metrics <path>` from the process arguments, if present.
+#[must_use]
+pub fn metrics_path() -> Option<PathBuf> {
+    flag_value(std::env::args().skip(1), "metrics")
+}
+
+fn write_or_warn(path: &Path, what: &str, contents: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("{what} written to {}", path.display()),
+        Err(e) => eprintln!("failed to write {what} to {}: {e}", path.display()),
+    }
+}
+
+/// Runs `body` with tracing installed when `--trace`/`--metrics` are
+/// present in argv, exporting the requested files afterwards. Without
+/// either flag this is a plain call to `body` (tracing stays disabled,
+/// so instrumentation costs one branch per site).
+pub fn run<R>(body: impl FnOnce() -> R) -> R {
+    let trace_to = trace_path();
+    let metrics_to = metrics_path();
+    if trace_to.is_none() && metrics_to.is_none() {
+        return body();
+    }
+    let prev = trace::install(TraceRecorder::new(DEFAULT_CAPACITY));
+    let out = body();
+    let recorder = trace::uninstall().expect("recorder installed above");
+    if let Some(prev) = prev {
+        trace::install(prev);
+    }
+    if let Some(path) = trace_to {
+        if recorder.dropped() > 0 {
+            eprintln!(
+                "trace ring wrapped: {} oldest records dropped",
+                recorder.dropped()
+            );
+        }
+        write_or_warn(&path, "chrome trace", &recorder.export_chrome_json());
+    }
+    if let Some(path) = metrics_to {
+        let is_csv = path.extension().is_some_and(|e| e == "csv");
+        let contents = if is_csv {
+            recorder.metrics().to_csv()
+        } else {
+            recorder.metrics().to_json()
+        };
+        write_or_warn(&path, "metrics", &contents);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_space_and_equals_forms() {
+        assert_eq!(
+            flag_value(argv(&["--trace", "/tmp/t.json"]), "trace"),
+            Some(PathBuf::from("/tmp/t.json"))
+        );
+        assert_eq!(
+            flag_value(argv(&["--trace=/tmp/t.json"]), "trace"),
+            Some(PathBuf::from("/tmp/t.json"))
+        );
+        assert_eq!(flag_value(argv(&["--other", "x"]), "trace"), None);
+        assert_eq!(flag_value(argv(&["--trace"]), "trace"), None);
+    }
+
+    #[test]
+    fn run_without_flags_leaves_tracing_disabled() {
+        let r = run(|| {
+            assert!(!trace::enabled());
+            7
+        });
+        assert_eq!(r, 7);
+    }
+}

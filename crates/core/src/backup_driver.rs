@@ -18,6 +18,7 @@ use memsim::types::VirtAddr;
 use nicsim::rx::{BackupEntry, RingId, RxEngine};
 use simcore::stats::Counters;
 use simcore::time::{SimDuration, SimTime};
+use simcore::trace::{self, ArgValue};
 
 use iommu::DomainId;
 
@@ -119,6 +120,15 @@ impl<P: Clone> BackupDriver<P> {
             drained += 1;
         }
         self.counters.add("drained", drained);
+        if trace::enabled() {
+            trace::instant_now(
+                "backup_driver",
+                "backup_interrupt",
+                vec![("drained", ArgValue::U64(drained))],
+            );
+            trace::counter_now("backup_driver", "queue_depth", self.queued_packets() as f64);
+            trace::metrics(|m| m.counter_add("backup_driver.drained", drained));
+        }
         let cost = engine.config().cost.interrupt_dispatch
             + engine.config().cost.backup_resolver_per_packet * drained.max(1);
         (woken, cost)
@@ -152,6 +162,18 @@ impl<P: Clone> BackupDriver<P> {
             rx.request_tail_interrupt(ring);
             self.parked.insert(ring, true);
             self.counters.bump("parked");
+            if trace::enabled() {
+                trace::instant(
+                    now,
+                    "backup_driver",
+                    "parked",
+                    vec![
+                        ("ring", ArgValue::U64(u64::from(ring.0))),
+                        ("target_index", ArgValue::U64(target_index)),
+                    ],
+                );
+                trace::metrics(|m| m.counter_add("backup_driver.parked", 1));
+            }
             return Ok(ResolveStep::WaitingForRing(ring));
         }
 
@@ -184,6 +206,26 @@ impl<P: Clone> BackupDriver<P> {
         assert!(placed, "descriptor checked above");
         let notify = rx.resolve_rnpfs(ring, entry.bit_index);
         self.counters.bump("merged");
+        if trace::enabled() {
+            trace::span(
+                now,
+                (ready_at + cost).saturating_since(now),
+                "backup_driver",
+                "merge_back",
+                vec![
+                    ("ring", ArgValue::U64(u64::from(ring.0))),
+                    ("len", ArgValue::U64(entry.len)),
+                    ("notify_iouser", ArgValue::Bool(notify)),
+                ],
+            );
+            trace::counter(
+                now,
+                "backup_driver",
+                "queue_depth",
+                self.queued_packets() as f64,
+            );
+            trace::metrics(|m| m.counter_add("backup_driver.merged", 1));
+        }
         Ok(ResolveStep::Resolved {
             ring,
             notify_iouser: notify,

@@ -10,14 +10,12 @@
 //! memory registration/pinning (for static/fine-grained/pin-down-cache
 //! strategies) and CPU copying (for bounce-buffer designs).
 
-use serde::{Deserialize, Serialize};
-
 use simcore::rng::SimRng;
 use simcore::time::SimDuration;
 use simcore::units::Bandwidth;
 
 /// Breakdown of one NPF resolution, mirroring Figure 3(a)'s components.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NpfBreakdown {
     /// (i)→(ii): the IOMMU observes the fault and the firmware raises
     /// the interrupt. Hardware only.
@@ -49,7 +47,7 @@ impl NpfBreakdown {
 }
 
 /// Breakdown of one invalidation, mirroring Figure 3(b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InvalidationBreakdown {
     /// Driver checks whether the page was ever mapped in the IOMMU.
     pub checks: SimDuration,
@@ -69,7 +67,7 @@ impl InvalidationBreakdown {
 }
 
 /// All tunable costs of the NPF engine and its competitors.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     // --- NPF path (Figure 3a) ---
     /// Firmware fault-detection + interrupt trigger.

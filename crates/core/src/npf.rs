@@ -26,6 +26,7 @@ use memsim::FrameId;
 use simcore::rng::SimRng;
 use simcore::stats::{Counters, DurationHistogram};
 use simcore::time::{SimDuration, SimTime};
+use simcore::trace::{self, ArgValue};
 
 use crate::cost::{CostModel, NpfBreakdown};
 
@@ -336,7 +337,6 @@ impl NpfEngine {
         self.next_fault += 1;
         self.counters.bump("npf_events");
         self.counters.add("npf_pages", range.pages);
-        let _ = major;
         let latency = ready_at.saturating_since(now);
         self.fault_latency.record(latency);
         if let Some(t) = tag {
@@ -346,6 +346,56 @@ impl NpfEngine {
                 .record(latency);
         }
         self.last_breakdown = Some(breakdown);
+
+        if trace::enabled() {
+            // The fault lifecycle span, decomposed into Figure 3's five
+            // components (i)–(v). The children tile the parent exactly:
+            // `driver` = pure driver software + the OS translation work
+            // it blocks on, split here so the trace shows both.
+            let os_total = os_cost + invalidation_cost;
+            let driver_sw = breakdown.driver.saturating_sub(os_total);
+            let os_span = breakdown.driver - driver_sw;
+            let parent = trace::span(
+                start,
+                breakdown.total(),
+                "npf",
+                "npf",
+                vec![
+                    ("fault_id", ArgValue::U64(id)),
+                    ("pages", ArgValue::U64(range.pages)),
+                    ("write", ArgValue::Bool(write)),
+                    ("major", ArgValue::Bool(major)),
+                    (
+                        "queued_us",
+                        ArgValue::F64(start.saturating_since(now).as_micros_f64()),
+                    ),
+                ],
+            );
+            if let Some(parent) = parent {
+                let mut at = start;
+                for (name, d) in [
+                    ("fault_trigger", breakdown.trigger_interrupt),
+                    ("driver_sw", driver_sw),
+                    ("os_translate", os_span),
+                    ("update_hw_pt", breakdown.update_hw_pt),
+                    ("resume", breakdown.resume),
+                ] {
+                    trace::child_span(at, d, "npf", name, parent, Vec::new());
+                    at += d;
+                }
+            }
+            trace::counter(
+                now,
+                "npf",
+                "pending_faults",
+                (self.pending.len() + 1) as f64,
+            );
+            trace::metrics(|m| {
+                m.counter_add("npf.events", 1);
+                m.counter_add("npf.pages", range.pages);
+                m.duration_record("npf.latency", latency);
+            });
+        }
 
         let record = FaultRecord {
             id,
@@ -369,6 +419,23 @@ impl NpfEngine {
     /// Panics for unknown fault ids.
     pub fn complete_fault(&mut self, id: u64) -> FaultRecord {
         let record = self.pending.remove(&id).expect("unknown fault id");
+        if trace::enabled() {
+            trace::instant(
+                record.ready_at,
+                "npf",
+                "fault_complete",
+                vec![
+                    ("fault_id", ArgValue::U64(id)),
+                    ("pages", ArgValue::U64(record.range.pages)),
+                ],
+            );
+            trace::counter(
+                record.ready_at,
+                "npf",
+                "pending_faults",
+                self.pending.len() as f64,
+            );
+        }
         // Pages may have been reclaimed again between fault start and
         // completion under extreme pressure; map only what is still
         // resident (the next access faults again, which is correct).
@@ -403,6 +470,19 @@ impl NpfEngine {
                 self.counters.bump("invalidations_mapped");
             }
             cost += self.config.cost.invalidation(1, was_mapped).total();
+            if trace::enabled() {
+                // No `now` in scope (invalidations arrive from MMU
+                // notifier callbacks); stamp with the recorder clock.
+                trace::instant_now(
+                    "npf",
+                    "invalidation",
+                    vec![
+                        ("vpn", ArgValue::U64(inv.vpn.0)),
+                        ("was_mapped", ArgValue::Bool(was_mapped)),
+                    ],
+                );
+                trace::metrics(|m| m.counter_add("npf.invalidations", 1));
+            }
         }
         cost
     }

@@ -11,14 +11,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use memsim::types::{FrameId, PageRange, Vpn};
 
 /// Identifier of a translation domain (one per IOchannel).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DomainId(pub u32);
 
 impl std::fmt::Display for DomainId {
@@ -28,7 +24,7 @@ impl std::fmt::Display for DomainId {
 }
 
 /// Whether the table tolerates non-present entries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TableMode {
     /// Baseline hardware: every registered page must be mapped (pinned)
     /// before DMA; a miss is a fatal programming error surfaced as
@@ -40,7 +36,7 @@ pub enum TableMode {
 }
 
 /// One I/O page table entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoPte {
     /// Backing frame.
     pub frame: FrameId,
@@ -49,7 +45,7 @@ pub struct IoPte {
 }
 
 /// Result of a table walk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Translation {
     /// Present and permitted.
     Ok(FrameId),

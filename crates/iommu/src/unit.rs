@@ -6,9 +6,8 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use memsim::types::{FrameId, PageRange, Vpn};
+use simcore::trace::{self, ArgValue};
 
 use crate::iotlb::IoTlb;
 use crate::pagetable::{DomainId, IoPageTable, TableMode, Translation};
@@ -17,7 +16,7 @@ use crate::pagetable::{DomainId, IoPageTable, TableMode, Translation};
 /// driver as much context as it can — the paper's third optimization
 /// exploits this to batch page-table updates instead of the
 /// one-page-per-PRI-request discipline ATS/PRI mandates (§4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageRequest {
     /// Unique request id.
     pub id: u64,
@@ -96,7 +95,11 @@ impl Iommu {
 
     /// Drains the pending page requests (the NPF interrupt handler path).
     pub fn drain_requests(&mut self) -> Vec<PageRequest> {
-        std::mem::take(&mut self.pending)
+        let drained = std::mem::take(&mut self.pending);
+        if trace::enabled() && !drained.is_empty() {
+            trace::counter_now("iommu", "pri_queue_depth", 0.0);
+        }
+        drained
     }
 
     /// Checks one DMA page access, consulting the IOTLB then walking the
@@ -109,6 +112,9 @@ impl Iommu {
                 if write && !pte.writable {
                     return DmaCheck::Error;
                 }
+                if trace::enabled() {
+                    trace::metrics(|m| m.counter_add("iommu.iotlb_hits", 1));
+                }
                 return DmaCheck::Ok(frame);
             }
             // Stale TLB entry for an unmapped page would be a correctness
@@ -119,6 +125,9 @@ impl Iommu {
         match table.translate(vpn, write) {
             Translation::Ok(frame) => {
                 self.tlb.insert(domain, vpn, frame);
+                if trace::enabled() {
+                    trace::metrics(|m| m.counter_add("iommu.iotlb_misses", 1));
+                }
                 DmaCheck::Ok(frame)
             }
             Translation::Fault => {
@@ -130,6 +139,19 @@ impl Iommu {
                 };
                 self.next_request += 1;
                 self.pending.push(req);
+                if trace::enabled() {
+                    trace::instant_now(
+                        "iommu",
+                        "page_request",
+                        vec![
+                            ("request_id", ArgValue::U64(req.id)),
+                            ("vpn", ArgValue::U64(vpn.0)),
+                            ("write", ArgValue::Bool(write)),
+                        ],
+                    );
+                    trace::counter_now("iommu", "pri_queue_depth", self.pending.len() as f64);
+                    trace::metrics(|m| m.counter_add("iommu.page_requests", 1));
+                }
                 DmaCheck::Fault(req)
             }
             Translation::Error => DmaCheck::Error,
@@ -175,20 +197,38 @@ impl Iommu {
     /// flow short-circuits when it was not, Figure 3b).
     pub fn invalidate(&mut self, domain: DomainId, vpn: Vpn) -> bool {
         self.tlb.invalidate(domain, vpn);
-        self.tables
+        let was_mapped = self
+            .tables
             .get_mut(&domain)
             .expect("unknown IOMMU domain")
-            .unmap(vpn)
+            .unmap(vpn);
+        if trace::enabled() {
+            trace::metrics(|m| {
+                m.counter_add("iommu.invalidations", 1);
+                if was_mapped {
+                    m.counter_add("iommu.invalidations_mapped", 1);
+                }
+            });
+        }
+        was_mapped
     }
 
     /// Invalidates a range, returning how many pages were actually
     /// mapped.
     pub fn invalidate_range(&mut self, domain: DomainId, range: PageRange) -> u64 {
         self.tlb.invalidate_range(domain, range);
-        self.tables
+        let mapped = self
+            .tables
             .get_mut(&domain)
             .expect("unknown IOMMU domain")
-            .unmap_range(range)
+            .unmap_range(range);
+        if trace::enabled() {
+            trace::metrics(|m| {
+                m.counter_add("iommu.invalidations", range.pages);
+                m.counter_add("iommu.invalidations_mapped", mapped);
+            });
+        }
+        mapped
     }
 
     /// Tears down a domain entirely.

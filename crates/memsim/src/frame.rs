@@ -1,7 +1,5 @@
 //! Physical frame allocation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::FrameId;
 
 /// Allocator for physical page frames.
@@ -9,7 +7,7 @@ use crate::types::FrameId;
 /// Frames are fungible in the simulation (no contents are stored), so the
 /// allocator is a free list plus accounting. Exhaustion is the signal the
 /// memory manager uses to trigger reclaim.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FrameAllocator {
     total: u64,
     free: Vec<FrameId>,

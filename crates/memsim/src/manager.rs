@@ -11,10 +11,9 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use simcore::stats::Counters;
 use simcore::time::SimDuration;
+use simcore::trace::{self, ArgValue};
 use simcore::units::ByteSize;
 
 use crate::frame::FrameAllocator;
@@ -26,13 +25,11 @@ use crate::types::{FileId, FrameId, PageRange, SpaceId, Vpn, PAGE_SIZE};
 
 /// A memory-control group: a set of address spaces sharing a resident
 /// limit (the paper constrains memcached pairs with Linux cgroups, §6.1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CgroupId(pub u32);
 
 /// Configuration of the memory subsystem.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MemConfig {
     /// Physical memory available to the host.
     pub total_memory: ByteSize,
@@ -64,7 +61,7 @@ impl Default for MemConfig {
 }
 
 /// The class of a resolved fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
     /// Resolved without disk I/O (zero-fill or page-cache hit).
     Minor,
@@ -74,7 +71,7 @@ pub enum FaultKind {
 
 /// A page mapping the OS revoked; consumers with I/O mappings (the NPF
 /// driver) must invalidate them before the frame is reused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Invalidation {
     /// The space that lost the page.
     pub space: SpaceId,
@@ -594,6 +591,35 @@ impl MemoryManager {
             *self.group_resident.get_mut(&g).expect("group exists") += 1;
         }
 
+        if trace::enabled() {
+            // Host fault handling has no simulated clock of its own
+            // (costs are returned to the caller); stamp with the
+            // recorder's clock.
+            trace::instant_now(
+                "memsim",
+                if kind == FaultKind::Major {
+                    "major_fault"
+                } else {
+                    "minor_fault"
+                },
+                vec![
+                    ("vpn", ArgValue::U64(vpn.0)),
+                    ("write", ArgValue::Bool(write)),
+                ],
+            );
+            trace::metrics(|m| {
+                m.counter_add(
+                    if kind == FaultKind::Major {
+                        "memsim.major_faults"
+                    } else {
+                        "memsim.minor_faults"
+                    },
+                    1,
+                );
+                m.duration_record("memsim.fault_cost", cost);
+            });
+        }
+
         Ok(FaultResolution {
             kind,
             frame,
@@ -697,6 +723,9 @@ impl MemoryManager {
             };
             cost += SimDuration::from_micros(3); // writeback queueing CPU
             self.counters.bump("swap_outs");
+            if trace::enabled() {
+                trace::metrics(|m| m.counter_add("memsim.swap_outs", 1));
+            }
             s.evict(vpn, Some(slot))
         } else {
             // Clean anonymous pages are all-zero: drop and re-zero later.
@@ -708,6 +737,14 @@ impl MemoryManager {
         };
         self.release_frame(frame);
         self.counters.bump("evictions");
+        if trace::enabled() {
+            trace::instant_now(
+                "memsim",
+                "reclaim_evict",
+                vec![("vpn", ArgValue::U64(vpn.0))],
+            );
+            trace::metrics(|m| m.counter_add("memsim.evictions", 1));
+        }
         if let Some(&g) = self.space_group.get(&space) {
             *self.group_resident.get_mut(&g).expect("group exists") -= 1;
         }

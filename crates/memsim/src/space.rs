@@ -2,12 +2,10 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{FileId, FrameId, PageRange, SpaceId, Vpn};
 
 /// What backs a virtual memory area.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backing {
     /// Anonymous memory: zero-filled on first touch (delayed allocation),
     /// swapped out under pressure.
@@ -24,7 +22,7 @@ pub enum Backing {
 }
 
 /// A virtual memory area: a contiguous mapped range with one backing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Vma {
     /// The pages covered.
     pub range: PageRange,
@@ -33,7 +31,7 @@ pub struct Vma {
 }
 
 /// Residency state of one virtual page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PageState {
     /// Mapped by a VMA but never touched: first access is a minor fault
     /// with zero-fill (anonymous) or a page-cache lookup (file).
@@ -51,7 +49,7 @@ pub enum PageState {
 }
 
 /// A page table entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pte {
     /// Residency state.
     pub state: PageState,

@@ -4,13 +4,11 @@
 //! latency per operation (seek-dominated for the paper's hard drive) plus
 //! a transfer component, and tracks slot usage.
 
-use serde::{Deserialize, Serialize};
-
 use simcore::time::SimDuration;
 use simcore::units::Bandwidth;
 
 /// Configuration of a secondary-storage device.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DiskConfig {
     /// Fixed per-operation latency (seek + rotation for HDDs).
     pub access_latency: SimDuration,

@@ -5,8 +5,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Size of a page in bytes (4 KiB, as in the paper's x86 testbed).
 pub const PAGE_SIZE: u64 = 4096;
 
@@ -14,9 +12,7 @@ pub const PAGE_SIZE: u64 = 4096;
 pub const PAGE_SHIFT: u32 = 12;
 
 /// A virtual address within some address space.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtAddr(pub u64);
 
 impl VirtAddr {
@@ -46,9 +42,7 @@ impl fmt::Display for VirtAddr {
 }
 
 /// A virtual page number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Vpn(pub u64);
 
 impl Vpn {
@@ -77,9 +71,7 @@ impl fmt::Display for Vpn {
 }
 
 /// A physical frame number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FrameId(pub u64);
 
 impl fmt::Display for FrameId {
@@ -90,9 +82,7 @@ impl fmt::Display for FrameId {
 
 /// Identifier of an address space (a process or VM — an *IOuser* in the
 /// paper's terminology).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SpaceId(pub u32);
 
 impl fmt::Display for SpaceId {
@@ -103,9 +93,7 @@ impl fmt::Display for SpaceId {
 
 /// Identifier of a simulated file (for page-cache backed mappings and the
 /// storage workload).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FileId(pub u32);
 
 impl fmt::Display for FileId {
@@ -115,7 +103,7 @@ impl fmt::Display for FileId {
 }
 
 /// A contiguous range of virtual pages `[start, start + pages)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PageRange {
     /// First page of the range.
     pub start: Vpn,

@@ -277,13 +277,15 @@ mod star_pause_tests {
             &mut r,
         );
         f.pause_toward(NodeId(1), SimTime::from_micros(100));
-        let SendOutcome::Delivered { arrives_at: paused, .. } =
-            f.send(SimTime::ZERO, NodeId(0), NodeId(1), 4096)
+        let SendOutcome::Delivered {
+            arrives_at: paused, ..
+        } = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 4096)
         else {
             panic!("delivered")
         };
-        let SendOutcome::Delivered { arrives_at: clear, .. } =
-            f.send(SimTime::ZERO, NodeId(0), NodeId(2), 4096)
+        let SendOutcome::Delivered {
+            arrives_at: clear, ..
+        } = f.send(SimTime::ZERO, NodeId(0), NodeId(2), 4096)
         else {
             panic!("delivered")
         };

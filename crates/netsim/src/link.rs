@@ -13,14 +13,12 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 use simcore::units::Bandwidth;
 
 /// Configuration of one link direction.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LinkConfig {
     /// Serialization rate.
     pub bandwidth: Bandwidth,

@@ -7,6 +7,7 @@
 //! further requests merge into the deferred one.
 
 use simcore::time::{SimDuration, SimTime};
+use simcore::trace::{self, ArgValue};
 
 /// Decision for one interrupt request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +75,15 @@ impl InterruptModerator {
         self.pending_at = None;
         self.last_fired = Some(now);
         self.delivered += 1;
+        if trace::enabled() {
+            trace::instant(
+                now,
+                "nicsim",
+                "interrupt",
+                vec![("coalesced_so_far", ArgValue::U64(self.coalesced))],
+            );
+            trace::metrics(|m| m.counter_add("nicsim.interrupts_delivered", 1));
+        }
     }
 }
 

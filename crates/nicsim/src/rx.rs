@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use memsim::types::VirtAddr;
 use simcore::stats::Counters;
+use simcore::trace::{self, ArgValue};
 
 /// Identifier of one IOuser receive ring (one per IOchannel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -281,6 +282,12 @@ impl<P: Clone> RxEngine<P> {
                 true
             };
             self.counters.bump("stored");
+            if trace::enabled() {
+                let (head, tail) = (r.head, r.tail);
+                trace::counter_now("nicsim", "ring_head", head as f64);
+                trace::counter_now("nicsim", "ring_tail", tail as f64);
+                trace::metrics(|m| m.counter_add("nicsim.rx_stored", 1));
+            }
             return RxVerdict::Stored {
                 index: idx,
                 notify_iouser: notify,
@@ -297,11 +304,33 @@ impl<P: Clone> RxEngine<P> {
                 r.slots[slot] = Some(Slot::Hole);
                 r.head += 1;
                 self.counters.bump("dropped_fault");
+                if trace::enabled() {
+                    trace::instant_now(
+                        "nicsim",
+                        "steer_drop",
+                        vec![
+                            ("ring", ArgValue::U64(u64::from(id.0))),
+                            ("burned_descriptor", ArgValue::Bool(true)),
+                        ],
+                    );
+                    trace::metrics(|m| m.counter_add("nicsim.rx_dropped_fault", 1));
+                }
                 return RxVerdict::Dropped {
                     burned_descriptor: true,
                 };
             }
             self.counters.bump("dropped_no_buffer");
+            if trace::enabled() {
+                trace::instant_now(
+                    "nicsim",
+                    "steer_drop",
+                    vec![
+                        ("ring", ArgValue::U64(u64::from(id.0))),
+                        ("burned_descriptor", ArgValue::Bool(false)),
+                    ],
+                );
+                trace::metrics(|m| m.counter_add("nicsim.rx_dropped_no_buffer", 1));
+            }
             return RxVerdict::Dropped {
                 burned_descriptor: false,
             };
@@ -311,6 +340,18 @@ impl<P: Clone> RxEngine<P> {
             // kept (the pending rNPF at this slot will be resolved by an
             // earlier backup entry or a retransmission).
             self.counters.bump("dropped_fault");
+            if trace::enabled() {
+                trace::instant_now(
+                    "nicsim",
+                    "backup_overflow",
+                    vec![
+                        ("ring", ArgValue::U64(u64::from(id.0))),
+                        ("backup_depth", ArgValue::U64(backup.tail - backup.head)),
+                        ("head_offset", ArgValue::U64(r.head_offset)),
+                    ],
+                );
+                trace::metrics(|m| m.counter_add("nicsim.backup_overflow", 1));
+            }
             return RxVerdict::Dropped {
                 burned_descriptor: false,
             };
@@ -339,6 +380,24 @@ impl<P: Clone> RxEngine<P> {
         }
         r.head_offset += 1;
         self.counters.bump("backup_stored");
+        if trace::enabled() {
+            trace::instant_now(
+                "nicsim",
+                "steer_backup",
+                vec![
+                    ("ring", ArgValue::U64(u64::from(id.0))),
+                    ("target_index", ArgValue::U64(idx)),
+                    ("bit_index", ArgValue::U64(bit_index)),
+                ],
+            );
+            trace::counter_now("nicsim", "backup_depth", (backup.tail - backup.head) as f64);
+            trace::counter_now(
+                "nicsim",
+                "bitmap_pending",
+                r.bitmap.iter().filter(|&&b| b).count() as f64,
+            );
+            trace::metrics(|m| m.counter_add("nicsim.rx_backup_stored", 1));
+        }
         RxVerdict::Backup {
             backup_index,
             bit_index,
@@ -388,7 +447,23 @@ impl<P: Clone> RxEngine<P> {
             r.bm_index += 1;
             advanced = true;
         }
+        let head = r.head;
+        let bitmap_pending = r.bitmap.iter().filter(|&&b| b).count();
         self.counters.bump("resolved");
+        if trace::enabled() {
+            trace::instant_now(
+                "nicsim",
+                "rnpf_resolved",
+                vec![
+                    ("ring", ArgValue::U64(u64::from(id.0))),
+                    ("bit_index", ArgValue::U64(bit_index)),
+                    ("head_advanced", ArgValue::Bool(advanced)),
+                ],
+            );
+            trace::counter_now("nicsim", "ring_head", head as f64);
+            trace::counter_now("nicsim", "bitmap_pending", bitmap_pending as f64);
+            trace::metrics(|m| m.counter_add("nicsim.rnpfs_resolved", 1));
+        }
         advanced
     }
 

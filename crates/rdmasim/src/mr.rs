@@ -15,18 +15,14 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use memsim::types::{PageRange, SpaceId, VirtAddr};
 
 /// A registration key (stands in for lkey/rkey, which are equal here).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MrKey(pub u32);
 
 /// How a region was registered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MrMode {
     /// Pages pinned for the MR's lifetime.
     Pinned,
@@ -35,7 +31,7 @@ pub enum MrMode {
 }
 
 /// A registered memory region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryRegion {
     /// The key naming this region.
     pub key: MrKey,

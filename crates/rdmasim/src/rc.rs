@@ -23,6 +23,7 @@ use std::collections::{BTreeMap, VecDeque};
 use memsim::types::VirtAddr;
 use netsim::packet::NodeId;
 use simcore::time::SimTime;
+use simcore::trace::{self, ArgValue};
 
 use crate::types::{
     Completion, DmaGate, GateDecision, MessageRange, QpId, QpOutput, QpTimer, RcConfig, RcPacket,
@@ -282,6 +283,18 @@ impl RcQp {
             RcPacketKind::NakSequenceError => self.on_seq_nak(now, pkt.psn, &mut out),
             RcPacketKind::NakReceiverNotReady { wait } => {
                 self.stats.rnr_nacks_received += 1;
+                if trace::enabled() {
+                    trace::instant(
+                        now,
+                        "rdmasim",
+                        "rnr_nack_received",
+                        vec![
+                            ("qpn", ArgValue::U64(u64::from(self.qpn.0))),
+                            ("wait_us", ArgValue::F64(wait.as_micros_f64())),
+                        ],
+                    );
+                    trace::metrics(|m| m.counter_add("rdmasim.rnr_nacks_received", 1));
+                }
                 self.rnr_retry += 1;
                 if self.rnr_retry > self.cfg.max_rnr_retries {
                     self.fail(WcStatus::RnrRetryExceeded, &mut out);
@@ -373,6 +386,18 @@ impl RcQp {
                     return out;
                 }
                 self.stats.timeouts += 1;
+                if trace::enabled() {
+                    trace::instant(
+                        now,
+                        "rdmasim",
+                        "retransmit_timeout",
+                        vec![
+                            ("qpn", ArgValue::U64(u64::from(self.qpn.0))),
+                            ("inflight", ArgValue::U64(self.inflight.len() as u64)),
+                        ],
+                    );
+                    trace::metrics(|m| m.counter_add("rdmasim.timeouts", 1));
+                }
                 self.retry += 1;
                 if self.retry > self.cfg.max_retries {
                     self.fail(WcStatus::RetryExceeded, &mut out);
@@ -721,6 +746,17 @@ impl RcQp {
     fn emit(&mut self, psn: u64, desc: TxDesc, retransmit: bool, out: &mut Vec<QpOutput>) {
         if retransmit {
             self.stats.retransmits += 1;
+            if trace::enabled() {
+                trace::instant_now(
+                    "rdmasim",
+                    "retransmit",
+                    vec![
+                        ("qpn", ArgValue::U64(u64::from(self.qpn.0))),
+                        ("psn", ArgValue::U64(psn)),
+                    ],
+                );
+                trace::metrics(|m| m.counter_add("rdmasim.retransmits", 1));
+            }
         }
         let len = match desc.kind {
             RcPacketKind::SendData { len, .. } | RcPacketKind::WriteData { len, .. } => len,
@@ -889,6 +925,14 @@ impl RcQp {
 
     fn send_rnr(&mut self, _fault_id: u64, out: &mut Vec<QpOutput>) {
         self.stats.rnr_nacks_sent += 1;
+        if trace::enabled() {
+            trace::instant_now(
+                "rdmasim",
+                "rnr_nack_sent",
+                vec![("qpn", ArgValue::U64(u64::from(self.qpn.0)))],
+            );
+            trace::metrics(|m| m.counter_add("rdmasim.rnr_nacks_sent", 1));
+        }
         out.push(QpOutput::Send {
             to: self.peer_node,
             packet: RcPacket {

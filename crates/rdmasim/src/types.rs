@@ -5,16 +5,12 @@
 //! handling), an RDMA read *reserves* one PSN per response packet up
 //! front, and payload bytes are logical.
 
-use serde::{Deserialize, Serialize};
-
 use memsim::types::VirtAddr;
 use netsim::packet::NodeId;
 use simcore::time::{SimDuration, SimTime};
 
 /// Queue pair number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct QpId(pub u32);
 
 impl std::fmt::Display for QpId {
@@ -27,7 +23,7 @@ impl std::fmt::Display for QpId {
 pub type WrId = u64;
 
 /// Operations an application can post to the send queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendOp {
     /// Two-sided send: consumes a receive WQE at the responder.
     Send {
@@ -73,7 +69,7 @@ impl SendOp {
 }
 
 /// A posted receive buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvWqe {
     /// Application identifier reported in the completion.
     pub wr_id: WrId,
@@ -84,7 +80,7 @@ pub struct RecvWqe {
 }
 
 /// Completion status.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WcStatus {
     /// Operation finished.
     Success,
@@ -95,7 +91,7 @@ pub enum WcStatus {
 }
 
 /// What completed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WcOpcode {
     /// A posted send finished (acked end to end).
     Send,
@@ -108,7 +104,7 @@ pub enum WcOpcode {
 }
 
 /// A completion-queue entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// The application's work-request id.
     pub wr_id: WrId,
@@ -121,7 +117,7 @@ pub struct Completion {
 }
 
 /// Wire packet kinds of the RC protocol (BTH opcodes, abstracted).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RcPacketKind {
     /// A slice of a SEND message. `offset` is the byte offset within the
     /// message; `last` marks the final packet.
@@ -192,7 +188,7 @@ pub enum RcPacketKind {
 }
 
 /// A packet on an RC connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RcPacket {
     /// Destination QP.
     pub dst_qp: QpId,
@@ -301,7 +297,7 @@ impl DmaGate for PinnedGate {
 }
 
 /// Timers a QP can arm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QpTimer {
     /// Transport retransmission timeout.
     Retransmit,
@@ -337,7 +333,7 @@ pub enum QpOutput {
 }
 
 /// Tuning knobs of an RC QP.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RcConfig {
     /// Path MTU payload bytes.
     pub mtu: u64,

@@ -10,14 +10,12 @@ use netsim::packet::NodeId;
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{
     Completion, DmaGate, GateDecision, MessageRange, QpId, RecvWqe, WcOpcode, WcStatus, WrId,
 };
 
 /// A UD datagram on the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UdDatagram {
     /// Destination QP.
     pub dst_qp: QpId,

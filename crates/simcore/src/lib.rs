@@ -37,10 +37,12 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod units;
 
 pub use event::{EventQueue, EventToken};
 pub use rng::SimRng;
 pub use stats::{Counters, DurationHistogram, OnlineStats, ThroughputMeter, TimeSeries};
 pub use time::{SimDuration, SimTime};
+pub use trace::{ArgValue, MetricsRegistry, SpanId, TraceRecord, TraceRecorder};
 pub use units::{Bandwidth, ByteSize};

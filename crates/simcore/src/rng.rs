@@ -14,20 +14,58 @@
 //! assert_eq!(a.next_u64(), b.next_u64());
 //! ```
 
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 use crate::time::SimDuration;
+
+/// The xoshiro256++ generator: fast, high-quality, and — crucially for
+/// this workspace — self-contained, so simulation streams never shift
+/// underneath us when an external crate changes its algorithm.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expands a 64-bit seed into the full state with SplitMix64, the
+    /// seeding procedure recommended by the xoshiro authors.
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256pp {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A deterministic random number generator for simulations.
 ///
-/// Wraps [`rand::rngs::StdRng`] with convenience samplers used across the
-/// workloads: uniform ranges, Bernoulli trials, exponential inter-arrival
-/// times, Zipf-like key popularity, and log-normal latency jitter.
+/// Wraps an embedded xoshiro256++ with convenience samplers used across
+/// the workloads: uniform ranges, Bernoulli trials, exponential
+/// inter-arrival times, Zipf-like key popularity, and log-normal latency
+/// jitter.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
     seed: u64,
 }
 
@@ -36,7 +74,7 @@ impl SimRng {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::from_seed(seed),
             seed,
         }
     }
@@ -72,7 +110,17 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        Uniform::from(0..n).sample(&mut self.inner)
+        // Lemire's unbiased multiply-shift rejection method.
+        let mut m = u128::from(self.inner.next_u64()) * u128::from(n);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = u128::from(self.inner.next_u64()) * u128::from(n);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// A uniformly random value in `[lo, hi)`.
@@ -82,12 +130,13 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        Uniform::from(lo..hi).sample(&mut self.inner)
+        lo + self.below(hi - lo)
     }
 
     /// A uniformly random float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits, the standard [0, 1) construction.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A Bernoulli trial that succeeds with probability `p` (clamped to

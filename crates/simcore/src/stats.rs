@@ -19,12 +19,10 @@
 //! assert_eq!(h.max(), SimDuration::from_micros(100));
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{SimDuration, SimTime};
 
 /// Running mean/variance over f64 samples (Welford's algorithm).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -108,7 +106,7 @@ impl OnlineStats {
 /// Stores every sample (simulation runs record at most a few million), so
 /// percentiles are exact rather than bucketed — important for reproducing
 /// Table 4's tail latencies faithfully.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DurationHistogram {
     samples: Vec<u64>,
     sorted: bool,
@@ -196,7 +194,7 @@ impl DurationHistogram {
 }
 
 /// A `(time, value)` series, e.g. throughput over time for Figure 4(a).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }
@@ -265,7 +263,7 @@ impl TimeSeries {
 /// A workload calls [`ThroughputMeter::record`] once per completed
 /// operation; periodic sampling converts counts into operations/second
 /// series.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ThroughputMeter {
     total: u64,
     window: u64,
@@ -325,7 +323,7 @@ impl ThroughputMeter {
 
 /// Simple named counters for component statistics (faults, drops,
 /// retransmissions, ...).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Counters {
     entries: std::collections::BTreeMap<String, u64>,
 }

@@ -1,0 +1,1025 @@
+//! simtrace: deterministic tracing + metrics for the whole DES.
+//!
+//! Every record is stamped with [`SimTime`], never wall-clock time, so a
+//! given seed produces a byte-identical trace — traces are diffable
+//! regression artifacts. The subsystem has three layers:
+//!
+//! 1. **Records** — completed spans (with parent links for nesting),
+//!    instantaneous events, and counter samples, collected in a bounded
+//!    ring buffer ([`TraceRecorder`]). On overflow the *oldest* records
+//!    are dropped and counted, never the newest (the tail of a run is
+//!    usually what you are debugging).
+//! 2. **Metrics** — a [`MetricsRegistry`] of named counters, gauges,
+//!    duration histograms, time series, and throughput meters, reusing
+//!    the [`crate::stats`] types so experiments and tracing share one
+//!    definition of "p99".
+//! 3. **Exporters** — Chrome trace-event JSON (loadable in Perfetto or
+//!    `chrome://tracing`) and flat JSON/CSV metric summaries, all with
+//!    deterministic field ordering.
+//!
+//! Instrumented code calls the free functions ([`span`], [`instant`],
+//! [`counter`], [`metrics`], ...). They are no-ops until a recorder is
+//! installed for the current thread with [`install`]; the disabled path
+//! is a single thread-local flag check, so always-on instrumentation
+//! costs nothing measurable in the hot paths.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::trace::{self, TraceRecorder};
+//! use simcore::time::{SimDuration, SimTime};
+//!
+//! trace::install(TraceRecorder::new(1024));
+//! let parent = trace::begin(SimTime::ZERO, "npf", "npf");
+//! trace::end(SimTime::from_micros(220));
+//! let rec = trace::uninstall().expect("installed above");
+//! assert_eq!(rec.spans().count(), 1);
+//! assert!(parent.is_some());
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+use crate::stats::{Counters, DurationHistogram, ThroughputMeter, TimeSeries};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a span within one recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// A typed argument value attached to a span or instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float (formatted with enough digits to round-trip deterministically).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Free-form text.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+/// Named arguments on a record.
+pub type Args = Vec<(&'static str, ArgValue)>;
+
+/// One entry in the trace ring buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A completed span `[start, start + duration)`.
+    Span {
+        /// Span identity (unique within the recorder).
+        id: SpanId,
+        /// Enclosing span, for nesting.
+        parent: Option<SpanId>,
+        /// Start instant.
+        start: SimTime,
+        /// Length of the span.
+        duration: SimDuration,
+        /// Track (subsystem lane): `"npf"`, `"nicsim"`, `"iommu"`, ...
+        track: &'static str,
+        /// Span name within the track.
+        name: &'static str,
+        /// Attached arguments.
+        args: Args,
+    },
+    /// An instantaneous event.
+    Instant {
+        /// When it happened.
+        at: SimTime,
+        /// Track (subsystem lane).
+        track: &'static str,
+        /// Event name.
+        name: &'static str,
+        /// Attached arguments.
+        args: Args,
+    },
+    /// A sampled counter/gauge value (graphed by Perfetto).
+    Counter {
+        /// Sample instant.
+        at: SimTime,
+        /// Track (subsystem lane).
+        track: &'static str,
+        /// Counter name.
+        name: &'static str,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+impl TraceRecord {
+    /// The record's timestamp (span start for spans).
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceRecord::Span { start, .. } => *start,
+            TraceRecord::Instant { at, .. } | TraceRecord::Counter { at, .. } => *at,
+        }
+    }
+}
+
+/// Registry of named metrics, built on the [`crate::stats`] types so
+/// workloads stop hand-threading histograms where a recorder is
+/// available. All maps are ordered so exports are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Counters,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, DurationHistogram>,
+    series: BTreeMap<String, TimeSeries>,
+    throughput: BTreeMap<String, ThroughputMeter>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the monotonic counter `name`.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        self.counters.add(name, n);
+    }
+
+    /// Reads a monotonic counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name)
+    }
+
+    /// The full monotonic-counter set.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Reads a gauge (its most recent value), if ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records a duration sample into histogram `name`.
+    pub fn duration_record(&mut self, name: &str, d: SimDuration) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(d);
+    }
+
+    /// The duration histogram `name`, creating it if absent.
+    pub fn histogram_mut(&mut self, name: &str) -> &mut DurationHistogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Appends a `(time, value)` point to series `name`.
+    pub fn series_push(&mut self, name: &str, at: SimTime, value: f64) {
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .push(at, value);
+    }
+
+    /// The time series `name`, if any points were pushed.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Records `n` completed operations on throughput meter `name`.
+    pub fn throughput_record(&mut self, name: &str, n: u64) {
+        self.throughput
+            .entry(name.to_owned())
+            .or_default()
+            .record(n);
+    }
+
+    /// Closes the sampling window of throughput meter `name` at `now`.
+    pub fn throughput_sample(&mut self, name: &str, now: SimTime) {
+        self.throughput
+            .entry(name.to_owned())
+            .or_default()
+            .sample(now);
+    }
+
+    /// The throughput meter `name`, if ever recorded.
+    #[must_use]
+    pub fn throughput(&self, name: &str) -> Option<&ThroughputMeter> {
+        self.throughput.get(name)
+    }
+
+    /// Flat JSON summary: counters, gauges, histogram percentiles,
+    /// series lengths, throughput totals. Deterministic field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, value) in self.counters.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", escape_json(name), value);
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        first = true;
+        for (name, value) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", escape_json(name), fmt_f64(*value));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (name, hist) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let mut h = hist.clone();
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                escape_json(name),
+                h.count(),
+                h.percentile(0.50).as_nanos(),
+                h.percentile(0.95).as_nanos(),
+                h.percentile(0.99).as_nanos(),
+                h.max().as_nanos(),
+            );
+        }
+        out.push_str("\n  },\n  \"series\": {");
+        first = true;
+        for (name, series) in &self.series {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"points\": {}}}",
+                escape_json(name),
+                series.len()
+            );
+        }
+        out.push_str("\n  },\n  \"throughput\": {");
+        first = true;
+        for (name, meter) in &self.throughput {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"total\": {}}}",
+                escape_json(name),
+                meter.total()
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// CSV summary of the scalar metrics: `kind,name,value` rows in
+    /// deterministic order.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value\n");
+        for (name, value) in self.counters.iter() {
+            let _ = writeln!(out, "counter,{name},{value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge,{name},{}", fmt_f64(*value));
+        }
+        for (name, hist) in &self.histograms {
+            let mut h = hist.clone();
+            let _ = writeln!(
+                out,
+                "histogram_p50_ns,{name},{}",
+                h.percentile(0.5).as_nanos()
+            );
+            let _ = writeln!(out, "histogram_max_ns,{name},{}", h.max().as_nanos());
+        }
+        for (name, meter) in &self.throughput {
+            let _ = writeln!(out, "throughput_total,{name},{}", meter.total());
+        }
+        out
+    }
+}
+
+/// The trace collector: a bounded ring of [`TraceRecord`]s plus the
+/// metrics registry and the open-span stack.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    next_span: u64,
+    open: Vec<(SpanId, SimTime, &'static str, &'static str, Args)>,
+    clock: SimTime,
+    metrics: MetricsRegistry,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder holding at most `capacity` records; the oldest
+    /// records are dropped (and counted) past that.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TraceRecorder {
+            ring: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            next_span: 0,
+            open: Vec::new(),
+            clock: SimTime::ZERO,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// The records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter()
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Span { .. }))
+    }
+
+    /// Number of retained records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing has been recorded (or everything was dropped).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Records dropped to the overflow policy.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The recorder's logical clock: the latest timestamp it has seen.
+    /// Instrumentation points without a `now` in scope stamp with this.
+    #[must_use]
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advances the logical clock (monotone: earlier times are ignored).
+    pub fn set_clock(&mut self, now: SimTime) {
+        if now > self.clock {
+            self.clock = now;
+        }
+    }
+
+    /// The metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable metrics access.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    fn push(&mut self, record: TraceRecord) {
+        self.set_clock(record.at());
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(record);
+    }
+
+    /// Records a completed span with an explicit parent. Returns its id.
+    pub fn complete_span(
+        &mut self,
+        start: SimTime,
+        duration: SimDuration,
+        track: &'static str,
+        name: &'static str,
+        parent: Option<SpanId>,
+        args: Args,
+    ) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        // Spans emitted inside an open span nest under it by default.
+        let parent = parent.or_else(|| self.open.last().map(|&(id, ..)| id));
+        self.set_clock(start + duration);
+        self.push(TraceRecord::Span {
+            id,
+            parent,
+            start,
+            duration,
+            track,
+            name,
+            args,
+        });
+        id
+    }
+
+    /// Opens a span at `start`; close it with [`TraceRecorder::end_span`].
+    /// Spans opened while another is open become its children.
+    pub fn begin_span(
+        &mut self,
+        start: SimTime,
+        track: &'static str,
+        name: &'static str,
+    ) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.set_clock(start);
+        self.open.push((id, start, track, name, Vec::new()));
+        id
+    }
+
+    /// Closes the innermost open span at `end`, recording it. Returns
+    /// its id, or `None` when no span is open.
+    pub fn end_span(&mut self, end: SimTime) -> Option<SpanId> {
+        let (id, start, track, name, args) = self.open.pop()?;
+        let parent = self.open.last().map(|&(pid, ..)| pid);
+        self.push(TraceRecord::Span {
+            id,
+            parent,
+            start,
+            duration: end.saturating_since(start),
+            track,
+            name,
+            args,
+        });
+        Some(id)
+    }
+
+    /// Number of spans currently open.
+    #[must_use]
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Records an instantaneous event.
+    pub fn instant(&mut self, at: SimTime, track: &'static str, name: &'static str, args: Args) {
+        self.push(TraceRecord::Instant {
+            at,
+            track,
+            name,
+            args,
+        });
+    }
+
+    /// Records a counter/gauge sample (also mirrored into the metrics
+    /// registry as a gauge under `track.name`).
+    pub fn counter(&mut self, at: SimTime, track: &'static str, name: &'static str, value: f64) {
+        self.metrics.gauge_set(&format!("{track}.{name}"), value);
+        self.push(TraceRecord::Counter {
+            at,
+            track,
+            name,
+            value,
+        });
+    }
+
+    /// Exports the ring as Chrome trace-event JSON (the format Perfetto
+    /// and `chrome://tracing` load). Spans map to complete (`"X"`)
+    /// events, instants to `"i"`, counter samples to `"C"`; each track
+    /// becomes one named thread. Output is deterministic: records appear
+    /// in ring order, metadata in track-discovery order.
+    #[must_use]
+    pub fn export_chrome_json(&self) -> String {
+        // Stable track -> tid assignment in order of first appearance.
+        let mut tids: Vec<&'static str> = Vec::new();
+        let tid_of = |tids: &mut Vec<&'static str>, track: &'static str| -> usize {
+            if let Some(i) = tids.iter().position(|&t| t == track) {
+                i + 1
+            } else {
+                tids.push(track);
+                tids.len()
+            }
+        };
+        let mut body = String::new();
+        for record in &self.ring {
+            if !body.is_empty() {
+                body.push_str(",\n");
+            }
+            match record {
+                TraceRecord::Span {
+                    id,
+                    parent,
+                    start,
+                    duration,
+                    track,
+                    name,
+                    args,
+                } => {
+                    let tid = tid_of(&mut tids, track);
+                    let _ = write!(
+                        body,
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"span_id\":{}",
+                        escape_json(name),
+                        escape_json(track),
+                        fmt_us(start.as_nanos()),
+                        fmt_us(duration.as_nanos()),
+                        tid,
+                        id.0,
+                    );
+                    if let Some(p) = parent {
+                        let _ = write!(body, ",\"parent\":{}", p.0);
+                    }
+                    write_args(&mut body, args);
+                    body.push_str("}}");
+                }
+                TraceRecord::Instant {
+                    at,
+                    track,
+                    name,
+                    args,
+                } => {
+                    let tid = tid_of(&mut tids, track);
+                    let _ = write!(
+                        body,
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{",
+                        escape_json(name),
+                        escape_json(track),
+                        fmt_us(at.as_nanos()),
+                        tid,
+                    );
+                    write_args_first(&mut body, args);
+                    body.push_str("}}");
+                }
+                TraceRecord::Counter {
+                    at,
+                    track,
+                    name,
+                    value,
+                } => {
+                    let tid = tid_of(&mut tids, track);
+                    let _ = write!(
+                        body,
+                        "{{\"name\":\"{}.{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"value\":{}}}}}",
+                        escape_json(track),
+                        escape_json(name),
+                        fmt_us(at.as_nanos()),
+                        tid,
+                        fmt_f64(*value),
+                    );
+                }
+            }
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, track) in tids.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}},",
+                i + 1,
+                escape_json(track)
+            );
+        }
+        out.push_str(&body);
+        out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+        out
+    }
+}
+
+/// Writes `args` into an open JSON object, comma-prefixing every pair
+/// (the caller has already written at least one field).
+fn write_args(body: &mut String, args: &Args) {
+    write_args_inner(body, args, true);
+}
+
+/// Writes `args` as the first fields of an open JSON object.
+fn write_args_first(body: &mut String, args: &Args) {
+    write_args_inner(body, args, false);
+}
+
+fn write_args_inner(body: &mut String, args: &Args, mut need_comma: bool) {
+    for (key, value) in args {
+        if need_comma {
+            body.push(',');
+        }
+        need_comma = true;
+        let _ = write!(body, "\"{}\":", escape_json(key));
+        match value {
+            ArgValue::U64(v) => {
+                let _ = write!(body, "{v}");
+            }
+            ArgValue::F64(v) => {
+                let _ = write!(body, "{}", fmt_f64(*v));
+            }
+            ArgValue::Bool(v) => {
+                let _ = write!(body, "{v}");
+            }
+            ArgValue::Str(v) => {
+                let _ = write!(body, "\"{}\"", escape_json(v));
+            }
+        }
+    }
+}
+
+/// Formats nanoseconds as microseconds with exact thousandths, the
+/// Chrome trace time unit.
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Deterministic float formatting for JSON (finite values only; the
+/// simulator never records NaN/inf — they would not be valid JSON).
+fn fmt_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "non-finite metric value");
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static RECORDER: RefCell<Option<TraceRecorder>> = const { RefCell::new(None) };
+}
+
+/// Installs `recorder` as the current thread's sink, enabling the
+/// instrumentation free functions. Replaces (and returns) any previous
+/// recorder.
+pub fn install(recorder: TraceRecorder) -> Option<TraceRecorder> {
+    ENABLED.with(|e| e.set(true));
+    RECORDER.with(|r| r.borrow_mut().replace(recorder))
+}
+
+/// Removes and returns the current thread's recorder, disabling tracing.
+pub fn uninstall() -> Option<TraceRecorder> {
+    ENABLED.with(|e| e.set(false));
+    RECORDER.with(|r| r.borrow_mut().take())
+}
+
+/// `true` when a recorder is installed on this thread.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Runs `f` against the installed recorder, if any. The no-recorder
+/// path is a single thread-local flag check.
+#[inline]
+pub fn with<F: FnOnce(&mut TraceRecorder)>(f: F) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            f(rec);
+        }
+    });
+}
+
+/// Records a completed span (explicit start + duration); returns its id
+/// when tracing is enabled.
+pub fn span(
+    start: SimTime,
+    duration: SimDuration,
+    track: &'static str,
+    name: &'static str,
+    args: Args,
+) -> Option<SpanId> {
+    let mut out = None;
+    with(|t| out = Some(t.complete_span(start, duration, track, name, None, args)));
+    out
+}
+
+/// Records a completed span nested under `parent`.
+pub fn child_span(
+    start: SimTime,
+    duration: SimDuration,
+    track: &'static str,
+    name: &'static str,
+    parent: SpanId,
+    args: Args,
+) -> Option<SpanId> {
+    let mut out = None;
+    with(|t| out = Some(t.complete_span(start, duration, track, name, Some(parent), args)));
+    out
+}
+
+/// Opens a span; close it with [`end`].
+pub fn begin(start: SimTime, track: &'static str, name: &'static str) -> Option<SpanId> {
+    let mut out = None;
+    with(|t| out = Some(t.begin_span(start, track, name)));
+    out
+}
+
+/// Closes the innermost open span.
+pub fn end(at: SimTime) -> Option<SpanId> {
+    let mut out = None;
+    with(|t| out = t.end_span(at));
+    out
+}
+
+/// Records an instantaneous event.
+pub fn instant(at: SimTime, track: &'static str, name: &'static str, args: Args) {
+    with(|t| t.instant(at, track, name, args));
+}
+
+/// Records an instantaneous event stamped with the recorder's logical
+/// clock — for call sites with no `now` in scope.
+pub fn instant_now(track: &'static str, name: &'static str, args: Args) {
+    with(|t| {
+        let at = t.clock();
+        t.instant(at, track, name, args);
+    });
+}
+
+/// Records a counter/gauge sample.
+pub fn counter(at: SimTime, track: &'static str, name: &'static str, value: f64) {
+    with(|t| t.counter(at, track, name, value));
+}
+
+/// Records a counter/gauge sample stamped with the logical clock.
+pub fn counter_now(track: &'static str, name: &'static str, value: f64) {
+    with(|t| {
+        let at = t.clock();
+        t.counter(at, track, name, value);
+    });
+}
+
+/// Advances the installed recorder's logical clock.
+pub fn set_clock(now: SimTime) {
+    with(|t| t.set_clock(now));
+}
+
+/// Runs `f` against the installed recorder's metrics registry.
+#[inline]
+pub fn metrics<F: FnOnce(&mut MetricsRegistry)>(f: F) {
+    with(|t| f(t.metrics_mut()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(capacity: usize) -> TraceRecorder {
+        TraceRecorder::new(capacity)
+    }
+
+    #[test]
+    fn complete_spans_record_in_order() {
+        let mut t = fresh(16);
+        let a = t.complete_span(
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            "x",
+            "a",
+            None,
+            Vec::new(),
+        );
+        let b = t.complete_span(
+            SimTime::from_micros(10),
+            SimDuration::from_micros(5),
+            "x",
+            "b",
+            None,
+            Vec::new(),
+        );
+        assert_ne!(a, b);
+        let names: Vec<&str> = t
+            .records()
+            .map(|r| match r {
+                TraceRecord::Span { name, .. } => *name,
+                _ => panic!("span expected"),
+            })
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(t.clock(), SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn open_spans_nest_and_attribute_parents() {
+        let mut t = fresh(16);
+        let outer = t.begin_span(SimTime::ZERO, "x", "outer");
+        let inner = t.begin_span(SimTime::from_micros(2), "x", "inner");
+        assert_eq!(t.open_spans(), 2);
+        assert_eq!(t.end_span(SimTime::from_micros(8)), Some(inner));
+        assert_eq!(t.end_span(SimTime::from_micros(10)), Some(outer));
+        assert_eq!(t.end_span(SimTime::from_micros(11)), None);
+
+        // The inner span closed first, so it appears first, with the
+        // outer id as its parent.
+        let spans: Vec<(&str, Option<SpanId>, SimDuration)> = t
+            .records()
+            .map(|r| match r {
+                TraceRecord::Span {
+                    name,
+                    parent,
+                    duration,
+                    ..
+                } => (*name, *parent, *duration),
+                _ => panic!("span expected"),
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            vec![
+                ("inner", Some(outer), SimDuration::from_micros(6)),
+                ("outer", None, SimDuration::from_micros(10)),
+            ]
+        );
+    }
+
+    #[test]
+    fn complete_span_inside_open_span_nests() {
+        let mut t = fresh(16);
+        let outer = t.begin_span(SimTime::ZERO, "x", "outer");
+        t.complete_span(
+            SimTime::from_micros(1),
+            SimDuration::from_micros(2),
+            "x",
+            "leaf",
+            None,
+            Vec::new(),
+        );
+        t.end_span(SimTime::from_micros(5));
+        let TraceRecord::Span { parent, .. } = t.records().next().expect("leaf") else {
+            panic!("span expected");
+        };
+        assert_eq!(*parent, Some(outer));
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest() {
+        let mut t = fresh(3);
+        for i in 0..5u64 {
+            t.instant(
+                SimTime::from_nanos(i),
+                "x",
+                "e",
+                vec![("i", ArgValue::U64(i))],
+            );
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.records().next().expect("nonempty");
+        assert_eq!(first.at(), SimTime::from_nanos(2), "oldest two dropped");
+    }
+
+    #[test]
+    fn counters_mirror_into_gauges() {
+        let mut t = fresh(8);
+        t.counter(SimTime::from_micros(1), "nic", "depth", 3.0);
+        t.counter(SimTime::from_micros(2), "nic", "depth", 5.0);
+        assert_eq!(t.metrics().gauge("nic.depth"), Some(5.0));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut t = fresh(8);
+        t.set_clock(SimTime::from_micros(10));
+        t.set_clock(SimTime::from_micros(5));
+        assert_eq!(t.clock(), SimTime::from_micros(10));
+        t.instant(SimTime::from_micros(20), "x", "e", Vec::new());
+        assert_eq!(t.clock(), SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let mut t = fresh(8);
+        let id = t.complete_span(
+            SimTime::from_micros(1),
+            SimDuration::from_micros(2),
+            "npf",
+            "fault",
+            None,
+            vec![("pages", ArgValue::U64(4))],
+        );
+        t.instant(SimTime::from_micros(3), "npf", "bang", Vec::new());
+        t.counter(SimTime::from_micros(4), "nic", "depth", 1.5);
+        let json = t.export_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":2.000"));
+        assert!(json.contains(&format!("\"span_id\":{}", id.0)));
+        assert!(json.contains("\"pages\":4"));
+        assert!(json.contains("thread_name"));
+        assert!(json.contains("\"nic.depth\""));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ns\"}\n"));
+    }
+
+    #[test]
+    fn install_uninstall_roundtrip() {
+        assert!(!enabled());
+        assert!(install(fresh(4)).is_none());
+        assert!(enabled());
+        span(
+            SimTime::ZERO,
+            SimDuration::from_micros(1),
+            "x",
+            "s",
+            Vec::new(),
+        )
+        .expect("recorder installed");
+        let rec = uninstall().expect("was installed");
+        assert!(!enabled());
+        assert_eq!(rec.len(), 1);
+        // Free functions are no-ops now.
+        assert!(span(
+            SimTime::ZERO,
+            SimDuration::from_micros(1),
+            "x",
+            "s",
+            Vec::new()
+        )
+        .is_none());
+        instant(SimTime::ZERO, "x", "e", Vec::new());
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn metrics_registry_wires_stats_types() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("faults", 3);
+        m.gauge_set("depth", 2.5);
+        m.duration_record("latency", SimDuration::from_micros(220));
+        m.series_push("cwnd", SimTime::from_secs(1), 10.0);
+        m.throughput_record("ops", 100);
+        m.throughput_sample("ops", SimTime::from_secs(1));
+        assert_eq!(m.counter("faults"), 3);
+        assert_eq!(m.gauge("depth"), Some(2.5));
+        assert_eq!(
+            m.histogram_mut("latency").median(),
+            SimDuration::from_micros(220)
+        );
+        assert_eq!(m.series("cwnd").map(TimeSeries::len), Some(1));
+        assert_eq!(m.throughput("ops").map(ThroughputMeter::total), Some(100));
+        let json = m.to_json();
+        assert!(json.contains("\"faults\": 3"));
+        assert!(json.contains("\"p50_ns\": 220000"));
+        let csv = m.to_csv();
+        assert!(csv.starts_with("kind,name,value\n"));
+        assert!(csv.contains("counter,faults,3"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(fmt_us(1_234_567), "1234.567");
+        assert_eq!(fmt_us(999), "0.999");
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(0.25), "0.25");
+    }
+}

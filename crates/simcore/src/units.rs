@@ -17,14 +17,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimDuration;
 
 /// A data rate in bits per second.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bandwidth(u64);
 
 impl Bandwidth {
@@ -116,9 +112,7 @@ impl fmt::Display for Bandwidth {
 }
 
 /// A size in bytes with binary-unit constructors.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteSize(u64);
 
 impl ByteSize {

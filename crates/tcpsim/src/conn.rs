@@ -24,6 +24,7 @@
 use std::collections::BTreeMap;
 
 use simcore::time::{SimDuration, SimTime};
+use simcore::trace::{self, ArgValue};
 
 use crate::types::{TcpConfig, TcpFlags, TcpSegment};
 
@@ -375,6 +376,18 @@ impl TcpConnection {
         let mut out = Vec::new();
         self.timer_armed = false;
         self.timeouts += 1;
+        if trace::enabled() {
+            trace::instant(
+                now,
+                "tcpsim",
+                "rto_expiry",
+                vec![
+                    ("flight", ArgValue::U64(self.flight_size())),
+                    ("rto_us", ArgValue::F64(self.rto.as_micros_f64())),
+                ],
+            );
+            trace::metrics(|m| m.counter_add("tcpsim.rto_expiries", 1));
+        }
         match self.state {
             TcpState::SynSent => {
                 self.retries += 1;
@@ -421,6 +434,7 @@ impl TcpConnection {
                 self.rtt_probe = None; // Karn: do not sample retransmits
                 self.retransmit_head(&mut out);
                 self.arm_timer(now, &mut out);
+                self.trace_cwnd(now);
             }
             _ => {
                 // Spurious timer with nothing outstanding: ignore.
@@ -435,7 +449,25 @@ impl TcpConnection {
             .min(self.config.mss);
         let seg = self.segment(self.snd_una, len, TcpFlags::ack());
         self.retransmitted_segments += 1;
+        if trace::enabled() {
+            trace::instant_now(
+                "tcpsim",
+                "retransmit",
+                vec![("seq", ArgValue::U64(seg.seq)), ("len", ArgValue::U64(len))],
+            );
+            trace::metrics(|m| m.counter_add("tcpsim.retransmits", 1));
+        }
         out.push(TcpOutput::Send(seg));
+    }
+
+    /// Samples the congestion window into the trace (time series for
+    /// Figure 4-style plots).
+    fn trace_cwnd(&self, now: SimTime) {
+        if trace::enabled() {
+            let cwnd = self.cwnd as f64;
+            trace::counter(now, "tcpsim", "cwnd", cwnd);
+            trace::metrics(|m| m.series_push("tcpsim.cwnd", now, cwnd));
+        }
     }
 
     /// Processes an incoming segment. `ecn_marked` reports a
@@ -587,6 +619,7 @@ impl TcpConnection {
                 self.state = TcpState::Done;
                 self.cancel_timer(out);
             }
+            self.trace_cwnd(now);
         } else if ack == self.snd_una && self.flight_size() > 0 && seg.len == 0 && !seg.flags.fin {
             self.dupacks += 1;
             if self.dupacks == 3 {
@@ -597,7 +630,12 @@ impl TcpConnection {
                 self.recover = Some(self.snd_nxt);
                 self.fast_retransmits += 1;
                 self.rtt_probe = None;
+                if trace::enabled() {
+                    trace::instant(now, "tcpsim", "fast_retransmit", Vec::new());
+                    trace::metrics(|m| m.counter_add("tcpsim.fast_retransmits", 1));
+                }
                 self.retransmit_head(out);
+                self.trace_cwnd(now);
             } else if self.dupacks > 3 && self.recover.is_some() {
                 self.cwnd += self.config.mss; // inflation
             }

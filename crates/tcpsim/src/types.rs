@@ -3,12 +3,10 @@
 //! Segments carry logical byte counts, not bytes: the simulation tracks
 //! sequence ranges exactly but never materializes payloads.
 
-use serde::{Deserialize, Serialize};
-
 use simcore::time::SimDuration;
 
 /// Segment control flags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TcpFlags {
     /// Synchronize (connection open).
     pub syn: bool,
@@ -62,7 +60,7 @@ impl TcpFlags {
 }
 
 /// A TCP segment (simulation form).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TcpSegment {
     /// Source port.
     pub src_port: u16,
@@ -101,7 +99,7 @@ impl TcpSegment {
 /// Two presets match the paper's endpoints: [`TcpConfig::linux`] for the
 /// memaslap client machine and [`TcpConfig::lwip`] for the IOuser's
 /// user-level stack.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TcpConfig {
     /// Maximum segment size (payload bytes per segment).
     pub mss: u64,

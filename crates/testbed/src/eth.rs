@@ -29,6 +29,7 @@ use simcore::event::{EventQueue, EventToken};
 use simcore::rng::SimRng;
 use simcore::stats::ThroughputMeter;
 use simcore::time::{SimDuration, SimTime};
+use simcore::trace;
 use simcore::units::{Bandwidth, ByteSize};
 use tcpsim::{ConnId, TcpConfig, TcpOutput, TcpSegment, TcpStack};
 use workloads::memcached::{KvOp, Memaslap, Memcached, MemcachedConfig};
@@ -496,6 +497,9 @@ impl EthTestbed {
         let Some((now, event)) = self.queue.pop() else {
             return;
         };
+        // Advance the trace clock so instrumentation in substrates
+        // without their own `now` stamps with the event time.
+        trace::set_clock(now);
         match event {
             EthEvent::ToServer(seg) => self.server_rx(now, seg),
             EthEvent::ToClient(seg) => self.client_rx(now, seg),

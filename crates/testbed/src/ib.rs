@@ -24,6 +24,7 @@ use rdmasim::types::{
 use simcore::event::{EventQueue, EventToken};
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
+use simcore::trace;
 use simcore::units::{Bandwidth, ByteSize};
 use workloads::stream::SyntheticFaults;
 
@@ -474,6 +475,9 @@ impl IbCluster {
 
     fn dispatch(&mut self, event: IbEvent) {
         let now = self.queue.now();
+        // Advance the trace clock so instrumentation in substrates
+        // without their own `now` stamps with the event time.
+        trace::set_clock(now);
         match event {
             IbEvent::Deliver { node, pkt } => {
                 self.drive_qp(now, node, pkt.dst_qp, QpDrive::Packet(pkt));

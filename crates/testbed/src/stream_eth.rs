@@ -225,6 +225,9 @@ pub fn run_stream(config: StreamBedConfig) -> StreamBedResult {
             break;
         }
         let Some((now, ev)) = queue.pop() else { break };
+        // Advance the trace clock so instrumentation in substrates
+        // without their own `now` stamps with the event time.
+        simcore::trace::set_clock(now);
         match ev {
             Ev::ToServer(seg) => {
                 // Presence: ring is warm; only synthetic faults fire.

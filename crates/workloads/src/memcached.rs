@@ -13,13 +13,12 @@
 use std::collections::HashMap;
 
 use memsim::types::VirtAddr;
-use serde::{Deserialize, Serialize};
 use simcore::rng::SimRng;
 use simcore::time::SimDuration;
 use simcore::units::ByteSize;
 
 /// Server configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MemcachedConfig {
     /// Cache capacity (`-m` in memcached).
     pub max_bytes: ByteSize,
@@ -47,7 +46,7 @@ impl Default for MemcachedConfig {
 }
 
 /// A request the client sends.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KvOp {
     /// Read a key.
     Get {

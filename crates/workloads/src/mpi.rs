@@ -10,10 +10,8 @@
 //! this is what forces pin-down caches to register many buffers and ODP
 //! to fault on first touch.
 
-use serde::{Deserialize, Serialize};
-
 /// One point-to-point transfer inside a collective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transfer {
     /// Synchronization round this transfer belongs to.
     pub round: u32,
@@ -26,7 +24,7 @@ pub struct Transfer {
 }
 
 /// The collectives the paper benchmarks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Collective {
     /// IMB `sendrecv`: a ring where every rank sends to its right
     /// neighbour and receives from its left, simultaneously.

@@ -10,13 +10,12 @@
 //! chunk is never touched, so under ODP it is never backed by frames.
 
 use memsim::types::{FileId, VirtAddr};
-use serde::{Deserialize, Serialize};
 use simcore::rng::SimRng;
 use simcore::time::SimDuration;
 use simcore::units::ByteSize;
 
 /// Target configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct StorageConfig {
     /// The LUN's backing file.
     pub lun_file: FileId,

@@ -8,12 +8,11 @@
 //! eliminate the cold ring problem", which maps to starting the
 //! generator only after warm-up.
 
-use serde::{Deserialize, Serialize};
 use simcore::rng::SimRng;
 use simcore::time::SimTime;
 
 /// Configuration of a stream run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct StreamConfig {
     /// Message size the sender loops on (the paper uses 64 KB).
     pub message_bytes: u64,
@@ -88,7 +87,7 @@ impl SyntheticFaults {
 }
 
 /// Receiver-side byte counter and goodput calculator.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StreamReceiver {
     bytes: u64,
     messages: u64,

@@ -22,6 +22,7 @@ fn base_config(mode: RxMode) -> EthConfig {
         },
         // <2 GB working set: ~450k pages of 1 KB values.
         working_set_keys: 1_800_000,
+        chaos: crate::tracectl::chaos_or_disabled(),
         ..EthConfig::default()
     }
 }

@@ -293,6 +293,7 @@ pub fn fig10_infiniband(messages: u64) -> Report {
         let mut c = IbCluster::new(IbConfig {
             nodes: 2,
             seed: 5,
+            chaos: crate::tracectl::chaos_or_disabled(),
             ..IbConfig::default()
         });
         let (qa, qb) = c.connect(0, 1);

@@ -8,12 +8,18 @@
 //! * `--metrics <path>` (or `--metrics=<path>`): write the flat
 //!   metrics registry on exit — CSV if `path` ends in `.csv`, JSON
 //!   otherwise.
+//! * `--chaos-seed <n>` / `--chaos-profile <name>`: build a
+//!   [`ChaosConfig`] for fault injection ([`chaos_config`]). Profiles:
+//!   `network`, `interrupts`, `npf`, `memory`, `iommu`, `all`
+//!   (default `all`). Binaries that support chaos pass the config into
+//!   their testbeds; a failing run prints the seed for replay.
 //!
 //! Traces are stamped exclusively with [`simcore::time::SimTime`], so
 //! the same seed produces byte-identical files.
 
 use std::path::{Path, PathBuf};
 
+use simcore::chaos::{invariant, ChaosConfig, ChaosProfile, InvariantChecker};
 use simcore::trace::{self, TraceRecorder};
 
 /// Default ring capacity for binary-driven traces: large enough to
@@ -53,6 +59,54 @@ pub fn metrics_path() -> Option<PathBuf> {
     flag_value(std::env::args().skip(1), "metrics")
 }
 
+/// Builds a [`ChaosConfig`] from `--chaos-seed` / `--chaos-profile`
+/// argv-style arguments. Returns `None` (chaos disabled) when neither
+/// flag is present; `--chaos-profile` alone uses seed 0.
+fn chaos_from_args<I: IntoIterator<Item = String>>(args: I) -> Option<ChaosConfig> {
+    let args: Vec<String> = args.into_iter().collect();
+    let seed = flag_value(args.iter().cloned(), "chaos-seed").map(|p| {
+        p.to_string_lossy()
+            .parse::<u64>()
+            .unwrap_or_else(|e| panic!("--chaos-seed must be an integer: {e}"))
+    });
+    let profile = flag_value(args, "chaos-profile").map(|p| {
+        let name = p.to_string_lossy();
+        ChaosProfile::from_name(&name)
+            .unwrap_or_else(|| panic!("unknown --chaos-profile {name:?} (try \"all\")"))
+    });
+    if seed.is_none() && profile.is_none() {
+        return None;
+    }
+    Some(ChaosConfig::profile(
+        profile.unwrap_or(ChaosProfile::All),
+        seed.unwrap_or(0),
+    ))
+}
+
+/// The fault-injection config requested on the command line, if any.
+/// On the first call with chaos enabled, prints the chosen seed so a
+/// violation can be replayed (experiments build many testbeds; one
+/// announcement is enough).
+#[must_use]
+pub fn chaos_config() -> Option<ChaosConfig> {
+    static ANNOUNCE: std::sync::Once = std::sync::Once::new();
+    let cfg = chaos_from_args(std::env::args().skip(1))?;
+    ANNOUNCE.call_once(|| {
+        eprintln!(
+            "chaos enabled: seed {} (replay with --chaos-seed {})",
+            cfg.seed, cfg.seed
+        );
+    });
+    Some(cfg)
+}
+
+/// [`chaos_config`], defaulting to disabled: the form testbed config
+/// literals splice in directly.
+#[must_use]
+pub fn chaos_or_disabled() -> ChaosConfig {
+    chaos_config().unwrap_or_else(ChaosConfig::disabled)
+}
+
 fn write_or_warn(path: &Path, what: &str, contents: &str) {
     match std::fs::write(path, contents) {
         Ok(()) => eprintln!("{what} written to {}", path.display()),
@@ -64,14 +118,33 @@ fn write_or_warn(path: &Path, what: &str, contents: &str) {
 /// present in argv, exporting the requested files afterwards. Without
 /// either flag this is a plain call to `body` (tracing stays disabled,
 /// so instrumentation costs one branch per site).
+///
+/// When `--chaos-seed`/`--chaos-profile` are present, also installs a
+/// global [`InvariantChecker`] around `body`: a violation prints the
+/// failing seed (plus the trace ring, when recording) and the process
+/// exits nonzero, so chaos-enabled experiment runs are CI-able.
 pub fn run<R>(body: impl FnOnce() -> R) -> R {
+    let chaos = chaos_config();
+    if let Some(cfg) = chaos {
+        assert!(
+            invariant::install(InvariantChecker::new(cfg.seed)).is_none(),
+            "an invariant checker was already installed"
+        );
+    }
     let trace_to = trace_path();
     let metrics_to = metrics_path();
     if trace_to.is_none() && metrics_to.is_none() {
-        return body();
+        let out = body();
+        if finish_chaos(chaos) {
+            std::process::exit(1);
+        }
+        return out;
     }
     let prev = trace::install(TraceRecorder::new(DEFAULT_CAPACITY));
     let out = body();
+    // Settle chaos while the recorder is still installed, so a
+    // violation discovered by `finish()` can dump the trace ring.
+    let violated = finish_chaos(chaos);
     let recorder = trace::uninstall().expect("recorder installed above");
     if let Some(prev) = prev {
         trace::install(prev);
@@ -94,7 +167,45 @@ pub fn run<R>(body: impl FnOnce() -> R) -> R {
         };
         write_or_warn(&path, "metrics", &contents);
     }
+    if violated {
+        std::process::exit(1);
+    }
     out
+}
+
+/// Uninstalls the chaos invariant checker (when one was installed),
+/// runs its end-of-run predicates, and reports. Returns `true` when
+/// any invariant was violated.
+fn finish_chaos(chaos: Option<ChaosConfig>) -> bool {
+    let Some(cfg) = chaos else {
+        return false;
+    };
+    let checker = invariant::uninstall().expect("checker installed by run()");
+    // Experiments stop at a wall-clock horizon, not at quiescence, so
+    // in-flight NPFs at the cut are expected — report them as context,
+    // not as `finish()`'s liveness violation (the sweep tests, which do
+    // hunt a quiescent cut, assert that predicate instead).
+    if checker.outstanding_faults() > 0 {
+        eprintln!(
+            "chaos seed {}: {} NPFs still in flight at the horizon",
+            cfg.seed,
+            checker.outstanding_faults()
+        );
+    }
+    let violations = checker.violations().len();
+    if violations > 0 {
+        eprintln!(
+            "chaos seed {}: {violations} invariant violation(s) — replay with --chaos-seed {}",
+            cfg.seed, cfg.seed
+        );
+        return true;
+    }
+    eprintln!(
+        "chaos seed {}: no invariant violations ({} checks)",
+        cfg.seed,
+        checker.checks()
+    );
+    false
 }
 
 #[cfg(test)]
@@ -117,6 +228,28 @@ mod tests {
         );
         assert_eq!(flag_value(argv(&["--other", "x"]), "trace"), None);
         assert_eq!(flag_value(argv(&["--trace"]), "trace"), None);
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        assert_eq!(chaos_from_args(argv(&["--foo", "1"])), None);
+        let cfg = chaos_from_args(argv(&["--chaos-seed", "42"])).expect("enabled");
+        assert_eq!(cfg.seed, 42);
+        assert!(cfg.enabled());
+        let cfg =
+            chaos_from_args(argv(&["--chaos-seed=7", "--chaos-profile=network"])).expect("enabled");
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.net.active());
+        assert!(!cfg.interrupt.active());
+        let cfg = chaos_from_args(argv(&["--chaos-profile", "irq"])).expect("enabled");
+        assert!(cfg.interrupt.active());
+        assert_eq!(cfg.seed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown --chaos-profile")]
+    fn rejects_unknown_profile() {
+        let _ = chaos_from_args(argv(&["--chaos-profile", "gremlins"]));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use iommu::{DomainId, Iommu, TableMode};
 use memsim::manager::{Invalidation, MemError, MemoryManager};
 use memsim::types::{PageRange, SpaceId, VirtAddr, Vpn};
 use memsim::FrameId;
+use simcore::chaos::{invariant, ChaosEngine, NpfFate};
 use simcore::rng::SimRng;
 use simcore::stats::{Counters, DurationHistogram};
 use simcore::time::{SimDuration, SimTime};
@@ -92,6 +93,12 @@ pub struct NpfEngine {
     outstanding: HashMap<DomainId, Vec<SimTime>>,
     next_fault: u64,
     rng: SimRng,
+    /// Invariant-note namespace: salts fault ids (and, via the
+    /// allocator and IOMMU, frame/domain ids) so engines never alias
+    /// inside one process-global checker.
+    chaos_ns: u64,
+    /// Fault injector for the NPF resolution path (None = chaos off).
+    chaos: Option<ChaosEngine>,
     counters: Counters,
     fault_latency: DurationHistogram,
     fault_latency_by_tag: HashMap<&'static str, DurationHistogram>,
@@ -101,16 +108,25 @@ pub struct NpfEngine {
 impl NpfEngine {
     /// Creates an engine over `mm` with an IOTLB of 4096 entries.
     #[must_use]
-    pub fn new(config: NpfConfig, mm: MemoryManager, rng: SimRng) -> Self {
+    pub fn new(config: NpfConfig, mut mm: MemoryManager, rng: SimRng) -> Self {
+        // One shared note namespace per engine: the allocator's frame
+        // ids and the IOMMU's domain/frame ids must agree with each
+        // other but never alias another node's.
+        let ns = invariant::fresh_namespace();
+        mm.set_chaos_namespace(ns);
+        let mut iommu = Iommu::new(4096);
+        iommu.set_chaos_namespace(ns);
         NpfEngine {
             config,
             mm,
-            iommu: Iommu::new(4096),
+            iommu,
             bindings: HashMap::new(),
             pending: HashMap::new(),
             outstanding: HashMap::new(),
             next_fault: 0,
             rng,
+            chaos_ns: ns,
+            chaos: None,
             counters: Counters::new(),
             fault_latency: DurationHistogram::new(),
             fault_latency_by_tag: HashMap::new(),
@@ -331,6 +347,23 @@ impl NpfEngine {
             now
         };
         let ready_at = start + breakdown.total();
+        // Chaos: NPF resolution delay / transient-failure / retry. The
+        // perturbed time extends the outstanding slot too, so the
+        // concurrency limiter sees the real completion.
+        let ready_at = match self.chaos.as_mut().map(ChaosEngine::npf_fate) {
+            None | Some(NpfFate::Normal) => ready_at,
+            Some(NpfFate::Delay { extra }) => {
+                self.counters.bump("npf_chaos_delays");
+                ready_at + extra
+            }
+            Some(NpfFate::Transient {
+                retries,
+                retry_delay,
+            }) => {
+                self.counters.add("npf_chaos_retries", u64::from(retries));
+                ready_at + SimDuration::from_nanos(retry_delay.as_nanos() * u64::from(retries))
+            }
+        };
         slots.push(ready_at);
 
         let id = self.next_fault;
@@ -407,6 +440,7 @@ impl NpfEngine {
             breakdown,
             mappings,
         };
+        invariant::note_fault_begun((self.chaos_ns << 32) | id, now);
         self.pending.insert(id, record);
         Ok(self.pending.get(&id).expect("just inserted"))
     }
@@ -419,6 +453,7 @@ impl NpfEngine {
     /// Panics for unknown fault ids.
     pub fn complete_fault(&mut self, id: u64) -> FaultRecord {
         let record = self.pending.remove(&id).expect("unknown fault id");
+        invariant::note_fault_resolved((self.chaos_ns << 32) | id);
         if trace::enabled() {
             trace::instant(
                 record.ready_at,
@@ -450,6 +485,36 @@ impl NpfEngine {
             }
         }
         record
+    }
+
+    /// Arms the NPF-resolution fault injector. The engine draws one
+    /// [`NpfFate`] per fault from the injector's dedicated stream.
+    pub fn set_chaos(&mut self, chaos: ChaosEngine) {
+        self.chaos = Some(chaos);
+    }
+
+    /// The engine's fault injector, when armed.
+    #[must_use]
+    pub fn chaos(&self) -> Option<&ChaosEngine> {
+        self.chaos.as_ref()
+    }
+
+    /// Chaos memory pressure: forcibly reclaims up to `pages` pages and
+    /// runs the Figure 2 invalidation flow for every revoked mapping,
+    /// exactly as organic reclaim would. Returns pages invalidated.
+    pub fn chaos_evict(&mut self, pages: u64) -> u64 {
+        let invalidations = self.mm.reclaim(pages);
+        let n = invalidations.len() as u64;
+        for inv in invalidations {
+            self.run_invalidation(inv);
+        }
+        n
+    }
+
+    /// Chaos IOTLB shootdown: flushes every cached translation, racing
+    /// any in-flight resolution. Returns entries flushed.
+    pub fn chaos_shootdown(&mut self) -> u64 {
+        self.iommu.shootdown_all()
     }
 
     /// Runs the Figure 2 invalidation flow for one revoked page,

@@ -71,6 +71,16 @@ impl IoTlb {
         self.map.is_empty()
     }
 
+    /// Whether a translation is currently cached, without promoting it
+    /// or touching the hit/miss counters — a probe for eviction-order
+    /// assertions and debugging, not a substitute for [`lookup`].
+    ///
+    /// [`lookup`]: IoTlb::lookup
+    #[must_use]
+    pub fn pte_cached(&self, domain: DomainId, vpn: Vpn) -> bool {
+        self.map.contains_key(&(domain, vpn))
+    }
+
     /// Looks up a translation, promoting it on a hit.
     pub fn lookup(&mut self, domain: DomainId, vpn: Vpn) -> Option<FrameId> {
         self.tick += 1;
@@ -116,6 +126,17 @@ impl IoTlb {
             .iter()
             .filter(|&vpn| self.invalidate(domain, vpn))
             .count() as u64
+    }
+
+    /// Flushes the whole cache (a chaos-injected shootdown racing
+    /// in-flight resolutions, or a global invalidation command).
+    /// Returns the number of entries dropped. Purely a performance
+    /// event: the next access re-walks the page tables.
+    pub fn flush(&mut self) -> u64 {
+        let n = self.map.len() as u64;
+        self.map.clear();
+        self.invalidations += n;
+        n
     }
 
     /// Invalidates everything belonging to a domain (channel teardown).
@@ -189,6 +210,89 @@ mod tests {
         tlb.insert(D1, Vpn(1), FrameId(3));
         assert_eq!(tlb.invalidate_domain(D0), 2);
         assert_eq!(tlb.lookup(D1, Vpn(1)), Some(FrameId(3)));
+    }
+
+    #[test]
+    fn eviction_follows_insertion_order_without_lookups() {
+        // With no intervening hits, the recency stamp is the insertion
+        // tick, so victims fall in strict FIFO order.
+        let mut tlb = IoTlb::new(3);
+        for i in 1..=3 {
+            tlb.insert(D0, Vpn(i), FrameId(i));
+        }
+        for i in 4..=6 {
+            tlb.insert(D0, Vpn(i), FrameId(i));
+            // Vpn(i-3) was the oldest surviving entry; it must be the
+            // one displaced, and nothing newer may go with it.
+            assert_eq!(tlb.len(), 3);
+            for j in 1..=6 {
+                let cached = tlb.pte_cached(D0, Vpn(j));
+                assert_eq!(cached, j > i - 3 && j <= i, "entry {j} after insert {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reinsert_promotes_like_a_hit() {
+        // Remapping an already-cached page refreshes its recency: the
+        // update must not evict anything, and the refreshed entry must
+        // outlive entries that were younger before the update.
+        let mut tlb = IoTlb::new(2);
+        tlb.insert(D0, Vpn(1), FrameId(1));
+        tlb.insert(D0, Vpn(2), FrameId(2));
+        tlb.insert(D0, Vpn(1), FrameId(10)); // update in place
+        assert_eq!(tlb.len(), 2, "in-place update must not evict");
+        tlb.insert(D0, Vpn(3), FrameId(3)); // evicts 2, not the promoted 1
+        assert_eq!(tlb.lookup(D0, Vpn(1)), Some(FrameId(10)));
+        assert_eq!(tlb.lookup(D0, Vpn(2)), None);
+        assert_eq!(tlb.lookup(D0, Vpn(3)), Some(FrameId(3)));
+    }
+
+    #[test]
+    fn lookup_promotion_protects_across_many_evictions() {
+        let mut tlb = IoTlb::new(4);
+        for i in 1..=4 {
+            tlb.insert(D0, Vpn(i), FrameId(i));
+        }
+        // Keep touching entry 1 while streaming new entries through:
+        // the hot entry must survive every round of eviction.
+        for i in 5..=20 {
+            assert_eq!(tlb.lookup(D0, Vpn(1)), Some(FrameId(1)), "round {i}");
+            tlb.insert(D0, Vpn(i), FrameId(i));
+        }
+        assert_eq!(tlb.lookup(D0, Vpn(1)), Some(FrameId(1)));
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic() {
+        // Recency ticks are unique, so `min_by_key` never tie-breaks on
+        // hash-map iteration order: replaying a sequence must strand the
+        // exact same survivors.
+        let survivors = || {
+            let mut tlb = IoTlb::new(5);
+            for i in 0..64u64 {
+                let vpn = Vpn(i * 7 % 23);
+                tlb.insert(D0, vpn, FrameId(i));
+                tlb.lookup(D0, Vpn(i * 3 % 23));
+            }
+            (0..23u64)
+                .filter(|&v| tlb.pte_cached(D0, Vpn(v)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(survivors(), survivors());
+    }
+
+    #[test]
+    fn flush_drops_everything_and_counts() {
+        let mut tlb = IoTlb::new(8);
+        for i in 0..5 {
+            tlb.insert(D0, Vpn(i), FrameId(i));
+        }
+        assert_eq!(tlb.flush(), 5);
+        assert!(tlb.is_empty());
+        assert_eq!(tlb.invalidations(), 5);
+        assert_eq!(tlb.lookup(D0, Vpn(0)), None, "flushed entries re-walk");
+        assert_eq!(tlb.flush(), 0, "empty flush is free");
     }
 
     #[test]

@@ -34,6 +34,87 @@ pub enum NestedTranslation {
     HostError,
 }
 
+/// Memory-reference accounting for two-dimensional walks.
+///
+/// The simulated tables are flat maps, but real nested walks are radix
+/// walks: with `G` guest levels and `H` host levels, each of the `G`
+/// guest PTE pointers is a guest-physical address that itself takes an
+/// `H`-step host walk to follow, and the final gPA takes one more. A
+/// full 2D walk therefore loads `G*(H+1) + H` PTEs — 24 for the
+/// classic `G = H = 4` case, which is why the IOTLB earns its keep
+/// under virtualization. This struct charges that model per walk so
+/// experiments can report walk-memory traffic, not just walk counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkStats {
+    guest_levels: u64,
+    host_levels: u64,
+    walks: u64,
+    pte_loads: u64,
+}
+
+impl WalkStats {
+    /// Accounting for `guest_levels`-deep guest and `host_levels`-deep
+    /// host radix tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either depth is zero.
+    #[must_use]
+    pub fn new(guest_levels: u64, host_levels: u64) -> Self {
+        assert!(
+            guest_levels > 0 && host_levels > 0,
+            "radix walks need at least one level per stage"
+        );
+        WalkStats {
+            guest_levels,
+            host_levels,
+            walks: 0,
+            pte_loads: 0,
+        }
+    }
+
+    /// PTE loads of one complete two-dimensional walk:
+    /// `G*(H+1) + H`.
+    #[must_use]
+    pub fn full_walk_loads(&self) -> u64 {
+        self.guest_levels * (self.host_levels + 1) + self.host_levels
+    }
+
+    /// Walks accounted so far.
+    #[must_use]
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Total PTE loads accounted so far.
+    #[must_use]
+    pub fn pte_loads(&self) -> u64 {
+        self.pte_loads
+    }
+
+    /// Mean PTE loads per walk (0.0 before any walk).
+    #[must_use]
+    pub fn mean_walk_loads(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.pte_loads as f64 / self.walks as f64
+        }
+    }
+
+    /// Charges one walk with the given `outcome`. A denied guest stage
+    /// still performed its full `G*(H+1)` nested reads to discover the
+    /// missing leaf; only walks that produced a gPA pay the final
+    /// `H`-step host walk.
+    fn charge(&mut self, outcome: NestedTranslation) {
+        self.walks += 1;
+        self.pte_loads += self.guest_levels * (self.host_levels + 1);
+        if outcome != NestedTranslation::GuestDenied {
+            self.pte_loads += self.host_levels;
+        }
+    }
+}
+
 /// A two-stage translation pipeline.
 ///
 /// The guest stage maps IOuser virtual pages to guest-physical pages;
@@ -62,6 +143,19 @@ impl NestedWalk<'_> {
             Translation::Fault => NestedTranslation::HostFault(gpn),
             Translation::Error => NestedTranslation::HostError,
         }
+    }
+
+    /// Performs the concatenated walk and charges its memory-reference
+    /// cost to `stats`.
+    pub fn translate_counted(
+        &mut self,
+        vpn: Vpn,
+        write: bool,
+        stats: &mut WalkStats,
+    ) -> NestedTranslation {
+        let outcome = self.translate(vpn, write);
+        stats.charge(outcome);
+        outcome
     }
 }
 
@@ -140,5 +234,90 @@ mod tests {
             w.translate(Vpn(5), false),
             NestedTranslation::Ok(FrameId(3))
         );
+    }
+
+    #[test]
+    fn full_walk_costs_g_times_h_plus_one_plus_h() {
+        // The canonical 4x4 case: 4*(4+1) + 4 = 24 PTE loads.
+        assert_eq!(WalkStats::new(4, 4).full_walk_loads(), 24);
+        assert_eq!(WalkStats::new(1, 1).full_walk_loads(), 3);
+        assert_eq!(WalkStats::new(4, 5).full_walk_loads(), 29);
+    }
+
+    #[test]
+    fn complete_walk_charges_full_cost() {
+        let (mut guest, mut host) = tables();
+        guest.map(Vpn(5), FrameId(100), true);
+        host.map(Vpn(100), FrameId(7), true);
+        let mut w = NestedWalk {
+            guest: &mut guest,
+            host: &mut host,
+        };
+        let mut stats = WalkStats::new(4, 4);
+        assert_eq!(
+            w.translate_counted(Vpn(5), true, &mut stats),
+            NestedTranslation::Ok(FrameId(7))
+        );
+        assert_eq!(stats.walks(), 1);
+        assert_eq!(stats.pte_loads(), 24);
+        assert!((stats.mean_walk_loads() - 24.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn host_fault_still_pays_the_full_walk() {
+        // An NPF is only *discovered* at the end of the host walk, so
+        // its memory cost equals a successful translation's.
+        let (mut guest, mut host) = tables();
+        guest.map(Vpn(5), FrameId(100), true);
+        let mut w = NestedWalk {
+            guest: &mut guest,
+            host: &mut host,
+        };
+        let mut stats = WalkStats::new(4, 4);
+        assert_eq!(
+            w.translate_counted(Vpn(5), false, &mut stats),
+            NestedTranslation::HostFault(Gpn(100))
+        );
+        assert_eq!(stats.pte_loads(), stats.full_walk_loads());
+    }
+
+    #[test]
+    fn guest_denial_skips_the_final_host_walk() {
+        let (mut guest, mut host) = tables();
+        let mut w = NestedWalk {
+            guest: &mut guest,
+            host: &mut host,
+        };
+        let mut stats = WalkStats::new(4, 4);
+        assert_eq!(
+            w.translate_counted(Vpn(5), false, &mut stats),
+            NestedTranslation::GuestDenied
+        );
+        // 4*(4+1) nested loads but no final host walk.
+        assert_eq!(stats.pte_loads(), 20);
+    }
+
+    #[test]
+    fn accounting_accumulates_across_walks() {
+        let (mut guest, mut host) = tables();
+        guest.map(Vpn(5), FrameId(100), true);
+        host.map(Vpn(100), FrameId(7), true);
+        let mut w = NestedWalk {
+            guest: &mut guest,
+            host: &mut host,
+        };
+        let mut stats = WalkStats::new(4, 4);
+        w.translate_counted(Vpn(5), false, &mut stats); // 24: Ok
+        w.translate_counted(Vpn(9), false, &mut stats); // 20: GuestDenied
+        w.translate_counted(Vpn(5), false, &mut stats); // 24: Ok
+        assert_eq!(stats.walks(), 3);
+        assert_eq!(stats.pte_loads(), 68);
+        assert!((stats.mean_walk_loads() - 68.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_depth_tables_are_rejected() {
+        let _ = WalkStats::new(0, 4);
     }
 }

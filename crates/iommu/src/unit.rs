@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 
 use memsim::types::{FrameId, PageRange, Vpn};
+use simcore::chaos::invariant;
 use simcore::trace::{self, ArgValue};
 
 use crate::iotlb::IoTlb;
@@ -48,6 +49,9 @@ pub struct Iommu {
     pending: Vec<PageRequest>,
     next_request: u64,
     next_domain: u32,
+    /// Invariant-note namespace: distinguishes this unit's domain and
+    /// frame ids from other nodes' units inside one global checker.
+    chaos_ns: u64,
 }
 
 impl Iommu {
@@ -60,7 +64,13 @@ impl Iommu {
             pending: Vec::new(),
             next_request: 0,
             next_domain: 0,
+            chaos_ns: 0,
         }
+    }
+
+    /// Sets the invariant-note namespace (see `invariant::fresh_namespace`).
+    pub fn set_chaos_namespace(&mut self, ns: u64) {
+        self.chaos_ns = ns;
     }
 
     /// Creates a new translation domain.
@@ -177,6 +187,11 @@ impl Iommu {
 
     /// Installs a mapping (driver resolving a fault, Figure 2 step 4).
     pub fn map(&mut self, domain: DomainId, vpn: Vpn, frame: FrameId, writable: bool) {
+        invariant::note_frame_mapped(
+            (self.chaos_ns << 32) | u64::from(domain.0),
+            vpn.0,
+            (self.chaos_ns << 40) | frame.0,
+        );
         self.tables
             .get_mut(&domain)
             .expect("unknown IOMMU domain")
@@ -188,6 +203,11 @@ impl Iommu {
     pub fn map_batch(&mut self, domain: DomainId, mappings: &[(Vpn, FrameId)], writable: bool) {
         let table = self.tables.get_mut(&domain).expect("unknown IOMMU domain");
         for &(vpn, frame) in mappings {
+            invariant::note_frame_mapped(
+                (self.chaos_ns << 32) | u64::from(domain.0),
+                vpn.0,
+                (self.chaos_ns << 40) | frame.0,
+            );
             table.map(vpn, frame, writable);
         }
     }
@@ -196,6 +216,7 @@ impl Iommu {
     /// Returns `true` when the page was mapped (the paper's invalidation
     /// flow short-circuits when it was not, Figure 3b).
     pub fn invalidate(&mut self, domain: DomainId, vpn: Vpn) -> bool {
+        invariant::note_frame_unmapped((self.chaos_ns << 32) | u64::from(domain.0), vpn.0);
         self.tlb.invalidate(domain, vpn);
         let was_mapped = self
             .tables
@@ -216,6 +237,11 @@ impl Iommu {
     /// Invalidates a range, returning how many pages were actually
     /// mapped.
     pub fn invalidate_range(&mut self, domain: DomainId, range: PageRange) -> u64 {
+        if invariant::enabled() {
+            for vpn in range.iter() {
+                invariant::note_frame_unmapped((self.chaos_ns << 32) | u64::from(domain.0), vpn.0);
+            }
+        }
         self.tlb.invalidate_range(domain, range);
         let mapped = self
             .tables
@@ -233,8 +259,26 @@ impl Iommu {
 
     /// Tears down a domain entirely.
     pub fn destroy_domain(&mut self, domain: DomainId) {
+        invariant::note_domain_destroyed((self.chaos_ns << 32) | u64::from(domain.0));
         self.tlb.invalidate_domain(domain);
         self.tables.remove(&domain);
+    }
+
+    /// Flushes the whole IOTLB — the chaos injection point for
+    /// shootdown races. Translations are re-walked on the next access;
+    /// page tables are untouched, so this is always safe (the property
+    /// the chaos sweep verifies).
+    pub fn shootdown_all(&mut self) -> u64 {
+        let flushed = self.tlb.flush();
+        if trace::enabled() && flushed > 0 {
+            trace::instant_now(
+                "iommu",
+                "chaos_shootdown",
+                vec![("flushed", ArgValue::U64(flushed))],
+            );
+            trace::metrics(|m| m.counter_add("iommu.chaos_shootdowns", 1));
+        }
+        flushed
     }
 }
 

@@ -1,5 +1,7 @@
 //! Physical frame allocation.
 
+use simcore::chaos::invariant;
+
 use crate::types::FrameId;
 
 /// Allocator for physical page frames.
@@ -14,6 +16,9 @@ pub struct FrameAllocator {
     next_unused: u64,
     allocated: u64,
     high_watermark: u64,
+    /// Invariant-note namespace: distinguishes this allocator's frame
+    /// ids from other nodes' allocators inside one global checker.
+    chaos_ns: u64,
 }
 
 impl FrameAllocator {
@@ -26,7 +31,13 @@ impl FrameAllocator {
             next_unused: 0,
             allocated: 0,
             high_watermark: 0,
+            chaos_ns: 0,
         }
+    }
+
+    /// Sets the invariant-note namespace (see [`invariant::fresh_namespace`]).
+    pub fn set_chaos_namespace(&mut self, ns: u64) {
+        self.chaos_ns = ns;
     }
 
     /// Total frames managed.
@@ -67,6 +78,7 @@ impl FrameAllocator {
         };
         self.allocated += 1;
         self.high_watermark = self.high_watermark.max(self.allocated);
+        invariant::note_frame_allocated((self.chaos_ns << 40) | frame.0);
         Some(frame)
     }
 
@@ -80,6 +92,7 @@ impl FrameAllocator {
         debug_assert!(frame.0 < self.total, "foreign frame {frame}");
         self.allocated -= 1;
         self.free.push(frame);
+        invariant::note_frame_freed((self.chaos_ns << 40) | frame.0);
     }
 }
 

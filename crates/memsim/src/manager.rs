@@ -230,6 +230,13 @@ impl MemoryManager {
         &self.config
     }
 
+    /// Sets the invariant-note namespace of the frame allocator, so a
+    /// multi-node simulation never aliases two nodes' frame ids inside
+    /// one global checker.
+    pub fn set_chaos_namespace(&mut self, ns: u64) {
+        self.frames.set_chaos_namespace(ns);
+    }
+
     /// Statistics counters (`minor_faults`, `major_faults`, `evictions`,
     /// `swap_outs`, `cache_drops`).
     #[must_use]
@@ -658,6 +665,28 @@ impl MemoryManager {
                 return Ok((f, cost, invalidations));
             }
         }
+    }
+
+    /// Forcibly reclaims up to `pages` pages — the entry point for
+    /// chaos-injected memory-pressure bursts and eviction storms (a
+    /// noisy neighbour ballooning, kswapd panicking). Victims follow the
+    /// normal unified-LRU policy; the returned invalidations MUST be
+    /// run through the IOMMU invalidation flow, exactly as for reclaim
+    /// triggered by allocation.
+    pub fn reclaim(&mut self, pages: u64) -> Vec<Invalidation> {
+        let mut invalidations = Vec::new();
+        for _ in 0..pages {
+            match self.reclaim_one() {
+                Ok((inv, _cost)) => invalidations.extend(inv),
+                Err(_) => break, // nothing reclaimable left
+            }
+        }
+        if trace::enabled() && !invalidations.is_empty() {
+            trace::metrics(|m| {
+                m.counter_add("memsim.chaos_reclaimed", invalidations.len() as u64);
+            });
+        }
+        invalidations
     }
 
     /// Reclaims one page: whichever of the page cache and the mapped

@@ -7,11 +7,37 @@
 
 use std::collections::HashMap;
 
+use simcore::chaos::{ChaosEngine, PacketFate};
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 
 use crate::link::{Link, LinkConfig, SendOutcome};
 use crate::packet::NodeId;
+
+/// Outcome of a [`Fabric::send_chaos`]: a [`SendOutcome`] enriched with
+/// the injected fault, so the caller can model CRC-discarded corruption
+/// and schedule duplicate deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosSendOutcome {
+    /// The packet is gone — either the fabric's own queue overflowed
+    /// (`injected == false`) or chaos dropped it (`injected == true`).
+    Dropped {
+        /// `true` when the drop was fault-injected rather than organic.
+        injected: bool,
+    },
+    /// The packet arrives (possibly late, corrupted, or twice).
+    Delivered {
+        /// Delivery time, including any injected reorder delay.
+        arrives_at: SimTime,
+        /// ECN mark from the traversed links.
+        ecn_marked: bool,
+        /// The payload was corrupted in flight: the receiver's CRC
+        /// check must discard it on arrival.
+        corrupted: bool,
+        /// When set, a duplicate copy also arrives at this later time.
+        duplicate_at: Option<SimTime>,
+    },
+}
 
 /// Topology of a fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +59,8 @@ pub struct Fabric {
     /// For back-to-back: key (from, to). For star: uplinks keyed
     /// (from, SWITCH) and downlinks keyed (SWITCH, to).
     links: HashMap<(u32, u32), Link>,
+    /// Packets dropped by fault injection.
+    chaos_drops: u64,
 }
 
 const SWITCH: u32 = u32::MAX;
@@ -48,6 +76,7 @@ impl Fabric {
             topology: Topology::BackToBack,
             nodes: 2,
             links,
+            chaos_drops: 0,
         }
     }
 
@@ -71,6 +100,7 @@ impl Fabric {
             topology: Topology::Star { switch_latency },
             nodes,
             links,
+            chaos_drops: 0,
         }
     }
 
@@ -117,6 +147,53 @@ impl Fabric {
                 }
             }
         }
+    }
+
+    /// Sends with fault injection: one [`PacketFate`] is drawn from the
+    /// chaos engine's packet stream and applied on top of the fabric's
+    /// organic behaviour (queue drops, ECN marks still happen).
+    pub fn send_chaos(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        size_bytes: u64,
+        chaos: &mut ChaosEngine,
+    ) -> ChaosSendOutcome {
+        let fate = chaos.packet_fate();
+        if fate == PacketFate::Drop {
+            self.chaos_drops += 1;
+            return ChaosSendOutcome::Dropped { injected: true };
+        }
+        match self.send(now, from, to, size_bytes) {
+            SendOutcome::Dropped => ChaosSendOutcome::Dropped { injected: false },
+            SendOutcome::Delivered {
+                arrives_at,
+                ecn_marked,
+            } => {
+                let (arrives_at, corrupted, duplicate_at) = match fate {
+                    PacketFate::Deliver | PacketFate::Drop => (arrives_at, false, None),
+                    PacketFate::Corrupt => (arrives_at, true, None),
+                    PacketFate::Duplicate { extra } => {
+                        (arrives_at, false, Some(arrives_at + extra))
+                    }
+                    PacketFate::Reorder { extra } => (arrives_at + extra, false, None),
+                };
+                ChaosSendOutcome::Delivered {
+                    arrives_at,
+                    ecn_marked,
+                    corrupted,
+                    duplicate_at,
+                }
+            }
+        }
+    }
+
+    /// Packets dropped by fault injection (not counted in
+    /// [`Fabric::total_drops`], which tracks organic queue drops).
+    #[must_use]
+    pub fn chaos_drops(&self) -> u64 {
+        self.chaos_drops
     }
 
     /// Pauses all transmission *toward* `node` until `until` (802.3x
@@ -259,6 +336,67 @@ mod tests {
         let mut r = rng();
         let mut f = Fabric::back_to_back(LinkConfig::datacenter(Bandwidth::gbps(10)), &mut r);
         f.send(SimTime::ZERO, NodeId(0), NodeId(0), 64);
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use simcore::chaos::{ChaosConfig, ChaosProfile};
+    use simcore::units::Bandwidth;
+
+    #[test]
+    fn chaos_send_replays_per_seed() {
+        let run = |seed: u64| {
+            let mut r = SimRng::new(11);
+            let mut f = Fabric::back_to_back(LinkConfig::datacenter(Bandwidth::gbps(10)), &mut r);
+            let mut chaos = ChaosEngine::new(ChaosConfig::profile(ChaosProfile::Network, seed));
+            (0..300)
+                .map(|i| {
+                    f.send_chaos(
+                        SimTime::from_micros(i * 10),
+                        NodeId(0),
+                        NodeId(1),
+                        1250,
+                        &mut chaos,
+                    )
+                })
+                .collect::<Vec<ChaosSendOutcome>>()
+        };
+        assert_eq!(run(5), run(5), "same seed, same fault schedule");
+        assert_ne!(run(5), run(6), "different seeds diverge");
+    }
+
+    #[test]
+    fn chaos_profile_exercises_every_packet_fault() {
+        let mut r = SimRng::new(11);
+        let mut f = Fabric::back_to_back(LinkConfig::datacenter(Bandwidth::gbps(10)), &mut r);
+        let mut chaos = ChaosEngine::new(ChaosConfig::profile(ChaosProfile::Network, 3));
+        let mut corrupted = 0;
+        let mut duplicated = 0;
+        for i in 0..2000u64 {
+            match f.send_chaos(
+                SimTime::from_micros(i * 10),
+                NodeId(0),
+                NodeId(1),
+                1250,
+                &mut chaos,
+            ) {
+                ChaosSendOutcome::Delivered {
+                    corrupted: c,
+                    duplicate_at,
+                    ..
+                } => {
+                    corrupted += u64::from(c);
+                    duplicated += u64::from(duplicate_at.is_some());
+                }
+                ChaosSendOutcome::Dropped { .. } => {}
+            }
+        }
+        assert!(f.chaos_drops() > 0, "drops injected");
+        assert!(corrupted > 0, "corruption injected");
+        assert!(duplicated > 0, "duplicates injected");
+        assert!(chaos.counters().get("net_reorder") > 0, "reorder injected");
     }
 }
 

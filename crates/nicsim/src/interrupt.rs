@@ -6,6 +6,7 @@
 //! window of the previous one is deferred to the window's end, and
 //! further requests merge into the deferred one.
 
+use simcore::chaos::{ChaosEngine, InterruptFate};
 use simcore::time::{SimDuration, SimTime};
 use simcore::trace::{self, ArgValue};
 
@@ -26,6 +27,8 @@ pub struct InterruptModerator {
     pending_at: Option<SimTime>,
     delivered: u64,
     coalesced: u64,
+    lost: u64,
+    delayed: u64,
 }
 
 impl InterruptModerator {
@@ -39,6 +42,8 @@ impl InterruptModerator {
             pending_at: None,
             delivered: 0,
             coalesced: 0,
+            lost: 0,
+            delayed: 0,
         }
     }
 
@@ -68,6 +73,46 @@ impl InterruptModerator {
         };
         self.pending_at = Some(at);
         InterruptDecision::FireAt(at)
+    }
+
+    /// [`InterruptModerator::request`] with fault injection: the fire
+    /// time of a granted interrupt is perturbed by one
+    /// [`InterruptFate`] drawn from the chaos engine's interrupt
+    /// stream. A *lost* interrupt is redelivered at the watchdog
+    /// timeout (as on real NICs), so the system stays live but eats the
+    /// latency hole; a *delayed* one is merely late. Coalesced requests
+    /// are untouched — the pending delivery already has its fate.
+    pub fn request_chaos(&mut self, now: SimTime, chaos: &mut ChaosEngine) -> InterruptDecision {
+        match self.request(now) {
+            InterruptDecision::Coalesced => InterruptDecision::Coalesced,
+            InterruptDecision::FireAt(at) => {
+                let at = match chaos.interrupt_fate() {
+                    InterruptFate::Deliver => at,
+                    InterruptFate::Lose { redeliver_after } => {
+                        self.lost += 1;
+                        at + redeliver_after
+                    }
+                    InterruptFate::Delay { extra } => {
+                        self.delayed += 1;
+                        at + extra
+                    }
+                };
+                self.pending_at = Some(at);
+                InterruptDecision::FireAt(at)
+            }
+        }
+    }
+
+    /// Interrupts lost (and watchdog-redelivered) by fault injection.
+    #[must_use]
+    pub fn chaos_lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Interrupts delayed by fault injection.
+    #[must_use]
+    pub fn chaos_delayed(&self) -> u64 {
+        self.delayed
     }
 
     /// Records the delivery of the pending interrupt.
@@ -124,6 +169,43 @@ mod tests {
             m.request(SimTime::from_micros(200)),
             InterruptDecision::FireAt(SimTime::from_micros(200))
         );
+    }
+
+    #[test]
+    fn chaos_disabled_matches_plain_request() {
+        use simcore::chaos::{ChaosConfig, ChaosEngine};
+        let mut chaos = ChaosEngine::new(ChaosConfig::disabled());
+        let mut a = InterruptModerator::new(SimDuration::from_micros(50));
+        let mut b = InterruptModerator::new(SimDuration::from_micros(50));
+        for i in 0..20u64 {
+            let t = SimTime::from_micros(i * 7);
+            assert_eq!(a.request_chaos(t, &mut chaos), b.request(t));
+            if i % 3 == 0 {
+                a.fired(t);
+                b.fired(t);
+            }
+        }
+        assert_eq!(a.chaos_lost(), 0);
+        assert_eq!(a.chaos_delayed(), 0);
+    }
+
+    #[test]
+    fn chaos_perturbs_fire_times_but_stays_live() {
+        use simcore::chaos::{ChaosConfig, ChaosEngine, ChaosProfile};
+        let mut chaos = ChaosEngine::new(ChaosConfig::profile(ChaosProfile::Interrupts, 5));
+        let mut m = InterruptModerator::new(SimDuration::from_micros(10));
+        let mut fired = 0;
+        for i in 0..500u64 {
+            let t = SimTime::from_micros(i * 20);
+            if let InterruptDecision::FireAt(at) = m.request_chaos(t, &mut chaos) {
+                assert!(at >= t, "never delivered early");
+                m.fired(at);
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 500, "every granted interrupt is delivered");
+        assert!(m.chaos_lost() > 0, "losses injected");
+        assert!(m.chaos_delayed() > 0, "delays injected");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use memsim::types::VirtAddr;
+use simcore::chaos::invariant;
 use simcore::stats::Counters;
 use simcore::trace::{self, ArgValue};
 
@@ -148,6 +149,10 @@ pub struct RxEngine<P> {
     rings: HashMap<RingId, IoUserRing<P>>,
     backup: Option<BackupRing<P>>,
     mode: RxFaultMode,
+    /// Invariant-checker key of this engine's backup ring: fresh per
+    /// engine, so depth accounting never aliases across the many
+    /// testbeds an experiment binary builds in one process.
+    backup_key: u64,
     counters: Counters,
 }
 
@@ -155,19 +160,24 @@ impl<P: Clone> RxEngine<P> {
     /// Creates an engine with the given fault policy.
     #[must_use]
     pub fn new(mode: RxFaultMode) -> Self {
+        let backup_key = invariant::fresh_namespace();
         let backup = match mode {
             RxFaultMode::Drop => None,
-            RxFaultMode::BackupRing { capacity } => Some(BackupRing {
-                size: capacity,
-                head: 0,
-                tail: 0,
-                entries: HashMap::new(),
-            }),
+            RxFaultMode::BackupRing { capacity } => {
+                invariant::note_backup_capacity(backup_key, capacity);
+                Some(BackupRing {
+                    size: capacity,
+                    head: 0,
+                    tail: 0,
+                    entries: HashMap::new(),
+                })
+            }
         };
         RxEngine {
             rings: HashMap::new(),
             backup,
             mode,
+            backup_key,
             counters: Counters::new(),
         }
     }
@@ -335,10 +345,13 @@ impl<P: Clone> RxEngine<P> {
                 burned_descriptor: false,
             };
         };
+        invariant::note_backup_offered();
         if r.head_offset >= r.bm_size || backup.tail - backup.head >= backup.size {
             // Backup overflow: the packet is lost but the descriptor is
             // kept (the pending rNPF at this slot will be resolved by an
-            // earlier backup entry or a retransmission).
+            // earlier backup entry or a retransmission). Never silent:
+            // the drop is counted and the invariant checker told.
+            invariant::note_backup_dropped();
             self.counters.bump("dropped_fault");
             if trace::enabled() {
                 trace::instant_now(
@@ -369,6 +382,7 @@ impl<P: Clone> RxEngine<P> {
             },
         );
         backup.tail += 1;
+        invariant::note_backup_stored(self.backup_key);
         r.bitmap[(bit_index % r.bm_size) as usize] = true;
         // Mark the slot as skipped if a descriptor exists there; if the
         // IOuser has not posted it yet, the copy-back will wait.
@@ -414,6 +428,7 @@ impl<P: Clone> RxEngine<P> {
         }
         let e = backup.entries.remove(&backup.head).expect("entry exists");
         backup.head += 1;
+        invariant::note_backup_drained(self.backup_key);
         Some(e)
     }
 

@@ -136,6 +136,10 @@ pub struct RcQp {
     qpn: QpId,
     peer_qp: QpId,
     peer_node: NodeId,
+    /// Invariant-checker stream key: fresh per QP, so delivery
+    /// sequences never alias across QPs — or across the many clusters
+    /// an experiment binary builds in one process.
+    chaos_stream: u64,
 
     // Requester.
     sq: VecDeque<SqWr>,
@@ -175,6 +179,7 @@ impl RcQp {
             qpn,
             peer_qp,
             peer_node,
+            chaos_stream: simcore::chaos::invariant::fresh_namespace(),
             sq: VecDeque::new(),
             tx: VecDeque::new(),
             inflight: BTreeMap::new(),
@@ -866,6 +871,14 @@ impl RcQp {
                 if last {
                     let progress = self.cur_recv.take().expect("message in progress");
                     self.stats.messages_received += 1;
+                    // Exactly-once in-order delivery invariant: the
+                    // stream key is this QP's own — unique per QP
+                    // direction — and the sequence is its running
+                    // message count.
+                    simcore::chaos::invariant::note_qp_message(
+                        self.chaos_stream,
+                        self.stats.messages_received,
+                    );
                     out.push(QpOutput::Complete(Completion {
                         wr_id: progress.wqe.wr_id,
                         opcode: WcOpcode::Recv,

@@ -1,0 +1,1506 @@
+//! # simcore::chaos — seeded fault injection + global invariant checking
+//!
+//! Two halves, both threaded through the whole stack:
+//!
+//! 1. **Fault injection.** A [`ChaosEngine`] draws typed [`FaultPlan`]
+//!    decisions from per-class [`SimRng`] streams forked from a single
+//!    chaos seed, so the same seed replays the exact same fault
+//!    schedule. Injection points: packet drop/corrupt/duplicate/reorder
+//!    in `netsim::fabric`, lost and delayed interrupts in
+//!    `nicsim::interrupt`, NPF resolution delay/transient-failure/retry
+//!    in `core::npf`, memory-pressure bursts and eviction storms in
+//!    `memsim::manager`, IOTLB shootdown races in `iommu::unit`.
+//!
+//! 2. **Invariant checking.** An [`InvariantChecker`] installed
+//!    thread-locally (the same pattern as [`crate::trace`]) receives
+//!    `note_*` observations from every crate and evaluates cross-crate
+//!    predicates at event dispatch: exactly-once in-order delivery per
+//!    RC QP, the backup ring never silently overflowing, no IOMMU PTE
+//!    mapping a frame the memory manager has freed, sim-time
+//!    monotonicity, and every raised NPF eventually resolved or
+//!    aborted. On violation the checker dumps the trace ring for the
+//!    failing seed.
+//!
+//! Both halves cost one thread-local branch per site when disabled, and
+//! the chaos RNG is seeded independently of the simulation seed, so a
+//! run with chaos disabled is bit-identical to a build without this
+//! module at all (the zero-overhead disabled path the golden-trace
+//! tests pin down).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::rng::SimRng;
+use crate::stats::Counters;
+use crate::time::{SimDuration, SimTime};
+use crate::trace;
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Packet-level faults injected at the fabric (`netsim::fabric`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetChaos {
+    /// Probability a packet is silently dropped.
+    pub drop: f64,
+    /// Probability a packet is corrupted in flight (delivered, then
+    /// discarded by the receiver's CRC check — it still burns
+    /// bandwidth).
+    pub corrupt: f64,
+    /// Probability a packet is duplicated (the copy arrives later).
+    pub duplicate: f64,
+    /// Probability a packet is delayed past its natural arrival,
+    /// reordering it behind later traffic.
+    pub reorder: f64,
+    /// Maximum extra delay applied to duplicated/reordered copies.
+    pub jitter: SimDuration,
+}
+
+impl NetChaos {
+    /// No packet faults.
+    pub const OFF: NetChaos = NetChaos {
+        drop: 0.0,
+        corrupt: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+        jitter: SimDuration::ZERO,
+    };
+
+    /// `true` when any packet fault can fire.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.drop > 0.0 || self.corrupt > 0.0 || self.duplicate > 0.0 || self.reorder > 0.0
+    }
+}
+
+/// Interrupt faults injected at the moderator (`nicsim::interrupt`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterruptChaos {
+    /// Probability a fired interrupt is lost. A lost interrupt is
+    /// redelivered by the watchdog (as on real NICs) so the simulation
+    /// stays live — the damage is the latency hole.
+    pub lose: f64,
+    /// Probability a fired interrupt is merely late.
+    pub delay: f64,
+    /// Maximum lateness for a delayed interrupt.
+    pub max_delay: SimDuration,
+    /// Redelivery timeout for a lost interrupt.
+    pub watchdog: SimDuration,
+}
+
+impl InterruptChaos {
+    /// No interrupt faults.
+    pub const OFF: InterruptChaos = InterruptChaos {
+        lose: 0.0,
+        delay: 0.0,
+        max_delay: SimDuration::ZERO,
+        watchdog: SimDuration::ZERO,
+    };
+
+    /// `true` when any interrupt fault can fire.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.lose > 0.0 || self.delay > 0.0
+    }
+}
+
+/// NPF resolution faults injected in the driver path (`core::npf`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NpfChaos {
+    /// Probability a resolution is slower than the cost model says.
+    pub delay: f64,
+    /// Maximum extra resolution latency.
+    pub max_extra: SimDuration,
+    /// Probability the first resolution attempt fails transiently and
+    /// is retried (each retry adds `retry_delay`).
+    pub transient: f64,
+    /// Maximum retry count for a transient failure.
+    pub max_retries: u32,
+    /// Latency added per retry.
+    pub retry_delay: SimDuration,
+}
+
+impl NpfChaos {
+    /// No NPF faults.
+    pub const OFF: NpfChaos = NpfChaos {
+        delay: 0.0,
+        max_extra: SimDuration::ZERO,
+        transient: 0.0,
+        max_retries: 0,
+        retry_delay: SimDuration::ZERO,
+    };
+
+    /// `true` when any NPF fault can fire.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.delay > 0.0 || self.transient > 0.0
+    }
+}
+
+/// Memory-pressure faults injected at the manager (`memsim::manager`).
+/// Evaluated once per chaos tick (see [`ChaosConfig::tick`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemChaos {
+    /// Probability of a pressure burst this tick.
+    pub burst: f64,
+    /// Pages reclaimed by a burst.
+    pub burst_pages: u64,
+    /// Probability of a full eviction storm this tick.
+    pub storm: f64,
+    /// Pages reclaimed by a storm.
+    pub storm_pages: u64,
+}
+
+impl MemChaos {
+    /// No memory faults.
+    pub const OFF: MemChaos = MemChaos {
+        burst: 0.0,
+        burst_pages: 0,
+        storm: 0.0,
+        storm_pages: 0,
+    };
+
+    /// `true` when any memory fault can fire.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.burst > 0.0 || self.storm > 0.0
+    }
+}
+
+/// IOTLB shootdown races injected at the IOMMU (`iommu::unit`).
+/// Evaluated once per chaos tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IommuChaos {
+    /// Probability of a full IOTLB shootdown this tick, racing in-flight
+    /// resolutions (correctness requires the next access to re-walk).
+    pub shootdown: f64,
+}
+
+impl IommuChaos {
+    /// No IOMMU faults.
+    pub const OFF: IommuChaos = IommuChaos { shootdown: 0.0 };
+
+    /// `true` when any IOMMU fault can fire.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.shootdown > 0.0
+    }
+}
+
+/// Full chaos configuration: one seed plus per-class fault rates.
+///
+/// The seed is *independent* of the simulation seed: a testbed with
+/// chaos disabled draws nothing from any chaos stream, so its existing
+/// RNG streams — and therefore its golden traces — are untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of the chaos schedule (forked per fault class).
+    pub seed: u64,
+    /// Period of the testbed's chaos tick (memory and IOMMU classes).
+    pub tick: SimDuration,
+    /// Packet faults.
+    pub net: NetChaos,
+    /// Interrupt faults.
+    pub interrupt: InterruptChaos,
+    /// NPF resolution faults.
+    pub npf: NpfChaos,
+    /// Memory-pressure faults.
+    pub memory: MemChaos,
+    /// IOTLB shootdowns.
+    pub iommu: IommuChaos,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig::disabled()
+    }
+}
+
+impl ChaosConfig {
+    /// Chaos off: every class inert. The canonical default.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        ChaosConfig {
+            seed: 0,
+            tick: SimDuration::from_micros(50),
+            net: NetChaos::OFF,
+            interrupt: InterruptChaos::OFF,
+            npf: NpfChaos::OFF,
+            memory: MemChaos::OFF,
+            iommu: IommuChaos::OFF,
+        }
+    }
+
+    /// `true` when at least one fault class can fire.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.net.active()
+            || self.interrupt.active()
+            || self.npf.active()
+            || self.memory.active()
+            || self.iommu.active()
+    }
+
+    /// The named profile armed with `seed`.
+    #[must_use]
+    pub fn profile(profile: ChaosProfile, seed: u64) -> Self {
+        let mut cfg = ChaosConfig {
+            seed,
+            ..ChaosConfig::disabled()
+        };
+        match profile {
+            ChaosProfile::Network => cfg.net = PROFILE_NET,
+            ChaosProfile::Interrupts => cfg.interrupt = PROFILE_IRQ,
+            ChaosProfile::Npf => cfg.npf = PROFILE_NPF,
+            ChaosProfile::Memory => cfg.memory = PROFILE_MEM,
+            ChaosProfile::Iommu => cfg.iommu = PROFILE_IOMMU,
+            ChaosProfile::All => {
+                cfg.net = PROFILE_NET;
+                cfg.interrupt = PROFILE_IRQ;
+                cfg.npf = PROFILE_NPF;
+                cfg.memory = PROFILE_MEM;
+                cfg.iommu = PROFILE_IOMMU;
+            }
+        }
+        cfg
+    }
+}
+
+const PROFILE_NET: NetChaos = NetChaos {
+    drop: 0.02,
+    corrupt: 0.01,
+    duplicate: 0.02,
+    reorder: 0.05,
+    jitter: SimDuration::from_micros(30),
+};
+
+const PROFILE_IRQ: InterruptChaos = InterruptChaos {
+    lose: 0.05,
+    delay: 0.20,
+    max_delay: SimDuration::from_micros(50),
+    watchdog: SimDuration::from_micros(500),
+};
+
+const PROFILE_NPF: NpfChaos = NpfChaos {
+    delay: 0.30,
+    max_extra: SimDuration::from_micros(20),
+    transient: 0.10,
+    max_retries: 3,
+    retry_delay: SimDuration::from_micros(10),
+};
+
+// Per 50 us tick: ~400 bursts and ~100 storms per simulated second.
+// Hot enough that working-set pages get evicted mid-transfer, low
+// enough that a fault resolution (even a swap-in) can win the race
+// against the next eviction and the transport makes progress.
+const PROFILE_MEM: MemChaos = MemChaos {
+    burst: 0.02,
+    burst_pages: 16,
+    storm: 0.005,
+    storm_pages: 64,
+};
+
+const PROFILE_IOMMU: IommuChaos = IommuChaos { shootdown: 0.20 };
+
+/// Named per-class fault profiles, one per injection layer plus the
+/// union.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosProfile {
+    /// Packet drop/corrupt/duplicate/reorder.
+    Network,
+    /// Lost and delayed interrupts.
+    Interrupts,
+    /// NPF resolution delay / transient failure / retry.
+    Npf,
+    /// Memory-pressure bursts and eviction storms.
+    Memory,
+    /// IOTLB shootdown races.
+    Iommu,
+    /// All of the above at once.
+    All,
+}
+
+impl ChaosProfile {
+    /// Every profile, in a stable order (sweep tests iterate this).
+    pub const ALL: [ChaosProfile; 6] = [
+        ChaosProfile::Network,
+        ChaosProfile::Interrupts,
+        ChaosProfile::Npf,
+        ChaosProfile::Memory,
+        ChaosProfile::Iommu,
+        ChaosProfile::All,
+    ];
+
+    /// Parses a profile name (as passed to `--chaos-profile`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<ChaosProfile> {
+        match name {
+            "network" | "net" => Some(ChaosProfile::Network),
+            "interrupts" | "irq" => Some(ChaosProfile::Interrupts),
+            "npf" => Some(ChaosProfile::Npf),
+            "memory" | "mem" => Some(ChaosProfile::Memory),
+            "iommu" => Some(ChaosProfile::Iommu),
+            "all" => Some(ChaosProfile::All),
+            _ => None,
+        }
+    }
+
+    /// The canonical name of the profile.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosProfile::Network => "network",
+            ChaosProfile::Interrupts => "interrupts",
+            ChaosProfile::Npf => "npf",
+            ChaosProfile::Memory => "memory",
+            ChaosProfile::Iommu => "iommu",
+            ChaosProfile::All => "all",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault plans (the typed per-class decisions)
+// ---------------------------------------------------------------------
+
+/// Fate of one packet crossing the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Delivered normally.
+    Deliver,
+    /// Silently dropped.
+    Drop,
+    /// Delivered but corrupted; the receiver's CRC check discards it.
+    Corrupt,
+    /// Delivered, plus a duplicate copy `extra` later.
+    Duplicate {
+        /// Lateness of the duplicate copy.
+        extra: SimDuration,
+    },
+    /// Delivered `extra` late, reordering it behind later packets.
+    Reorder {
+        /// Added delay.
+        extra: SimDuration,
+    },
+}
+
+/// Fate of one fired interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptFate {
+    /// Delivered on time.
+    Deliver,
+    /// Lost; the watchdog redelivers it `redeliver_after` later.
+    Lose {
+        /// Watchdog redelivery timeout.
+        redeliver_after: SimDuration,
+    },
+    /// Delivered `extra` late.
+    Delay {
+        /// Added delay.
+        extra: SimDuration,
+    },
+}
+
+/// Fate of one NPF resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NpfFate {
+    /// Resolved at the cost model's pace.
+    Normal,
+    /// Resolution runs `extra` slower.
+    Delay {
+        /// Added resolution latency.
+        extra: SimDuration,
+    },
+    /// The first `retries` attempts fail transiently; each adds
+    /// `retry_delay` before the resolution finally lands.
+    Transient {
+        /// Failed attempts before success.
+        retries: u32,
+        /// Latency added per failed attempt.
+        retry_delay: SimDuration,
+    },
+}
+
+/// Memory pressure applied at one chaos tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryFate {
+    /// No pressure this tick.
+    Calm,
+    /// Reclaim `pages` pages (a cgroup neighbor ballooning).
+    PressureBurst {
+        /// Pages to reclaim.
+        pages: u64,
+    },
+    /// Reclaim `pages` pages (kswapd panicking).
+    EvictionStorm {
+        /// Pages to reclaim.
+        pages: u64,
+    },
+}
+
+/// IOTLB perturbation applied at one chaos tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IommuFate {
+    /// No shootdown this tick.
+    None,
+    /// Flush the whole IOTLB, racing in-flight resolutions.
+    ShootdownAll,
+}
+
+/// A typed fault decision, one variant per injection class. Each is
+/// derived from that class's private [`SimRng`] stream, so a seed
+/// replays the exact same fault schedule regardless of how classes
+/// interleave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Packet-level decision.
+    Packet(PacketFate),
+    /// Interrupt-level decision.
+    Interrupt(InterruptFate),
+    /// NPF-resolution decision.
+    Npf(NpfFate),
+    /// Memory-pressure decision.
+    Memory(MemoryFate),
+    /// IOTLB decision.
+    Iommu(IommuFate),
+}
+
+// ---------------------------------------------------------------------
+// The injector
+// ---------------------------------------------------------------------
+
+/// The seeded fault injector. One per testbed (forked per component
+/// where a component draws concurrently — see [`ChaosEngine::fork`]).
+#[derive(Debug)]
+pub struct ChaosEngine {
+    cfg: ChaosConfig,
+    net_rng: SimRng,
+    irq_rng: SimRng,
+    npf_rng: SimRng,
+    mem_rng: SimRng,
+    iommu_rng: SimRng,
+    counters: Counters,
+}
+
+impl ChaosEngine {
+    /// Builds an engine from `cfg`, forking one stream per fault class
+    /// from `SimRng::new(cfg.seed)`.
+    #[must_use]
+    pub fn new(cfg: ChaosConfig) -> Self {
+        let mut root = SimRng::new(cfg.seed);
+        ChaosEngine {
+            cfg,
+            net_rng: root.fork(1),
+            irq_rng: root.fork(2),
+            npf_rng: root.fork(3),
+            mem_rng: root.fork(4),
+            iommu_rng: root.fork(5),
+            counters: Counters::new(),
+        }
+    }
+
+    /// Derives an independent engine (same config, child streams) for a
+    /// component that must not interleave draws with its parent.
+    #[must_use]
+    pub fn fork(&mut self, label: u64) -> ChaosEngine {
+        let mut cfg = self.cfg;
+        cfg.seed = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(label);
+        ChaosEngine::new(cfg)
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// `true` when at least one fault class can fire.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled()
+    }
+
+    /// Counts of injected faults per class: `net_drop`, `net_corrupt`,
+    /// `net_duplicate`, `net_reorder`, `irq_lost`, `irq_delayed`,
+    /// `npf_delay`, `npf_transient`, `mem_burst`, `mem_storm`,
+    /// `iommu_shootdown`.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Total faults injected across all classes.
+    #[must_use]
+    pub fn total_injected(&self) -> u64 {
+        self.counters.iter().map(|(_, v)| v).sum()
+    }
+
+    fn jitter(rng: &mut SimRng, max: SimDuration) -> SimDuration {
+        if max.is_zero() {
+            return SimDuration::from_nanos(1);
+        }
+        SimDuration::from_nanos(1 + rng.below(max.as_nanos().max(1)))
+    }
+
+    /// Draws the fate of one packet.
+    pub fn packet_fate(&mut self) -> PacketFate {
+        let c = self.cfg.net;
+        if !c.active() {
+            return PacketFate::Deliver;
+        }
+        let r = self.net_rng.unit();
+        let fate = if r < c.drop {
+            self.counters.bump("net_drop");
+            PacketFate::Drop
+        } else if r < c.drop + c.corrupt {
+            self.counters.bump("net_corrupt");
+            PacketFate::Corrupt
+        } else if r < c.drop + c.corrupt + c.duplicate {
+            self.counters.bump("net_duplicate");
+            PacketFate::Duplicate {
+                extra: Self::jitter(&mut self.net_rng, c.jitter),
+            }
+        } else if r < c.drop + c.corrupt + c.duplicate + c.reorder {
+            self.counters.bump("net_reorder");
+            PacketFate::Reorder {
+                extra: Self::jitter(&mut self.net_rng, c.jitter),
+            }
+        } else {
+            return PacketFate::Deliver;
+        };
+        self.trace_injection("packet", &FaultPlan::Packet(fate));
+        fate
+    }
+
+    /// Draws the fate of one fired interrupt.
+    pub fn interrupt_fate(&mut self) -> InterruptFate {
+        let c = self.cfg.interrupt;
+        if !c.active() {
+            return InterruptFate::Deliver;
+        }
+        let r = self.irq_rng.unit();
+        let fate = if r < c.lose {
+            self.counters.bump("irq_lost");
+            InterruptFate::Lose {
+                redeliver_after: c.watchdog.max(SimDuration::from_micros(1)),
+            }
+        } else if r < c.lose + c.delay {
+            self.counters.bump("irq_delayed");
+            InterruptFate::Delay {
+                extra: Self::jitter(&mut self.irq_rng, c.max_delay),
+            }
+        } else {
+            return InterruptFate::Deliver;
+        };
+        self.trace_injection("interrupt", &FaultPlan::Interrupt(fate));
+        fate
+    }
+
+    /// Draws the fate of one NPF resolution.
+    pub fn npf_fate(&mut self) -> NpfFate {
+        let c = self.cfg.npf;
+        if !c.active() {
+            return NpfFate::Normal;
+        }
+        let r = self.npf_rng.unit();
+        let fate = if r < c.transient {
+            self.counters.bump("npf_transient");
+            let retries = 1 + self.npf_rng.below(u64::from(c.max_retries.max(1))) as u32;
+            NpfFate::Transient {
+                retries,
+                retry_delay: c.retry_delay.max(SimDuration::from_micros(1)),
+            }
+        } else if r < c.transient + c.delay {
+            self.counters.bump("npf_delay");
+            NpfFate::Delay {
+                extra: Self::jitter(&mut self.npf_rng, c.max_extra),
+            }
+        } else {
+            return NpfFate::Normal;
+        };
+        self.trace_injection("npf", &FaultPlan::Npf(fate));
+        fate
+    }
+
+    /// Draws the memory-pressure decision for one chaos tick.
+    pub fn memory_fate(&mut self) -> MemoryFate {
+        let c = self.cfg.memory;
+        if !c.active() {
+            return MemoryFate::Calm;
+        }
+        let r = self.mem_rng.unit();
+        let fate = if r < c.storm {
+            self.counters.bump("mem_storm");
+            MemoryFate::EvictionStorm {
+                pages: c.storm_pages,
+            }
+        } else if r < c.storm + c.burst {
+            self.counters.bump("mem_burst");
+            MemoryFate::PressureBurst {
+                pages: c.burst_pages,
+            }
+        } else {
+            return MemoryFate::Calm;
+        };
+        self.trace_injection("memory", &FaultPlan::Memory(fate));
+        fate
+    }
+
+    /// Draws the IOTLB decision for one chaos tick.
+    pub fn iommu_fate(&mut self) -> IommuFate {
+        let c = self.cfg.iommu;
+        if !c.active() {
+            return IommuFate::None;
+        }
+        if self.iommu_rng.chance(c.shootdown) {
+            self.counters.bump("iommu_shootdown");
+            let fate = IommuFate::ShootdownAll;
+            self.trace_injection("iommu", &FaultPlan::Iommu(fate));
+            return fate;
+        }
+        IommuFate::None
+    }
+
+    fn trace_injection(&self, class: &'static str, plan: &FaultPlan) {
+        if trace::enabled() {
+            trace::instant_now(
+                "chaos",
+                "inject",
+                vec![
+                    ("class", trace::ArgValue::Str(class.to_owned())),
+                    ("plan", trace::ArgValue::Str(format!("{plan:?}"))),
+                ],
+            );
+            trace::metrics(|m| m.counter_add("chaos.injected", 1));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The invariant checker
+// ---------------------------------------------------------------------
+
+/// One invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Name of the violated invariant.
+    pub invariant: &'static str,
+    /// Sim time of the last `note_event_time` before the violation.
+    pub at: Option<SimTime>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.at {
+            Some(t) => write!(f, "[{t}] {}: {}", self.invariant, self.detail),
+            None => write!(f, "{}: {}", self.invariant, self.detail),
+        }
+    }
+}
+
+/// Cross-crate invariant state, fed by `note_*` observations from every
+/// layer and evaluated incrementally plus at each event-dispatch
+/// [`InvariantChecker::checkpoint`].
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    seed: u64,
+    last_time: Option<SimTime>,
+    /// Outstanding NPFs: fault id → time raised.
+    pending_faults: HashMap<u64, SimTime>,
+    resolved_faults: u64,
+    aborted_faults: u64,
+    /// Next expected message sequence per RC stream key.
+    qp_next_seq: HashMap<u64, u64>,
+    /// Live IOMMU mappings: (domain, vpn) → frame.
+    mapping: HashMap<(u64, u64), u64>,
+    /// Live mapping count per frame.
+    frame_mapcount: HashMap<u64, u64>,
+    /// Frames currently free (freed and not yet re-allocated).
+    free_frames: std::collections::HashSet<u64>,
+    /// Frames freed since the last checkpoint (deferred sweep: the
+    /// invalidation that unmaps them runs within the same dispatch).
+    pending_freed: Vec<u64>,
+    /// Backup ring capacity per ring key.
+    backup_capacity: HashMap<u64, u64>,
+    /// Backup ring depth per ring key.
+    backup_depth: HashMap<u64, u64>,
+    /// Backup packets accounted: stored + dropped must equal offered.
+    backup_offered: u64,
+    backup_accounted: u64,
+    violations: Vec<Violation>,
+    checks: u64,
+    trace_dumped: bool,
+}
+
+impl InvariantChecker {
+    /// A fresh checker reporting `seed` in violation messages.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        InvariantChecker {
+            seed,
+            ..InvariantChecker::default()
+        }
+    }
+
+    /// The seed the checker reports on violation.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Violations recorded so far.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Observations processed (a liveness sanity check for tests).
+    #[must_use]
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// NPFs raised and not yet resolved or aborted.
+    #[must_use]
+    pub fn outstanding_faults(&self) -> usize {
+        self.pending_faults.len()
+    }
+
+    /// NPFs resolved so far.
+    #[must_use]
+    pub fn resolved_faults(&self) -> u64 {
+        self.resolved_faults
+    }
+
+    /// Messages delivered across all RC streams.
+    #[must_use]
+    pub fn messages_delivered(&self) -> u64 {
+        self.qp_next_seq.values().sum()
+    }
+
+    fn violate(&mut self, invariant: &'static str, detail: String) {
+        let v = Violation {
+            invariant,
+            at: self.last_time,
+            detail,
+        };
+        eprintln!("chaos invariant violated (seed {}): {v}", self.seed);
+        self.dump_trace_ring(invariant);
+        self.violations.push(v);
+    }
+
+    /// On the first violation, dump the trace ring (when a recorder is
+    /// installed) so the failing seed can be diagnosed offline.
+    fn dump_trace_ring(&mut self, invariant: &'static str) {
+        if self.trace_dumped || !trace::enabled() {
+            return;
+        }
+        self.trace_dumped = true;
+        let seed = self.seed;
+        trace::with(|rec| {
+            let all: Vec<String> = rec.records().map(|r| format!("{r:?}")).collect();
+            let tail: Vec<&String> = all.iter().rev().take(32).collect();
+            eprintln!("--- trace ring tail (newest first, seed {seed}) ---");
+            for line in &tail {
+                eprintln!("  {line}");
+            }
+            let path = std::env::temp_dir()
+                .join(format!("chaos-violation-seed{seed}-{invariant}.trace.json"));
+            match std::fs::write(&path, rec.export_chrome_json()) {
+                Ok(()) => eprintln!("full trace ring written to {}", path.display()),
+                Err(e) => eprintln!("failed to write trace ring: {e}"),
+            }
+        });
+    }
+
+    // -- observations --------------------------------------------------
+
+    /// A fresh simulation timeline begins (a testbed was constructed):
+    /// its clock restarts at zero, so monotonicity must not compare
+    /// against the previous testbed's final time. Experiment binaries
+    /// build many testbeds under one process-global checker.
+    pub fn note_timeline_reset(&mut self) {
+        self.checks += 1;
+        self.last_time = None;
+    }
+
+    /// Sim-time monotonicity: dispatch times never run backwards.
+    pub fn note_event_time(&mut self, now: SimTime) {
+        self.checks += 1;
+        if let Some(last) = self.last_time {
+            if now < last {
+                self.violate(
+                    "time-monotonicity",
+                    format!("event dispatched at {now} after {last}"),
+                );
+            }
+        }
+        self.last_time = Some(now);
+    }
+
+    /// An NPF was raised.
+    pub fn note_fault_begun(&mut self, id: u64, now: SimTime) {
+        self.checks += 1;
+        if self.pending_faults.insert(id, now).is_some() {
+            self.violate("npf-unique-ids", format!("fault id {id} raised twice"));
+        }
+    }
+
+    /// An NPF completed resolution.
+    pub fn note_fault_resolved(&mut self, id: u64) {
+        self.checks += 1;
+        if self.pending_faults.remove(&id).is_none() {
+            self.violate(
+                "npf-resolution",
+                format!("fault id {id} resolved but never raised"),
+            );
+        } else {
+            self.resolved_faults += 1;
+        }
+    }
+
+    /// An NPF was abandoned (channel teardown).
+    pub fn note_fault_aborted(&mut self, id: u64) {
+        self.checks += 1;
+        if self.pending_faults.remove(&id).is_none() {
+            self.violate(
+                "npf-resolution",
+                format!("fault id {id} aborted but never raised"),
+            );
+        } else {
+            self.aborted_faults += 1;
+        }
+    }
+
+    /// A full RC message was delivered to stream `stream` (a key unique
+    /// per QP direction). `seq` is the transport's running message
+    /// count *after* delivery, so exactly-once in-order delivery means
+    /// each call observes `seq == previous + 1`.
+    pub fn note_qp_message(&mut self, stream: u64, seq: u64) {
+        self.checks += 1;
+        let prev = self.qp_next_seq.get(&stream).copied().unwrap_or(0);
+        if seq != prev + 1 {
+            let expected = prev + 1;
+            self.violate(
+                "rc-exactly-once",
+                format!("stream {stream:#x}: delivered message {seq}, expected {expected}"),
+            );
+        }
+        self.qp_next_seq.insert(stream, seq.max(prev));
+    }
+
+    /// The frame allocator handed out `frame`.
+    pub fn note_frame_allocated(&mut self, frame: u64) {
+        self.checks += 1;
+        self.free_frames.remove(&frame);
+    }
+
+    /// The frame allocator reclaimed `frame`.
+    pub fn note_frame_freed(&mut self, frame: u64) {
+        self.checks += 1;
+        if !self.free_frames.insert(frame) {
+            self.violate("frame-books", format!("frame {frame} freed twice"));
+        }
+        if self.frame_mapcount.get(&frame).copied().unwrap_or(0) > 0 {
+            // The unmap runs later in the same dispatch (invalidation
+            // flow); sweep at the next checkpoint.
+            self.pending_freed.push(frame);
+        }
+    }
+
+    /// The IOMMU installed a PTE.
+    pub fn note_frame_mapped(&mut self, domain: u64, vpn: u64, frame: u64) {
+        self.checks += 1;
+        if self.free_frames.contains(&frame) {
+            self.violate(
+                "no-freed-frame-mapped",
+                format!("domain {domain} vpn {vpn:#x} mapped to freed frame {frame}"),
+            );
+        }
+        if let Some(old) = self.mapping.insert((domain, vpn), frame) {
+            if let Some(c) = self.frame_mapcount.get_mut(&old) {
+                *c = c.saturating_sub(1);
+            }
+        }
+        *self.frame_mapcount.entry(frame).or_insert(0) += 1;
+    }
+
+    /// The IOMMU removed a PTE (no-op when the page was not mapped).
+    pub fn note_frame_unmapped(&mut self, domain: u64, vpn: u64) {
+        self.checks += 1;
+        if let Some(frame) = self.mapping.remove(&(domain, vpn)) {
+            if let Some(c) = self.frame_mapcount.get_mut(&frame) {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+
+    /// A whole IOMMU domain was destroyed.
+    pub fn note_domain_destroyed(&mut self, domain: u64) {
+        self.checks += 1;
+        let victims: Vec<(u64, u64)> = self
+            .mapping
+            .keys()
+            .filter(|(d, _)| *d == domain)
+            .copied()
+            .collect();
+        for key in victims {
+            if let Some(frame) = self.mapping.remove(&key) {
+                if let Some(c) = self.frame_mapcount.get_mut(&frame) {
+                    *c = c.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// A backup ring of capacity `cap` exists under key `ring`.
+    pub fn note_backup_capacity(&mut self, ring: u64, cap: u64) {
+        self.checks += 1;
+        self.backup_capacity.insert(ring, cap);
+        self.backup_depth.entry(ring).or_insert(0);
+    }
+
+    /// A faulting packet was offered to the backup path (stored or
+    /// dropped — never silently vanished).
+    pub fn note_backup_offered(&mut self) {
+        self.checks += 1;
+        self.backup_offered += 1;
+    }
+
+    /// A packet was stored in the backup ring.
+    pub fn note_backup_stored(&mut self, ring: u64) {
+        self.checks += 1;
+        self.backup_accounted += 1;
+        let depth = self.backup_depth.entry(ring).or_insert(0);
+        *depth += 1;
+        if let Some(&cap) = self.backup_capacity.get(&ring) {
+            if *depth > cap {
+                let depth = *depth;
+                self.violate(
+                    "backup-no-silent-overflow",
+                    format!("backup ring {ring} depth {depth} exceeds capacity {cap}"),
+                );
+            }
+        }
+    }
+
+    /// A packet was drained from the backup ring.
+    pub fn note_backup_drained(&mut self, ring: u64) {
+        self.checks += 1;
+        let depth = self.backup_depth.entry(ring).or_insert(0);
+        if *depth == 0 {
+            self.violate(
+                "backup-no-silent-overflow",
+                format!("backup ring {ring} drained while empty"),
+            );
+        } else {
+            *depth -= 1;
+        }
+    }
+
+    /// A faulting packet was dropped *with accounting* (overflow or
+    /// budget exhaustion bumped a counter).
+    pub fn note_backup_dropped(&mut self) {
+        self.checks += 1;
+        self.backup_accounted += 1;
+    }
+
+    /// Deferred predicates, evaluated at event-dispatch boundaries.
+    pub fn checkpoint(&mut self, now: SimTime) {
+        self.note_event_time(now);
+        if !self.pending_freed.is_empty() {
+            let pending = std::mem::take(&mut self.pending_freed);
+            for frame in pending {
+                // Re-allocated frames were legitimately recycled.
+                if !self.free_frames.contains(&frame) {
+                    continue;
+                }
+                if self.frame_mapcount.get(&frame).copied().unwrap_or(0) > 0 {
+                    let stale: Vec<String> = self
+                        .mapping
+                        .iter()
+                        .filter(|(_, &f)| f == frame)
+                        .map(|((d, v), _)| format!("domain {d} vpn {v:#x}"))
+                        .collect();
+                    self.violate(
+                        "no-freed-frame-mapped",
+                        format!("freed frame {frame} still mapped by {}", stale.join(", ")),
+                    );
+                }
+            }
+        }
+        if self.backup_accounted != self.backup_offered {
+            let (offered, accounted) = (self.backup_offered, self.backup_accounted);
+            self.violate(
+                "backup-no-silent-overflow",
+                format!("{offered} packets offered to backup path, {accounted} accounted"),
+            );
+            self.backup_accounted = self.backup_offered;
+        }
+    }
+
+    /// End-of-run predicate: every raised NPF was resolved or aborted.
+    /// Call after the testbed quiesces; returns all violations.
+    pub fn finish(&mut self) -> &[Violation] {
+        if !self.pending_faults.is_empty() {
+            let mut ids: Vec<u64> = self.pending_faults.keys().copied().collect();
+            ids.sort_unstable();
+            self.violate(
+                "npf-resolution",
+                format!("{} NPFs never resolved or aborted: {ids:?}", ids.len()),
+            );
+            self.pending_faults.clear();
+        }
+        &self.violations
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-local installation (same pattern as simcore::trace)
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static CHECKER: RefCell<Option<InvariantChecker>> = const { RefCell::new(None) };
+    static CHECKING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Free-function observation API. Every call is one thread-local branch
+/// when no checker is installed — cheap enough to leave always-on in
+/// production code paths.
+pub mod invariant {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::{InvariantChecker, SimTime, CHECKER, CHECKING};
+
+    /// Source of unique namespaces for frame/domain note keys. Every
+    /// independent resource pool (one per NPF engine: its frame
+    /// allocator and its IOMMU) salts its identifiers with one of
+    /// these so a multi-node simulation never aliases node 0's frame 0
+    /// with node 1's frame 0 inside one checker.
+    static NAMESPACES: AtomicU64 = AtomicU64::new(1);
+
+    /// Allocates a fresh note-key namespace.
+    #[must_use]
+    pub fn fresh_namespace() -> u64 {
+        NAMESPACES.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Installs `checker` for the current thread, returning the
+    /// previous one.
+    pub fn install(checker: InvariantChecker) -> Option<InvariantChecker> {
+        CHECKING.with(|c| c.set(true));
+        CHECKER.with(|slot| slot.borrow_mut().replace(checker))
+    }
+
+    /// Removes and returns the current thread's checker.
+    pub fn uninstall() -> Option<InvariantChecker> {
+        CHECKING.with(|c| c.set(false));
+        CHECKER.with(|slot| slot.borrow_mut().take())
+    }
+
+    /// `true` when a checker is installed (the one branch paid per
+    /// site when checking is off).
+    #[inline]
+    #[must_use]
+    pub fn enabled() -> bool {
+        CHECKING.with(std::cell::Cell::get)
+    }
+
+    /// Runs `f` against the installed checker, if any.
+    pub fn with<R>(f: impl FnOnce(&mut InvariantChecker) -> R) -> Option<R> {
+        if !enabled() {
+            return None;
+        }
+        CHECKER.with(|slot| slot.borrow_mut().as_mut().map(f))
+    }
+
+    /// See [`InvariantChecker::note_timeline_reset`].
+    #[inline]
+    pub fn note_timeline_reset() {
+        if enabled() {
+            with(InvariantChecker::note_timeline_reset);
+        }
+    }
+
+    /// See [`InvariantChecker::note_event_time`].
+    #[inline]
+    pub fn note_event_time(now: SimTime) {
+        if enabled() {
+            with(|c| c.note_event_time(now));
+        }
+    }
+
+    /// See [`InvariantChecker::checkpoint`].
+    #[inline]
+    pub fn checkpoint(now: SimTime) {
+        if enabled() {
+            with(|c| c.checkpoint(now));
+        }
+    }
+
+    /// See [`InvariantChecker::note_fault_begun`].
+    #[inline]
+    pub fn note_fault_begun(id: u64, now: SimTime) {
+        if enabled() {
+            with(|c| c.note_fault_begun(id, now));
+        }
+    }
+
+    /// See [`InvariantChecker::note_fault_resolved`].
+    #[inline]
+    pub fn note_fault_resolved(id: u64) {
+        if enabled() {
+            with(|c| c.note_fault_resolved(id));
+        }
+    }
+
+    /// See [`InvariantChecker::note_fault_aborted`].
+    #[inline]
+    pub fn note_fault_aborted(id: u64) {
+        if enabled() {
+            with(|c| c.note_fault_aborted(id));
+        }
+    }
+
+    /// See [`InvariantChecker::note_qp_message`].
+    #[inline]
+    pub fn note_qp_message(stream: u64, seq: u64) {
+        if enabled() {
+            with(|c| c.note_qp_message(stream, seq));
+        }
+    }
+
+    /// See [`InvariantChecker::note_frame_allocated`].
+    #[inline]
+    pub fn note_frame_allocated(frame: u64) {
+        if enabled() {
+            with(|c| c.note_frame_allocated(frame));
+        }
+    }
+
+    /// See [`InvariantChecker::note_frame_freed`].
+    #[inline]
+    pub fn note_frame_freed(frame: u64) {
+        if enabled() {
+            with(|c| c.note_frame_freed(frame));
+        }
+    }
+
+    /// See [`InvariantChecker::note_frame_mapped`].
+    #[inline]
+    pub fn note_frame_mapped(domain: u64, vpn: u64, frame: u64) {
+        if enabled() {
+            with(|c| c.note_frame_mapped(domain, vpn, frame));
+        }
+    }
+
+    /// See [`InvariantChecker::note_frame_unmapped`].
+    #[inline]
+    pub fn note_frame_unmapped(domain: u64, vpn: u64) {
+        if enabled() {
+            with(|c| c.note_frame_unmapped(domain, vpn));
+        }
+    }
+
+    /// See [`InvariantChecker::note_domain_destroyed`].
+    #[inline]
+    pub fn note_domain_destroyed(domain: u64) {
+        if enabled() {
+            with(|c| c.note_domain_destroyed(domain));
+        }
+    }
+
+    /// See [`InvariantChecker::note_backup_capacity`].
+    #[inline]
+    pub fn note_backup_capacity(ring: u64, cap: u64) {
+        if enabled() {
+            with(|c| c.note_backup_capacity(ring, cap));
+        }
+    }
+
+    /// See [`InvariantChecker::note_backup_offered`].
+    #[inline]
+    pub fn note_backup_offered() {
+        if enabled() {
+            with(|c| c.note_backup_offered());
+        }
+    }
+
+    /// See [`InvariantChecker::note_backup_stored`].
+    #[inline]
+    pub fn note_backup_stored(ring: u64) {
+        if enabled() {
+            with(|c| c.note_backup_stored(ring));
+        }
+    }
+
+    /// See [`InvariantChecker::note_backup_drained`].
+    #[inline]
+    pub fn note_backup_drained(ring: u64) {
+        if enabled() {
+            with(|c| c.note_backup_drained(ring));
+        }
+    }
+
+    /// See [`InvariantChecker::note_backup_dropped`].
+    #[inline]
+    pub fn note_backup_dropped() {
+        if enabled() {
+            with(|c| c.note_backup_dropped());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scoped install/uninstall so a panicking test doesn't leak a
+    /// checker into the thread's next test.
+    struct Installed;
+
+    impl Installed {
+        fn new(seed: u64) -> Installed {
+            invariant::install(InvariantChecker::new(seed));
+            Installed
+        }
+
+        fn finish(self) -> InvariantChecker {
+            let mut c = invariant::uninstall().expect("installed");
+            c.finish();
+            c
+        }
+    }
+
+    impl Drop for Installed {
+        fn drop(&mut self) {
+            invariant::uninstall();
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let cfg = ChaosConfig::profile(ChaosProfile::All, 42);
+        let mut a = ChaosEngine::new(cfg);
+        let mut b = ChaosEngine::new(cfg);
+        for _ in 0..500 {
+            assert_eq!(a.packet_fate(), b.packet_fate());
+            assert_eq!(a.interrupt_fate(), b.interrupt_fate());
+            assert_eq!(a.npf_fate(), b.npf_fate());
+            assert_eq!(a.memory_fate(), b.memory_fate());
+            assert_eq!(a.iommu_fate(), b.iommu_fate());
+        }
+        assert!(a.total_injected() > 0, "profile must actually inject");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaosEngine::new(ChaosConfig::profile(ChaosProfile::Network, 1));
+        let mut b = ChaosEngine::new(ChaosConfig::profile(ChaosProfile::Network, 2));
+        let fa: Vec<PacketFate> = (0..200).map(|_| a.packet_fate()).collect();
+        let fb: Vec<PacketFate> = (0..200).map(|_| b.packet_fate()).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn disabled_config_never_injects() {
+        let mut e = ChaosEngine::new(ChaosConfig::disabled());
+        for _ in 0..100 {
+            assert_eq!(e.packet_fate(), PacketFate::Deliver);
+            assert_eq!(e.interrupt_fate(), InterruptFate::Deliver);
+            assert_eq!(e.npf_fate(), NpfFate::Normal);
+            assert_eq!(e.memory_fate(), MemoryFate::Calm);
+            assert_eq!(e.iommu_fate(), IommuFate::None);
+        }
+        assert_eq!(e.total_injected(), 0);
+        assert!(!e.enabled());
+    }
+
+    #[test]
+    fn every_profile_covers_its_class() {
+        for (profile, counter) in [
+            (ChaosProfile::Network, "net_drop"),
+            (ChaosProfile::Interrupts, "irq_delayed"),
+            (ChaosProfile::Npf, "npf_delay"),
+            (ChaosProfile::Memory, "mem_burst"),
+            (ChaosProfile::Iommu, "iommu_shootdown"),
+        ] {
+            let mut e = ChaosEngine::new(ChaosConfig::profile(profile, 7));
+            for _ in 0..2000 {
+                e.packet_fate();
+                e.interrupt_fate();
+                e.npf_fate();
+                e.memory_fate();
+                e.iommu_fate();
+            }
+            assert!(
+                e.counters().get(counter) > 0,
+                "profile {} never fired {counter}",
+                profile.name()
+            );
+        }
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in ChaosProfile::ALL {
+            assert_eq!(ChaosProfile::from_name(p.name()), Some(p));
+        }
+        assert_eq!(ChaosProfile::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn time_monotonicity_violation_detected() {
+        let guard = Installed::new(9);
+        invariant::note_event_time(SimTime::from_micros(10));
+        invariant::note_event_time(SimTime::from_micros(5));
+        let c = guard.finish();
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].invariant, "time-monotonicity");
+    }
+
+    #[test]
+    fn timeline_reset_forgives_a_clock_restart() {
+        // Experiment binaries build testbeds back to back; each new bed
+        // restarts sim time at zero. A reset between them must not trip
+        // the monotonicity predicate, but going backwards *within* a
+        // timeline still must.
+        let guard = Installed::new(9);
+        invariant::note_event_time(SimTime::from_micros(400));
+        invariant::note_timeline_reset();
+        invariant::note_event_time(SimTime::from_micros(3));
+        invariant::note_event_time(SimTime::from_micros(1));
+        let c = guard.finish();
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].invariant, "time-monotonicity");
+        assert!(c.violations()[0].detail.contains("1"));
+    }
+
+    #[test]
+    fn unresolved_fault_reported_at_finish() {
+        let guard = Installed::new(9);
+        invariant::note_fault_begun(1, SimTime::from_micros(1));
+        invariant::note_fault_begun(2, SimTime::from_micros(2));
+        invariant::note_fault_resolved(1);
+        let c = guard.finish();
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].invariant, "npf-resolution");
+        assert!(c.violations()[0].detail.contains("[2]"));
+    }
+
+    #[test]
+    fn out_of_order_delivery_detected() {
+        let guard = Installed::new(9);
+        invariant::note_qp_message(1, 1);
+        invariant::note_qp_message(1, 2);
+        invariant::note_qp_message(1, 2); // duplicate delivery
+        invariant::note_qp_message(2, 1); // independent stream is fine
+        let c = guard.finish();
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].invariant, "rc-exactly-once");
+    }
+
+    #[test]
+    fn freed_frame_mapping_detected_at_checkpoint() {
+        let guard = Installed::new(9);
+        invariant::note_frame_allocated(7);
+        invariant::note_frame_mapped(0, 0x10, 7);
+        invariant::note_frame_freed(7);
+        // The unmap never happens: next checkpoint must flag it.
+        invariant::checkpoint(SimTime::from_micros(1));
+        let c = guard.finish();
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].invariant, "no-freed-frame-mapped");
+    }
+
+    #[test]
+    fn freed_then_unmapped_frame_is_clean() {
+        let guard = Installed::new(9);
+        invariant::note_frame_allocated(7);
+        invariant::note_frame_mapped(0, 0x10, 7);
+        invariant::note_frame_freed(7);
+        invariant::note_frame_unmapped(0, 0x10); // invalidation flow ran
+        invariant::checkpoint(SimTime::from_micros(1));
+        let c = guard.finish();
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    #[test]
+    fn mapping_a_free_frame_detected_immediately() {
+        let guard = Installed::new(9);
+        invariant::note_frame_allocated(3);
+        invariant::note_frame_freed(3);
+        invariant::note_frame_mapped(0, 0x20, 3);
+        let c = guard.finish();
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].invariant, "no-freed-frame-mapped");
+    }
+
+    #[test]
+    fn backup_depth_bounded_by_capacity() {
+        let guard = Installed::new(9);
+        invariant::note_backup_capacity(0, 2);
+        invariant::note_backup_offered();
+        invariant::note_backup_stored(0);
+        invariant::note_backup_offered();
+        invariant::note_backup_stored(0);
+        invariant::note_backup_offered();
+        invariant::note_backup_stored(0); // over capacity
+        let c = guard.finish();
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].invariant, "backup-no-silent-overflow");
+    }
+
+    #[test]
+    fn silent_backup_drop_detected() {
+        let guard = Installed::new(9);
+        invariant::note_backup_capacity(0, 8);
+        invariant::note_backup_offered();
+        // Neither stored nor dropped-with-accounting.
+        invariant::checkpoint(SimTime::from_micros(1));
+        let c = guard.finish();
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].invariant, "backup-no-silent-overflow");
+    }
+
+    #[test]
+    fn accounted_backup_flow_is_clean() {
+        let guard = Installed::new(9);
+        invariant::note_backup_capacity(0, 1);
+        invariant::note_backup_offered();
+        invariant::note_backup_stored(0);
+        invariant::note_backup_offered();
+        invariant::note_backup_dropped(); // overflow, but counted
+        invariant::note_backup_drained(0);
+        invariant::checkpoint(SimTime::from_micros(1));
+        let c = guard.finish();
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    #[test]
+    fn notes_are_noops_without_checker() {
+        assert!(!invariant::enabled());
+        invariant::note_event_time(SimTime::from_micros(1));
+        invariant::note_qp_message(0, 99);
+        invariant::note_frame_freed(1);
+        invariant::checkpoint(SimTime::from_micros(2));
+        assert!(invariant::uninstall().is_none());
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = ChaosEngine::new(ChaosConfig::profile(ChaosProfile::Network, 3));
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        let fa: Vec<PacketFate> = (0..100).map(|_| a.packet_fate()).collect();
+        let fb: Vec<PacketFate> = (0..100).map(|_| b.packet_fate()).collect();
+        assert_ne!(fa, fb);
+    }
+}

@@ -33,6 +33,7 @@
 //! assert_eq!(t, SimTime::from_micros(5));
 //! ```
 
+pub mod chaos;
 pub mod event;
 pub mod rng;
 pub mod stats;
@@ -40,6 +41,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
+pub use chaos::{ChaosConfig, ChaosEngine, ChaosProfile, FaultPlan, InvariantChecker};
 pub use event::{EventQueue, EventToken};
 pub use rng::SimRng;
 pub use stats::{Counters, DurationHistogram, OnlineStats, ThroughputMeter, TimeSeries};

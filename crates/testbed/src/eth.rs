@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 
 use memsim::manager::{MemConfig, MemError, MemoryManager};
 use memsim::space::Backing;
+use memsim::swap::DiskConfig;
 use memsim::types::{PageRange, SpaceId, VirtAddr};
 use netsim::link::{Link, LinkConfig, SendOutcome};
 use nicsim::interrupt::{InterruptDecision, InterruptModerator};
@@ -25,6 +26,7 @@ use nicsim::sriov::ChannelTable;
 use npf_core::backup_driver::{BackupDriver, ResolveStep};
 use npf_core::npf::{NpfConfig, NpfEngine};
 use npf_core::RX_BUFFER_BASE;
+use simcore::chaos::{invariant, ChaosConfig, ChaosEngine, IommuFate, MemoryFate, PacketFate};
 use simcore::event::{EventQueue, EventToken};
 use simcore::rng::SimRng;
 use simcore::stats::ThroughputMeter;
@@ -64,6 +66,9 @@ pub struct EthConfig {
     pub backup_capacity: u64,
     /// Server physical memory.
     pub host_memory: ByteSize,
+    /// Secondary-storage model of the server (swap-in cost of a major
+    /// re-fault).
+    pub disk: DiskConfig,
     /// Per-instance memcached configuration (its `max_bytes` is the
     /// VM's memory allocation).
     pub memcached: MemcachedConfig,
@@ -90,6 +95,9 @@ pub struct EthConfig {
     pub prefault_window: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Fault injection (disabled by default; a disabled config draws
+    /// nothing from any RNG, so traces stay byte-identical).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for EthConfig {
@@ -102,6 +110,7 @@ impl Default for EthConfig {
             bm_size: 128,
             backup_capacity: 512,
             host_memory: ByteSize::gib(8),
+            disk: DiskConfig::hard_drive(),
             memcached: MemcachedConfig::default(),
             working_set_keys: 100_000,
             cgroup_limit: None,
@@ -115,6 +124,7 @@ impl Default for EthConfig {
             preload: true,
             prefault_window: 0,
             seed: 1,
+            chaos: ChaosConfig::disabled(),
         }
     }
 }
@@ -137,6 +147,9 @@ enum EthEvent {
         hit: bool,
     },
     Sample,
+    /// Periodic chaos heartbeat driving memory-pressure and IOTLB
+    /// shootdown injections. Re-arms itself while work is pending.
+    ChaosTick,
 }
 
 /// One memcached IOuser instance.
@@ -199,6 +212,10 @@ pub struct EthTestbed {
     backup_moderator: InterruptModerator,
     sample_every: SimDuration,
     sampling: bool,
+    /// Master fault injector (None when chaos is disabled). Owns the
+    /// packet and interrupt fate streams; the NPF engine holds a fork.
+    chaos: Option<ChaosEngine>,
+    chaos_tick_armed: bool,
 }
 
 impl EthTestbed {
@@ -210,12 +227,24 @@ impl EthTestbed {
     /// host cannot pin every instance's memory — this is exactly the
     /// Table 5 "N/A" outcome.
     pub fn new(config: EthConfig) -> Result<Self, MemError> {
+        // A new testbed starts a new timeline at t=0; tell the (possibly
+        // process-global) invariant checker so monotonicity tracking
+        // does not span testbeds.
+        invariant::note_timeline_reset();
         let mut rng = SimRng::new(config.seed);
         let mm = MemoryManager::new(MemConfig {
             total_memory: config.host_memory,
+            disk: config.disk,
             ..MemConfig::default()
         });
         let mut engine = NpfEngine::new(NpfConfig::default(), mm, rng.fork(1));
+        let chaos = if config.chaos.enabled() {
+            let mut master = ChaosEngine::new(config.chaos);
+            engine.set_chaos(master.fork(0x200));
+            Some(master)
+        } else {
+            None
+        };
         let fault_mode = match config.mode {
             RxMode::Backup => RxFaultMode::BackupRing {
                 capacity: config.backup_capacity,
@@ -352,10 +381,106 @@ impl EthTestbed {
             backup_moderator: InterruptModerator::new(config.interrupt_holdoff),
             sample_every: SimDuration::from_millis(250),
             sampling: false,
+            chaos,
+            chaos_tick_armed: false,
             config,
         };
         bed.open_connections();
+        bed.arm_chaos_tick();
         Ok(bed)
+    }
+
+    /// The master fault injector, when chaos is enabled.
+    #[must_use]
+    pub fn chaos(&self) -> Option<&ChaosEngine> {
+        self.chaos.as_ref()
+    }
+
+    /// `(lost, delayed)` interrupt injections across every moderator.
+    #[must_use]
+    pub fn irq_chaos_counts(&self) -> (u64, u64) {
+        let mut lost = self.backup_moderator.chaos_lost();
+        let mut delayed = self.backup_moderator.chaos_delayed();
+        for inst in &self.instances {
+            lost += inst.rx_moderator.chaos_lost();
+            delayed += inst.rx_moderator.chaos_delayed();
+        }
+        (lost, delayed)
+    }
+
+    /// Schedules the next chaos heartbeat, if chaos is on and none is
+    /// pending.
+    fn arm_chaos_tick(&mut self) {
+        if self.chaos.is_some() && !self.chaos_tick_armed {
+            self.chaos_tick_armed = true;
+            self.queue
+                .schedule_in(self.config.chaos.tick, EthEvent::ChaosTick);
+        }
+    }
+
+    /// Applies one round of memory-pressure and IOTLB-shootdown chaos
+    /// to the server.
+    fn chaos_tick(&mut self) {
+        let Some(engine) = self.chaos.as_mut() else {
+            return;
+        };
+        match engine.memory_fate() {
+            MemoryFate::Calm => {}
+            MemoryFate::PressureBurst { pages } | MemoryFate::EvictionStorm { pages } => {
+                self.engine.chaos_evict(pages);
+            }
+        }
+        match engine.iommu_fate() {
+            IommuFate::None => {}
+            IommuFate::ShootdownAll => {
+                self.engine.chaos_shootdown();
+            }
+        }
+    }
+
+    /// Sends one segment over a link, applying the chaos packet fate.
+    /// `to_server` selects the client→server link.
+    fn link_send(&mut self, now: SimTime, seg: TcpSegment, to_server: bool) {
+        let wire = seg.wire_size();
+        let fate = self
+            .chaos
+            .as_mut()
+            .map_or(PacketFate::Deliver, ChaosEngine::packet_fate);
+        if fate == PacketFate::Drop {
+            // Injected loss: TCP retransmission recovers.
+            return;
+        }
+        let link = if to_server {
+            &mut self.link_c2s
+        } else {
+            &mut self.link_s2c
+        };
+        let event = |seg| {
+            if to_server {
+                EthEvent::ToServer(seg)
+            } else {
+                EthEvent::ToClient(seg)
+            }
+        };
+        match link.send(now, wire) {
+            SendOutcome::Delivered { arrives_at, .. } => match fate {
+                PacketFate::Deliver => {
+                    self.queue.schedule_at(arrives_at, event(seg));
+                }
+                // Corruption burns the wire but fails the CRC; the
+                // stack never sees the segment.
+                PacketFate::Corrupt => {}
+                PacketFate::Duplicate { extra } => {
+                    self.queue.schedule_at(arrives_at, event(seg));
+                    self.queue.schedule_at(arrives_at + extra, event(seg));
+                }
+                PacketFate::Reorder { extra } => {
+                    self.queue.schedule_at(arrives_at + extra, event(seg));
+                }
+                PacketFate::Drop => unreachable!("drop handled above"),
+            },
+            SendOutcome::Dropped => {}
+        }
     }
 
     fn post_one(rx: &mut RxEngine<TcpSegment>, inst: &mut Instance, ring_entries: u64) -> bool {
@@ -500,6 +625,8 @@ impl EthTestbed {
         // Advance the trace clock so instrumentation in substrates
         // without their own `now` stamps with the event time.
         trace::set_clock(now);
+        // Global invariants are checked at every dispatch boundary.
+        invariant::checkpoint(now);
         match event {
             EthEvent::ToServer(seg) => self.server_rx(now, seg),
             EthEvent::ToClient(seg) => self.client_rx(now, seg),
@@ -554,6 +681,15 @@ impl EthTestbed {
                 }
                 if self.sampling {
                     self.queue.schedule_in(self.sample_every, EthEvent::Sample);
+                }
+            }
+            EthEvent::ChaosTick => {
+                self.chaos_tick_armed = false;
+                self.chaos_tick();
+                // Keep ticking only while other work is pending, so
+                // the run can still drain.
+                if !self.queue.is_empty() {
+                    self.arm_chaos_tick();
                 }
             }
         }
@@ -622,7 +758,11 @@ impl EthTestbed {
                 }
             }
             RxVerdict::Backup { .. } => {
-                if let InterruptDecision::FireAt(at) = self.backup_moderator.request(now) {
+                let decision = match self.chaos.as_mut() {
+                    Some(chaos) => self.backup_moderator.request_chaos(now, chaos),
+                    None => self.backup_moderator.request(now),
+                };
+                if let InterruptDecision::FireAt(at) = decision {
                     self.queue.schedule_at(at, EthEvent::BackupInterrupt);
                 }
             }
@@ -638,7 +778,11 @@ impl EthTestbed {
 
     fn request_iouser_irq(&mut self, now: SimTime, idx: u32) {
         let inst = &mut self.instances[idx as usize];
-        if let InterruptDecision::FireAt(at) = inst.rx_moderator.request(now) {
+        let decision = match self.chaos.as_mut() {
+            Some(chaos) => inst.rx_moderator.request_chaos(now, chaos),
+            None => inst.rx_moderator.request(now),
+        };
+        if let InterruptDecision::FireAt(at) = decision {
             self.queue.schedule_at(at, EthEvent::IoUserInterrupt(idx));
         }
     }
@@ -714,12 +858,7 @@ impl EthTestbed {
     fn handle_server_outputs(&mut self, now: SimTime, idx: u32, cid: ConnId, outs: Vec<TcpOutput>) {
         for out in outs {
             match out {
-                TcpOutput::Send(seg) => match self.link_s2c.send(now, seg.wire_size()) {
-                    SendOutcome::Delivered { arrives_at, .. } => {
-                        self.queue.schedule_at(arrives_at, EthEvent::ToClient(seg));
-                    }
-                    SendOutcome::Dropped => {}
-                },
+                TcpOutput::Send(seg) => self.link_send(now, seg, false),
                 TcpOutput::SetTimer(at) => {
                     let inst = &mut self.instances[idx as usize];
                     if let Some(tok) = inst.timers.remove(&cid) {
@@ -799,12 +938,7 @@ impl EthTestbed {
     fn handle_client_outputs(&mut self, now: SimTime, cid: ConnId, outs: Vec<TcpOutput>) {
         for out in outs {
             match out {
-                TcpOutput::Send(seg) => match self.link_c2s.send(now, seg.wire_size()) {
-                    SendOutcome::Delivered { arrives_at, .. } => {
-                        self.queue.schedule_at(arrives_at, EthEvent::ToServer(seg));
-                    }
-                    SendOutcome::Dropped => {}
-                },
+                TcpOutput::Send(seg) => self.link_send(now, seg, true),
                 TcpOutput::SetTimer(at) => {
                     if let Some(tok) = self.client.timers.remove(&cid) {
                         self.queue.cancel(tok);

@@ -12,7 +12,7 @@ use memsim::manager::{MemConfig, MemoryManager};
 use memsim::space::Backing;
 use memsim::swap::DiskConfig;
 use memsim::types::{SpaceId, VirtAddr};
-use netsim::fabric::Fabric;
+use netsim::fabric::{ChaosSendOutcome, Fabric};
 use netsim::link::{LinkConfig, SendOutcome};
 use netsim::packet::NodeId;
 use npf_core::npf::{NpfConfig, NpfEngine};
@@ -21,6 +21,7 @@ use rdmasim::types::{
     Completion, DmaGate, GateDecision, MessageRange, QpId, QpOutput, QpTimer, RcConfig, RcPacket,
     RecvWqe, SendOp, WrId,
 };
+use simcore::chaos::{invariant, ChaosConfig, ChaosEngine, IommuFate, MemoryFate};
 use simcore::event::{EventQueue, EventToken};
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
@@ -49,6 +50,9 @@ pub struct IbConfig {
     pub disk: DiskConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Fault injection (disabled by default; a disabled config draws
+    /// nothing from any RNG, so traces stay byte-identical).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for IbConfig {
@@ -62,6 +66,7 @@ impl Default for IbConfig {
             npf: NpfConfig::default(),
             disk: DiskConfig::hard_drive(),
             seed: 1,
+            chaos: ChaosConfig::disabled(),
         }
     }
 }
@@ -155,6 +160,9 @@ enum IbEvent {
     /// Clock sentinel (used to advance simulated time across CPU-side
     /// work that produces no packets).
     Nop,
+    /// Periodic chaos heartbeat driving memory-pressure and IOTLB
+    /// shootdown injections. Re-arms itself while work is pending.
+    ChaosTick,
 }
 
 /// The gate wiring a QP's DMAs to a node's NPF engine.
@@ -248,19 +256,27 @@ pub struct IbCluster {
     fabric: Fabric,
     nodes: Vec<IbNode>,
     next_qp: u32,
+    /// Master fault injector (None when chaos is disabled). Owns the
+    /// packet-fate stream; each node's NPF engine holds a fork.
+    chaos: Option<ChaosEngine>,
+    chaos_tick_armed: bool,
 }
 
 impl IbCluster {
     /// Builds the cluster.
     #[must_use]
     pub fn new(config: IbConfig) -> Self {
+        // A new cluster starts a new timeline at t=0; tell the (possibly
+        // process-global) invariant checker so monotonicity tracking
+        // does not span testbeds.
+        invariant::note_timeline_reset();
         let mut rng = SimRng::new(config.seed);
         let mut link = LinkConfig::datacenter(config.bandwidth);
         // Lossless fabric: credit-based flow control means queues never
         // tail-drop.
         link.queue_capacity = u64::MAX / 4;
         let fabric = Fabric::star(link, config.nodes, config.switch_latency, &mut rng);
-        let nodes = (0..config.nodes)
+        let mut nodes: Vec<IbNode> = (0..config.nodes)
             .map(|i| {
                 let mm = MemoryManager::new(MemConfig {
                     total_memory: config.node_memory,
@@ -282,12 +298,70 @@ impl IbCluster {
                 }
             })
             .collect();
-        IbCluster {
+        let chaos = if config.chaos.enabled() {
+            let mut master = ChaosEngine::new(config.chaos);
+            for (i, node) in nodes.iter_mut().enumerate() {
+                node.engine.set_chaos(master.fork(0x100 + i as u64));
+            }
+            Some(master)
+        } else {
+            None
+        };
+        let mut cluster = IbCluster {
             config,
             queue: EventQueue::new(),
             fabric,
             nodes,
             next_qp: 0,
+            chaos,
+            chaos_tick_armed: false,
+        };
+        cluster.arm_chaos_tick();
+        cluster
+    }
+
+    /// The master fault injector, when chaos is enabled.
+    #[must_use]
+    pub fn chaos(&self) -> Option<&ChaosEngine> {
+        self.chaos.as_ref()
+    }
+
+    /// Packets the chaos injector dropped on the otherwise lossless
+    /// fabric.
+    #[must_use]
+    pub fn chaos_drops(&self) -> u64 {
+        self.fabric.chaos_drops()
+    }
+
+    /// Schedules the next chaos heartbeat, if chaos is on and none is
+    /// pending.
+    fn arm_chaos_tick(&mut self) {
+        if self.chaos.is_some() && !self.chaos_tick_armed {
+            self.chaos_tick_armed = true;
+            self.queue
+                .schedule_in(self.config.chaos.tick, IbEvent::ChaosTick);
+        }
+    }
+
+    /// Applies one round of memory-pressure and IOTLB-shootdown chaos
+    /// to every node.
+    fn chaos_tick(&mut self) {
+        let Some(engine) = self.chaos.as_mut() else {
+            return;
+        };
+        for node in &mut self.nodes {
+            match engine.memory_fate() {
+                MemoryFate::Calm => {}
+                MemoryFate::PressureBurst { pages } | MemoryFate::EvictionStorm { pages } => {
+                    node.engine.chaos_evict(pages);
+                }
+            }
+            match engine.iommu_fate() {
+                IommuFate::None => {}
+                IommuFate::ShootdownAll => {
+                    node.engine.chaos_shootdown();
+                }
+            }
         }
     }
 
@@ -401,6 +475,7 @@ impl IbCluster {
     /// Posts a send-queue operation immediately.
     pub fn post_send(&mut self, node: u32, qp: QpId, wr_id: WrId, op: SendOp) {
         let now = self.queue.now();
+        self.arm_chaos_tick();
         self.drive_qp(now, node, qp, QpDrive::PostSend { wr_id, op });
     }
 
@@ -414,6 +489,7 @@ impl IbCluster {
         wr_id: WrId,
         op: SendOp,
     ) {
+        self.arm_chaos_tick();
         self.queue.schedule_in(
             delay,
             IbEvent::PostSend {
@@ -478,6 +554,8 @@ impl IbCluster {
         // Advance the trace clock so instrumentation in substrates
         // without their own `now` stamps with the event time.
         trace::set_clock(now);
+        // Global invariants are checked at every dispatch boundary.
+        invariant::checkpoint(now);
         match event {
             IbEvent::Deliver { node, pkt } => {
                 self.drive_qp(now, node, pkt.dst_qp, QpDrive::Packet(pkt));
@@ -512,6 +590,15 @@ impl IbCluster {
                 self.drive_qp(now, node, qp, QpDrive::PostSend { wr_id, op });
             }
             IbEvent::Nop => {}
+            IbEvent::ChaosTick => {
+                self.chaos_tick_armed = false;
+                self.chaos_tick();
+                // Keep ticking only while other work is pending, so
+                // quiescence is still reachable.
+                if !self.queue.is_empty() {
+                    self.arm_chaos_tick();
+                }
+            }
         }
     }
 
@@ -562,21 +649,61 @@ impl IbCluster {
         for out in outputs {
             match out {
                 QpOutput::Send { to, packet } => {
-                    match self
-                        .fabric
-                        .send(now, NodeId(node_idx), to, packet.wire_size())
-                    {
-                        SendOutcome::Delivered { arrives_at, .. } => {
-                            self.queue.schedule_at(
+                    let size = packet.wire_size();
+                    if let Some(chaos) = self.chaos.as_mut() {
+                        match self
+                            .fabric
+                            .send_chaos(now, NodeId(node_idx), to, size, chaos)
+                        {
+                            ChaosSendOutcome::Dropped { injected } => {
+                                // The fabric itself is lossless; only
+                                // the injector drops. Transport-level
+                                // retransmission recovers.
+                                assert!(injected, "lossless IB fabric dropped a packet");
+                            }
+                            ChaosSendOutcome::Delivered {
                                 arrives_at,
-                                IbEvent::Deliver {
-                                    node: to.0,
-                                    pkt: packet,
-                                },
-                            );
+                                corrupted,
+                                duplicate_at,
+                                ..
+                            } => {
+                                // A corrupted packet burns the wire but
+                                // fails the receiver's CRC, so it is
+                                // never delivered to the QP.
+                                if !corrupted {
+                                    self.queue.schedule_at(
+                                        arrives_at,
+                                        IbEvent::Deliver {
+                                            node: to.0,
+                                            pkt: packet,
+                                        },
+                                    );
+                                }
+                                if let Some(at) = duplicate_at {
+                                    self.queue.schedule_at(
+                                        at,
+                                        IbEvent::Deliver {
+                                            node: to.0,
+                                            pkt: packet,
+                                        },
+                                    );
+                                }
+                            }
                         }
-                        SendOutcome::Dropped => {
-                            unreachable!("lossless IB fabric dropped a packet")
+                    } else {
+                        match self.fabric.send(now, NodeId(node_idx), to, size) {
+                            SendOutcome::Delivered { arrives_at, .. } => {
+                                self.queue.schedule_at(
+                                    arrives_at,
+                                    IbEvent::Deliver {
+                                        node: to.0,
+                                        pkt: packet,
+                                    },
+                                );
+                            }
+                            SendOutcome::Dropped => {
+                                unreachable!("lossless IB fabric dropped a packet")
+                            }
                         }
                     }
                 }

@@ -6,9 +6,15 @@
 //! `prop_assert_eq!`, `any`, integer-range strategies, tuple strategies,
 //! and `collection::vec` — on top of a deterministic embedded RNG.
 //!
-//! Unlike real proptest there is no shrinking: a failing case panics with
-//! the case number so it can be replayed (generation is a pure function
-//! of the test name and case index).
+//! Unlike real proptest there is no shrinking: each case is generated
+//! from its own seed (a pure function of the test name and case index),
+//! and a failing case panics with that seed. Two environment variables
+//! steer a run, mirroring real proptest's knobs:
+//!
+//! * `PROPTEST_CASES=<n>` overrides every test's case count (crank it
+//!   up for a soak run, down for a smoke run).
+//! * `PROPTEST_SEED=<seed>` replays exactly one case with the seed a
+//!   failure printed, skipping the rest of the stream.
 
 use std::fmt;
 
@@ -100,26 +106,73 @@ impl fmt::Display for TestCaseError {
 #[derive(Debug)]
 pub struct TestRunner {
     cases: u32,
+    name_seed: u64,
     rng: TestRng,
 }
 
 impl TestRunner {
-    /// Creates a runner whose input stream is derived from `name`.
+    /// Creates a runner whose input stream is derived from `name`. A
+    /// `PROPTEST_CASES` environment variable overrides the config's
+    /// case count for the whole test binary.
     #[must_use]
     pub fn new(config: ProptestConfig, name: &str) -> Self {
-        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        let name_seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
             (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
         });
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(config.cases);
         TestRunner {
-            cases: config.cases,
-            rng: TestRng::new(seed),
+            cases,
+            name_seed,
+            rng: TestRng::new(name_seed),
         }
     }
 
-    /// Number of cases to run.
+    /// Number of cases to run. Under a `PROPTEST_SEED` replay this is
+    /// one: the stream collapses to the single case being reproduced.
     #[must_use]
     pub fn cases(&self) -> u32 {
-        self.cases
+        if Self::replay_seed().is_some() {
+            1
+        } else {
+            self.cases
+        }
+    }
+
+    /// The `PROPTEST_SEED` replay override, if set.
+    #[must_use]
+    pub fn replay_seed() -> Option<u64> {
+        std::env::var("PROPTEST_SEED").ok().and_then(|s| {
+            s.parse()
+                .map_err(|e| eprintln!("warning: unparsable PROPTEST_SEED {s:?}: {e}"))
+                .ok()
+        })
+    }
+
+    /// The seed case number `case` is generated from: a pure function
+    /// of the test name and the index, so a failure message's seed
+    /// replays identically on any machine.
+    #[must_use]
+    pub fn case_seed(&self, case: u32) -> u64 {
+        // splitmix64 finalizer over (name, case): decorrelates the
+        // per-case streams without any cross-case RNG state.
+        let mut z = self
+            .name_seed
+            .wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Re-seeds the generator for case `case` (or for the
+    /// `PROPTEST_SEED` replay, when set) and returns the seed in use —
+    /// the value to print if the case fails.
+    pub fn begin_case(&mut self, case: u32) -> u64 {
+        let seed = Self::replay_seed().unwrap_or_else(|| self.case_seed(case));
+        self.rng = TestRng::new(seed);
+        seed
     }
 
     /// The generator for the next case's inputs.
@@ -327,16 +380,67 @@ macro_rules! __proptest_body {
             let config: $crate::ProptestConfig = $cfg;
             let mut runner = $crate::TestRunner::new(config, stringify!($name));
             for case in 0..runner.cases() {
+                let seed = runner.begin_case(case);
                 $(let $arg = $crate::Strategy::generate(&($strat), runner.rng());)*
                 let mut one_case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
                     $body
                     Ok(())
                 };
                 if let Err(e) = one_case() {
-                    panic!("property failed at case {case}: {e}");
+                    panic!(
+                        "property failed at case {case} (seed {seed}): {e}\n\
+                         replay just this case with PROPTEST_SEED={seed}"
+                    );
                 }
             }
         }
         $crate::__proptest_body!{ $cfg; $($rest)* }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_stable_and_distinct() {
+        let r1 = TestRunner::new(ProptestConfig::with_cases(4), "some_property");
+        let r2 = TestRunner::new(ProptestConfig::with_cases(4), "some_property");
+        assert_eq!(r1.case_seed(0), r2.case_seed(0), "pure function of name");
+        assert_ne!(r1.case_seed(0), r1.case_seed(1), "cases decorrelated");
+        let other = TestRunner::new(ProptestConfig::with_cases(4), "other_property");
+        assert_ne!(r1.case_seed(0), other.case_seed(0), "names decorrelated");
+    }
+
+    #[test]
+    fn begin_case_reseeds_reproducibly() {
+        let mut r = TestRunner::new(ProptestConfig::with_cases(4), "reseed");
+        r.begin_case(3);
+        let first: Vec<u64> = (0..4).map(|_| r.rng().next_u64()).collect();
+        r.begin_case(3);
+        let second: Vec<u64> = (0..4).map(|_| r.rng().next_u64()).collect();
+        assert_eq!(first, second, "a case's stream restarts from its seed");
+    }
+
+    // One test owns every environment-variable assertion: the process
+    // environment is shared across the parallel test threads, so
+    // splitting these up would race.
+    #[test]
+    fn env_overrides_cases_and_replay_seed() {
+        assert_eq!(TestRunner::replay_seed(), None);
+        let r = TestRunner::new(ProptestConfig::with_cases(7), "env");
+        assert_eq!(r.cases(), 7);
+
+        std::env::set_var("PROPTEST_CASES", "13");
+        let r = TestRunner::new(ProptestConfig::with_cases(7), "env");
+        assert_eq!(r.cases(), 13, "PROPTEST_CASES wins over the config");
+        std::env::remove_var("PROPTEST_CASES");
+
+        std::env::set_var("PROPTEST_SEED", "12345");
+        let mut r = TestRunner::new(ProptestConfig::with_cases(7), "env");
+        assert_eq!(TestRunner::replay_seed(), Some(12345));
+        assert_eq!(r.cases(), 1, "a replay runs exactly one case");
+        assert_eq!(r.begin_case(0), 12345, "the replayed seed is the env's");
+        std::env::remove_var("PROPTEST_SEED");
+    }
 }

@@ -1,0 +1,333 @@
+//! The chaos sweep: both end-to-end testbeds driven under seeded fault
+//! injection, with the global invariant checker installed for every
+//! run.
+//!
+//! Each run installs a fresh [`InvariantChecker`], builds a testbed
+//! with a per-class [`ChaosProfile`], drives a workload, and asserts
+//!
+//! - zero invariant violations (including `finish()`'s check that every
+//!   raised NPF resolved),
+//! - exactly-once, in-order, byte-exact delivery despite drops,
+//!   duplicates, reordering, corruption, interrupt loss, NPF delays,
+//!   eviction storms, and IOTLB shootdowns,
+//! - that the sweep as a whole exercised every fault class (so a
+//!   regression that silently disables an injection point fails here).
+//!
+//! `CHAOS_SEED_BASE` shifts every seed, letting CI sweep disjoint seed
+//! ranges per matrix job. A failing seed is printed in the assertion
+//! message; `EXPERIMENTS.md` describes how to replay it.
+
+use std::collections::HashMap;
+
+use npf::prelude::*;
+use npf::rdmasim::types::{SendOp, WcStatus};
+use npf::simcore::chaos::{invariant, ChaosProfile};
+use npf::testbed::eth::RxMode;
+use npf::workloads::memcached::MemcachedConfig;
+
+/// Base seed for the sweep, shiftable per CI matrix job.
+fn seed_base() -> u64 {
+    std::env::var("CHAOS_SEED_BASE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FF_EE00)
+}
+
+/// Accumulates one chaos counter set into the sweep totals.
+fn accumulate(totals: &mut HashMap<String, u64>, counters: &npf::simcore::stats::Counters) {
+    for (name, value) in counters.iter() {
+        *totals.entry(name.to_string()).or_default() += value;
+    }
+}
+
+/// Drives a 24-message stream over a two-node IB cluster under `chaos`
+/// and checks exactly-once byte-exact delivery plus every global
+/// invariant. Returns injection totals for coverage accounting.
+fn run_ib(chaos: ChaosConfig, totals: &mut HashMap<String, u64>) {
+    assert!(
+        invariant::install(InvariantChecker::new(chaos.seed)).is_none(),
+        "stale checker"
+    );
+    // IB's rnr_retry = 7 means "retry forever"; model that here so the
+    // sweep asserts liveness, not the transport's give-up threshold.
+    let rc = npf::rdmasim::types::RcConfig {
+        max_retries: 100_000,
+        max_rnr_retries: 100_000,
+        ..npf::rdmasim::types::RcConfig::default()
+    };
+    // NVMe swap: under eviction storms every re-fault is a swap-in, and
+    // resolution must beat the next eviction for the transport to make
+    // progress (a 5 ms hard-drive swap-in never can).
+    let mut c = IbCluster::new(IbConfig {
+        nodes: 2,
+        rc,
+        chaos,
+        disk: npf::memsim::swap::DiskConfig::nvme(),
+        ..IbConfig::default()
+    });
+    let (qa, qb) = c.connect(0, 1);
+    let src = c.alloc_buffers(0, ByteSize::mib(8));
+    let dst = c.alloc_buffers(1, ByteSize::mib(8));
+    const MSGS: u64 = 24;
+    for i in 0..MSGS {
+        c.post_recv(1, qb, 1000 + i, dst, 8 << 20);
+    }
+    for i in 0..MSGS {
+        c.post_send(
+            0,
+            qa,
+            i,
+            SendOp::Send {
+                local: src,
+                len: (i + 1) * 4096,
+            },
+        );
+    }
+    c.run_until_quiescent(50_000_000);
+
+    let send = c.drain_completions(0);
+    let recv = c.drain_completions(1);
+    assert_eq!(
+        send.len() as u64,
+        MSGS,
+        "send completions at chaos seed {}",
+        chaos.seed
+    );
+    assert_eq!(
+        recv.len() as u64,
+        MSGS,
+        "exactly-once delivery at chaos seed {}",
+        chaos.seed
+    );
+    for (i, comp) in recv.iter().enumerate() {
+        assert_eq!(
+            comp.wr_id,
+            1000 + i as u64,
+            "in-order at seed {}",
+            chaos.seed
+        );
+        assert_eq!(
+            comp.len,
+            (i as u64 + 1) * 4096,
+            "byte-exact at seed {}",
+            chaos.seed
+        );
+        assert_eq!(comp.status, WcStatus::Success);
+    }
+
+    let mut checker = invariant::uninstall().expect("checker installed");
+    let end = checker.finish();
+    assert!(
+        end.is_empty(),
+        "invariant violations at chaos seed {}: {:?}",
+        chaos.seed,
+        end
+    );
+    assert!(checker.checks() > 0, "checker actually ran");
+
+    if let Some(engine) = c.chaos() {
+        accumulate(totals, engine.counters());
+    }
+    for n in 0..2 {
+        accumulate(totals, c.node(n).engine().counters());
+    }
+}
+
+/// Drives the memcached testbed for one simulated second under `chaos`
+/// and checks liveness (no failed connections, ops served) plus every
+/// global invariant, then hunts for a quiescent cut where no NPF is
+/// outstanding so `finish()` can certify resolution liveness.
+fn run_eth(chaos: ChaosConfig, totals: &mut HashMap<String, u64>) {
+    assert!(
+        invariant::install(InvariantChecker::new(chaos.seed)).is_none(),
+        "stale checker"
+    );
+    let mut bed = EthTestbed::new(EthConfig {
+        mode: RxMode::Backup,
+        instances: 1,
+        conns_per_instance: 4,
+        ring_entries: 64,
+        host_memory: ByteSize::mib(512),
+        // NVMe swap: as in the IB sweep, resolution must beat the next
+        // chaos eviction or no quiescent cut ever exists.
+        disk: npf::memsim::swap::DiskConfig::nvme(),
+        memcached: MemcachedConfig {
+            max_bytes: ByteSize::mib(64),
+            value_size: 1024,
+            ..MemcachedConfig::default()
+        },
+        working_set_keys: 1000,
+        chaos,
+        ..EthConfig::default()
+    })
+    .expect("setup");
+    bed.run_until(SimTime::from_secs(1));
+
+    // The client is closed-loop and never stops issuing, so the queue
+    // never drains; instead, find a cut where every raised NPF has
+    // resolved (they complete within microseconds, so one must exist).
+    let mut outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+    let mut tries = 0;
+    while outstanding > 0 && tries < 2000 {
+        let next = bed.now() + SimDuration::from_micros(500);
+        bed.run_until(next);
+        outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+        tries += 1;
+    }
+    assert_eq!(
+        outstanding, 0,
+        "NPFs must eventually resolve (chaos seed {})",
+        chaos.seed
+    );
+
+    assert_eq!(
+        bed.total_failed_conns(),
+        0,
+        "no connection may die under chaos seed {}",
+        chaos.seed
+    );
+    assert!(
+        bed.total_ops() > 100,
+        "the service must stay live under chaos seed {}: {} ops",
+        chaos.seed,
+        bed.total_ops()
+    );
+
+    let mut checker = invariant::uninstall().expect("checker installed");
+    let end = checker.finish();
+    assert!(
+        end.is_empty(),
+        "invariant violations at chaos seed {}: {:?}",
+        chaos.seed,
+        end
+    );
+    assert!(checker.checks() > 0, "checker actually ran");
+
+    if let Some(engine) = bed.chaos() {
+        accumulate(totals, engine.counters());
+    }
+    accumulate(totals, bed.engine().counters());
+    let (lost, delayed) = bed.irq_chaos_counts();
+    *totals.entry("moderator_irq_lost".into()).or_default() += lost;
+    *totals.entry("moderator_irq_delayed".into()).or_default() += delayed;
+}
+
+#[test]
+fn ib_chaos_sweep_holds_invariants() {
+    let base = seed_base();
+    let mut totals = HashMap::new();
+    let profiles = [
+        ChaosProfile::Network,
+        ChaosProfile::Npf,
+        ChaosProfile::Memory,
+        ChaosProfile::Iommu,
+        ChaosProfile::All,
+    ];
+    for (p, profile) in profiles.into_iter().enumerate() {
+        for s in 0..2u64 {
+            let seed = base + (p as u64) * 100 + s;
+            run_ib(ChaosConfig::profile(profile, seed), &mut totals);
+        }
+    }
+    // Every IB-reachable fault class must have fired somewhere in the
+    // sweep.
+    for class in [
+        "net_drop",
+        "net_corrupt",
+        "net_duplicate",
+        "net_reorder",
+        "npf_chaos_delays",
+        "iommu_shootdown",
+    ] {
+        assert!(
+            totals.get(class).copied().unwrap_or(0) > 0,
+            "fault class {class} never fired across the IB sweep: {totals:?}"
+        );
+    }
+    assert!(
+        totals.get("mem_burst").copied().unwrap_or(0)
+            + totals.get("mem_storm").copied().unwrap_or(0)
+            > 0,
+        "memory-pressure chaos never fired across the IB sweep: {totals:?}"
+    );
+}
+
+#[test]
+fn eth_chaos_sweep_holds_invariants() {
+    let base = seed_base();
+    let mut totals = HashMap::new();
+    let profiles = [
+        ChaosProfile::Network,
+        ChaosProfile::Interrupts,
+        ChaosProfile::Npf,
+        ChaosProfile::Memory,
+        ChaosProfile::All,
+    ];
+    for (p, profile) in profiles.into_iter().enumerate() {
+        for s in 0..2u64 {
+            let seed = base + 0x1000 + (p as u64) * 100 + s;
+            run_eth(ChaosConfig::profile(profile, seed), &mut totals);
+        }
+    }
+    for class in ["net_drop", "net_reorder", "irq_lost", "irq_delayed"] {
+        assert!(
+            totals.get(class).copied().unwrap_or(0) > 0,
+            "fault class {class} never fired across the Ethernet sweep: {totals:?}"
+        );
+    }
+    // The moderators saw the injections, not just the fate stream.
+    assert!(
+        totals.get("moderator_irq_lost").copied().unwrap_or(0)
+            + totals.get("moderator_irq_delayed").copied().unwrap_or(0)
+            > 0,
+        "interrupt chaos never reached a moderator: {totals:?}"
+    );
+    assert!(
+        totals.get("mem_burst").copied().unwrap_or(0)
+            + totals.get("mem_storm").copied().unwrap_or(0)
+            > 0,
+        "memory-pressure chaos never fired across the Ethernet sweep: {totals:?}"
+    );
+}
+
+#[test]
+fn same_chaos_seed_replays_identically() {
+    let chaos = ChaosConfig::profile(ChaosProfile::All, seed_base() + 7);
+    let run = || {
+        let mut totals = HashMap::new();
+        run_ib(chaos, &mut totals);
+        totals
+    };
+    assert_eq!(run(), run(), "a chaos seed must replay bit-for-bit");
+}
+
+#[test]
+fn disabled_chaos_injects_nothing_and_stays_deterministic() {
+    let run = || {
+        let mut c = IbCluster::new(IbConfig {
+            nodes: 2,
+            ..IbConfig::default()
+        });
+        assert!(c.chaos().is_none(), "disabled chaos must build no engine");
+        let (qa, qb) = c.connect(0, 1);
+        let src = c.alloc_buffers(0, ByteSize::mib(1));
+        let dst = c.alloc_buffers(1, ByteSize::mib(1));
+        c.post_recv(1, qb, 9, dst, 1 << 20);
+        c.post_send(
+            0,
+            qa,
+            1,
+            SendOp::Send {
+                local: src,
+                len: 1 << 20,
+            },
+        );
+        c.run_until_quiescent(1_000_000);
+        assert_eq!(c.chaos_drops(), 0);
+        (c.now(), c.drain_completions(1))
+    };
+    let (t1, c1) = run();
+    let (t2, c2) = run();
+    assert_eq!(t1, t2, "disabled chaos must not perturb the clock");
+    assert_eq!(c1, c2, "disabled chaos must not perturb completions");
+}

@@ -68,6 +68,44 @@ fn overcommit_feasibility_matches_table_5() {
 }
 
 #[test]
+fn differential_pinned_vs_odp_serves_same_workload() {
+    // Differential run of the same memcached workload: static pinning
+    // versus the backup-ring NPF path. Both must reach the target op
+    // count with zero failed connections; only the ODP side may (and
+    // must) take page faults. This pins down the paper's feasibility
+    // claim — demand paging changes *how* memory arrives, never what
+    // the IOuser observes.
+    const TARGET_OPS: u64 = 2_000;
+    let run = |mode: RxMode| {
+        let mut bed = EthTestbed::new(small(mode)).expect("setup");
+        // Run in slices until the service has served TARGET_OPS, so
+        // both modes are compared at the same amount of delivered work.
+        let mut deadline = SimTime::ZERO;
+        while bed.total_ops() < TARGET_OPS {
+            deadline += SimDuration::from_millis(100);
+            assert!(
+                deadline <= SimTime::from_secs(30),
+                "{mode:?} never reached {TARGET_OPS} ops: {}",
+                bed.total_ops()
+            );
+            bed.run_until(deadline);
+        }
+        (
+            bed.total_ops(),
+            bed.total_failed_conns(),
+            bed.engine().counters().get("npf_events"),
+        )
+    };
+    let (pin_ops, pin_failed, pin_faults) = run(RxMode::Pin);
+    let (odp_ops, odp_failed, odp_faults) = run(RxMode::Backup);
+    assert!(pin_ops >= TARGET_OPS && odp_ops >= TARGET_OPS);
+    assert_eq!(pin_failed, 0, "pinned mode dropped a connection");
+    assert_eq!(odp_failed, 0, "ODP mode dropped a connection");
+    assert_eq!(pin_faults, 0, "pinned mode must never take an NPF");
+    assert!(odp_faults > 0, "ODP mode must resolve faults on the way");
+}
+
+#[test]
 fn deterministic_across_runs() {
     let run = || {
         let mut bed = EthTestbed::new(small(RxMode::Backup)).expect("setup");

@@ -1,24 +1,34 @@
 //! Ablations of the paper's design choices.
 //!
-//! Supports `--trace <path>` / `--metrics <path>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+use npf_bench::par_runner::task;
+
 fn main() {
-    npf_bench::tracectl::run(|| {
-        print!("{}", npf_bench::ablations::ablation_batching().render());
-        println!();
-        print!(
-            "{}",
-            npf_bench::ablations::ablation_firmware_bypass().render()
-        );
-        println!();
-        print!("{}", npf_bench::ablations::ablation_concurrency().render());
-        println!();
-        print!(
-            "{}",
-            npf_bench::ablations::ablation_pindown_sweep(30).render()
-        );
-        println!();
-        print!("{}", npf_bench::ablations::ablation_read_rnr().render());
-        println!();
-        print!("{}", npf_bench::ablations::ablation_prefaulting().render());
+    let tasks = vec![
+        task("ablation_batching", npf_bench::ablations::ablation_batching),
+        task(
+            "ablation_firmware_bypass",
+            npf_bench::ablations::ablation_firmware_bypass,
+        ),
+        task(
+            "ablation_concurrency",
+            npf_bench::ablations::ablation_concurrency,
+        ),
+        task("ablation_pindown_sweep", || {
+            npf_bench::ablations::ablation_pindown_sweep(30)
+        }),
+        task("ablation_read_rnr", npf_bench::ablations::ablation_read_rnr),
+        task(
+            "ablation_prefaulting",
+            npf_bench::ablations::ablation_prefaulting,
+        ),
+    ];
+    npf_bench::tracectl::run_tasks(tasks, |reports| {
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", r.render());
+        }
     });
 }

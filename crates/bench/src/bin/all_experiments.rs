@@ -1,32 +1,51 @@
 //! Runs every experiment (E1-E12 plus ablations) and prints the full
 //! report document — the source of `EXPERIMENTS.md`.
 //!
-//! Supports `--trace <path>` / `--metrics <path>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+use npf_bench::par_runner::task;
+
 fn main() {
     let t0 = std::time::Instant::now();
-    npf_bench::tracectl::run(|| {
-        let reports = [
-            npf_bench::micro::fig3(500),
-            npf_bench::micro::fig3_traced(500),
-            npf_bench::micro::table4(3000),
-            npf_bench::eth_experiments::fig4a(20),
-            npf_bench::eth_experiments::fig4b(10_000, 150),
-            npf_bench::eth_experiments::table5(4),
-            npf_bench::eth_experiments::fig7(30, 10),
-            npf_bench::ib_experiments::fig8a(4000),
-            npf_bench::ib_experiments::fig8b(1500),
-            npf_bench::ib_experiments::fig9(30, 8),
-            npf_bench::ib_experiments::fig9_allreduce(30, 8),
-            npf_bench::ib_experiments::table6(20, 8),
-            npf_bench::ib_experiments::fig10_ethernet(500),
-            npf_bench::ib_experiments::fig10_infiniband(3000),
-            npf_bench::ablations::ablation_batching(),
-            npf_bench::ablations::ablation_firmware_bypass(),
-            npf_bench::ablations::ablation_concurrency(),
-            npf_bench::ablations::ablation_pindown_sweep(30),
-            npf_bench::ablations::ablation_read_rnr(),
-            npf_bench::ablations::ablation_prefaulting(),
-        ];
+    let tasks = vec![
+        task("fig3", || npf_bench::micro::fig3(500)),
+        task("fig3_traced", || npf_bench::micro::fig3_traced(500)),
+        task("table4", || npf_bench::micro::table4(3000)),
+        task("fig4a", || npf_bench::eth_experiments::fig4a(20)),
+        task("fig4b", || npf_bench::eth_experiments::fig4b(10_000, 150)),
+        task("table5", || npf_bench::eth_experiments::table5(4)),
+        task("fig7", || npf_bench::eth_experiments::fig7(30, 10)),
+        task("fig8a", || npf_bench::ib_experiments::fig8a(4000)),
+        task("fig8b", || npf_bench::ib_experiments::fig8b(1500)),
+        task("fig9", || npf_bench::ib_experiments::fig9(30, 8)),
+        task("fig9_allreduce", || {
+            npf_bench::ib_experiments::fig9_allreduce(30, 8)
+        }),
+        task("table6", || npf_bench::ib_experiments::table6(20, 8)),
+        task("fig10_ethernet", || {
+            npf_bench::ib_experiments::fig10_ethernet(500)
+        }),
+        task("fig10_infiniband", || {
+            npf_bench::ib_experiments::fig10_infiniband(3000)
+        }),
+        task("ablation_batching", npf_bench::ablations::ablation_batching),
+        task(
+            "ablation_firmware_bypass",
+            npf_bench::ablations::ablation_firmware_bypass,
+        ),
+        task(
+            "ablation_concurrency",
+            npf_bench::ablations::ablation_concurrency,
+        ),
+        task("ablation_pindown_sweep", || {
+            npf_bench::ablations::ablation_pindown_sweep(30)
+        }),
+        task("ablation_read_rnr", npf_bench::ablations::ablation_read_rnr),
+        task(
+            "ablation_prefaulting",
+            npf_bench::ablations::ablation_prefaulting,
+        ),
+    ];
+    npf_bench::tracectl::run_tasks(tasks, |reports| {
         for r in &reports {
             print!("{}", r.render());
             println!();

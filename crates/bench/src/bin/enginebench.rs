@@ -1,0 +1,310 @@
+//! Engine microbenchmarks: events/sec on the event-queue fast path and
+//! wall-clock for reduced-size figure runs, persisted as
+//! `BENCH_engine.json` so every PR leaves a perf trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! enginebench [--out <path>] [--check <baseline.json>]
+//! ```
+//!
+//! `--out` (default `BENCH_engine.json`) writes the measurement.
+//! `--check` compares the fresh `*_events_per_sec` numbers against a
+//! previously committed baseline and exits nonzero if any regresses by
+//! more than 30% — the CI smoke gate. Figure wall-clocks are recorded
+//! for trend reading but not gated (they shift with runner load).
+
+use std::time::Instant;
+
+use npf_bench::par_runner::task;
+use simcore::event::EventQueue;
+use simcore::time::SimDuration;
+use simcore::trace::TraceRecorder;
+
+/// Events per second below `baseline * (1 - REGRESSION_TOLERANCE)`
+/// fail `--check`.
+const REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// One microbench measurement: how many engine operations one
+/// iteration performs and the best-observed wall-clock for it.
+struct Sample {
+    name: &'static str,
+    ops_per_iter: u64,
+    ns_per_iter: f64,
+}
+
+impl Sample {
+    fn events_per_sec(&self) -> f64 {
+        self.ops_per_iter as f64 * 1e9 / self.ns_per_iter
+    }
+}
+
+/// Times `body` (which performs `ops` engine operations) over several
+/// measured repetitions and keeps the best run — the least-noisy
+/// estimate of the true cost on a shared machine.
+fn measure(name: &'static str, ops: u64, mut body: impl FnMut()) -> Sample {
+    const WARMUP: u32 = 3;
+    const REPS: u32 = 7;
+    const ITERS_PER_REP: u32 = 40;
+    for _ in 0..WARMUP {
+        body();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for _ in 0..ITERS_PER_REP {
+            body();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / f64::from(ITERS_PER_REP);
+        best = best.min(ns);
+    }
+    Sample {
+        name,
+        ops_per_iter: ops,
+        ns_per_iter: best,
+    }
+}
+
+/// 4096 schedules followed by a full drain: the pure heap path.
+fn bench_schedule_pop() -> Sample {
+    measure("schedule_pop_4k", 8192, || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..4096u64 {
+            q.schedule_in(SimDuration::from_nanos(i * 13 % 977), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        std::hint::black_box(sum);
+    })
+}
+
+/// Half the scheduled events cancelled before the drain: the tombstone
+/// path the old `HashSet` bookkeeping paid hashing for.
+fn bench_schedule_cancel_pop() -> Sample {
+    measure("schedule_cancel_pop_4k", 4096 + 2048 + 2048, || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut toks = Vec::with_capacity(4096);
+        for i in 0..4096u64 {
+            toks.push(q.schedule_in(SimDuration::from_nanos(i * 13 % 977), i));
+        }
+        for t in toks.iter().step_by(2) {
+            q.cancel(*t);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        std::hint::black_box(sum);
+    })
+}
+
+/// Steady-state churn at depth 64 with interleaved cancels — the shape
+/// of a live testbed (timers armed, retired, occasionally disarmed).
+fn bench_churn() -> Sample {
+    measure("churn_depth64", 4096 * 2 + 4096 / 3, || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..64u64 {
+            q.schedule_in(SimDuration::from_nanos(i), i);
+        }
+        let mut sum = 0u64;
+        for i in 0..4096u64 {
+            let (_, e) = q.pop().unwrap();
+            sum = sum.wrapping_add(e);
+            let t = q.schedule_in(SimDuration::from_nanos(e * 7 % 509 + 1), i);
+            if i % 3 == 0 {
+                q.cancel(t);
+                q.schedule_in(SimDuration::from_nanos(e * 11 % 499 + 1), i);
+            }
+        }
+        std::hint::black_box(sum);
+    })
+}
+
+/// Hot-path metric updates against an installed recorder: with
+/// interned ids these are two array writes per update.
+fn bench_metrics() -> Sample {
+    let mut rec = TraceRecorder::new(16);
+    let ops = rec.metrics_mut().metric_id("bench.ops");
+    let depth = rec.metrics_mut().metric_id("bench.depth");
+    let lat = rec.metrics_mut().metric_id("bench.latency");
+    measure("metrics_update_4k", 4096 * 3, || {
+        let m = rec.metrics_mut();
+        for i in 0..4096u64 {
+            m.counter_add_id(ops, 1);
+            m.gauge_set_id(depth, i as f64);
+            m.duration_record_id(lat, SimDuration::from_nanos(i % 997));
+        }
+        std::hint::black_box(m.counter("bench.ops"));
+    })
+}
+
+/// Reduced-size figure runs timed end to end, through the same
+/// `par_runner` machinery the real binaries use.
+fn figure_wall_clocks() -> Vec<(&'static str, f64)> {
+    let figures: Vec<(&'static str, npf_bench::par_runner::Task)> = vec![
+        ("fig3", task("fig3", || npf_bench::micro::fig3(100))),
+        ("table4", task("table4", || npf_bench::micro::table4(300))),
+        (
+            "fig4a",
+            task("fig4a", || npf_bench::eth_experiments::fig4a(4)),
+        ),
+        (
+            "fig8b",
+            task("fig8b", || npf_bench::ib_experiments::fig8b(150)),
+        ),
+        (
+            "fig9",
+            task("fig9", || npf_bench::ib_experiments::fig9(8, 4)),
+        ),
+        (
+            "fig10_ethernet",
+            task("fig10_ethernet", || {
+                npf_bench::ib_experiments::fig10_ethernet(100)
+            }),
+        ),
+    ];
+    figures
+        .into_iter()
+        .map(|(name, t)| {
+            let t0 = Instant::now();
+            let out = npf_bench::par_runner::run(vec![t], 1, None, false, 16);
+            std::hint::black_box(out.reports.len());
+            (name, t0.elapsed().as_secs_f64() * 1e3)
+        })
+        .collect()
+}
+
+fn render_json(samples: &[Sample], figures: &[(&'static str, f64)]) -> String {
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"npf-enginebench-v1\",\n");
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str("  \"queue_events_per_sec\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {:.0}{comma}\n",
+            s.name,
+            s.events_per_sec()
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"queue_ns_per_iter\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {:.0}{comma}\n",
+            s.name, s.ns_per_iter
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"figure_wall_ms\": {\n");
+    for (i, (name, ms)) in figures.iter().enumerate() {
+        let comma = if i + 1 < figures.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {ms:.1}{comma}\n"));
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls `"name": <number>` out of `json` after the
+/// `"queue_events_per_sec"` marker — enough of a parser for the file
+/// this binary itself writes.
+fn baseline_events_per_sec(json: &str, name: &str) -> Option<f64> {
+    let section = json.split("\"queue_events_per_sec\"").nth(1)?;
+    let section = &section[..section.find('}')?];
+    let needle = format!("\"{name}\":");
+    let rest = section.split(&needle).nth(1)?;
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    let long = format!("--{name}");
+    let eq = format!("--{name}=");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if *a == long {
+            return it.next().cloned();
+        }
+        if let Some(rest) = a.strip_prefix(&eq) {
+            return Some(rest.to_owned());
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag(&args, "out").unwrap_or_else(|| "BENCH_engine.json".to_owned());
+    let check_path = flag(&args, "check");
+
+    let samples = [
+        bench_schedule_pop(),
+        bench_schedule_cancel_pop(),
+        bench_churn(),
+        bench_metrics(),
+    ];
+    for s in &samples {
+        println!(
+            "{:<24} {:>12.0} ns/iter  {:>14.0} events/sec",
+            s.name,
+            s.ns_per_iter,
+            s.events_per_sec()
+        );
+    }
+    let figures = figure_wall_clocks();
+    for (name, ms) in &figures {
+        println!("{name:<24} {ms:>12.1} ms");
+    }
+
+    let json = render_json(&samples, &figures);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("engine benchmark written to {out_path}");
+
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut failed = false;
+        for s in &samples {
+            let Some(base) = baseline_events_per_sec(&baseline, s.name) else {
+                println!("{}: no baseline entry, skipping", s.name);
+                continue;
+            };
+            let now = s.events_per_sec();
+            let floor = base * (1.0 - REGRESSION_TOLERANCE);
+            let verdict = if now < floor { "REGRESSED" } else { "ok" };
+            println!(
+                "{:<24} baseline {:>14.0}  now {:>14.0}  ({:+.1}%)  {verdict}",
+                s.name,
+                base,
+                now,
+                (now / base - 1.0) * 100.0
+            );
+            failed |= now < floor;
+        }
+        if failed {
+            eprintln!(
+                "events/sec regressed more than {:.0}% against {path}",
+                REGRESSION_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

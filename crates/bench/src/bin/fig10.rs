@@ -1,16 +1,23 @@
 //! Regenerates Figure 10: what-if analysis with synthetic rNPFs.
 //!
-//! Supports `--trace <path>` / `--metrics <path>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+use npf_bench::par_runner::task;
+
 fn main() {
-    npf_bench::tracectl::run(|| {
-        print!(
-            "{}",
-            npf_bench::ib_experiments::fig10_ethernet(500).render()
-        );
-        println!();
-        print!(
-            "{}",
-            npf_bench::ib_experiments::fig10_infiniband(3000).render()
-        );
+    let tasks = vec![
+        task("fig10_ethernet", || {
+            npf_bench::ib_experiments::fig10_ethernet(500)
+        }),
+        task("fig10_infiniband", || {
+            npf_bench::ib_experiments::fig10_infiniband(3000)
+        }),
+    ];
+    npf_bench::tracectl::run_tasks(tasks, |reports| {
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", r.render());
+        }
     });
 }

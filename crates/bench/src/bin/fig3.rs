@@ -2,8 +2,15 @@
 //!
 //! Pass `--trace <path>` to record a Perfetto-loadable Chrome trace of
 //! the run, and/or `--metrics <path>` for the flat metrics registry.
+use npf_bench::par_runner::task;
+
 fn main() {
-    npf_bench::tracectl::run(|| {
-        print!("{}", npf_bench::micro::fig3(500).render());
-    });
+    npf_bench::tracectl::run_tasks(
+        vec![task("fig3", || npf_bench::micro::fig3(500))],
+        |reports| {
+            for r in &reports {
+                print!("{}", r.render());
+            }
+        },
+    );
 }

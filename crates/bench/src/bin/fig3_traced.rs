@@ -5,8 +5,15 @@
 //!
 //! Pass `--trace <path>` to also export the recorded spans as a
 //! Perfetto-loadable Chrome trace.
+use npf_bench::par_runner::task;
+
 fn main() {
-    npf_bench::tracectl::run(|| {
-        print!("{}", npf_bench::micro::fig3_traced(500).render());
-    });
+    npf_bench::tracectl::run_tasks(
+        vec![task("fig3_traced", || npf_bench::micro::fig3_traced(500))],
+        |reports| {
+            for r in &reports {
+                print!("{}", r.render());
+            }
+        },
+    );
 }

@@ -1,13 +1,19 @@
 //! Regenerates Figure 4: the cold ring problem.
 //!
-//! Supports `--trace <path>` / `--metrics <path>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+use npf_bench::par_runner::task;
+
 fn main() {
-    npf_bench::tracectl::run(|| {
-        print!("{}", npf_bench::eth_experiments::fig4a(20).render());
-        println!();
-        print!(
-            "{}",
-            npf_bench::eth_experiments::fig4b(10_000, 150).render()
-        );
+    let tasks = vec![
+        task("fig4a", || npf_bench::eth_experiments::fig4a(20)),
+        task("fig4b", || npf_bench::eth_experiments::fig4b(10_000, 150)),
+    ];
+    npf_bench::tracectl::run_tasks(tasks, |reports| {
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", r.render());
+        }
     });
 }

@@ -1,8 +1,15 @@
 //! Regenerates Figure 7: dynamic working sets under a shared cgroup.
 //!
-//! Supports `--trace <path>` / `--metrics <path>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+use npf_bench::par_runner::task;
+
 fn main() {
-    npf_bench::tracectl::run(|| {
-        print!("{}", npf_bench::eth_experiments::fig7(30, 10).render());
-    });
+    npf_bench::tracectl::run_tasks(
+        vec![task("fig7", || npf_bench::eth_experiments::fig7(30, 10))],
+        |reports| {
+            for r in &reports {
+                print!("{}", r.render());
+            }
+        },
+    );
 }

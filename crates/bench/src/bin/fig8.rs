@@ -1,10 +1,19 @@
 //! Regenerates Figure 8: storage bandwidth and memory usage.
 //!
-//! Supports `--trace <path>` / `--metrics <path>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+use npf_bench::par_runner::task;
+
 fn main() {
-    npf_bench::tracectl::run(|| {
-        print!("{}", npf_bench::ib_experiments::fig8a(4000).render());
-        println!();
-        print!("{}", npf_bench::ib_experiments::fig8b(1500).render());
+    let tasks = vec![
+        task("fig8a", || npf_bench::ib_experiments::fig8a(4000)),
+        task("fig8b", || npf_bench::ib_experiments::fig8b(1500)),
+    ];
+    npf_bench::tracectl::run_tasks(tasks, |reports| {
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", r.render());
+        }
     });
 }

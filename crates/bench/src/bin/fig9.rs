@@ -1,14 +1,22 @@
 //! Regenerates Figure 9: IMB collectives under each registration
 //! strategy.
 //!
-//! Supports `--trace <path>` / `--metrics <path>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+use npf_bench::par_runner::task;
+
 fn main() {
-    npf_bench::tracectl::run(|| {
-        print!("{}", npf_bench::ib_experiments::fig9(30, 8).render());
-        println!();
-        print!(
-            "{}",
-            npf_bench::ib_experiments::fig9_allreduce(30, 8).render()
-        );
+    let tasks = vec![
+        task("fig9", || npf_bench::ib_experiments::fig9(30, 8)),
+        task("fig9_allreduce", || {
+            npf_bench::ib_experiments::fig9_allreduce(30, 8)
+        }),
+    ];
+    npf_bench::tracectl::run_tasks(tasks, |reports| {
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", r.render());
+        }
     });
 }

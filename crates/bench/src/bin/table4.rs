@@ -1,8 +1,15 @@
 //! Regenerates Table 4: tail latency of NPFs.
 //!
-//! Supports `--trace <path>` / `--metrics <path>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+use npf_bench::par_runner::task;
+
 fn main() {
-    npf_bench::tracectl::run(|| {
-        print!("{}", npf_bench::micro::table4(3000).render());
-    });
+    npf_bench::tracectl::run_tasks(
+        vec![task("table4", || npf_bench::micro::table4(3000))],
+        |reports| {
+            for r in &reports {
+                print!("{}", r.render());
+            }
+        },
+    );
 }

@@ -1,8 +1,15 @@
 //! Regenerates Table 5: memory overcommitment with 1-4 memcached VMs.
 //!
-//! Supports `--trace <path>` / `--metrics <path>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+use npf_bench::par_runner::task;
+
 fn main() {
-    npf_bench::tracectl::run(|| {
-        print!("{}", npf_bench::eth_experiments::table5(4).render());
-    });
+    npf_bench::tracectl::run_tasks(
+        vec![task("table5", || npf_bench::eth_experiments::table5(4))],
+        |reports| {
+            for r in &reports {
+                print!("{}", r.render());
+            }
+        },
+    );
 }

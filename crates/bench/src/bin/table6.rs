@@ -1,8 +1,15 @@
 //! Regenerates Table 6: effective communication bandwidth (beff).
 //!
-//! Supports `--trace <path>` / `--metrics <path>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+use npf_bench::par_runner::task;
+
 fn main() {
-    npf_bench::tracectl::run(|| {
-        print!("{}", npf_bench::ib_experiments::table6(20, 8).render());
-    });
+    npf_bench::tracectl::run_tasks(
+        vec![task("table6", || npf_bench::ib_experiments::table6(20, 8))],
+        |reports| {
+            for r in &reports {
+                print!("{}", r.render());
+            }
+        },
+    );
 }

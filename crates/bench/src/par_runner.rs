@@ -1,0 +1,246 @@
+//! Deterministic parallel experiment runner.
+//!
+//! Every experiment point (a figure, a table, an ablation, a chaos
+//! sweep cell) is an independent deterministic island: it builds its
+//! own testbeds, owns its own seeds, and never shares mutable state
+//! with its siblings. The per-thread [`simcore::trace`] recorder and
+//! [`simcore::chaos`] invariant checker make that isolation literal, so
+//! points can fan out across `std::thread` workers and still produce
+//! **byte-identical** output to a serial run:
+//!
+//! * each task runs with its *own* freshly installed recorder/checker,
+//!   regardless of which worker thread picks it up;
+//! * results are merged strictly in task order after all workers join —
+//!   reports print in task order, per-task trace rings are
+//!   [`TraceRecorder::absorb`]ed in task order (re-basing span ids onto
+//!   one id space), metrics registries fold counter-by-counter;
+//! * nothing about scheduling, core count, or `--jobs` reaches the
+//!   output.
+//!
+//! The runner is what `--jobs N` on the bench binaries plugs into (see
+//! [`crate::tracectl`]); `tests/par_determinism.rs` pins the
+//! serial-vs-parallel equivalence down, including under chaos.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use simcore::chaos::{invariant, ChaosConfig, InvariantChecker};
+use simcore::trace::{self, TraceRecorder};
+
+use crate::report::Report;
+
+/// One experiment point: a name (for progress lines) plus the closure
+/// that produces its [`Report`].
+pub struct Task {
+    /// Short label, e.g. `"fig3"`.
+    pub name: &'static str,
+    run: Box<dyn FnOnce() -> Report + Send>,
+}
+
+/// Builds a [`Task`] from a label and a report-producing closure.
+pub fn task(name: &'static str, run: impl FnOnce() -> Report + Send + 'static) -> Task {
+    Task {
+        name,
+        run: Box::new(run),
+    }
+}
+
+/// Everything one task produced, captured on whichever worker ran it.
+struct Outcome {
+    report: Report,
+    recorder: Option<TraceRecorder>,
+    checker: Option<InvariantChecker>,
+}
+
+/// The merged result of a parallel run, in deterministic task order.
+pub struct RunOutcome {
+    /// One report per task, in task order.
+    pub reports: Vec<Report>,
+    /// Per-task trace rings absorbed in task order (when recording).
+    pub recorder: Option<TraceRecorder>,
+    /// Invariant violations summed across tasks (when chaos was on).
+    pub violations: u64,
+    /// Invariant observations summed across tasks.
+    pub checks: u64,
+    /// NPFs still in flight at each task's horizon, summed.
+    pub outstanding_faults: u64,
+}
+
+/// Runs `tasks` across `jobs` worker threads and merges the results in
+/// task order.
+///
+/// When `chaos` is set, each task gets a fresh [`InvariantChecker`]
+/// seeded with the config's seed; when `record` is true, each task gets
+/// a fresh [`TraceRecorder`] of `ring_capacity` records. Both are
+/// installed thread-locally around the task body only, so tasks are
+/// hermetic no matter how workers interleave. Panics in a task
+/// propagate after all workers finish their current task.
+pub fn run(
+    tasks: Vec<Task>,
+    jobs: usize,
+    chaos: Option<ChaosConfig>,
+    record: bool,
+    ring_capacity: usize,
+) -> RunOutcome {
+    let n = tasks.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    let inputs: Vec<Mutex<Option<Task>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<Outcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    let worker = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            return;
+        }
+        let task = inputs[i]
+            .lock()
+            .expect("task slot poisoned")
+            .take()
+            .expect("each task index is claimed exactly once");
+        let outcome = run_one(task, chaos, record, ring_capacity);
+        *outputs[i].lock().expect("result slot poisoned") = Some(outcome);
+    };
+
+    // Even `--jobs 1` runs on a spawned worker rather than the caller's
+    // thread, so the per-task recorder/checker installs behave
+    // identically at every job count (the caller may have its own
+    // thread-locals installed).
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(worker);
+        }
+    });
+
+    // Merge strictly in task order.
+    let mut merged = RunOutcome {
+        reports: Vec::with_capacity(n),
+        recorder: record.then(|| TraceRecorder::new(ring_capacity)),
+        violations: 0,
+        checks: 0,
+        outstanding_faults: 0,
+    };
+    for slot in outputs {
+        let outcome = slot
+            .into_inner()
+            .expect("result slot poisoned")
+            .expect("worker loop fills every slot");
+        merged.reports.push(outcome.report);
+        if let (Some(into), Some(rec)) = (merged.recorder.as_mut(), outcome.recorder) {
+            into.absorb(rec);
+        }
+        if let Some(checker) = outcome.checker {
+            merged.violations += checker.violations().len() as u64;
+            merged.checks += checker.checks();
+            merged.outstanding_faults += checker.outstanding_faults() as u64;
+        }
+    }
+    merged
+}
+
+/// Runs one task with its own recorder/checker installed around it.
+fn run_one(task: Task, chaos: Option<ChaosConfig>, record: bool, ring_capacity: usize) -> Outcome {
+    if let Some(cfg) = chaos {
+        assert!(
+            invariant::install(InvariantChecker::new(cfg.seed)).is_none(),
+            "worker thread already had an invariant checker"
+        );
+    }
+    if record {
+        assert!(
+            trace::install(TraceRecorder::new(ring_capacity)).is_none(),
+            "worker thread already had a trace recorder"
+        );
+    }
+    let report = (task.run)();
+    let recorder = if record {
+        Some(trace::uninstall().expect("recorder installed above"))
+    } else {
+        None
+    };
+    let checker = if chaos.is_some() {
+        Some(invariant::uninstall().expect("checker installed above"))
+    } else {
+        None
+    };
+    Outcome {
+        report,
+        recorder,
+        checker,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::{SimDuration, SimTime};
+
+    fn demo_tasks() -> Vec<Task> {
+        (0..6u64)
+            .map(|i| {
+                task("demo", move || {
+                    // Leave per-task trace/metrics footprints so merge
+                    // order is observable.
+                    trace::span(
+                        SimTime::from_micros(i),
+                        SimDuration::from_micros(1),
+                        "demo",
+                        "point",
+                        Vec::new(),
+                    );
+                    trace::metrics(|m| m.counter_add("demo.points", 1));
+                    let mut r = Report::new("demo", "none");
+                    r.columns(["i", "sq"])
+                        .row([i.to_string(), (i * i).to_string()]);
+                    r
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let a = run(demo_tasks(), 1, None, true, 1 << 12);
+        let b = run(demo_tasks(), 4, None, true, 1 << 12);
+        let render = |o: &RunOutcome| {
+            o.reports
+                .iter()
+                .map(Report::render)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(&a), render(&b));
+        let (ra, rb) = (a.recorder.unwrap(), b.recorder.unwrap());
+        assert_eq!(ra.export_chrome_json(), rb.export_chrome_json());
+        assert_eq!(ra.metrics().to_json(), rb.metrics().to_json());
+        assert_eq!(ra.metrics().counter("demo.points"), 6);
+    }
+
+    #[test]
+    fn reports_come_back_in_task_order() {
+        let o = run(demo_tasks(), 3, None, false, 16);
+        assert!(o.recorder.is_none());
+        for (i, r) in o.reports.iter().enumerate() {
+            assert!(r.render().contains(&format!("{}", i * i)), "task {i}");
+        }
+    }
+
+    #[test]
+    fn chaos_checkers_are_per_task_and_merged() {
+        let cfg = ChaosConfig::profile(simcore::chaos::ChaosProfile::All, 5);
+        let tasks: Vec<Task> = (0..4)
+            .map(|_| {
+                task("chk", || {
+                    invariant::note_event_time(SimTime::from_micros(1));
+                    // Backwards inside the same task: one violation each.
+                    invariant::note_event_time(SimTime::ZERO);
+                    Report::new("chk", "none")
+                })
+            })
+            .collect();
+        let o = run(tasks, 2, Some(cfg), false, 16);
+        assert_eq!(o.violations, 4);
+        assert!(o.checks >= 8);
+        assert!(invariant::uninstall().is_none(), "no checker leaked");
+    }
+}

@@ -13,6 +13,10 @@
 //!   `network`, `interrupts`, `npf`, `memory`, `iommu`, `all`
 //!   (default `all`). Binaries that support chaos pass the config into
 //!   their testbeds; a failing run prints the seed for replay.
+//! * `--jobs <n>` (or `--jobs=<n>`): run the binary's experiment
+//!   points across `n` worker threads via [`crate::par_runner`]
+//!   ([`run_tasks`]). `0` means "all available cores". Output is
+//!   byte-identical at every job count.
 //!
 //! Traces are stamped exclusively with [`simcore::time::SimTime`], so
 //! the same seed produces byte-identical files.
@@ -107,6 +111,29 @@ pub fn chaos_or_disabled() -> ChaosConfig {
     chaos_config().unwrap_or_else(ChaosConfig::disabled)
 }
 
+/// Parses `--jobs <n>` from argv-style arguments. Absent → 1 (serial);
+/// `0` → all available cores.
+fn jobs_from_args<I: IntoIterator<Item = String>>(args: I) -> usize {
+    let Some(raw) = flag_value(args, "jobs") else {
+        return 1;
+    };
+    let n = raw
+        .to_string_lossy()
+        .parse::<usize>()
+        .unwrap_or_else(|e| panic!("--jobs must be an integer: {e}"));
+    if n == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        n
+    }
+}
+
+/// The worker count requested with `--jobs`, defaulting to 1.
+#[must_use]
+pub fn jobs() -> usize {
+    jobs_from_args(std::env::args().skip(1))
+}
+
 fn write_or_warn(path: &Path, what: &str, contents: &str) {
     match std::fs::write(path, contents) {
         Ok(()) => eprintln!("{what} written to {}", path.display()),
@@ -181,18 +208,28 @@ fn finish_chaos(chaos: Option<ChaosConfig>) -> bool {
         return false;
     };
     let checker = invariant::uninstall().expect("checker installed by run()");
-    // Experiments stop at a wall-clock horizon, not at quiescence, so
-    // in-flight NPFs at the cut are expected — report them as context,
-    // not as `finish()`'s liveness violation (the sweep tests, which do
-    // hunt a quiescent cut, assert that predicate instead).
-    if checker.outstanding_faults() > 0 {
+    report_chaos(
+        cfg,
+        checker.outstanding_faults() as u64,
+        checker.violations().len() as u64,
+        checker.checks(),
+    )
+}
+
+/// Prints the end-of-run chaos verdict. Returns `true` when any
+/// invariant was violated.
+///
+/// Experiments stop at a wall-clock horizon, not at quiescence, so
+/// in-flight NPFs at the cut are expected — report them as context,
+/// not as `finish()`'s liveness violation (the sweep tests, which do
+/// hunt a quiescent cut, assert that predicate instead).
+fn report_chaos(cfg: ChaosConfig, outstanding: u64, violations: u64, checks: u64) -> bool {
+    if outstanding > 0 {
         eprintln!(
-            "chaos seed {}: {} NPFs still in flight at the horizon",
-            cfg.seed,
-            checker.outstanding_faults()
+            "chaos seed {}: {outstanding} NPFs still in flight at the horizon",
+            cfg.seed
         );
     }
-    let violations = checker.violations().len();
     if violations > 0 {
         eprintln!(
             "chaos seed {}: {violations} invariant violation(s) — replay with --chaos-seed {}",
@@ -201,11 +238,60 @@ fn finish_chaos(chaos: Option<ChaosConfig>) -> bool {
         return true;
     }
     eprintln!(
-        "chaos seed {}: no invariant violations ({} checks)",
-        cfg.seed,
-        checker.checks()
+        "chaos seed {}: no invariant violations ({checks} checks)",
+        cfg.seed
     );
     false
+}
+
+/// Runs a binary's experiment points through [`crate::par_runner`] with
+/// everything argv asks for — `--jobs` workers, per-task chaos
+/// checkers, per-task trace recorders — then hands the reports (in
+/// task order) to `emit` for printing and settles trace export and the
+/// chaos verdict exactly like [`run`]: stdout first, chaos verdict on
+/// stderr, trace/metrics files, then a nonzero exit on violation.
+///
+/// The merge is deterministic in task order, so a binary's stdout,
+/// trace file, and metrics file are byte-identical at every `--jobs`
+/// value.
+pub fn run_tasks(tasks: Vec<crate::par_runner::Task>, emit: impl FnOnce(Vec<crate::Report>)) {
+    let chaos = chaos_config();
+    let trace_to = trace_path();
+    let metrics_to = metrics_path();
+    let record = trace_to.is_some() || metrics_to.is_some();
+    let outcome = crate::par_runner::run(tasks, jobs(), chaos, record, DEFAULT_CAPACITY);
+    emit(outcome.reports);
+    let violated = chaos.is_some_and(|cfg| {
+        report_chaos(
+            cfg,
+            outcome.outstanding_faults,
+            outcome.violations,
+            outcome.checks,
+        )
+    });
+    if let Some(recorder) = outcome.recorder {
+        if let Some(path) = trace_to {
+            if recorder.dropped() > 0 {
+                eprintln!(
+                    "trace ring wrapped: {} oldest records dropped",
+                    recorder.dropped()
+                );
+            }
+            write_or_warn(&path, "chrome trace", &recorder.export_chrome_json());
+        }
+        if let Some(path) = metrics_to {
+            let is_csv = path.extension().is_some_and(|e| e == "csv");
+            let contents = if is_csv {
+                recorder.metrics().to_csv()
+            } else {
+                recorder.metrics().to_json()
+            };
+            write_or_warn(&path, "metrics", &contents);
+        }
+    }
+    if violated {
+        std::process::exit(1);
+    }
 }
 
 #[cfg(test)]

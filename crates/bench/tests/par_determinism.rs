@@ -1,0 +1,203 @@
+//! Serial-vs-parallel equivalence: the same experiments at `--jobs 1`
+//! and `--jobs 4` must produce byte-identical output — stdout, metrics
+//! files, trace files, and the chaos verdict — because every task is a
+//! hermetic deterministic island and results merge in task order.
+//!
+//! Two angles:
+//!
+//! * end-to-end through a real binary (`ablations`, six tasks), with
+//!   `--metrics`/`--trace` export and with a chaos profile armed;
+//! * in-process through [`npf_bench::par_runner`] with fault injection
+//!   actually firing (the binaries' ablation testbeds don't take a
+//!   chaos config, so injection equivalence needs a direct testbed).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+use npf_bench::par_runner;
+use npf_bench::report::Report;
+use simcore::chaos::{ChaosConfig, ChaosProfile};
+use simcore::units::ByteSize;
+
+/// Output of one binary run: stdout, the chaos-relevant stderr lines,
+/// and any exported files' contents.
+struct BinRun {
+    stdout: Vec<u8>,
+    chaos_stderr: String,
+    metrics: String,
+    trace: String,
+}
+
+/// Runs the `ablations` binary with `jobs` workers, exporting metrics
+/// and a trace into a per-run temp directory.
+fn run_ablations(jobs: u32, extra: &[&str]) -> BinRun {
+    let dir = std::env::temp_dir().join(format!(
+        "npf-par-determinism-{}-j{jobs}-{}",
+        std::process::id(),
+        extra.len()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics: PathBuf = dir.join("metrics.json");
+    let trace: PathBuf = dir.join("trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_ablations"))
+        .arg(format!("--jobs={jobs}"))
+        .arg(format!("--metrics={}", metrics.display()))
+        .arg(format!("--trace={}", trace.display()))
+        .args(extra)
+        .output()
+        .expect("run ablations");
+    assert!(out.status.success(), "ablations --jobs {jobs} failed");
+    let chaos_stderr = String::from_utf8_lossy(&out.stderr)
+        .lines()
+        .filter(|l| l.starts_with("chaos"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let run = BinRun {
+        stdout: out.stdout,
+        chaos_stderr,
+        metrics: std::fs::read_to_string(&metrics).expect("metrics written"),
+        trace: std::fs::read_to_string(&trace).expect("trace written"),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
+#[test]
+fn ablations_binary_is_byte_identical_across_jobs() {
+    let serial = run_ablations(1, &[]);
+    let parallel = run_ablations(4, &[]);
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "stdout must not depend on --jobs"
+    );
+    assert_eq!(serial.metrics, parallel.metrics, "metrics export");
+    assert_eq!(serial.trace, parallel.trace, "trace export");
+    assert!(!serial.stdout.is_empty(), "reports actually printed");
+    assert!(serial.metrics.contains('{'), "metrics actually exported");
+}
+
+#[test]
+fn ablations_binary_is_byte_identical_across_jobs_under_chaos() {
+    let chaos = ["--chaos-profile", "all", "--chaos-seed", "9"];
+    let serial = run_ablations(1, &chaos);
+    let parallel = run_ablations(4, &chaos);
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "stdout must not depend on --jobs under chaos"
+    );
+    assert_eq!(
+        serial.chaos_stderr, parallel.chaos_stderr,
+        "aggregated chaos verdict must not depend on --jobs"
+    );
+    assert_eq!(serial.metrics, parallel.metrics, "metrics export");
+    assert_eq!(serial.trace, parallel.trace, "trace export");
+    assert!(
+        serial.chaos_stderr.contains("no invariant violations"),
+        "verdict line present: {}",
+        serial.chaos_stderr
+    );
+}
+
+/// A small two-node IB transfer with fault injection armed through the
+/// testbed config (not argv), so chaos actually fires inside the task.
+fn chaos_ib_task(seed: u64) -> par_runner::Task {
+    par_runner::task("chaos_ib", move || {
+        use rdmasim::types::{RcConfig, SendOp, WcStatus};
+        use testbed::ib::{IbCluster, IbConfig};
+        let mut c = IbCluster::new(IbConfig {
+            nodes: 2,
+            rc: RcConfig {
+                max_retries: 100_000,
+                max_rnr_retries: 100_000,
+                ..RcConfig::default()
+            },
+            chaos: ChaosConfig::profile(ChaosProfile::All, seed),
+            disk: memsim::swap::DiskConfig::nvme(),
+            ..IbConfig::default()
+        });
+        let (qa, qb) = c.connect(0, 1);
+        let src = c.alloc_buffers(0, ByteSize::mib(4));
+        let dst = c.alloc_buffers(1, ByteSize::mib(4));
+        const MSGS: u64 = 8;
+        for i in 0..MSGS {
+            c.post_recv(1, qb, 1000 + i, dst, 4 << 20);
+        }
+        for i in 0..MSGS {
+            c.post_send(
+                0,
+                qa,
+                i,
+                SendOp::Send {
+                    local: src,
+                    len: (i + 1) * 4096,
+                },
+            );
+        }
+        c.run_until_quiescent(50_000_000);
+        let recv = c.drain_completions(1);
+        let mut r = Report::new(&format!("chaos ib seed {seed}"), "par_determinism");
+        r.columns(["wr_id", "len", "status"]);
+        for comp in &recv {
+            r.row([
+                comp.wr_id.to_string(),
+                comp.len.to_string(),
+                format!("{:?}", comp.status),
+            ]);
+        }
+        assert_eq!(recv.len() as u64, MSGS, "delivery at seed {seed}");
+        assert!(
+            recv.iter().all(|c| c.status == WcStatus::Success),
+            "status at seed {seed}"
+        );
+        r
+    })
+}
+
+/// Renders everything observable about a run into one comparable blob.
+fn fingerprint(outcome: &par_runner::RunOutcome) -> String {
+    let reports = outcome
+        .reports
+        .iter()
+        .map(Report::render)
+        .collect::<Vec<_>>()
+        .join("\n");
+    let recorder = outcome.recorder.as_ref().expect("recording enabled");
+    format!(
+        "{reports}\n---\nviolations={} checks={} outstanding={}\n---\n{}\n---\n{}",
+        outcome.violations,
+        outcome.checks,
+        outcome.outstanding_faults,
+        recorder.metrics().to_json(),
+        recorder.export_chrome_json(),
+    )
+}
+
+#[test]
+fn injected_chaos_runs_are_identical_across_jobs() {
+    let cfg = ChaosConfig::profile(ChaosProfile::All, 21);
+    let tasks = |n: u64| (0..n).map(|i| chaos_ib_task(21 + i)).collect::<Vec<_>>();
+    let serial = par_runner::run(tasks(4), 1, Some(cfg), true, 1 << 16);
+    let parallel = par_runner::run(tasks(4), 4, Some(cfg), true, 1 << 16);
+    let (fs, fp) = (fingerprint(&serial), fingerprint(&parallel));
+    if fs != fp {
+        std::fs::write("/tmp/fp_serial.txt", &fs).ok();
+        std::fs::write("/tmp/fp_parallel.txt", &fp).ok();
+    }
+    assert_eq!(
+        fs, fp,
+        "injected chaos must merge identically at every job count"
+    );
+    assert!(
+        serial.checks > 0,
+        "the invariant checker actually observed the runs"
+    );
+    // The report bodies differ per seed, so merge order is observable.
+    let mut seen = HashMap::new();
+    for r in &serial.reports {
+        *seen.entry(r.render()).or_insert(0u32) += 1;
+    }
+    assert_eq!(seen.len(), 4, "per-seed tasks produced distinct reports");
+}

@@ -233,10 +233,15 @@ impl NpfEngine {
         len: u64,
     ) -> Option<u64> {
         let r = PageRange::covering(addr, len.max(1));
+        // Lowest id, not first hit: `pending` is a HashMap, and when
+        // several in-flight faults overlap the range, the winner must
+        // not depend on hasher state. The lowest id is the earliest
+        // raised — the fault the hardware bitmap would have kept.
         self.pending
             .values()
-            .find(|f| f.domain == domain && f.range.overlaps(r))
+            .filter(|f| f.domain == domain && f.range.overlaps(r))
             .map(|f| f.id)
+            .min()
     }
 
     /// A pending fault by id.
@@ -522,12 +527,17 @@ impl NpfEngine {
     fn run_invalidation(&mut self, inv: Invalidation) -> SimDuration {
         self.counters.bump("invalidations");
         // Find the domains bound to the space that lost the page.
-        let domains: Vec<DomainId> = self
+        // Sorted: `bindings` is a HashMap, and its iteration order
+        // depends on the map's hasher state — the one thing allowed to
+        // differ between two runs of the same seed. Every observable
+        // consequence (trace records, cost attribution order) must not.
+        let mut domains: Vec<DomainId> = self
             .bindings
             .iter()
             .filter(|(_, &s)| s == inv.space)
             .map(|(&d, _)| d)
             .collect();
+        domains.sort_unstable();
         let mut cost = SimDuration::ZERO;
         for d in domains {
             let was_mapped = self.iommu.invalidate(d, inv.vpn);

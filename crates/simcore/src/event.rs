@@ -5,6 +5,19 @@
 //! are popped in FIFO order of scheduling (a monotone sequence number breaks
 //! ties), which makes runs bit-for-bit reproducible.
 //!
+//! # Cancellation bookkeeping
+//!
+//! Cancellation is O(1) and hash-free: every scheduled event owns a slot in
+//! a generation-tagged slab, and its heap entry carries the slot index.
+//! [`EventQueue::cancel`] flips the slot to a tombstone; tombstoned entries
+//! are dropped from the heap lazily, with a counter keeping [`EventQueue::len`]
+//! exact. The queue maintains the invariant that the heap *top* is never a
+//! tombstone (tombstones are drained whenever they surface), so
+//! [`EventQueue::next_time`] is a non-mutating O(1) peek. Slot generations
+//! make stale tokens — from events that already fired, were cancelled, or
+//! were discarded by [`EventQueue::clear`] — harmless even after their slot
+//! is reused.
+//!
 //! # Examples
 //!
 //! ```
@@ -14,6 +27,7 @@
 //! let mut q: EventQueue<&str> = EventQueue::new();
 //! q.schedule_at(SimTime::from_micros(5), "b");
 //! q.schedule_at(SimTime::from_micros(1), "a");
+//! assert_eq!(q.next_time(), Some(SimTime::from_micros(1)));
 //! assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
 //! assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
 //! assert!(q.pop().is_none());
@@ -28,6 +42,7 @@ use crate::time::{SimDuration, SimTime};
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
     event: E,
 }
 
@@ -53,8 +68,48 @@ impl<E> Ord for Entry<E> {
 }
 
 /// Handle identifying a scheduled event so it can be cancelled.
+///
+/// Encodes a slab slot index plus the slot's generation at scheduling
+/// time, so a token outlives its event harmlessly: cancelling after the
+/// event fired (or after the slot was recycled) reports `false`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventToken(u64);
+
+impl EventToken {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventToken(u64::from(gen) << 32 | u64::from(slot))
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Occupancy of one slab slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// The slot's event is scheduled and live.
+    Pending,
+    /// The slot's event was cancelled; its heap entry is a tombstone.
+    Cancelled,
+    /// No event owns the slot (it is on the free list).
+    Free,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Bumped every time the slot is released, invalidating old tokens.
+    gen: u32,
+    state: SlotState,
+    /// Next slot on the free list (valid only when `state == Free`).
+    next_free: u32,
+}
+
+const NIL: u32 = u32::MAX;
 
 /// A time-ordered queue of simulation events.
 ///
@@ -62,15 +117,30 @@ pub struct EventToken(u64);
 /// simulated time: popping an event advances [`EventQueue::now`] to the
 /// event's timestamp. Scheduling in the past is clamped to `now` (the
 /// event fires "immediately", still in deterministic order).
+///
+/// # Accounting
+///
+/// The lifetime counters always satisfy
+///
+/// ```text
+/// scheduled_total == popped_total + cancelled_total + discarded_total + len()
+/// ```
+///
+/// where [`EventQueue::discarded_total`] counts events dropped by
+/// [`EventQueue::clear`].
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     next_seq: u64,
-    pending: std::collections::HashSet<u64>,
-    cancelled: std::collections::HashSet<u64>,
+    slots: Vec<Slot>,
+    free_head: u32,
+    /// Cancelled entries still sitting in the heap.
+    tombstones: usize,
     scheduled_total: u64,
     popped_total: u64,
+    cancelled_total: u64,
+    discarded_total: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -87,10 +157,13 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
-            pending: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
+            slots: Vec::new(),
+            free_head: NIL,
+            tombstones: 0,
             scheduled_total: 0,
             popped_total: 0,
+            cancelled_total: 0,
+            discarded_total: 0,
         }
     }
 
@@ -103,13 +176,15 @@ impl<E> EventQueue<E> {
     /// Number of pending (non-cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() - self.tombstones
     }
 
     /// `true` when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        // The heap top is never a tombstone, so a non-empty heap always
+        // holds at least one pending event.
+        self.heap.is_empty()
     }
 
     /// Total number of events ever scheduled.
@@ -124,6 +199,63 @@ impl<E> EventQueue<E> {
         self.popped_total
     }
 
+    /// Total number of events ever cancelled.
+    #[must_use]
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Total number of pending events discarded by [`EventQueue::clear`].
+    #[must_use]
+    pub fn discarded_total(&self) -> u64 {
+        self.discarded_total
+    }
+
+    /// Takes a slot off the free list (or grows the slab) and marks it
+    /// pending. Returns the slot index.
+    fn alloc_slot(&mut self) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            self.free_head = slot.next_free;
+            slot.state = SlotState::Pending;
+            idx
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+            self.slots.push(Slot {
+                gen: 0,
+                state: SlotState::Pending,
+                next_free: NIL,
+            });
+            idx
+        }
+    }
+
+    /// Releases a slot whose heap entry was just removed: bumps the
+    /// generation (invalidating outstanding tokens) and pushes it onto
+    /// the free list.
+    fn free_slot(&mut self, idx: u32) {
+        let next_free = self.free_head;
+        let slot = &mut self.slots[idx as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.state = SlotState::Free;
+        slot.next_free = next_free;
+        self.free_head = idx;
+    }
+
+    /// Restores the invariant that the heap top is never a tombstone.
+    fn drain_tombstones(&mut self) {
+        while self.tombstones > 0 {
+            let Some(top) = self.heap.peek() else { return };
+            if self.slots[top.slot as usize].state != SlotState::Cancelled {
+                return;
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            self.free_slot(entry.slot);
+            self.tombstones -= 1;
+        }
+    }
+
     /// Schedules `event` at absolute time `at`. Times in the past are
     /// clamped to `now`. Returns a token usable with [`EventQueue::cancel`].
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
@@ -131,9 +263,14 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.pending.insert(seq);
-        let token = EventToken(seq);
-        self.heap.push(Entry { at, seq, event });
+        let slot = self.alloc_slot();
+        let token = EventToken::new(slot, self.slots[slot as usize].gen);
+        self.heap.push(Entry {
+            at,
+            seq,
+            slot,
+            event,
+        });
         token
     }
 
@@ -149,14 +286,22 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event
-    /// was still pending. Cancelling twice, or cancelling an event that
-    /// already fired, returns `false`.
+    /// was still pending. Cancelling twice, cancelling an event that
+    /// already fired, or cancelling across a [`EventQueue::clear`]
+    /// returns `false`.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if !self.pending.remove(&token.0) {
+        let idx = token.slot();
+        let Some(slot) = self.slots.get_mut(idx as usize) else {
+            return false;
+        };
+        if slot.gen != token.gen() || slot.state != SlotState::Pending {
             return false;
         }
-        // Lazily mark; the entry is skipped at pop time.
-        self.cancelled.insert(token.0);
+        slot.state = SlotState::Cancelled;
+        self.tombstones += 1;
+        self.cancelled_total += 1;
+        // Keep the heap top tombstone-free so `next_time` stays a pure peek.
+        self.drain_tombstones();
         true
     }
 
@@ -164,38 +309,61 @@ impl<E> EventQueue<E> {
     /// advancing the simulated clock. Returns `None` when the queue is
     /// drained.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            debug_assert!(entry.at >= self.now, "time must be monotone");
-            self.pending.remove(&entry.seq);
-            self.now = entry.at;
-            self.popped_total += 1;
-            return Some((entry.at, entry.event));
-        }
-        None
+        // The top is never a tombstone, so the first entry is live.
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "time must be monotone");
+        debug_assert_eq!(self.slots[entry.slot as usize].state, SlotState::Pending);
+        self.free_slot(entry.slot);
+        self.now = entry.at;
+        self.popped_total += 1;
+        self.drain_tombstones();
+        Some((entry.at, entry.event))
     }
 
     /// The timestamp of the next pending event without removing it.
+    /// Non-mutating: tombstones are drained eagerly on `cancel`/`pop`,
+    /// never surfacing here.
     #[must_use]
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let e = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&e.seq);
-                continue;
-            }
-            return Some(entry.at);
-        }
-        None
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|entry| entry.at)
     }
 
-    /// Discards all pending events without changing the clock.
+    /// The timestamp of the next pending event without removing it.
+    ///
+    /// Retained for callers that already hold `&mut self`; prefer
+    /// [`EventQueue::next_time`] at read-only call sites.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.next_time()
+    }
+
+    /// Discards all pending events without changing the clock or the
+    /// lifetime counters.
+    ///
+    /// Reset semantics: pending events are counted in
+    /// [`EventQueue::discarded_total`] (they were neither popped nor
+    /// cancelled), tombstone accounting is drained, and every slab slot
+    /// is released with a generation bump — so a token issued before
+    /// `clear()` can never cancel an event scheduled after it. The
+    /// accounting identity
+    /// `scheduled == popped + cancelled + discarded + len` keeps holding
+    /// across arbitrary clear/reuse cycles.
     pub fn clear(&mut self) {
+        self.discarded_total += self.len() as u64;
         self.heap.clear();
-        self.pending.clear();
-        self.cancelled.clear();
+        self.tombstones = 0;
+        // Rebuild the free list, invalidating every outstanding token.
+        self.free_head = NIL;
+        for idx in (0..self.slots.len()).rev() {
+            let next_free = self.free_head;
+            let slot = &mut self.slots[idx];
+            if slot.state != SlotState::Free {
+                slot.gen = slot.gen.wrapping_add(1);
+                slot.state = SlotState::Free;
+            }
+            slot.next_free = next_free;
+            self.free_head = u32::try_from(idx).expect("slab exceeds u32 slots");
+        }
     }
 }
 
@@ -267,6 +435,18 @@ mod tests {
     }
 
     #[test]
+    fn stale_token_cannot_cancel_recycled_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_nanos(1), "a");
+        q.pop();
+        // "b" reuses the slab slot "a" occupied; the old token's
+        // generation no longer matches.
+        q.schedule_at(SimTime::from_nanos(2), "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
     fn schedule_in_is_relative() {
         let mut q = EventQueue::new();
         q.schedule_at(SimTime::from_micros(100), "first");
@@ -283,7 +463,42 @@ mod tests {
         q.schedule_at(SimTime::from_nanos(5), "b");
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5)));
+        assert_eq!(q.next_time(), Some(SimTime::from_nanos(5)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn next_time_is_nonmutating_and_exact() {
+        let mut q = EventQueue::new();
+        let mut toks = Vec::new();
+        for i in 0..10u64 {
+            toks.push(q.schedule_at(SimTime::from_nanos(i), i));
+        }
+        // Cancel a prefix: tombstones at the top must be drained so the
+        // immutable peek sees the first live event.
+        for t in &toks[..4] {
+            q.cancel(*t);
+        }
+        let q = &q; // immutable from here on
+        assert_eq!(q.next_time(), Some(SimTime::from_nanos(4)));
+        assert_eq!(q.len(), 6);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn cancelling_everything_empties_the_queue() {
+        let mut q = EventQueue::new();
+        let toks: Vec<_> = (0..32u64)
+            .map(|i| q.schedule_at(SimTime::from_nanos(i), i))
+            .collect();
+        for t in toks {
+            assert!(q.cancel(t));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.next_time(), None);
+        assert!(q.pop().is_none());
+        assert_eq!(q.cancelled_total(), 32);
     }
 
     #[test]
@@ -296,5 +511,94 @@ mod tests {
         assert_eq!(q.popped_total(), 1);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_reset_semantics_stay_consistent() {
+        // Regression test: `clear()` must leave the accounting identity
+        // `scheduled == popped + cancelled + discarded + len` intact and
+        // the tombstone/slab state reusable.
+        let identity = |q: &EventQueue<u64>| {
+            assert_eq!(
+                q.scheduled_total(),
+                q.popped_total() + q.cancelled_total() + q.discarded_total() + q.len() as u64
+            );
+        };
+        let mut q = EventQueue::new();
+        let mut toks = Vec::new();
+        for i in 0..10u64 {
+            toks.push(q.schedule_at(SimTime::from_nanos(i), i));
+        }
+        q.pop();
+        q.cancel(toks[5]);
+        identity(&q);
+        let pre_clear_token = toks[7];
+        q.clear();
+        identity(&q);
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 10);
+        assert_eq!(q.popped_total(), 1);
+        assert_eq!(q.cancelled_total(), 1);
+        assert_eq!(q.discarded_total(), 8);
+
+        // Reuse after clear: fresh events schedule, cancel, and pop
+        // normally; stale tokens from before the clear are inert.
+        let b = q.schedule_at(SimTime::from_micros(1), 100);
+        assert!(!q.cancel(pre_clear_token), "stale token must not cancel");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+        assert!(q.pop().is_none());
+        identity(&q);
+        q.schedule_at(SimTime::from_micros(2), 101);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(101));
+        identity(&q);
+        // The clock survived the clear (clear is not a time reset).
+        assert_eq!(q.now(), SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn clear_drains_tombstone_accounting() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_nanos(5), 1);
+        q.schedule_at(SimTime::from_nanos(1), 2);
+        q.cancel(a); // tombstone buried below the live top
+        q.clear();
+        assert_eq!(q.len(), 0);
+        // Tombstones from before the clear never resurface.
+        for i in 0..4u64 {
+            q.schedule_at(SimTime::from_nanos(10 + i), i);
+        }
+        assert_eq!(q.len(), 4);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn determinism_with_interleaved_cancels() {
+        // The tombstone scheme must preserve bit-for-bit FIFO-tie order
+        // against the reference behaviour: same (time, seq) order, with
+        // cancelled events elided.
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut out = Vec::new();
+            let mut toks = Vec::new();
+            for i in 0..200u64 {
+                toks.push(q.schedule_at(SimTime::from_nanos(i % 17), i));
+            }
+            for (i, t) in toks.iter().enumerate() {
+                if i % 3 == 0 {
+                    q.cancel(*t);
+                }
+            }
+            while let Some((t, e)) = q.pop() {
+                out.push((t, e));
+                if e % 7 == 0 {
+                    q.schedule_in(SimDuration::from_nanos(e % 5), 1000 + e);
+                }
+            }
+            out
+        };
+        assert_eq!(run(), run());
     }
 }

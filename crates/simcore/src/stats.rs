@@ -191,6 +191,16 @@ impl DurationHistogram {
         self.samples.clear();
         self.sorted = true;
     }
+
+    /// Appends every sample of `other` (used when merging per-worker
+    /// registries back together).
+    pub fn merge_from(&mut self, other: &DurationHistogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
 }
 
 /// A `(time, value)` series, e.g. throughput over time for Figure 4(a).
@@ -256,6 +266,11 @@ impl TimeSeries {
             .find(|&&(_, v)| v >= threshold)
             .map(|&(t, _)| t)
     }
+
+    /// Appends every point of `other` in its insertion order.
+    pub fn extend_from(&mut self, other: &TimeSeries) {
+        self.points.extend_from_slice(&other.points);
+    }
 }
 
 /// Counts discrete completions and converts windows into rates.
@@ -319,13 +334,25 @@ impl ThroughputMeter {
             self.total as f64 / now.as_secs_f64()
         }
     }
+
+    /// Folds `other` into `self`: totals add, sampled series append.
+    pub fn merge_from(&mut self, other: &ThroughputMeter) {
+        self.total += other.total;
+        self.window += other.window;
+        self.series.extend_from(&other.series);
+        self.last_sample = self.last_sample.max(other.last_sample);
+    }
 }
 
 /// Simple named counters for component statistics (faults, drops,
 /// retransmissions, ...).
+///
+/// Hash-keyed so the hot path (`add`/`bump` on an existing counter)
+/// allocates nothing; [`Counters::iter`] sorts by name so exports stay
+/// deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
-    entries: std::collections::BTreeMap<String, u64>,
+    entries: std::collections::HashMap<Box<str>, u64>,
 }
 
 impl Counters {
@@ -337,7 +364,11 @@ impl Counters {
 
     /// Adds `n` to counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &str, n: u64) {
-        *self.entries.entry(name.to_owned()).or_insert(0) += n;
+        if let Some(v) = self.entries.get_mut(name) {
+            *v += n;
+        } else {
+            self.entries.insert(name.into(), n);
+        }
     }
 
     /// Increments counter `name` by one.
@@ -353,7 +384,16 @@ impl Counters {
 
     /// Iterates over `(name, value)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+        let mut pairs: Vec<(&str, u64)> = self.entries.iter().map(|(k, &v)| (&**k, v)).collect();
+        pairs.sort_unstable_by_key(|&(name, _)| name);
+        pairs.into_iter()
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge_from(&mut self, other: &Counters) {
+        for (name, value) in other.iter() {
+            self.add(name, value);
+        }
     }
 }
 

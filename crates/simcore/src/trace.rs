@@ -38,10 +38,10 @@
 //! ```
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 
-use crate::stats::{Counters, DurationHistogram, ThroughputMeter, TimeSeries};
+use crate::stats::{DurationHistogram, ThroughputMeter, TimeSeries};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a span within one recorder.
@@ -140,16 +140,78 @@ impl TraceRecord {
     }
 }
 
+/// Interned handle for one metric name inside a [`MetricsRegistry`].
+///
+/// Resolve once with [`MetricsRegistry::metric_id`] (or implicitly via
+/// the string-keyed update methods), then update through the `*_id`
+/// methods: those are plain array indexing — no hashing, no allocation
+/// — which is what the event-dispatch hot paths use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    /// The id's dense index (ids are handed out contiguously from 0).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The id→name table: one id space shared by every metric kind.
+#[derive(Debug, Clone, Default)]
+struct NameTable {
+    lookup: HashMap<Box<str>, MetricId>,
+    names: Vec<Box<str>>,
+}
+
+impl NameTable {
+    fn intern(&mut self, name: &str) -> MetricId {
+        if let Some(&id) = self.lookup.get(name) {
+            return id;
+        }
+        let id = MetricId(u32::try_from(self.names.len()).expect("metric names exceed u32"));
+        self.names.push(name.into());
+        self.lookup.insert(name.into(), id);
+        id
+    }
+
+    fn get(&self, name: &str) -> Option<MetricId> {
+        self.lookup.get(name).copied()
+    }
+
+    fn name(&self, id: MetricId) -> &str {
+        &self.names[id.index()]
+    }
+}
+
+/// Grows `storage` so `id` indexes into it, filling with `None`.
+fn slot_mut<T>(storage: &mut Vec<Option<T>>, id: MetricId) -> &mut Option<T> {
+    if storage.len() <= id.index() {
+        storage.resize_with(id.index() + 1, || None);
+    }
+    &mut storage[id.index()]
+}
+
+fn slot<T>(storage: &[Option<T>], id: MetricId) -> Option<&T> {
+    storage.get(id.index()).and_then(Option::as_ref)
+}
+
 /// Registry of named metrics, built on the [`crate::stats`] types so
 /// workloads stop hand-threading histograms where a recorder is
-/// available. All maps are ordered so exports are deterministic.
+/// available.
+///
+/// Names are interned into [`MetricId`]s resolved once; every update is
+/// then an array index into dense per-kind storage. Exports iterate the
+/// id→name table in name order, so the JSON/CSV output is byte-identical
+/// to the historical `BTreeMap`-keyed layout.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: Counters,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, DurationHistogram>,
-    series: BTreeMap<String, TimeSeries>,
-    throughput: BTreeMap<String, ThroughputMeter>,
+    names: NameTable,
+    counters: Vec<Option<u64>>,
+    gauges: Vec<Option<f64>>,
+    histograms: Vec<Option<DurationHistogram>>,
+    series: Vec<Option<TimeSeries>>,
+    throughput: Vec<Option<ThroughputMeter>>,
 }
 
 impl MetricsRegistry {
@@ -159,108 +221,221 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Interns `name`, returning its stable id. Idempotent: the same
+    /// name always yields the same id within one registry.
+    pub fn metric_id(&mut self, name: &str) -> MetricId {
+        self.names.intern(name)
+    }
+
+    /// The name behind `id` (ids come from [`MetricsRegistry::metric_id`]).
+    #[must_use]
+    pub fn metric_name(&self, id: MetricId) -> &str {
+        self.names.name(id)
+    }
+
+    /// Ids of every metric of one kind, sorted by name — the export
+    /// order (and the historical `BTreeMap` iteration order).
+    fn sorted_ids<T>(&self, storage: &[Option<T>]) -> Vec<MetricId> {
+        let mut ids: Vec<MetricId> = (0..storage.len())
+            .filter(|&i| storage[i].is_some())
+            .map(|i| MetricId(i as u32))
+            .collect();
+        ids.sort_unstable_by(|&a, &b| self.names.name(a).cmp(self.names.name(b)));
+        ids
+    }
+
     /// Adds `n` to the monotonic counter `name`.
     pub fn counter_add(&mut self, name: &str, n: u64) {
-        self.counters.add(name, n);
+        let id = self.names.intern(name);
+        self.counter_add_id(id, n);
+    }
+
+    /// Adds `n` to the counter behind a pre-interned id: array-indexed,
+    /// zero allocation.
+    pub fn counter_add_id(&mut self, id: MetricId, n: u64) {
+        *slot_mut(&mut self.counters, id).get_or_insert(0) += n;
     }
 
     /// Reads a monotonic counter.
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name)
-    }
-
-    /// The full monotonic-counter set.
-    #[must_use]
-    pub fn counters(&self) -> &Counters {
-        &self.counters
+        self.names
+            .get(name)
+            .and_then(|id| slot(&self.counters, id).copied())
+            .unwrap_or(0)
     }
 
     /// Sets the gauge `name` to `value`.
     pub fn gauge_set(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_owned(), value);
+        let id = self.names.intern(name);
+        self.gauge_set_id(id, value);
+    }
+
+    /// Sets the gauge behind a pre-interned id.
+    pub fn gauge_set_id(&mut self, id: MetricId, value: f64) {
+        *slot_mut(&mut self.gauges, id) = Some(value);
     }
 
     /// Reads a gauge (its most recent value), if ever set.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.get(name).copied()
+        self.names
+            .get(name)
+            .and_then(|id| slot(&self.gauges, id).copied())
     }
 
     /// Records a duration sample into histogram `name`.
     pub fn duration_record(&mut self, name: &str, d: SimDuration) {
-        self.histograms
-            .entry(name.to_owned())
-            .or_default()
+        let id = self.names.intern(name);
+        self.duration_record_id(id, d);
+    }
+
+    /// Records a duration sample behind a pre-interned id.
+    pub fn duration_record_id(&mut self, id: MetricId, d: SimDuration) {
+        slot_mut(&mut self.histograms, id)
+            .get_or_insert_with(DurationHistogram::new)
             .record(d);
     }
 
     /// The duration histogram `name`, creating it if absent.
     pub fn histogram_mut(&mut self, name: &str) -> &mut DurationHistogram {
-        self.histograms.entry(name.to_owned()).or_default()
+        let id = self.names.intern(name);
+        slot_mut(&mut self.histograms, id).get_or_insert_with(DurationHistogram::new)
     }
 
     /// Appends a `(time, value)` point to series `name`.
     pub fn series_push(&mut self, name: &str, at: SimTime, value: f64) {
-        self.series
-            .entry(name.to_owned())
-            .or_default()
+        let id = self.names.intern(name);
+        self.series_push_id(id, at, value);
+    }
+
+    /// Appends a series point behind a pre-interned id.
+    pub fn series_push_id(&mut self, id: MetricId, at: SimTime, value: f64) {
+        slot_mut(&mut self.series, id)
+            .get_or_insert_with(TimeSeries::new)
             .push(at, value);
     }
 
     /// The time series `name`, if any points were pushed.
     #[must_use]
     pub fn series(&self, name: &str) -> Option<&TimeSeries> {
-        self.series.get(name)
+        self.names.get(name).and_then(|id| slot(&self.series, id))
     }
 
     /// Records `n` completed operations on throughput meter `name`.
     pub fn throughput_record(&mut self, name: &str, n: u64) {
-        self.throughput
-            .entry(name.to_owned())
-            .or_default()
+        let id = self.names.intern(name);
+        self.throughput_record_id(id, n);
+    }
+
+    /// Records completed operations behind a pre-interned id.
+    pub fn throughput_record_id(&mut self, id: MetricId, n: u64) {
+        slot_mut(&mut self.throughput, id)
+            .get_or_insert_with(ThroughputMeter::new)
             .record(n);
     }
 
     /// Closes the sampling window of throughput meter `name` at `now`.
     pub fn throughput_sample(&mut self, name: &str, now: SimTime) {
-        self.throughput
-            .entry(name.to_owned())
-            .or_default()
+        let id = self.names.intern(name);
+        slot_mut(&mut self.throughput, id)
+            .get_or_insert_with(ThroughputMeter::new)
             .sample(now);
     }
 
     /// The throughput meter `name`, if ever recorded.
     #[must_use]
     pub fn throughput(&self, name: &str) -> Option<&ThroughputMeter> {
-        self.throughput.get(name)
+        self.names
+            .get(name)
+            .and_then(|id| slot(&self.throughput, id))
+    }
+
+    /// Folds `other` into `self` (the parallel experiment runner merges
+    /// per-task registries in deterministic task order): counters add,
+    /// gauges take `other`'s latest value, histograms and series append,
+    /// throughput totals add.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for id in other.sorted_ids(&other.counters) {
+            let name = other.names.name(id);
+            let n = slot(&other.counters, id).copied().unwrap_or(0);
+            self.counter_add(name, n);
+        }
+        for id in other.sorted_ids(&other.gauges) {
+            let name = other.names.name(id);
+            if let Some(&v) = slot(&other.gauges, id) {
+                self.gauge_set(name, v);
+            }
+        }
+        for id in other.sorted_ids(&other.histograms) {
+            let name = other.names.name(id);
+            if let Some(h) = slot(&other.histograms, id) {
+                self.histogram_mut(name).merge_from(h);
+            }
+        }
+        for id in other.sorted_ids(&other.series) {
+            let name = other.names.name(id);
+            if let Some(s) = slot(&other.series, id) {
+                let my = self.names.intern(name);
+                slot_mut(&mut self.series, my)
+                    .get_or_insert_with(TimeSeries::new)
+                    .extend_from(s);
+            }
+        }
+        for id in other.sorted_ids(&other.throughput) {
+            let name = other.names.name(id);
+            if let Some(t) = slot(&other.throughput, id) {
+                let my = self.names.intern(name);
+                slot_mut(&mut self.throughput, my)
+                    .get_or_insert_with(ThroughputMeter::new)
+                    .merge_from(t);
+            }
+        }
     }
 
     /// Flat JSON summary: counters, gauges, histogram percentiles,
-    /// series lengths, throughput totals. Deterministic field order.
+    /// series lengths, throughput totals. Deterministic field order
+    /// (name-sorted via the id→name table).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         let mut first = true;
-        for (name, value) in self.counters.iter() {
+        for id in self.sorted_ids(&self.counters) {
+            let value = slot(&self.counters, id).copied().unwrap_or(0);
             if !first {
                 out.push(',');
             }
             first = false;
-            let _ = write!(out, "\n    \"{}\": {}", escape_json(name), value);
+            let _ = write!(
+                out,
+                "\n    \"{}\": {}",
+                escape_json(self.names.name(id)),
+                value
+            );
         }
         out.push_str("\n  },\n  \"gauges\": {");
         first = true;
-        for (name, value) in &self.gauges {
+        for id in self.sorted_ids(&self.gauges) {
+            let Some(&value) = slot(&self.gauges, id) else {
+                continue;
+            };
             if !first {
                 out.push(',');
             }
             first = false;
-            let _ = write!(out, "\n    \"{}\": {}", escape_json(name), fmt_f64(*value));
+            let _ = write!(
+                out,
+                "\n    \"{}\": {}",
+                escape_json(self.names.name(id)),
+                fmt_f64(value)
+            );
         }
         out.push_str("\n  },\n  \"histograms\": {");
         first = true;
-        for (name, hist) in &self.histograms {
+        for id in self.sorted_ids(&self.histograms) {
+            let Some(hist) = slot(&self.histograms, id) else {
+                continue;
+            };
             if !first {
                 out.push(',');
             }
@@ -269,7 +444,7 @@ impl MetricsRegistry {
             let _ = write!(
                 out,
                 "\n    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
-                escape_json(name),
+                escape_json(self.names.name(id)),
                 h.count(),
                 h.percentile(0.50).as_nanos(),
                 h.percentile(0.95).as_nanos(),
@@ -279,7 +454,10 @@ impl MetricsRegistry {
         }
         out.push_str("\n  },\n  \"series\": {");
         first = true;
-        for (name, series) in &self.series {
+        for id in self.sorted_ids(&self.series) {
+            let Some(series) = slot(&self.series, id) else {
+                continue;
+            };
             if !first {
                 out.push(',');
             }
@@ -287,13 +465,16 @@ impl MetricsRegistry {
             let _ = write!(
                 out,
                 "\n    \"{}\": {{\"points\": {}}}",
-                escape_json(name),
+                escape_json(self.names.name(id)),
                 series.len()
             );
         }
         out.push_str("\n  },\n  \"throughput\": {");
         first = true;
-        for (name, meter) in &self.throughput {
+        for id in self.sorted_ids(&self.throughput) {
+            let Some(meter) = slot(&self.throughput, id) else {
+                continue;
+            };
             if !first {
                 out.push(',');
             }
@@ -301,7 +482,7 @@ impl MetricsRegistry {
             let _ = write!(
                 out,
                 "\n    \"{}\": {{\"total\": {}}}",
-                escape_json(name),
+                escape_json(self.names.name(id)),
                 meter.total()
             );
         }
@@ -314,13 +495,22 @@ impl MetricsRegistry {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from("kind,name,value\n");
-        for (name, value) in self.counters.iter() {
+        for id in self.sorted_ids(&self.counters) {
+            let name = self.names.name(id);
+            let value = slot(&self.counters, id).copied().unwrap_or(0);
             let _ = writeln!(out, "counter,{name},{value}");
         }
-        for (name, value) in &self.gauges {
-            let _ = writeln!(out, "gauge,{name},{}", fmt_f64(*value));
+        for id in self.sorted_ids(&self.gauges) {
+            let name = self.names.name(id);
+            if let Some(&value) = slot(&self.gauges, id) {
+                let _ = writeln!(out, "gauge,{name},{}", fmt_f64(value));
+            }
         }
-        for (name, hist) in &self.histograms {
+        for id in self.sorted_ids(&self.histograms) {
+            let name = self.names.name(id);
+            let Some(hist) = slot(&self.histograms, id) else {
+                continue;
+            };
             let mut h = hist.clone();
             let _ = writeln!(
                 out,
@@ -329,8 +519,11 @@ impl MetricsRegistry {
             );
             let _ = writeln!(out, "histogram_max_ns,{name},{}", h.max().as_nanos());
         }
-        for (name, meter) in &self.throughput {
-            let _ = writeln!(out, "throughput_total,{name},{}", meter.total());
+        for id in self.sorted_ids(&self.throughput) {
+            let name = self.names.name(id);
+            if let Some(meter) = slot(&self.throughput, id) {
+                let _ = writeln!(out, "throughput_total,{name},{}", meter.total());
+            }
         }
         out
     }
@@ -347,6 +540,12 @@ pub struct TraceRecorder {
     open: Vec<(SpanId, SimTime, &'static str, &'static str, Args)>,
     clock: SimTime,
     metrics: MetricsRegistry,
+    /// Interned `track.name` gauge ids for counter samples, so the
+    /// hot-path mirror into the metrics registry never re-formats or
+    /// re-hashes the joined name. Keyed by the `&'static str` pair —
+    /// hashing the string contents, which is correct even if the same
+    /// literal has several addresses across codegen units.
+    counter_gauges: HashMap<(&'static str, &'static str), MetricId>,
 }
 
 impl TraceRecorder {
@@ -362,6 +561,7 @@ impl TraceRecorder {
             open: Vec::new(),
             clock: SimTime::ZERO,
             metrics: MetricsRegistry::new(),
+            counter_gauges: HashMap::new(),
         }
     }
 
@@ -418,6 +618,43 @@ impl TraceRecorder {
     /// Mutable metrics access.
     pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
         &mut self.metrics
+    }
+
+    /// Appends every record of `other` to this ring and folds its
+    /// metrics in. Span ids (and parent links) are re-based onto this
+    /// recorder's id space, so absorbing per-task recorders in task
+    /// order yields the same ids a single serial recorder would have
+    /// assigned. Used by the parallel experiment runner.
+    pub fn absorb(&mut self, other: TraceRecorder) {
+        let base = self.next_span;
+        let rebase = |id: SpanId| SpanId(base + id.0);
+        for record in other.ring {
+            let record = match record {
+                TraceRecord::Span {
+                    id,
+                    parent,
+                    start,
+                    duration,
+                    track,
+                    name,
+                    args,
+                } => TraceRecord::Span {
+                    id: rebase(id),
+                    parent: parent.map(rebase),
+                    start,
+                    duration,
+                    track,
+                    name,
+                    args,
+                },
+                other => other,
+            };
+            self.push(record);
+        }
+        self.next_span = base + other.next_span;
+        self.dropped += other.dropped;
+        self.set_clock(other.clock);
+        self.metrics.merge_from(&other.metrics);
     }
 
     fn push(&mut self, record: TraceRecord) {
@@ -505,9 +742,18 @@ impl TraceRecorder {
     }
 
     /// Records a counter/gauge sample (also mirrored into the metrics
-    /// registry as a gauge under `track.name`).
+    /// registry as a gauge under `track.name`). The joined gauge name is
+    /// interned on first use; subsequent samples are array-indexed.
     pub fn counter(&mut self, at: SimTime, track: &'static str, name: &'static str, value: f64) {
-        self.metrics.gauge_set(&format!("{track}.{name}"), value);
+        let id = match self.counter_gauges.get(&(track, name)) {
+            Some(&id) => id,
+            None => {
+                let id = self.metrics.metric_id(&format!("{track}.{name}"));
+                self.counter_gauges.insert((track, name), id);
+                id
+            }
+        };
+        self.metrics.gauge_set_id(id, value);
         self.push(TraceRecord::Counter {
             at,
             track,

@@ -597,7 +597,7 @@ impl EthTestbed {
 
     /// Runs until simulated time `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
+        while let Some(t) = self.queue.next_time() {
             if t > deadline {
                 break;
             }
@@ -609,7 +609,7 @@ impl EthTestbed {
     /// passes; returns the completion time if reached.
     pub fn run_until_ops(&mut self, ops: u64, deadline: SimTime) -> Option<SimTime> {
         while self.total_ops() < ops {
-            let t = self.queue.peek_time()?;
+            let t = self.queue.next_time()?;
             if t > deadline {
                 return None;
             }

@@ -518,7 +518,7 @@ impl IbCluster {
         self.queue.schedule_at(target, IbEvent::Nop);
         while let Some((_, ev)) = {
             // Pop only events at or before the target.
-            match self.queue.peek_time() {
+            match self.queue.next_time() {
                 Some(t) if t <= target => self.queue.pop(),
                 _ => None,
             }

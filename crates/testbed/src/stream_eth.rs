@@ -220,7 +220,7 @@ pub fn run_stream(config: StreamBedConfig) -> StreamBedResult {
     );
 
     let deadline = SimTime::ZERO + config.duration;
-    while let Some(t) = queue.peek_time() {
+    while let Some(t) = queue.next_time() {
         if t > deadline {
             break;
         }

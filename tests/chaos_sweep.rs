@@ -16,8 +16,16 @@
 //! `CHAOS_SEED_BASE` shifts every seed, letting CI sweep disjoint seed
 //! ranges per matrix job. A failing seed is printed in the assertion
 //! message; `EXPERIMENTS.md` describes how to replay it.
+//!
+//! `CHAOS_JOBS` fans the sweep's cells across worker threads (default
+//! 1). Every cell is hermetic — it installs its own thread-local
+//! [`InvariantChecker`] and owns its testbeds — and cell totals are
+//! merged in cell order, so the sweep's result is identical at every
+//! job count.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use npf::prelude::*;
 use npf::rdmasim::types::{SendOp, WcStatus};
@@ -33,6 +41,57 @@ fn seed_base() -> u64 {
         .unwrap_or(0xC0FF_EE00)
 }
 
+/// Worker-thread count for the sweep, from `CHAOS_JOBS` (default 1;
+/// `0` means all available cores).
+fn sweep_jobs() -> usize {
+    let n: usize = std::env::var("CHAOS_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    if n == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        n
+    }
+}
+
+/// Runs one sweep cell per config across [`sweep_jobs`] worker threads
+/// and merges the per-cell injection totals in cell order. A cell
+/// assertion failure propagates when the scope joins, so a failing seed
+/// still fails the test with its message.
+fn sweep(
+    cells: Vec<ChaosConfig>,
+    run: impl Fn(ChaosConfig) -> HashMap<String, u64> + Sync,
+) -> HashMap<String, u64> {
+    let n = cells.len();
+    let jobs = sweep_jobs().clamp(1, n.max(1));
+    let outputs: Vec<Mutex<Option<HashMap<String, u64>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                *outputs[i].lock().expect("cell slot poisoned") = Some(run(cells[i]));
+            });
+        }
+    });
+    let mut totals = HashMap::new();
+    for slot in outputs {
+        let cell = slot
+            .into_inner()
+            .expect("cell slot poisoned")
+            .expect("worker loop fills every slot");
+        for (name, value) in cell {
+            *totals.entry(name).or_default() += value;
+        }
+    }
+    totals
+}
+
 /// Accumulates one chaos counter set into the sweep totals.
 fn accumulate(totals: &mut HashMap<String, u64>, counters: &npf::simcore::stats::Counters) {
     for (name, value) in counters.iter() {
@@ -43,7 +102,8 @@ fn accumulate(totals: &mut HashMap<String, u64>, counters: &npf::simcore::stats:
 /// Drives a 24-message stream over a two-node IB cluster under `chaos`
 /// and checks exactly-once byte-exact delivery plus every global
 /// invariant. Returns injection totals for coverage accounting.
-fn run_ib(chaos: ChaosConfig, totals: &mut HashMap<String, u64>) {
+fn run_ib(chaos: ChaosConfig) -> HashMap<String, u64> {
+    let mut totals = HashMap::new();
     assert!(
         invariant::install(InvariantChecker::new(chaos.seed)).is_none(),
         "stale checker"
@@ -126,18 +186,20 @@ fn run_ib(chaos: ChaosConfig, totals: &mut HashMap<String, u64>) {
     assert!(checker.checks() > 0, "checker actually ran");
 
     if let Some(engine) = c.chaos() {
-        accumulate(totals, engine.counters());
+        accumulate(&mut totals, engine.counters());
     }
     for n in 0..2 {
-        accumulate(totals, c.node(n).engine().counters());
+        accumulate(&mut totals, c.node(n).engine().counters());
     }
+    totals
 }
 
 /// Drives the memcached testbed for one simulated second under `chaos`
 /// and checks liveness (no failed connections, ops served) plus every
 /// global invariant, then hunts for a quiescent cut where no NPF is
 /// outstanding so `finish()` can certify resolution liveness.
-fn run_eth(chaos: ChaosConfig, totals: &mut HashMap<String, u64>) {
+fn run_eth(chaos: ChaosConfig) -> HashMap<String, u64> {
+    let mut totals = HashMap::new();
     assert!(
         invariant::install(InvariantChecker::new(chaos.seed)).is_none(),
         "stale checker"
@@ -204,18 +266,18 @@ fn run_eth(chaos: ChaosConfig, totals: &mut HashMap<String, u64>) {
     assert!(checker.checks() > 0, "checker actually ran");
 
     if let Some(engine) = bed.chaos() {
-        accumulate(totals, engine.counters());
+        accumulate(&mut totals, engine.counters());
     }
-    accumulate(totals, bed.engine().counters());
+    accumulate(&mut totals, bed.engine().counters());
     let (lost, delayed) = bed.irq_chaos_counts();
     *totals.entry("moderator_irq_lost".into()).or_default() += lost;
     *totals.entry("moderator_irq_delayed".into()).or_default() += delayed;
+    totals
 }
 
 #[test]
 fn ib_chaos_sweep_holds_invariants() {
     let base = seed_base();
-    let mut totals = HashMap::new();
     let profiles = [
         ChaosProfile::Network,
         ChaosProfile::Npf,
@@ -223,12 +285,14 @@ fn ib_chaos_sweep_holds_invariants() {
         ChaosProfile::Iommu,
         ChaosProfile::All,
     ];
-    for (p, profile) in profiles.into_iter().enumerate() {
-        for s in 0..2u64 {
-            let seed = base + (p as u64) * 100 + s;
-            run_ib(ChaosConfig::profile(profile, seed), &mut totals);
-        }
-    }
+    let cells: Vec<ChaosConfig> = profiles
+        .into_iter()
+        .enumerate()
+        .flat_map(|(p, profile)| {
+            (0..2u64).map(move |s| ChaosConfig::profile(profile, base + (p as u64) * 100 + s))
+        })
+        .collect();
+    let totals = sweep(cells, run_ib);
     // Every IB-reachable fault class must have fired somewhere in the
     // sweep.
     for class in [
@@ -255,7 +319,6 @@ fn ib_chaos_sweep_holds_invariants() {
 #[test]
 fn eth_chaos_sweep_holds_invariants() {
     let base = seed_base();
-    let mut totals = HashMap::new();
     let profiles = [
         ChaosProfile::Network,
         ChaosProfile::Interrupts,
@@ -263,12 +326,15 @@ fn eth_chaos_sweep_holds_invariants() {
         ChaosProfile::Memory,
         ChaosProfile::All,
     ];
-    for (p, profile) in profiles.into_iter().enumerate() {
-        for s in 0..2u64 {
-            let seed = base + 0x1000 + (p as u64) * 100 + s;
-            run_eth(ChaosConfig::profile(profile, seed), &mut totals);
-        }
-    }
+    let cells: Vec<ChaosConfig> = profiles
+        .into_iter()
+        .enumerate()
+        .flat_map(|(p, profile)| {
+            (0..2u64)
+                .map(move |s| ChaosConfig::profile(profile, base + 0x1000 + (p as u64) * 100 + s))
+        })
+        .collect();
+    let totals = sweep(cells, run_eth);
     for class in ["net_drop", "net_reorder", "irq_lost", "irq_delayed"] {
         assert!(
             totals.get(class).copied().unwrap_or(0) > 0,
@@ -293,12 +359,11 @@ fn eth_chaos_sweep_holds_invariants() {
 #[test]
 fn same_chaos_seed_replays_identically() {
     let chaos = ChaosConfig::profile(ChaosProfile::All, seed_base() + 7);
-    let run = || {
-        let mut totals = HashMap::new();
-        run_ib(chaos, &mut totals);
-        totals
-    };
-    assert_eq!(run(), run(), "a chaos seed must replay bit-for-bit");
+    assert_eq!(
+        run_ib(chaos),
+        run_ib(chaos),
+        "a chaos seed must replay bit-for-bit"
+    );
 }
 
 #[test]

@@ -16,6 +16,9 @@
 
 use std::time::Instant;
 
+use iommu::{Iommu, RangeCheck, TableMode};
+use memsim::lru::LruTracker;
+use memsim::types::{FrameId, PageRange, SpaceId, Vpn};
 use npf_bench::par_runner::task;
 use simcore::event::EventQueue;
 use simcore::time::SimDuration;
@@ -140,6 +143,89 @@ fn bench_metrics() -> Sample {
     })
 }
 
+/// Translation fast path, warm: 4096 single-page DMA checks that all
+/// hit the IOTLB (mostly the level-0 run cache — the descriptors walk
+/// contiguous VAs).
+fn bench_translate_hit() -> Sample {
+    let mut mmu = Iommu::new(8192);
+    let d = mmu.create_domain(TableMode::PageFaultCapable);
+    let pairs: Vec<(Vpn, FrameId)> = (0..4096u64).map(|i| (Vpn(i), FrameId(i + 64))).collect();
+    mmu.map_batch(d, &pairs, true);
+    // Warm the TLB with one pass.
+    for i in 0..4096u64 {
+        mmu.check_dma(d, Vpn(i), true);
+    }
+    measure("translate_hit_4k", 4096, move || {
+        let mut sum = 0u64;
+        for i in 0..4096u64 {
+            if let iommu::DmaCheck::Ok(f) = mmu.check_dma(d, Vpn(i), true) {
+                sum = sum.wrapping_add(f.0);
+            }
+        }
+        std::hint::black_box(sum);
+    })
+}
+
+/// Cold walks: every page misses the IOTLB and takes a full table walk
+/// plus a queued page request — the fault-path cost per page.
+fn bench_walk_miss_cold() -> Sample {
+    measure("walk_miss_cold", 2048, || {
+        let mut mmu = Iommu::new(64);
+        let d = mmu.create_domain(TableMode::PageFaultCapable);
+        let mut faults = 0usize;
+        for i in 0..2048u64 {
+            if let iommu::DmaCheck::Fault(_) = mmu.check_dma(d, Vpn(i), true) {
+                faults += 1;
+            }
+        }
+        std::hint::black_box((faults, mmu.drain_requests().len()));
+    })
+}
+
+/// Batched scatter-gather resolution: 64 64-page ranges checked through
+/// `check_dma_range`, each costing one walk with a contiguous fill
+/// (the §4.3 batching ablation's fast side).
+fn bench_sg_batch() -> Sample {
+    let mut mmu = Iommu::new(8192);
+    let d = mmu.create_domain(TableMode::PageFaultCapable);
+    let pairs: Vec<(Vpn, FrameId)> = (0..4096u64).map(|i| (Vpn(i), FrameId(i + 64))).collect();
+    mmu.map_batch(d, &pairs, true);
+    measure("sg_batch_64p", 64 * 64, move || {
+        // Flush so every range pays exactly one walk, not a TLB sweep.
+        mmu.shootdown_all();
+        let mut ok = 0usize;
+        for r in 0..64u64 {
+            let range = PageRange::new(Vpn(r * 64), 64);
+            if matches!(mmu.check_dma_range(d, range, true), RangeCheck::Ok) {
+                ok += 1;
+            }
+        }
+        std::hint::black_box(ok);
+    })
+}
+
+/// LRU churn: touches over a working set with steady evictions — the
+/// reclaim bookkeeping that used to cost two `BTreeMap` updates per
+/// touch and now costs O(1) list splices.
+fn bench_lru_touch_evict() -> Sample {
+    measure("lru_touch_evict", 8192 + 4096, || {
+        let mut lru = LruTracker::new();
+        let s = SpaceId(0);
+        for i in 0..8192u64 {
+            lru.touch(s, Vpn(i % 6144));
+            // Keep the tracked set at 4096: evict once it grows past.
+            if lru.len() > 4096 {
+                lru.pop_oldest();
+            }
+        }
+        let mut drained = 0u64;
+        while let Some((_, v)) = lru.pop_oldest() {
+            drained = drained.wrapping_add(v.0);
+        }
+        std::hint::black_box(drained);
+    })
+}
+
 /// Reduced-size figure runs timed end to end, through the same
 /// `par_runner` machinery the real binaries use.
 fn figure_wall_clocks() -> Vec<(&'static str, f64)> {
@@ -252,6 +338,10 @@ fn main() {
         bench_schedule_cancel_pop(),
         bench_churn(),
         bench_metrics(),
+        bench_translate_hit(),
+        bench_walk_miss_cold(),
+        bench_sg_batch(),
+        bench_lru_touch_evict(),
     ];
     for s in &samples {
         println!(

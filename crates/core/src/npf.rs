@@ -17,6 +17,7 @@
 //! be resolved and `complete_fault` applies the IOMMU update; the
 //! testbed schedules the completion event.
 
+use simcore::fxhash::FxHashMap;
 use std::collections::HashMap;
 
 use iommu::{DomainId, Iommu, TableMode};
@@ -86,11 +87,11 @@ pub struct NpfEngine {
     config: NpfConfig,
     mm: MemoryManager,
     iommu: Iommu,
-    bindings: HashMap<DomainId, SpaceId>,
-    pending: HashMap<u64, FaultRecord>,
+    bindings: FxHashMap<DomainId, SpaceId>,
+    pending: FxHashMap<u64, FaultRecord>,
     /// Completion times of outstanding faults, per domain (concurrency
     /// limiting).
-    outstanding: HashMap<DomainId, Vec<SimTime>>,
+    outstanding: FxHashMap<DomainId, Vec<SimTime>>,
     next_fault: u64,
     rng: SimRng,
     /// Invariant-note namespace: salts fault ids (and, via the
@@ -120,9 +121,9 @@ impl NpfEngine {
             config,
             mm,
             iommu,
-            bindings: HashMap::new(),
-            pending: HashMap::new(),
-            outstanding: HashMap::new(),
+            bindings: FxHashMap::default(),
+            pending: FxHashMap::default(),
+            outstanding: FxHashMap::default(),
             next_fault: 0,
             rng,
             chaos_ns: ns,
@@ -291,8 +292,14 @@ impl NpfEngine {
         let mut mappings = Vec::new();
         let mut invalidation_cost = SimDuration::ZERO;
         let mut major = false;
-        for vpn in range.iter() {
-            let pte = self.mm.space(space)?.pte(vpn)?;
+        // One pass over the page tables for the whole scatter-gather
+        // range (the VMA and each PTE leaf are resolved once), then the
+        // per-page fault logic runs on the collected entries.
+        let mut ptes = Vec::with_capacity(range.pages as usize);
+        self.mm
+            .space(space)?
+            .for_each_pte(range, |vpn, pte| ptes.push((vpn, pte)))?;
+        for (vpn, pte) in ptes {
             let frame = if let Some(f) = pte.frame() {
                 if write && pte.cow {
                     // A DMA write to a COW-shared page must break the
@@ -479,16 +486,17 @@ impl NpfEngine {
         // Pages may have been reclaimed again between fault start and
         // completion under extreme pressure; map only what is still
         // resident (the next access faults again, which is correct).
-        for &(vpn, frame) in &record.mappings {
-            if self
-                .mm
-                .space(record.space)
-                .map(|s| s.frame_of(vpn) == Some(frame))
-                .unwrap_or(false)
-            {
-                self.iommu.map(record.domain, vpn, frame, true);
-            }
-        }
+        let still_resident: Vec<(Vpn, FrameId)> = match self.mm.space(record.space) {
+            Ok(s) => record
+                .mappings
+                .iter()
+                .copied()
+                .filter(|&(vpn, frame)| s.frame_of(vpn) == Some(frame))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        self.iommu
+            .map_batch(record.domain, &still_resident, true);
         record
     }
 
@@ -666,14 +674,15 @@ impl NpfEngine {
         for inv in outcome.invalidations {
             cost += self.run_invalidation(inv);
         }
-        for vpn in range.iter() {
-            let frame = self
-                .mm
-                .space(space)?
-                .frame_of(vpn)
-                .expect("pinned page is resident");
-            self.iommu.map(domain, vpn, frame, true);
+        let mut mappings = Vec::with_capacity(range.pages as usize);
+        {
+            let s = self.mm.space(space)?;
+            for vpn in range.iter() {
+                let frame = s.frame_of(vpn).expect("pinned page is resident");
+                mappings.push((vpn, frame));
+            }
         }
+        self.iommu.map_batch(domain, &mappings, true);
         cost += self.config.cost.register_pinned(range.pages);
         Ok(cost)
     }

@@ -17,10 +17,9 @@
 //! [`Registrar`] prices all five against the shared [`NpfEngine`], so
 //! every experiment compares them on identical memory state.
 
-use std::collections::HashMap;
-
+use memsim::lru::LruTracker;
 use memsim::manager::MemError;
-use memsim::types::{PageRange, VirtAddr, Vpn};
+use memsim::types::{PageRange, SpaceId, VirtAddr, Vpn};
 use simcore::time::SimDuration;
 use simcore::units::ByteSize;
 
@@ -63,14 +62,17 @@ pub struct RegistrarStats {
     pub pinned_pages: u64,
 }
 
+/// The pin-down cache tracks one domain's pages; the [`LruTracker`]
+/// key space is unused.
+const CACHE_SPACE: SpaceId = SpaceId(0);
+
 /// Applies one [`Strategy`] against the NPF engine.
 #[derive(Debug)]
 pub struct Registrar {
     strategy: Strategy,
     domain: DomainId,
-    /// Pin-down cache: pinned page -> LRU tick.
-    cache: HashMap<Vpn, u64>,
-    tick: u64,
+    /// Pin-down cache of pinned pages: O(1) touch and LRU eviction.
+    cache: LruTracker,
     stats: RegistrarStats,
 }
 
@@ -81,8 +83,7 @@ impl Registrar {
         Registrar {
             strategy,
             domain,
-            cache: HashMap::new(),
-            tick: 0,
+            cache: LruTracker::new(),
             stats: RegistrarStats::default(),
         }
     }
@@ -160,37 +161,33 @@ impl Registrar {
                 // Which pages miss?
                 let missing: Vec<Vpn> = range
                     .iter()
-                    .filter(|v| !self.cache.contains_key(v))
+                    .filter(|&v| !self.cache.contains(CACHE_SPACE, v))
                     .collect();
                 if missing.is_empty() {
                     self.stats.cache_hits += 1;
                     for vpn in range.iter() {
-                        self.tick += 1;
-                        self.cache.insert(vpn, self.tick);
+                        self.cache.touch(CACHE_SPACE, vpn);
                     }
                     return Ok(cost);
                 }
                 self.stats.cache_misses += 1;
                 // Evict LRU pages until the new ones fit.
                 while self.cache.len() as u64 + missing.len() as u64 > capacity_pages {
-                    let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, &t)| t) else {
+                    let Some((_, victim)) = self.cache.pop_oldest() else {
                         break;
                     };
-                    self.cache.remove(&victim);
                     cost += engine.unpin_and_unmap(self.domain, PageRange::new(victim, 1))?;
                     self.stats.cache_evictions += 1;
                     self.stats.pinned_pages -= 1;
                 }
                 for vpn in missing {
                     cost += engine.pin_and_map(self.domain, PageRange::new(vpn, 1))?;
-                    self.tick += 1;
-                    self.cache.insert(vpn, self.tick);
+                    self.cache.touch(CACHE_SPACE, vpn);
                     self.stats.pinned_pages += 1;
                 }
-                // Refresh LRU ticks of the hit pages too.
+                // Refresh the recency of the hit pages too.
                 for vpn in range.iter() {
-                    self.tick += 1;
-                    self.cache.insert(vpn, self.tick);
+                    self.cache.touch(CACHE_SPACE, vpn);
                 }
                 Ok(cost)
             }

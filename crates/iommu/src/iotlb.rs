@@ -1,25 +1,100 @@
-//! The IOTLB: a translation cache in front of the I/O page tables.
+//! The IOTLB: a two-level translation cache in front of the I/O page
+//! tables.
 //!
-//! Because the device caches translations, the IOprovider must
-//! *invalidate* them when mappings change (Figure 2, steps a–d); stale
-//! entries would let the device DMA into reused frames. The cache is a
-//! capacity-bounded LRU keyed by `(domain, vpn)`.
+//! **Level 0** is a per-domain *contiguity run*: the most recent maximal
+//! run of translations inserted back-to-back onto consecutive frames. A
+//! lookup inside the run resolves with two compares and an add — no
+//! hashing — which is the common case for scatter-gather DMA over
+//! contiguous buffers (and degenerates to a last-translation cache for
+//! single pages). **Level 1** is the associative cache proper: a
+//! capacity-bounded LRU over `(domain, vpn)` whose entries live in a
+//! slab of intrusively linked nodes, so lookup, insert, and eviction are
+//! all O(1) — the previous implementation scanned every entry to pick
+//! the LRU victim on each miss.
+//!
+//! Entries cache the permission bit alongside the frame, so a hit does
+//! not re-walk the page table for permissions. Because the device
+//! caches translations, the IOprovider must *invalidate* them when
+//! mappings change (Figure 2, steps a–d); every path that removes or
+//! changes a translation also drops any level-0 run it overlaps, so the
+//! fast path can never serve a stale translation.
 
-use std::collections::HashMap;
+use simcore::fxhash::FxHashMap;
 
 use memsim::types::{FrameId, PageRange, Vpn};
 
 use crate::pagetable::DomainId;
 
-/// A bounded LRU translation cache.
+const NIL: u32 = u32::MAX;
+
+/// A cached translation: the frame plus the permission bit observed at
+/// walk time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Backing frame.
+    pub frame: FrameId,
+    /// Whether DMA writes are permitted.
+    pub writable: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    domain: DomainId,
+    vpn: Vpn,
+    entry: TlbEntry,
+    /// Intrusive LRU list links (head = oldest, tail = newest).
+    prev: u32,
+    next: u32,
+}
+
+/// Level-0 state for one domain. An empty `slots` means no run.
+#[derive(Debug)]
+struct RunCache {
+    /// First page of the run.
+    vpn0: Vpn,
+    /// Frame backing the first page; page `vpn0 + i` maps to
+    /// `frame0 + i`.
+    frame0: FrameId,
+    /// Uniform permission of the whole run.
+    writable: bool,
+    /// Node slots of the run's pages in ascending-vpn order, so a level-0
+    /// hit can promote its LRU node without consulting the hash index.
+    slots: Vec<u32>,
+}
+
+impl RunCache {
+    fn empty() -> Self {
+        RunCache {
+            vpn0: Vpn(0),
+            frame0: FrameId(0),
+            writable: false,
+            slots: Vec::new(),
+        }
+    }
+
+    fn covers(&self, vpn: Vpn) -> bool {
+        !self.slots.is_empty()
+            && vpn.0 >= self.vpn0.0
+            && vpn.0 - self.vpn0.0 < self.slots.len() as u64
+    }
+}
+
+/// A bounded two-level LRU translation cache.
 #[derive(Debug)]
 pub struct IoTlb {
     capacity: usize,
-    map: HashMap<(DomainId, Vpn), (FrameId, u64)>,
-    tick: u64,
+    /// Level 1 index: key → node slot.
+    index: FxHashMap<(DomainId, Vpn), u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    /// Level 0, indexed by `DomainId.0` (domains are allotted densely).
+    runs: Vec<RunCache>,
     hits: u64,
     misses: u64,
     invalidations: u64,
+    evictions: u64,
 }
 
 impl IoTlb {
@@ -33,15 +108,20 @@ impl IoTlb {
         assert!(capacity > 0, "IOTLB needs at least one entry");
         IoTlb {
             capacity,
-            map: HashMap::new(),
-            tick: 0,
+            index: FxHashMap::default(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            runs: Vec::new(),
             hits: 0,
             misses: 0,
             invalidations: 0,
+            evictions: 0,
         }
     }
 
-    /// Cache hits so far.
+    /// Cache hits so far (either level).
     #[must_use]
     pub fn hits(&self) -> u64 {
         self.hits
@@ -59,16 +139,22 @@ impl IoTlb {
         self.invalidations
     }
 
+    /// Entries displaced by capacity pressure so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Current number of cached translations.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.index.len()
     }
 
     /// `true` when the cache is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.index.is_empty()
     }
 
     /// Whether a translation is currently cached, without promoting it
@@ -78,18 +164,119 @@ impl IoTlb {
     /// [`lookup`]: IoTlb::lookup
     #[must_use]
     pub fn pte_cached(&self, domain: DomainId, vpn: Vpn) -> bool {
-        self.map.contains_key(&(domain, vpn))
+        self.index.contains_key(&(domain, vpn))
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let Node { prev, next, .. } = self.nodes[slot as usize];
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_tail(&mut self, slot: u32) {
+        let old_tail = self.tail;
+        {
+            let n = &mut self.nodes[slot as usize];
+            n.prev = old_tail;
+            n.next = NIL;
+        }
+        if old_tail != NIL {
+            self.nodes[old_tail as usize].next = slot;
+        } else {
+            self.head = slot;
+        }
+        self.tail = slot;
+    }
+
+    fn promote(&mut self, slot: u32) {
+        if self.tail == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_tail(slot);
+    }
+
+    fn drop_run(&mut self, domain: DomainId) {
+        if let Some(r) = self.runs.get_mut(domain.0 as usize) {
+            r.slots.clear();
+        }
+    }
+
+    /// Folds a fresh translation into the domain's level-0 run: extends
+    /// it when this page is the contiguous successor, otherwise restarts
+    /// the run at this page.
+    fn note_insert_in_run(
+        &mut self,
+        domain: DomainId,
+        vpn: Vpn,
+        frame: FrameId,
+        writable: bool,
+        slot: u32,
+    ) {
+        let idx = domain.0 as usize;
+        if self.runs.len() <= idx {
+            self.runs.resize_with(idx + 1, RunCache::empty);
+        }
+        let run = &mut self.runs[idx];
+        let len = run.slots.len() as u64;
+        if len > 0
+            && vpn.0 == run.vpn0.0 + len
+            && frame.0 == run.frame0.0 + len
+            && writable == run.writable
+        {
+            run.slots.push(slot);
+        } else {
+            run.vpn0 = vpn;
+            run.frame0 = frame;
+            run.writable = writable;
+            run.slots.clear();
+            run.slots.push(slot);
+        }
     }
 
     /// Looks up a translation, promoting it on a hit.
     pub fn lookup(&mut self, domain: DomainId, vpn: Vpn) -> Option<FrameId> {
-        self.tick += 1;
-        let tick = self.tick;
-        match self.map.get_mut(&(domain, vpn)) {
-            Some((frame, t)) => {
-                *t = tick;
+        self.lookup_entry(domain, vpn).map(|e| e.frame)
+    }
+
+    /// Looks up a translation with its cached permission bit, promoting
+    /// it on a hit. Hits inside the level-0 run skip the hash index
+    /// entirely.
+    pub fn lookup_entry(&mut self, domain: DomainId, vpn: Vpn) -> Option<TlbEntry> {
+        let l0 = self.runs.get(domain.0 as usize).and_then(|run| {
+            if run.slots.is_empty() || vpn.0 < run.vpn0.0 {
+                return None;
+            }
+            let delta = vpn.0 - run.vpn0.0;
+            (delta < run.slots.len() as u64).then(|| {
+                (
+                    run.slots[delta as usize],
+                    TlbEntry {
+                        frame: FrameId(run.frame0.0 + delta),
+                        writable: run.writable,
+                    },
+                )
+            })
+        });
+        if let Some((slot, entry)) = l0 {
+            debug_assert_eq!(self.nodes[slot as usize].vpn, vpn);
+            self.promote(slot);
+            self.hits += 1;
+            return Some(entry);
+        }
+        match self.index.get(&(domain, vpn)) {
+            Some(&slot) => {
+                self.promote(slot);
                 self.hits += 1;
-                Some(*frame)
+                Some(self.nodes[slot as usize].entry)
             }
             None => {
                 self.misses += 1;
@@ -98,26 +285,105 @@ impl IoTlb {
         }
     }
 
-    /// Inserts a translation after a successful walk, evicting the LRU
-    /// entry if full.
+    /// Inserts a writable translation after a successful walk, evicting
+    /// the LRU entry if full.
     pub fn insert(&mut self, domain: DomainId, vpn: Vpn, frame: FrameId) {
-        self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&(domain, vpn)) {
-            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, &(_, t))| t) {
-                self.map.remove(&victim);
-            }
+        self.insert_pte(domain, vpn, frame, true);
+    }
+
+    /// Inserts a translation with its permission bit, evicting the LRU
+    /// entry if full. Re-inserting a cached page updates it in place and
+    /// promotes it like a hit.
+    pub fn insert_pte(&mut self, domain: DomainId, vpn: Vpn, frame: FrameId, writable: bool) {
+        let key = (domain, vpn);
+        if let Some(&slot) = self.index.get(&key) {
+            self.nodes[slot as usize].entry = TlbEntry { frame, writable };
+            self.promote(slot);
+            self.note_insert_in_run(domain, vpn, frame, writable, slot);
+            return;
         }
-        self.map.insert((domain, vpn), (frame, self.tick));
+        if self.index.len() >= self.capacity {
+            self.evict_oldest();
+        }
+        let entry = TlbEntry { frame, writable };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let n = &mut self.nodes[s as usize];
+                n.domain = domain;
+                n.vpn = vpn;
+                n.entry = entry;
+                s
+            }
+            None => {
+                self.nodes.push(Node {
+                    domain,
+                    vpn,
+                    entry,
+                    prev: NIL,
+                    next: NIL,
+                });
+                u32::try_from(self.nodes.len() - 1).expect("IOTLB slab fits in u32")
+            }
+        };
+        self.push_tail(slot);
+        self.index.insert(key, slot);
+        self.note_insert_in_run(domain, vpn, frame, writable, slot);
+    }
+
+    /// Refreshes a cached translation in place after a re-map, without
+    /// touching recency or counters; no-op when the page is not cached.
+    /// This keeps the cache coherent with the table, so hits never need
+    /// a table re-check.
+    pub fn refresh(&mut self, domain: DomainId, vpn: Vpn, frame: FrameId, writable: bool) {
+        let Some(&slot) = self.index.get(&(domain, vpn)) else {
+            return;
+        };
+        self.nodes[slot as usize].entry = TlbEntry { frame, writable };
+        // The run's arithmetic may now be stale for this page.
+        let stale = self.runs.get(domain.0 as usize).is_some_and(|run| {
+            run.covers(vpn)
+                && (FrameId(run.frame0.0 + (vpn.0 - run.vpn0.0)) != frame
+                    || run.writable != writable)
+        });
+        if stale {
+            self.drop_run(domain);
+        }
+    }
+
+    fn evict_oldest(&mut self) {
+        let slot = self.head;
+        debug_assert_ne!(slot, NIL, "evicting from an empty IOTLB");
+        let n = self.nodes[slot as usize];
+        self.unlink(slot);
+        self.index.remove(&(n.domain, n.vpn));
+        if self
+            .runs
+            .get(n.domain.0 as usize)
+            .is_some_and(|r| r.covers(n.vpn))
+        {
+            self.drop_run(n.domain);
+        }
+        self.free.push(slot);
+        self.evictions += 1;
     }
 
     /// Invalidates one translation. Returns `true` when an entry was
     /// dropped.
     pub fn invalidate(&mut self, domain: DomainId, vpn: Vpn) -> bool {
-        let hit = self.map.remove(&(domain, vpn)).is_some();
-        if hit {
-            self.invalidations += 1;
+        let Some(slot) = self.index.remove(&(domain, vpn)) else {
+            return false;
+        };
+        self.unlink(slot);
+        self.free.push(slot);
+        if self
+            .runs
+            .get(domain.0 as usize)
+            .is_some_and(|r| r.covers(vpn))
+        {
+            self.drop_run(domain);
         }
-        hit
+        self.invalidations += 1;
+        true
     }
 
     /// Invalidates every cached translation of a range.
@@ -133,24 +399,39 @@ impl IoTlb {
     /// Returns the number of entries dropped. Purely a performance
     /// event: the next access re-walks the page tables.
     pub fn flush(&mut self) -> u64 {
-        let n = self.map.len() as u64;
-        self.map.clear();
+        let n = self.index.len() as u64;
+        self.index.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        for r in &mut self.runs {
+            r.slots.clear();
+        }
         self.invalidations += n;
         n
     }
 
     /// Invalidates everything belonging to a domain (channel teardown).
     pub fn invalidate_domain(&mut self, domain: DomainId) -> u64 {
-        let victims: Vec<(DomainId, Vpn)> = self
-            .map
-            .keys()
-            .filter(|(d, _)| *d == domain)
-            .copied()
-            .collect();
-        let n = victims.len() as u64;
-        for v in victims {
-            self.map.remove(&v);
+        // Walk the LRU list (a deterministic order) collecting victims.
+        let mut victims = Vec::new();
+        let mut s = self.head;
+        while s != NIL {
+            let n = &self.nodes[s as usize];
+            if n.domain == domain {
+                victims.push(s);
+            }
+            s = n.next;
         }
+        let n = victims.len() as u64;
+        for slot in victims {
+            let node = self.nodes[slot as usize];
+            self.index.remove(&(node.domain, node.vpn));
+            self.unlink(slot);
+            self.free.push(slot);
+        }
+        self.drop_run(domain);
         self.invalidations += n;
         n
     }
@@ -190,6 +471,7 @@ mod tests {
         assert_eq!(tlb.lookup(D0, Vpn(2)), None);
         assert_eq!(tlb.lookup(D0, Vpn(1)), Some(FrameId(1)));
         assert_eq!(tlb.len(), 2);
+        assert_eq!(tlb.evictions(), 1);
     }
 
     #[test]
@@ -214,8 +496,8 @@ mod tests {
 
     #[test]
     fn eviction_follows_insertion_order_without_lookups() {
-        // With no intervening hits, the recency stamp is the insertion
-        // tick, so victims fall in strict FIFO order.
+        // With no intervening hits, list order is insertion order, so
+        // victims fall in strict FIFO order.
         let mut tlb = IoTlb::new(3);
         for i in 1..=3 {
             tlb.insert(D0, Vpn(i), FrameId(i));
@@ -265,8 +547,8 @@ mod tests {
 
     #[test]
     fn eviction_order_is_deterministic() {
-        // Recency ticks are unique, so `min_by_key` never tie-breaks on
-        // hash-map iteration order: replaying a sequence must strand the
+        // Both levels are deterministic structures (an intrusive list
+        // and a dense run), so replaying a sequence must strand the
         // exact same survivors.
         let survivors = || {
             let mut tlb = IoTlb::new(5);
@@ -301,5 +583,58 @@ mod tests {
         tlb.insert(D0, Vpn(1), FrameId(1));
         tlb.insert(D0, Vpn(5), FrameId(5));
         assert_eq!(tlb.invalidate_range(D0, PageRange::new(Vpn(0), 4)), 1);
+    }
+
+    #[test]
+    fn contiguous_inserts_hit_through_the_run() {
+        // A scatter-gather fill: consecutive pages onto consecutive
+        // frames. Every page of the run must hit, with the right frame.
+        let mut tlb = IoTlb::new(16);
+        for i in 0..8u64 {
+            tlb.insert(D0, Vpn(100 + i), FrameId(500 + i));
+        }
+        for i in 0..8u64 {
+            assert_eq!(tlb.lookup(D0, Vpn(100 + i)), Some(FrameId(500 + i)));
+        }
+        assert_eq!(tlb.hits(), 8);
+    }
+
+    #[test]
+    fn permission_bit_is_cached() {
+        let mut tlb = IoTlb::new(4);
+        tlb.insert_pte(D0, Vpn(1), FrameId(1), false);
+        let e = tlb.lookup_entry(D0, Vpn(1)).expect("hit");
+        assert!(!e.writable);
+        tlb.insert_pte(D0, Vpn(1), FrameId(1), true);
+        assert!(tlb.lookup_entry(D0, Vpn(1)).expect("hit").writable);
+    }
+
+    #[test]
+    fn refresh_updates_without_promoting() {
+        let mut tlb = IoTlb::new(2);
+        tlb.insert(D0, Vpn(1), FrameId(1));
+        tlb.insert(D0, Vpn(2), FrameId(2));
+        tlb.refresh(D0, Vpn(1), FrameId(99), true);
+        // The refreshed frame is visible, but 1 is still the LRU victim.
+        tlb.insert(D0, Vpn(3), FrameId(3));
+        assert_eq!(tlb.lookup(D0, Vpn(1)), None, "refresh must not promote");
+        assert_eq!(tlb.lookup(D0, Vpn(2)), Some(FrameId(2)));
+        // A refresh of an uncached page is a no-op.
+        tlb.refresh(D1, Vpn(1), FrameId(1), true);
+        assert!(!tlb.pte_cached(D1, Vpn(1)));
+    }
+
+    #[test]
+    fn remap_inside_a_run_never_serves_stale_frames() {
+        let mut tlb = IoTlb::new(16);
+        for i in 0..4u64 {
+            tlb.insert(D0, Vpn(i), FrameId(10 + i));
+        }
+        // Remap the middle of the run to a non-contiguous frame.
+        tlb.insert(D0, Vpn(2), FrameId(77));
+        assert_eq!(tlb.lookup(D0, Vpn(2)), Some(FrameId(77)));
+        assert_eq!(tlb.lookup(D0, Vpn(1)), Some(FrameId(11)));
+        tlb.refresh(D0, Vpn(3), FrameId(88), true);
+        assert_eq!(tlb.lookup(D0, Vpn(3)), Some(FrameId(88)));
     }
 }

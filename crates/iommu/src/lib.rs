@@ -30,7 +30,7 @@ pub mod nested;
 pub mod pagetable;
 pub mod unit;
 
-pub use iotlb::IoTlb;
+pub use iotlb::{IoTlb, TlbEntry};
 pub use nested::{Gpn, NestedTranslation, NestedWalk};
 pub use pagetable::{DomainId, IoPageTable, IoPte, TableMode, Translation};
-pub use unit::{DmaCheck, Iommu, PageRequest};
+pub use unit::{DmaCheck, Iommu, PageRequest, RangeCheck};

@@ -9,8 +9,7 @@
 //! pinning; the modified firmware tolerates invalid entries and reports
 //! faults instead. [`TableMode`] captures both behaviours.
 
-use std::collections::HashMap;
-
+use memsim::dense::PageMap;
 use memsim::types::{FrameId, PageRange, Vpn};
 
 /// Identifier of a translation domain (one per IOchannel).
@@ -68,11 +67,15 @@ impl Translation {
 }
 
 /// An I/O page table for one domain.
+///
+/// Entries live in a dense, direct-indexed [`PageMap`]: a walk is two
+/// array indexes in the common case, and [`IoPageTable::walk_range`]
+/// resolves each leaf chunk once for a whole scatter-gather range.
 #[derive(Debug, Clone)]
 pub struct IoPageTable {
     domain: DomainId,
     mode: TableMode,
-    entries: HashMap<Vpn, IoPte>,
+    entries: PageMap<IoPte>,
     walks: u64,
     faults: u64,
 }
@@ -84,7 +87,7 @@ impl IoPageTable {
         IoPageTable {
             domain,
             mode,
-            entries: HashMap::new(),
+            entries: PageMap::new(),
             walks: 0,
             faults: 0,
         }
@@ -129,7 +132,7 @@ impl IoPageTable {
     /// the paper notes invalidations of never-mapped pages cost nothing
     /// extra (§4, Figure 3b).
     pub fn unmap(&mut self, vpn: Vpn) -> bool {
-        self.entries.remove(&vpn).is_some()
+        self.entries.remove(vpn).is_some()
     }
 
     /// Removes every entry in `range`, returning how many were present.
@@ -140,19 +143,19 @@ impl IoPageTable {
     /// Whether `vpn` is currently mapped.
     #[must_use]
     pub fn is_mapped(&self, vpn: Vpn) -> bool {
-        self.entries.contains_key(&vpn)
+        self.entries.contains(vpn)
     }
 
     /// The PTE for `vpn`, if present.
     #[must_use]
     pub fn pte(&self, vpn: Vpn) -> Option<IoPte> {
-        self.entries.get(&vpn).copied()
+        self.entries.get(vpn).copied()
     }
 
     /// Walks the table for a DMA access.
     pub fn translate(&mut self, vpn: Vpn, write: bool) -> Translation {
         self.walks += 1;
-        match self.entries.get(&vpn) {
+        match self.entries.get(vpn) {
             Some(pte) if write && !pte.writable => Translation::Error,
             Some(pte) => Translation::Ok(pte.frame),
             None => {
@@ -163,6 +166,60 @@ impl IoPageTable {
                 }
             }
         }
+    }
+
+    /// Batched walk over a contiguous range (§4.3's scatter-gather
+    /// resolution): *one* walk is charged for the whole range, each leaf
+    /// chunk is resolved once, and `f` receives every page's raw PTE in
+    /// ascending order (`None` = non-present, counted as a fault).
+    pub fn walk_range<F: FnMut(Vpn, Option<IoPte>)>(&mut self, range: PageRange, mut f: F) {
+        self.walks += 1;
+        let mut faults = 0u64;
+        self.entries.scan_range(range, |vpn, pte| {
+            if pte.is_none() {
+                faults += 1;
+            }
+            f(vpn, pte.copied());
+        });
+        self.faults += faults;
+    }
+
+    /// Like [`IoPageTable::translate`] for a whole range in one walk:
+    /// `f` receives each page's [`Translation`] in ascending order.
+    pub fn translate_range<F: FnMut(Vpn, Translation)>(
+        &mut self,
+        range: PageRange,
+        write: bool,
+        mut f: F,
+    ) {
+        let mode = self.mode;
+        self.walk_range(range, |vpn, pte| {
+            let t = match pte {
+                Some(p) if write && !p.writable => Translation::Error,
+                Some(p) => Translation::Ok(p.frame),
+                None => match mode {
+                    TableMode::PageFaultCapable => Translation::Fault,
+                    TableMode::PinnedOnly => Translation::Error,
+                },
+            };
+            f(vpn, t);
+        });
+    }
+
+    /// Whether every page of `range` is present (and writable, when
+    /// `write`), without touching the walk statistics — the side-effect
+    /// free probe behind `is_descriptor_present` checks.
+    #[must_use]
+    pub fn probe_range(&self, range: PageRange, write: bool) -> bool {
+        let mut ok = true;
+        self.entries.scan_range(range, |_, pte| {
+            ok = ok
+                && match pte {
+                    Some(p) => !write || p.writable,
+                    None => false,
+                };
+        });
+        ok
     }
 }
 
@@ -211,6 +268,50 @@ mod tests {
         assert!(t.unmap(Vpn(1)));
         assert!(!t.unmap(Vpn(1)), "second unmap finds nothing");
         assert_eq!(t.translate(Vpn(1), false), Translation::Fault);
+    }
+
+    #[test]
+    fn walk_range_charges_one_walk() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.map(Vpn(1), FrameId(1), true);
+        t.map(Vpn(2), FrameId(2), true);
+        let mut seen = Vec::new();
+        t.translate_range(PageRange::new(Vpn(0), 4), false, |vpn, tr| {
+            seen.push((vpn.0, tr));
+        });
+        assert_eq!(t.walks(), 1, "a batched walk costs one walk");
+        assert_eq!(t.faults(), 2, "faults still count per page");
+        assert_eq!(
+            seen,
+            vec![
+                (0, Translation::Fault),
+                (1, Translation::Ok(FrameId(1))),
+                (2, Translation::Ok(FrameId(2))),
+                (3, Translation::Fault),
+            ]
+        );
+    }
+
+    #[test]
+    fn translate_range_reports_permission_errors() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.map(Vpn(0), FrameId(0), true);
+        t.map(Vpn(1), FrameId(1), false);
+        let mut seen = Vec::new();
+        t.translate_range(PageRange::new(Vpn(0), 2), true, |_, tr| seen.push(tr));
+        assert_eq!(seen, vec![Translation::Ok(FrameId(0)), Translation::Error]);
+    }
+
+    #[test]
+    fn probe_range_is_side_effect_free() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.map(Vpn(0), FrameId(0), true);
+        t.map(Vpn(1), FrameId(1), false);
+        assert!(t.probe_range(PageRange::new(Vpn(0), 2), false));
+        assert!(!t.probe_range(PageRange::new(Vpn(0), 2), true), "read-only");
+        assert!(!t.probe_range(PageRange::new(Vpn(0), 3), false), "hole");
+        assert_eq!(t.walks(), 0);
+        assert_eq!(t.faults(), 0);
     }
 
     #[test]

@@ -3,12 +3,17 @@
 //! This is the functional equivalent of the Connect-IB's on-NIC IOMMU
 //! (the paper uses it in place of ATS/PRI, §4 "Basic NPF Support"), and
 //! also stands in for a platform IOMMU for the Ethernet prototype.
-
-use std::collections::HashMap;
+//!
+//! The unit keeps the IOTLB *coherent* with the page tables: `map` and
+//! `map_batch` refresh any cached entry in place and every invalidation
+//! purges the cache, so a TLB hit never needs to re-walk the table for
+//! permissions. [`Iommu::check_dma_range`] is the batched fast path: the
+//! cached prefix of a scatter-gather range is served from the TLB and
+//! the rest is resolved with a single table walk.
 
 use memsim::types::{FrameId, PageRange, Vpn};
 use simcore::chaos::invariant;
-use simcore::trace::{self, ArgValue};
+use simcore::trace::{self, ArgValue, MetricId};
 
 use crate::iotlb::IoTlb;
 use crate::pagetable::{DomainId, IoPageTable, TableMode, Translation};
@@ -41,17 +46,48 @@ pub enum DmaCheck {
     Error,
 }
 
+/// Outcome of an IOMMU access check for a whole DMA range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeCheck {
+    /// Every page translated; the DMA may proceed.
+    Ok,
+    /// One or more pages faulted; the page requests were queued and are
+    /// repeated here (ascending vpn) for the driver's batched
+    /// resolution.
+    Fault(Vec<PageRequest>),
+    /// Fatal translation error. Requests queued for pages before the
+    /// erroring one remain queued.
+    Error,
+}
+
+/// Interned metric ids for the unit's hot-path counters (resolved once
+/// per recorder instead of hashing the metric name per DMA page).
+#[derive(Debug, Clone, Copy)]
+struct MetricIds {
+    iotlb_hits: MetricId,
+    iotlb_misses: MetricId,
+    iotlb_evictions: MetricId,
+    page_requests: MetricId,
+    invalidations: MetricId,
+    invalidations_mapped: MetricId,
+    chaos_shootdowns: MetricId,
+}
+
 /// The I/O memory management unit.
 #[derive(Debug)]
 pub struct Iommu {
-    tables: HashMap<DomainId, IoPageTable>,
+    /// Indexed by `DomainId.0`; ids are handed out densely below.
+    /// `None` = destroyed domain.
+    tables: Vec<Option<IoPageTable>>,
     tlb: IoTlb,
     pending: Vec<PageRequest>,
     next_request: u64,
-    next_domain: u32,
     /// Invariant-note namespace: distinguishes this unit's domain and
     /// frame ids from other nodes' units inside one global checker.
     chaos_ns: u64,
+    metric_ids: Option<MetricIds>,
+    /// TLB evictions already exported as metrics.
+    evictions_reported: u64,
 }
 
 impl Iommu {
@@ -59,12 +95,13 @@ impl Iommu {
     #[must_use]
     pub fn new(tlb_entries: usize) -> Self {
         Iommu {
-            tables: HashMap::new(),
+            tables: Vec::new(),
             tlb: IoTlb::new(tlb_entries),
             pending: Vec::new(),
             next_request: 0,
-            next_domain: 0,
             chaos_ns: 0,
+            metric_ids: None,
+            evictions_reported: 0,
         }
     }
 
@@ -75,9 +112,8 @@ impl Iommu {
 
     /// Creates a new translation domain.
     pub fn create_domain(&mut self, mode: TableMode) -> DomainId {
-        let id = DomainId(self.next_domain);
-        self.next_domain += 1;
-        self.tables.insert(id, IoPageTable::new(id, mode));
+        let id = DomainId(u32::try_from(self.tables.len()).expect("domain ids fit in u32"));
+        self.tables.push(Some(IoPageTable::new(id, mode)));
         id
     }
 
@@ -88,7 +124,17 @@ impl Iommu {
     /// Panics for unknown domains (a wiring bug, not a runtime error).
     #[must_use]
     pub fn table(&self, domain: DomainId) -> &IoPageTable {
-        self.tables.get(&domain).expect("unknown IOMMU domain")
+        self.tables
+            .get(domain.0 as usize)
+            .and_then(Option::as_ref)
+            .expect("unknown IOMMU domain")
+    }
+
+    fn table_mut(&mut self, domain: DomainId) -> &mut IoPageTable {
+        self.tables
+            .get_mut(domain.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("unknown IOMMU domain")
     }
 
     /// IOTLB statistics.
@@ -112,59 +158,172 @@ impl Iommu {
         drained
     }
 
+    /// The interned metric ids, resolving them on first use. `None`
+    /// when no trace recorder is installed.
+    fn metric_ids(&mut self) -> Option<MetricIds> {
+        if self.metric_ids.is_none() {
+            let mut ids = None;
+            trace::metrics(|m| {
+                ids = Some(MetricIds {
+                    iotlb_hits: m.metric_id("iommu.iotlb_hits"),
+                    iotlb_misses: m.metric_id("iommu.iotlb_misses"),
+                    iotlb_evictions: m.metric_id("iommu.iotlb_evictions"),
+                    page_requests: m.metric_id("iommu.page_requests"),
+                    invalidations: m.metric_id("iommu.invalidations"),
+                    invalidations_mapped: m.metric_id("iommu.invalidations_mapped"),
+                    chaos_shootdowns: m.metric_id("iommu.chaos_shootdowns"),
+                });
+            });
+            self.metric_ids = ids;
+        }
+        self.metric_ids
+    }
+
+    /// Exports TLB hit/miss tallies (plus any fresh evictions) in one
+    /// registry access.
+    fn report_tlb(&mut self, hits: u64, misses: u64) {
+        let evicted = self.tlb.evictions() - self.evictions_reported;
+        self.evictions_reported = self.tlb.evictions();
+        if let Some(ids) = self.metric_ids() {
+            trace::metrics(|m| {
+                if hits > 0 {
+                    m.counter_add_id(ids.iotlb_hits, hits);
+                }
+                if misses > 0 {
+                    m.counter_add_id(ids.iotlb_misses, misses);
+                }
+                if evicted > 0 {
+                    m.counter_add_id(ids.iotlb_evictions, evicted);
+                }
+            });
+        }
+    }
+
+    /// Queues a page request for the driver, tracing it.
+    fn raise_request(&mut self, domain: DomainId, vpn: Vpn, write: bool) -> PageRequest {
+        let req = PageRequest {
+            id: self.next_request,
+            domain,
+            vpn,
+            write,
+        };
+        self.next_request += 1;
+        self.pending.push(req);
+        if trace::enabled() {
+            trace::instant_now(
+                "iommu",
+                "page_request",
+                vec![
+                    ("request_id", ArgValue::U64(req.id)),
+                    ("vpn", ArgValue::U64(vpn.0)),
+                    ("write", ArgValue::Bool(write)),
+                ],
+            );
+            trace::counter_now("iommu", "pri_queue_depth", self.pending.len() as f64);
+            if let Some(ids) = self.metric_ids() {
+                trace::metrics(|m| m.counter_add_id(ids.page_requests, 1));
+            }
+        }
+        req
+    }
+
     /// Checks one DMA page access, consulting the IOTLB then walking the
     /// table; queues a [`PageRequest`] on a recoverable fault.
     pub fn check_dma(&mut self, domain: DomainId, vpn: Vpn, write: bool) -> DmaCheck {
-        if let Some(frame) = self.tlb.lookup(domain, vpn) {
-            // Permission re-check on the cached entry.
-            let table = self.tables.get_mut(&domain).expect("unknown IOMMU domain");
-            if let Some(pte) = table.pte(vpn) {
-                if write && !pte.writable {
-                    return DmaCheck::Error;
-                }
-                if trace::enabled() {
-                    trace::metrics(|m| m.counter_add("iommu.iotlb_hits", 1));
-                }
-                return DmaCheck::Ok(frame);
+        if let Some(entry) = self.tlb.lookup_entry(domain, vpn) {
+            // The cached permission bit is authoritative: map/invalidate
+            // keep the TLB coherent, so no table re-check is needed.
+            if write && !entry.writable {
+                return DmaCheck::Error;
             }
-            // Stale TLB entry for an unmapped page would be a correctness
-            // bug in the invalidation protocol.
-            debug_assert!(false, "stale IOTLB entry for {domain}/{vpn}");
+            if trace::enabled() {
+                self.report_tlb(1, 0);
+            }
+            return DmaCheck::Ok(entry.frame);
         }
-        let table = self.tables.get_mut(&domain).expect("unknown IOMMU domain");
+        let table = self.table_mut(domain);
         match table.translate(vpn, write) {
             Translation::Ok(frame) => {
-                self.tlb.insert(domain, vpn, frame);
+                let writable = table.pte(vpn).is_some_and(|p| p.writable);
+                self.tlb.insert_pte(domain, vpn, frame, writable);
                 if trace::enabled() {
-                    trace::metrics(|m| m.counter_add("iommu.iotlb_misses", 1));
+                    self.report_tlb(0, 1);
                 }
                 DmaCheck::Ok(frame)
             }
-            Translation::Fault => {
-                let req = PageRequest {
-                    id: self.next_request,
-                    domain,
-                    vpn,
-                    write,
-                };
-                self.next_request += 1;
-                self.pending.push(req);
-                if trace::enabled() {
-                    trace::instant_now(
-                        "iommu",
-                        "page_request",
-                        vec![
-                            ("request_id", ArgValue::U64(req.id)),
-                            ("vpn", ArgValue::U64(vpn.0)),
-                            ("write", ArgValue::Bool(write)),
-                        ],
-                    );
-                    trace::counter_now("iommu", "pri_queue_depth", self.pending.len() as f64);
-                    trace::metrics(|m| m.counter_add("iommu.page_requests", 1));
-                }
-                DmaCheck::Fault(req)
-            }
+            Translation::Fault => DmaCheck::Fault(self.raise_request(domain, vpn, write)),
             Translation::Error => DmaCheck::Error,
+        }
+    }
+
+    /// Checks a whole DMA range: the TLB-cached prefix is consumed page
+    /// by page, then *one* table walk resolves the rest of the range —
+    /// contiguous present pages fill the TLB (extending its level-0
+    /// run), missing pages queue page requests (all of them, so the
+    /// driver sees the complete fault set in one interrupt, §4).
+    pub fn check_dma_range(&mut self, domain: DomainId, range: PageRange, write: bool) -> RangeCheck {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut error = false;
+        let end = range.end().0;
+        let mut vpn = range.start.0;
+        // TLB fast path: serve cached translations until the first miss.
+        while vpn < end {
+            match self.tlb.lookup_entry(domain, Vpn(vpn)) {
+                Some(e) => {
+                    if write && !e.writable {
+                        error = true;
+                        break;
+                    }
+                    hits += 1;
+                    vpn += 1;
+                }
+                None => {
+                    misses += 1;
+                    break;
+                }
+            }
+        }
+        let mut faulted: Vec<(Vpn, bool)> = Vec::new();
+        if !error && vpn < end {
+            // Single walk for the remainder. Pages the TLB did cache
+            // past the first miss are simply re-filled — the table is
+            // authoritative and coherent with the cache.
+            let rest = PageRange::new(Vpn(vpn), end - vpn);
+            let table = self
+                .tables
+                .get_mut(domain.0 as usize)
+                .and_then(Option::as_mut)
+                .expect("unknown IOMMU domain");
+            let mode = table.mode();
+            let tlb = &mut self.tlb;
+            table.walk_range(rest, |page, pte| {
+                if error {
+                    return;
+                }
+                match pte {
+                    Some(p) if write && !p.writable => error = true,
+                    Some(p) => tlb.insert_pte(domain, page, p.frame, p.writable),
+                    None => match mode {
+                        TableMode::PageFaultCapable => faulted.push((page, write)),
+                        TableMode::PinnedOnly => error = true,
+                    },
+                }
+            });
+        }
+        if trace::enabled() {
+            self.report_tlb(hits, misses);
+        }
+        let requests: Vec<PageRequest> = faulted
+            .into_iter()
+            .map(|(page, w)| self.raise_request(domain, page, w))
+            .collect();
+        if error {
+            RangeCheck::Error
+        } else if requests.is_empty() {
+            RangeCheck::Ok
+        } else {
+            RangeCheck::Fault(requests)
         }
     }
 
@@ -173,42 +332,56 @@ impl Iommu {
     /// this for `is_descriptor_present` checks (Figure 6).
     #[must_use]
     pub fn probe(&self, domain: DomainId, vpn: Vpn, write: bool) -> bool {
-        match self.tables.get(&domain).and_then(|t| t.pte(vpn)) {
+        match self
+            .tables
+            .get(domain.0 as usize)
+            .and_then(Option::as_ref)
+            .and_then(|t| t.pte(vpn))
+        {
             Some(pte) => !write || pte.writable,
             None => false,
         }
     }
 
-    /// Probes an entire range.
+    /// Probes an entire range in one pass over the table.
     #[must_use]
     pub fn probe_range(&self, domain: DomainId, range: PageRange, write: bool) -> bool {
-        range.iter().all(|vpn| self.probe(domain, vpn, write))
+        self.tables
+            .get(domain.0 as usize)
+            .and_then(Option::as_ref)
+            .is_some_and(|t| t.probe_range(range, write))
     }
 
     /// Installs a mapping (driver resolving a fault, Figure 2 step 4).
+    /// Any cached translation is refreshed in place, keeping the TLB
+    /// coherent.
     pub fn map(&mut self, domain: DomainId, vpn: Vpn, frame: FrameId, writable: bool) {
         invariant::note_frame_mapped(
             (self.chaos_ns << 32) | u64::from(domain.0),
             vpn.0,
             (self.chaos_ns << 40) | frame.0,
         );
-        self.tables
-            .get_mut(&domain)
-            .expect("unknown IOMMU domain")
-            .map(vpn, frame, writable);
+        self.table_mut(domain).map(vpn, frame, writable);
+        self.tlb.refresh(domain, vpn, frame, writable);
     }
 
     /// Installs a run of mappings with consecutive frames. Used by the
     /// batched resolution path.
     pub fn map_batch(&mut self, domain: DomainId, mappings: &[(Vpn, FrameId)], writable: bool) {
-        let table = self.tables.get_mut(&domain).expect("unknown IOMMU domain");
+        let chaos_ns = self.chaos_ns;
+        let table = self
+            .tables
+            .get_mut(domain.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("unknown IOMMU domain");
         for &(vpn, frame) in mappings {
             invariant::note_frame_mapped(
-                (self.chaos_ns << 32) | u64::from(domain.0),
+                (chaos_ns << 32) | u64::from(domain.0),
                 vpn.0,
-                (self.chaos_ns << 40) | frame.0,
+                (chaos_ns << 40) | frame.0,
             );
             table.map(vpn, frame, writable);
+            self.tlb.refresh(domain, vpn, frame, writable);
         }
     }
 
@@ -218,18 +391,16 @@ impl Iommu {
     pub fn invalidate(&mut self, domain: DomainId, vpn: Vpn) -> bool {
         invariant::note_frame_unmapped((self.chaos_ns << 32) | u64::from(domain.0), vpn.0);
         self.tlb.invalidate(domain, vpn);
-        let was_mapped = self
-            .tables
-            .get_mut(&domain)
-            .expect("unknown IOMMU domain")
-            .unmap(vpn);
+        let was_mapped = self.table_mut(domain).unmap(vpn);
         if trace::enabled() {
-            trace::metrics(|m| {
-                m.counter_add("iommu.invalidations", 1);
-                if was_mapped {
-                    m.counter_add("iommu.invalidations_mapped", 1);
-                }
-            });
+            if let Some(ids) = self.metric_ids() {
+                trace::metrics(|m| {
+                    m.counter_add_id(ids.invalidations, 1);
+                    if was_mapped {
+                        m.counter_add_id(ids.invalidations_mapped, 1);
+                    }
+                });
+            }
         }
         was_mapped
     }
@@ -243,16 +414,14 @@ impl Iommu {
             }
         }
         self.tlb.invalidate_range(domain, range);
-        let mapped = self
-            .tables
-            .get_mut(&domain)
-            .expect("unknown IOMMU domain")
-            .unmap_range(range);
+        let mapped = self.table_mut(domain).unmap_range(range);
         if trace::enabled() {
-            trace::metrics(|m| {
-                m.counter_add("iommu.invalidations", range.pages);
-                m.counter_add("iommu.invalidations_mapped", mapped);
-            });
+            if let Some(ids) = self.metric_ids() {
+                trace::metrics(|m| {
+                    m.counter_add_id(ids.invalidations, range.pages);
+                    m.counter_add_id(ids.invalidations_mapped, mapped);
+                });
+            }
         }
         mapped
     }
@@ -261,7 +430,9 @@ impl Iommu {
     pub fn destroy_domain(&mut self, domain: DomainId) {
         invariant::note_domain_destroyed((self.chaos_ns << 32) | u64::from(domain.0));
         self.tlb.invalidate_domain(domain);
-        self.tables.remove(&domain);
+        if let Some(t) = self.tables.get_mut(domain.0 as usize) {
+            *t = None;
+        }
     }
 
     /// Flushes the whole IOTLB — the chaos injection point for
@@ -276,7 +447,9 @@ impl Iommu {
                 "chaos_shootdown",
                 vec![("flushed", ArgValue::U64(flushed))],
             );
-            trace::metrics(|m| m.counter_add("iommu.chaos_shootdowns", 1));
+            if let Some(ids) = self.metric_ids() {
+                trace::metrics(|m| m.counter_add_id(ids.chaos_shootdowns, 1));
+            }
         }
         flushed
     }
@@ -390,6 +563,77 @@ mod tests {
         mmu.destroy_domain(d0);
         assert!(!mmu.probe(d0, Vpn(1), false));
     }
+
+    #[test]
+    fn range_check_resolves_whole_run_in_one_walk() {
+        let (mut mmu, d) = odp_iommu();
+        let mappings: Vec<(Vpn, FrameId)> = (0..8).map(|i| (Vpn(i), FrameId(100 + i))).collect();
+        mmu.map_batch(d, &mappings, true);
+        assert_eq!(
+            mmu.check_dma_range(d, PageRange::new(Vpn(0), 8), true),
+            RangeCheck::Ok
+        );
+        assert_eq!(mmu.table(d).walks(), 1, "one walk fills all 8 pages");
+        // Every page now hits — the second pass never walks the table.
+        assert_eq!(
+            mmu.check_dma_range(d, PageRange::new(Vpn(0), 8), true),
+            RangeCheck::Ok
+        );
+        assert_eq!(mmu.table(d).walks(), 1);
+        assert_eq!(mmu.tlb().hits(), 8);
+    }
+
+    #[test]
+    fn range_check_queues_complete_fault_set() {
+        let (mut mmu, d) = odp_iommu();
+        mmu.map(d, Vpn(1), FrameId(1), true);
+        let RangeCheck::Fault(reqs) = mmu.check_dma_range(d, PageRange::new(Vpn(0), 4), true)
+        else {
+            panic!("expected faults");
+        };
+        let vpns: Vec<u64> = reqs.iter().map(|r| r.vpn.0).collect();
+        assert_eq!(vpns, vec![0, 2, 3], "ascending, complete, skips mapped");
+        assert_eq!(mmu.pending_requests().len(), 3);
+    }
+
+    #[test]
+    fn range_check_write_through_readonly_is_fatal() {
+        let (mut mmu, d) = odp_iommu();
+        mmu.map(d, Vpn(0), FrameId(0), true);
+        mmu.map(d, Vpn(1), FrameId(1), false);
+        assert_eq!(
+            mmu.check_dma_range(d, PageRange::new(Vpn(0), 2), true),
+            RangeCheck::Error
+        );
+        // The same range reads fine.
+        assert_eq!(
+            mmu.check_dma_range(d, PageRange::new(Vpn(0), 2), false),
+            RangeCheck::Ok
+        );
+    }
+
+    #[test]
+    fn remap_refreshes_cached_translation() {
+        let (mut mmu, d) = odp_iommu();
+        mmu.map(d, Vpn(1), FrameId(10), true);
+        mmu.check_dma(d, Vpn(1), false); // warm the TLB
+        mmu.map(d, Vpn(1), FrameId(20), true); // re-map in place
+        assert_eq!(
+            mmu.check_dma(d, Vpn(1), false),
+            DmaCheck::Ok(FrameId(20)),
+            "the cached translation must follow the re-map"
+        );
+    }
+
+    #[test]
+    fn remap_to_readonly_blocks_cached_writes() {
+        let (mut mmu, d) = odp_iommu();
+        mmu.map(d, Vpn(1), FrameId(10), true);
+        mmu.check_dma(d, Vpn(1), true); // warm the TLB, writable
+        mmu.map(d, Vpn(1), FrameId(10), false); // downgrade permissions
+        assert_eq!(mmu.check_dma(d, Vpn(1), true), DmaCheck::Error);
+        assert_eq!(mmu.check_dma(d, Vpn(1), false), DmaCheck::Ok(FrameId(10)));
+    }
 }
 
 #[cfg(test)]
@@ -425,5 +669,6 @@ mod teardown_tests {
         }
         assert!(mmu.tlb().len() <= 8, "capacity bound holds");
         assert!(mmu.tlb().misses() >= 24, "old entries were evicted");
+        assert!(mmu.tlb().evictions() >= 24, "evictions are counted");
     }
 }

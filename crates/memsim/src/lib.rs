@@ -26,6 +26,7 @@
 //! # Ok::<(), memsim::manager::MemError>(())
 //! ```
 
+pub mod dense;
 pub mod frame;
 pub mod lru;
 pub mod manager;

@@ -3,52 +3,112 @@
 //! The tracker orders resident, *unpinned* pages by last access. Reclaim
 //! pops the globally oldest page, or — when a cgroup is over its limit —
 //! the oldest page belonging to one address space.
+//!
+//! Internally the entries live in a slab of nodes threaded onto two
+//! intrusive doubly-linked lists (one global, one per space), indexed by
+//! a dense [`PageMap`] per space: touch, remove, and evict are all O(1)
+//! with no tree rebalancing and no hashing. Because recency ticks are
+//! strictly increasing, list order *is* tick order, so the head of each
+//! list answers the `oldest_tick` queries the unified-LRU arbitration
+//! against the page cache relies on, and eviction order is exactly what
+//! the old `BTreeMap` implementation produced.
 
-use std::collections::{BTreeMap, HashMap};
-
+use crate::dense::PageMap;
 use crate::types::{SpaceId, Vpn};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    space: SpaceId,
+    vpn: Vpn,
+    tick: u64,
+    /// Global list links (head = oldest).
+    prev: u32,
+    next: u32,
+    /// Per-space list links (head = oldest).
+    sprev: u32,
+    snext: u32,
+}
+
+#[derive(Debug)]
+struct SpaceList {
+    head: u32,
+    tail: u32,
+    len: usize,
+    /// vpn → node slot for this space.
+    index: PageMap<u32>,
+}
+
+impl SpaceList {
+    fn new() -> Self {
+        SpaceList {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            index: PageMap::new(),
+        }
+    }
+}
 
 /// Least-recently-used ordering over `(space, page)` entries.
 ///
 /// `touch` promotes a page to most-recently-used; `pop_oldest` evicts.
-/// All operations are `O(log n)`.
-#[derive(Debug, Default)]
+/// All operations are `O(1)`.
+#[derive(Debug)]
 pub struct LruTracker {
     tick: u64,
-    global: BTreeMap<u64, (SpaceId, Vpn)>,
-    by_space: HashMap<SpaceId, BTreeMap<u64, Vpn>>,
-    entries: HashMap<(SpaceId, Vpn), u64>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+    /// Indexed by `SpaceId.0`; ids are assigned densely by the manager.
+    spaces: Vec<SpaceList>,
+}
+
+impl Default for LruTracker {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LruTracker {
     /// Creates an empty tracker.
     #[must_use]
     pub fn new() -> Self {
-        LruTracker::default()
+        LruTracker {
+            tick: 0,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            spaces: Vec::new(),
+        }
     }
 
     /// Number of tracked pages.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// `true` when nothing is tracked.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Number of tracked pages belonging to `space`.
     #[must_use]
     pub fn len_in(&self, space: SpaceId) -> usize {
-        self.by_space.get(&space).map_or(0, BTreeMap::len)
+        self.spaces.get(space.0 as usize).map_or(0, |s| s.len)
     }
 
     /// Inserts a page as most-recently-used, or promotes it if present.
     pub fn touch(&mut self, space: SpaceId, vpn: Vpn) {
-        self.tick += 1;
-        let t = self.tick;
+        let t = self.tick + 1;
         self.touch_tick(space, vpn, t);
     }
 
@@ -62,76 +122,160 @@ impl LruTracker {
     pub fn touch_tick(&mut self, space: SpaceId, vpn: Vpn, tick: u64) {
         self.remove(space, vpn);
         assert!(
-            self.global.last_key_value().is_none_or(|(&t, _)| t < tick),
+            self.tail == NIL || self.nodes[self.tail as usize].tick < tick,
             "recency ticks must increase"
         );
         self.tick = self.tick.max(tick);
-        self.global.insert(tick, (space, vpn));
-        self.by_space.entry(space).or_default().insert(tick, vpn);
-        self.entries.insert((space, vpn), tick);
+
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.nodes.push(Node {
+                    space,
+                    vpn,
+                    tick,
+                    prev: NIL,
+                    next: NIL,
+                    sprev: NIL,
+                    snext: NIL,
+                });
+                u32::try_from(self.nodes.len() - 1).expect("LRU slab fits in u32")
+            }
+        };
+        // Link at the global tail (most recently used).
+        {
+            let old_tail = self.tail;
+            let n = &mut self.nodes[slot as usize];
+            n.space = space;
+            n.vpn = vpn;
+            n.tick = tick;
+            n.prev = old_tail;
+            n.next = NIL;
+            n.sprev = NIL;
+            n.snext = NIL;
+            if old_tail != NIL {
+                self.nodes[old_tail as usize].next = slot;
+            } else {
+                self.head = slot;
+            }
+            self.tail = slot;
+        }
+        // Link at the space tail.
+        let sid = space.0 as usize;
+        if self.spaces.len() <= sid {
+            self.spaces.resize_with(sid + 1, SpaceList::new);
+        }
+        let old_stail = self.spaces[sid].tail;
+        self.nodes[slot as usize].sprev = old_stail;
+        if old_stail != NIL {
+            self.nodes[old_stail as usize].snext = slot;
+        } else {
+            self.spaces[sid].head = slot;
+        }
+        let sp = &mut self.spaces[sid];
+        sp.tail = slot;
+        sp.len += 1;
+        sp.index.insert(vpn, slot);
+        self.len += 1;
+    }
+
+    /// Unlinks `slot` from both lists and recycles it.
+    fn unlink(&mut self, slot: u32) {
+        let Node {
+            space,
+            vpn,
+            prev,
+            next,
+            sprev,
+            snext,
+            ..
+        } = self.nodes[slot as usize];
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        let sp = &mut self.spaces[space.0 as usize];
+        if sprev != NIL {
+            self.nodes[sprev as usize].snext = snext;
+        } else {
+            sp.head = snext;
+        }
+        if snext != NIL {
+            self.nodes[snext as usize].sprev = sprev;
+        } else {
+            sp.tail = sprev;
+        }
+        let sp = &mut self.spaces[space.0 as usize];
+        sp.len -= 1;
+        sp.index.remove(vpn);
+        self.len -= 1;
+        self.free.push(slot);
     }
 
     /// The recency tick of the oldest tracked page, if any.
     #[must_use]
     pub fn oldest_tick(&self) -> Option<u64> {
-        self.global.keys().next().copied()
+        (self.head != NIL).then(|| self.nodes[self.head as usize].tick)
     }
 
     /// Removes a page from tracking (it was evicted, pinned, or unmapped).
     /// Returns `true` when the page was tracked.
     pub fn remove(&mut self, space: SpaceId, vpn: Vpn) -> bool {
-        if let Some(t) = self.entries.remove(&(space, vpn)) {
-            self.global.remove(&t);
-            if let Some(m) = self.by_space.get_mut(&space) {
-                m.remove(&t);
-                if m.is_empty() {
-                    self.by_space.remove(&space);
-                }
-            }
-            true
-        } else {
-            false
-        }
+        let Some(&slot) = self
+            .spaces
+            .get(space.0 as usize)
+            .and_then(|s| s.index.get(vpn))
+        else {
+            return false;
+        };
+        self.unlink(slot);
+        true
     }
 
     /// `true` when the page is tracked.
     #[must_use]
     pub fn contains(&self, space: SpaceId, vpn: Vpn) -> bool {
-        self.entries.contains_key(&(space, vpn))
+        self.spaces
+            .get(space.0 as usize)
+            .is_some_and(|s| s.index.contains(vpn))
     }
 
     /// Removes and returns the least-recently-used page across all spaces.
     pub fn pop_oldest(&mut self) -> Option<(SpaceId, Vpn)> {
-        let (&t, &(space, vpn)) = self.global.iter().next()?;
-        self.global.remove(&t);
-        self.entries.remove(&(space, vpn));
-        if let Some(m) = self.by_space.get_mut(&space) {
-            m.remove(&t);
-            if m.is_empty() {
-                self.by_space.remove(&space);
-            }
+        if self.head == NIL {
+            return None;
         }
+        let slot = self.head;
+        let (space, vpn) = {
+            let n = &self.nodes[slot as usize];
+            (n.space, n.vpn)
+        };
+        self.unlink(slot);
         Some((space, vpn))
     }
 
     /// The recency tick of the oldest page of one space, if any.
     #[must_use]
     pub fn oldest_tick_in(&self, space: SpaceId) -> Option<u64> {
-        self.by_space
-            .get(&space)
-            .and_then(|m| m.keys().next().copied())
+        let sp = self.spaces.get(space.0 as usize)?;
+        (sp.head != NIL).then(|| self.nodes[sp.head as usize].tick)
     }
 
     /// Removes and returns the least-recently-used page of one space.
     pub fn pop_oldest_in(&mut self, space: SpaceId) -> Option<Vpn> {
-        let m = self.by_space.get_mut(&space)?;
-        let (&t, &vpn) = m.iter().next()?;
-        m.remove(&t);
-        if m.is_empty() {
-            self.by_space.remove(&space);
+        let sp = self.spaces.get(space.0 as usize)?;
+        if sp.head == NIL {
+            return None;
         }
-        self.global.remove(&t);
-        self.entries.remove(&(space, vpn));
+        let slot = sp.head;
+        let vpn = self.nodes[slot as usize].vpn;
+        self.unlink(slot);
         Some(vpn)
     }
 }
@@ -187,5 +331,38 @@ mod tests {
         assert!(lru.remove(S0, Vpn(1)));
         assert!(!lru.remove(S0, Vpn(1)));
         assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn oldest_ticks_follow_heads() {
+        let mut lru = LruTracker::new();
+        lru.touch_tick(S0, Vpn(1), 10);
+        lru.touch_tick(S1, Vpn(2), 20);
+        lru.touch_tick(S0, Vpn(3), 30);
+        assert_eq!(lru.oldest_tick(), Some(10));
+        assert_eq!(lru.oldest_tick_in(S1), Some(20));
+        lru.touch_tick(S0, Vpn(1), 40); // promote: S0's oldest becomes 3
+        assert_eq!(lru.oldest_tick(), Some(20));
+        assert_eq!(lru.oldest_tick_in(S0), Some(30));
+        assert_eq!(lru.pop_oldest(), Some((S1, Vpn(2))));
+        assert_eq!(lru.oldest_tick(), Some(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "recency ticks must increase")]
+    fn stale_tick_panics() {
+        let mut lru = LruTracker::new();
+        lru.touch_tick(S0, Vpn(1), 10);
+        lru.touch_tick(S0, Vpn(2), 10);
+    }
+
+    #[test]
+    fn retouching_the_newest_entry_with_its_own_tick_is_allowed() {
+        // The assert compares against entries *other* than the one being
+        // re-touched (it is removed first), matching the old behaviour.
+        let mut lru = LruTracker::new();
+        lru.touch_tick(S0, Vpn(1), 10);
+        lru.touch_tick(S0, Vpn(1), 10);
+        assert_eq!(lru.len(), 1);
     }
 }

@@ -176,7 +176,8 @@ impl From<SpaceError> for MemError {
 pub struct MemoryManager {
     config: MemConfig,
     frames: FrameAllocator,
-    spaces: HashMap<SpaceId, AddressSpace>,
+    /// Indexed by `SpaceId.0`; ids are handed out densely below.
+    spaces: Vec<AddressSpace>,
     space_group: HashMap<SpaceId, CgroupId>,
     group_limit: HashMap<CgroupId, u64>, // pages
     group_resident: HashMap<CgroupId, u64>,
@@ -207,7 +208,7 @@ impl MemoryManager {
         let swap_slots = config.swap_capacity.bytes() / PAGE_SIZE;
         MemoryManager {
             frames: FrameAllocator::new(total_frames),
-            spaces: HashMap::new(),
+            spaces: Vec::new(),
             space_group: HashMap::new(),
             group_limit: HashMap::new(),
             group_resident: HashMap::new(),
@@ -272,7 +273,7 @@ impl MemoryManager {
     pub fn create_space(&mut self) -> SpaceId {
         let id = SpaceId(self.next_space);
         self.next_space += 1;
-        self.spaces.insert(id, AddressSpace::new(id));
+        self.spaces.push(AddressSpace::new(id));
         id
     }
 
@@ -294,7 +295,10 @@ impl MemoryManager {
     /// Panics if the space already has resident pages or the group does
     /// not exist.
     pub fn attach_to_cgroup(&mut self, space: SpaceId, group: CgroupId) {
-        let s = self.spaces.get(&space).expect("attach of unknown space");
+        let s = self
+            .spaces
+            .get(space.0 as usize)
+            .expect("attach of unknown space");
         assert_eq!(s.resident_pages(), 0, "attach must precede residency");
         assert!(self.group_limit.contains_key(&group), "unknown cgroup");
         self.space_group.insert(space, group);
@@ -310,11 +314,15 @@ impl MemoryManager {
     ///
     /// Returns [`MemError::NoSuchSpace`] for unknown ids.
     pub fn space(&self, id: SpaceId) -> Result<&AddressSpace, MemError> {
-        self.spaces.get(&id).ok_or(MemError::NoSuchSpace(id))
+        self.spaces
+            .get(id.0 as usize)
+            .ok_or(MemError::NoSuchSpace(id))
     }
 
     fn space_mut(&mut self, id: SpaceId) -> Result<&mut AddressSpace, MemError> {
-        self.spaces.get_mut(&id).ok_or(MemError::NoSuchSpace(id))
+        self.spaces
+            .get_mut(id.0 as usize)
+            .ok_or(MemError::NoSuchSpace(id))
     }
 
     /// Maps `size` of `backing` into `space`.
@@ -372,22 +380,17 @@ impl MemoryManager {
     /// Structural errors, plus [`MemError::OutOfMemory`]/[`MemError::SwapFull`]
     /// when reclaim cannot make room.
     pub fn touch(&mut self, space: SpaceId, vpn: Vpn, write: bool) -> Result<Access, MemError> {
-        {
-            let s = self.space(space)?;
-            if s.is_resident(vpn) {
-                let pte = s.pte(vpn)?;
-                if write && pte.cow {
-                    let fault = self.break_cow(space, vpn)?;
-                    return Ok(Access { fault: Some(fault) });
-                }
-                let s = self.space_mut(space)?;
-                s.mark_access(vpn, write);
-                if !s.pte(vpn)?.is_pinned() {
-                    let t = self.next_tick();
-                    self.lru.touch_tick(space, vpn, t);
-                }
-                return Ok(Access { fault: None });
+        let s = self.space_mut(space)?;
+        if let Some((pinned, cow_write)) = s.touch_resident(vpn, write) {
+            if cow_write {
+                let fault = self.break_cow(space, vpn)?;
+                return Ok(Access { fault: Some(fault) });
             }
+            if !pinned {
+                let t = self.next_tick();
+                self.lru.touch_tick(space, vpn, t);
+            }
+            return Ok(Access { fault: None });
         }
         let fault = self.resolve_fault(space, vpn, write)?;
         Ok(Access { fault: Some(fault) })
@@ -414,16 +417,12 @@ impl MemoryManager {
         &mut self,
         parent: SpaceId,
     ) -> Result<(SpaceId, Vec<Invalidation>), MemError> {
-        if !self.spaces.contains_key(&parent) {
+        if self.spaces.get(parent.0 as usize).is_none() {
             return Err(MemError::NoSuchSpace(parent));
         }
         let child_id = SpaceId(self.next_space);
         self.next_space += 1;
-        let child = self
-            .spaces
-            .get_mut(&parent)
-            .expect("checked above")
-            .fork_into(child_id);
+        let child = self.spaces[parent.0 as usize].fork_into(child_id);
         // Account frame sharing, track the child's pages for reclaim,
         // and collect the parent-side invalidations.
         let shared: Vec<(Vpn, FrameId)> = child.resident_iter().collect();
@@ -434,7 +433,8 @@ impl MemoryManager {
             self.lru.touch_tick(child_id, vpn, t);
             invalidations.push(Invalidation { space: parent, vpn });
         }
-        self.spaces.insert(child_id, child);
+        debug_assert_eq!(child_id.0 as usize, self.spaces.len());
+        self.spaces.push(child);
         self.counters.bump("forks");
         Ok((child_id, invalidations))
     }
@@ -460,16 +460,10 @@ impl MemoryManager {
             // Page copy: ~4 KiB at memory bandwidth.
             cost += SimDuration::from_nanos(800);
             self.release_frame(old);
-            self.spaces
-                .get_mut(&space)
-                .expect("space checked")
-                .replace_frame(vpn, new);
+            self.spaces[space.0 as usize].replace_frame(vpn, new);
             new
         } else {
-            self.spaces
-                .get_mut(&space)
-                .expect("space checked")
-                .clear_cow(vpn, true);
+            self.spaces[space.0 as usize].clear_cow(vpn, true);
             old
         };
         let t = self.next_tick();
@@ -590,7 +584,7 @@ impl MemoryManager {
             }
         };
 
-        let s = self.spaces.get_mut(&space).expect("space checked");
+        let s = &mut self.spaces[space.0 as usize];
         s.install(vpn, frame, write);
         let t = self.next_tick();
         self.lru.touch_tick(space, vpn, t);
@@ -738,7 +732,7 @@ impl MemoryManager {
     /// reclaim), so only a small CPU cost lands on the allocating path;
     /// the disk time of the write is not charged to the faulting task.
     fn evict_mapped(&mut self, space: SpaceId, vpn: Vpn) -> Result<SimDuration, MemError> {
-        let s = self.spaces.get_mut(&space).expect("lru entry has space");
+        let s = &mut self.spaces[space.0 as usize];
         let backing = s.backing_of(vpn)?;
         let is_anon = matches!(backing, Backing::Anonymous);
         let pte = s.pte(vpn)?;

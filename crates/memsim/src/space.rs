@@ -1,7 +1,9 @@
 //! Address spaces: memory areas (VMAs) and page table entries.
 
-use std::collections::{BTreeMap, HashMap};
+use std::cell::Cell;
+use std::collections::BTreeMap;
 
+use crate::dense::PageMap;
 use crate::types::{FileId, FrameId, PageRange, SpaceId, Vpn};
 
 /// What backs a virtual memory area.
@@ -99,7 +101,10 @@ impl Pte {
 pub struct AddressSpace {
     id: SpaceId,
     vmas: BTreeMap<u64, Vma>, // keyed by range.start.0
-    ptes: HashMap<Vpn, Pte>,
+    ptes: PageMap<Pte>,
+    /// Last VMA a lookup resolved: page accesses cluster, so most
+    /// lookups skip the `vmas` tree walk entirely.
+    vma_cache: Cell<Option<Vma>>,
     next_free_vpn: u64,
     resident_pages: u64,
     pinned_pages: u64,
@@ -132,7 +137,8 @@ impl AddressSpace {
         AddressSpace {
             id,
             vmas: BTreeMap::new(),
-            ptes: HashMap::new(),
+            ptes: PageMap::new(),
+            vma_cache: Cell::new(None),
             next_free_vpn: 0x10, // skip the first pages, like real systems
             resident_pages: 0,
             pinned_pages: 0,
@@ -204,9 +210,10 @@ impl AddressSpace {
             _ => return Err(SpaceError::NotMapped(range.start)),
         }
         self.vmas.remove(&range.start.0);
+        self.vma_cache.set(None);
         let mut freed = Vec::new();
         for vpn in range.iter() {
-            if let Some(pte) = self.ptes.remove(&vpn) {
+            if let Some(pte) = self.ptes.remove(vpn) {
                 if let PageState::Resident(f) = pte.state {
                     self.resident_pages -= 1;
                     if pte.is_pinned() {
@@ -229,13 +236,29 @@ impl AddressSpace {
             .filter(|v| v.range.contains(vpn))
     }
 
+    /// Like [`AddressSpace::vma_of`] but by value, served from the
+    /// one-entry VMA cache on the fast path.
+    #[inline]
+    fn vma_covering(&self, vpn: Vpn) -> Option<Vma> {
+        if let Some(vma) = self.vma_cache.get() {
+            if vma.range.contains(vpn) {
+                return Some(vma);
+            }
+        }
+        let vma = self.vma_of(vpn).copied();
+        if let Some(v) = vma {
+            self.vma_cache.set(Some(v));
+        }
+        vma
+    }
+
     /// The backing of `vpn`.
     ///
     /// # Errors
     ///
     /// Returns [`SpaceError::NotMapped`] for addresses outside every VMA.
     pub fn backing_of(&self, vpn: Vpn) -> Result<Backing, SpaceError> {
-        self.vma_of(vpn)
+        self.vma_covering(vpn)
             .map(|v| v.backing)
             .ok_or(SpaceError::NotMapped(vpn))
     }
@@ -243,7 +266,7 @@ impl AddressSpace {
     /// For a file-backed page, the `(file, file_page)` it maps.
     #[must_use]
     pub fn file_page_of(&self, vpn: Vpn) -> Option<(FileId, u64)> {
-        let vma = self.vma_of(vpn)?;
+        let vma = self.vma_covering(vpn)?;
         match vma.backing {
             Backing::File { file, page_offset } => {
                 Some((file, page_offset + (vpn.0 - vma.range.start.0)))
@@ -259,16 +282,46 @@ impl AddressSpace {
     ///
     /// Returns [`SpaceError::NotMapped`] for addresses outside every VMA.
     pub fn pte(&self, vpn: Vpn) -> Result<Pte, SpaceError> {
-        if self.vma_of(vpn).is_none() {
+        if self.vma_covering(vpn).is_none() {
             return Err(SpaceError::NotMapped(vpn));
         }
-        Ok(self.ptes.get(&vpn).copied().unwrap_or_else(Pte::untouched))
+        Ok(self.ptes.get(vpn).copied().unwrap_or_else(Pte::untouched))
+    }
+
+    /// Calls `f(vpn, pte)` for every page of `range` in ascending order,
+    /// resolving the covering VMA once per run and each PTE leaf chunk
+    /// once per [`crate::dense::LEAF_LEN`] pages — the batched
+    /// scatter-gather walk (§4.3) over host page tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::NotMapped`] at the first page no VMA covers
+    /// (pages before it have already been reported to `f`).
+    pub fn for_each_pte<F: FnMut(Vpn, Pte)>(
+        &self,
+        range: PageRange,
+        mut f: F,
+    ) -> Result<(), SpaceError> {
+        let mut vpn = range.start;
+        let end = range.end();
+        while vpn < end {
+            let Some(vma) = self.vma_covering(vpn) else {
+                return Err(SpaceError::NotMapped(vpn));
+            };
+            let run_end = Vpn(end.0.min(vma.range.end().0));
+            self.ptes
+                .scan_range(PageRange::new(vpn, run_end.0 - vpn.0), |v, pte| {
+                    f(v, pte.copied().unwrap_or_else(Pte::untouched));
+                });
+            vpn = run_end;
+        }
+        Ok(())
     }
 
     /// The frame backing `vpn`, if the page is resident.
     #[must_use]
     pub fn frame_of(&self, vpn: Vpn) -> Option<FrameId> {
-        self.ptes.get(&vpn).and_then(Pte::frame)
+        self.ptes.get(vpn).and_then(Pte::frame)
     }
 
     /// `true` when `vpn` is resident.
@@ -285,7 +338,7 @@ impl AddressSpace {
     /// Panics if the page is already resident; the manager must not
     /// double-install.
     pub fn install(&mut self, vpn: Vpn, frame: FrameId, write: bool) {
-        let pte = self.ptes.entry(vpn).or_insert_with(Pte::untouched);
+        let pte = self.ptes.get_mut_or_insert_with(vpn, Pte::untouched);
         assert!(
             pte.frame().is_none(),
             "page {vpn} already resident in {}",
@@ -307,7 +360,7 @@ impl AddressSpace {
     ///
     /// Panics if the page is not resident.
     pub fn replace_frame(&mut self, vpn: Vpn, frame: FrameId) {
-        let pte = self.ptes.get_mut(&vpn).expect("replace of unmapped page");
+        let pte = self.ptes.get_mut(vpn).expect("replace of unmapped page");
         assert!(pte.frame().is_some(), "replace of non-resident page {vpn}");
         pte.state = PageState::Resident(frame);
         pte.cow = false;
@@ -317,7 +370,7 @@ impl AddressSpace {
     /// Marks a resident page as COW-shared (write-protected, shared
     /// frame).
     pub fn mark_cow(&mut self, vpn: Vpn) {
-        if let Some(pte) = self.ptes.get_mut(&vpn) {
+        if let Some(pte) = self.ptes.get_mut(vpn) {
             if pte.frame().is_some() {
                 pte.cow = true;
                 pte.dirty = false;
@@ -327,7 +380,7 @@ impl AddressSpace {
 
     /// Clears the COW flag (last sharer: the page is private again).
     pub fn clear_cow(&mut self, vpn: Vpn, write: bool) {
-        if let Some(pte) = self.ptes.get_mut(&vpn) {
+        if let Some(pte) = self.ptes.get_mut(vpn) {
             pte.cow = false;
             if write {
                 pte.dirty = true;
@@ -335,9 +388,11 @@ impl AddressSpace {
         }
     }
 
-    /// Snapshot of `(vpn, pte)` pairs (fork support).
+    /// Snapshot of `(vpn, pte)` pairs in ascending VPN order (fork
+    /// support; the deterministic order also fixes downstream frame
+    /// bookkeeping order).
     pub fn pte_iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
-        self.ptes.iter().map(|(&v, &p)| (v, p))
+        self.ptes.iter().map(|(v, &p)| (v, p))
     }
 
     /// Snapshot of the VMAs (fork support).
@@ -388,9 +443,27 @@ impl AddressSpace {
         child
     }
 
+    /// Fast-path CPU access to a resident page: one dense lookup that
+    /// marks dirty on non-COW writes and reports `(pinned, cow_write)`
+    /// so the caller can do LRU/COW work without re-walking. Returns
+    /// `None` when the page is not resident (fault path).
+    pub fn touch_resident(&mut self, vpn: Vpn, write: bool) -> Option<(bool, bool)> {
+        let pte = self.ptes.get_mut(vpn)?;
+        if pte.frame().is_none() {
+            return None;
+        }
+        if write && pte.cow {
+            return Some((pte.is_pinned(), true));
+        }
+        if write {
+            pte.dirty = true;
+        }
+        Some((pte.is_pinned(), false))
+    }
+
     /// Marks an access to a resident page (sets dirty on writes).
     pub fn mark_access(&mut self, vpn: Vpn, write: bool) {
-        if let Some(pte) = self.ptes.get_mut(&vpn) {
+        if let Some(pte) = self.ptes.get_mut(vpn) {
             if write {
                 pte.dirty = true;
             }
@@ -406,7 +479,7 @@ impl AddressSpace {
     ///
     /// Panics if the page is not resident or is pinned.
     pub fn evict(&mut self, vpn: Vpn, swap_slot: Option<u64>) -> (FrameId, bool) {
-        let pte = self.ptes.get_mut(&vpn).expect("evicting untracked page");
+        let pte = self.ptes.get_mut(vpn).expect("evicting untracked page");
         let frame = pte.frame().expect("evicting non-resident page");
         assert!(!pte.is_pinned(), "evicting pinned page {vpn}");
         let dirty = pte.dirty;
@@ -426,7 +499,7 @@ impl AddressSpace {
     ///
     /// Panics if the page is not resident (pin after fault-in only).
     pub fn pin(&mut self, vpn: Vpn) -> bool {
-        let pte = self.ptes.get_mut(&vpn).expect("pin of unmapped page");
+        let pte = self.ptes.get_mut(vpn).expect("pin of unmapped page");
         assert!(pte.frame().is_some(), "pin of non-resident page {vpn}");
         pte.pin_count += 1;
         if pte.pin_count == 1 {
@@ -444,7 +517,7 @@ impl AddressSpace {
     ///
     /// Panics if the page was not pinned.
     pub fn unpin(&mut self, vpn: Vpn) -> bool {
-        let pte = self.ptes.get_mut(&vpn).expect("unpin of unmapped page");
+        let pte = self.ptes.get_mut(vpn).expect("unpin of unmapped page");
         assert!(pte.pin_count > 0, "unpin of unpinned page {vpn}");
         pte.pin_count -= 1;
         if pte.pin_count == 0 {
@@ -455,11 +528,11 @@ impl AddressSpace {
         }
     }
 
-    /// Iterates resident pages (for teardown).
+    /// Iterates resident pages in ascending VPN order (for teardown).
     pub fn resident_iter(&self) -> impl Iterator<Item = (Vpn, FrameId)> + '_ {
         self.ptes
             .iter()
-            .filter_map(|(&vpn, pte)| pte.frame().map(|f| (vpn, f)))
+            .filter_map(|(vpn, pte)| pte.frame().map(|f| (vpn, f)))
     }
 }
 

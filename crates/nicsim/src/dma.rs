@@ -6,7 +6,7 @@
 //! driver "as much information as possible about the page fault" so the
 //! driver can batch resolution (§4, third optimization).
 
-use iommu::{DmaCheck, DomainId, Iommu, PageRequest};
+use iommu::{DomainId, Iommu, PageRequest, RangeCheck};
 use memsim::types::{PageRange, VirtAddr};
 
 /// Outcome of one DMA transfer attempt.
@@ -78,24 +78,22 @@ impl DmaEngine {
         write: bool,
     ) -> DmaOutcome {
         let range = PageRange::covering(addr, len.max(1));
-        let mut faults = Vec::new();
-        for vpn in range.iter() {
-            match mmu.check_dma(domain, vpn, write) {
-                DmaCheck::Ok(_) => {}
-                DmaCheck::Fault(req) => faults.push(req),
-                DmaCheck::Error => {
-                    self.stats.errors += 1;
-                    return DmaOutcome::Error;
-                }
+        // Batched resolution: the cached prefix comes from the IOTLB,
+        // the rest of the scatter-gather range costs one table walk.
+        match mmu.check_dma_range(domain, range, write) {
+            RangeCheck::Ok => {
+                self.stats.ok_transfers += 1;
+                DmaOutcome::Ok
             }
-        }
-        if faults.is_empty() {
-            self.stats.ok_transfers += 1;
-            DmaOutcome::Ok
-        } else {
-            self.stats.faulted_transfers += 1;
-            self.stats.page_faults += faults.len() as u64;
-            DmaOutcome::Fault(faults)
+            RangeCheck::Fault(faults) => {
+                self.stats.faulted_transfers += 1;
+                self.stats.page_faults += faults.len() as u64;
+                DmaOutcome::Fault(faults)
+            }
+            RangeCheck::Error => {
+                self.stats.errors += 1;
+                DmaOutcome::Error
+            }
         }
     }
 

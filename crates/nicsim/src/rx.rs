@@ -15,7 +15,7 @@
 //! The NIC never reports new packets to the IOuser until every earlier
 //! rNPF is resolved, preserving in-order delivery.
 
-use std::collections::HashMap;
+use simcore::fxhash::FxHashMap;
 
 use memsim::types::VirtAddr;
 use simcore::chaos::invariant;
@@ -66,6 +66,9 @@ pub struct IoUserRing<P> {
     head_offset: u64,
     bm_index: u64,
     bitmap: Vec<bool>,
+    /// Number of set bits in `bitmap`, maintained on every transition so
+    /// pending-rNPF queries never rescan the bitmap.
+    pending_bits: u64,
     /// IOuser consumption cursor (entries below `consumed` were read).
     consumed: u64,
     /// Holes passed over by `consume` since the last `take_skipped_holes`.
@@ -127,7 +130,7 @@ struct BackupRing<P> {
     size: u64,
     head: u64,
     tail: u64,
-    entries: HashMap<u64, BackupEntry<P>>,
+    entries: FxHashMap<u64, BackupEntry<P>>,
 }
 
 /// Receive-fault policy of the NIC.
@@ -146,7 +149,7 @@ pub enum RxFaultMode {
 /// The NIC's receive engine: all IOuser rings plus the backup ring.
 #[derive(Debug)]
 pub struct RxEngine<P> {
-    rings: HashMap<RingId, IoUserRing<P>>,
+    rings: FxHashMap<RingId, IoUserRing<P>>,
     backup: Option<BackupRing<P>>,
     mode: RxFaultMode,
     /// Invariant-checker key of this engine's backup ring: fresh per
@@ -169,12 +172,12 @@ impl<P: Clone> RxEngine<P> {
                     size: capacity,
                     head: 0,
                     tail: 0,
-                    entries: HashMap::new(),
+                    entries: FxHashMap::default(),
                 })
             }
         };
         RxEngine {
-            rings: HashMap::new(),
+            rings: FxHashMap::default(),
             backup,
             mode,
             backup_key,
@@ -210,6 +213,7 @@ impl<P: Clone> RxEngine<P> {
                 head_offset: 0,
                 bm_index: 0,
                 bitmap: vec![false; bm_size as usize],
+                pending_bits: 0,
                 consumed: 0,
                 holes_pending_repost: 0,
                 tail_interrupt_requested: false,
@@ -383,7 +387,11 @@ impl<P: Clone> RxEngine<P> {
         );
         backup.tail += 1;
         invariant::note_backup_stored(self.backup_key);
-        r.bitmap[(bit_index % r.bm_size) as usize] = true;
+        let bit = (bit_index % r.bm_size) as usize;
+        if !r.bitmap[bit] {
+            r.bitmap[bit] = true;
+            r.pending_bits += 1;
+        }
         // Mark the slot as skipped if a descriptor exists there; if the
         // IOuser has not posted it yet, the copy-back will wait.
         if posted {
@@ -408,7 +416,7 @@ impl<P: Clone> RxEngine<P> {
             trace::counter_now(
                 "nicsim",
                 "bitmap_pending",
-                r.bitmap.iter().filter(|&&b| b).count() as f64,
+                r.pending_bits as f64,
             );
             trace::metrics(|m| m.counter_add("nicsim.rx_backup_stored", 1));
         }
@@ -446,7 +454,11 @@ impl<P: Clone> RxEngine<P> {
     /// interrupted: previously-blocked packets are now announced).
     pub fn resolve_rnpfs(&mut self, id: RingId, bit_index: u64) -> bool {
         let r = self.ring_mut(id);
-        r.bitmap[(bit_index % r.bm_size) as usize] = false;
+        let bit = (bit_index % r.bm_size) as usize;
+        if r.bitmap[bit] {
+            r.bitmap[bit] = false;
+            r.pending_bits -= 1;
+        }
         let mut advanced = false;
         while r.head_offset > 0 && !r.bitmap[(r.bm_index % r.bm_size) as usize] {
             // The slot at `head` must actually hold data: either it was
@@ -463,7 +475,7 @@ impl<P: Clone> RxEngine<P> {
             advanced = true;
         }
         let head = r.head;
-        let bitmap_pending = r.bitmap.iter().filter(|&&b| b).count();
+        let bitmap_pending = r.pending_bits;
         self.counters.bump("resolved");
         if trace::enabled() {
             trace::instant_now(
@@ -560,8 +572,7 @@ impl<P: Clone> RxEngine<P> {
     /// Pending (unresolved) rNPFs on a ring.
     #[must_use]
     pub fn pending_rnpfs(&self, id: RingId) -> u64 {
-        let r = self.ring(id);
-        r.bitmap.iter().filter(|&&b| b).count() as u64
+        self.ring(id).pending_bits
     }
 
     /// Current absolute head (announced watermark).
@@ -727,6 +738,43 @@ mod tests {
         assert_eq!(e.readable_packets(R), 4);
         let order: Vec<&str> = std::iter::from_fn(|| e.consume(R).map(|(p, _)| p)).collect();
         assert_eq!(order, vec!["p0", "p1", "p2", "p3"]);
+    }
+
+    #[test]
+    fn pending_counter_tracks_bitmap_exactly() {
+        let popcount = |e: &RxEngine<&str>| {
+            let r = e.rings.get(&R).expect("ring");
+            r.bitmap.iter().filter(|&&b| b).count() as u64
+        };
+        let mut e = engine(RxFaultMode::BackupRing { capacity: 64 });
+        post_n(&mut e, 8);
+        assert_eq!(e.pending_rnpfs(R), popcount(&e));
+        // Interleave faults and stores, resolving out of order — the
+        // maintained counter must match a fresh popcount at every step.
+        let mut bits = Vec::new();
+        for i in 0..6u64 {
+            let fault = i % 2 == 0;
+            match e.recv(R, "p", i, !fault) {
+                RxVerdict::Backup { bit_index, .. } => bits.push(bit_index),
+                RxVerdict::Stored { .. } => {}
+                other => panic!("unexpected verdict {other:?}"),
+            }
+            assert_eq!(e.pending_rnpfs(R), popcount(&e));
+        }
+        assert_eq!(e.pending_rnpfs(R), 3);
+        while let Some(entry) = e.pop_backup() {
+            assert!(e.place_resolved(R, entry.target_index, entry.payload, entry.len));
+        }
+        // Resolve newest-first, then re-resolve an already-clear bit:
+        // both transitions (set->clear and clear->clear) stay exact.
+        for &b in bits.iter().rev() {
+            e.resolve_rnpfs(R, b);
+            assert_eq!(e.pending_rnpfs(R), popcount(&e));
+        }
+        assert_eq!(e.pending_rnpfs(R), 0);
+        e.resolve_rnpfs(R, bits[0]);
+        assert_eq!(e.pending_rnpfs(R), 0);
+        assert_eq!(e.pending_rnpfs(R), popcount(&e));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! content" (§5) — here, by destination TCP/UDP port — while
 //! backup-ring entries are steered by NIC-attached metadata.
 
-use std::collections::HashMap;
+use simcore::fxhash::FxHashMap;
 
 use iommu::DomainId;
 use memsim::types::SpaceId;
@@ -42,9 +42,9 @@ pub struct Channel {
 /// The channel table plus port-based steering.
 #[derive(Debug, Default)]
 pub struct ChannelTable {
-    channels: HashMap<ChannelId, Channel>,
-    by_ring: HashMap<RingId, ChannelId>,
-    steering: HashMap<u16, ChannelId>,
+    channels: FxHashMap<ChannelId, Channel>,
+    by_ring: FxHashMap<RingId, ChannelId>,
+    steering: FxHashMap<u16, ChannelId>,
     next_id: u32,
 }
 

@@ -35,6 +35,7 @@
 
 pub mod chaos;
 pub mod event;
+pub mod fxhash;
 pub mod rng;
 pub mod stats;
 pub mod time;

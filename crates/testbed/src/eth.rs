@@ -13,7 +13,8 @@
 //! [`RxMode`] — pinned (never faults), drop (the Figure 4 strawman), or
 //! the backup ring.
 
-use std::collections::{HashMap, VecDeque};
+use simcore::fxhash::FxHashMap;
+use std::collections::VecDeque;
 
 use memsim::manager::{MemConfig, MemError, MemoryManager};
 use memsim::space::Backing;
@@ -160,10 +161,10 @@ struct Instance {
     stack: TcpStack,
     app: Memcached,
     rx_moderator: InterruptModerator,
-    timers: HashMap<ConnId, EventToken>,
+    timers: FxHashMap<ConnId, EventToken>,
     /// Oracle framing: per-connection queue of `(request_bytes, op)` the
     /// client has written (stands in for protocol parsing).
-    req_oracle: HashMap<ConnId, VecDeque<(u64, KvOp)>>,
+    req_oracle: FxHashMap<ConnId, VecDeque<(u64, KvOp)>>,
     /// Descriptors posted so far (absolute).
     posted: u64,
 }
@@ -177,10 +178,10 @@ struct ClientConn {
 /// The client machine.
 struct Client {
     stack: TcpStack,
-    timers: HashMap<ConnId, EventToken>,
-    conns: HashMap<ConnId, ClientConn>,
+    timers: FxHashMap<ConnId, EventToken>,
+    conns: FxHashMap<ConnId, ClientConn>,
     /// Oracle framing: per-connection queue of `(response_bytes, hit)`.
-    resp_oracle: HashMap<ConnId, VecDeque<(u64, bool)>>,
+    resp_oracle: FxHashMap<ConnId, VecDeque<(u64, bool)>>,
     generators: Vec<Memaslap>,
 }
 
@@ -328,8 +329,8 @@ impl EthTestbed {
                 stack,
                 app,
                 rx_moderator: InterruptModerator::new(config.interrupt_holdoff),
-                timers: HashMap::new(),
-                req_oracle: HashMap::new(),
+                timers: FxHashMap::default(),
+                req_oracle: FxHashMap::default(),
                 posted: 0,
             };
             // IOuser posts its whole ring at startup.
@@ -369,9 +370,9 @@ impl EthTestbed {
             instances,
             client: Client {
                 stack: TcpStack::new(),
-                timers: HashMap::new(),
-                conns: HashMap::new(),
-                resp_oracle: HashMap::new(),
+                timers: FxHashMap::default(),
+                conns: FxHashMap::default(),
+                resp_oracle: FxHashMap::default(),
                 generators,
             },
             metrics,

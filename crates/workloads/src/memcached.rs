@@ -10,7 +10,7 @@
 //! subsystem (faults, swapping, cgroup pressure — the Figure 7
 //! dynamics).
 
-use std::collections::HashMap;
+use simcore::fxhash::FxHashMap;
 
 use memsim::types::VirtAddr;
 use simcore::rng::SimRng;
@@ -78,9 +78,9 @@ pub struct KvOutcome {
 pub struct Memcached {
     config: MemcachedConfig,
     /// key -> (slot, lru tick)
-    items: HashMap<u64, (u64, u64)>,
+    items: FxHashMap<u64, (u64, u64)>,
     /// slot -> key (for eviction bookkeeping)
-    slots: HashMap<u64, u64>,
+    slots: FxHashMap<u64, u64>,
     free_slots: Vec<u64>,
     next_slot: u64,
     max_items: u64,
@@ -97,8 +97,8 @@ impl Memcached {
         let max_items = (config.max_bytes.bytes() / config.value_size).max(1);
         Memcached {
             config,
-            items: HashMap::new(),
-            slots: HashMap::new(),
+            items: FxHashMap::default(),
+            slots: FxHashMap::default(),
             free_slots: Vec::new(),
             next_slot: 0,
             max_items,

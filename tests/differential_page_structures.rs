@@ -1,0 +1,362 @@
+//! Differential property tests for the translation fast-path data
+//! structures: each optimized structure is driven op-for-op against a
+//! straightforward map-based reference model, and every observable —
+//! return values, counters, contents, and **eviction order** — must
+//! match exactly.
+//!
+//! * [`memsim::dense::PageMap`] vs `BTreeMap` (including the
+//!   direct/sparse boundary at 8 GiB of VA),
+//! * [`iommu::IoTlb`] (two-level: run cache + LRU slab) vs a
+//!   `Vec`-ordered reference LRU,
+//! * [`memsim::lru::LruTracker`] (intrusive slab lists) vs a
+//!   `VecDeque`-ordered reference.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use iommu::IoTlb;
+use memsim::dense::PageMap;
+use memsim::lru::LruTracker;
+use memsim::types::{FrameId, PageRange, SpaceId, Vpn};
+
+// ---------------------------------------------------------------------
+// PageMap vs BTreeMap
+// ---------------------------------------------------------------------
+
+/// The direct region covers VPNs below `DIRECT_CHUNKS << LEAF_BITS`
+/// (2^21). Bases are chosen so ops land well inside the direct region,
+/// straddle the direct/sparse boundary, and live deep in the sparse
+/// fallback.
+fn page_map_vpn(region: u8, offset: u64) -> Vpn {
+    let base = match region % 3 {
+        0 => 0,
+        1 => (1u64 << 21) - 300,
+        _ => 1u64 << 30,
+    };
+    Vpn(base + offset)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every op on a `PageMap` observes exactly what a `BTreeMap`
+    /// observes, and the final iteration orders agree element-for-element.
+    #[test]
+    fn page_map_matches_btreemap(
+        ops in proptest::collection::vec(
+            (0u8..5, 0u8..3, 0u64..600, any::<u64>()),
+            1..400,
+        ),
+    ) {
+        let mut fast: PageMap<u64> = PageMap::new();
+        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+        for &(op, region, offset, val) in &ops {
+            let vpn = page_map_vpn(region, offset);
+            match op {
+                0 => {
+                    prop_assert_eq!(fast.insert(vpn, val), reference.insert(vpn.0, val));
+                }
+                1 => {
+                    prop_assert_eq!(fast.remove(vpn), reference.remove(&vpn.0));
+                }
+                2 => {
+                    prop_assert_eq!(fast.get(vpn).copied(), reference.get(&vpn.0).copied());
+                    prop_assert_eq!(fast.contains(vpn), reference.contains_key(&vpn.0));
+                }
+                3 => {
+                    // A batched window scan sees exactly the reference
+                    // contents, present and absent, in ascending order.
+                    let pages = 1 + (val % 64);
+                    let mut seen = Vec::new();
+                    fast.scan_range(PageRange::new(vpn, pages), |v, t| {
+                        seen.push((v.0, t.copied()));
+                    });
+                    let expect: Vec<(u64, Option<u64>)> = (vpn.0..vpn.0 + pages)
+                        .map(|v| (v, reference.get(&v).copied()))
+                        .collect();
+                    prop_assert_eq!(seen, expect);
+                }
+                _ => {
+                    let fast_v = *fast.get_mut_or_insert_with(vpn, || val);
+                    let ref_v = *reference.entry(vpn.0).or_insert(val);
+                    prop_assert_eq!(fast_v, ref_v);
+                }
+            }
+            prop_assert_eq!(fast.len(), reference.len());
+        }
+        let fast_all: Vec<(u64, u64)> = fast.iter().map(|(v, &t)| (v.0, t)).collect();
+        let ref_all: Vec<(u64, u64)> = reference.iter().map(|(&v, &t)| (v, t)).collect();
+        prop_assert_eq!(fast_all, ref_all, "iteration order or contents diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
+// IoTlb vs a Vec-ordered reference LRU
+// ---------------------------------------------------------------------
+
+type TlbKey = (u32, u64);
+
+/// Reference model: recency as literal `Vec` order (oldest first).
+#[derive(Default)]
+struct RefTlb {
+    cap: usize,
+    entries: Vec<(TlbKey, (u64, bool))>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    evictions: u64,
+}
+
+impl RefTlb {
+    fn new(cap: usize) -> Self {
+        RefTlb { cap, ..RefTlb::default() }
+    }
+
+    fn pos(&self, key: TlbKey) -> Option<usize> {
+        self.entries.iter().position(|&(k, _)| k == key)
+    }
+
+    fn lookup(&mut self, key: TlbKey) -> Option<(u64, bool)> {
+        match self.pos(key) {
+            Some(i) => {
+                let e = self.entries.remove(i);
+                self.entries.push(e);
+                self.hits += 1;
+                Some(e.1)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: TlbKey, val: (u64, bool)) {
+        if let Some(i) = self.pos(key) {
+            self.entries.remove(i);
+        } else if self.entries.len() >= self.cap {
+            self.entries.remove(0);
+            self.evictions += 1;
+        }
+        self.entries.push((key, val));
+    }
+
+    fn refresh(&mut self, key: TlbKey, val: (u64, bool)) {
+        if let Some(i) = self.pos(key) {
+            self.entries[i].1 = val;
+        }
+    }
+
+    fn invalidate(&mut self, key: TlbKey) -> bool {
+        match self.pos(key) {
+            Some(i) => {
+                self.entries.remove(i);
+                self.invalidations += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn flush(&mut self) -> u64 {
+        let n = self.entries.len() as u64;
+        self.entries.clear();
+        self.invalidations += n;
+        n
+    }
+
+    fn invalidate_domain(&mut self, domain: u32) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|&((d, _), _)| d != domain);
+        let n = (before - self.entries.len()) as u64;
+        self.invalidations += n;
+        n
+    }
+
+    fn contains(&self, key: TlbKey) -> bool {
+        self.pos(key).is_some()
+    }
+}
+
+const TLB_DOMAINS: u32 = 3;
+const TLB_VPNS: u64 = 24;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The two-level IOTLB (per-domain run cache in front of the
+    /// intrusive LRU slab) is observably identical to a flat reference
+    /// LRU: same lookups, same counters, and the same eviction order —
+    /// the present set is compared over the whole key universe after
+    /// every operation.
+    #[test]
+    fn iotlb_matches_reference_lru(
+        ops in proptest::collection::vec(
+            (0u8..6, 0u32..TLB_DOMAINS, 0u64..TLB_VPNS, any::<bool>()),
+            1..300,
+        ),
+    ) {
+        let mut fast = IoTlb::new(8);
+        let mut reference = RefTlb::new(8);
+        for &(op, d, v, flag) in &ops {
+            let domain = iommu::DomainId(d);
+            let vpn = Vpn(v);
+            // Contiguous frames (vpn + 100) exercise the run cache's
+            // arithmetic extension; the offset variant breaks runs.
+            let frame = if flag { v + 100 } else { v + 7000 + u64::from(d) };
+            match op {
+                0 => {
+                    let got = fast.lookup_entry(domain, vpn).map(|e| (e.frame.0, e.writable));
+                    prop_assert_eq!(got, reference.lookup((d, v)));
+                }
+                1 => {
+                    fast.insert_pte(domain, vpn, FrameId(frame), flag);
+                    reference.insert((d, v), (frame, flag));
+                }
+                2 => {
+                    fast.refresh(domain, vpn, FrameId(frame), flag);
+                    reference.refresh((d, v), (frame, flag));
+                }
+                3 => {
+                    prop_assert_eq!(fast.invalidate(domain, vpn), reference.invalidate((d, v)));
+                }
+                4 => {
+                    prop_assert_eq!(fast.invalidate_domain(domain), reference.invalidate_domain(d));
+                }
+                _ => {
+                    // Rare full flush: weight it lightly by only acting
+                    // when the op draw also set the flag.
+                    if flag {
+                        prop_assert_eq!(fast.flush(), reference.flush());
+                    }
+                }
+            }
+            prop_assert_eq!(fast.hits(), reference.hits);
+            prop_assert_eq!(fast.misses(), reference.misses);
+            prop_assert_eq!(fast.invalidations(), reference.invalidations);
+            prop_assert_eq!(fast.evictions(), reference.evictions);
+            prop_assert_eq!(fast.len(), reference.entries.len());
+            // The full present set pins down the eviction order: any
+            // deviation in which entry was evicted shows up here.
+            for dd in 0..TLB_DOMAINS {
+                for vv in 0..TLB_VPNS {
+                    prop_assert_eq!(
+                        fast.pte_cached(iommu::DomainId(dd), Vpn(vv)),
+                        reference.contains((dd, vv)),
+                        "present set diverged at dom{} vpn{}", dd, vv
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LruTracker vs a VecDeque-ordered reference
+// ---------------------------------------------------------------------
+
+/// Reference model: recency as literal deque order (oldest first),
+/// ticks assigned from the same monotone counter the tracker uses.
+#[derive(Default)]
+struct RefLru {
+    entries: VecDeque<((u32, u64), u64)>,
+    tick: u64,
+}
+
+impl RefLru {
+    fn touch(&mut self, key: (u32, u64)) {
+        self.entries.retain(|&(k, _)| k != key);
+        self.tick += 1;
+        self.entries.push_back((key, self.tick));
+    }
+
+    fn remove(&mut self, key: (u32, u64)) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|&(k, _)| k != key);
+        self.entries.len() != before
+    }
+
+    fn pop_oldest(&mut self) -> Option<(u32, u64)> {
+        self.entries.pop_front().map(|(k, _)| k)
+    }
+
+    fn pop_oldest_in(&mut self, space: u32) -> Option<u64> {
+        let i = self.entries.iter().position(|&((s, _), _)| s == space)?;
+        self.entries.remove(i).map(|((_, v), _)| v)
+    }
+
+    fn oldest_tick(&self) -> Option<u64> {
+        self.entries.front().map(|&(_, t)| t)
+    }
+
+    fn oldest_tick_in(&self, space: u32) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|&&((s, _), _)| s == space)
+            .map(|&(_, t)| t)
+    }
+
+    fn len_in(&self, space: u32) -> usize {
+        self.entries.iter().filter(|&&((s, _), _)| s == space).count()
+    }
+}
+
+const LRU_SPACES: u32 = 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The slab-list LRU tracker pops pages in exactly the reference
+    /// order, globally and per space, with identical tick reporting.
+    #[test]
+    fn lru_tracker_matches_reference(
+        ops in proptest::collection::vec(
+            (0u8..5, 0u32..LRU_SPACES, 0u64..48),
+            1..400,
+        ),
+    ) {
+        let mut fast = LruTracker::new();
+        let mut reference = RefLru::default();
+        for &(op, s, v) in &ops {
+            let space = SpaceId(s);
+            let vpn = Vpn(v);
+            match op {
+                0 => {
+                    fast.touch(space, vpn);
+                    reference.touch((s, v));
+                }
+                1 => {
+                    prop_assert_eq!(fast.remove(space, vpn), reference.remove((s, v)));
+                }
+                2 => {
+                    let got = fast.pop_oldest().map(|(sp, vp)| (sp.0, vp.0));
+                    prop_assert_eq!(got, reference.pop_oldest(), "global eviction order diverged");
+                }
+                3 => {
+                    let got = fast.pop_oldest_in(space).map(|vp| vp.0);
+                    prop_assert_eq!(got, reference.pop_oldest_in(s), "per-space eviction order diverged");
+                }
+                _ => {
+                    prop_assert_eq!(fast.contains(space, vpn), reference.entries.iter().any(|&(k, _)| k == (s, v)));
+                }
+            }
+            prop_assert_eq!(fast.oldest_tick(), reference.oldest_tick());
+            prop_assert_eq!(fast.len(), reference.entries.len());
+            for sp in 0..LRU_SPACES {
+                prop_assert_eq!(fast.oldest_tick_in(SpaceId(sp)), reference.oldest_tick_in(sp));
+                prop_assert_eq!(fast.len_in(SpaceId(sp)), reference.len_in(sp));
+            }
+        }
+        // Drain fully: the complete eviction sequence must agree.
+        loop {
+            let got = fast.pop_oldest().map(|(sp, vp)| (sp.0, vp.0));
+            let want = reference.pop_oldest();
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+}

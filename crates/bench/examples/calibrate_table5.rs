@@ -9,16 +9,14 @@ fn main() {
     use testbed::eth::{EthConfig, EthTestbed, RxMode};
     use workloads::memcached::MemcachedConfig;
     for n in [1u32, 2, 3, 4] {
-        let cfg = EthConfig {
-            mode: RxMode::Backup,
-            instances: n,
-            memcached: MemcachedConfig {
+        let cfg = EthConfig::default()
+            .with_mode(RxMode::Backup)
+            .with_instances(n)
+            .with_memcached(MemcachedConfig {
                 max_bytes: ByteSize::gib(3),
                 ..MemcachedConfig::default()
-            },
-            working_set_keys: 1_800_000,
-            ..EthConfig::default()
-        };
+            })
+            .with_working_set_keys(1_800_000);
         let mut bed = EthTestbed::new(cfg).unwrap();
         bed.run_until(SimTime::from_secs(1));
         let before = bed.total_ops();

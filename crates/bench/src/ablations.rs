@@ -39,10 +39,8 @@ pub fn ablation_batching() -> Report {
     );
     r.columns(["mode", "fault events", "total fault time[ms]"]);
     for (label, batch) in [("batched (paper)", true), ("one page per PRI", false)] {
-        let (mut engine, region, domain) = fresh_engine(NpfConfig {
-            batch_resolution: batch,
-            ..NpfConfig::default()
-        });
+        let (mut engine, region, domain) =
+            fresh_engine(NpfConfig::default().with_batch_resolution(batch));
         let mut now = SimTime::ZERO;
         // Fault the whole 4 MB range the way a cold send would: fault,
         // wait for resolution, retry at the next unresolved page.
@@ -81,10 +79,8 @@ pub fn ablation_firmware_bypass() -> Report {
     let mut r = Report::new("Firmware-bypass resume", "§4 optimization 2");
     r.columns(["mode", "mean 4KB NPF[us]"]);
     for (label, bypass) in [("bypass off", false), ("bypass on", true)] {
-        let (mut engine, region, domain) = fresh_engine(NpfConfig {
-            firmware_bypass: bypass,
-            ..NpfConfig::default()
-        });
+        let (mut engine, region, domain) =
+            fresh_engine(NpfConfig::default().with_firmware_bypass(bypass));
         let mut total = 0f64;
         let n = 200u64;
         for i in 0..n {
@@ -114,10 +110,8 @@ pub fn ablation_concurrency() -> Report {
     let mut r = Report::new("Concurrent faults per IOchannel", "§4 optimization 1");
     r.columns(["limit", "8 parallel faults resolve in[us]"]);
     for limit in [1u32, 2, 4, 8] {
-        let (mut engine, region, domain) = fresh_engine(NpfConfig {
-            concurrent_faults_per_channel: limit,
-            ..NpfConfig::default()
-        });
+        let (mut engine, region, domain) =
+            fresh_engine(NpfConfig::default().with_concurrent_faults_per_channel(limit));
         let mut latest = SimTime::ZERO;
         for i in 0..8u64 {
             let rec = engine
@@ -219,12 +213,7 @@ pub fn ablation_read_rnr() -> Report {
             rnr_for_reads: extension,
             ..RcConfig::default()
         };
-        let mut c = IbCluster::new(IbConfig {
-            nodes: 2,
-            rc,
-            seed: 15,
-            ..IbConfig::default()
-        });
+        let mut c = IbCluster::new(IbConfig::default().with_nodes(2).with_rc(rc).with_seed(15));
         let (qa, qb) = c.connect(0, 1);
         let local = c.alloc_buffers(0, ByteSize::mib(64));
         let remote = c.alloc_buffers(1, ByteSize::mib(64));
@@ -297,21 +286,19 @@ pub fn ablation_prefaulting() -> Report {
     use workloads::memcached::MemcachedConfig;
 
     let run = |mode: RxMode, window: u64| -> String {
-        let cfg = EthConfig {
-            mode,
-            instances: 1,
-            conns_per_instance: 16,
-            ring_entries: 1024,
-            bm_size: 2048,
-            host_memory: BS::gib(4),
-            memcached: MemcachedConfig {
+        let cfg = EthConfig::default()
+            .with_mode(mode)
+            .with_instances(1)
+            .with_conns_per_instance(16)
+            .with_ring_entries(1024)
+            .with_bm_size(2048)
+            .with_host_memory(BS::gib(4))
+            .with_memcached(MemcachedConfig {
                 max_bytes: BS::mib(512),
                 ..MemcachedConfig::default()
-            },
-            working_set_keys: 100_000,
-            prefault_window: window,
-            ..EthConfig::default()
-        };
+            })
+            .with_working_set_keys(100_000)
+            .with_prefault_window(window);
         let mut bed = EthTestbed::new(cfg).expect("setup");
         match bed.run_until_ops(10_000, SimTime::from_secs(120)) {
             Some(t) => format!("{:.2}s", t.as_secs_f64()),

@@ -4,6 +4,7 @@
 use npf_bench::par_runner::task;
 
 fn main() {
+    npf_bench::tracectl::RunOpts::init(&[]);
     let tasks = vec![
         task("ablation_batching", npf_bench::ablations::ablation_batching),
         task(

@@ -5,6 +5,7 @@
 use npf_bench::par_runner::task;
 
 fn main() {
+    npf_bench::tracectl::RunOpts::init(&[]);
     let t0 = std::time::Instant::now();
     let tasks = vec![
         task("fig3", || npf_bench::micro::fig3(500)),

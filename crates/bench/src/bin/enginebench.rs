@@ -313,25 +313,10 @@ fn baseline_events_per_sec(json: &str, name: &str) -> Option<f64> {
     num.parse().ok()
 }
 
-fn flag(args: &[String], name: &str) -> Option<String> {
-    let long = format!("--{name}");
-    let eq = format!("--{name}=");
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if *a == long {
-            return it.next().cloned();
-        }
-        if let Some(rest) = a.strip_prefix(&eq) {
-            return Some(rest.to_owned());
-        }
-    }
-    None
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = flag(&args, "out").unwrap_or_else(|| "BENCH_engine.json".to_owned());
-    let check_path = flag(&args, "check");
+    let opts = npf_bench::tracectl::RunOpts::init(&["out", "check"]);
+    let out_path = opts.extra("out").unwrap_or("BENCH_engine.json").to_owned();
+    let check_path = opts.extra("check").map(str::to_owned);
 
     let samples = [
         bench_schedule_pop(),

@@ -4,6 +4,7 @@
 use npf_bench::par_runner::task;
 
 fn main() {
+    npf_bench::tracectl::RunOpts::init(&[]);
     let tasks = vec![
         task("fig10_ethernet", || {
             npf_bench::ib_experiments::fig10_ethernet(500)

@@ -5,6 +5,7 @@
 use npf_bench::par_runner::task;
 
 fn main() {
+    npf_bench::tracectl::RunOpts::init(&[]);
     npf_bench::tracectl::run_tasks(
         vec![task("fig3", || npf_bench::micro::fig3(500))],
         |reports| {

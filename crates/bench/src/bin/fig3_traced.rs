@@ -8,6 +8,7 @@
 use npf_bench::par_runner::task;
 
 fn main() {
+    npf_bench::tracectl::RunOpts::init(&[]);
     npf_bench::tracectl::run_tasks(
         vec![task("fig3_traced", || npf_bench::micro::fig3_traced(500))],
         |reports| {

@@ -4,6 +4,7 @@
 use npf_bench::par_runner::task;
 
 fn main() {
+    npf_bench::tracectl::RunOpts::init(&[]);
     let tasks = vec![
         task("fig4a", || npf_bench::eth_experiments::fig4a(20)),
         task("fig4b", || npf_bench::eth_experiments::fig4b(10_000, 150)),

@@ -4,6 +4,7 @@
 use npf_bench::par_runner::task;
 
 fn main() {
+    npf_bench::tracectl::RunOpts::init(&[]);
     let tasks = vec![
         task("fig8a", || npf_bench::ib_experiments::fig8a(4000)),
         task("fig8b", || npf_bench::ib_experiments::fig8b(1500)),

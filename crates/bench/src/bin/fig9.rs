@@ -5,6 +5,7 @@
 use npf_bench::par_runner::task;
 
 fn main() {
+    npf_bench::tracectl::RunOpts::init(&[]);
     let tasks = vec![
         task("fig9", || npf_bench::ib_experiments::fig9(30, 8)),
         task("fig9_allreduce", || {

@@ -1,0 +1,103 @@
+//! Multi-tenant scale-out sweep: 16→512 IOchannels on one simulated
+//! NIC, sharded across seeds via the parallel runner.
+//!
+//! Flags (all via `tracectl::RunOpts`):
+//!
+//! * `--tenants <n>`: run only the `n`-tenant cells (the CI smoke job
+//!   uses `--tenants 64`); absent → the full 16→512 sweep.
+//! * `--arbiter <channel|rr|wfq>`: arbitration policy (default `wfq`).
+//! * `--quota <entries>`: per-tenant backup-ring quota; `0` → shared
+//!   pool (default 16).
+//! * `--out <path>`: where to write the JSON artifact (default
+//!   `BENCH_scale.json`; skipped under `--check`).
+//! * `--check <path>`: compare this run's cells against a committed
+//!   artifact and exit 1 on any drift. Only simulation-deterministic
+//!   tallies are compared — wall-clock never enters the file.
+//! * `--jobs <n>`: worker threads; output is byte-identical at every
+//!   value.
+
+use std::sync::Mutex;
+
+use npf_bench::par_runner::task;
+use npf_bench::scale::{self, ScaleCell};
+use npf_core::ArbiterPolicy;
+
+fn main() {
+    let opts = npf_bench::tracectl::RunOpts::init(&["out", "check"]);
+    let out_path = opts.extra("out").unwrap_or("BENCH_scale.json").to_owned();
+    let check_path = opts.extra("check").map(str::to_owned);
+    let policy = opts.arbiter.unwrap_or(ArbiterPolicy::WeightedFair);
+    let quota = match opts.quota {
+        Some(0) => None,
+        Some(q) => Some(q),
+        None => Some(16),
+    };
+    let tenant_counts: Vec<u32> = match opts.tenants {
+        Some(t) => vec![t],
+        None => scale::SWEEP_TENANTS.to_vec(),
+    };
+
+    let n_cells = tenant_counts.len() * scale::SWEEP_SEEDS.len();
+    let cells: &'static Mutex<Vec<Option<ScaleCell>>> =
+        Box::leak(Box::new(Mutex::new(vec![None; n_cells])));
+    let mut tasks = Vec::with_capacity(n_cells);
+    let mut slot = 0usize;
+    for &tenants in &tenant_counts {
+        for &seed in scale::SWEEP_SEEDS {
+            let idx = slot;
+            slot += 1;
+            tasks.push(task("scale_cell", move || {
+                let cell = scale::run_cell(tenants, seed, policy, quota);
+                cells.lock().expect("cell slots")[idx] = Some(cell);
+                npf_bench::Report::new("", "")
+            }));
+        }
+    }
+
+    npf_bench::tracectl::run_tasks(tasks, |_reports| {
+        let cells = cells.lock().expect("cell slots");
+        let cells: Vec<ScaleCell> = cells
+            .iter()
+            .map(|c| c.expect("every task fills its slot"))
+            .collect();
+        print!("{}", scale::render_report(&cells).render());
+    });
+
+    let cells: Vec<ScaleCell> = cells
+        .lock()
+        .expect("cell slots")
+        .iter()
+        .map(|c| c.expect("every task fills its slot"))
+        .collect();
+
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let drifted = scale::check_against(&baseline, &cells);
+        if drifted.is_empty() {
+            println!("all {} cells match {path}", cells.len());
+        } else {
+            for line in &drifted {
+                eprintln!("drifted from {path}: {line}");
+            }
+            eprintln!(
+                "{} of {} cells drifted from {path}",
+                drifted.len(),
+                cells.len()
+            );
+            std::process::exit(1);
+        }
+    } else {
+        let json = scale::render_json(policy, quota, &cells);
+        if let Err(e) = std::fs::write(&out_path, &json) {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(2);
+        }
+        println!("scale sweep written to {out_path}");
+    }
+}

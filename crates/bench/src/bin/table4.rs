@@ -4,6 +4,7 @@
 use npf_bench::par_runner::task;
 
 fn main() {
+    npf_bench::tracectl::RunOpts::init(&[]);
     npf_bench::tracectl::run_tasks(
         vec![task("table4", || npf_bench::micro::table4(3000))],
         |reports| {

@@ -4,6 +4,7 @@
 use npf_bench::par_runner::task;
 
 fn main() {
+    npf_bench::tracectl::RunOpts::init(&[]);
     npf_bench::tracectl::run_tasks(
         vec![task("table5", || npf_bench::eth_experiments::table5(4))],
         |reports| {

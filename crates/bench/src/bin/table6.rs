@@ -4,6 +4,7 @@
 use npf_bench::par_runner::task;
 
 fn main() {
+    npf_bench::tracectl::RunOpts::init(&[]);
     npf_bench::tracectl::run_tasks(
         vec![task("table6", || npf_bench::ib_experiments::table6(20, 8))],
         |reports| {

@@ -9,22 +9,20 @@ use workloads::memcached::MemcachedConfig;
 use crate::report::{f, Report};
 
 fn base_config(mode: RxMode) -> EthConfig {
-    EthConfig {
-        mode,
-        instances: 1,
-        conns_per_instance: 16,
-        ring_entries: 64,
-        host_memory: ByteSize::gib(8),
-        memcached: MemcachedConfig {
+    // <2 GB working set: ~450k pages of 1 KB values.
+    EthConfig::default()
+        .with_mode(mode)
+        .with_instances(1)
+        .with_conns_per_instance(16)
+        .with_ring_entries(64)
+        .with_host_memory(ByteSize::gib(8))
+        .with_memcached(MemcachedConfig {
             max_bytes: ByteSize::gib(3),
             value_size: 1024,
             ..MemcachedConfig::default()
-        },
-        // <2 GB working set: ~450k pages of 1 KB values.
-        working_set_keys: 1_800_000,
-        chaos: crate::tracectl::chaos_or_disabled(),
-        ..EthConfig::default()
-    }
+        })
+        .with_working_set_keys(1_800_000)
+        .with_chaos(crate::tracectl::chaos_or_disabled())
 }
 
 /// E4 — Figure 4(a): startup throughput over time, 64-entry ring.

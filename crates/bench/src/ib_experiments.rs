@@ -290,12 +290,12 @@ pub fn fig10_infiniband(messages: u64) -> Report {
     );
     r.columns(["freq", "throughput[Gb/s]", "% of optimum"]);
     let run = |freq: f64| -> f64 {
-        let mut c = IbCluster::new(IbConfig {
-            nodes: 2,
-            seed: 5,
-            chaos: crate::tracectl::chaos_or_disabled(),
-            ..IbConfig::default()
-        });
+        let mut c = IbCluster::new(
+            IbConfig::default()
+                .with_nodes(2)
+                .with_seed(5)
+                .with_chaos(crate::tracectl::chaos_or_disabled()),
+        );
         let (qa, qb) = c.connect(0, 1);
         let msg = 64 * 1024u64;
         let src = c.alloc_buffers(0, ByteSize::mib(8));

@@ -19,6 +19,7 @@ pub mod ib_experiments;
 pub mod micro;
 pub mod par_runner;
 pub mod report;
+pub mod scale;
 pub mod tracectl;
 
 pub use report::Report;

@@ -1,6 +1,9 @@
-//! `--trace` / `--metrics` support for the bench binaries.
+//! Command-line handling for the bench binaries.
 //!
-//! Every `bin/` target wraps its body in [`run`], which scans argv for
+//! Every `bin/` target starts `main` with [`RunOpts::init`] — one
+//! strict parse of argv shared by all binaries, so an unknown or
+//! malformed flag fails uniformly (status 2) everywhere — then wraps
+//! its body in [`run`] or [`run_tasks`]. The shared flags:
 //!
 //! * `--trace <path>` (or `--trace=<path>`): install a
 //!   [`TraceRecorder`] for the duration of the run and write the
@@ -17,12 +20,20 @@
 //!   points across `n` worker threads via [`crate::par_runner`]
 //!   ([`run_tasks`]). `0` means "all available cores". Output is
 //!   byte-identical at every job count.
+//! * `--tenants <n>` / `--arbiter <policy>` / `--quota <entries>`:
+//!   multi-tenant scale knobs — tenant count, cross-channel fault
+//!   arbitration policy (`channel`, `rr`, `wfq`), and per-tenant
+//!   backup-ring quota — consumed by the binaries that sweep tenants
+//!   (`scalebench`), accepted uniformly by all.
 //!
 //! Traces are stamped exclusively with [`simcore::time::SimTime`], so
 //! the same seed produces byte-identical files.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
+use npf_core::ArbiterPolicy;
 use simcore::chaos::{invariant, ChaosConfig, ChaosProfile, InvariantChecker};
 use simcore::trace::{self, TraceRecorder};
 
@@ -51,15 +62,222 @@ fn flag_value<I: IntoIterator<Item = String>>(args: I, flag: &str) -> Option<Pat
     None
 }
 
+/// The flags every bench binary accepts. A binary registers any extra
+/// value-taking flags of its own via [`RunOpts::init`]; anything else
+/// on the command line is rejected with a uniform error.
+const STANDARD_FLAGS: &[&str] = &[
+    "trace",
+    "metrics",
+    "chaos-seed",
+    "chaos-profile",
+    "jobs",
+    "tenants",
+    "arbiter",
+    "quota",
+];
+
+/// The one parsed view of a bench binary's command line.
+///
+/// Every `bin/` target calls [`RunOpts::init`] first thing in `main`,
+/// naming whatever extra value-taking flags it understands (for most
+/// binaries: none). Parsing is strict — an unknown `--flag`, a missing
+/// value, a duplicate, or a stray positional argument prints one
+/// uniform error line and exits with status 2 — so every binary
+/// rejects typos the same way instead of silently ignoring them.
+///
+/// The module's free functions ([`trace_path`], [`chaos_config`],
+/// [`jobs`], …) consult the initialized `RunOpts` when one exists and
+/// fall back to a lenient argv scan otherwise (the in-process test
+/// path, where libtest owns argv).
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// `--trace <path>`: write a Chrome trace-event JSON on exit.
+    pub trace: Option<PathBuf>,
+    /// `--metrics <path>`: write the metrics registry on exit.
+    pub metrics: Option<PathBuf>,
+    /// `--chaos-seed` / `--chaos-profile`: fault injection, if asked.
+    pub chaos: Option<ChaosConfig>,
+    /// `--jobs <n>` worker threads; absent → 1, `0` → all cores.
+    pub jobs: usize,
+    /// `--tenants <n>`: tenant/IOchannel count for scale sweeps.
+    pub tenants: Option<u32>,
+    /// `--arbiter <policy>`: cross-channel fault arbitration policy
+    /// (`channel`, `rr`, `wfq`).
+    pub arbiter: Option<ArbiterPolicy>,
+    /// `--quota <entries>`: per-tenant backup-ring quota.
+    pub quota: Option<u64>,
+    /// Values of the binary-specific flags registered with `init`.
+    extras: BTreeMap<String, String>,
+}
+
+static OPTS: OnceLock<RunOpts> = OnceLock::new();
+
+impl RunOpts {
+    /// Parses the process command line, accepting [`STANDARD_FLAGS`]
+    /// plus the binary's own `extra` value-taking flags. Call once at
+    /// the top of `main`; later calls (and the module's free
+    /// functions) reuse the first result. Exits with status 2 on any
+    /// malformed or unknown argument.
+    pub fn init(extra: &[&str]) -> &'static RunOpts {
+        OPTS.get_or_init(|| {
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            match Self::parse(&args, extra) {
+                Ok(opts) => opts,
+                Err(e) => {
+                    let bin = std::env::args()
+                        .next()
+                        .unwrap_or_else(|| "bench".to_owned());
+                    eprintln!("{bin}: error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        })
+    }
+
+    /// The options parsed by [`RunOpts::init`], when a binary has run
+    /// it; `None` in library/test contexts where argv belongs to the
+    /// test harness.
+    #[must_use]
+    pub fn get() -> Option<&'static RunOpts> {
+        OPTS.get()
+    }
+
+    /// Strict parse of an argv slice. Every flag takes a value, in
+    /// either `--flag value` or `--flag=value` form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description for an unknown flag, a missing
+    /// value, a duplicated flag, a positional argument, or a value
+    /// that fails typed conversion.
+    pub fn parse(args: &[String], extra: &[&str]) -> Result<Self, String> {
+        let mut values: BTreeMap<String, String> = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(body) = arg.strip_prefix("--") else {
+                return Err(format!(
+                    "unexpected argument {arg:?} (flags are --name value)"
+                ));
+            };
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_owned())),
+                None => (body, None),
+            };
+            if !STANDARD_FLAGS.contains(&name) && !extra.contains(&name) {
+                return Err(format!("unknown flag --{name}"));
+            }
+            let value = match inline {
+                Some(v) => v,
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} requires a value"))?,
+            };
+            if values.insert(name.to_owned(), value).is_some() {
+                return Err(format!("--{name} given more than once"));
+            }
+        }
+        Self::from_values(values, extra)
+    }
+
+    fn from_values(mut values: BTreeMap<String, String>, extra: &[&str]) -> Result<Self, String> {
+        let seed = values
+            .remove("chaos-seed")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("--chaos-seed must be an integer: {e}"))
+            })
+            .transpose()?;
+        let profile = values
+            .remove("chaos-profile")
+            .map(|v| {
+                ChaosProfile::from_name(&v)
+                    .ok_or_else(|| format!("unknown --chaos-profile {v:?} (try \"all\")"))
+            })
+            .transpose()?;
+        let chaos = if seed.is_none() && profile.is_none() {
+            None
+        } else {
+            Some(ChaosConfig::profile(
+                profile.unwrap_or(ChaosProfile::All),
+                seed.unwrap_or(0),
+            ))
+        };
+        let jobs = match values.remove("jobs") {
+            None => 1,
+            Some(v) => {
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs must be an integer: {e}"))?;
+                if n == 0 {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                } else {
+                    n
+                }
+            }
+        };
+        let tenants = values
+            .remove("tenants")
+            .map(|v| {
+                v.parse::<u32>()
+                    .map_err(|e| format!("--tenants must be an integer: {e}"))
+            })
+            .transpose()?;
+        let arbiter = values
+            .remove("arbiter")
+            .map(|v| ArbiterPolicy::parse(&v).map_err(|e| format!("--arbiter: {e}")))
+            .transpose()?;
+        let quota = values
+            .remove("quota")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("--quota must be an integer: {e}"))
+            })
+            .transpose()?;
+        let trace = values.remove("trace").map(PathBuf::from);
+        let metrics = values.remove("metrics").map(PathBuf::from);
+        // What's left can only be the binary's registered extras.
+        debug_assert!(values.keys().all(|k| extra.contains(&k.as_str())));
+        Ok(RunOpts {
+            trace,
+            metrics,
+            chaos,
+            jobs,
+            tenants,
+            arbiter,
+            quota,
+            extras: values,
+        })
+    }
+
+    /// The value of a binary-specific flag registered with `init`.
+    #[must_use]
+    pub fn extra(&self, name: &str) -> Option<&str> {
+        self.extras.get(name).map(String::as_str)
+    }
+
+    /// The requested chaos config, defaulting to disabled.
+    #[must_use]
+    pub fn chaos_or_disabled(&self) -> ChaosConfig {
+        self.chaos.unwrap_or_else(ChaosConfig::disabled)
+    }
+}
+
 /// `--trace <path>` from the process arguments, if present.
 #[must_use]
 pub fn trace_path() -> Option<PathBuf> {
+    if let Some(opts) = RunOpts::get() {
+        return opts.trace.clone();
+    }
     flag_value(std::env::args().skip(1), "trace")
 }
 
 /// `--metrics <path>` from the process arguments, if present.
 #[must_use]
 pub fn metrics_path() -> Option<PathBuf> {
+    if let Some(opts) = RunOpts::get() {
+        return opts.metrics.clone();
+    }
     flag_value(std::env::args().skip(1), "metrics")
 }
 
@@ -94,7 +312,10 @@ fn chaos_from_args<I: IntoIterator<Item = String>>(args: I) -> Option<ChaosConfi
 #[must_use]
 pub fn chaos_config() -> Option<ChaosConfig> {
     static ANNOUNCE: std::sync::Once = std::sync::Once::new();
-    let cfg = chaos_from_args(std::env::args().skip(1))?;
+    let cfg = match RunOpts::get() {
+        Some(opts) => opts.chaos?,
+        None => chaos_from_args(std::env::args().skip(1))?,
+    };
     ANNOUNCE.call_once(|| {
         eprintln!(
             "chaos enabled: seed {} (replay with --chaos-seed {})",
@@ -131,6 +352,9 @@ fn jobs_from_args<I: IntoIterator<Item = String>>(args: I) -> usize {
 /// The worker count requested with `--jobs`, defaulting to 1.
 #[must_use]
 pub fn jobs() -> usize {
+    if let Some(opts) = RunOpts::get() {
+        return opts.jobs;
+    }
     jobs_from_args(std::env::args().skip(1))
 }
 
@@ -336,6 +560,80 @@ mod tests {
     #[should_panic(expected = "unknown --chaos-profile")]
     fn rejects_unknown_profile() {
         let _ = chaos_from_args(argv(&["--chaos-profile", "gremlins"]));
+    }
+
+    #[test]
+    fn runopts_parses_standard_flags() {
+        let opts = RunOpts::parse(
+            &argv(&[
+                "--trace=/tmp/t.json",
+                "--metrics",
+                "/tmp/m.csv",
+                "--jobs=4",
+                "--tenants",
+                "256",
+                "--arbiter=wfq",
+                "--quota=64",
+                "--chaos-seed",
+                "9",
+            ]),
+            &[],
+        )
+        .expect("all standard flags");
+        assert_eq!(opts.trace, Some(PathBuf::from("/tmp/t.json")));
+        assert_eq!(opts.metrics, Some(PathBuf::from("/tmp/m.csv")));
+        assert_eq!(opts.jobs, 4);
+        assert_eq!(opts.tenants, Some(256));
+        assert_eq!(opts.arbiter, Some(ArbiterPolicy::WeightedFair));
+        assert_eq!(opts.quota, Some(64));
+        assert_eq!(opts.chaos.expect("chaos on").seed, 9);
+    }
+
+    #[test]
+    fn runopts_defaults_when_argv_is_empty() {
+        let opts = RunOpts::parse(&[], &[]).expect("empty argv is fine");
+        assert_eq!(opts.trace, None);
+        assert_eq!(opts.metrics, None);
+        assert!(opts.chaos.is_none());
+        assert!(!opts.chaos_or_disabled().enabled());
+        assert_eq!(opts.jobs, 1);
+        assert_eq!(opts.tenants, None);
+        assert_eq!(opts.arbiter, None);
+        assert_eq!(opts.quota, None);
+        assert_eq!(opts.extra("out"), None);
+    }
+
+    #[test]
+    fn runopts_rejects_malformed_command_lines() {
+        let unknown = RunOpts::parse(&argv(&["--frobnicate", "1"]), &[]).unwrap_err();
+        assert!(unknown.contains("unknown flag --frobnicate"), "{unknown}");
+        let positional = RunOpts::parse(&argv(&["stray"]), &[]).unwrap_err();
+        assert!(positional.contains("unexpected argument"), "{positional}");
+        let missing = RunOpts::parse(&argv(&["--jobs"]), &[]).unwrap_err();
+        assert!(missing.contains("--jobs requires a value"), "{missing}");
+        let twice = RunOpts::parse(&argv(&["--jobs", "1", "--jobs=2"]), &[]).unwrap_err();
+        assert!(twice.contains("more than once"), "{twice}");
+        let bad_policy = RunOpts::parse(&argv(&["--arbiter", "lottery"]), &[]).unwrap_err();
+        assert!(bad_policy.contains("--arbiter"), "{bad_policy}");
+        let bad_int = RunOpts::parse(&argv(&["--tenants", "many"]), &[]).unwrap_err();
+        assert!(
+            bad_int.contains("--tenants must be an integer"),
+            "{bad_int}"
+        );
+    }
+
+    #[test]
+    fn runopts_accepts_registered_extras_only() {
+        let opts = RunOpts::parse(
+            &argv(&["--out", "B.json", "--check=old.json"]),
+            &["out", "check"],
+        )
+        .expect("registered extras");
+        assert_eq!(opts.extra("out"), Some("B.json"));
+        assert_eq!(opts.extra("check"), Some("old.json"));
+        assert_eq!(opts.extra("other"), None);
+        let err = RunOpts::parse(&argv(&["--out", "B.json"]), &[]).unwrap_err();
+        assert!(err.contains("unknown flag --out"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! The scalebench sweep's jobs-invariance, pinned at the scale the
+//! acceptance cares about: a 256-tenant cell sharded across seeds must
+//! render a byte-identical artifact whether the cells run serially or
+//! across four workers.
+
+use std::sync::Mutex;
+
+use npf_bench::par_runner::{self, task};
+use npf_bench::scale::{self, ScaleCell};
+use npf_core::ArbiterPolicy;
+
+fn sweep(jobs: usize) -> String {
+    let seeds: &[u64] = &[1, 2, 3, 4];
+    let cells: &'static Mutex<Vec<Option<ScaleCell>>> =
+        Box::leak(Box::new(Mutex::new(vec![None; seeds.len()])));
+    let tasks = seeds
+        .iter()
+        .enumerate()
+        .map(|(idx, &seed)| {
+            task("scale_cell", move || {
+                let cell = scale::run_cell(256, seed, ArbiterPolicy::WeightedFair, Some(16));
+                cells.lock().expect("slots")[idx] = Some(cell);
+                npf_bench::Report::new("", "")
+            })
+        })
+        .collect();
+    let _ = par_runner::run(tasks, jobs, None, false, 1 << 16);
+    let cells: Vec<ScaleCell> = cells
+        .lock()
+        .expect("slots")
+        .iter()
+        .map(|c| c.expect("every task fills its slot"))
+        .collect();
+    scale::render_json(ArbiterPolicy::WeightedFair, Some(16), &cells)
+}
+
+#[test]
+fn jobs_1_and_4_render_identical_256_tenant_artifacts() {
+    let serial = sweep(1);
+    let parallel = sweep(4);
+    assert_eq!(
+        serial, parallel,
+        "the scale artifact must be byte-identical at every --jobs value"
+    );
+    assert!(serial.contains("\"tenants\": 256"), "{serial}");
+}

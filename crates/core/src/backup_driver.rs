@@ -46,6 +46,17 @@ pub enum ResolveStep {
     Idle,
 }
 
+/// Per-tenant resolver activity (scale-out metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Backup entries drained for this ring.
+    pub drained: u64,
+    /// Packets merged back into this ring.
+    pub merged: u64,
+    /// Times this ring's resolver parked awaiting a tail interrupt.
+    pub parked: u64,
+}
+
 /// The backup-ring driver.
 #[derive(Debug)]
 pub struct BackupDriver<P> {
@@ -58,6 +69,8 @@ pub struct BackupDriver<P> {
     /// Number of buffer slots each ring cycles through (slot address
     /// reconstruction).
     ring_slots: HashMap<RingId, u64>,
+    /// Per-ring resolver activity.
+    ring_stats: HashMap<RingId, RingStats>,
     counters: Counters,
 }
 
@@ -76,6 +89,7 @@ impl<P: Clone> BackupDriver<P> {
             parked: HashMap::new(),
             domains: HashMap::new(),
             ring_slots: HashMap::new(),
+            ring_stats: HashMap::new(),
             counters: Counters::new(),
         }
     }
@@ -84,6 +98,12 @@ impl<P: Clone> BackupDriver<P> {
     #[must_use]
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Per-tenant resolver activity for one ring.
+    #[must_use]
+    pub fn ring_stats(&self, ring: RingId) -> RingStats {
+        self.ring_stats.get(&ring).copied().unwrap_or_default()
     }
 
     /// Associates a ring with its IOMMU domain and its buffer-slot
@@ -114,6 +134,7 @@ impl<P: Clone> BackupDriver<P> {
         while let Some(entry) = rx.pop_backup() {
             let ring = entry.ring;
             self.queues.entry(ring).or_default().push_back(entry);
+            self.ring_stats.entry(ring).or_default().drained += 1;
             if !woken.contains(&ring) {
                 woken.push(ring);
             }
@@ -162,6 +183,7 @@ impl<P: Clone> BackupDriver<P> {
             rx.request_tail_interrupt(ring);
             self.parked.insert(ring, true);
             self.counters.bump("parked");
+            self.ring_stats.entry(ring).or_default().parked += 1;
             if trace::enabled() {
                 trace::instant(
                     now,
@@ -206,6 +228,7 @@ impl<P: Clone> BackupDriver<P> {
         assert!(placed, "descriptor checked above");
         let notify = rx.resolve_rnpfs(ring, entry.bit_index);
         self.counters.bump("merged");
+        self.ring_stats.entry(ring).or_default().merged += 1;
         if trace::enabled() {
             trace::span(
                 now,

@@ -44,9 +44,9 @@ pub mod cost;
 pub mod npf;
 pub mod pinning;
 
-pub use backup_driver::{BackupDriver, ResolveStep};
+pub use backup_driver::{BackupDriver, ResolveStep, RingStats};
 pub use cost::{CostModel, InvalidationBreakdown, NpfBreakdown};
-pub use npf::{FaultRecord, NpfConfig, NpfEngine};
+pub use npf::{ArbiterPolicy, ArbiterStats, FaultArbiter, FaultRecord, NpfConfig, NpfEngine};
 pub use pinning::{Registrar, RegistrarStats, Strategy};
 
 /// Testbed convention: every IOuser maps its RX packet buffers as a

@@ -261,7 +261,12 @@ impl Iommu {
     /// contiguous present pages fill the TLB (extending its level-0
     /// run), missing pages queue page requests (all of them, so the
     /// driver sees the complete fault set in one interrupt, §4).
-    pub fn check_dma_range(&mut self, domain: DomainId, range: PageRange, write: bool) -> RangeCheck {
+    pub fn check_dma_range(
+        &mut self,
+        domain: DomainId,
+        range: PageRange,
+        write: bool,
+    ) -> RangeCheck {
         let mut hits = 0u64;
         let mut misses = 0u64;
         let mut error = false;

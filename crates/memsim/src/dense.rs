@@ -245,7 +245,8 @@ impl<T> PageMap<T> {
                 .iter()
                 .enumerate()
                 .filter_map(move |(i, t)| {
-                    t.as_ref().map(|v| (Vpn((chunk << LEAF_BITS) | i as u64), v))
+                    t.as_ref()
+                        .map(|v| (Vpn((chunk << LEAF_BITS) | i as u64), v))
                 })
         })
     }

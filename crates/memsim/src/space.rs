@@ -449,9 +449,7 @@ impl AddressSpace {
     /// `None` when the page is not resident (fault path).
     pub fn touch_resident(&mut self, vpn: Vpn, write: bool) -> Option<(bool, bool)> {
         let pte = self.ptes.get_mut(vpn)?;
-        if pte.frame().is_none() {
-            return None;
-        }
+        pte.frame()?;
         if write && pte.cow {
             return Some((pte.is_pinned(), true));
         }

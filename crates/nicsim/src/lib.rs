@@ -37,6 +37,8 @@ pub mod tx;
 
 pub use dma::{DmaEngine, DmaOutcome, DmaStats};
 pub use interrupt::{InterruptDecision, InterruptModerator};
-pub use rx::{BackupEntry, IoUserRing, RingId, RxDescriptor, RxEngine, RxFaultMode, RxVerdict};
+pub use rx::{
+    BackupEntry, BackupPolicy, IoUserRing, RingId, RxDescriptor, RxEngine, RxFaultMode, RxVerdict,
+};
 pub use sriov::{Channel, ChannelId, ChannelTable};
 pub use tx::{TxDescriptor, TxQueue, TxState};

@@ -131,6 +131,27 @@ struct BackupRing<P> {
     head: u64,
     tail: u64,
     entries: FxHashMap<u64, BackupEntry<P>>,
+    /// Entries currently in the ring, per IOuser ring (quota
+    /// enforcement + per-tenant metrics).
+    per_ring: FxHashMap<RingId, u64>,
+    /// High-water mark of `per_ring` (per-tenant occupancy peaks).
+    hwm: FxHashMap<RingId, u64>,
+}
+
+/// How backup-ring capacity is shared between tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackupPolicy {
+    /// One shared pool, first come first served (the paper's design): a
+    /// single cold tenant can fill the whole ring.
+    #[default]
+    Shared,
+    /// Each IOuser ring may hold at most `quota` entries at once; a
+    /// tenant at its quota drops instead of crowding out the others
+    /// (the cold-ring problem at tenant granularity).
+    Partitioned {
+        /// Per-tenant occupancy cap, in packets.
+        quota: u64,
+    },
 }
 
 /// Receive-fault policy of the NIC.
@@ -152,6 +173,7 @@ pub struct RxEngine<P> {
     rings: FxHashMap<RingId, IoUserRing<P>>,
     backup: Option<BackupRing<P>>,
     mode: RxFaultMode,
+    policy: BackupPolicy,
     /// Invariant-checker key of this engine's backup ring: fresh per
     /// engine, so depth accounting never aliases across the many
     /// testbeds an experiment binary builds in one process.
@@ -173,6 +195,8 @@ impl<P: Clone> RxEngine<P> {
                     head: 0,
                     tail: 0,
                     entries: FxHashMap::default(),
+                    per_ring: FxHashMap::default(),
+                    hwm: FxHashMap::default(),
                 })
             }
         };
@@ -180,6 +204,7 @@ impl<P: Clone> RxEngine<P> {
             rings: FxHashMap::default(),
             backup,
             mode,
+            policy: BackupPolicy::Shared,
             backup_key,
             counters: Counters::new(),
         }
@@ -191,8 +216,37 @@ impl<P: Clone> RxEngine<P> {
         self.mode
     }
 
+    /// Selects how backup capacity is shared between tenants.
+    pub fn set_backup_policy(&mut self, policy: BackupPolicy) {
+        self.policy = policy;
+    }
+
+    /// The tenant-sharing policy in force.
+    #[must_use]
+    pub fn backup_policy(&self) -> BackupPolicy {
+        self.policy
+    }
+
+    /// Backup entries currently held for one IOuser ring.
+    #[must_use]
+    pub fn backup_occupancy(&self, id: RingId) -> u64 {
+        self.backup
+            .as_ref()
+            .and_then(|b| b.per_ring.get(&id).copied())
+            .unwrap_or(0)
+    }
+
+    /// The highest backup occupancy one IOuser ring ever reached.
+    #[must_use]
+    pub fn backup_hwm(&self, id: RingId) -> u64 {
+        self.backup
+            .as_ref()
+            .and_then(|b| b.hwm.get(&id).copied())
+            .unwrap_or(0)
+    }
+
     /// Statistics: `stored`, `backup_stored`, `dropped_fault`,
-    /// `dropped_no_buffer`, `resolved`.
+    /// `dropped_no_buffer`, `dropped_quota`, `resolved`.
     #[must_use]
     pub fn counters(&self) -> &Counters {
         &self.counters
@@ -350,6 +404,29 @@ impl<P: Clone> RxEngine<P> {
             };
         };
         invariant::note_backup_offered();
+        // Partitioned quota: a tenant at its cap drops its own packet
+        // instead of crowding the shared ring.
+        if let BackupPolicy::Partitioned { quota } = self.policy {
+            if backup.per_ring.get(&id).copied().unwrap_or(0) >= quota {
+                invariant::note_backup_dropped();
+                self.counters.bump("dropped_quota");
+                self.counters.bump("dropped_fault");
+                if trace::enabled() {
+                    trace::instant_now(
+                        "nicsim",
+                        "backup_quota_drop",
+                        vec![
+                            ("ring", ArgValue::U64(u64::from(id.0))),
+                            ("quota", ArgValue::U64(quota)),
+                        ],
+                    );
+                    trace::metrics(|m| m.counter_add("nicsim.backup_quota_drop", 1));
+                }
+                return RxVerdict::Dropped {
+                    burned_descriptor: false,
+                };
+            }
+        }
         if r.head_offset >= r.bm_size || backup.tail - backup.head >= backup.size {
             // Backup overflow: the packet is lost but the descriptor is
             // kept (the pending rNPF at this slot will be resolved by an
@@ -386,6 +463,10 @@ impl<P: Clone> RxEngine<P> {
             },
         );
         backup.tail += 1;
+        let occ = backup.per_ring.entry(id).or_insert(0);
+        *occ += 1;
+        let hwm = backup.hwm.entry(id).or_insert(0);
+        *hwm = (*hwm).max(*occ);
         invariant::note_backup_stored(self.backup_key);
         let bit = (bit_index % r.bm_size) as usize;
         if !r.bitmap[bit] {
@@ -413,11 +494,7 @@ impl<P: Clone> RxEngine<P> {
                 ],
             );
             trace::counter_now("nicsim", "backup_depth", (backup.tail - backup.head) as f64);
-            trace::counter_now(
-                "nicsim",
-                "bitmap_pending",
-                r.pending_bits as f64,
-            );
+            trace::counter_now("nicsim", "bitmap_pending", r.pending_bits as f64);
             trace::metrics(|m| m.counter_add("nicsim.rx_backup_stored", 1));
         }
         RxVerdict::Backup {
@@ -436,6 +513,9 @@ impl<P: Clone> RxEngine<P> {
         }
         let e = backup.entries.remove(&backup.head).expect("entry exists");
         backup.head += 1;
+        if let Some(occ) = backup.per_ring.get_mut(&e.ring) {
+            *occ = occ.saturating_sub(1);
+        }
         invariant::note_backup_drained(self.backup_key);
         Some(e)
     }
@@ -791,6 +871,94 @@ mod tests {
             }
         );
         assert_eq!(e.counters().get("dropped_fault"), 1);
+    }
+
+    #[test]
+    fn partitioned_quota_caps_one_tenant() {
+        let mut e: RxEngine<&str> = RxEngine::new(RxFaultMode::BackupRing { capacity: 64 });
+        e.set_backup_policy(BackupPolicy::Partitioned { quota: 2 });
+        let (a, b) = (RingId(0), RingId(1));
+        e.create_ring(a, 8, 16);
+        e.create_ring(b, 8, 16);
+        for ring in [a, b] {
+            for i in 0..8 {
+                e.post_descriptor(
+                    ring,
+                    RxDescriptor {
+                        addr: VirtAddr(0x10000 + i * 0x1000),
+                        capacity: 2048,
+                    },
+                );
+            }
+        }
+        // Tenant A faults three times: the third hits its quota.
+        assert!(matches!(
+            e.recv(a, "a0", 0, false),
+            RxVerdict::Backup { .. }
+        ));
+        assert!(matches!(
+            e.recv(a, "a1", 0, false),
+            RxVerdict::Backup { .. }
+        ));
+        assert_eq!(
+            e.recv(a, "a2", 0, false),
+            RxVerdict::Dropped {
+                burned_descriptor: false
+            }
+        );
+        assert_eq!(e.counters().get("dropped_quota"), 1);
+        assert_eq!(e.backup_occupancy(a), 2);
+        assert_eq!(e.backup_hwm(a), 2);
+        // Tenant B is unaffected: the shared ring still has room.
+        assert!(matches!(
+            e.recv(b, "b0", 0, false),
+            RxVerdict::Backup { .. }
+        ));
+        assert_eq!(e.backup_occupancy(b), 1);
+        // Draining A's entries frees its quota again.
+        let e0 = e.pop_backup().expect("a0");
+        assert_eq!(e0.ring, a);
+        assert_eq!(e.backup_occupancy(a), 1);
+        assert!(matches!(
+            e.recv(a, "a3", 0, false),
+            RxVerdict::Backup { .. }
+        ));
+        assert_eq!(e.backup_hwm(a), 2, "hwm never exceeds the quota");
+    }
+
+    #[test]
+    fn shared_policy_lets_one_tenant_fill_ring() {
+        let mut e: RxEngine<&str> = RxEngine::new(RxFaultMode::BackupRing { capacity: 4 });
+        let (a, b) = (RingId(0), RingId(1));
+        e.create_ring(a, 8, 16);
+        e.create_ring(b, 8, 16);
+        for ring in [a, b] {
+            for i in 0..8 {
+                e.post_descriptor(
+                    ring,
+                    RxDescriptor {
+                        addr: VirtAddr(0x10000 + i * 0x1000),
+                        capacity: 2048,
+                    },
+                );
+            }
+        }
+        // The cold tenant A exhausts the shared ring...
+        for i in 0..4 {
+            assert!(
+                matches!(e.recv(a, "a", i, false), RxVerdict::Backup { .. }),
+                "entry {i}"
+            );
+        }
+        // ...and tenant B's fault is collateral damage.
+        assert_eq!(
+            e.recv(b, "b", 0, false),
+            RxVerdict::Dropped {
+                burned_descriptor: false
+            }
+        );
+        assert_eq!(e.backup_hwm(a), 4);
+        assert_eq!(e.counters().get("dropped_quota"), 0);
     }
 
     #[test]

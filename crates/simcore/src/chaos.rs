@@ -194,6 +194,7 @@ impl IommuChaos {
 /// chaos disabled draws nothing from any chaos stream, so its existing
 /// RNG streams — and therefore its golden traces — are untouched.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct ChaosConfig {
     /// Seed of the chaos schedule (forked per fault class).
     pub seed: u64,
@@ -240,6 +241,55 @@ impl ChaosConfig {
             || self.npf.active()
             || self.memory.active()
             || self.iommu.active()
+    }
+
+    /// Sets the chaos-schedule seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the chaos tick period.
+    #[must_use]
+    pub fn with_tick(mut self, tick: SimDuration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Sets the packet-fault class.
+    #[must_use]
+    pub fn with_net(mut self, net: NetChaos) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the interrupt-fault class.
+    #[must_use]
+    pub fn with_interrupt(mut self, interrupt: InterruptChaos) -> Self {
+        self.interrupt = interrupt;
+        self
+    }
+
+    /// Sets the NPF-resolution fault class.
+    #[must_use]
+    pub fn with_npf(mut self, npf: NpfChaos) -> Self {
+        self.npf = npf;
+        self
+    }
+
+    /// Sets the memory-pressure fault class.
+    #[must_use]
+    pub fn with_memory(mut self, memory: MemChaos) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Sets the IOTLB-shootdown fault class.
+    #[must_use]
+    pub fn with_iommu(mut self, iommu: IommuChaos) -> Self {
+        self.iommu = iommu;
+        self
     }
 
     /// The named profile armed with `seed`.

@@ -22,7 +22,7 @@ use memsim::swap::DiskConfig;
 use memsim::types::{PageRange, SpaceId, VirtAddr};
 use netsim::link::{Link, LinkConfig, SendOutcome};
 use nicsim::interrupt::{InterruptDecision, InterruptModerator};
-use nicsim::rx::{RingId, RxDescriptor, RxEngine, RxFaultMode, RxVerdict};
+use nicsim::rx::{BackupPolicy, RingId, RxDescriptor, RxEngine, RxFaultMode, RxVerdict};
 use nicsim::sriov::ChannelTable;
 use npf_core::backup_driver::{BackupDriver, ResolveStep};
 use npf_core::npf::{NpfConfig, NpfEngine};
@@ -30,13 +30,14 @@ use npf_core::RX_BUFFER_BASE;
 use simcore::chaos::{invariant, ChaosConfig, ChaosEngine, IommuFate, MemoryFate, PacketFate};
 use simcore::event::{EventQueue, EventToken};
 use simcore::rng::SimRng;
-use simcore::stats::ThroughputMeter;
+use simcore::stats::{DurationHistogram, ThroughputMeter};
 use simcore::time::{SimDuration, SimTime};
 use simcore::trace;
 use simcore::units::{Bandwidth, ByteSize};
 use tcpsim::{ConnId, TcpConfig, TcpOutput, TcpSegment, TcpStack};
-use workloads::memcached::{KvOp, Memaslap, Memcached, MemcachedConfig};
+use workloads::memcached::{KvOp, Memaslap, Memcached, MemcachedConfig, TenantPopularity};
 
+use crate::builder::ScenarioError;
 use crate::cpu::CpuPool;
 
 /// Receive-fault policy of the server NIC.
@@ -51,7 +52,13 @@ pub enum RxMode {
 }
 
 /// Testbed configuration.
+///
+/// Construct via [`EthConfig::default`] plus the `with_*` setters, or
+/// through [`crate::builder::ScenarioBuilder::ethernet`] (which also
+/// validates cross-field constraints). The struct is `#[non_exhaustive]`
+/// so new knobs can be added without breaking downstream crates.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct EthConfig {
     /// Fault policy.
     pub mode: RxMode,
@@ -99,6 +106,17 @@ pub struct EthConfig {
     /// Fault injection (disabled by default; a disabled config draws
     /// nothing from any RNG, so traces stay byte-identical).
     pub chaos: ChaosConfig,
+    /// NPF engine configuration (cost model, per-channel concurrency,
+    /// cross-channel fault arbiter).
+    pub npf: NpfConfig,
+    /// Per-tenant backup-ring quota: `Some(q)` partitions the shared
+    /// backup ring so no IOchannel holds more than `q` entries at once;
+    /// `None` keeps the ring fully shared (first-come first-served).
+    pub backup_quota: Option<u64>,
+    /// Zipf exponent of tenant popularity: `Some(s)` skews the client's
+    /// connection allocation so low-numbered instances receive more
+    /// load; `None` spreads connections uniformly.
+    pub tenant_skew: Option<f64>,
 }
 
 impl Default for EthConfig {
@@ -126,7 +144,166 @@ impl Default for EthConfig {
             prefault_window: 0,
             seed: 1,
             chaos: ChaosConfig::disabled(),
+            npf: NpfConfig::default(),
+            backup_quota: None,
+            tenant_skew: None,
         }
+    }
+}
+
+impl EthConfig {
+    /// Sets the receive-fault policy.
+    #[must_use]
+    pub fn with_mode(mut self, mode: RxMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the number of memcached instances (IOusers).
+    #[must_use]
+    pub fn with_instances(mut self, instances: u32) -> Self {
+        self.instances = instances;
+        self
+    }
+
+    /// Sets the closed-loop connections per instance.
+    #[must_use]
+    pub fn with_conns_per_instance(mut self, conns: u32) -> Self {
+        self.conns_per_instance = conns;
+        self
+    }
+
+    /// Sets the RX ring entries per IOchannel.
+    #[must_use]
+    pub fn with_ring_entries(mut self, entries: u64) -> Self {
+        self.ring_entries = entries;
+        self
+    }
+
+    /// Sets the per-ring rNPF budget (`bm_size`).
+    #[must_use]
+    pub fn with_bm_size(mut self, bm_size: u64) -> Self {
+        self.bm_size = bm_size;
+        self
+    }
+
+    /// Sets the backup ring capacity (packets).
+    #[must_use]
+    pub fn with_backup_capacity(mut self, capacity: u64) -> Self {
+        self.backup_capacity = capacity;
+        self
+    }
+
+    /// Sets (or clears) the per-tenant backup-ring quota.
+    #[must_use]
+    pub fn with_backup_quota(mut self, quota: Option<u64>) -> Self {
+        self.backup_quota = quota;
+        self
+    }
+
+    /// Sets the server's physical memory.
+    #[must_use]
+    pub fn with_host_memory(mut self, memory: ByteSize) -> Self {
+        self.host_memory = memory;
+        self
+    }
+
+    /// Sets the secondary-storage model.
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskConfig) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Sets the per-instance memcached configuration.
+    #[must_use]
+    pub fn with_memcached(mut self, memcached: MemcachedConfig) -> Self {
+        self.memcached = memcached;
+        self
+    }
+
+    /// Sets the working-set size in keys.
+    #[must_use]
+    pub fn with_working_set_keys(mut self, keys: u64) -> Self {
+        self.working_set_keys = keys;
+        self
+    }
+
+    /// Sets (or clears) the shared cgroup limit.
+    #[must_use]
+    pub fn with_cgroup_limit(mut self, limit: Option<ByteSize>) -> Self {
+        self.cgroup_limit = limit;
+        self
+    }
+
+    /// Sets the link rate.
+    #[must_use]
+    pub fn with_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the interrupt moderation holdoff.
+    #[must_use]
+    pub fn with_interrupt_holdoff(mut self, holdoff: SimDuration) -> Self {
+        self.interrupt_holdoff = holdoff;
+        self
+    }
+
+    /// Sets the server core count.
+    #[must_use]
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Pre-faults the receive rings at startup.
+    #[must_use]
+    pub fn with_prefault_rings(mut self, prefault: bool) -> Self {
+        self.prefault_rings = prefault;
+        self
+    }
+
+    /// Pre-populates each instance's cache with its working set.
+    #[must_use]
+    pub fn with_preload(mut self, preload: bool) -> Self {
+        self.preload = preload;
+        self
+    }
+
+    /// Sets §3's pre-faulting window (0 disables).
+    #[must_use]
+    pub fn with_prefault_window(mut self, window: u64) -> Self {
+        self.prefault_window = window;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fault-injection configuration.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Sets the NPF engine configuration.
+    #[must_use]
+    pub fn with_npf(mut self, npf: NpfConfig) -> Self {
+        self.npf = npf;
+        self
+    }
+
+    /// Sets (or clears) the Zipf tenant-popularity exponent.
+    #[must_use]
+    pub fn with_tenant_skew(mut self, skew: Option<f64>) -> Self {
+        self.tenant_skew = skew;
+        self
     }
 }
 
@@ -182,6 +359,9 @@ struct Client {
     conns: FxHashMap<ConnId, ClientConn>,
     /// Oracle framing: per-connection queue of `(response_bytes, hit)`.
     resp_oracle: FxHashMap<ConnId, VecDeque<(u64, bool)>>,
+    /// Issue timestamps of in-flight requests, per connection (closed
+    /// loop: at most one outstanding, but a queue keeps it robust).
+    issue_times: FxHashMap<ConnId, VecDeque<SimTime>>,
     generators: Vec<Memaslap>,
 }
 
@@ -194,6 +374,42 @@ pub struct InstanceMetrics {
     pub hits: ThroughputMeter,
     /// Connections that failed (TCP gave up).
     pub failed_conns: u32,
+    /// Client-observed request latency (issue to response).
+    pub latency: DurationHistogram,
+    /// rNPF events this instance's channel raised.
+    pub faults: u64,
+    /// Packets the NIC dropped on this instance's ring (fault-policy
+    /// drops, including backup-quota rejections).
+    pub drops: u64,
+}
+
+/// Per-tenant rollup for the multi-tenant scale-out experiments.
+#[derive(Debug, Clone, Default)]
+pub struct TenantReport {
+    /// Closed-loop connections this tenant was allocated.
+    pub conns: u32,
+    /// Completed operations.
+    pub ops: u64,
+    /// GET hits.
+    pub hits: u64,
+    /// rNPF events raised by this tenant's channel.
+    pub faults: u64,
+    /// Packets dropped on this tenant's ring.
+    pub drops: u64,
+    /// Backup-ring entries this tenant currently holds.
+    pub backup_occupancy: u64,
+    /// High-water mark of backup-ring entries held.
+    pub backup_hwm: u64,
+    /// Faults granted by the cross-channel arbiter.
+    pub arb_grants: u64,
+    /// Faults the arbiter queued behind a busy slot pool.
+    pub arb_queued: u64,
+    /// Worst arbiter queueing delay.
+    pub arb_max_wait: SimDuration,
+    /// Median request latency.
+    pub p50: SimDuration,
+    /// Tail request latency.
+    pub p99: SimDuration,
 }
 
 /// The Ethernet testbed.
@@ -217,17 +433,30 @@ pub struct EthTestbed {
     /// packet and interrupt fate streams; the NPF engine holds a fork.
     chaos: Option<ChaosEngine>,
     chaos_tick_armed: bool,
+    /// Connections allocated per instance (skewed under
+    /// `tenant_skew`, uniform otherwise).
+    conn_alloc: Vec<u32>,
 }
 
 impl EthTestbed {
-    /// Builds the testbed.
+    /// Builds the testbed, validating the configuration first. This is
+    /// shorthand for [`crate::builder::ScenarioBuilder::ethernet`] with
+    /// the configuration pre-filled.
     ///
     /// # Errors
     ///
-    /// Under [`RxMode::Pin`], returns the pinning failure when the
-    /// host cannot pin every instance's memory — this is exactly the
-    /// Table 5 "N/A" outcome.
-    pub fn new(config: EthConfig) -> Result<Self, MemError> {
+    /// Returns a [`ScenarioError`] when the configuration fails
+    /// cross-field validation, or — under [`RxMode::Pin`] — when the
+    /// host cannot pin every instance's memory (wrapped as
+    /// [`ScenarioError::Mem`]; this is exactly the Table 5 "N/A"
+    /// outcome).
+    pub fn new(config: EthConfig) -> Result<Self, ScenarioError> {
+        crate::builder::validate_eth(&config)?;
+        Self::build(config).map_err(ScenarioError::from)
+    }
+
+    /// Constructs the testbed from an already-validated configuration.
+    pub(crate) fn build(config: EthConfig) -> Result<Self, MemError> {
         // A new testbed starts a new timeline at t=0; tell the (possibly
         // process-global) invariant checker so monotonicity tracking
         // does not span testbeds.
@@ -238,7 +467,7 @@ impl EthTestbed {
             disk: config.disk,
             ..MemConfig::default()
         });
-        let mut engine = NpfEngine::new(NpfConfig::default(), mm, rng.fork(1));
+        let mut engine = NpfEngine::new(config.npf, mm, rng.fork(1));
         let chaos = if config.chaos.enabled() {
             let mut master = ChaosEngine::new(config.chaos);
             engine.set_chaos(master.fork(0x200));
@@ -253,6 +482,9 @@ impl EthTestbed {
             _ => RxFaultMode::Drop,
         };
         let mut rx = RxEngine::new(fault_mode);
+        if let Some(quota) = config.backup_quota {
+            rx.set_backup_policy(BackupPolicy::Partitioned { quota });
+        }
         let mut driver = BackupDriver::new();
         let mut channels = ChannelTable::new();
 
@@ -350,6 +582,12 @@ impl EthTestbed {
             })
             .collect();
 
+        let popularity = match config.tenant_skew {
+            Some(s) => TenantPopularity::zipf(config.instances, s),
+            None => TenantPopularity::uniform(config.instances),
+        };
+        let conn_alloc = popularity.allocate(config.instances * config.conns_per_instance);
+
         let link_cfg = LinkConfig {
             bandwidth: config.bandwidth,
             propagation: SimDuration::from_micros(1),
@@ -373,6 +611,7 @@ impl EthTestbed {
                 timers: FxHashMap::default(),
                 conns: FxHashMap::default(),
                 resp_oracle: FxHashMap::default(),
+                issue_times: FxHashMap::default(),
                 generators,
             },
             metrics,
@@ -384,6 +623,7 @@ impl EthTestbed {
             sampling: false,
             chaos,
             chaos_tick_armed: false,
+            conn_alloc,
             config,
         };
         bed.open_connections();
@@ -498,9 +738,11 @@ impl EthTestbed {
 
     fn open_connections(&mut self) {
         let now = self.queue.now();
+        let mut next_local: u32 = 20000;
         for i in 0..self.config.instances {
-            for c in 0..self.config.conns_per_instance {
-                let local = 20000 + (i * self.config.conns_per_instance + c) as u16;
+            for _ in 0..self.conn_alloc[i as usize] {
+                let local = u16::try_from(next_local).expect("validated port space");
+                next_local += 1;
                 let remote = 11211 + i as u16;
                 let (cid, outs) = self
                     .client
@@ -548,6 +790,54 @@ impl EthTestbed {
         self.rx.counters()
     }
 
+    /// Connections allocated to instance `i` (skewed under
+    /// `tenant_skew`).
+    #[must_use]
+    pub fn conns_of(&self, i: u32) -> u32 {
+        self.conn_alloc[i as usize]
+    }
+
+    /// Per-tenant rollup: throughput, faults, drops, backup-ring
+    /// occupancy, arbiter queueing, and latency percentiles.
+    pub fn tenant_report(&mut self, i: u32) -> TenantReport {
+        let idx = i as usize;
+        let ring = self.instances[idx].ring;
+        let domain = self.instances[idx].domain;
+        let arb = self.engine.arbiter().stats(domain);
+        let m = &mut self.metrics[idx];
+        TenantReport {
+            conns: self.conn_alloc[idx],
+            ops: m.ops.total(),
+            hits: m.hits.total(),
+            faults: m.faults,
+            drops: m.drops,
+            backup_occupancy: self.rx.backup_occupancy(ring),
+            backup_hwm: self.rx.backup_hwm(ring),
+            arb_grants: arb.grants,
+            arb_queued: arb.queued,
+            arb_max_wait: arb.max_wait,
+            p50: m.latency.percentile(0.50),
+            p99: m.latency.percentile(0.99),
+        }
+    }
+
+    /// Emits per-tenant gauges into the metrics registry (no-op unless
+    /// metrics recording is enabled).
+    fn emit_tenant_metrics(&self) {
+        trace::metrics(|m| {
+            for (i, inst) in self.instances.iter().enumerate() {
+                let ops = m.metric_id(&format!("tenant{i}.ops"));
+                m.gauge_set_id(ops, self.metrics[i].ops.total() as f64);
+                let faults = m.metric_id(&format!("tenant{i}.faults"));
+                m.gauge_set_id(faults, self.metrics[i].faults as f64);
+                let drops = m.metric_id(&format!("tenant{i}.drops"));
+                m.gauge_set_id(drops, self.metrics[i].drops as f64);
+                let occ = m.metric_id(&format!("tenant{i}.backup_occupancy"));
+                m.gauge_set_id(occ, self.rx.backup_occupancy(inst.ring) as f64);
+            }
+        });
+    }
+
     /// Total operations completed across all instances.
     #[must_use]
     pub fn total_ops(&self) -> u64 {
@@ -567,6 +857,13 @@ impl EthTestbed {
             .memory()
             .resident_bytes(self.instances[i as usize].space)
             .unwrap_or(ByteSize::ZERO)
+    }
+
+    /// Sets instance `i`'s weight in the cross-channel fault arbiter
+    /// (only meaningful under [`npf_core::ArbiterPolicy::WeightedFair`]).
+    pub fn set_tenant_weight(&mut self, i: u32, weight: u32) {
+        let domain = self.instances[i as usize].domain;
+        self.engine.set_channel_weight(domain, weight);
     }
 
     /// Changes instance `i`'s working set (Figure 7).
@@ -680,6 +977,7 @@ impl EthTestbed {
                     m.ops.sample(now);
                     m.hits.sample(now);
                 }
+                self.emit_tenant_metrics();
                 if self.sampling {
                     self.queue.schedule_in(self.sample_every, EthEvent::Sample);
                 }
@@ -741,6 +1039,7 @@ impl EthTestbed {
                         {
                             Ok(rec) => {
                                 let (id, ready_at) = (rec.id, rec.ready_at);
+                                self.metrics[idx as usize].faults += 1;
                                 self.queue.schedule_at(ready_at, EthEvent::FaultDone(id));
                             }
                             Err(_) => { /* OOM under pressure: stays faulted */ }
@@ -770,6 +1069,7 @@ impl EthTestbed {
             RxVerdict::Dropped { burned_descriptor } => {
                 // Lost; TCP will retransmit. A burned descriptor is
                 // announced (error completion) so the IOuser reposts.
+                self.metrics[idx as usize].drops += 1;
                 if burned_descriptor {
                     self.request_iouser_irq(now, idx);
                 }
@@ -989,6 +1289,14 @@ impl EthTestbed {
             if hit {
                 m.hits.record(1);
             }
+            if let Some(issued) = self
+                .client
+                .issue_times
+                .get_mut(&cid)
+                .and_then(VecDeque::pop_front)
+            {
+                m.latency.record(now.saturating_since(issued));
+            }
             self.issue_op(now, cid);
         }
     }
@@ -1001,6 +1309,11 @@ impl EthTestbed {
             return;
         }
         let instance = conn_state.instance;
+        self.client
+            .issue_times
+            .entry(cid)
+            .or_default()
+            .push_back(now);
         let (op, req_bytes) = self.client.generators[instance as usize].next_op();
         // Tell the server's framing oracle.
         let server_cid = (cid.1, cid.0);
@@ -1022,20 +1335,18 @@ mod tests {
     use super::*;
 
     fn small_config(mode: RxMode) -> EthConfig {
-        EthConfig {
-            mode,
-            instances: 1,
-            conns_per_instance: 4,
-            ring_entries: 64,
-            host_memory: ByteSize::mib(512),
-            memcached: MemcachedConfig {
+        EthConfig::default()
+            .with_mode(mode)
+            .with_instances(1)
+            .with_conns_per_instance(4)
+            .with_ring_entries(64)
+            .with_host_memory(ByteSize::mib(512))
+            .with_memcached(MemcachedConfig {
                 max_bytes: ByteSize::mib(64),
                 value_size: 1024,
                 ..MemcachedConfig::default()
-            },
-            working_set_keys: 1000,
-            ..EthConfig::default()
-        }
+            })
+            .with_working_set_keys(1000)
     }
 
     #[test]
@@ -1108,6 +1419,47 @@ mod tests {
     }
 
     #[test]
+    fn latency_percentiles_are_recorded() {
+        let mut bed = EthTestbed::new(small_config(RxMode::Pin)).expect("setup");
+        bed.run_until(SimTime::from_secs(1));
+        let rep = bed.tenant_report(0);
+        assert!(rep.ops > 0);
+        assert!(rep.p50 > SimDuration::ZERO, "median latency recorded");
+        assert!(rep.p99 >= rep.p50, "p99 dominates p50");
+        assert_eq!(rep.conns, 4);
+    }
+
+    #[test]
+    fn tenant_skew_concentrates_connections_and_load() {
+        let cfg = small_config(RxMode::Backup)
+            .with_instances(4)
+            .with_conns_per_instance(4)
+            .with_memcached(MemcachedConfig {
+                max_bytes: ByteSize::mib(16),
+                value_size: 1024,
+                ..MemcachedConfig::default()
+            })
+            .with_tenant_skew(Some(1.2));
+        let mut bed = EthTestbed::new(cfg).expect("setup");
+        assert_eq!((0..4).map(|i| bed.conns_of(i)).sum::<u32>(), 16);
+        assert!(
+            bed.conns_of(0) > bed.conns_of(3),
+            "skewed allocation: {} vs {}",
+            bed.conns_of(0),
+            bed.conns_of(3)
+        );
+        bed.run_until(SimTime::from_millis(500));
+        let head = bed.tenant_report(0);
+        let tail = bed.tenant_report(3);
+        assert!(
+            head.ops > tail.ops,
+            "hot tenant does more work: {} vs {}",
+            head.ops,
+            tail.ops
+        );
+    }
+
+    #[test]
     fn sampling_produces_time_series() {
         let mut bed = EthTestbed::new(small_config(RxMode::Pin)).expect("setup");
         bed.start_sampling();
@@ -1125,20 +1477,20 @@ mod prefault_tests {
 
     #[test]
     fn prefault_window_shortens_cold_sequences() {
-        let cfg = |window: u64| EthConfig {
-            mode: RxMode::Backup,
-            instances: 1,
-            conns_per_instance: 8,
-            ring_entries: 512,
-            bm_size: 1024,
-            host_memory: ByteSize::mib(512),
-            memcached: MemcachedConfig {
-                max_bytes: ByteSize::mib(64),
-                ..MemcachedConfig::default()
-            },
-            working_set_keys: 1_000,
-            prefault_window: window,
-            ..EthConfig::default()
+        let cfg = |window: u64| {
+            EthConfig::default()
+                .with_mode(RxMode::Backup)
+                .with_instances(1)
+                .with_conns_per_instance(8)
+                .with_ring_entries(512)
+                .with_bm_size(1024)
+                .with_host_memory(ByteSize::mib(512))
+                .with_memcached(MemcachedConfig {
+                    max_bytes: ByteSize::mib(64),
+                    ..MemcachedConfig::default()
+                })
+                .with_working_set_keys(1_000)
+                .with_prefault_window(window)
         };
         let run = |window| {
             let mut bed = EthTestbed::new(cfg(window)).expect("setup");

@@ -32,7 +32,13 @@ use workloads::stream::SyntheticFaults;
 use iommu::DomainId;
 
 /// Cluster configuration.
+///
+/// Construct via [`IbConfig::default`] plus the `with_*` setters, or
+/// through [`crate::builder::ScenarioBuilder::infiniband`] (which also
+/// validates cross-field constraints). The struct is `#[non_exhaustive]`
+/// so new knobs can be added without breaking downstream crates.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct IbConfig {
     /// Number of nodes (the paper uses eight).
     pub nodes: u32,
@@ -68,6 +74,71 @@ impl Default for IbConfig {
             seed: 1,
             chaos: ChaosConfig::disabled(),
         }
+    }
+}
+
+impl IbConfig {
+    /// Sets the node count.
+    #[must_use]
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the per-node physical memory.
+    #[must_use]
+    pub fn with_node_memory(mut self, memory: ByteSize) -> Self {
+        self.node_memory = memory;
+        self
+    }
+
+    /// Sets the link rate.
+    #[must_use]
+    pub fn with_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the switch store-and-forward latency.
+    #[must_use]
+    pub fn with_switch_latency(mut self, latency: SimDuration) -> Self {
+        self.switch_latency = latency;
+        self
+    }
+
+    /// Sets the RC transport tuning.
+    #[must_use]
+    pub fn with_rc(mut self, rc: RcConfig) -> Self {
+        self.rc = rc;
+        self
+    }
+
+    /// Sets the NPF engine configuration.
+    #[must_use]
+    pub fn with_npf(mut self, npf: NpfConfig) -> Self {
+        self.npf = npf;
+        self
+    }
+
+    /// Sets the secondary-storage model.
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskConfig) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fault-injection configuration.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
     }
 }
 
@@ -263,9 +334,24 @@ pub struct IbCluster {
 }
 
 impl IbCluster {
-    /// Builds the cluster.
+    /// Builds the cluster, validating the configuration first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails validation (e.g. zero
+    /// nodes). Use [`crate::builder::ScenarioBuilder::infiniband`] to
+    /// get the validation outcome as a typed
+    /// [`crate::builder::ScenarioError`] instead.
     #[must_use]
     pub fn new(config: IbConfig) -> Self {
+        match crate::builder::validate_ib(&config) {
+            Ok(()) => Self::build(config),
+            Err(e) => panic!("invalid IbConfig: {e}"),
+        }
+    }
+
+    /// Constructs the cluster from an already-validated configuration.
+    pub(crate) fn build(config: IbConfig) -> Self {
         // A new cluster starts a new timeline at t=0; tell the (possibly
         // process-global) invariant checker so monotonicity tracking
         // does not span testbeds.
@@ -756,10 +842,7 @@ mod tests {
     use rdmasim::types::{WcOpcode, WcStatus};
 
     fn two_node_cluster() -> IbCluster {
-        IbCluster::new(IbConfig {
-            nodes: 2,
-            ..IbConfig::default()
-        })
+        IbCluster::new(IbConfig::default().with_nodes(2))
     }
 
     #[test]

@@ -18,29 +18,34 @@
 //! runs are deterministic in their seeds (asserted by integration
 //! tests).
 //!
+//! Scenarios are constructed through [`builder::ScenarioBuilder`], the
+//! typed, validated entry point for both testbeds; the legacy
+//! `EthTestbed::new` / `IbCluster::new` constructors delegate to it.
+//!
 //! # Examples
 //!
 //! ```
-//! use testbed::eth::{EthConfig, EthTestbed, RxMode};
+//! use testbed::builder::ScenarioBuilder;
+//! use testbed::eth::RxMode;
 //! use simcore::{ByteSize, SimTime};
 //! use workloads::memcached::MemcachedConfig;
 //!
-//! let mut bed = EthTestbed::new(EthConfig {
-//!     mode: RxMode::Backup,
-//!     conns_per_instance: 4,
-//!     host_memory: ByteSize::mib(256),
-//!     memcached: MemcachedConfig {
+//! let mut bed = ScenarioBuilder::ethernet()
+//!     .mode(RxMode::Backup)
+//!     .conns_per_instance(4)
+//!     .host_memory(ByteSize::mib(256))
+//!     .memcached(MemcachedConfig {
 //!         max_bytes: ByteSize::mib(32),
 //!         ..MemcachedConfig::default()
-//!     },
-//!     working_set_keys: 500,
-//!     ..EthConfig::default()
-//! })
-//! .expect("host memory suffices");
+//!     })
+//!     .working_set_keys(500)
+//!     .build()
+//!     .expect("host memory suffices");
 //! bed.run_until(SimTime::from_millis(200));
 //! assert!(bed.total_ops() > 0);
 //! ```
 
+pub mod builder;
 pub mod cpu;
 pub mod eth;
 pub mod ib;
@@ -48,8 +53,9 @@ pub mod mpi_run;
 pub mod storage_bed;
 pub mod stream_eth;
 
+pub use builder::{EthScenario, IbScenario, ScenarioBuilder, ScenarioError};
 pub use cpu::CpuPool;
-pub use eth::{EthConfig, EthTestbed, InstanceMetrics, RxMode};
+pub use eth::{EthConfig, EthTestbed, InstanceMetrics, RxMode, TenantReport};
 pub use ib::{IbCluster, IbConfig, IbNode};
 pub use mpi_run::{run_collective, MpiRunConfig, MpiRunResult};
 pub use storage_bed::{run_storage, StorageBedConfig, StorageBedResult};

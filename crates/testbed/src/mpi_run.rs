@@ -88,11 +88,11 @@ impl MpiRunResult {
 /// Panics if the cluster deadlocks (event budget exhausted) — a bug,
 /// not a measurement.
 pub fn run_collective(config: MpiRunConfig) -> MpiRunResult {
-    let mut cluster = IbCluster::new(IbConfig {
-        nodes: config.ranks,
-        seed: config.seed,
-        ..IbConfig::default()
-    });
+    let mut cluster = IbCluster::new(
+        IbConfig::default()
+            .with_nodes(config.ranks)
+            .with_seed(config.seed),
+    );
 
     // Connect every (src, dst) pair the schedule uses, sharing each
     // node's protection domain.

@@ -99,14 +99,14 @@ pub struct StorageBedResult {
 /// fit in memory — the paper's "fails to load the tgt service" outcome
 /// below 5 GB.
 pub fn run_storage(config: StorageBedConfig) -> Result<StorageBedResult, MemError> {
-    let mut cluster = IbCluster::new(IbConfig {
-        nodes: 2,
-        node_memory: config.target_memory,
-        seed: config.seed,
-        npf: NpfConfig::default(),
-        disk: config.disk,
-        ..IbConfig::default()
-    });
+    let mut cluster = IbCluster::new(
+        IbConfig::default()
+            .with_nodes(2)
+            .with_node_memory(config.target_memory)
+            .with_seed(config.seed)
+            .with_npf(NpfConfig::default())
+            .with_disk(config.disk),
+    );
 
     // OS + daemon baseline: pinned, unreclaimable.
     {

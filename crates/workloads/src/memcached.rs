@@ -316,6 +316,97 @@ impl Memaslap {
     }
 }
 
+/// Tenant popularity for multi-tenant scale-out: how client load is
+/// split across memcached instances sharing one NIC.
+///
+/// A Zipf exponent of 0 (or [`TenantPopularity::uniform`]) spreads load
+/// evenly; larger exponents concentrate it on low-numbered tenants the
+/// way real multi-tenant hosts see a few hot customers and a long cold
+/// tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantPopularity {
+    /// Unnormalized per-tenant weights, indexed by tenant.
+    weights: Vec<f64>,
+}
+
+impl TenantPopularity {
+    /// Every tenant equally popular.
+    #[must_use]
+    pub fn uniform(tenants: u32) -> Self {
+        TenantPopularity {
+            weights: vec![1.0; tenants.max(1) as usize],
+        }
+    }
+
+    /// Zipf popularity: tenant `i` gets weight `1 / (i + 1)^s`.
+    #[must_use]
+    pub fn zipf(tenants: u32, s: f64) -> Self {
+        let weights = (0..tenants.max(1))
+            .map(|i| 1.0 / f64::from(i + 1).powf(s))
+            .collect();
+        TenantPopularity { weights }
+    }
+
+    /// Number of tenants.
+    #[must_use]
+    pub fn tenants(&self) -> u32 {
+        u32::try_from(self.weights.len()).unwrap_or(u32::MAX)
+    }
+
+    /// Tenant `i`'s share of the total load in `[0, 1]`.
+    #[must_use]
+    pub fn share(&self, i: u32) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        self.weights.get(i as usize).copied().unwrap_or(0.0) / total
+    }
+
+    /// Splits `total` connections across tenants proportionally to
+    /// their weights, deterministically (largest-remainder rounding,
+    /// ties to the lower tenant id). When `total >= tenants`, every
+    /// tenant keeps at least one connection so nobody is starved out of
+    /// the closed loop entirely.
+    #[must_use]
+    pub fn allocate(&self, total: u32) -> Vec<u32> {
+        let n = self.weights.len();
+        let mut conns = vec![0u32; n];
+        if total == 0 {
+            return conns;
+        }
+        let floor = u32::from(total as usize >= n);
+        let mut remaining = total - floor * u32::try_from(n).unwrap_or(total);
+        conns.fill(floor);
+        let weight_sum: f64 = self.weights.iter().sum();
+        // Ideal fractional shares of the remainder, floored; then hand
+        // out the leftover one-by-one to the largest fractional parts.
+        let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(n);
+        let mut assigned = 0u32;
+        let pool = f64::from(remaining);
+        for (i, w) in self.weights.iter().enumerate() {
+            let ideal = pool * w / weight_sum;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let whole = ideal.floor() as u32;
+            conns[i] += whole;
+            assigned += whole;
+            fracs.push((i, ideal - ideal.floor()));
+        }
+        remaining -= assigned;
+        fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (i, _) in fracs.into_iter().take(remaining as usize) {
+            conns[i] += 1;
+            remaining -= 1;
+        }
+        // Floating-point slack can leave a connection unassigned; give
+        // any leftovers to the most popular tenants.
+        let mut i = 0;
+        while remaining > 0 {
+            conns[i % n] += 1;
+            remaining -= 1;
+            i += 1;
+        }
+        conns
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,5 +564,55 @@ mod distribution_tests {
             s2.hit_ratio(),
             uniform_hits
         );
+    }
+}
+
+#[cfg(test)]
+mod tenant_tests {
+    use super::*;
+
+    #[test]
+    fn uniform_allocation_is_even() {
+        let pop = TenantPopularity::uniform(8);
+        let conns = pop.allocate(64);
+        assert_eq!(conns, vec![8; 8]);
+        assert_eq!(conns.iter().sum::<u32>(), 64);
+    }
+
+    #[test]
+    fn zipf_allocation_is_skewed_but_complete() {
+        let pop = TenantPopularity::zipf(16, 1.0);
+        let conns = pop.allocate(160);
+        assert_eq!(conns.iter().sum::<u32>(), 160, "every connection lands");
+        assert!(conns[0] > conns[15] * 3, "head tenant dominates: {conns:?}");
+        assert!(
+            conns.iter().all(|&c| c >= 1),
+            "no tenant starved: {conns:?}"
+        );
+        // Monotone non-increasing by construction.
+        for w in conns.windows(2) {
+            assert!(w[0] >= w[1], "monotone: {conns:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_zero_matches_uniform() {
+        let z = TenantPopularity::zipf(10, 0.0);
+        let u = TenantPopularity::uniform(10);
+        assert_eq!(z.allocate(100), u.allocate(100));
+    }
+
+    #[test]
+    fn allocation_smaller_than_tenant_count() {
+        let pop = TenantPopularity::zipf(8, 1.0);
+        let conns = pop.allocate(3);
+        assert_eq!(conns.iter().sum::<u32>(), 3);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let pop = TenantPopularity::zipf(32, 0.9);
+        let total: f64 = (0..32).map(|i| pop.share(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
     }
 }

@@ -12,18 +12,18 @@ use testbed::eth::{EthConfig, EthTestbed, RxMode};
 use workloads::memcached::MemcachedConfig;
 
 fn main() {
-    let config = |mode| EthConfig {
-        mode,
-        instances: 1,
-        conns_per_instance: 16,
-        ring_entries: 64,
-        host_memory: ByteSize::gib(4),
-        memcached: MemcachedConfig {
-            max_bytes: ByteSize::mib(512),
-            ..MemcachedConfig::default()
-        },
-        working_set_keys: 100_000,
-        ..EthConfig::default()
+    let config = |mode| {
+        EthConfig::default()
+            .with_mode(mode)
+            .with_instances(1)
+            .with_conns_per_instance(16)
+            .with_ring_entries(64)
+            .with_host_memory(ByteSize::gib(4))
+            .with_memcached(MemcachedConfig {
+                max_bytes: ByteSize::mib(512),
+                ..MemcachedConfig::default()
+            })
+            .with_working_set_keys(100_000)
     };
 
     println!("cold start, 64-entry receive ring, 16 connections");

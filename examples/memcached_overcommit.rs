@@ -11,17 +11,17 @@ use testbed::eth::{EthConfig, EthTestbed, RxMode};
 use workloads::memcached::MemcachedConfig;
 
 fn main() {
-    let config = |mode, instances| EthConfig {
-        mode,
-        instances,
-        conns_per_instance: 16,
-        host_memory: ByteSize::gib(8),
-        memcached: MemcachedConfig {
-            max_bytes: ByteSize::gib(3), // what the VM thinks it has
-            ..MemcachedConfig::default()
-        },
-        working_set_keys: 1_200_000, // ~1.2 GB actually used
-        ..EthConfig::default()
+    let config = |mode, instances| {
+        EthConfig::default()
+            .with_mode(mode)
+            .with_instances(instances)
+            .with_conns_per_instance(16)
+            .with_host_memory(ByteSize::gib(8))
+            .with_memcached(MemcachedConfig {
+                max_bytes: ByteSize::gib(3), // what the VM thinks it has
+                ..MemcachedConfig::default()
+            })
+            .with_working_set_keys(1_200_000) // ~1.2 GB actually used
     };
 
     println!("8 GB host; each memcached VM is allocated 3 GB but uses ~1.2 GB\n");

@@ -47,10 +47,11 @@ pub use workloads;
 pub mod prelude {
     pub use memsim::manager::{MemConfig, MemoryManager};
     pub use memsim::space::Backing;
-    pub use npf_core::npf::{NpfConfig, NpfEngine};
+    pub use npf_core::npf::{ArbiterPolicy, NpfConfig, NpfEngine};
     pub use npf_core::pinning::{Registrar, Strategy};
     pub use simcore::chaos::{ChaosConfig, ChaosEngine, ChaosProfile, InvariantChecker};
     pub use simcore::{Bandwidth, ByteSize, SimDuration, SimRng, SimTime};
-    pub use testbed::eth::{EthConfig, EthTestbed, RxMode};
+    pub use testbed::builder::{ScenarioBuilder, ScenarioError};
+    pub use testbed::eth::{EthConfig, EthTestbed, RxMode, TenantReport};
     pub use testbed::ib::{IbCluster, IbConfig};
 }

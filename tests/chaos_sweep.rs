@@ -118,13 +118,13 @@ fn run_ib(chaos: ChaosConfig) -> HashMap<String, u64> {
     // NVMe swap: under eviction storms every re-fault is a swap-in, and
     // resolution must beat the next eviction for the transport to make
     // progress (a 5 ms hard-drive swap-in never can).
-    let mut c = IbCluster::new(IbConfig {
-        nodes: 2,
-        rc,
-        chaos,
-        disk: npf::memsim::swap::DiskConfig::nvme(),
-        ..IbConfig::default()
-    });
+    let mut c = IbCluster::new(
+        IbConfig::default()
+            .with_nodes(2)
+            .with_rc(rc)
+            .with_chaos(chaos)
+            .with_disk(npf::memsim::swap::DiskConfig::nvme()),
+    );
     let (qa, qb) = c.connect(0, 1);
     let src = c.alloc_buffers(0, ByteSize::mib(8));
     let dst = c.alloc_buffers(1, ByteSize::mib(8));
@@ -204,24 +204,24 @@ fn run_eth(chaos: ChaosConfig) -> HashMap<String, u64> {
         invariant::install(InvariantChecker::new(chaos.seed)).is_none(),
         "stale checker"
     );
-    let mut bed = EthTestbed::new(EthConfig {
-        mode: RxMode::Backup,
-        instances: 1,
-        conns_per_instance: 4,
-        ring_entries: 64,
-        host_memory: ByteSize::mib(512),
-        // NVMe swap: as in the IB sweep, resolution must beat the next
-        // chaos eviction or no quiescent cut ever exists.
-        disk: npf::memsim::swap::DiskConfig::nvme(),
-        memcached: MemcachedConfig {
-            max_bytes: ByteSize::mib(64),
-            value_size: 1024,
-            ..MemcachedConfig::default()
-        },
-        working_set_keys: 1000,
-        chaos,
-        ..EthConfig::default()
-    })
+    // NVMe swap: as in the IB sweep, resolution must beat the next
+    // chaos eviction or no quiescent cut ever exists.
+    let mut bed = EthTestbed::new(
+        EthConfig::default()
+            .with_mode(RxMode::Backup)
+            .with_instances(1)
+            .with_conns_per_instance(4)
+            .with_ring_entries(64)
+            .with_host_memory(ByteSize::mib(512))
+            .with_disk(npf::memsim::swap::DiskConfig::nvme())
+            .with_memcached(MemcachedConfig {
+                max_bytes: ByteSize::mib(64),
+                value_size: 1024,
+                ..MemcachedConfig::default()
+            })
+            .with_working_set_keys(1000)
+            .with_chaos(chaos),
+    )
     .expect("setup");
     bed.run_until(SimTime::from_secs(1));
 
@@ -356,6 +356,106 @@ fn eth_chaos_sweep_holds_invariants() {
     );
 }
 
+/// Chaos over the cross-channel fault arbiter: a multi-tenant bed with
+/// a small shared slot pool, weighted-fair arbitration, and a
+/// partitioned backup quota must hold every global invariant under
+/// full-profile injection — arbitration queueing must never strand an
+/// NPF past the quiescent cut, and the quota must hold even while
+/// chaos delays resolutions and storms evictions.
+fn run_eth_arbiter(chaos: ChaosConfig) -> HashMap<String, u64> {
+    use npf::prelude::{ArbiterPolicy, NpfConfig, ScenarioBuilder};
+    let mut totals = HashMap::new();
+    assert!(
+        invariant::install(InvariantChecker::new(chaos.seed)).is_none(),
+        "stale checker"
+    );
+    let quota = 16u64;
+    let mut bed = ScenarioBuilder::ethernet()
+        .mode(RxMode::Backup)
+        .instances(4)
+        .conns_per_instance(2)
+        .ring_entries(32)
+        .bm_size(64)
+        .backup_capacity(128)
+        .backup_quota(quota)
+        .host_memory(ByteSize::mib(512))
+        .disk(npf::memsim::swap::DiskConfig::nvme())
+        .memcached(MemcachedConfig {
+            max_bytes: ByteSize::mib(16),
+            value_size: 1024,
+            ..MemcachedConfig::default()
+        })
+        .working_set_keys(1000)
+        .tenant_skew(1.0)
+        .npf(
+            NpfConfig::default()
+                .with_arbiter(ArbiterPolicy::WeightedFair)
+                .with_total_fault_slots(4),
+        )
+        .tenant_weight(0, 4)
+        .chaos(chaos)
+        .build()
+        .expect("setup");
+    bed.run_until(SimTime::from_secs(1));
+
+    let mut outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+    let mut tries = 0;
+    while outstanding > 0 && tries < 2000 {
+        let next = bed.now() + SimDuration::from_micros(500);
+        bed.run_until(next);
+        outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+        tries += 1;
+    }
+    assert_eq!(
+        outstanding, 0,
+        "NPFs must resolve despite arbitration (chaos seed {})",
+        chaos.seed
+    );
+    assert_eq!(
+        bed.total_failed_conns(),
+        0,
+        "no connection may die under chaos seed {}",
+        chaos.seed
+    );
+    for i in 0..4 {
+        let t = bed.tenant_report(i);
+        assert!(
+            t.backup_hwm <= quota,
+            "tenant {i} burst its quota under chaos seed {}: hwm {}",
+            chaos.seed,
+            t.backup_hwm
+        );
+    }
+
+    let mut checker = invariant::uninstall().expect("checker installed");
+    let end = checker.finish();
+    assert!(
+        end.is_empty(),
+        "invariant violations at chaos seed {}: {:?}",
+        chaos.seed,
+        end
+    );
+
+    if let Some(engine) = bed.chaos() {
+        accumulate(&mut totals, engine.counters());
+    }
+    accumulate(&mut totals, bed.engine().counters());
+    totals
+}
+
+#[test]
+fn arbitrated_multi_tenant_bed_survives_chaos() {
+    let base = seed_base();
+    let cells: Vec<ChaosConfig> = (0..3u64)
+        .map(|s| ChaosConfig::profile(ChaosProfile::All, base + 0x2000 + s))
+        .collect();
+    let totals = sweep(cells, run_eth_arbiter);
+    assert!(
+        totals.get("npf_events").copied().unwrap_or(0) > 0,
+        "the arbitrated bed never faulted: {totals:?}"
+    );
+}
+
 #[test]
 fn same_chaos_seed_replays_identically() {
     let chaos = ChaosConfig::profile(ChaosProfile::All, seed_base() + 7);
@@ -369,10 +469,7 @@ fn same_chaos_seed_replays_identically() {
 #[test]
 fn disabled_chaos_injects_nothing_and_stays_deterministic() {
     let run = || {
-        let mut c = IbCluster::new(IbConfig {
-            nodes: 2,
-            ..IbConfig::default()
-        });
+        let mut c = IbCluster::new(IbConfig::default().with_nodes(2));
         assert!(c.chaos().is_none(), "disabled chaos must build no engine");
         let (qa, qb) = c.connect(0, 1);
         let src = c.alloc_buffers(0, ByteSize::mib(1));

@@ -111,7 +111,10 @@ struct RefTlb {
 
 impl RefTlb {
     fn new(cap: usize) -> Self {
-        RefTlb { cap, ..RefTlb::default() }
+        RefTlb {
+            cap,
+            ..RefTlb::default()
+        }
     }
 
     fn pos(&self, key: TlbKey) -> Option<usize> {
@@ -299,7 +302,10 @@ impl RefLru {
     }
 
     fn len_in(&self, space: u32) -> usize {
-        self.entries.iter().filter(|&&((s, _), _)| s == space).count()
+        self.entries
+            .iter()
+            .filter(|&&((s, _), _)| s == space)
+            .count()
     }
 }
 

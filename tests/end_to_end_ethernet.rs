@@ -5,19 +5,17 @@ use npf::prelude::*;
 use workloads::memcached::MemcachedConfig;
 
 fn small(mode: RxMode) -> EthConfig {
-    EthConfig {
-        mode,
-        instances: 1,
-        conns_per_instance: 4,
-        ring_entries: 64,
-        host_memory: ByteSize::mib(512),
-        memcached: MemcachedConfig {
+    EthConfig::default()
+        .with_mode(mode)
+        .with_instances(1)
+        .with_conns_per_instance(4)
+        .with_ring_entries(64)
+        .with_host_memory(ByteSize::mib(512))
+        .with_memcached(MemcachedConfig {
             max_bytes: ByteSize::mib(64),
             ..MemcachedConfig::default()
-        },
-        working_set_keys: 2_000,
-        ..EthConfig::default()
-    }
+        })
+        .with_working_set_keys(2_000)
 }
 
 #[test]

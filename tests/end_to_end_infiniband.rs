@@ -6,10 +6,7 @@ use npf::prelude::*;
 use rdmasim::types::{SendOp, WcOpcode, WcStatus};
 
 fn pair() -> IbCluster {
-    IbCluster::new(IbConfig {
-        nodes: 2,
-        ..IbConfig::default()
-    })
+    IbCluster::new(IbConfig::default().with_nodes(2))
 }
 
 #[test]
@@ -282,11 +279,7 @@ fn read_rnr_extension_works_through_the_cluster() {
         rnr_for_reads: true,
         ..RcConfig::default()
     };
-    let mut c = IbCluster::new(IbConfig {
-        nodes: 2,
-        rc,
-        ..IbConfig::default()
-    });
+    let mut c = IbCluster::new(IbConfig::default().with_nodes(2).with_rc(rc));
     let (qa, qb) = c.connect(0, 1);
     let local = c.alloc_buffers(0, ByteSize::mib(2));
     let remote = c.alloc_buffers(1, ByteSize::mib(2));

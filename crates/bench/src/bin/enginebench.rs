@@ -255,7 +255,7 @@ fn figure_wall_clocks() -> Vec<(&'static str, f64)> {
         .into_iter()
         .map(|(name, t)| {
             let t0 = Instant::now();
-            let out = npf_bench::par_runner::run(vec![t], 1, None, false, 16);
+            let out = npf_bench::par_runner::run(vec![t], 1, None, false, 16, None);
             std::hint::black_box(out.reports.len());
             (name, t0.elapsed().as_secs_f64() * 1e3)
         })

@@ -1,0 +1,105 @@
+//! Tail-latency attribution for the multi-tenant overcommit scenario:
+//! which NPF pipeline phase made the slow faults slow?
+//!
+//! Flags (all via `tracectl::RunOpts`):
+//!
+//! * `--scenario <overcommit|small>`: 64-tenant paper-sized run
+//!   (default) or the CI-sized 4-tenant smoke run (`fig3` is an alias
+//!   for `small`).
+//! * `--tenants <n>`: override the scenario's tenant count.
+//! * `--arbiter <channel|rr|wfq>`: arbitration policy (default `wfq`).
+//! * `--budget-us <n>`: arm the journal's SLO watchdog — any fault
+//!   slower than `n` microseconds prints its causal chain on stderr.
+//! * `--out <path>`: where to write the attribution artifact (default
+//!   `BENCH_whyslow.txt`; skipped under `--check`).
+//! * `--check <path>`: byte-compare this run's artifact against a
+//!   committed golden copy and exit 1 on drift.
+//! * `--journal <path>`: additionally write the merged journal as
+//!   Chrome flow-event JSON (Perfetto-loadable).
+//! * `--jobs <n>`: worker threads; the artifact is byte-identical at
+//!   every value.
+
+use npf_bench::{tracectl, whyslow};
+use npf_core::ArbiterPolicy;
+use simcore::time::SimDuration;
+
+fn main() {
+    let opts = tracectl::RunOpts::init(&["out", "check", "scenario", "budget-us"]);
+    let out_path = opts.extra("out").unwrap_or("BENCH_whyslow.txt").to_owned();
+    let check_path = opts.extra("check").map(str::to_owned);
+    let scenario = opts.extra("scenario").unwrap_or("overcommit");
+    let tenants = match whyslow::scenario_tenants(scenario) {
+        Ok(t) => opts.tenants.unwrap_or(t),
+        Err(e) => {
+            eprintln!("whyslow: error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let policy = opts.arbiter.unwrap_or(ArbiterPolicy::WeightedFair);
+    let budget = opts.extra("budget-us").map(|v| {
+        let us = v.parse::<u64>().unwrap_or_else(|e| {
+            eprintln!("whyslow: error: --budget-us must be an integer: {e}");
+            std::process::exit(2);
+        });
+        SimDuration::from_micros(us)
+    });
+
+    let (journal, outcome) = whyslow::run_scenario(
+        tenants,
+        whyslow::DEFAULT_SEEDS,
+        policy,
+        budget,
+        tracectl::jobs(),
+        tracectl::chaos_config(),
+    );
+
+    // The journal's contract: phase slices tile [begun, ready_at], so
+    // each fault's attribution sums to its latency exactly.
+    let broken = whyslow::exact_sum_violations(&journal);
+    assert_eq!(broken, 0, "{broken} faults with inexact phase sums");
+    assert_eq!(
+        journal.unbalanced_faults(),
+        0,
+        "journal phase slices must tile each fault's lifetime"
+    );
+
+    let artifact = whyslow::render_artifact(tenants, policy, whyslow::DEFAULT_SEEDS, &journal);
+    print!("{artifact}");
+
+    if let Some(path) = tracectl::journal_path() {
+        match std::fs::write(&path, journal.export_chrome_json()) {
+            Ok(()) => eprintln!("fault journal written to {}", path.display()),
+            Err(e) => eprintln!("failed to write fault journal to {}: {e}", path.display()),
+        }
+    }
+
+    if outcome.violations > 0 {
+        eprintln!(
+            "whyslow: {} invariant violation(s) under chaos",
+            outcome.violations
+        );
+        std::process::exit(1);
+    }
+
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if baseline == artifact {
+            println!("attribution matches {path}");
+        } else {
+            eprintln!("attribution drifted from {path}");
+            std::process::exit(1);
+        }
+    } else {
+        if let Err(e) = std::fs::write(&out_path, &artifact) {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(2);
+        }
+        println!("attribution written to {out_path}");
+    }
+}

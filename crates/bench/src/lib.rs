@@ -21,5 +21,6 @@ pub mod par_runner;
 pub mod report;
 pub mod scale;
 pub mod tracectl;
+pub mod whyslow;
 
 pub use report::Report;

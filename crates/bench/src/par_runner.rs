@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use simcore::chaos::{invariant, ChaosConfig, InvariantChecker};
+use simcore::journal::{self, JournalRecorder};
 use simcore::trace::{self, TraceRecorder};
 
 use crate::report::Report;
@@ -50,6 +51,7 @@ struct Outcome {
     report: Report,
     recorder: Option<TraceRecorder>,
     checker: Option<InvariantChecker>,
+    journal: Option<JournalRecorder>,
 }
 
 /// The merged result of a parallel run, in deterministic task order.
@@ -64,6 +66,16 @@ pub struct RunOutcome {
     pub checks: u64,
     /// NPFs still in flight at each task's horizon, summed.
     pub outstanding_faults: u64,
+    /// Per-task fault journals absorbed in task order (when journaling).
+    pub journal: Option<JournalRecorder>,
+}
+
+/// Journal capture request for [`run`]: each task gets a fresh
+/// [`JournalRecorder`], optionally armed with an SLO watchdog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JournalSpec {
+    /// Per-fault end-to-end latency budget checked at resolve time.
+    pub watchdog: Option<simcore::journal::JournalWatchdog>,
 }
 
 /// Runs `tasks` across `jobs` worker threads and merges the results in
@@ -71,7 +83,8 @@ pub struct RunOutcome {
 ///
 /// When `chaos` is set, each task gets a fresh [`InvariantChecker`]
 /// seeded with the config's seed; when `record` is true, each task gets
-/// a fresh [`TraceRecorder`] of `ring_capacity` records. Both are
+/// a fresh [`TraceRecorder`] of `ring_capacity` records; when `journal`
+/// is set, each task gets a fresh [`JournalRecorder`]. All are
 /// installed thread-locally around the task body only, so tasks are
 /// hermetic no matter how workers interleave. Panics in a task
 /// propagate after all workers finish their current task.
@@ -81,6 +94,7 @@ pub fn run(
     chaos: Option<ChaosConfig>,
     record: bool,
     ring_capacity: usize,
+    journal: Option<JournalSpec>,
 ) -> RunOutcome {
     let n = tasks.len();
     let jobs = jobs.clamp(1, n.max(1));
@@ -98,7 +112,7 @@ pub fn run(
             .expect("task slot poisoned")
             .take()
             .expect("each task index is claimed exactly once");
-        let outcome = run_one(task, chaos, record, ring_capacity);
+        let outcome = run_one(task, chaos, record, ring_capacity, journal);
         *outputs[i].lock().expect("result slot poisoned") = Some(outcome);
     };
 
@@ -119,6 +133,13 @@ pub fn run(
         violations: 0,
         checks: 0,
         outstanding_faults: 0,
+        journal: journal.map(|spec| {
+            let mut j = JournalRecorder::new();
+            if let Some(w) = spec.watchdog {
+                j.set_watchdog(w);
+            }
+            j
+        }),
     };
     for slot in outputs {
         let outcome = slot
@@ -128,6 +149,9 @@ pub fn run(
         merged.reports.push(outcome.report);
         if let (Some(into), Some(rec)) = (merged.recorder.as_mut(), outcome.recorder) {
             into.absorb(rec);
+        }
+        if let (Some(into), Some(j)) = (merged.journal.as_mut(), outcome.journal) {
+            into.absorb(&j);
         }
         if let Some(checker) = outcome.checker {
             merged.violations += checker.violations().len() as u64;
@@ -139,7 +163,13 @@ pub fn run(
 }
 
 /// Runs one task with its own recorder/checker installed around it.
-fn run_one(task: Task, chaos: Option<ChaosConfig>, record: bool, ring_capacity: usize) -> Outcome {
+fn run_one(
+    task: Task,
+    chaos: Option<ChaosConfig>,
+    record: bool,
+    ring_capacity: usize,
+    journal_spec: Option<JournalSpec>,
+) -> Outcome {
     if let Some(cfg) = chaos {
         assert!(
             invariant::install(InvariantChecker::new(cfg.seed)).is_none(),
@@ -152,7 +182,22 @@ fn run_one(task: Task, chaos: Option<ChaosConfig>, record: bool, ring_capacity: 
             "worker thread already had a trace recorder"
         );
     }
+    if let Some(spec) = journal_spec {
+        let mut j = JournalRecorder::new();
+        if let Some(w) = spec.watchdog {
+            j.set_watchdog(w);
+        }
+        assert!(
+            journal::install(j).is_none(),
+            "worker thread already had a fault journal"
+        );
+    }
     let report = (task.run)();
+    let journal = if journal_spec.is_some() {
+        Some(journal::uninstall().expect("journal installed above"))
+    } else {
+        None
+    };
     let recorder = if record {
         Some(trace::uninstall().expect("recorder installed above"))
     } else {
@@ -167,6 +212,7 @@ fn run_one(task: Task, chaos: Option<ChaosConfig>, record: bool, ring_capacity: 
         report,
         recorder,
         checker,
+        journal,
     }
 }
 
@@ -200,8 +246,8 @@ mod tests {
 
     #[test]
     fn serial_and_parallel_agree() {
-        let a = run(demo_tasks(), 1, None, true, 1 << 12);
-        let b = run(demo_tasks(), 4, None, true, 1 << 12);
+        let a = run(demo_tasks(), 1, None, true, 1 << 12, None);
+        let b = run(demo_tasks(), 4, None, true, 1 << 12, None);
         let render = |o: &RunOutcome| {
             o.reports
                 .iter()
@@ -218,7 +264,7 @@ mod tests {
 
     #[test]
     fn reports_come_back_in_task_order() {
-        let o = run(demo_tasks(), 3, None, false, 16);
+        let o = run(demo_tasks(), 3, None, false, 16, None);
         assert!(o.recorder.is_none());
         for (i, r) in o.reports.iter().enumerate() {
             assert!(r.render().contains(&format!("{}", i * i)), "task {i}");
@@ -238,7 +284,7 @@ mod tests {
                 })
             })
             .collect();
-        let o = run(tasks, 2, Some(cfg), false, 16);
+        let o = run(tasks, 2, Some(cfg), false, 16, None);
         assert_eq!(o.violations, 4);
         assert!(o.checks >= 8);
         assert!(invariant::uninstall().is_none(), "no checker leaked");

@@ -10,6 +10,7 @@
 //! simulation-deterministic tallies, never wall-clock.
 
 use npf_core::ArbiterPolicy;
+use simcore::chaos::ChaosConfig;
 use simcore::{ByteSize, SimTime};
 use testbed::builder::ScenarioBuilder;
 use testbed::eth::RxMode;
@@ -75,6 +76,25 @@ pub fn policy_name(policy: ArbiterPolicy) -> &'static str {
 /// bug, not an input error.
 #[must_use]
 pub fn run_cell(tenants: u32, seed: u64, policy: ArbiterPolicy, quota: Option<u64>) -> ScaleCell {
+    run_cell_chaos(tenants, seed, policy, quota, None)
+}
+
+/// [`run_cell`] with optional fault injection: the same scenario built
+/// `.chaos(cfg)`, so chaos-enabled sweeps (and `whyslow --chaos-seed`)
+/// exercise the identical recipe.
+///
+/// # Panics
+///
+/// Panics when the cell's scenario fails validation — a scalebench
+/// bug, not an input error.
+#[must_use]
+pub fn run_cell_chaos(
+    tenants: u32,
+    seed: u64,
+    policy: ArbiterPolicy,
+    quota: Option<u64>,
+    chaos: Option<ChaosConfig>,
+) -> ScaleCell {
     let mut scenario = ScenarioBuilder::ethernet()
         .mode(RxMode::Backup)
         .instances(tenants)
@@ -101,6 +121,9 @@ pub fn run_cell(tenants: u32, seed: u64, policy: ArbiterPolicy, quota: Option<u6
     if policy == ArbiterPolicy::WeightedFair {
         // One heavy tenant, so the sweep exercises unequal shares.
         scenario = scenario.tenant_weight(0, 4);
+    }
+    if let Some(cfg) = chaos {
+        scenario = scenario.chaos(cfg);
     }
     let mut bed = scenario.build().expect("scalebench cell must validate");
     bed.run_until(CELL_HORIZON);

@@ -11,6 +11,10 @@
 //! * `--metrics <path>` (or `--metrics=<path>`): write the flat
 //!   metrics registry on exit — CSV if `path` ends in `.csv`, JSON
 //!   otherwise.
+//! * `--journal <path>` (or `--journal=<path>`): install a
+//!   [`simcore::journal`] fault-lifecycle recorder for the run and
+//!   write it on exit — the tail-attribution text report if `path`
+//!   ends in `.txt`, Chrome trace-event flow JSON otherwise.
 //! * `--chaos-seed <n>` / `--chaos-profile <name>`: build a
 //!   [`ChaosConfig`] for fault injection ([`chaos_config`]). Profiles:
 //!   `network`, `interrupts`, `npf`, `memory`, `iommu`, `all`
@@ -35,6 +39,7 @@ use std::sync::OnceLock;
 
 use npf_core::ArbiterPolicy;
 use simcore::chaos::{invariant, ChaosConfig, ChaosProfile, InvariantChecker};
+use simcore::journal::{self, JournalRecorder};
 use simcore::trace::{self, TraceRecorder};
 
 /// Default ring capacity for binary-driven traces: large enough to
@@ -68,6 +73,7 @@ fn flag_value<I: IntoIterator<Item = String>>(args: I, flag: &str) -> Option<Pat
 const STANDARD_FLAGS: &[&str] = &[
     "trace",
     "metrics",
+    "journal",
     "chaos-seed",
     "chaos-profile",
     "jobs",
@@ -95,6 +101,8 @@ pub struct RunOpts {
     pub trace: Option<PathBuf>,
     /// `--metrics <path>`: write the metrics registry on exit.
     pub metrics: Option<PathBuf>,
+    /// `--journal <path>`: write the fault-lifecycle journal on exit.
+    pub journal: Option<PathBuf>,
     /// `--chaos-seed` / `--chaos-profile`: fault injection, if asked.
     pub chaos: Option<ChaosConfig>,
     /// `--jobs <n>` worker threads; absent → 1, `0` → all cores.
@@ -236,11 +244,13 @@ impl RunOpts {
             .transpose()?;
         let trace = values.remove("trace").map(PathBuf::from);
         let metrics = values.remove("metrics").map(PathBuf::from);
+        let journal = values.remove("journal").map(PathBuf::from);
         // What's left can only be the binary's registered extras.
         debug_assert!(values.keys().all(|k| extra.contains(&k.as_str())));
         Ok(RunOpts {
             trace,
             metrics,
+            journal,
             chaos,
             jobs,
             tenants,
@@ -279,6 +289,15 @@ pub fn metrics_path() -> Option<PathBuf> {
         return opts.metrics.clone();
     }
     flag_value(std::env::args().skip(1), "metrics")
+}
+
+/// `--journal <path>` from the process arguments, if present.
+#[must_use]
+pub fn journal_path() -> Option<PathBuf> {
+    if let Some(opts) = RunOpts::get() {
+        return opts.journal.clone();
+    }
+    flag_value(std::env::args().skip(1), "journal")
 }
 
 /// Builds a [`ChaosConfig`] from `--chaos-seed` / `--chaos-profile`
@@ -384,44 +403,84 @@ pub fn run<R>(body: impl FnOnce() -> R) -> R {
     }
     let trace_to = trace_path();
     let metrics_to = metrics_path();
-    if trace_to.is_none() && metrics_to.is_none() {
+    let journal_to = journal_path();
+    if trace_to.is_none() && metrics_to.is_none() && journal_to.is_none() {
         let out = body();
         if finish_chaos(chaos) {
             std::process::exit(1);
         }
         return out;
     }
-    let prev = trace::install(TraceRecorder::new(DEFAULT_CAPACITY));
+    let record = trace_to.is_some() || metrics_to.is_some();
+    let prev = if record {
+        trace::install(TraceRecorder::new(DEFAULT_CAPACITY))
+    } else {
+        None
+    };
+    if journal_to.is_some() {
+        assert!(
+            journal::install(JournalRecorder::new()).is_none(),
+            "a fault journal was already installed"
+        );
+    }
     let out = body();
     // Settle chaos while the recorder is still installed, so a
     // violation discovered by `finish()` can dump the trace ring.
     let violated = finish_chaos(chaos);
-    let recorder = trace::uninstall().expect("recorder installed above");
-    if let Some(prev) = prev {
-        trace::install(prev);
-    }
-    if let Some(path) = trace_to {
-        if recorder.dropped() > 0 {
-            eprintln!(
-                "trace ring wrapped: {} oldest records dropped",
-                recorder.dropped()
-            );
+    let journal_rec = journal_to
+        .is_some()
+        .then(|| journal::uninstall().expect("journal installed above"));
+    if record {
+        let recorder = trace::uninstall().expect("recorder installed above");
+        if let Some(prev) = prev {
+            trace::install(prev);
         }
-        write_or_warn(&path, "chrome trace", &recorder.export_chrome_json());
+        if let Some(path) = trace_to {
+            if recorder.dropped() > 0 {
+                eprintln!(
+                    "trace ring wrapped: {} oldest records dropped",
+                    recorder.dropped()
+                );
+            }
+            write_or_warn(&path, "chrome trace", &recorder.export_chrome_json());
+        }
+        if let Some(path) = metrics_to {
+            let is_csv = path.extension().is_some_and(|e| e == "csv");
+            let contents = if is_csv {
+                recorder.metrics().to_csv()
+            } else {
+                recorder.metrics().to_json()
+            };
+            write_or_warn(&path, "metrics", &contents);
+        }
     }
-    if let Some(path) = metrics_to {
-        let is_csv = path.extension().is_some_and(|e| e == "csv");
-        let contents = if is_csv {
-            recorder.metrics().to_csv()
-        } else {
-            recorder.metrics().to_json()
-        };
-        write_or_warn(&path, "metrics", &contents);
+    if let (Some(path), Some(j)) = (journal_to.as_deref(), journal_rec.as_ref()) {
+        finish_journal(j, path, violated);
     }
     if violated {
         std::process::exit(1);
     }
     out
+}
+
+/// Settles a captured fault journal: prints any SLO-watchdog hits,
+/// dumps the attribution report on a chaos violation (the journal is
+/// the "why was this fault slow" companion to the trace-ring dump),
+/// and writes the requested export — attribution text for `.txt`
+/// paths, Chrome flow-event JSON otherwise.
+fn finish_journal(j: &JournalRecorder, path: &Path, violated: bool) {
+    if !j.slo_hits().is_empty() {
+        eprint!("{}", j.slo_report());
+    }
+    if violated {
+        eprint!("{}", j.attribution_report());
+    }
+    let contents = if path.extension().is_some_and(|e| e == "txt") {
+        j.attribution_report()
+    } else {
+        j.export_chrome_json()
+    };
+    write_or_warn(path, "fault journal", &contents);
 }
 
 /// Uninstalls the chaos invariant checker (when one was installed),
@@ -482,8 +541,13 @@ pub fn run_tasks(tasks: Vec<crate::par_runner::Task>, emit: impl FnOnce(Vec<crat
     let chaos = chaos_config();
     let trace_to = trace_path();
     let metrics_to = metrics_path();
+    let journal_to = journal_path();
     let record = trace_to.is_some() || metrics_to.is_some();
-    let outcome = crate::par_runner::run(tasks, jobs(), chaos, record, DEFAULT_CAPACITY);
+    let journal_spec = journal_to
+        .is_some()
+        .then(crate::par_runner::JournalSpec::default);
+    let outcome =
+        crate::par_runner::run(tasks, jobs(), chaos, record, DEFAULT_CAPACITY, journal_spec);
     emit(outcome.reports);
     let violated = chaos.is_some_and(|cfg| {
         report_chaos(
@@ -512,6 +576,9 @@ pub fn run_tasks(tasks: Vec<crate::par_runner::Task>, emit: impl FnOnce(Vec<crat
             };
             write_or_warn(&path, "metrics", &contents);
         }
+    }
+    if let (Some(path), Some(j)) = (journal_to.as_deref(), outcome.journal.as_ref()) {
+        finish_journal(j, path, violated);
     }
     if violated {
         std::process::exit(1);

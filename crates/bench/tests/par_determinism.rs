@@ -179,8 +179,8 @@ fn fingerprint(outcome: &par_runner::RunOutcome) -> String {
 fn injected_chaos_runs_are_identical_across_jobs() {
     let cfg = ChaosConfig::profile(ChaosProfile::All, 21);
     let tasks = |n: u64| (0..n).map(|i| chaos_ib_task(21 + i)).collect::<Vec<_>>();
-    let serial = par_runner::run(tasks(4), 1, Some(cfg), true, 1 << 16);
-    let parallel = par_runner::run(tasks(4), 4, Some(cfg), true, 1 << 16);
+    let serial = par_runner::run(tasks(4), 1, Some(cfg), true, 1 << 16, None);
+    let parallel = par_runner::run(tasks(4), 4, Some(cfg), true, 1 << 16, None);
     let (fs, fp) = (fingerprint(&serial), fingerprint(&parallel));
     if fs != fp {
         std::fs::write("/tmp/fp_serial.txt", &fs).ok();

@@ -24,7 +24,7 @@ fn sweep(jobs: usize) -> String {
             })
         })
         .collect();
-    let _ = par_runner::run(tasks, jobs, None, false, 1 << 16);
+    let _ = par_runner::run(tasks, jobs, None, false, 1 << 16, None);
     let cells: Vec<ScaleCell> = cells
         .lock()
         .expect("slots")

@@ -16,6 +16,7 @@ use std::collections::{HashMap, VecDeque};
 use memsim::manager::MemError;
 use memsim::types::VirtAddr;
 use nicsim::rx::{BackupEntry, RingId, RxEngine};
+use simcore::journal;
 use simcore::stats::Counters;
 use simcore::time::{SimDuration, SimTime};
 use simcore::trace::{self, ArgValue};
@@ -229,6 +230,7 @@ impl<P: Clone> BackupDriver<P> {
         let notify = rx.resolve_rnpfs(ring, entry.bit_index);
         self.counters.bump("merged");
         self.ring_stats.entry(ring).or_default().merged += 1;
+        journal::mark_at(ready_at + cost, journal::MarkKind::ReplayDrain, entry.len);
         if trace::enabled() {
             trace::span(
                 now,

@@ -25,6 +25,7 @@ use memsim::manager::{Invalidation, MemError, MemoryManager};
 use memsim::types::{PageRange, SpaceId, VirtAddr, Vpn};
 use memsim::FrameId;
 use simcore::chaos::{invariant, ChaosEngine, NpfFate};
+use simcore::journal;
 use simcore::rng::SimRng;
 use simcore::stats::{Counters, DurationHistogram};
 use simcore::time::{SimDuration, SimTime};
@@ -763,6 +764,45 @@ impl NpfEngine {
             });
         }
 
+        if journal::enabled() {
+            // The causal journal records the same decomposition as the
+            // trace span above, plus the pre-admission waits, as typed
+            // phases that tile `[now, ready_at]` exactly: their sum IS
+            // the end-to-end latency, by construction.
+            let os_total = os_cost + invalidation_cost;
+            let driver_sw = breakdown.driver.saturating_sub(os_total);
+            let os_span = breakdown.driver - driver_sw;
+            let chaos_extra = ready_at.saturating_since(start + breakdown.total());
+            let key = (self.chaos_ns << 32) | id;
+            journal::with(|j| {
+                j.fault_begun(key, u64::from(domain.0), range.pages, major, now, ready_at);
+                j.phase(
+                    key,
+                    journal::Phase::QueueWait,
+                    now,
+                    chan_start.saturating_since(now),
+                );
+                j.phase(
+                    key,
+                    journal::Phase::ArbWait,
+                    chan_start,
+                    start.saturating_since(chan_start),
+                );
+                let mut at = start;
+                for (phase, d) in [
+                    (journal::Phase::Trigger, breakdown.trigger_interrupt),
+                    (journal::Phase::DriverSw, driver_sw),
+                    (journal::Phase::OsTranslate, os_span),
+                    (journal::Phase::PtUpdate, breakdown.update_hw_pt),
+                    (journal::Phase::Resume, breakdown.resume),
+                ] {
+                    j.phase(key, phase, at, d);
+                    at += d;
+                }
+                j.phase(key, journal::Phase::ChaosExtra, at, chaos_extra);
+            });
+        }
+
         let record = FaultRecord {
             id,
             domain,
@@ -787,6 +827,7 @@ impl NpfEngine {
     pub fn complete_fault(&mut self, id: u64) -> FaultRecord {
         let record = self.pending.remove(&id).expect("unknown fault id");
         invariant::note_fault_resolved((self.chaos_ns << 32) | id);
+        journal::with(|j| j.fault_resolved((self.chaos_ns << 32) | id));
         if trace::enabled() {
             trace::instant(
                 record.ready_at,

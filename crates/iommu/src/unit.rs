@@ -13,6 +13,7 @@
 
 use memsim::types::{FrameId, PageRange, Vpn};
 use simcore::chaos::invariant;
+use simcore::journal;
 use simcore::trace::{self, ArgValue, MetricId};
 
 use crate::iotlb::IoTlb;
@@ -290,6 +291,8 @@ impl Iommu {
             }
         }
         let mut faulted: Vec<(Vpn, bool)> = Vec::new();
+        let mut filled = 0u64;
+        let walk_pages = if error { 0 } else { end.saturating_sub(vpn) };
         if !error && vpn < end {
             // Single walk for the remainder. Pages the TLB did cache
             // past the first miss are simply re-filled — the table is
@@ -308,7 +311,10 @@ impl Iommu {
                 }
                 match pte {
                     Some(p) if write && !p.writable => error = true,
-                    Some(p) => tlb.insert_pte(domain, page, p.frame, p.writable),
+                    Some(p) => {
+                        tlb.insert_pte(domain, page, p.frame, p.writable);
+                        filled += 1;
+                    }
                     None => match mode {
                         TableMode::PageFaultCapable => faulted.push((page, write)),
                         TableMode::PinnedOnly => error = true,
@@ -318,6 +324,12 @@ impl Iommu {
         }
         if trace::enabled() {
             self.report_tlb(hits, misses);
+        }
+        if journal::enabled() && walk_pages > 0 {
+            journal::mark(journal::MarkKind::IommuWalk, walk_pages);
+            if filled > 0 {
+                journal::mark(journal::MarkKind::IotlbFill, filled);
+            }
         }
         let requests: Vec<PageRequest> = faulted
             .into_iter()

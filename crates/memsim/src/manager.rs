@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use simcore::journal;
 use simcore::stats::Counters;
 use simcore::time::SimDuration;
 use simcore::trace::{self, ArgValue};
@@ -592,6 +593,9 @@ impl MemoryManager {
             *self.group_resident.get_mut(&g).expect("group exists") += 1;
         }
 
+        if journal::enabled() && kind == FaultKind::Major {
+            journal::mark(journal::MarkKind::BackingFetch, vpn.0);
+        }
         if trace::enabled() {
             // Host fault handling has no simulated clock of its own
             // (costs are returned to the caller); stamp with the
@@ -760,6 +764,7 @@ impl MemoryManager {
         };
         self.release_frame(frame);
         self.counters.bump("evictions");
+        journal::mark(journal::MarkKind::Eviction, vpn.0);
         if trace::enabled() {
             trace::instant_now(
                 "memsim",

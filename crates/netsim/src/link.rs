@@ -13,6 +13,7 @@
 
 use std::collections::VecDeque;
 
+use simcore::journal;
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 use simcore::units::Bandwidth;
@@ -209,8 +210,12 @@ impl Link {
         self.queued_bytes += size_bytes;
         self.sent_packets += 1;
         self.sent_bytes += size_bytes;
+        let arrives_at = departure + self.config.propagation;
+        // Causal journal: the packet's arrival instant is where every
+        // fault chain it triggers begins.
+        journal::mark_at(arrives_at, journal::MarkKind::PacketArrival, size_bytes);
         SendOutcome::Delivered {
-            arrives_at: departure + self.config.propagation,
+            arrives_at,
             ecn_marked,
         }
     }

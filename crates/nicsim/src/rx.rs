@@ -19,6 +19,7 @@ use simcore::fxhash::FxHashMap;
 
 use memsim::types::VirtAddr;
 use simcore::chaos::invariant;
+use simcore::journal;
 use simcore::stats::Counters;
 use simcore::trace::{self, ArgValue};
 
@@ -372,6 +373,7 @@ impl<P: Clone> RxEngine<P> {
                 r.slots[slot] = Some(Slot::Hole);
                 r.head += 1;
                 self.counters.bump("dropped_fault");
+                journal::mark(journal::MarkKind::RxDrop, u64::from(id.0));
                 if trace::enabled() {
                     trace::instant_now(
                         "nicsim",
@@ -388,6 +390,7 @@ impl<P: Clone> RxEngine<P> {
                 };
             }
             self.counters.bump("dropped_no_buffer");
+            journal::mark(journal::MarkKind::RxDrop, u64::from(id.0));
             if trace::enabled() {
                 trace::instant_now(
                     "nicsim",
@@ -411,6 +414,7 @@ impl<P: Clone> RxEngine<P> {
                 invariant::note_backup_dropped();
                 self.counters.bump("dropped_quota");
                 self.counters.bump("dropped_fault");
+                journal::mark(journal::MarkKind::RxDrop, u64::from(id.0));
                 if trace::enabled() {
                     trace::instant_now(
                         "nicsim",
@@ -434,6 +438,7 @@ impl<P: Clone> RxEngine<P> {
             // the drop is counted and the invariant checker told.
             invariant::note_backup_dropped();
             self.counters.bump("dropped_fault");
+            journal::mark(journal::MarkKind::RxDrop, u64::from(id.0));
             if trace::enabled() {
                 trace::instant_now(
                     "nicsim",
@@ -483,6 +488,7 @@ impl<P: Clone> RxEngine<P> {
         }
         r.head_offset += 1;
         self.counters.bump("backup_stored");
+        journal::mark(journal::MarkKind::RxBackupDivert, idx);
         if trace::enabled() {
             trace::instant_now(
                 "nicsim",

@@ -36,6 +36,7 @@
 pub mod chaos;
 pub mod event;
 pub mod fxhash;
+pub mod journal;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -44,6 +45,7 @@ pub mod units;
 
 pub use chaos::{ChaosConfig, ChaosEngine, ChaosProfile, FaultPlan, InvariantChecker};
 pub use event::{EventQueue, EventToken};
+pub use journal::{CauseId, FaultJournal, JournalId, JournalRecorder, JournalWatchdog, Phase};
 pub use rng::SimRng;
 pub use stats::{Counters, DurationHistogram, OnlineStats, ThroughputMeter, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -443,12 +443,13 @@ impl MetricsRegistry {
             let mut h = hist.clone();
             let _ = write!(
                 out,
-                "\n    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                "\n    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}",
                 escape_json(self.names.name(id)),
                 h.count(),
                 h.percentile(0.50).as_nanos(),
                 h.percentile(0.95).as_nanos(),
                 h.percentile(0.99).as_nanos(),
+                h.percentile(0.999).as_nanos(),
                 h.max().as_nanos(),
             );
         }
@@ -516,6 +517,11 @@ impl MetricsRegistry {
                 out,
                 "histogram_p50_ns,{name},{}",
                 h.percentile(0.5).as_nanos()
+            );
+            let _ = writeln!(
+                out,
+                "histogram_p999_ns,{name},{}",
+                h.percentile(0.999).as_nanos()
             );
             let _ = writeln!(out, "histogram_max_ns,{name},{}", h.max().as_nanos());
         }
@@ -779,6 +785,19 @@ impl TraceRecorder {
                 tids.len()
             }
         };
+        // Drop-oldest eviction can orphan children: a parent span
+        // recorded before its children may have been pushed out of the
+        // ring while they survive. Emitting their dangling `parent`
+        // references would point viewers at a span id that no longer
+        // exists, so collect the retained ids and suppress the rest.
+        let retained: crate::fxhash::FxHashSet<u64> = self
+            .ring
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Span { id, .. } => Some(id.0),
+                _ => None,
+            })
+            .collect();
         let mut body = String::new();
         for record in &self.ring {
             if !body.is_empty() {
@@ -806,7 +825,9 @@ impl TraceRecorder {
                         id.0,
                     );
                     if let Some(p) = parent {
-                        let _ = write!(body, ",\"parent\":{}", p.0);
+                        if retained.contains(&p.0) {
+                            let _ = write!(body, ",\"parent\":{}", p.0);
+                        }
                     }
                     write_args(&mut body, args);
                     body.push_str("}}");
@@ -1267,5 +1288,124 @@ mod tests {
         assert_eq!(fmt_us(999), "0.999");
         assert_eq!(fmt_f64(3.0), "3.0");
         assert_eq!(fmt_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn ring_wrap_mid_span_suppresses_dangling_parent_refs() {
+        // Capacity 2: the parent span is recorded first, then enough
+        // children wrap the ring and evict it mid-hierarchy.
+        let mut r = TraceRecorder::new(2);
+        let parent = r.complete_span(
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            "npf",
+            "npf",
+            None,
+            Vec::new(),
+        );
+        for i in 0..3u64 {
+            r.complete_span(
+                SimTime::from_micros(i),
+                SimDuration::from_micros(1),
+                "npf",
+                "child",
+                Some(parent),
+                Vec::new(),
+            );
+        }
+        assert_eq!(r.dropped(), 2, "parent and first child evicted");
+        let json = r.export_chrome_json();
+        // The surviving children's parent reference would dangle; the
+        // export must not emit it.
+        assert!(
+            !json.contains("\"parent\""),
+            "dangling parent emitted: {json}"
+        );
+        assert_eq!(json.matches("\"child\"").count(), 2, "{json}");
+
+        // A surviving parent keeps its children's references.
+        let mut r = TraceRecorder::new(8);
+        let parent = r.complete_span(
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            "npf",
+            "npf",
+            None,
+            Vec::new(),
+        );
+        r.complete_span(
+            SimTime::from_micros(1),
+            SimDuration::from_micros(1),
+            "npf",
+            "child",
+            Some(parent),
+            Vec::new(),
+        );
+        assert!(r.export_chrome_json().contains("\"parent\""));
+    }
+
+    #[test]
+    fn merge_from_histograms_commute_in_summaries() {
+        // Exact-sample histograms append on merge, so the *samples*
+        // depend on order but every summary statistic must not.
+        let build = |first: &[u64], second: &[u64]| {
+            let mut a = MetricsRegistry::new();
+            for &ns in first {
+                a.duration_record("npf.latency", SimDuration::from_nanos(ns));
+            }
+            let mut b = MetricsRegistry::new();
+            for &ns in second {
+                b.duration_record("npf.latency", SimDuration::from_nanos(ns));
+            }
+            a.merge_from(&b);
+            a
+        };
+        let xs = [400u64, 100, 900, 250];
+        let ys = [700u64, 50, 300];
+        let ab = build(&xs, &ys);
+        let ba = build(&ys, &xs);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.to_csv(), ba.to_csv());
+        assert!(
+            ab.to_json().contains("\"p999_ns\": 900"),
+            "{}",
+            ab.to_json()
+        );
+        assert!(ab.to_json().contains("\"max_ns\": 900"));
+        assert!(ab.to_csv().contains("histogram_p999_ns,npf.latency,900"));
+    }
+
+    #[test]
+    fn merge_from_series_and_throughput_are_deterministic_in_task_order() {
+        let part = |base: u64| {
+            let mut m = MetricsRegistry::new();
+            m.series_push("cwnd", SimTime::from_nanos(base), base as f64);
+            m.throughput_record("ops", base);
+            m.counter_add("faults", base);
+            m
+        };
+        // Task-order merge (what par_runner does) is reproducible:
+        // merging the same parts in the same order twice is identical.
+        let merge_all = |parts: &[u64]| {
+            let mut m = MetricsRegistry::new();
+            for &p in parts {
+                m.merge_from(&part(p));
+            }
+            m
+        };
+        let once = merge_all(&[3, 1, 2]);
+        let twice = merge_all(&[3, 1, 2]);
+        assert_eq!(once.to_json(), twice.to_json());
+        assert_eq!(once.to_csv(), twice.to_csv());
+        // Counters and throughput totals are order-free; check both
+        // orders agree on everything their exports show.
+        let fwd = merge_all(&[1, 2, 3]);
+        let rev = merge_all(&[3, 2, 1]);
+        assert_eq!(fwd.to_json(), rev.to_json());
+        assert_eq!(
+            fwd.throughput("ops").map(ThroughputMeter::total),
+            Some(6u64)
+        );
+        assert_eq!(fwd.series("cwnd").map(TimeSeries::len), Some(3));
     }
 }

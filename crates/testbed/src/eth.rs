@@ -29,6 +29,7 @@ use npf_core::npf::{NpfConfig, NpfEngine};
 use npf_core::RX_BUFFER_BASE;
 use simcore::chaos::{invariant, ChaosConfig, ChaosEngine, IommuFate, MemoryFate, PacketFate};
 use simcore::event::{EventQueue, EventToken};
+use simcore::journal::{self, CauseId};
 use simcore::rng::SimRng;
 use simcore::stats::{DurationHistogram, ThroughputMeter};
 use simcore::time::{SimDuration, SimTime};
@@ -410,6 +411,10 @@ pub struct TenantReport {
     pub p50: SimDuration,
     /// Tail request latency.
     pub p99: SimDuration,
+    /// Extreme-tail request latency.
+    pub p999: SimDuration,
+    /// Worst single request latency.
+    pub max: SimDuration,
 }
 
 /// The Ethernet testbed.
@@ -436,6 +441,9 @@ pub struct EthTestbed {
     /// Connections allocated per instance (skewed under
     /// `tenant_skew`, uniform otherwise).
     conn_alloc: Vec<u32>,
+    /// Monotonic packet sequence for journal provenance; only advanced
+    /// while a journal recorder is installed.
+    packet_seq: u64,
 }
 
 impl EthTestbed {
@@ -624,6 +632,7 @@ impl EthTestbed {
             chaos,
             chaos_tick_armed: false,
             conn_alloc,
+            packet_seq: 0,
             config,
         };
         bed.open_connections();
@@ -818,6 +827,8 @@ impl EthTestbed {
             arb_max_wait: arb.max_wait,
             p50: m.latency.percentile(0.50),
             p99: m.latency.percentile(0.99),
+            p999: m.latency.percentile(0.999),
+            max: m.latency.max(),
         }
     }
 
@@ -923,6 +934,7 @@ impl EthTestbed {
         // Advance the trace clock so instrumentation in substrates
         // without their own `now` stamps with the event time.
         trace::set_clock(now);
+        journal::set_clock(now);
         // Global invariants are checked at every dispatch boundary.
         invariant::checkpoint(now);
         match event {
@@ -1003,6 +1015,17 @@ impl EthTestbed {
             return; // no such IOuser
         };
         let idx = channel.id.0;
+        // Causal provenance: every fault, NIC verdict, and memory event
+        // this packet triggers is journalled under its (tenant, packet)
+        // cause. The sequence counter only advances while journalling,
+        // so the disabled path stays free.
+        if journal::enabled() {
+            self.packet_seq += 1;
+            journal::set_cause(CauseId {
+                tenant: idx,
+                packet: self.packet_seq,
+            });
+        }
         let inst = &mut self.instances[idx as usize];
         let wire = seg.wire_size();
 
@@ -1075,6 +1098,7 @@ impl EthTestbed {
                 }
             }
         }
+        journal::clear_cause();
     }
 
     fn request_iouser_irq(&mut self, now: SimTime, idx: u32) {
@@ -1124,6 +1148,16 @@ impl EthTestbed {
     }
 
     fn resolver_step(&mut self, now: SimTime, ring: RingId) {
+        // Replay-drain work (and any rNPF it resolves) is attributed to
+        // the ring's tenant; the original packet sequence is gone by
+        // now, so the cause carries tenant provenance only.
+        if journal::enabled() {
+            let tenant = self
+                .channels
+                .by_ring(ring)
+                .map_or(CauseId::NO_TENANT, |c| c.id.0);
+            journal::set_cause(CauseId::tenant(tenant));
+        }
         match self
             .driver
             .resolve_step(now, &mut self.engine, &mut self.rx, ring)
@@ -1154,6 +1188,7 @@ impl EthTestbed {
                     .schedule_in(SimDuration::from_millis(1), EthEvent::ResolverStep(ring));
             }
         }
+        journal::clear_cause();
     }
 
     fn handle_server_outputs(&mut self, now: SimTime, idx: u32, cid: ConnId, outs: Vec<TcpOutput>) {

@@ -456,6 +456,112 @@ fn arbitrated_multi_tenant_bed_survives_chaos() {
     );
 }
 
+/// Every NPF must leave a complete, exactly-balanced journal chain —
+/// admit, phase slices tiling `[begun, ready_at]`, resolve — even
+/// while chaos delays resolutions, storms evictions, and queues faults
+/// behind the arbiter. An incomplete or unbalanced chain means the
+/// causal observability layer lost or misattributed a fault.
+#[test]
+fn chaos_faults_leave_complete_journal_chains() {
+    use npf::prelude::{ArbiterPolicy, NpfConfig, ScenarioBuilder};
+    use npf::simcore::journal::{self, JournalRecorder};
+    let base = seed_base();
+    for s in 0..2u64 {
+        let chaos = ChaosConfig::profile(ChaosProfile::All, base + 0x3000 + s);
+        assert!(
+            invariant::install(InvariantChecker::new(chaos.seed)).is_none(),
+            "stale checker"
+        );
+        assert!(
+            journal::install(JournalRecorder::new()).is_none(),
+            "stale journal"
+        );
+        let mut bed = ScenarioBuilder::ethernet()
+            .mode(RxMode::Backup)
+            .instances(4)
+            .conns_per_instance(2)
+            .ring_entries(32)
+            .bm_size(64)
+            .backup_capacity(128)
+            .host_memory(ByteSize::mib(512))
+            .disk(npf::memsim::swap::DiskConfig::nvme())
+            .memcached(MemcachedConfig {
+                max_bytes: ByteSize::mib(16),
+                value_size: 1024,
+                ..MemcachedConfig::default()
+            })
+            .working_set_keys(1000)
+            .tenant_skew(1.0)
+            .npf(
+                NpfConfig::default()
+                    .with_arbiter(ArbiterPolicy::WeightedFair)
+                    .with_total_fault_slots(4),
+            )
+            .tenant_weight(0, 4)
+            .chaos(chaos)
+            .build()
+            .expect("setup");
+        bed.run_until(SimTime::from_millis(250));
+
+        // Hunt a quiescent cut, as the other sweeps do, so "incomplete"
+        // below means "lost", never "still in flight".
+        let mut outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+        let mut tries = 0;
+        while outstanding > 0 && tries < 2000 {
+            let next = bed.now() + SimDuration::from_micros(500);
+            bed.run_until(next);
+            outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+            tries += 1;
+        }
+        assert_eq!(
+            outstanding, 0,
+            "NPFs must resolve (chaos seed {})",
+            chaos.seed
+        );
+
+        let j = journal::uninstall().expect("journal installed");
+        let mut checker = invariant::uninstall().expect("checker installed");
+        let end = checker.finish();
+        assert!(
+            end.is_empty(),
+            "invariant violations at chaos seed {}: {:?}",
+            chaos.seed,
+            end
+        );
+        assert!(
+            !j.faults().is_empty(),
+            "the bed never faulted under chaos seed {}",
+            chaos.seed
+        );
+        assert_eq!(
+            j.incomplete_faults(),
+            0,
+            "journal chains without a resolve at chaos seed {}",
+            chaos.seed
+        );
+        assert_eq!(
+            j.unbalanced_faults(),
+            0,
+            "journal phase slices must tile each fault at chaos seed {}",
+            chaos.seed
+        );
+        for f in j.faults() {
+            assert_eq!(
+                f.phase_sum(),
+                f.latency(),
+                "inexact attribution for fault {:?} at chaos seed {}",
+                f.id,
+                chaos.seed
+            );
+        }
+        assert!(
+            !j.marks().is_empty(),
+            "causal marks must flow under chaos seed {}",
+            chaos.seed
+        );
+    }
+}
+
 #[test]
 fn same_chaos_seed_replays_identically() {
     let chaos = ChaosConfig::profile(ChaosProfile::All, seed_base() + 7);

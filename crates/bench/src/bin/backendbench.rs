@@ -1,0 +1,95 @@
+//! ODP backend differential: the identical Ethernet scenario run
+//! under the firmware NPF path, the NP-RDMA-style software emulation,
+//! and the pinned baseline, sharded across seeds via the parallel
+//! runner.
+//!
+//! Flags (all via `tracectl::RunOpts`):
+//!
+//! * `--backend <firmware|softemu|pinned>`: run only that backend's
+//!   cells; absent → all three.
+//! * `--out <path>`: where to write the JSON artifact (default
+//!   `BENCH_backend.json`; skipped under `--check`).
+//! * `--check <path>`: compare this run's cells against a committed
+//!   artifact and exit 1 on any drift. Only simulation-deterministic
+//!   tallies are compared — wall-clock never enters the file.
+//! * `--jobs <n>`: worker threads; output is byte-identical at every
+//!   value.
+
+use std::sync::Mutex;
+
+use npf_bench::backends::{self, BackendCell};
+use npf_bench::par_runner::task;
+
+fn main() {
+    let opts = npf_bench::tracectl::RunOpts::init(&["out", "check"]);
+    let out_path = opts.extra("out").unwrap_or("BENCH_backend.json").to_owned();
+    let check_path = opts.extra("check").map(str::to_owned);
+    let backend_kinds: Vec<_> = match opts.backend {
+        Some(k) => vec![k],
+        None => backends::SWEEP_BACKENDS.to_vec(),
+    };
+
+    let n_cells = backend_kinds.len() * backends::SWEEP_SEEDS.len();
+    let cells: &'static Mutex<Vec<Option<BackendCell>>> =
+        Box::leak(Box::new(Mutex::new(vec![None; n_cells])));
+    let mut tasks = Vec::with_capacity(n_cells);
+    let mut slot = 0usize;
+    for &backend in &backend_kinds {
+        for &seed in backends::SWEEP_SEEDS {
+            let idx = slot;
+            slot += 1;
+            tasks.push(task("backend_cell", move || {
+                let cell = backends::run_cell(backend, seed);
+                cells.lock().expect("cell slots")[idx] = Some(cell);
+                npf_bench::Report::new("", "")
+            }));
+        }
+    }
+
+    npf_bench::tracectl::run_tasks(tasks, |_reports| {
+        let cells = cells.lock().expect("cell slots");
+        let cells: Vec<BackendCell> = cells
+            .iter()
+            .map(|c| c.expect("every task fills its slot"))
+            .collect();
+        print!("{}", backends::render_report(&cells).render());
+    });
+
+    let cells: Vec<BackendCell> = cells
+        .lock()
+        .expect("cell slots")
+        .iter()
+        .map(|c| c.expect("every task fills its slot"))
+        .collect();
+
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let drifted = backends::check_against(&baseline, &cells);
+        if drifted.is_empty() {
+            println!("all {} cells match {path}", cells.len());
+        } else {
+            for line in &drifted {
+                eprintln!("drifted from {path}: {line}");
+            }
+            eprintln!(
+                "{} of {} cells drifted from {path}",
+                drifted.len(),
+                cells.len()
+            );
+            std::process::exit(1);
+        }
+    } else {
+        let json = backends::render_json(&cells);
+        if let Err(e) = std::fs::write(&out_path, &json) {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(2);
+        }
+        println!("backend differential written to {out_path}");
+    }
+}

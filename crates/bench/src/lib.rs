@@ -14,6 +14,7 @@
 //! for `EXPERIMENTS.md`.
 
 pub mod ablations;
+pub mod backends;
 pub mod eth_experiments;
 pub mod ib_experiments;
 pub mod micro;

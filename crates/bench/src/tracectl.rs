@@ -29,6 +29,11 @@
 //!   arbitration policy (`channel`, `rr`, `wfq`), and per-tenant
 //!   backup-ring quota — consumed by the binaries that sweep tenants
 //!   (`scalebench`), accepted uniformly by all.
+//! * `--backend <kind>`: which ODP backend services faults —
+//!   `firmware` (the paper's NPF path, default), `softemu` (NP-RDMA-
+//!   style driver-level emulation), or `pinned` — consumed by the
+//!   binaries that compare backends (`backendbench`), accepted
+//!   uniformly by all.
 //!
 //! Traces are stamped exclusively with [`simcore::time::SimTime`], so
 //! the same seed produces byte-identical files.
@@ -37,7 +42,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
-use npf_core::ArbiterPolicy;
+use npf_core::{ArbiterPolicy, BackendKind};
 use simcore::chaos::{invariant, ChaosConfig, ChaosProfile, InvariantChecker};
 use simcore::journal::{self, JournalRecorder};
 use simcore::trace::{self, TraceRecorder};
@@ -80,6 +85,7 @@ const STANDARD_FLAGS: &[&str] = &[
     "tenants",
     "arbiter",
     "quota",
+    "backend",
 ];
 
 /// The one parsed view of a bench binary's command line.
@@ -114,6 +120,9 @@ pub struct RunOpts {
     pub arbiter: Option<ArbiterPolicy>,
     /// `--quota <entries>`: per-tenant backup-ring quota.
     pub quota: Option<u64>,
+    /// `--backend <kind>`: the ODP backend (`firmware`, `softemu`,
+    /// `pinned`).
+    pub backend: Option<BackendKind>,
     /// Values of the binary-specific flags registered with `init`.
     extras: BTreeMap<String, String>,
 }
@@ -242,6 +251,10 @@ impl RunOpts {
                     .map_err(|e| format!("--quota must be an integer: {e}"))
             })
             .transpose()?;
+        let backend = values
+            .remove("backend")
+            .map(|v| BackendKind::parse(&v).map_err(|e| format!("--backend: {e}")))
+            .transpose()?;
         let trace = values.remove("trace").map(PathBuf::from);
         let metrics = values.remove("metrics").map(PathBuf::from);
         let journal = values.remove("journal").map(PathBuf::from);
@@ -256,6 +269,7 @@ impl RunOpts {
             tenants,
             arbiter,
             quota,
+            backend,
             extras: values,
         })
     }
@@ -641,6 +655,7 @@ mod tests {
                 "256",
                 "--arbiter=wfq",
                 "--quota=64",
+                "--backend=softemu",
                 "--chaos-seed",
                 "9",
             ]),
@@ -653,6 +668,7 @@ mod tests {
         assert_eq!(opts.tenants, Some(256));
         assert_eq!(opts.arbiter, Some(ArbiterPolicy::WeightedFair));
         assert_eq!(opts.quota, Some(64));
+        assert_eq!(opts.backend, Some(BackendKind::SoftEmu));
         assert_eq!(opts.chaos.expect("chaos on").seed, 9);
     }
 
@@ -667,6 +683,7 @@ mod tests {
         assert_eq!(opts.tenants, None);
         assert_eq!(opts.arbiter, None);
         assert_eq!(opts.quota, None);
+        assert_eq!(opts.backend, None);
         assert_eq!(opts.extra("out"), None);
     }
 
@@ -682,6 +699,8 @@ mod tests {
         assert!(twice.contains("more than once"), "{twice}");
         let bad_policy = RunOpts::parse(&argv(&["--arbiter", "lottery"]), &[]).unwrap_err();
         assert!(bad_policy.contains("--arbiter"), "{bad_policy}");
+        let bad_backend = RunOpts::parse(&argv(&["--backend", "quantum"]), &[]).unwrap_err();
+        assert!(bad_backend.contains("--backend"), "{bad_backend}");
         let bad_int = RunOpts::parse(&argv(&["--tenants", "many"]), &[]).unwrap_err();
         assert!(
             bad_int.contains("--tenants must be an integer"),

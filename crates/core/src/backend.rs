@@ -1,0 +1,613 @@
+//! Pluggable ODP backends: how a not-present DMA target gets serviced.
+//!
+//! The paper's design assumes firmware NPF support in the NIC
+//! ([`FirmwareBackend`], Figure 2/3). NP-RDMA shows the same
+//! pinning-free programming model is reachable on commodity NICs with
+//! *driver-level software emulation*: validate every DMA address before
+//! posting, bounce not-present accesses through a bounded bounce-buffer
+//! pool, copy out on resolution, and retry transient misses with
+//! exponential backoff ([`SoftEmuBackend`]). [`PinnedBackend`] is the
+//! no-ODP baseline: every buffer registered up front, faults are a
+//! scenario bug.
+//!
+//! The [`OdpBackend`] trait carves the fault path of
+//! [`crate::npf::NpfEngine::begin_fault`] into the backend-specific
+//! parts:
+//!
+//! * **admission** ([`OdpBackend::admit`]/[`OdpBackend::commit`]) —
+//!   backend-side service resources. The software emulation holds a
+//!   bounded bounce-buffer pool here; exhaustion is *backpressure*
+//!   (the fault waits for a buffer), never a drop.
+//! * **the service plan** ([`OdpBackend::plan`]) — an ordered list of
+//!   journal [`Phase`] slices whose durations sum to the synthesized
+//!   [`NpfBreakdown`]'s total. The firmware plan is Figure 3's
+//!   trigger → driver → translate → PT-update → resume chain; the
+//!   software plan is validate → driver → translate → PT-update →
+//!   copy-out, with no firmware involvement at all.
+//! * **transient-miss policy** ([`OdpBackend::transient_penalty`]) —
+//!   firmware retries linearly (hardware replays at a fixed cadence);
+//!   the emulation backs off exponentially, doubling the driver's
+//!   re-validation delay per retry.
+//! * **completion** ([`OdpBackend::on_complete`]) — copy-out
+//!   accounting: pages evicted mid-bounce are *skipped* (the next
+//!   access faults again, which is correct), never copied to a stale
+//!   frame.
+//!
+//! Every backend must uphold the engine's invariants: deterministic
+//! given the engine RNG, phase slices that tile the service interval
+//! exactly (the journal's exact-sum check), and explainable counters —
+//! `fw_npf_events` only ever moves under firmware, `softemu_bounces`
+//! only under the emulation.
+
+use simcore::journal::Phase;
+use simcore::rng::SimRng;
+use simcore::stats::Counters;
+use simcore::time::{SimDuration, SimTime};
+
+use crate::cost::{CostModel, NpfBreakdown};
+
+/// Which ODP backend a scenario runs — the CLI-facing tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Firmware NPF support in the NIC (the paper's design).
+    Firmware,
+    /// Driver-level software emulation (NP-RDMA-style bounce + retry).
+    SoftEmu,
+    /// No ODP: all buffers pinned and registered up front.
+    Pinned,
+}
+
+impl BackendKind {
+    /// Parses the CLI spellings used by the bench bins
+    /// (`--backend firmware|softemu|pinned`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "firmware" | "fw" | "npf" => Ok(BackendKind::Firmware),
+            "softemu" | "soft" | "emu" => Ok(BackendKind::SoftEmu),
+            "pinned" | "pin" => Ok(BackendKind::Pinned),
+            other => Err(other.to_owned()),
+        }
+    }
+
+    /// Stable short name (bench cell keys, reports).
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Firmware => "firmware",
+            BackendKind::SoftEmu => "softemu",
+            BackendKind::Pinned => "pinned",
+        }
+    }
+}
+
+/// Tunables of the software-emulation backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftEmuConfig {
+    /// Bounce-buffer pool depth. A fault holds one buffer from service
+    /// start to copy-out; an empty pool backpressures (the fault waits
+    /// for the earliest release — no drops). Must be ≥ 1; the scenario
+    /// builder rejects 0.
+    pub bounce_buffers: u32,
+    /// Fixed cost of the pre-post address validation check.
+    pub validate_base: SimDuration,
+    /// Per-page component of the validation walk.
+    pub validate_per_page: SimDuration,
+    /// Cap on exponential-backoff doublings for transient-miss
+    /// retries (bounds the worst-case penalty).
+    pub max_backoff_doublings: u32,
+}
+
+impl Default for SoftEmuConfig {
+    fn default() -> Self {
+        SoftEmuConfig {
+            bounce_buffers: 64,
+            validate_base: SimDuration::from_micros(2),
+            validate_per_page: SimDuration::from_nanos(60),
+            max_backoff_doublings: 10,
+        }
+    }
+}
+
+impl SoftEmuConfig {
+    /// Sets the bounce-buffer pool depth.
+    #[must_use]
+    pub fn with_bounce_buffers(mut self, n: u32) -> Self {
+        self.bounce_buffers = n;
+        self
+    }
+
+    /// Sets the backoff-doubling cap.
+    #[must_use]
+    pub fn with_max_backoff_doublings(mut self, n: u32) -> Self {
+        self.max_backoff_doublings = n;
+        self
+    }
+}
+
+/// Backend selection, carried by [`crate::npf::NpfConfig`]. `Copy` so
+/// the config stays `Copy`; the boxed backend is built from this at
+/// engine construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendSelect {
+    /// The paper's firmware NPF path.
+    #[default]
+    Firmware,
+    /// Driver-level software emulation with the given tunables.
+    SoftEmu(SoftEmuConfig),
+    /// Pinned-only baseline.
+    Pinned,
+}
+
+impl BackendSelect {
+    /// The selection's kind tag.
+    #[must_use]
+    pub const fn kind(self) -> BackendKind {
+        match self {
+            BackendSelect::Firmware => BackendKind::Firmware,
+            BackendSelect::SoftEmu(_) => BackendKind::SoftEmu,
+            BackendSelect::Pinned => BackendKind::Pinned,
+        }
+    }
+
+    /// A selection of `kind` with default tunables.
+    #[must_use]
+    pub const fn of(kind: BackendKind) -> Self {
+        match kind {
+            BackendKind::Firmware => BackendSelect::Firmware,
+            BackendKind::SoftEmu => BackendSelect::SoftEmu(SoftEmuConfig {
+                bounce_buffers: 64,
+                validate_base: SimDuration::from_micros(2),
+                validate_per_page: SimDuration::from_nanos(60),
+                max_backoff_doublings: 10,
+            }),
+            BackendKind::Pinned => BackendSelect::Pinned,
+        }
+    }
+
+    /// Builds the backend implementation.
+    #[must_use]
+    pub fn build(self) -> Box<dyn OdpBackend> {
+        match self {
+            BackendSelect::Firmware => Box::new(FirmwareBackend),
+            BackendSelect::SoftEmu(cfg) => Box::new(SoftEmuBackend::new(cfg)),
+            BackendSelect::Pinned => Box::new(PinnedBackend),
+        }
+    }
+}
+
+/// One fault's inputs, backend-agnostic: what the engine resolved from
+/// the OS before asking the backend to price the service.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRequest {
+    /// Pages the fault covers (post-batching).
+    pub pages: u64,
+    /// The memory subsystem's own cost (zero-fill, swap-in,
+    /// invalidation propagation), attributed to the OS-translate slice.
+    pub os_cost: SimDuration,
+    /// Write access?
+    pub write: bool,
+    /// Firmware-bypass fast resume requested (firmware backend only).
+    pub firmware_bypass: bool,
+}
+
+/// A backend's service plan for one fault: ordered phase slices whose
+/// durations sum exactly to `breakdown.total()` — the engine lays them
+/// down back-to-back from the service start, so the journal's
+/// exact-sum invariant holds by construction.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Lifecycle slices, in order. Zero-duration slices are kept (the
+    /// trace still shows the child span, the critical path skips it).
+    pub slices: Vec<(Phase, SimDuration)>,
+    /// The Figure 3 breakdown synthesized for reporting. For the
+    /// software emulation, `resume` holds the copy-out and
+    /// `trigger_interrupt` is zero (no firmware involvement).
+    pub breakdown: NpfBreakdown,
+}
+
+impl FaultPlan {
+    /// Total service time; equals the sum of the slice durations.
+    #[must_use]
+    pub fn service_time(&self) -> SimDuration {
+        self.breakdown.total()
+    }
+}
+
+/// The backend half of the NPF engine's fault path. See the module
+/// docs for the contract each implementation must uphold.
+pub trait OdpBackend: std::fmt::Debug {
+    /// The backend's kind tag.
+    fn kind(&self) -> BackendKind;
+
+    /// Earliest service start for a fault cleared (by the per-channel
+    /// limiter and the cross-channel arbiter) at `cleared_at`, after
+    /// any backend-side admission resource is available. The wait, if
+    /// any, is journalled as [`Phase::BounceWait`].
+    fn admit(&mut self, cleared_at: SimTime, counters: &mut Counters) -> SimTime;
+
+    /// Prices the fault. Firmware draws its hardware jitter from `rng`
+    /// (the engine's stream — draw order is part of the determinism
+    /// contract); the software emulation is jitter-free.
+    fn plan(
+        &mut self,
+        req: &FaultRequest,
+        cost: &CostModel,
+        rng: &mut SimRng,
+        counters: &mut Counters,
+    ) -> FaultPlan;
+
+    /// Reserves the admission resource chosen by the last
+    /// [`OdpBackend::admit`] until `ready_at`.
+    fn commit(&mut self, ready_at: SimTime);
+
+    /// Extra latency for a chaos-injected transient miss of `retries`
+    /// attempts at base cadence `retry_delay`.
+    fn transient_penalty(&self, retries: u32, retry_delay: SimDuration) -> SimDuration;
+
+    /// Completion-side accounting. `resident_pages` of `total_pages`
+    /// survived to resolution; the software emulation copies those out
+    /// of the bounce buffer and *skips* pages evicted mid-bounce.
+    fn on_complete(&mut self, resident_pages: u64, total_pages: u64, counters: &mut Counters);
+}
+
+/// Chrome-trace child-span name for a plan slice. The firmware names
+/// predate the backend split and are pinned by the golden traces.
+#[must_use]
+pub const fn trace_child_name(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Trigger => "fault_trigger",
+        Phase::PtUpdate => "update_hw_pt",
+        other => other.name(),
+    }
+}
+
+/// The paper's firmware NPF path: Figure 3's five components with
+/// log-normal hardware jitter, linear transient retries, no admission
+/// resource beyond the engine's own limits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirmwareBackend;
+
+/// Builds the firmware service plan — shared with [`PinnedBackend`],
+/// whose unexpected-fault slow path services faults identically.
+fn firmware_plan(req: &FaultRequest, cost: &CostModel, rng: &mut SimRng) -> FaultPlan {
+    let breakdown = cost.npf(req.pages, req.os_cost, req.firmware_bypass, rng);
+    // `driver` = pure driver software + the OS translation work it
+    // blocks on; split so trace and journal show both.
+    let driver_sw = breakdown.driver.saturating_sub(req.os_cost);
+    let os_span = breakdown.driver - driver_sw;
+    FaultPlan {
+        slices: vec![
+            (Phase::Trigger, breakdown.trigger_interrupt),
+            (Phase::DriverSw, driver_sw),
+            (Phase::OsTranslate, os_span),
+            (Phase::PtUpdate, breakdown.update_hw_pt),
+            (Phase::Resume, breakdown.resume),
+        ],
+        breakdown,
+    }
+}
+
+impl OdpBackend for FirmwareBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Firmware
+    }
+
+    fn admit(&mut self, cleared_at: SimTime, _counters: &mut Counters) -> SimTime {
+        cleared_at
+    }
+
+    fn plan(
+        &mut self,
+        req: &FaultRequest,
+        cost: &CostModel,
+        rng: &mut SimRng,
+        counters: &mut Counters,
+    ) -> FaultPlan {
+        counters.bump("fw_npf_events");
+        firmware_plan(req, cost, rng)
+    }
+
+    fn commit(&mut self, _ready_at: SimTime) {}
+
+    fn transient_penalty(&self, retries: u32, retry_delay: SimDuration) -> SimDuration {
+        // Hardware replays at a fixed cadence: linear in the retry
+        // count.
+        SimDuration::from_nanos(retry_delay.as_nanos() * u64::from(retries))
+    }
+
+    fn on_complete(&mut self, _resident: u64, _total: u64, _counters: &mut Counters) {}
+}
+
+/// NP-RDMA-style driver-level software emulation: validate before
+/// posting, bounce through a bounded buffer pool, copy out on
+/// resolution, exponential backoff on transient misses. No firmware
+/// NPF events at all.
+#[derive(Debug)]
+pub struct SoftEmuBackend {
+    config: SoftEmuConfig,
+    /// Per-buffer release times (busy-until), like the arbiter's slot
+    /// servers: earliest-free wins, lowest index on ties.
+    pool: Vec<SimTime>,
+    /// Buffer chosen by the in-flight `admit`, consumed by `commit`.
+    pending_slot: Option<usize>,
+}
+
+impl SoftEmuBackend {
+    /// Creates the backend with `config` (pool depth clamped to ≥ 1 —
+    /// the builder rejects 0 up front, this is the engine-level
+    /// backstop).
+    #[must_use]
+    pub fn new(config: SoftEmuConfig) -> Self {
+        SoftEmuBackend {
+            config,
+            pool: vec![SimTime::ZERO; config.bounce_buffers.max(1) as usize],
+            pending_slot: None,
+        }
+    }
+
+    /// The backend's tunables.
+    #[must_use]
+    pub fn config(&self) -> SoftEmuConfig {
+        self.config
+    }
+}
+
+impl OdpBackend for SoftEmuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::SoftEmu
+    }
+
+    fn admit(&mut self, cleared_at: SimTime, counters: &mut Counters) -> SimTime {
+        // Earliest-free bounce buffer, lowest index on ties
+        // (deterministic). Exhaustion backpressures: the fault waits
+        // for the earliest release instead of dropping.
+        let (idx, &busy) = self
+            .pool
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .expect("pool is non-empty");
+        self.pending_slot = Some(idx);
+        let start = cleared_at.max(busy);
+        if start > cleared_at {
+            counters.bump("softemu_pool_waits");
+        }
+        start
+    }
+
+    fn plan(
+        &mut self,
+        req: &FaultRequest,
+        cost: &CostModel,
+        rng: &mut SimRng,
+        counters: &mut Counters,
+    ) -> FaultPlan {
+        let _ = rng; // the software path is jitter-free by design
+        counters.bump("softemu_bounces");
+        let pages = req.pages.max(1);
+        let validate = self.config.validate_base + self.config.validate_per_page * pages;
+        let driver_sw = cost.driver_sw_base + cost.driver_sw_per_page * pages;
+        let os_span = req.os_cost;
+        // Host IOMMU table update only — no NIC coherency traffic, no
+        // hardware jitter.
+        let pt_update = cost.update_pt_base + cost.update_pt_per_page * pages;
+        let copy_out = cost.memcpy(pages * 4096);
+        FaultPlan {
+            slices: vec![
+                (Phase::Validate, validate),
+                (Phase::DriverSw, driver_sw),
+                (Phase::OsTranslate, os_span),
+                (Phase::PtUpdate, pt_update),
+                (Phase::CopyOut, copy_out),
+            ],
+            breakdown: NpfBreakdown {
+                trigger_interrupt: SimDuration::ZERO,
+                driver: validate + driver_sw + os_span,
+                update_hw_pt: pt_update,
+                resume: copy_out,
+            },
+        }
+    }
+
+    fn commit(&mut self, ready_at: SimTime) {
+        if let Some(i) = self.pending_slot.take() {
+            self.pool[i] = ready_at;
+        }
+    }
+
+    fn transient_penalty(&self, retries: u32, retry_delay: SimDuration) -> SimDuration {
+        // Exponential backoff: the driver doubles its re-validation
+        // delay per miss, capped to bound the worst case.
+        // Σ_{i=0}^{n-1} retry_delay·2^i = retry_delay·(2^n − 1).
+        let n = retries.min(self.config.max_backoff_doublings);
+        SimDuration::from_nanos(retry_delay.as_nanos().saturating_mul((1u64 << n) - 1))
+    }
+
+    fn on_complete(&mut self, resident: u64, total: u64, counters: &mut Counters) {
+        counters.add("softemu_copyouts", resident);
+        if total > resident {
+            // Target pages evicted mid-bounce: never copy to a stale
+            // frame — skip, and let the next access fault again.
+            counters.add("softemu_copy_skipped", total - resident);
+        }
+    }
+}
+
+/// The no-ODP baseline: every buffer pinned and registered up front,
+/// so `begin_fault` should never run. When it does (a cold access a
+/// scenario forgot to pin), the fault is serviced on the firmware slow
+/// path and counted as `pinned_unexpected_faults` so conformance
+/// checks can assert the scenario really was pinned.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PinnedBackend;
+
+impl OdpBackend for PinnedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Pinned
+    }
+
+    fn admit(&mut self, cleared_at: SimTime, _counters: &mut Counters) -> SimTime {
+        cleared_at
+    }
+
+    fn plan(
+        &mut self,
+        req: &FaultRequest,
+        cost: &CostModel,
+        rng: &mut SimRng,
+        counters: &mut Counters,
+    ) -> FaultPlan {
+        counters.bump("pinned_unexpected_faults");
+        firmware_plan(req, cost, rng)
+    }
+
+    fn commit(&mut self, _ready_at: SimTime) {}
+
+    fn transient_penalty(&self, retries: u32, retry_delay: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(retry_delay.as_nanos() * u64::from(retries))
+    }
+
+    fn on_complete(&mut self, _resident: u64, _total: u64, _counters: &mut Counters) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(pages: u64) -> FaultRequest {
+        FaultRequest {
+            pages,
+            os_cost: SimDuration::from_micros(3),
+            write: true,
+            firmware_bypass: false,
+        }
+    }
+
+    #[test]
+    fn kind_parse_roundtrips() {
+        for kind in [
+            BackendKind::Firmware,
+            BackendKind::SoftEmu,
+            BackendKind::Pinned,
+        ] {
+            assert_eq!(BackendKind::parse(kind.as_str()), Ok(kind));
+        }
+        assert_eq!(BackendKind::parse("fw"), Ok(BackendKind::Firmware));
+        assert_eq!(BackendKind::parse("pin"), Ok(BackendKind::Pinned));
+        assert!(BackendKind::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn plans_tile_their_breakdown_exactly() {
+        let cost = CostModel::default();
+        let mut rng = SimRng::new(7);
+        let mut counters = Counters::new();
+        for select in [
+            BackendSelect::Firmware,
+            BackendSelect::SoftEmu(SoftEmuConfig::default()),
+            BackendSelect::Pinned,
+        ] {
+            let mut b = select.build();
+            for pages in [1, 16, 1024] {
+                let plan = b.plan(&req(pages), &cost, &mut rng, &mut counters);
+                let sum = plan
+                    .slices
+                    .iter()
+                    .fold(SimDuration::ZERO, |acc, &(_, d)| acc + d);
+                assert_eq!(sum, plan.service_time(), "{select:?} pages={pages}");
+            }
+        }
+    }
+
+    #[test]
+    fn firmware_plan_matches_cost_model_draws() {
+        // The backend must consume the RNG exactly like the direct
+        // CostModel call — the golden traces depend on it.
+        let cost = CostModel::default();
+        let mut counters = Counters::new();
+        let mut rng_a = SimRng::new(42);
+        let mut rng_b = SimRng::new(42);
+        let mut fw = FirmwareBackend;
+        let plan = fw.plan(&req(4), &cost, &mut rng_a, &mut counters);
+        let direct = cost.npf(4, SimDuration::from_micros(3), false, &mut rng_b);
+        assert_eq!(plan.breakdown, direct);
+        assert_eq!(counters.get("fw_npf_events"), 1);
+        assert_eq!(counters.get("softemu_bounces"), 0);
+    }
+
+    #[test]
+    fn softemu_is_deterministic_and_firmware_free() {
+        let cost = CostModel::default();
+        let mut counters = Counters::new();
+        let mut b = SoftEmuBackend::new(SoftEmuConfig::default());
+        let mut rng = SimRng::new(1);
+        let p1 = b.plan(&req(8), &cost, &mut rng, &mut counters);
+        let p2 = b.plan(&req(8), &cost, &mut rng, &mut counters);
+        assert_eq!(p1.breakdown, p2.breakdown, "jitter-free");
+        assert_eq!(p1.breakdown.trigger_interrupt, SimDuration::ZERO);
+        assert_eq!(counters.get("softemu_bounces"), 2);
+        assert_eq!(counters.get("fw_npf_events"), 0);
+        // The synthesized resume slot holds the copy-out.
+        assert_eq!(p1.breakdown.resume, cost.memcpy(8 * 4096));
+    }
+
+    #[test]
+    fn bounce_pool_backpressures_without_drops() {
+        let mut counters = Counters::new();
+        let mut b = SoftEmuBackend::new(SoftEmuConfig::default().with_bounce_buffers(2));
+        let t0 = SimTime::ZERO;
+        // Two buffers absorb two faults immediately...
+        let s1 = b.admit(t0, &mut counters);
+        b.commit(SimTime::from_micros(100));
+        let s2 = b.admit(t0, &mut counters);
+        b.commit(SimTime::from_micros(150));
+        assert_eq!(s1, t0);
+        assert_eq!(s2, t0);
+        // ...the third waits for the earliest release — backpressure,
+        // not a drop.
+        let s3 = b.admit(t0, &mut counters);
+        assert_eq!(s3, SimTime::from_micros(100));
+        assert_eq!(counters.get("softemu_pool_waits"), 1);
+        b.commit(SimTime::from_micros(220));
+    }
+
+    #[test]
+    fn transient_backoff_is_exponential_and_capped() {
+        let b = SoftEmuBackend::new(SoftEmuConfig::default());
+        let d = SimDuration::from_micros(10);
+        assert_eq!(b.transient_penalty(0, d), SimDuration::ZERO);
+        assert_eq!(b.transient_penalty(1, d), d);
+        assert_eq!(b.transient_penalty(3, d), SimDuration::from_micros(70));
+        // Capped at 2^10 − 1 doublings' worth.
+        assert_eq!(
+            b.transient_penalty(40, d),
+            SimDuration::from_micros(10 * 1023)
+        );
+        let fw = FirmwareBackend;
+        assert_eq!(fw.transient_penalty(3, d), SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn copyout_skips_evicted_pages() {
+        let mut counters = Counters::new();
+        let mut b = SoftEmuBackend::new(SoftEmuConfig::default());
+        b.on_complete(5, 8, &mut counters);
+        assert_eq!(counters.get("softemu_copyouts"), 5);
+        assert_eq!(counters.get("softemu_copy_skipped"), 3);
+    }
+
+    #[test]
+    fn trace_names_pin_the_golden_firmware_children() {
+        assert_eq!(trace_child_name(Phase::Trigger), "fault_trigger");
+        assert_eq!(trace_child_name(Phase::DriverSw), "driver_sw");
+        assert_eq!(trace_child_name(Phase::OsTranslate), "os_translate");
+        assert_eq!(trace_child_name(Phase::PtUpdate), "update_hw_pt");
+        assert_eq!(trace_child_name(Phase::Resume), "resume");
+        assert_eq!(trace_child_name(Phase::Validate), "validate");
+        assert_eq!(trace_child_name(Phase::CopyOut), "copy_out");
+    }
+}

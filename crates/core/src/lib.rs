@@ -39,11 +39,16 @@
 //! # Ok::<(), memsim::manager::MemError>(())
 //! ```
 
+pub mod backend;
 pub mod backup_driver;
 pub mod cost;
 pub mod npf;
 pub mod pinning;
 
+pub use backend::{
+    BackendKind, BackendSelect, FaultPlan, FaultRequest, FirmwareBackend, OdpBackend,
+    PinnedBackend, SoftEmuBackend, SoftEmuConfig,
+};
 pub use backup_driver::{BackupDriver, ResolveStep, RingStats};
 pub use cost::{CostModel, InvalidationBreakdown, NpfBreakdown};
 pub use npf::{ArbiterPolicy, ArbiterStats, FaultArbiter, FaultRecord, NpfConfig, NpfEngine};

@@ -31,6 +31,7 @@ use simcore::stats::{Counters, DurationHistogram};
 use simcore::time::{SimDuration, SimTime};
 use simcore::trace::{self, ArgValue};
 
+use crate::backend::{trace_child_name, BackendKind, BackendSelect, FaultRequest, OdpBackend};
 use crate::cost::{CostModel, NpfBreakdown};
 
 /// Engine configuration: the paper's optimizations as toggles, for the
@@ -64,6 +65,10 @@ pub struct NpfConfig {
     /// IOTLB capacity. The prototype's 4096 entries thrash with
     /// hundreds of tenant domains, so scale-out scenarios raise it.
     pub iotlb_entries: usize,
+    /// Which ODP backend services faults: the paper's firmware NPF
+    /// path (default), the NP-RDMA-style driver-level software
+    /// emulation, or the pinned-only baseline.
+    pub backend: BackendSelect,
 }
 
 impl Default for NpfConfig {
@@ -76,6 +81,7 @@ impl Default for NpfConfig {
             arbiter: ArbiterPolicy::ChannelOnly,
             total_fault_slots: 0,
             iotlb_entries: 4096,
+            backend: BackendSelect::Firmware,
         }
     }
 }
@@ -127,6 +133,13 @@ impl NpfConfig {
     #[must_use]
     pub fn with_iotlb_entries(mut self, entries: usize) -> Self {
         self.iotlb_entries = entries;
+        self
+    }
+
+    /// Selects the ODP backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendSelect) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -398,6 +411,9 @@ pub struct NpfEngine {
     chaos_ns: u64,
     /// Fault injector for the NPF resolution path (None = chaos off).
     chaos: Option<ChaosEngine>,
+    /// The ODP backend servicing faults, built from
+    /// [`NpfConfig::backend`].
+    backend: Box<dyn OdpBackend>,
     counters: Counters,
     fault_latency: DurationHistogram,
     fault_latency_by_tag: HashMap<&'static str, DurationHistogram>,
@@ -428,6 +444,7 @@ impl NpfEngine {
             rng,
             chaos_ns: ns,
             chaos: None,
+            backend: config.backend.build(),
             counters: Counters::new(),
             fault_latency: DurationHistogram::new(),
             fault_latency_by_tag: HashMap::new(),
@@ -493,6 +510,12 @@ impl NpfEngine {
     #[must_use]
     pub fn arbiter(&self) -> &FaultArbiter {
         &self.arbiter
+    }
+
+    /// Which ODP backend is servicing this engine's faults.
+    #[must_use]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// Sets a channel's weight for [`ArbiterPolicy::WeightedFair`]
@@ -649,12 +672,24 @@ impl NpfEngine {
             mappings.push((vpn, frame));
         }
 
-        let breakdown = self.config.cost.npf(
-            range.pages,
-            os_cost + invalidation_cost,
-            self.config.firmware_bypass,
+        // The backend prices the fault: an ordered phase plan plus the
+        // synthesized Figure 3 breakdown. The firmware backend draws
+        // its hardware jitter from the engine RNG exactly where the
+        // direct cost-model call used to, so firmware runs stay
+        // byte-identical to the pre-refactor engine.
+        let request = FaultRequest {
+            pages: range.pages,
+            os_cost: os_cost + invalidation_cost,
+            write,
+            firmware_bypass: self.config.firmware_bypass,
+        };
+        let plan = self.backend.plan(
+            &request,
+            &self.config.cost,
             &mut self.rng,
+            &mut self.counters,
         );
+        let breakdown = plan.breakdown;
 
         // Concurrency limiting: if the channel already has the maximum
         // outstanding faults, this one starts after the earliest
@@ -675,10 +710,14 @@ impl NpfEngine {
             }
         };
         // Cross-channel arbitration over the engine-wide slot pool.
-        let start = self.arbiter.admit(now, domain, chan_start);
-        if start > chan_start {
+        let arb_start = self.arbiter.admit(now, domain, chan_start);
+        if arb_start > chan_start {
             self.counters.bump("arb_waits");
         }
+        // Backend-side admission: the software emulation may hold the
+        // fault here waiting for a bounce buffer (backpressure, never
+        // a drop); firmware passes through.
+        let start = self.backend.admit(arb_start, &mut self.counters);
         let ready_at = start + breakdown.total();
         // Chaos: NPF resolution delay / transient-failure / retry. The
         // perturbed time extends the outstanding slot too, so the
@@ -694,11 +733,15 @@ impl NpfEngine {
                 retry_delay,
             }) => {
                 self.counters.add("npf_chaos_retries", u64::from(retries));
-                ready_at + SimDuration::from_nanos(retry_delay.as_nanos() * u64::from(retries))
+                if self.backend.kind() == BackendKind::SoftEmu {
+                    self.counters.add("softemu_retries", u64::from(retries));
+                }
+                ready_at + self.backend.transient_penalty(retries, retry_delay)
             }
         };
         self.outstanding.entry(domain).or_default().push(ready_at);
         self.arbiter.commit(domain, ready_at);
+        self.backend.commit(ready_at);
 
         let id = self.next_fault;
         self.next_fault += 1;
@@ -715,13 +758,10 @@ impl NpfEngine {
         self.last_breakdown = Some(breakdown);
 
         if trace::enabled() {
-            // The fault lifecycle span, decomposed into Figure 3's five
-            // components (i)–(v). The children tile the parent exactly:
-            // `driver` = pure driver software + the OS translation work
-            // it blocks on, split here so the trace shows both.
-            let os_total = os_cost + invalidation_cost;
-            let driver_sw = breakdown.driver.saturating_sub(os_total);
-            let os_span = breakdown.driver - driver_sw;
+            // The fault lifecycle span, decomposed into the backend's
+            // service plan: Figure 3's five components (i)–(v) under
+            // firmware, validate/bounce/copy under the software
+            // emulation. The children tile the parent exactly.
             let parent = trace::span(
                 start,
                 breakdown.total(),
@@ -740,14 +780,8 @@ impl NpfEngine {
             );
             if let Some(parent) = parent {
                 let mut at = start;
-                for (name, d) in [
-                    ("fault_trigger", breakdown.trigger_interrupt),
-                    ("driver_sw", driver_sw),
-                    ("os_translate", os_span),
-                    ("update_hw_pt", breakdown.update_hw_pt),
-                    ("resume", breakdown.resume),
-                ] {
-                    trace::child_span(at, d, "npf", name, parent, Vec::new());
+                for &(phase, d) in &plan.slices {
+                    trace::child_span(at, d, "npf", trace_child_name(phase), parent, Vec::new());
                     at += d;
                 }
             }
@@ -769,11 +803,9 @@ impl NpfEngine {
             // trace span above, plus the pre-admission waits, as typed
             // phases that tile `[now, ready_at]` exactly: their sum IS
             // the end-to-end latency, by construction.
-            let os_total = os_cost + invalidation_cost;
-            let driver_sw = breakdown.driver.saturating_sub(os_total);
-            let os_span = breakdown.driver - driver_sw;
             let chaos_extra = ready_at.saturating_since(start + breakdown.total());
             let key = (self.chaos_ns << 32) | id;
+            let slices = &plan.slices;
             journal::with(|j| {
                 j.fault_begun(key, u64::from(domain.0), range.pages, major, now, ready_at);
                 j.phase(
@@ -786,16 +818,17 @@ impl NpfEngine {
                     key,
                     journal::Phase::ArbWait,
                     chan_start,
-                    start.saturating_since(chan_start),
+                    arb_start.saturating_since(chan_start),
+                );
+                // Bounce-pool backpressure (zero-width under firmware).
+                j.phase(
+                    key,
+                    journal::Phase::BounceWait,
+                    arb_start,
+                    start.saturating_since(arb_start),
                 );
                 let mut at = start;
-                for (phase, d) in [
-                    (journal::Phase::Trigger, breakdown.trigger_interrupt),
-                    (journal::Phase::DriverSw, driver_sw),
-                    (journal::Phase::OsTranslate, os_span),
-                    (journal::Phase::PtUpdate, breakdown.update_hw_pt),
-                    (journal::Phase::Resume, breakdown.resume),
-                ] {
+                for &(phase, d) in slices {
                     j.phase(key, phase, at, d);
                     at += d;
                 }
@@ -857,6 +890,14 @@ impl NpfEngine {
                 .collect(),
             Err(_) => Vec::new(),
         };
+        // Backend completion accounting: the software emulation copies
+        // bounced data out to the still-resident pages and skips the
+        // evicted ones (never a stale-frame copy).
+        self.backend.on_complete(
+            still_resident.len() as u64,
+            record.range.pages,
+            &mut self.counters,
+        );
         self.iommu.map_batch(record.domain, &still_resident, true);
         record
     }
@@ -1429,6 +1470,171 @@ mod tests {
             rec.breakdown.total()
         );
         assert_eq!(e.counters().get("npf_major"), 1);
+    }
+
+    fn softemu_engine(
+        cfg: crate::backend::SoftEmuConfig,
+    ) -> (NpfEngine, SpaceId, DomainId, PageRange) {
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::mib(16),
+            ..MemConfig::default()
+        });
+        let mut e = NpfEngine::new(
+            NpfConfig::default().with_backend(BackendSelect::SoftEmu(cfg)),
+            mm,
+            SimRng::new(1),
+        );
+        let space = e.memory_mut().create_space();
+        let range = e
+            .memory_mut()
+            .mmap(space, ByteSize::mib(4), Backing::Anonymous)
+            .expect("mmap");
+        let domain = e.create_channel(space);
+        (e, space, domain, range)
+    }
+
+    #[test]
+    fn softemu_fault_has_no_firmware_events_and_is_faster() {
+        let (mut e, _s, d, r) = softemu_engine(crate::backend::SoftEmuConfig::default());
+        assert_eq!(e.backend_kind(), BackendKind::SoftEmu);
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 4096, true, None)
+            .expect("fault")
+            .clone();
+        // No firmware: no trigger interrupt, no resume round trip —
+        // the software path is far faster than the ~220 us NPF.
+        assert_eq!(rec.breakdown.trigger_interrupt, SimDuration::ZERO);
+        assert!(
+            rec.ready_at < SimTime::from_micros(150),
+            "software emulation beats firmware NPF: {}",
+            rec.ready_at
+        );
+        e.complete_fault(rec.id);
+        assert!(e.dma_ready(d, r.start.base(), 4096, true));
+        assert_eq!(e.counters().get("npf_events"), 1);
+        assert_eq!(e.counters().get("softemu_bounces"), 1);
+        assert_eq!(e.counters().get("fw_npf_events"), 0);
+        assert_eq!(e.counters().get("softemu_copyouts"), 1);
+    }
+
+    #[test]
+    fn firmware_fault_has_no_softemu_counters() {
+        let (mut e, _s, d, r) = engine();
+        assert_eq!(e.backend_kind(), BackendKind::Firmware);
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 4096, true, None)
+            .expect("fault")
+            .clone();
+        e.complete_fault(rec.id);
+        assert_eq!(e.counters().get("fw_npf_events"), 1);
+        assert_eq!(e.counters().get("softemu_bounces"), 0);
+        assert_eq!(e.counters().get("softemu_copyouts"), 0);
+    }
+
+    #[test]
+    fn softemu_pool_exhaustion_backpressures_without_drops() {
+        let cfg = crate::backend::SoftEmuConfig::default().with_bounce_buffers(1);
+        let (mut e, _s, d, r) = softemu_engine(cfg);
+        let mut readies = Vec::new();
+        for i in 0..3u64 {
+            let rec = e
+                .begin_fault(
+                    SimTime::ZERO,
+                    d,
+                    Vpn(r.start.0 + i).base(),
+                    4096,
+                    true,
+                    None,
+                )
+                .expect("fault")
+                .clone();
+            readies.push((rec.id, rec.ready_at));
+        }
+        // Every fault is admitted (no drops), serialized on the single
+        // bounce buffer.
+        assert_eq!(e.counters().get("npf_events"), 3);
+        assert!(readies[0].1 < readies[1].1 && readies[1].1 < readies[2].1);
+        assert!(e.counters().get("softemu_pool_waits") >= 2);
+        for (id, _) in readies {
+            e.complete_fault(id);
+        }
+        assert_eq!(e.counters().get("softemu_copyouts"), 3);
+    }
+
+    #[test]
+    fn softemu_copyout_skips_pages_evicted_mid_bounce() {
+        // Tiny memory: by the time the bounced fault completes, its
+        // target page has been reclaimed — the copy-out must skip it
+        // rather than scribble on a reused frame.
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(32), // 8 frames
+            ..MemConfig::default()
+        });
+        let mut e = NpfEngine::new(
+            NpfConfig::default().with_backend(BackendSelect::SoftEmu(
+                crate::backend::SoftEmuConfig::default(),
+            )),
+            mm,
+            SimRng::new(1),
+        );
+        let s = e.memory_mut().create_space();
+        let r = e
+            .memory_mut()
+            .mmap(s, ByteSize::kib(64), Backing::Anonymous)
+            .expect("mmap");
+        let d = e.create_channel(s);
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 4096, true, None)
+            .expect("fault")
+            .clone();
+        // Evict the target page while the bounce is in flight.
+        for vpn in r.iter().skip(1) {
+            e.touch(s, vpn, true).expect("touch");
+        }
+        e.complete_fault(rec.id);
+        assert_eq!(e.counters().get("softemu_copy_skipped"), 1);
+        assert_eq!(e.counters().get("softemu_copyouts"), 0);
+        assert!(
+            !e.dma_ready(d, r.start.base(), 1, true),
+            "no stale mapping may be installed for the evicted page"
+        );
+    }
+
+    #[test]
+    fn pinned_backend_counts_unexpected_faults() {
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::mib(16),
+            ..MemConfig::default()
+        });
+        let mut e = NpfEngine::new(
+            NpfConfig::default().with_backend(BackendSelect::Pinned),
+            mm,
+            SimRng::new(1),
+        );
+        let s = e.memory_mut().create_space();
+        let r = e
+            .memory_mut()
+            .mmap(s, ByteSize::mib(1), Backing::Anonymous)
+            .expect("mmap");
+        let d = e.create_channel(s);
+        // A properly pinned scenario never faults...
+        e.pin_and_map(d, PageRange::new(r.start, 16)).expect("pin");
+        assert!(e.dma_ready(d, r.start.base(), 16 * 4096, true));
+        assert_eq!(e.counters().get("pinned_unexpected_faults"), 0);
+        // ...and a cold access it forgot to pin is visible.
+        let rec = e
+            .begin_fault(
+                SimTime::ZERO,
+                d,
+                Vpn(r.start.0 + 32).base(),
+                4096,
+                true,
+                None,
+            )
+            .expect("fault")
+            .clone();
+        e.complete_fault(rec.id);
+        assert_eq!(e.counters().get("pinned_unexpected_faults"), 1);
     }
 }
 

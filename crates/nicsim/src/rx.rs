@@ -247,10 +247,19 @@ impl<P: Clone> RxEngine<P> {
     }
 
     /// Statistics: `stored`, `backup_stored`, `dropped_fault`,
-    /// `dropped_no_buffer`, `dropped_quota`, `resolved`.
+    /// `dropped_no_buffer`, `dropped_quota`, `resolved`,
+    /// `bounced_fault`.
     #[must_use]
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Records a faulting receive whose target buffer is being staged
+    /// through a driver-level bounce buffer instead of a firmware NPF
+    /// event (the softemu backend). The verdict (drop/backup) is
+    /// unchanged — this only attributes the fault's servicing path.
+    pub fn note_bounced_fault(&mut self) {
+        self.counters.bump("bounced_fault");
     }
 
     /// Creates an IOuser ring of `size` entries whose bitmap (backup

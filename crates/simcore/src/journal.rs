@@ -69,15 +69,24 @@ impl CauseId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JournalId(pub u64);
 
-/// One phase of a fault's lifecycle. The eight phases tile the
+/// One phase of a fault's lifecycle. The eleven phases tile the
 /// interval `[begun, resolved_at]` with no gaps or overlaps, so their
-/// durations sum exactly to the end-to-end latency.
+/// durations sum exactly to the end-to-end latency. The firmware NPF
+/// backend uses the trigger/driver/translate/update/resume chain
+/// (Figure 3's (i)–(v)); the software-emulation backend replaces the
+/// hardware trigger and resume with validate/bounce/copy slices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// Waiting for a per-channel fault slot (outstanding-limit queue).
     QueueWait,
     /// Waiting for the cross-channel arbiter to grant a global slot.
     ArbWait,
+    /// Driver-level DMA address validation before posting (software
+    /// emulation only — the NP-RDMA-style pre-post check).
+    Validate,
+    /// Waiting for a bounce buffer from the bounded pool (software
+    /// emulation backpressure).
+    BounceWait,
     /// Hardware fault trigger + interrupt delivery (Fig. 3 phase i).
     Trigger,
     /// IOprovider driver software, minus the OS part (phase ii).
@@ -89,6 +98,9 @@ pub enum Phase {
     PtUpdate,
     /// Resuming the stalled DMA (phase v).
     Resume,
+    /// Copying bounced data out to the now-resident target pages
+    /// (software emulation only).
+    CopyOut,
     /// Chaos-injected perturbation (delays, transient retries).
     ChaosExtra,
 }
@@ -96,14 +108,17 @@ pub enum Phase {
 impl Phase {
     /// Every phase, in lifecycle order. Attribution tables iterate
     /// this, so column order is fixed.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 11] = [
         Phase::QueueWait,
         Phase::ArbWait,
+        Phase::Validate,
+        Phase::BounceWait,
         Phase::Trigger,
         Phase::DriverSw,
         Phase::OsTranslate,
         Phase::PtUpdate,
         Phase::Resume,
+        Phase::CopyOut,
         Phase::ChaosExtra,
     ];
 
@@ -113,11 +128,14 @@ impl Phase {
         match self {
             Phase::QueueWait => "queue_wait",
             Phase::ArbWait => "arb_wait",
+            Phase::Validate => "validate",
+            Phase::BounceWait => "bounce_wait",
             Phase::Trigger => "trigger",
             Phase::DriverSw => "driver_sw",
             Phase::OsTranslate => "os_translate",
             Phase::PtUpdate => "pt_update",
             Phase::Resume => "resume",
+            Phase::CopyOut => "copy_out",
             Phase::ChaosExtra => "chaos_extra",
         }
     }
@@ -664,17 +682,20 @@ impl JournalRecorder {
         tenants.sort_unstable();
         let _ = writeln!(
             out,
-            "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>12}  dominant",
+            "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>11} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}  dominant",
             "tenant",
             "pct",
             "fault",
             "queue",
             "arb",
+            "validate",
+            "bounce_wait",
             "trigger",
             "driver",
             "os_translate",
             "pt_upd",
             "resume",
+            "copy_out",
             "chaos",
             "total_ns"
         );
@@ -694,17 +715,20 @@ impl JournalRecorder {
                 };
                 let _ = writeln!(
                     out,
-                    "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>12}  {}",
+                    "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>11} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}  {}",
                     tenant_label,
                     label,
                     f.id.0,
                     f.phase_total(Phase::QueueWait).as_nanos(),
                     f.phase_total(Phase::ArbWait).as_nanos(),
+                    f.phase_total(Phase::Validate).as_nanos(),
+                    f.phase_total(Phase::BounceWait).as_nanos(),
                     f.phase_total(Phase::Trigger).as_nanos(),
                     f.phase_total(Phase::DriverSw).as_nanos(),
                     f.phase_total(Phase::OsTranslate).as_nanos(),
                     f.phase_total(Phase::PtUpdate).as_nanos(),
                     f.phase_total(Phase::Resume).as_nanos(),
+                    f.phase_total(Phase::CopyOut).as_nanos(),
                     f.phase_total(Phase::ChaosExtra).as_nanos(),
                     f.latency().as_nanos(),
                     f.dominant_phase().name()
@@ -853,7 +877,7 @@ mod tests {
         key: u64,
         tenant: u32,
         begun_ns: u64,
-        phase_ns: [u64; 8],
+        phase_ns: [u64; 11],
     ) {
         j.set_cause(CauseId::tenant(tenant));
         let begun = SimTime::from_nanos(begun_ns);
@@ -872,8 +896,8 @@ mod tests {
     #[test]
     fn phase_sums_equal_latency_exactly() {
         let mut j = JournalRecorder::new();
-        record_fault(&mut j, 1, 0, 100, [5, 0, 100, 10, 250, 20, 90, 0]);
-        record_fault(&mut j, 2, 1, 900, [0, 40, 100, 10, 0, 20, 90, 7]);
+        record_fault(&mut j, 1, 0, 100, [5, 0, 0, 0, 100, 10, 250, 20, 90, 0, 0]);
+        record_fault(&mut j, 2, 1, 900, [0, 40, 0, 0, 100, 10, 0, 20, 90, 0, 7]);
         assert_eq!(j.unbalanced_faults(), 0);
         assert_eq!(j.incomplete_faults(), 0);
         let f = &j.faults()[0];
@@ -885,7 +909,7 @@ mod tests {
     #[test]
     fn critical_path_drops_empty_slices_keeps_order() {
         let mut j = JournalRecorder::new();
-        record_fault(&mut j, 1, 0, 0, [5, 0, 100, 10, 250, 20, 90, 0]);
+        record_fault(&mut j, 1, 0, 0, [5, 0, 0, 0, 100, 10, 250, 20, 90, 0, 0]);
         let path = j.faults()[0].critical_path();
         let names: Vec<&str> = path.iter().map(|p| p.phase.name()).collect();
         assert_eq!(
@@ -908,10 +932,10 @@ mod tests {
     #[test]
     fn absorb_rebases_ids_and_seq_in_task_order() {
         let mut a = JournalRecorder::new();
-        record_fault(&mut a, 1, 0, 0, [1, 0, 2, 0, 0, 0, 0, 0]);
+        record_fault(&mut a, 1, 0, 0, [1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0]);
         a.mark_at(SimTime::from_nanos(1), MarkKind::IotlbFill, 7);
         let mut b = JournalRecorder::new();
-        record_fault(&mut b, 1, 1, 50, [0, 0, 4, 0, 0, 0, 0, 0]);
+        record_fault(&mut b, 1, 1, 50, [0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0]);
         b.mark_at(SimTime::from_nanos(51), MarkKind::BackingFetch, 9);
 
         let mut merged = JournalRecorder::new();
@@ -937,8 +961,8 @@ mod tests {
         j.set_watchdog(JournalWatchdog {
             budget: SimDuration::from_nanos(100),
         });
-        record_fault(&mut j, 1, 3, 0, [0, 0, 50, 0, 0, 0, 0, 0]); // under
-        record_fault(&mut j, 2, 4, 0, [0, 200, 50, 0, 0, 0, 0, 0]); // over
+        record_fault(&mut j, 1, 3, 0, [0, 0, 0, 0, 50, 0, 0, 0, 0, 0, 0]); // under
+        record_fault(&mut j, 2, 4, 0, [0, 200, 0, 0, 50, 0, 0, 0, 0, 0, 0]); // over
         assert_eq!(j.slo_hits().len(), 1);
         let hit = j.slo_hits()[0];
         assert_eq!(hit.cause.tenant, 4);
@@ -969,7 +993,7 @@ mod tests {
             packet: 77,
         });
         j.mark_at(SimTime::ZERO, MarkKind::PacketArrival, 1500);
-        record_fault(&mut j, 1, 2, 10, [0, 0, 100, 10, 250, 20, 90, 0]);
+        record_fault(&mut j, 1, 2, 10, [0, 0, 0, 0, 100, 10, 250, 20, 90, 0, 0]);
         let json = j.export_chrome_json();
         assert!(json.contains("\"ph\":\"s\""), "{json}");
         assert!(json.contains("\"ph\":\"f\""), "{json}");
@@ -998,9 +1022,9 @@ mod tests {
     #[test]
     fn attribution_report_groups_tenants_in_order() {
         let mut j = JournalRecorder::new();
-        record_fault(&mut j, 1, 1, 0, [0, 0, 100, 0, 0, 0, 0, 0]);
-        record_fault(&mut j, 2, 0, 0, [0, 0, 300, 0, 0, 0, 0, 0]);
-        record_fault(&mut j, 3, 0, 0, [0, 0, 200, 0, 0, 0, 0, 0]);
+        record_fault(&mut j, 1, 1, 0, [0, 0, 0, 0, 100, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut j, 2, 0, 0, [0, 0, 0, 0, 300, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut j, 3, 0, 0, [0, 0, 0, 0, 200, 0, 0, 0, 0, 0, 0]);
         let report = j.attribution_report();
         let t0 = report.find("\n      0 ").expect("tenant 0 row");
         let t1 = report.find("\n      1 ").expect("tenant 1 row");
@@ -1010,5 +1034,41 @@ mod tests {
         // 300ns one.
         assert!(report.contains(" p50 "), "{report}");
         assert!(report.contains(" p999 "), "{report}");
+    }
+
+    #[test]
+    fn softemu_phases_balance_and_report() {
+        let mut j = JournalRecorder::new();
+        // A software-emulation chain: validate, bounce-pool wait,
+        // driver + OS work, PT update, copy-out — no trigger/resume.
+        record_fault(&mut j, 1, 0, 0, [5, 0, 30, 120, 0, 10, 250, 20, 0, 80, 0]);
+        assert_eq!(j.unbalanced_faults(), 0);
+        let f = &j.faults()[0];
+        assert_eq!(f.phase_total(Phase::Validate), SimDuration::from_nanos(30));
+        assert_eq!(
+            f.phase_total(Phase::BounceWait),
+            SimDuration::from_nanos(120)
+        );
+        assert_eq!(f.phase_total(Phase::CopyOut), SimDuration::from_nanos(80));
+        assert_eq!(f.phase_total(Phase::Trigger), SimDuration::ZERO);
+        let names: Vec<&str> = f.critical_path().iter().map(|p| p.phase.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "queue_wait",
+                "validate",
+                "bounce_wait",
+                "driver_sw",
+                "os_translate",
+                "pt_update",
+                "copy_out"
+            ]
+        );
+        let report = j.attribution_report();
+        assert!(report.contains("bounce_wait"), "{report}");
+        assert!(report.contains("copy_out"), "{report}");
+        let json = j.export_chrome_json();
+        assert!(json.contains("\"name\":\"validate\""), "{json}");
+        assert!(json.contains("\"name\":\"copy_out\""), "{json}");
     }
 }

@@ -29,6 +29,7 @@
 use memsim::manager::MemError;
 use memsim::swap::DiskConfig;
 use npf_core::npf::{ArbiterPolicy, NpfConfig};
+use npf_core::{BackendKind, BackendSelect};
 use simcore::chaos::ChaosConfig;
 use simcore::time::SimDuration;
 use simcore::units::{Bandwidth, ByteSize};
@@ -81,6 +82,23 @@ pub enum ScenarioError {
     },
     /// A cross-channel arbiter with an empty fault-slot pool.
     ArbiterWithoutSlots,
+    /// A cross-channel arbiter policy that arbitrates firmware fault
+    /// slots, requested under a backend with no firmware NPF path.
+    ArbiterNeedsFirmware {
+        /// The requested policy.
+        policy: ArbiterPolicy,
+        /// The backend that cannot honour it.
+        backend: BackendKind,
+    },
+    /// The firmware-bypass fast resume under a backend with no
+    /// firmware to bypass.
+    BypassNeedsFirmware {
+        /// The backend that cannot honour it.
+        backend: BackendKind,
+    },
+    /// A software-emulation backend with a zero-sized bounce pool
+    /// (every unmapped DMA would wait forever for a buffer).
+    ZeroBounceBuffers,
     /// A tenant weight for an instance the scenario does not create.
     UnknownTenant {
         /// The weighted instance.
@@ -143,6 +161,19 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::ArbiterWithoutSlots => {
                 write!(f, "cross-channel arbiter enabled with zero fault slots")
+            }
+            ScenarioError::ArbiterNeedsFirmware { policy, backend } => write!(
+                f,
+                "arbiter policy {policy:?} arbitrates firmware fault slots but the backend is {}",
+                backend.as_str()
+            ),
+            ScenarioError::BypassNeedsFirmware { backend } => write!(
+                f,
+                "firmware-bypass resume requested but the backend is {}",
+                backend.as_str()
+            ),
+            ScenarioError::ZeroBounceBuffers => {
+                write!(f, "softemu backend with a zero-sized bounce-buffer pool")
             }
             ScenarioError::UnknownTenant {
                 instance,
@@ -265,6 +296,26 @@ pub(crate) fn validate_ib(cfg: &IbConfig) -> Result<(), ScenarioError> {
 fn validate_npf(cfg: &NpfConfig) -> Result<(), ScenarioError> {
     if cfg.arbiter != ArbiterPolicy::ChannelOnly && cfg.total_fault_slots == 0 {
         return Err(ScenarioError::ArbiterWithoutSlots);
+    }
+    // Cross-channel arbitration and the bypass resume are firmware NIC
+    // features; the driver-level backends have neither a shared fault
+    // slot pool nor a firmware to bypass.
+    let backend = cfg.backend.kind();
+    if backend != BackendKind::Firmware {
+        if cfg.arbiter != ArbiterPolicy::ChannelOnly {
+            return Err(ScenarioError::ArbiterNeedsFirmware {
+                policy: cfg.arbiter,
+                backend,
+            });
+        }
+        if cfg.firmware_bypass {
+            return Err(ScenarioError::BypassNeedsFirmware { backend });
+        }
+    }
+    if let BackendSelect::SoftEmu(se) = cfg.backend {
+        if se.bounce_buffers == 0 {
+            return Err(ScenarioError::ZeroBounceBuffers);
+        }
     }
     Ok(())
 }
@@ -703,6 +754,106 @@ mod tests {
             })
         );
         assert!(base().validate().is_ok());
+    }
+
+    #[test]
+    fn backend_validation_matrix() {
+        use npf_core::SoftEmuConfig;
+        let base = || {
+            ScenarioBuilder::ethernet()
+                .instances(1)
+                .conns_per_instance(2)
+                .host_memory(ByteSize::mib(256))
+                .working_set_keys(100)
+        };
+        let softemu = || BackendSelect::SoftEmu(SoftEmuConfig::default());
+        // Firmware-only knobs are rejected under the driver-level
+        // backends...
+        assert_eq!(
+            base()
+                .npf(
+                    NpfConfig::default()
+                        .with_backend(softemu())
+                        .with_arbiter(ArbiterPolicy::RoundRobin)
+                        .with_total_fault_slots(8)
+                )
+                .validate()
+                .err(),
+            Some(ScenarioError::ArbiterNeedsFirmware {
+                policy: ArbiterPolicy::RoundRobin,
+                backend: BackendKind::SoftEmu,
+            })
+        );
+        assert_eq!(
+            base()
+                .npf(
+                    NpfConfig::default()
+                        .with_backend(BackendSelect::Pinned)
+                        .with_arbiter(ArbiterPolicy::WeightedFair)
+                        .with_total_fault_slots(8)
+                )
+                .validate()
+                .err(),
+            Some(ScenarioError::ArbiterNeedsFirmware {
+                policy: ArbiterPolicy::WeightedFair,
+                backend: BackendKind::Pinned,
+            })
+        );
+        assert_eq!(
+            base()
+                .npf(
+                    NpfConfig::default()
+                        .with_backend(softemu())
+                        .with_firmware_bypass(true)
+                )
+                .validate()
+                .err(),
+            Some(ScenarioError::BypassNeedsFirmware {
+                backend: BackendKind::SoftEmu,
+            })
+        );
+        assert_eq!(
+            base()
+                .npf(NpfConfig::default().with_backend(BackendSelect::SoftEmu(
+                    SoftEmuConfig::default().with_bounce_buffers(0)
+                )))
+                .validate()
+                .err(),
+            Some(ScenarioError::ZeroBounceBuffers)
+        );
+        // ...while the same knobs stay legal under firmware, and the
+        // well-formed non-firmware configurations pass.
+        assert!(base()
+            .npf(
+                NpfConfig::default()
+                    .with_arbiter(ArbiterPolicy::RoundRobin)
+                    .with_total_fault_slots(8)
+                    .with_firmware_bypass(true)
+            )
+            .validate()
+            .is_ok());
+        assert!(base()
+            .npf(NpfConfig::default().with_backend(softemu()))
+            .validate()
+            .is_ok());
+        assert!(base()
+            .npf(NpfConfig::default().with_backend(BackendSelect::Pinned))
+            .validate()
+            .is_ok());
+        // The same checks guard the InfiniBand path.
+        assert_eq!(
+            ScenarioBuilder::infiniband()
+                .npf(
+                    NpfConfig::default()
+                        .with_backend(softemu())
+                        .with_firmware_bypass(true)
+                )
+                .validate()
+                .err(),
+            Some(ScenarioError::BypassNeedsFirmware {
+                backend: BackendKind::SoftEmu,
+            })
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ use nicsim::rx::{BackupPolicy, RingId, RxDescriptor, RxEngine, RxFaultMode, RxVe
 use nicsim::sriov::ChannelTable;
 use npf_core::backup_driver::{BackupDriver, ResolveStep};
 use npf_core::npf::{NpfConfig, NpfEngine};
-use npf_core::RX_BUFFER_BASE;
+use npf_core::{BackendKind, RX_BUFFER_BASE};
 use simcore::chaos::{invariant, ChaosConfig, ChaosEngine, IommuFate, MemoryFate, PacketFate};
 use simcore::event::{EventQueue, EventToken};
 use simcore::journal::{self, CauseId};
@@ -1063,6 +1063,9 @@ impl EthTestbed {
                             Ok(rec) => {
                                 let (id, ready_at) = (rec.id, rec.ready_at);
                                 self.metrics[idx as usize].faults += 1;
+                                if self.engine.backend_kind() == BackendKind::SoftEmu {
+                                    self.rx.note_bounced_fault();
+                                }
                                 self.queue.schedule_at(ready_at, EthEvent::FaultDone(id));
                             }
                             Err(_) => { /* OOM under pressure: stays faulted */ }

@@ -49,6 +49,7 @@ pub mod prelude {
     pub use memsim::space::Backing;
     pub use npf_core::npf::{ArbiterPolicy, NpfConfig, NpfEngine};
     pub use npf_core::pinning::{Registrar, Strategy};
+    pub use npf_core::{BackendKind, BackendSelect, SoftEmuConfig};
     pub use simcore::chaos::{ChaosConfig, ChaosEngine, ChaosProfile, InvariantChecker};
     pub use simcore::{Bandwidth, ByteSize, SimDuration, SimRng, SimTime};
     pub use testbed::builder::{ScenarioBuilder, ScenarioError};

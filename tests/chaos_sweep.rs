@@ -562,6 +562,266 @@ fn chaos_faults_leave_complete_journal_chains() {
     }
 }
 
+/// Drives the memcached testbed with the NP-RDMA-style software
+/// emulation servicing every fault — no firmware NPF events at all —
+/// under `chaos`, and checks the same liveness and invariant set as
+/// [`run_eth`]. Returns injection totals for coverage accounting.
+fn run_eth_softemu(chaos: ChaosConfig) -> HashMap<String, u64> {
+    let mut totals = HashMap::new();
+    assert!(
+        invariant::install(InvariantChecker::new(chaos.seed)).is_none(),
+        "stale checker"
+    );
+    let mut bed = ScenarioBuilder::ethernet()
+        .mode(RxMode::Backup)
+        .instances(2)
+        .conns_per_instance(2)
+        .ring_entries(32)
+        .bm_size(64)
+        .backup_capacity(128)
+        .host_memory(ByteSize::mib(512))
+        .disk(npf::memsim::swap::DiskConfig::nvme())
+        .memcached(MemcachedConfig {
+            max_bytes: ByteSize::mib(16),
+            value_size: 1024,
+            ..MemcachedConfig::default()
+        })
+        .working_set_keys(1000)
+        .npf(NpfConfig::default().with_backend(BackendSelect::SoftEmu(SoftEmuConfig::default())))
+        .chaos(chaos)
+        .build()
+        .expect("setup");
+    bed.run_until(SimTime::from_secs(1));
+
+    let mut outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+    let mut tries = 0;
+    while outstanding > 0 && tries < 2000 {
+        let next = bed.now() + SimDuration::from_micros(500);
+        bed.run_until(next);
+        outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+        tries += 1;
+    }
+    assert_eq!(
+        outstanding, 0,
+        "bounced faults must eventually resolve (chaos seed {})",
+        chaos.seed
+    );
+    assert_eq!(
+        bed.total_failed_conns(),
+        0,
+        "no connection may die under chaos seed {}",
+        chaos.seed
+    );
+    assert!(
+        bed.total_ops() > 100,
+        "the service must stay live under chaos seed {}: {} ops",
+        chaos.seed,
+        bed.total_ops()
+    );
+    // The backend axis itself: every fault bounced, none raised a
+    // firmware NPF event.
+    let c = bed.engine().counters();
+    assert_eq!(
+        c.get("fw_npf_events"),
+        0,
+        "softemu raised firmware NPFs under chaos seed {}",
+        chaos.seed
+    );
+    assert_eq!(
+        c.get("softemu_bounces"),
+        c.get("npf_events"),
+        "unexplained faults under chaos seed {}",
+        chaos.seed
+    );
+
+    let mut checker = invariant::uninstall().expect("checker installed");
+    let end = checker.finish();
+    assert!(
+        end.is_empty(),
+        "invariant violations at chaos seed {}: {:?}",
+        chaos.seed,
+        end
+    );
+
+    if let Some(engine) = bed.chaos() {
+        accumulate(&mut totals, engine.counters());
+    }
+    accumulate(&mut totals, bed.engine().counters());
+    let (lost, delayed) = bed.irq_chaos_counts();
+    *totals.entry("moderator_irq_lost".into()).or_default() += lost;
+    *totals.entry("moderator_irq_delayed".into()).or_default() += delayed;
+    totals
+}
+
+/// The backend × chaos-profile matrix cell: the software-emulation
+/// backend swept under packet loss, delayed/lost interrupts, and
+/// memory-pressure storms (plus the all-profile mix), holding every
+/// invariant, with the bounce path demonstrably exercised.
+#[test]
+fn softemu_backend_survives_chaos_matrix() {
+    let base = seed_base();
+    let profiles = [
+        ChaosProfile::Network,
+        ChaosProfile::Interrupts,
+        ChaosProfile::Npf,
+        ChaosProfile::Memory,
+        ChaosProfile::All,
+    ];
+    let cells: Vec<ChaosConfig> = profiles
+        .into_iter()
+        .enumerate()
+        .flat_map(|(p, profile)| {
+            (0..2u64)
+                .map(move |s| ChaosConfig::profile(profile, base + 0x4000 + (p as u64) * 100 + s))
+        })
+        .collect();
+    let totals = sweep(cells, run_eth_softemu);
+    for class in ["net_drop", "net_reorder", "irq_lost", "irq_delayed"] {
+        assert!(
+            totals.get(class).copied().unwrap_or(0) > 0,
+            "fault class {class} never fired across the softemu sweep: {totals:?}"
+        );
+    }
+    assert!(
+        totals.get("mem_burst").copied().unwrap_or(0)
+            + totals.get("mem_storm").copied().unwrap_or(0)
+            > 0,
+        "memory-pressure chaos never fired across the softemu sweep: {totals:?}"
+    );
+    assert!(
+        totals.get("softemu_bounces").copied().unwrap_or(0) > 0,
+        "the bounce path was never exercised: {totals:?}"
+    );
+    assert_eq!(
+        totals.get("fw_npf_events").copied().unwrap_or(0),
+        0,
+        "softemu must never raise a firmware NPF: {totals:?}"
+    );
+    // Chaos transient misses retry through the softemu backoff path,
+    // so the two tallies must move in lockstep.
+    assert_eq!(
+        totals.get("softemu_retries").copied().unwrap_or(0),
+        totals.get("npf_chaos_retries").copied().unwrap_or(0),
+        "softemu retries must mirror chaos transients: {totals:?}"
+    );
+    assert!(
+        totals.get("npf_chaos_retries").copied().unwrap_or(0) > 0,
+        "no transient miss ever fired, the backoff path is untested: {totals:?}"
+    );
+}
+
+/// Bounce/retry chains must leave complete, exactly-balanced journal
+/// chains: every softemu fault's validate/bounce/copy-out slices (plus
+/// any chaos extra) tile `[begun, ready_at]` with nothing lost, even
+/// while chaos delays resolutions and storms evictions.
+#[test]
+fn softemu_bounce_chains_leave_complete_journals() {
+    use npf::simcore::journal::{self, JournalRecorder, Phase};
+    let base = seed_base();
+    for s in 0..2u64 {
+        let chaos = ChaosConfig::profile(ChaosProfile::All, base + 0x5000 + s);
+        assert!(
+            invariant::install(InvariantChecker::new(chaos.seed)).is_none(),
+            "stale checker"
+        );
+        assert!(
+            journal::install(JournalRecorder::new()).is_none(),
+            "stale journal"
+        );
+        let mut bed = ScenarioBuilder::ethernet()
+            .mode(RxMode::Backup)
+            .instances(2)
+            .conns_per_instance(2)
+            .ring_entries(32)
+            .bm_size(64)
+            .backup_capacity(128)
+            .host_memory(ByteSize::mib(512))
+            .disk(npf::memsim::swap::DiskConfig::nvme())
+            .memcached(MemcachedConfig {
+                max_bytes: ByteSize::mib(16),
+                value_size: 1024,
+                ..MemcachedConfig::default()
+            })
+            .working_set_keys(1000)
+            .npf(
+                NpfConfig::default().with_backend(BackendSelect::SoftEmu(SoftEmuConfig::default())),
+            )
+            .chaos(chaos)
+            .build()
+            .expect("setup");
+        bed.run_until(SimTime::from_millis(250));
+
+        let mut outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+        let mut tries = 0;
+        while outstanding > 0 && tries < 2000 {
+            let next = bed.now() + SimDuration::from_micros(500);
+            bed.run_until(next);
+            outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+            tries += 1;
+        }
+        assert_eq!(
+            outstanding, 0,
+            "bounced faults must resolve (chaos seed {})",
+            chaos.seed
+        );
+
+        let j = journal::uninstall().expect("journal installed");
+        let mut checker = invariant::uninstall().expect("checker installed");
+        let end = checker.finish();
+        assert!(
+            end.is_empty(),
+            "invariant violations at chaos seed {}: {:?}",
+            chaos.seed,
+            end
+        );
+        assert!(
+            !j.faults().is_empty(),
+            "the bed never faulted under chaos seed {}",
+            chaos.seed
+        );
+        assert_eq!(
+            j.incomplete_faults(),
+            0,
+            "bounce chains without a resolve at chaos seed {}",
+            chaos.seed
+        );
+        assert_eq!(
+            j.unbalanced_faults(),
+            0,
+            "bounce-chain slices must tile each fault at chaos seed {}",
+            chaos.seed
+        );
+        let mut saw_bounce_slices = false;
+        for f in j.faults() {
+            assert_eq!(
+                f.phase_sum(),
+                f.latency(),
+                "inexact attribution for bounced fault {:?} at chaos seed {}",
+                f.id,
+                chaos.seed
+            );
+            // Softemu chains carry the driver-level slices and never
+            // the firmware trigger interrupt.
+            assert_eq!(
+                f.phase_total(Phase::Trigger),
+                SimDuration::ZERO,
+                "a softemu fault carried a firmware trigger at chaos seed {}",
+                chaos.seed
+            );
+            if f.phase_total(Phase::Validate) > SimDuration::ZERO
+                && f.phase_total(Phase::CopyOut) > SimDuration::ZERO
+            {
+                saw_bounce_slices = true;
+            }
+        }
+        assert!(
+            saw_bounce_slices,
+            "no fault carried validate + copy_out slices at chaos seed {}",
+            chaos.seed
+        );
+    }
+}
+
 #[test]
 fn same_chaos_seed_replays_identically() {
     let chaos = ChaosConfig::profile(ChaosProfile::All, seed_base() + 7);

@@ -1,7 +1,9 @@
 //! Runs every experiment (E1-E12 plus ablations) and prints the full
 //! report document — the source of `EXPERIMENTS.md`.
 //!
-//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>` /
+//! `--shards <n>` (see `--help`; sharded figures are byte-identical
+//! at every shard count).
 use npf_bench::par_runner::task;
 
 fn main() {

@@ -226,6 +226,98 @@ fn bench_lru_touch_evict() -> Sample {
     })
 }
 
+/// The epoch-barrier merge path: 4096 cross-shard envelopes staged out
+/// of order, sorted into `(time, src, seq)` delivery order — exactly
+/// what every epoch exchange pays per message.
+fn bench_shard_merge() -> Sample {
+    use simcore::shard::{merge_order, Envelope};
+    use simcore::time::SimTime;
+    measure("shard_merge_4k", 4096, || {
+        let envelopes: Vec<Envelope<u64>> = (0..4096u64)
+            .map(|i| Envelope {
+                // Scatter times/sources so the sort does real work.
+                at: SimTime::from_nanos(i * 13 % 977),
+                src: (i * 7 % 64) as usize,
+                seq: i,
+                dst: (i % 64) as usize,
+                msg: i,
+            })
+            .collect();
+        let order = merge_order(envelopes);
+        std::hint::black_box(order.len());
+    })
+}
+
+/// A full conservative epoch loop over 64 one-event-per-tick domains:
+/// 64 epochs × 64 LPs of barrier computation, horizon-bounded
+/// advancement, and cross-LP exchange (every 8th tick forwards to the
+/// next domain). The per-epoch synchronization cost, minus any real
+/// simulation work.
+fn bench_epoch_barrier() -> Sample {
+    use simcore::shard::{run_epochs, IsolationSpec, Outbox, ShardLp};
+    use simcore::time::SimTime;
+
+    struct TickLp {
+        id: usize,
+        queue: EventQueue<u64>,
+        processed: u64,
+        delivered: u64,
+    }
+    impl ShardLp for TickLp {
+        type Msg = u64;
+        fn next_event_time(&self) -> Option<simcore::time::SimTime> {
+            self.queue.next_time()
+        }
+        fn advance(&mut self, horizon: simcore::time::SimTime, outbox: &mut Outbox<u64>) {
+            while let Some(t) = self.queue.next_time() {
+                if t >= horizon {
+                    break;
+                }
+                let (at, tick) = self.queue.pop().expect("peeked");
+                self.processed += 1;
+                if tick < 63 {
+                    self.queue
+                        .schedule_at(at.saturating_add(SimDuration::from_micros(1)), tick + 1);
+                }
+                if tick % 8 == 0 {
+                    // Arrives two lookaheads out: legal at any epoch.
+                    outbox.send(
+                        (self.id + 1) % 64,
+                        at.saturating_add(SimDuration::from_micros(2)),
+                        tick,
+                    );
+                }
+            }
+        }
+        fn deliver(&mut self, _at: simcore::time::SimTime, _msg: u64) {
+            self.delivered += 1;
+        }
+    }
+
+    measure("epoch_barrier_64dom", 64 * 64, || {
+        let lps: Vec<TickLp> = (0..64)
+            .map(|id| {
+                let mut queue = EventQueue::new();
+                queue.schedule_at(SimTime::ZERO, 0);
+                TickLp {
+                    id,
+                    queue,
+                    processed: 0,
+                    delivered: 0,
+                }
+            })
+            .collect();
+        let report = run_epochs(
+            lps,
+            SimDuration::from_micros(1),
+            SimTime::from_micros(64),
+            1,
+            IsolationSpec::none(),
+        );
+        std::hint::black_box((report.epochs, report.messages));
+    })
+}
+
 /// Reduced-size figure runs timed end to end, through the same
 /// `par_runner` machinery the real binaries use.
 fn figure_wall_clocks() -> Vec<(&'static str, f64)> {
@@ -235,6 +327,15 @@ fn figure_wall_clocks() -> Vec<(&'static str, f64)> {
         (
             "fig4a",
             task("fig4a", || npf_bench::eth_experiments::fig4a(4)),
+        ),
+        // The same figure on a 4-worker shard pool: the tentpole's
+        // speedup ablation (≈ fig4a/3 on a multi-core host, since the
+        // figure is three independent testbeds; equal on one core).
+        (
+            "fig4a_shards4",
+            task("fig4a_shards4", || {
+                npf_bench::tracectl::with_shards(4, || npf_bench::eth_experiments::fig4a(4))
+            }),
         ),
         (
             "fig8b",
@@ -327,6 +428,8 @@ fn main() {
         bench_walk_miss_cold(),
         bench_sg_batch(),
         bench_lru_touch_evict(),
+        bench_shard_merge(),
+        bench_epoch_barrier(),
     ];
     for s in &samples {
         println!(

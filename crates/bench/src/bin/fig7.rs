@@ -1,6 +1,8 @@
 //! Regenerates Figure 7: dynamic working sets under a shared cgroup.
 //!
-//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>` /
+//! `--shards <n>` (testbeds within each figure run on the shard pool;
+//! output is byte-identical at every shard count).
 use npf_bench::par_runner::task;
 
 fn main() {

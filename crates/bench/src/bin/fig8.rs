@@ -1,6 +1,8 @@
 //! Regenerates Figure 8: storage bandwidth and memory usage.
 //!
-//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>` /
+//! `--shards <n>` (see `--help`; sharded figures are byte-identical
+//! at every shard count).
 use npf_bench::par_runner::task;
 
 fn main() {

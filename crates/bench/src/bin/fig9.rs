@@ -1,7 +1,9 @@
 //! Regenerates Figure 9: IMB collectives under each registration
 //! strategy.
 //!
-//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>` /
+//! `--shards <n>` (see `--help`; sharded figures are byte-identical
+//! at every shard count).
 use npf_bench::par_runner::task;
 
 fn main() {

@@ -1,10 +1,10 @@
-//! Multi-tenant scale-out sweep: 16→512 IOchannels on one simulated
-//! NIC, sharded across seeds via the parallel runner.
+//! Multi-tenant scale-out sweep: 16→2048 IOchannels on one simulated
+//! NIC, cells sharded across the pool.
 //!
 //! Flags (all via `tracectl::RunOpts`):
 //!
 //! * `--tenants <n>`: run only the `n`-tenant cells (the CI smoke job
-//!   uses `--tenants 64`); absent → the full 16→512 sweep.
+//!   uses `--tenants 64`); absent → the full 16→2048 sweep.
 //! * `--arbiter <channel|rr|wfq>`: arbitration policy (default `wfq`).
 //! * `--quota <entries>`: per-tenant backup-ring quota; `0` → shared
 //!   pool (default 16).
@@ -12,13 +12,12 @@
 //!   `BENCH_scale.json`; skipped under `--check`).
 //! * `--check <path>`: compare this run's cells against a committed
 //!   artifact and exit 1 on any drift. Only simulation-deterministic
-//!   tallies are compared — wall-clock never enters the file.
-//! * `--jobs <n>`: worker threads; output is byte-identical at every
-//!   value.
+//!   tallies are compared — wall-clock lands in the separate
+//!   `timings` array, never in the checked cell lines.
+//! * `--jobs <n>` / `--shards <n>`: worker threads for the cell pool
+//!   (the larger of the two wins; each cell is one coupling group).
+//!   Output is byte-identical at every value of either flag.
 
-use std::sync::Mutex;
-
-use npf_bench::par_runner::task;
 use npf_bench::scale::{self, ScaleCell};
 use npf_core::ArbiterPolicy;
 
@@ -36,39 +35,37 @@ fn main() {
         Some(t) => vec![t],
         None => scale::SWEEP_TENANTS.to_vec(),
     };
+    // Each cell is one coupling group; --jobs and --shards both name
+    // the same cell-level pool here, so the larger wins.
+    let workers = opts.jobs.max(opts.shards);
 
-    let n_cells = tenant_counts.len() * scale::SWEEP_SEEDS.len();
-    let cells: &'static Mutex<Vec<Option<ScaleCell>>> =
-        Box::leak(Box::new(Mutex::new(vec![None; n_cells])));
-    let mut tasks = Vec::with_capacity(n_cells);
-    let mut slot = 0usize;
-    for &tenants in &tenant_counts {
-        for &seed in scale::SWEEP_SEEDS {
-            let idx = slot;
-            slot += 1;
-            tasks.push(task("scale_cell", move || {
-                let cell = scale::run_cell(tenants, seed, policy, quota);
-                cells.lock().expect("cell slots")[idx] = Some(cell);
-                npf_bench::Report::new("", "")
-            }));
-        }
-    }
-
-    npf_bench::tracectl::run_tasks(tasks, |_reports| {
-        let cells = cells.lock().expect("cell slots");
-        let cells: Vec<ScaleCell> = cells
-            .iter()
-            .map(|c| c.expect("every task fills its slot"))
-            .collect();
-        print!("{}", scale::render_report(&cells).render());
-    });
-
-    let cells: Vec<ScaleCell> = cells
-        .lock()
-        .expect("cell slots")
+    let combos: Vec<(u32, u64)> = tenant_counts
         .iter()
-        .map(|c| c.expect("every task fills its slot"))
+        .flat_map(|&t| scale::SWEEP_SEEDS.iter().map(move |&s| (t, s)))
         .collect();
+
+    let results: Vec<(ScaleCell, u64)> = npf_bench::tracectl::run(|| {
+        simcore::shard::run_isolated(
+            combos
+                .iter()
+                .map(|&(tenants, seed)| {
+                    Box::new(move || {
+                        let t0 = std::time::Instant::now();
+                        let cell = scale::run_cell(tenants, seed, policy, quota);
+                        (
+                            cell,
+                            u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX),
+                        )
+                    }) as Box<dyn FnOnce() -> (ScaleCell, u64) + Send>
+                })
+                .collect(),
+            workers,
+            npf_bench::tracectl::isolation_spec(),
+        )
+    });
+    let cells: Vec<ScaleCell> = results.iter().map(|(c, _)| *c).collect();
+    let wall_ms: Vec<u64> = results.iter().map(|(_, ms)| *ms).collect();
+    print!("{}", scale::render_report(&cells).render());
 
     if let Some(path) = check_path {
         let baseline = match std::fs::read_to_string(&path) {
@@ -93,7 +90,7 @@ fn main() {
             std::process::exit(1);
         }
     } else {
-        let json = scale::render_json(policy, quota, &cells);
+        let json = scale::render_json(policy, quota, &cells, &wall_ms);
         if let Err(e) = std::fs::write(&out_path, &json) {
             eprintln!("failed to write {out_path}: {e}");
             std::process::exit(2);

@@ -1,6 +1,8 @@
 //! Regenerates Table 4: tail latency of NPFs.
 //!
-//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>` /
+//! `--shards <n>` (see `--help`; sharded figures are byte-identical
+//! at every shard count).
 use npf_bench::par_runner::task;
 
 fn main() {

@@ -1,6 +1,8 @@
 //! Regenerates Table 5: memory overcommitment with 1-4 memcached VMs.
 //!
-//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>`.
+//! Supports `--trace <path>` / `--metrics <path>` / `--jobs <n>` /
+//! `--shards <n>` (testbeds within each figure run on the shard pool;
+//! output is byte-identical at every shard count).
 use npf_bench::par_runner::task;
 
 fn main() {

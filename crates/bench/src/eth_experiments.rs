@@ -8,6 +8,18 @@ use workloads::memcached::MemcachedConfig;
 
 use crate::report::{f, Report};
 
+/// Runs independent testbed closures on the `--shards` pool (each is
+/// one coupling group; see [`simcore::shard`]). Results come back in
+/// task order and instrumentation is absorbed deterministically, so
+/// every experiment is byte-identical at any shard count.
+fn sharded<T: Send>(tasks: Vec<Box<dyn FnOnce() -> T + Send + '_>>) -> Vec<T> {
+    simcore::shard::run_isolated(
+        tasks,
+        crate::tracectl::shards(),
+        crate::tracectl::isolation_spec(),
+    )
+}
+
 fn base_config(mode: RxMode) -> EthConfig {
     // <2 GB working set: ~450k pages of 1 KB values.
     EthConfig::default()
@@ -35,16 +47,24 @@ pub fn fig4a(horizon_secs: u64) -> Report {
         "Figure 4(a)",
     );
     r.columns(["t[s]", "pin[KTPS]", "backup[KTPS]", "drop[KTPS]"]);
-    let mut series = Vec::new();
-    for mode in [RxMode::Pin, RxMode::Backup, RxMode::Drop] {
-        let mut bed = EthTestbed::new(base_config(mode)).expect("setup");
-        bed.start_sampling();
-        bed.run_until(SimTime::from_secs(horizon_secs));
-        series.push((
-            bed.metrics()[0].ops.series().points().to_vec(),
-            bed.total_failed_conns(),
-        ));
-    }
+    // Three independent testbeds (one per rx mode) — three coupling
+    // groups for the shard pool.
+    let series = sharded(
+        [RxMode::Pin, RxMode::Backup, RxMode::Drop]
+            .into_iter()
+            .map(|mode| {
+                Box::new(move || {
+                    let mut bed = EthTestbed::new(base_config(mode)).expect("setup");
+                    bed.start_sampling();
+                    bed.run_until(SimTime::from_secs(horizon_secs));
+                    (
+                        bed.metrics()[0].ops.series().points().to_vec(),
+                        bed.total_failed_conns(),
+                    )
+                }) as Box<dyn FnOnce() -> (Vec<(SimTime, f64)>, u32) + Send>
+            })
+            .collect(),
+    );
     // Report 1-second windows.
     for sec in 0..horizon_secs {
         let from = SimTime::from_secs(sec);
@@ -94,25 +114,40 @@ pub fn fig4b(ops: u64, deadline_secs: u64) -> Report {
         "Figure 4(b)",
     );
     r.columns(["ring", "pin[s]", "backup[s]", "drop[s]"]);
-    for ring in [16u64, 64, 256, 1024, 4096] {
-        let mut cells = vec![format!("{ring}")];
-        for mode in [RxMode::Pin, RxMode::Backup, RxMode::Drop] {
-            let mut cfg = base_config(mode);
-            cfg.ring_entries = ring;
-            cfg.bm_size = ring * 2;
-            let mut bed = EthTestbed::new(cfg).expect("setup");
-            let done = bed.run_until_ops(ops, SimTime::from_secs(deadline_secs));
-            let cell = match done {
-                Some(t) => f(t.as_secs_f64(), 2),
-                // TCP gave up (SYN retries exhaust after ~127 s of
-                // dropped cold-ring traffic — the paper's "stack
-                // announces a failure").
-                None if bed.total_failed_conns() > 0 => "FAILED".to_owned(),
-                None => format!(">{deadline_secs}"),
-            };
-            cells.push(cell);
-        }
-        r.row(cells);
+    // 5 rings × 3 modes = 15 independent coupling groups.
+    const RINGS: [u64; 5] = [16, 64, 256, 1024, 4096];
+    const MODES: [RxMode; 3] = [RxMode::Pin, RxMode::Backup, RxMode::Drop];
+    let cells = sharded(
+        RINGS
+            .into_iter()
+            .flat_map(|ring| MODES.into_iter().map(move |mode| (ring, mode)))
+            .map(|(ring, mode)| {
+                Box::new(move || {
+                    let mut cfg = base_config(mode);
+                    cfg.ring_entries = ring;
+                    cfg.bm_size = ring * 2;
+                    let mut bed = EthTestbed::new(cfg).expect("setup");
+                    let done = bed.run_until_ops(ops, SimTime::from_secs(deadline_secs));
+                    match done {
+                        Some(t) => f(t.as_secs_f64(), 2),
+                        // TCP gave up (SYN retries exhaust after ~127 s of
+                        // dropped cold-ring traffic — the paper's "stack
+                        // announces a failure").
+                        None if bed.total_failed_conns() > 0 => "FAILED".to_owned(),
+                        None => format!(">{deadline_secs}"),
+                    }
+                }) as Box<dyn FnOnce() -> String + Send>
+            })
+            .collect(),
+    );
+    for (i, ring) in RINGS.into_iter().enumerate() {
+        let mut row = vec![format!("{ring}")];
+        row.extend(
+            cells[i * MODES.len()..(i + 1) * MODES.len()]
+                .iter()
+                .cloned(),
+        );
+        r.row(row);
     }
     r.note("paper: drop takes >10s even at 16 entries and aborts (TCP max retries) at >=128");
     r
@@ -123,24 +158,37 @@ pub fn fig4b(ops: u64, deadline_secs: u64) -> Report {
 pub fn table5(measure_secs: u64) -> Report {
     let mut r = Report::new("Overcommit: aggregated memcached throughput", "Table 5");
     r.columns(["instances", "NPF[KTPS]", "pinning[KTPS]"]);
-    for n in 1..=4u32 {
-        let mut cells = vec![format!("{n}")];
-        for mode in [RxMode::Backup, RxMode::Pin] {
-            let mut cfg = base_config(mode);
-            cfg.instances = n;
-            match EthTestbed::new(cfg) {
-                Ok(mut bed) => {
-                    // Warm up 1 s, then measure.
-                    bed.run_until(SimTime::from_secs(1));
-                    let before = bed.total_ops();
-                    bed.run_until(SimTime::from_secs(1 + measure_secs));
-                    let rate = (bed.total_ops() - before) as f64 / measure_secs as f64;
-                    cells.push(f(rate / 1e3, 0));
-                }
-                Err(_) => cells.push("N/A".to_owned()),
-            }
-        }
-        r.row(cells);
+    // 4 instance counts × 2 modes = 8 independent coupling groups.
+    let cells = sharded(
+        (1..=4u32)
+            .flat_map(|n| {
+                [RxMode::Backup, RxMode::Pin]
+                    .into_iter()
+                    .map(move |m| (n, m))
+            })
+            .map(|(n, mode)| {
+                Box::new(move || {
+                    let mut cfg = base_config(mode);
+                    cfg.instances = n;
+                    match EthTestbed::new(cfg) {
+                        Ok(mut bed) => {
+                            // Warm up 1 s, then measure.
+                            bed.run_until(SimTime::from_secs(1));
+                            let before = bed.total_ops();
+                            bed.run_until(SimTime::from_secs(1 + measure_secs));
+                            let rate = (bed.total_ops() - before) as f64 / measure_secs as f64;
+                            f(rate / 1e3, 0)
+                        }
+                        Err(_) => "N/A".to_owned(),
+                    }
+                }) as Box<dyn FnOnce() -> String + Send>
+            })
+            .collect(),
+    );
+    for n in 1..=4usize {
+        let mut row = vec![format!("{n}")];
+        row.extend(cells[(n - 1) * 2..n * 2].iter().cloned());
+        r.row(row);
     }
     r.note("paper: NPF 186/311/407/484; pinning 185/310/N/A/N/A (8GB host, 3GB VMs)");
     r
@@ -196,8 +244,13 @@ pub fn fig7(total_secs: u64, swap_at: u64) -> Report {
         )
     };
 
-    let (npf_a, npf_b) = run(false);
-    let (pin_a, pin_b) = run(true);
+    // Two independent testbeds (NPF vs pinned) — two coupling groups.
+    let mut results = sharded(vec![
+        Box::new(|| run(false)) as Box<dyn FnOnce() -> (HitSeries, HitSeries) + Send>,
+        Box::new(|| run(true)),
+    ]);
+    let (pin_a, pin_b) = results.pop().expect("two tasks");
+    let (npf_a, npf_b) = results.pop().expect("two tasks");
 
     let mut r = Report::new("Dynamic working sets: hits per second", "Figure 7");
     r.columns([

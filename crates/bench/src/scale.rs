@@ -18,8 +18,11 @@ use workloads::memcached::MemcachedConfig;
 
 use crate::report::Report;
 
-/// The tenant counts a full sweep visits.
-pub const SWEEP_TENANTS: &[u32] = &[16, 32, 64, 128, 256, 512];
+/// The tenant counts a full sweep visits. The 1024- and 2048-tenant
+/// cells exist because the sharded engine made them practical: cells
+/// are independent coupling groups, so `--shards N` runs them
+/// concurrently with byte-identical output.
+pub const SWEEP_TENANTS: &[u32] = &[16, 32, 64, 128, 256, 512, 1024, 2048];
 
 /// The seeds each tenant count is sharded across.
 pub const SWEEP_SEEDS: &[u64] = &[1, 2];
@@ -170,8 +173,17 @@ pub fn cell_json(c: &ScaleCell) -> String {
 /// The full JSON artifact: header plus one line per cell, in task
 /// order. Deterministic in the cells — byte-identical at every
 /// `--jobs` value.
+///
+/// `wall_ms` (per-cell wall-clock, when measured) lands in a separate
+/// `timings` array *after* the cells: [`check_against`] compares only
+/// the cell lines, so timings are informational and never gate CI.
 #[must_use]
-pub fn render_json(policy: ArbiterPolicy, quota: Option<u64>, cells: &[ScaleCell]) -> String {
+pub fn render_json(
+    policy: ArbiterPolicy,
+    quota: Option<u64>,
+    cells: &[ScaleCell],
+    wall_ms: &[u64],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"npf-scalebench-v1\",\n");
@@ -184,6 +196,15 @@ pub fn render_json(policy: ArbiterPolicy, quota: Option<u64>, cells: &[ScaleCell
     for (i, c) in cells.iter().enumerate() {
         let sep = if i + 1 == cells.len() { "" } else { "," };
         out.push_str(&format!("    {}{sep}\n", cell_json(c)));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"timings\": [\n");
+    for (i, (c, ms)) in cells.iter().zip(wall_ms).enumerate() {
+        let sep = if i + 1 == wall_ms.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"tenants\": {}, \"seed\": {}, \"wall_ms\": {ms}}}{sep}\n",
+            c.tenants, c.seed
+        ));
     }
     out.push_str("  ]\n}\n");
     out
@@ -207,7 +228,7 @@ pub fn check_against(baseline: &str, cells: &[ScaleCell]) -> Vec<String> {
 #[must_use]
 pub fn render_report(cells: &[ScaleCell]) -> Report {
     let mut r = Report::new(
-        "Multi-tenant scale-out: one NIC, 16-512 IOchannels",
+        "Multi-tenant scale-out: one NIC, 16-2048 IOchannels",
         "§4 IOchannels at scale",
     );
     r.columns([
@@ -257,7 +278,7 @@ mod tests {
             run_cell(16, 1, ArbiterPolicy::RoundRobin, None),
             run_cell(16, 2, ArbiterPolicy::RoundRobin, None),
         ];
-        let baseline = render_json(ArbiterPolicy::RoundRobin, None, &cells);
+        let baseline = render_json(ArbiterPolicy::RoundRobin, None, &cells, &[0, 0]);
         assert!(check_against(&baseline, &cells).is_empty());
         let mut drifted = cells;
         drifted[1].ops += 1;

@@ -24,6 +24,12 @@
 //!   points across `n` worker threads via [`crate::par_runner`]
 //!   ([`run_tasks`]). `0` means "all available cores". Output is
 //!   byte-identical at every job count.
+//! * `--shards <n>` (or `--shards=<n>`): shard *within* an experiment
+//!   point — independent coupling groups (testbeds, scalebench cells)
+//!   run on `n` workers via [`simcore::shard::run_isolated`] with
+//!   deterministic instrumentation absorption. `0` means "all
+//!   available cores"; default 1 reproduces the serial path exactly.
+//!   Output is byte-identical at every shard count.
 //! * `--tenants <n>` / `--arbiter <policy>` / `--quota <entries>`:
 //!   multi-tenant scale knobs — tenant count, cross-channel fault
 //!   arbitration policy (`channel`, `rr`, `wfq`), and per-tenant
@@ -82,6 +88,7 @@ const STANDARD_FLAGS: &[&str] = &[
     "chaos-seed",
     "chaos-profile",
     "jobs",
+    "shards",
     "tenants",
     "arbiter",
     "quota",
@@ -113,6 +120,9 @@ pub struct RunOpts {
     pub chaos: Option<ChaosConfig>,
     /// `--jobs <n>` worker threads; absent → 1, `0` → all cores.
     pub jobs: usize,
+    /// `--shards <n>` intra-run shard workers; absent → 1, `0` → all
+    /// cores.
+    pub shards: usize,
     /// `--tenants <n>`: tenant/IOchannel count for scale sweeps.
     pub tenants: Option<u32>,
     /// `--arbiter <policy>`: cross-channel fault arbitration policy
@@ -129,6 +139,37 @@ pub struct RunOpts {
 
 static OPTS: OnceLock<RunOpts> = OnceLock::new();
 
+/// The `--help` text shared by every bench binary: the standard flags
+/// plus whatever extras the binary registered with [`RunOpts::init`].
+fn usage(bin: &str, extra: &[&str]) -> String {
+    let mut out = format!("usage: {bin} [--flag value ...]\n\nstandard flags:\n");
+    out.push_str(
+        "  --trace <path>         write a Chrome trace-event JSON on exit\n\
+         \x20 --metrics <path>       write the metrics registry (CSV for .csv paths)\n\
+         \x20 --journal <path>       write the fault-lifecycle journal (.txt for text)\n\
+         \x20 --chaos-seed <n>       enable fault injection with seed n\n\
+         \x20 --chaos-profile <p>    chaos profile: network, interrupts, npf, memory,\n\
+         \x20                        iommu, all (default all)\n\
+         \x20 --jobs <n>             run experiment points on n workers (0 = all\n\
+         \x20                        cores); output is byte-identical at any n\n\
+         \x20 --shards <n>           shard within each experiment point: independent\n\
+         \x20                        testbeds run on n workers with deterministic\n\
+         \x20                        epoch/instrumentation merging (0 = all cores);\n\
+         \x20                        output is byte-identical at any n\n\
+         \x20 --tenants <n>          tenant/IO-channel count for scale sweeps\n\
+         \x20 --arbiter <policy>     cross-channel fault arbitration: channel, rr, wfq\n\
+         \x20 --quota <entries>      per-tenant backup-ring quota\n\
+         \x20 --backend <kind>       ODP backend: firmware, softemu, pinned\n",
+    );
+    if !extra.is_empty() {
+        out.push_str("\nbinary-specific flags:\n");
+        for name in extra {
+            out.push_str(&format!("  --{name} <value>\n"));
+        }
+    }
+    out
+}
+
 impl RunOpts {
     /// Parses the process command line, accepting [`STANDARD_FLAGS`]
     /// plus the binary's own `extra` value-taking flags. Call once at
@@ -138,6 +179,13 @@ impl RunOpts {
     pub fn init(extra: &[&str]) -> &'static RunOpts {
         OPTS.get_or_init(|| {
             let args: Vec<String> = std::env::args().skip(1).collect();
+            if args.iter().any(|a| a == "--help" || a == "-h") {
+                let bin = std::env::args()
+                    .next()
+                    .unwrap_or_else(|| "bench".to_owned());
+                print!("{}", usage(&bin, extra));
+                std::process::exit(0);
+            }
             match Self::parse(&args, extra) {
                 Ok(opts) => opts,
                 Err(e) => {
@@ -233,6 +281,19 @@ impl RunOpts {
                 }
             }
         };
+        let shards = match values.remove("shards") {
+            None => 1,
+            Some(v) => {
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("--shards must be an integer: {e}"))?;
+                if n == 0 {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                } else {
+                    n
+                }
+            }
+        };
         let tenants = values
             .remove("tenants")
             .map(|v| {
@@ -266,6 +327,7 @@ impl RunOpts {
             journal,
             chaos,
             jobs,
+            shards,
             tenants,
             arbiter,
             quota,
@@ -389,6 +451,68 @@ pub fn jobs() -> usize {
         return opts.jobs;
     }
     jobs_from_args(std::env::args().skip(1))
+}
+
+thread_local! {
+    static SHARDS_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Runs `body` with [`shards`] forced to `n` on this thread —
+/// `enginebench` uses this to time the same figure at several shard
+/// counts inside one process.
+pub fn with_shards<R>(n: usize, body: impl FnOnce() -> R) -> R {
+    let prev = SHARDS_OVERRIDE.with(|c| c.replace(Some(n)));
+    let out = body();
+    SHARDS_OVERRIDE.with(|c| c.set(prev));
+    out
+}
+
+/// The intra-run shard count requested with `--shards`, defaulting to 1
+/// (serial; byte-identical to every other value). `0` → all cores.
+#[must_use]
+pub fn shards() -> usize {
+    if let Some(n) = SHARDS_OVERRIDE.with(std::cell::Cell::get) {
+        return n;
+    }
+    if let Some(opts) = RunOpts::get() {
+        return opts.shards;
+    }
+    let Some(raw) = flag_value(std::env::args().skip(1), "shards") else {
+        return 1;
+    };
+    let n = raw
+        .to_string_lossy()
+        .parse::<usize>()
+        .unwrap_or_else(|e| panic!("--shards must be an integer: {e}"));
+    if n == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        n
+    }
+}
+
+/// Builds the [`simcore::shard::IsolationSpec`] matching whatever
+/// instrumentation is installed on the **current** thread, so a shard
+/// pool reproduces the caller's environment per LP: recording when the
+/// caller records, checking under the caller's chaos seed, journaling
+/// (with the caller's watchdog) when the caller journals. Shard workers
+/// run each LP under fresh instruments built from this spec; the pool
+/// absorbs them back into the caller's in LP order.
+#[must_use]
+pub fn isolation_spec() -> simcore::shard::IsolationSpec {
+    simcore::shard::IsolationSpec {
+        record: trace::enabled(),
+        ring_capacity: DEFAULT_CAPACITY,
+        chaos_seed: invariant::with(|c| c.seed()),
+        journal: journal::enabled(),
+        watchdog: journal::enabled()
+            .then(|| {
+                let mut w = None;
+                journal::with(|j| w = j.watchdog());
+                w
+            })
+            .flatten(),
+    }
 }
 
 fn write_or_warn(path: &Path, what: &str, contents: &str) {
@@ -651,6 +775,7 @@ mod tests {
                 "--metrics",
                 "/tmp/m.csv",
                 "--jobs=4",
+                "--shards=2",
                 "--tenants",
                 "256",
                 "--arbiter=wfq",
@@ -665,6 +790,7 @@ mod tests {
         assert_eq!(opts.trace, Some(PathBuf::from("/tmp/t.json")));
         assert_eq!(opts.metrics, Some(PathBuf::from("/tmp/m.csv")));
         assert_eq!(opts.jobs, 4);
+        assert_eq!(opts.shards, 2);
         assert_eq!(opts.tenants, Some(256));
         assert_eq!(opts.arbiter, Some(ArbiterPolicy::WeightedFair));
         assert_eq!(opts.quota, Some(64));
@@ -680,6 +806,7 @@ mod tests {
         assert!(opts.chaos.is_none());
         assert!(!opts.chaos_or_disabled().enabled());
         assert_eq!(opts.jobs, 1);
+        assert_eq!(opts.shards, 1);
         assert_eq!(opts.tenants, None);
         assert_eq!(opts.arbiter, None);
         assert_eq!(opts.quota, None);

@@ -31,7 +31,14 @@ fn sweep(jobs: usize) -> String {
         .iter()
         .map(|c| c.expect("every task fills its slot"))
         .collect();
-    scale::render_json(ArbiterPolicy::WeightedFair, Some(16), &cells)
+    // Zero wall_ms placeholders: timings are informational and must
+    // never reach the compared cell lines anyway.
+    scale::render_json(
+        ArbiterPolicy::WeightedFair,
+        Some(16),
+        &cells,
+        &vec![0; cells.len()],
+    )
 }
 
 #[test]

@@ -1,0 +1,314 @@
+//! Byte-identity of the sharded executor across shard counts.
+//!
+//! The contract the sharded engine sells (`DESIGN.md` §13) is that
+//! `--shards N` is *unobservable* in every artifact: stdout tables,
+//! trace exports, journal exports, and invariant tallies are
+//! byte-identical whether the coupling groups run serially or on N
+//! workers. This suite pins that contract down with property tests
+//! over randomly drawn scalebench cells, in three instrumentation
+//! variants:
+//!
+//! * plain — trace + journal recording only;
+//! * chaos — fault injection plus the invariant checker;
+//! * chaos + watchdog — the above with a journal SLO watchdog armed.
+//!
+//! Each case runs the same task set at shards 1, 2, and 8 and demands
+//! identical bytes from every export. The epoch-edge test at the
+//! bottom pins the `< horizon` rule: a message landing *exactly* at
+//! `barrier + lookahead` belongs to the next epoch at every shard
+//! count.
+//!
+//! Tuned small (`PROPTEST_CASES` overrides): the point is the
+//! cross-shard comparison, not scenario coverage — `scale_determinism`
+//! and the golden checks cover breadth.
+
+use npf_core::ArbiterPolicy;
+use proptest::prelude::*;
+use simcore::chaos::{invariant, ChaosConfig, ChaosProfile, InvariantChecker};
+use simcore::journal::{self, JournalRecorder};
+use simcore::shard::{self, IsolationSpec, Outbox, ShardLp};
+use simcore::trace::{self, TraceRecorder};
+use simcore::{JournalWatchdog, SimDuration, SimTime};
+
+const POLICIES: [ArbiterPolicy; 3] = [
+    ArbiterPolicy::ChannelOnly,
+    ArbiterPolicy::RoundRobin,
+    ArbiterPolicy::WeightedFair,
+];
+
+/// Ring capacity for the per-task recorders: big enough that no cell
+/// here wraps, small enough that 8 concurrent rings stay cheap.
+const RING: usize = 1 << 16;
+
+/// Everything one run exports, as bytes.
+#[derive(PartialEq, Eq)]
+struct Capture {
+    cells: String,
+    trace: String,
+    journal: String,
+    attribution: String,
+    chaos: String,
+}
+
+/// First line where `a` and `b` disagree, for a readable failure.
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("first diff at line {}: {la:?} vs {lb:?}", i + 1);
+        }
+    }
+    format!("common prefix equal; lengths {} vs {}", a.len(), b.len())
+}
+
+/// Runs three coupled-by-nothing scalebench cells through
+/// [`shard::run_isolated`] at `shards` workers with caller-side
+/// instruments installed, exactly as the bench binaries do, and
+/// returns every export.
+fn run_at(
+    shards: usize,
+    tenants: u32,
+    seed: u64,
+    policy: ArbiterPolicy,
+    quota: Option<u64>,
+    chaos_seed: Option<u64>,
+    watchdog: bool,
+) -> Capture {
+    // Caller-side instruments, mirroring `tracectl::run`'s setup.
+    assert!(
+        trace::install(TraceRecorder::new(RING)).is_none(),
+        "test thread must start uninstrumented"
+    );
+    if let Some(s) = chaos_seed {
+        assert!(invariant::install(InvariantChecker::new(s)).is_none());
+    }
+    let mut jr = JournalRecorder::new();
+    if watchdog {
+        jr.set_watchdog(JournalWatchdog {
+            budget: SimDuration::from_micros(200),
+        });
+    }
+    assert!(journal::install(jr).is_none());
+
+    // The spec the binaries would build from the installed set — but
+    // with the test-sized ring, so all shard counts share it.
+    let spec = IsolationSpec {
+        ring_capacity: RING,
+        ..npf_bench::tracectl::isolation_spec()
+    };
+    let chaos = chaos_seed.map(|s| ChaosConfig::profile(ChaosProfile::All, s));
+
+    let params = [
+        (tenants, seed),
+        (tenants, seed.wrapping_add(1)),
+        (tenants + 1, seed),
+    ];
+    let cells = shard::run_isolated(
+        params
+            .iter()
+            .map(|&(t, s)| {
+                Box::new(move || npf_bench::scale::run_cell_chaos(t, s, policy, quota, chaos))
+                    as Box<dyn FnOnce() -> npf_bench::scale::ScaleCell + Send>
+            })
+            .collect(),
+        shards,
+        spec,
+    );
+
+    let recorder = trace::uninstall().expect("installed above");
+    let journal = journal::uninstall().expect("installed above");
+    let chaos_summary = chaos_seed
+        .map(|_| {
+            let mut checker = invariant::uninstall().expect("installed above");
+            let violations = format!("{:?}", checker.finish());
+            format!(
+                "seed={} checks={} resolved={} delivered={} violations={violations:?}",
+                checker.seed(),
+                checker.checks(),
+                checker.resolved_faults(),
+                checker.messages_delivered(),
+            )
+        })
+        .unwrap_or_default();
+
+    Capture {
+        cells: cells
+            .iter()
+            .map(npf_bench::scale::cell_json)
+            .collect::<Vec<_>>()
+            .join("\n"),
+        trace: recorder.export_chrome_json(),
+        journal: journal.export_chrome_json(),
+        attribution: journal.attribution_report(),
+        chaos: chaos_summary,
+    }
+}
+
+/// Asserts byte-identity of every export at shards 1 vs 2 vs 8.
+fn assert_shard_invariant(
+    tenants: u32,
+    seed: u64,
+    policy: ArbiterPolicy,
+    quota: Option<u64>,
+    chaos_seed: Option<u64>,
+    watchdog: bool,
+) -> Result<(), TestCaseError> {
+    let base = run_at(1, tenants, seed, policy, quota, chaos_seed, watchdog);
+    for shards in [2usize, 8] {
+        let got = run_at(shards, tenants, seed, policy, quota, chaos_seed, watchdog);
+        for (name, a, b) in [
+            ("cells", &base.cells, &got.cells),
+            ("trace", &base.trace, &got.trace),
+            ("journal", &base.journal, &got.journal),
+            ("attribution", &base.attribution, &got.attribution),
+            ("chaos", &base.chaos, &got.chaos),
+        ] {
+            prop_assert!(
+                a == b,
+                "{name} diverged at shards {shards} vs 1 \
+                 (tenants={tenants} seed={seed} policy={policy:?} quota={quota:?} \
+                 chaos={chaos_seed:?} watchdog={watchdog}): {}",
+                first_diff(a, b)
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+    #[test]
+    fn plain_runs_are_byte_identical_across_shard_counts(
+        tenants in 2u32..5,
+        seed in 1u64..1000,
+        policy_idx in 0usize..3,
+        quota_raw in 0u64..32,
+    ) {
+        // The shim has no `prop::option`; 0 stands in for "no quota".
+        let quota = (quota_raw >= 4).then_some(quota_raw);
+        assert_shard_invariant(tenants, seed, POLICIES[policy_idx], quota, None, false)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+    #[test]
+    fn chaos_runs_are_byte_identical_across_shard_counts(
+        tenants in 2u32..5,
+        seed in 1u64..1000,
+        chaos_seed in 1u64..1000,
+        policy_idx in 0usize..3,
+    ) {
+        assert_shard_invariant(
+            tenants, seed, POLICIES[policy_idx], Some(16), Some(chaos_seed), false,
+        )?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+    #[test]
+    fn chaos_watchdog_runs_are_byte_identical_across_shard_counts(
+        tenants in 2u32..5,
+        seed in 1u64..1000,
+        chaos_seed in 1u64..1000,
+    ) {
+        assert_shard_invariant(
+            tenants, seed, ArbiterPolicy::WeightedFair, Some(16), Some(chaos_seed), true,
+        )?;
+    }
+}
+
+/// The epoch-edge rule, shard-count-invariant: a cross-LP message
+/// arriving *exactly* at `barrier + lookahead` must wait for the next
+/// epoch, and the resulting delivery log is identical at every shard
+/// count.
+#[test]
+fn epoch_edge_arrivals_are_identical_at_every_shard_count() {
+    #[derive(Clone)]
+    struct EdgeLp {
+        id: usize,
+        peers: usize,
+        pending: Vec<(SimTime, u64)>,
+        log: Vec<(SimTime, u64)>,
+    }
+
+    impl ShardLp for EdgeLp {
+        type Msg = u64;
+
+        fn next_event_time(&self) -> Option<SimTime> {
+            self.pending.iter().map(|&(t, _)| t).min()
+        }
+
+        fn advance(&mut self, horizon: SimTime, outbox: &mut Outbox<u64>) {
+            // Strict `<`: events exactly on the horizon stay pending.
+            let mut i = 0;
+            while i < self.pending.len() {
+                if self.pending[i].0 < horizon {
+                    let (at, v) = self.pending.remove(i);
+                    self.log.push((at, v));
+                    if v % 3 == 0 {
+                        // Fabric hop at exactly the lookahead: lands
+                        // precisely on the receiver's epoch edge.
+                        outbox.send(
+                            (self.id + 1) % self.peers,
+                            at.saturating_add(SimDuration::from_nanos(100)),
+                            v + 1,
+                        );
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        fn deliver(&mut self, at: SimTime, msg: u64) {
+            self.pending.push((at, msg));
+        }
+    }
+
+    let build = || -> Vec<EdgeLp> {
+        (0..4)
+            .map(|id| EdgeLp {
+                id,
+                peers: 4,
+                // Every LP starts with events at t = 0, 100, 200 ns —
+                // multiples of the 100 ns lookahead, so every barrier
+                // and every fabric arrival sits exactly on an edge.
+                pending: (0..3)
+                    .map(|k| (SimTime::from_nanos(k * 100), (id as u64) * 3 + k))
+                    .collect(),
+                log: Vec::new(),
+            })
+            .collect()
+    };
+
+    let mut reports = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let report = shard::run_epochs(
+            build(),
+            SimDuration::from_nanos(100),
+            SimTime::from_nanos(10_000),
+            shards,
+            IsolationSpec::none(),
+        );
+        reports.push((shards, report));
+    }
+
+    let (_, base) = &reports[0];
+    assert!(
+        base.epochs >= 3,
+        "edge events must spread across epochs, got {}",
+        base.epochs
+    );
+    assert!(base.messages > 0, "fabric hops must cross shards");
+    for (shards, r) in &reports[1..] {
+        assert_eq!(r.epochs, base.epochs, "epoch count at shards {shards}");
+        assert_eq!(
+            r.messages, base.messages,
+            "message count at shards {shards}"
+        );
+        for (i, (a, b)) in base.lps.iter().zip(&r.lps).enumerate() {
+            assert_eq!(a.log, b.log, "LP {i} delivery log at shards {shards}");
+        }
+    }
+}

@@ -17,7 +17,6 @@
 //! be resolved and `complete_fault` applies the IOMMU update; the
 //! testbed schedules the completion event.
 
-use simcore::fxhash::FxHashMap;
 use std::collections::HashMap;
 
 use iommu::{DomainId, Iommu, TableMode};
@@ -215,14 +214,19 @@ pub struct ArbiterStats {
 pub struct FaultArbiter {
     policy: ArbiterPolicy,
     total_slots: u32,
-    weights: FxHashMap<DomainId, u32>,
+    /// Registered weight per domain, indexed by the dense domain id
+    /// (0 = unregistered; registered weights are clamped to ≥ 1).
+    weights: Vec<u32>,
     /// Σ of registered weights (kept incrementally; the share divisor).
     weight_sum: u64,
     /// Per-slot `(busy_until, last_owner)`.
     servers: Vec<(SimTime, Option<DomainId>)>,
     /// Slot chosen by the in-flight `admit`, consumed by `commit`.
     pending_slot: Option<usize>,
-    stats: FxHashMap<DomainId, ArbiterStats>,
+    /// Starvation accounting, indexed by the dense domain id. `None`
+    /// until the domain's first admission (so reports only list domains
+    /// that actually faulted).
+    stats: Vec<Option<ArbiterStats>>,
 }
 
 impl FaultArbiter {
@@ -235,12 +239,21 @@ impl FaultArbiter {
         FaultArbiter {
             policy,
             total_slots,
-            weights: FxHashMap::default(),
+            weights: Vec::new(),
             weight_sum: 0,
             servers: vec![(SimTime::ZERO, None); slots],
             pending_slot: None,
-            stats: FxHashMap::default(),
+            stats: Vec::new(),
         }
+    }
+
+    /// Grows a dense per-domain table to cover `domain`.
+    fn ensure_len<T: Clone + Default>(v: &mut Vec<T>, domain: DomainId) -> &mut T {
+        let idx = domain.0 as usize;
+        if idx >= v.len() {
+            v.resize(idx + 1, T::default());
+        }
+        &mut v[idx]
     }
 
     /// Whether the global pool is actually in force.
@@ -251,50 +264,72 @@ impl FaultArbiter {
     /// Registers a domain at the default weight 1 (no-op if already
     /// registered). Channels register at creation.
     pub fn register(&mut self, domain: DomainId) {
-        let sum = &mut self.weight_sum;
-        self.weights.entry(domain).or_insert_with(|| {
-            *sum += 1;
-            1
-        });
+        let w = Self::ensure_len(&mut self.weights, domain);
+        if *w == 0 {
+            *w = 1;
+            self.weight_sum += 1;
+        }
     }
 
     /// Sets a domain's weight (clamped to ≥ 1). Only
     /// [`ArbiterPolicy::WeightedFair`] consults weights.
     pub fn set_weight(&mut self, domain: DomainId, weight: u32) {
         let w = weight.max(1);
-        let old = self.weights.insert(domain, w).unwrap_or(0);
+        let slot = Self::ensure_len(&mut self.weights, domain);
+        let old = *slot;
+        *slot = w;
         self.weight_sum = self.weight_sum - u64::from(old) + u64::from(w);
+    }
+
+    /// Whether a domain has been registered (or explicitly weighted).
+    fn registered(&self, domain: DomainId) -> bool {
+        self.weights.get(domain.0 as usize).is_some_and(|&w| w != 0)
     }
 
     /// A domain's weight (default 1).
     #[must_use]
     pub fn weight(&self, domain: DomainId) -> u32 {
-        self.weights.get(&domain).copied().unwrap_or(1)
+        match self.weights.get(domain.0 as usize) {
+            Some(&w) if w != 0 => w,
+            _ => 1,
+        }
     }
 
     /// Starvation accounting for one domain.
     #[must_use]
     pub fn stats(&self, domain: DomainId) -> ArbiterStats {
-        self.stats.get(&domain).copied().unwrap_or_default()
+        self.stats
+            .get(domain.0 as usize)
+            .copied()
+            .flatten()
+            .unwrap_or_default()
     }
 
-    /// All per-domain stats, in domain order (deterministic).
+    /// All per-domain stats, in domain order (deterministic). Only
+    /// domains that admitted at least one fault appear.
     #[must_use]
     pub fn stats_sorted(&self) -> Vec<(DomainId, ArbiterStats)> {
-        let mut v: Vec<(DomainId, ArbiterStats)> =
-            self.stats.iter().map(|(&d, &s)| (d, s)).collect();
-        v.sort_unstable_by_key(|&(d, _)| d);
-        v
+        self.stats
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (DomainId(u32::try_from(i).expect("dense id")), s)))
+            .collect()
     }
 
     /// The worst arbitration wait seen by any domain.
     #[must_use]
     pub fn max_wait(&self) -> SimDuration {
         self.stats
-            .values()
+            .iter()
+            .flatten()
             .map(|s| s.max_wait)
             .max()
             .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The mutable stats cell for `domain`, created on first touch.
+    fn stats_mut(&mut self, domain: DomainId) -> &mut ArbiterStats {
+        Self::ensure_len(&mut self.stats, domain).get_or_insert_with(ArbiterStats::default)
     }
 
     /// Earliest time a fault for `domain` (already cleared for service
@@ -304,8 +339,7 @@ impl FaultArbiter {
     fn admit(&mut self, _now: SimTime, domain: DomainId, chan_start: SimTime) -> SimTime {
         self.pending_slot = None;
         if !self.active() {
-            let s = self.stats.entry(domain).or_default();
-            s.grants += 1;
+            self.stats_mut(domain).grants += 1;
             return chan_start;
         }
         // Earliest-free slot, lowest index on ties (deterministic).
@@ -321,7 +355,7 @@ impl FaultArbiter {
             // holds even when other channels are idle, so their shares
             // stay available to them (non-work-conserving by design).
             let w_d = u64::from(self.weight(domain));
-            let w_sum = if self.weights.contains_key(&domain) {
+            let w_sum = if self.registered(domain) {
                 self.weight_sum
             } else {
                 self.weight_sum + w_d
@@ -350,7 +384,7 @@ impl FaultArbiter {
         let start = chan_start.max(self.servers[chosen].0);
         self.pending_slot = Some(chosen);
         let wait = start.saturating_since(chan_start);
-        let s = self.stats.entry(domain).or_default();
+        let s = self.stats_mut(domain);
         s.grants += 1;
         if wait > SimDuration::ZERO {
             s.queued += 1;
@@ -397,11 +431,15 @@ pub struct NpfEngine {
     config: NpfConfig,
     mm: MemoryManager,
     iommu: Iommu,
-    bindings: FxHashMap<DomainId, SpaceId>,
-    pending: FxHashMap<u64, FaultRecord>,
-    /// Completion times of outstanding faults, per domain (concurrency
-    /// limiting).
-    outstanding: FxHashMap<DomainId, Vec<SimTime>>,
+    /// Domain → bound space, indexed by the dense domain id.
+    bindings: Vec<Option<SpaceId>>,
+    /// In-flight faults, sorted by id (ids are monotone, so pushes keep
+    /// the order). Lookups binary-search; overlap scans iterate in id
+    /// order, which makes "lowest covering id" the first hit.
+    pending: Vec<FaultRecord>,
+    /// Completion times of outstanding faults, per dense domain id
+    /// (concurrency limiting).
+    outstanding: Vec<Vec<SimTime>>,
     arbiter: FaultArbiter,
     next_fault: u64,
     rng: SimRng,
@@ -436,9 +474,9 @@ impl NpfEngine {
             config,
             mm,
             iommu,
-            bindings: FxHashMap::default(),
-            pending: FxHashMap::default(),
-            outstanding: FxHashMap::default(),
+            bindings: Vec::new(),
+            pending: Vec::new(),
+            outstanding: Vec::new(),
             arbiter: FaultArbiter::new(config.arbiter, config.total_fault_slots),
             next_fault: 0,
             rng,
@@ -528,16 +566,25 @@ impl NpfEngine {
     /// `space`.
     pub fn create_channel(&mut self, space: SpaceId) -> DomainId {
         let d = self.iommu.create_domain(TableMode::PageFaultCapable);
-        self.bindings.insert(d, space);
+        self.bind(d, space);
         self.arbiter.register(d);
         d
+    }
+
+    /// Records a domain → space binding in the dense table.
+    fn bind(&mut self, domain: DomainId, space: SpaceId) {
+        let idx = domain.0 as usize;
+        if idx >= self.bindings.len() {
+            self.bindings.resize(idx + 1, None);
+        }
+        self.bindings[idx] = Some(space);
     }
 
     /// Creates a legacy (pinned-only) channel for baseline
     /// configurations.
     pub fn create_pinned_channel(&mut self, space: SpaceId) -> DomainId {
         let d = self.iommu.create_domain(TableMode::PinnedOnly);
-        self.bindings.insert(d, space);
+        self.bind(d, space);
         self.arbiter.register(d);
         d
     }
@@ -549,7 +596,11 @@ impl NpfEngine {
     /// Panics for unbound domains (wiring bug).
     #[must_use]
     pub fn space_of(&self, domain: DomainId) -> SpaceId {
-        *self.bindings.get(&domain).expect("unbound domain")
+        self.bindings
+            .get(domain.0 as usize)
+            .copied()
+            .flatten()
+            .expect("unbound domain")
     }
 
     /// Whether a DMA of `len` bytes at `addr` would currently succeed.
@@ -571,21 +622,22 @@ impl NpfEngine {
         len: u64,
     ) -> Option<u64> {
         let r = PageRange::covering(addr, len.max(1));
-        // Lowest id, not first hit: `pending` is a HashMap, and when
-        // several in-flight faults overlap the range, the winner must
-        // not depend on hasher state. The lowest id is the earliest
-        // raised — the fault the hardware bitmap would have kept.
+        // `pending` is sorted by id, so the first overlap is the lowest
+        // id — the earliest fault raised, which is the one the hardware
+        // bitmap would have kept.
         self.pending
-            .values()
-            .filter(|f| f.domain == domain && f.range.overlaps(r))
+            .iter()
+            .find(|f| f.domain == domain && f.range.overlaps(r))
             .map(|f| f.id)
-            .min()
     }
 
     /// A pending fault by id.
     #[must_use]
     pub fn pending_fault(&self, id: u64) -> Option<&FaultRecord> {
-        self.pending.get(&id)
+        self.pending
+            .binary_search_by_key(&id, |f| f.id)
+            .ok()
+            .map(|i| &self.pending[i])
     }
 
     /// Number of unresolved faults.
@@ -695,7 +747,11 @@ impl NpfEngine {
         // outstanding faults, this one starts after the earliest
         // completes.
         let chan_start = {
-            let slots = self.outstanding.entry(domain).or_default();
+            let idx = domain.0 as usize;
+            if idx >= self.outstanding.len() {
+                self.outstanding.resize_with(idx + 1, Vec::new);
+            }
+            let slots = &mut self.outstanding[idx];
             slots.retain(|&t| t > now);
             if slots.len() >= self.config.concurrent_faults_per_channel as usize {
                 let (idx, &earliest) = slots
@@ -739,7 +795,7 @@ impl NpfEngine {
                 ready_at + self.backend.transient_penalty(retries, retry_delay)
             }
         };
-        self.outstanding.entry(domain).or_default().push(ready_at);
+        self.outstanding[domain.0 as usize].push(ready_at);
         self.arbiter.commit(domain, ready_at);
         self.backend.commit(ready_at);
 
@@ -847,8 +903,8 @@ impl NpfEngine {
             mappings,
         };
         invariant::note_fault_begun((self.chaos_ns << 32) | id, now);
-        self.pending.insert(id, record);
-        Ok(self.pending.get(&id).expect("just inserted"))
+        self.pending.push(record); // ids are monotone: stays sorted
+        Ok(self.pending.last().expect("just pushed"))
     }
 
     /// Completes a fault: installs the IOMMU mappings so subsequent DMA
@@ -858,7 +914,11 @@ impl NpfEngine {
     ///
     /// Panics for unknown fault ids.
     pub fn complete_fault(&mut self, id: u64) -> FaultRecord {
-        let record = self.pending.remove(&id).expect("unknown fault id");
+        let idx = self
+            .pending
+            .binary_search_by_key(&id, |f| f.id)
+            .expect("unknown fault id");
+        let record = self.pending.remove(idx);
         invariant::note_fault_resolved((self.chaos_ns << 32) | id);
         journal::with(|j| j.fault_resolved((self.chaos_ns << 32) | id));
         if trace::enabled() {
@@ -936,18 +996,16 @@ impl NpfEngine {
     /// returning its cost.
     fn run_invalidation(&mut self, inv: Invalidation) -> SimDuration {
         self.counters.bump("invalidations");
-        // Find the domains bound to the space that lost the page.
-        // Sorted: `bindings` is a HashMap, and its iteration order
-        // depends on the map's hasher state — the one thing allowed to
-        // differ between two runs of the same seed. Every observable
-        // consequence (trace records, cost attribution order) must not.
-        let mut domains: Vec<DomainId> = self
+        // Find the domains bound to the space that lost the page. The
+        // dense table iterates in domain-id order, so the cost
+        // attribution order is deterministic by construction.
+        let domains: Vec<DomainId> = self
             .bindings
             .iter()
-            .filter(|(_, &s)| s == inv.space)
-            .map(|(&d, _)| d)
+            .enumerate()
+            .filter(|&(_, &s)| s == Some(inv.space))
+            .map(|(d, _)| DomainId(u32::try_from(d).expect("dense id")))
             .collect();
-        domains.sort_unstable();
         let mut cost = SimDuration::ZERO;
         for d in domains {
             let was_mapped = self.iommu.invalidate(d, inv.vpn);

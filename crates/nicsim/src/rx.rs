@@ -15,7 +15,7 @@
 //! The NIC never reports new packets to the IOuser until every earlier
 //! rNPF is resolved, preserving in-order delivery.
 
-use simcore::fxhash::FxHashMap;
+use std::collections::VecDeque;
 
 use memsim::types::VirtAddr;
 use simcore::chaos::invariant;
@@ -131,12 +131,25 @@ struct BackupRing<P> {
     size: u64,
     head: u64,
     tail: u64,
-    entries: FxHashMap<u64, BackupEntry<P>>,
-    /// Entries currently in the ring, per IOuser ring (quota
-    /// enforcement + per-tenant metrics).
-    per_ring: FxHashMap<RingId, u64>,
+    /// FIFO of stored entries: the front is absolute index `head`, the
+    /// back `tail - 1` (stores push back, drains pop front).
+    entries: VecDeque<BackupEntry<P>>,
+    /// Entries currently in the ring, indexed by the dense IOuser ring
+    /// id (quota enforcement + per-tenant metrics).
+    per_ring: Vec<u64>,
     /// High-water mark of `per_ring` (per-tenant occupancy peaks).
-    hwm: FxHashMap<RingId, u64>,
+    hwm: Vec<u64>,
+}
+
+impl<P> BackupRing<P> {
+    /// Grows a dense per-ring table to cover `id`.
+    fn slot(v: &mut Vec<u64>, id: RingId) -> &mut u64 {
+        let idx = id.0 as usize;
+        if idx >= v.len() {
+            v.resize(idx + 1, 0);
+        }
+        &mut v[idx]
+    }
 }
 
 /// How backup-ring capacity is shared between tenants.
@@ -171,7 +184,8 @@ pub enum RxFaultMode {
 /// The NIC's receive engine: all IOuser rings plus the backup ring.
 #[derive(Debug)]
 pub struct RxEngine<P> {
-    rings: FxHashMap<RingId, IoUserRing<P>>,
+    /// IOuser rings, indexed by the dense ring id.
+    rings: Vec<Option<IoUserRing<P>>>,
     backup: Option<BackupRing<P>>,
     mode: RxFaultMode,
     policy: BackupPolicy,
@@ -195,14 +209,14 @@ impl<P: Clone> RxEngine<P> {
                     size: capacity,
                     head: 0,
                     tail: 0,
-                    entries: FxHashMap::default(),
-                    per_ring: FxHashMap::default(),
-                    hwm: FxHashMap::default(),
+                    entries: VecDeque::new(),
+                    per_ring: Vec::new(),
+                    hwm: Vec::new(),
                 })
             }
         };
         RxEngine {
-            rings: FxHashMap::default(),
+            rings: Vec::new(),
             backup,
             mode,
             policy: BackupPolicy::Shared,
@@ -233,7 +247,7 @@ impl<P: Clone> RxEngine<P> {
     pub fn backup_occupancy(&self, id: RingId) -> u64 {
         self.backup
             .as_ref()
-            .and_then(|b| b.per_ring.get(&id).copied())
+            .and_then(|b| b.per_ring.get(id.0 as usize).copied())
             .unwrap_or(0)
     }
 
@@ -242,7 +256,7 @@ impl<P: Clone> RxEngine<P> {
     pub fn backup_hwm(&self, id: RingId) -> u64 {
         self.backup
             .as_ref()
-            .and_then(|b| b.hwm.get(&id).copied())
+            .and_then(|b| b.hwm.get(id.0 as usize).copied())
             .unwrap_or(0)
     }
 
@@ -266,31 +280,38 @@ impl<P: Clone> RxEngine<P> {
     /// budget) holds `bm_size` pending rNPFs.
     pub fn create_ring(&mut self, id: RingId, size: u64, bm_size: u64) {
         assert!(size.is_power_of_two(), "ring sizes are powers of two");
-        self.rings.insert(
-            id,
-            IoUserRing {
-                size,
-                bm_size,
-                slots: vec![None; size as usize],
-                tail: 0,
-                head: 0,
-                head_offset: 0,
-                bm_index: 0,
-                bitmap: vec![false; bm_size as usize],
-                pending_bits: 0,
-                consumed: 0,
-                holes_pending_repost: 0,
-                tail_interrupt_requested: false,
-            },
-        );
+        let idx = id.0 as usize;
+        if idx >= self.rings.len() {
+            self.rings.resize_with(idx + 1, || None);
+        }
+        self.rings[idx] = Some(IoUserRing {
+            size,
+            bm_size,
+            slots: vec![None; size as usize],
+            tail: 0,
+            head: 0,
+            head_offset: 0,
+            bm_index: 0,
+            bitmap: vec![false; bm_size as usize],
+            pending_bits: 0,
+            consumed: 0,
+            holes_pending_repost: 0,
+            tail_interrupt_requested: false,
+        });
     }
 
     fn ring(&self, id: RingId) -> &IoUserRing<P> {
-        self.rings.get(&id).expect("unknown ring")
+        self.rings
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .expect("unknown ring")
     }
 
     fn ring_mut(&mut self, id: RingId) -> &mut IoUserRing<P> {
-        self.rings.get_mut(&id).expect("unknown ring")
+        self.rings
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("unknown ring")
     }
 
     /// IOuser posts one receive descriptor. Returns `true` when the
@@ -341,7 +362,11 @@ impl<P: Clone> RxEngine<P> {
     pub fn recv(&mut self, id: RingId, payload: P, len: u64, present: bool) -> RxVerdict {
         // Field-precise borrows: the ring and the backup ring are
         // touched together below.
-        let r = self.rings.get_mut(&id).expect("unknown ring");
+        let r = self
+            .rings
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("unknown ring");
         let idx = r.head + r.head_offset;
         let posted = idx < r.tail;
         if posted && present {
@@ -419,7 +444,7 @@ impl<P: Clone> RxEngine<P> {
         // Partitioned quota: a tenant at its cap drops its own packet
         // instead of crowding the shared ring.
         if let BackupPolicy::Partitioned { quota } = self.policy {
-            if backup.per_ring.get(&id).copied().unwrap_or(0) >= quota {
+            if backup.per_ring.get(id.0 as usize).copied().unwrap_or(0) >= quota {
                 invariant::note_backup_dropped();
                 self.counters.bump("dropped_quota");
                 self.counters.bump("dropped_fault");
@@ -466,21 +491,19 @@ impl<P: Clone> RxEngine<P> {
         }
         let backup_index = backup.tail;
         let bit_index = r.bm_index + r.head_offset;
-        backup.entries.insert(
-            backup_index,
-            BackupEntry {
-                ring: id,
-                target_index: idx,
-                bit_index,
-                len,
-                payload,
-            },
-        );
+        backup.entries.push_back(BackupEntry {
+            ring: id,
+            target_index: idx,
+            bit_index,
+            len,
+            payload,
+        });
         backup.tail += 1;
-        let occ = backup.per_ring.entry(id).or_insert(0);
+        let occ = BackupRing::<P>::slot(&mut backup.per_ring, id);
         *occ += 1;
-        let hwm = backup.hwm.entry(id).or_insert(0);
-        *hwm = (*hwm).max(*occ);
+        let occ = *occ;
+        let hwm = BackupRing::<P>::slot(&mut backup.hwm, id);
+        *hwm = (*hwm).max(occ);
         invariant::note_backup_stored(self.backup_key);
         let bit = (bit_index % r.bm_size) as usize;
         if !r.bitmap[bit] {
@@ -526,9 +549,9 @@ impl<P: Clone> RxEngine<P> {
         if backup.head == backup.tail {
             return None;
         }
-        let e = backup.entries.remove(&backup.head).expect("entry exists");
+        let e = backup.entries.pop_front().expect("entry exists");
         backup.head += 1;
-        if let Some(occ) = backup.per_ring.get_mut(&e.ring) {
+        if let Some(occ) = backup.per_ring.get_mut(e.ring.0 as usize) {
             *occ = occ.saturating_sub(1);
         }
         invariant::note_backup_drained(self.backup_key);
@@ -838,7 +861,7 @@ mod tests {
     #[test]
     fn pending_counter_tracks_bitmap_exactly() {
         let popcount = |e: &RxEngine<&str>| {
-            let r = e.rings.get(&R).expect("ring");
+            let r = e.rings[R.0 as usize].as_ref().expect("ring");
             r.bitmap.iter().filter(|&&b| b).count() as u64
         };
         let mut e = engine(RxFaultMode::BackupRing { capacity: 64 });

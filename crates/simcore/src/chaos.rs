@@ -835,6 +835,30 @@ impl InvariantChecker {
         self.qp_next_seq.values().sum()
     }
 
+    /// Folds another checker's end-of-run state into this one, in
+    /// support of sharded execution: each shard LP runs under a private
+    /// checker and the shard executor absorbs them in LP order. All keys
+    /// (fault ids, stream keys, domains, frames, rings) are salted with
+    /// a process-unique namespace at testbed construction, so the maps
+    /// of two checkers never collide.
+    pub fn absorb(&mut self, other: InvariantChecker) {
+        self.pending_faults.extend(other.pending_faults);
+        self.resolved_faults += other.resolved_faults;
+        self.aborted_faults += other.aborted_faults;
+        self.qp_next_seq.extend(other.qp_next_seq);
+        self.mapping.extend(other.mapping);
+        self.frame_mapcount.extend(other.frame_mapcount);
+        self.free_frames.extend(other.free_frames);
+        self.pending_freed.extend(other.pending_freed);
+        self.backup_capacity.extend(other.backup_capacity);
+        self.backup_depth.extend(other.backup_depth);
+        self.backup_offered += other.backup_offered;
+        self.backup_accounted += other.backup_accounted;
+        self.violations.extend(other.violations);
+        self.checks += other.checks;
+        self.trace_dumped |= other.trace_dumped;
+    }
+
     fn violate(&mut self, invariant: &'static str, detail: String) {
         let v = Violation {
             invariant,
@@ -1136,10 +1160,42 @@ pub mod invariant {
     /// with node 1's frame 0 inside one checker.
     static NAMESPACES: AtomicU64 = AtomicU64::new(1);
 
-    /// Allocates a fresh note-key namespace.
+    thread_local! {
+        /// When set, `fresh_namespace` draws from this thread-local
+        /// counter instead of the process-global one — the sharded
+        /// executor scopes each task to a deterministic base so the
+        /// salted ids in violation reports don't depend on which
+        /// worker constructed which testbed first.
+        static NS_NEXT: std::cell::Cell<Option<u64>> =
+            const { std::cell::Cell::new(None) };
+    }
+
+    /// Allocates a fresh note-key namespace: from the thread's scoped
+    /// allocator inside [`with_namespace_base`], else from the
+    /// process-global counter.
     #[must_use]
     pub fn fresh_namespace() -> u64 {
+        if let Some(next) = NS_NEXT.with(std::cell::Cell::get) {
+            NS_NEXT.with(|c| c.set(Some(next + 1)));
+            return next;
+        }
         NAMESPACES.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Runs `f` with namespaces allocated sequentially from `base`.
+    ///
+    /// The sharded executor calls this with a base derived from the
+    /// task index, so namespace assignment — and with it every salted
+    /// fault/frame/domain id a violation report can mention — is a
+    /// function of the task, not of worker scheduling. Bases are
+    /// spaced `1 << 20` apart, far above what one task can construct,
+    /// and far above what the global counter reaches in practice, so
+    /// scoped and global allocations never collide.
+    pub fn with_namespace_base<R>(base: u64, f: impl FnOnce() -> R) -> R {
+        let prev = NS_NEXT.with(|c| c.replace(Some(base)));
+        let r = f();
+        NS_NEXT.with(|c| c.set(prev));
+        r
     }
 
     /// Installs `checker` for the current thread, returning the

@@ -35,15 +35,20 @@
 
 use crate::time::{SimDuration, SimTime};
 
-#[derive(Debug)]
-struct Entry<E> {
+/// A heap entry: delivery key plus the slab slot holding the payload.
+///
+/// Payloads live in the slot slab, not the heap (a SoA split): sift
+/// operations move 24-byte keys instead of whole event structs, so the
+/// hot loop's swaps stay within a couple of cache lines even for large
+/// event enums (a testbed event embedding a TCP segment is >100 bytes).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
     at: SimTime,
     seq: u64,
     slot: u32,
-    event: E,
 }
 
-impl<E> Entry<E> {
+impl Entry {
     /// Total order of delivery: earliest time first, FIFO within an
     /// instant. `seq` is unique, so the order is total and the pop
     /// sequence is independent of heap shape.
@@ -60,11 +65,11 @@ impl<E> Entry<E> {
 /// structure in every testbed. Four sibling keys share adjacent slots,
 /// so the widest sift-down level is one or two cache lines.
 #[derive(Debug)]
-struct MinHeap<E> {
-    v: Vec<Entry<E>>,
+struct MinHeap {
+    v: Vec<Entry>,
 }
 
-impl<E> MinHeap<E> {
+impl MinHeap {
     const ARITY: usize = 4;
 
     fn new() -> Self {
@@ -79,7 +84,7 @@ impl<E> MinHeap<E> {
         self.v.is_empty()
     }
 
-    fn peek(&self) -> Option<&Entry<E>> {
+    fn peek(&self) -> Option<&Entry> {
         self.v.first()
     }
 
@@ -87,7 +92,7 @@ impl<E> MinHeap<E> {
         self.v.clear();
     }
 
-    fn push(&mut self, entry: Entry<E>) {
+    fn push(&mut self, entry: Entry) {
         self.v.push(entry);
         let mut i = self.v.len() - 1;
         while i > 0 {
@@ -100,7 +105,7 @@ impl<E> MinHeap<E> {
         }
     }
 
-    fn pop(&mut self) -> Option<Entry<E>> {
+    fn pop(&mut self) -> Option<Entry> {
         let last = self.v.len().checked_sub(1)?;
         self.v.swap(0, last);
         let top = self.v.pop();
@@ -162,12 +167,15 @@ enum SlotState {
 }
 
 #[derive(Debug)]
-struct Slot {
+struct Slot<E> {
     /// Bumped every time the slot is released, invalidating old tokens.
     gen: u32,
     state: SlotState,
     /// Next slot on the free list (valid only when `state == Free`).
     next_free: u32,
+    /// The scheduled payload (present while `state == Pending`; dropped
+    /// eagerly on cancel so tombstones hold no event data).
+    event: Option<E>,
 }
 
 const NIL: u32 = u32::MAX;
@@ -191,10 +199,10 @@ const NIL: u32 = u32::MAX;
 /// [`EventQueue::clear`].
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: MinHeap<E>,
+    heap: MinHeap,
     now: SimTime,
     next_seq: u64,
-    slots: Vec<Slot>,
+    slots: Vec<Slot<E>>,
     free_head: u32,
     /// Cancelled entries still sitting in the heap.
     tombstones: usize,
@@ -272,14 +280,15 @@ impl<E> EventQueue<E> {
         self.discarded_total
     }
 
-    /// Takes a slot off the free list (or grows the slab) and marks it
-    /// pending. Returns the slot index.
-    fn alloc_slot(&mut self) -> u32 {
+    /// Takes a slot off the free list (or grows the slab), marks it
+    /// pending, and parks the payload there. Returns the slot index.
+    fn alloc_slot(&mut self, event: E) -> u32 {
         if self.free_head != NIL {
             let idx = self.free_head;
             let slot = &mut self.slots[idx as usize];
             self.free_head = slot.next_free;
             slot.state = SlotState::Pending;
+            slot.event = Some(event);
             idx
         } else {
             let idx = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
@@ -287,21 +296,23 @@ impl<E> EventQueue<E> {
                 gen: 0,
                 state: SlotState::Pending,
                 next_free: NIL,
+                event: Some(event),
             });
             idx
         }
     }
 
     /// Releases a slot whose heap entry was just removed: bumps the
-    /// generation (invalidating outstanding tokens) and pushes it onto
-    /// the free list.
-    fn free_slot(&mut self, idx: u32) {
+    /// generation (invalidating outstanding tokens), takes whatever
+    /// payload is still parked, and pushes the slot onto the free list.
+    fn free_slot(&mut self, idx: u32) -> Option<E> {
         let next_free = self.free_head;
         let slot = &mut self.slots[idx as usize];
         slot.gen = slot.gen.wrapping_add(1);
         slot.state = SlotState::Free;
         slot.next_free = next_free;
         self.free_head = idx;
+        slot.event.take()
     }
 
     /// Restores the invariant that the heap top is never a tombstone.
@@ -324,14 +335,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        let slot = self.alloc_slot();
+        let slot = self.alloc_slot(event);
         let token = EventToken::new(slot, self.slots[slot as usize].gen);
-        self.heap.push(Entry {
-            at,
-            seq,
-            slot,
-            event,
-        });
+        self.heap.push(Entry { at, seq, slot });
         token
     }
 
@@ -359,6 +365,7 @@ impl<E> EventQueue<E> {
             return false;
         }
         slot.state = SlotState::Cancelled;
+        slot.event = None; // drop eagerly: tombstones hold no payload
         self.tombstones += 1;
         self.cancelled_total += 1;
         // Keep the heap top tombstone-free so `next_time` stays a pure peek.
@@ -374,11 +381,13 @@ impl<E> EventQueue<E> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now, "time must be monotone");
         debug_assert_eq!(self.slots[entry.slot as usize].state, SlotState::Pending);
-        self.free_slot(entry.slot);
+        let event = self
+            .free_slot(entry.slot)
+            .expect("pending slot holds payload");
         self.now = entry.at;
         self.popped_total += 1;
         self.drain_tombstones();
-        Some((entry.at, entry.event))
+        Some((entry.at, event))
     }
 
     /// The timestamp of the next pending event without removing it.
@@ -412,6 +421,7 @@ impl<E> EventQueue<E> {
             if slot.state != SlotState::Free {
                 slot.gen = slot.gen.wrapping_add(1);
                 slot.state = SlotState::Free;
+                slot.event = None;
             }
             slot.next_free = next_free;
             self.free_head = u32::try_from(idx).expect("slab exceeds u32 slots");

@@ -361,6 +361,13 @@ impl JournalRecorder {
         self.watchdog = Some(watchdog);
     }
 
+    /// The armed SLO watchdog, if any (shard workers copy it onto
+    /// their per-LP recorders).
+    #[must_use]
+    pub fn watchdog(&self) -> Option<JournalWatchdog> {
+        self.watchdog
+    }
+
     /// Advances the recorder's notion of now (monotone, like the trace
     /// clock).
     pub fn set_clock(&mut self, now: SimTime) {

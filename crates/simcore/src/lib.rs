@@ -38,6 +38,7 @@ pub mod event;
 pub mod fxhash;
 pub mod journal;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -47,6 +48,7 @@ pub use chaos::{ChaosConfig, ChaosEngine, ChaosProfile, FaultPlan, InvariantChec
 pub use event::{EventQueue, EventToken};
 pub use journal::{CauseId, FaultJournal, JournalId, JournalRecorder, JournalWatchdog, Phase};
 pub use rng::SimRng;
+pub use shard::{run_epochs, run_isolated, EpochPool, EpochReport, IsolationSpec, Outbox, ShardLp};
 pub use stats::{Counters, DurationHistogram, OnlineStats, ThroughputMeter, TimeSeries};
 pub use time::{SimDuration, SimTime};
 pub use trace::{ArgValue, MetricsRegistry, SpanId, TraceRecord, TraceRecorder};

@@ -1,0 +1,889 @@
+//! Conservative parallel simulation: domain-sharded logical processes
+//! with deterministic epoch synchronization.
+//!
+//! The engine parallelizes a run at the granularity of **coupling
+//! groups**: sets of domains that share zero-lookahead state (a host
+//! memory pool, a fault arbiter, a backup ring, the link queues of a
+//! testbed) and therefore must advance as one logical process (LP).
+//! Only the fabric — links with a propagation delay of at least the
+//! configured lookahead — is a legal shard boundary, because a message
+//! sent at `t` cannot affect its destination before `t + lookahead`.
+//!
+//! Two execution shapes share this module:
+//!
+//! * [`run_isolated`] — LPs that exchange **no** messages (independent
+//!   testbeds of one experiment, scalebench cells). Each runs to
+//!   completion on a worker pool; instrumentation is installed per LP
+//!   and absorbed in LP order, so output is byte-identical at any
+//!   `--shards N` (and `N = 1` runs inline, reproducing the serial
+//!   path exactly).
+//! * [`run_epochs`] — LPs coupled through a latency-`lookahead` fabric.
+//!   A conservative epoch loop: every epoch starts at the global
+//!   minimum next-event time (`barrier`), each LP advances freely to
+//!   `epoch_end = barrier + lookahead` processing only events with
+//!   `time < epoch_end` (events exactly **on** the horizon wait for the
+//!   next epoch), and cross-LP messages are exchanged at the barrier,
+//!   delivered in `(time, src, seq)` order. Scheduling, worker count,
+//!   and OS timing never reach the event order.
+//!
+//! # Determinism contract
+//!
+//! Both shapes install fresh thread-local instrumentation
+//! ([`trace`]/[`journal`]/[`invariant`]) around each LP slice on
+//! whichever worker runs it, and absorb the collected state into the
+//! caller's installed instruments strictly in LP order after all
+//! workers join — the same discipline `bench::par_runner` applies to
+//! experiment points. Nothing about thread interleaving is observable.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::chaos::{invariant, InvariantChecker};
+use crate::journal::{self, JournalRecorder, JournalWatchdog};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{self, TraceRecorder};
+
+/// What instrumentation each LP (or isolated task) runs under.
+///
+/// Mirrors the caller's own environment: a bench task running with
+/// `--trace --chaos-seed 7` hands its shard pool the same spec so every
+/// LP records into a private recorder/checker that is later absorbed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IsolationSpec {
+    /// Give each LP a fresh [`TraceRecorder`] (absorbed in LP order).
+    pub record: bool,
+    /// Ring capacity for per-LP recorders.
+    pub ring_capacity: usize,
+    /// Give each LP a fresh [`InvariantChecker`] with this seed.
+    pub chaos_seed: Option<u64>,
+    /// Give each LP a fresh [`JournalRecorder`].
+    pub journal: bool,
+    /// Watchdog armed on each per-LP journal.
+    pub watchdog: Option<JournalWatchdog>,
+}
+
+impl IsolationSpec {
+    /// A spec that installs nothing (pure compute fan-out).
+    #[must_use]
+    pub fn none() -> Self {
+        IsolationSpec::default()
+    }
+}
+
+/// Instruments displaced by an [`Instruments::install`], restored by
+/// the matching `uninstall`.
+#[derive(Debug, Default)]
+struct Swapped {
+    recorder: Option<TraceRecorder>,
+    checker: Option<InvariantChecker>,
+    journal: Option<JournalRecorder>,
+}
+
+/// Per-LP instrumentation state, carried across epochs and absorbed at
+/// the end of the run.
+#[derive(Debug, Default)]
+struct Instruments {
+    recorder: Option<TraceRecorder>,
+    checker: Option<InvariantChecker>,
+    journal: Option<JournalRecorder>,
+}
+
+impl Instruments {
+    fn fresh(spec: IsolationSpec) -> Self {
+        Instruments {
+            recorder: spec.record.then(|| TraceRecorder::new(spec.ring_capacity)),
+            checker: spec.chaos_seed.map(InvariantChecker::new),
+            journal: spec.journal.then(|| {
+                let mut j = JournalRecorder::new();
+                if let Some(w) = spec.watchdog {
+                    j.set_watchdog(w);
+                }
+                j
+            }),
+        }
+    }
+
+    /// Installs this LP's instruments on the current thread, returning
+    /// whatever was installed before (the caller's own instruments when
+    /// running on the caller's thread; nothing on a fresh worker).
+    fn install(&mut self) -> Swapped {
+        Swapped {
+            recorder: self.recorder.take().and_then(trace::install),
+            checker: self.checker.take().and_then(invariant::install),
+            journal: self.journal.take().and_then(journal::install),
+        }
+    }
+
+    /// Takes the instruments back off the current thread and restores
+    /// whatever [`Instruments::install`] displaced.
+    fn uninstall(&mut self, spec: IsolationSpec, swapped: Swapped) {
+        if spec.journal {
+            self.journal = Some(journal::uninstall().expect("journal installed"));
+        }
+        if spec.chaos_seed.is_some() {
+            self.checker = Some(invariant::uninstall().expect("checker installed"));
+        }
+        if spec.record {
+            self.recorder = Some(trace::uninstall().expect("recorder installed"));
+        }
+        if let Some(r) = swapped.recorder {
+            trace::install(r);
+        }
+        if let Some(c) = swapped.checker {
+            invariant::install(c);
+        }
+        if let Some(j) = swapped.journal {
+            journal::install(j);
+        }
+    }
+
+    /// Folds this LP's collected state into the caller's installed
+    /// instruments. Call in LP order from the coordinating thread.
+    fn absorb_into_caller(self) {
+        if let Some(rec) = self.recorder {
+            trace::with(|mine| mine.absorb(rec));
+        }
+        if let Some(j) = self.journal {
+            journal::with(|mine| mine.absorb(&j));
+        }
+        if let Some(c) = self.checker {
+            invariant::with(|mine| mine.absorb(c));
+        }
+    }
+}
+
+/// Deterministic invariant-namespace base for task `i`: testbeds a
+/// task constructs draw their note-key namespaces from here (via
+/// [`invariant::with_namespace_base`]), so the salted ids violation
+/// reports mention depend on the task index, never on which worker
+/// constructed which testbed first.
+fn ns_base(i: usize) -> u64 {
+    (i as u64 + 1) << 20
+}
+
+/// A boxed isolated task, as [`run_isolated`] consumes them.
+pub type Task<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Runs independent closures on a pool of `shards` workers and returns
+/// their results in task order.
+///
+/// The message-free fast path of the sharded engine: each task is one
+/// coupling group (a whole testbed, a scalebench cell) with no
+/// cross-group events, so no epoch synchronization is needed — only
+/// deterministic instrumentation handling:
+///
+/// Every task runs under **fresh** instruments built from `spec` —
+/// at every shard count, including 1 — and the collected state is
+/// absorbed into the caller's installed instruments in task order
+/// after all tasks finish (the discipline `bench::par_runner` applies
+/// to experiment points). That construction, not luck, is what makes
+/// `--shards N` byte-identical to `--shards 1`: per-task recorder
+/// clocks, journal cause state, and checker timelines never leak
+/// between tasks on any path.
+///
+/// `shards <= 1` executes the tasks sequentially on the caller's own
+/// thread (no spawns); `shards > 1` fans them over scoped workers.
+pub fn run_isolated<T: Send>(
+    tasks: Vec<Task<'_, T>>,
+    shards: usize,
+    spec: IsolationSpec,
+) -> Vec<T> {
+    let n = tasks.len();
+    let shards = shards.clamp(1, n.max(1));
+    if shards <= 1 {
+        let mut results = Vec::with_capacity(n);
+        let mut collected = Vec::with_capacity(n);
+        for (i, task) in tasks.into_iter().enumerate() {
+            let mut instruments = Instruments::fresh(spec);
+            let swapped = instruments.install();
+            results.push(invariant::with_namespace_base(ns_base(i), task));
+            instruments.uninstall(spec, swapped);
+            collected.push(instruments);
+        }
+        for instruments in collected {
+            instruments.absorb_into_caller();
+        }
+        return results;
+    }
+    struct Done<T> {
+        result: T,
+        instruments: Instruments,
+    }
+    let inputs: Vec<Mutex<Option<Task<'_, T>>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<Done<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let worker = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            return;
+        }
+        let task = inputs[i]
+            .lock()
+            .expect("task slot poisoned")
+            .take()
+            .expect("claimed exactly once");
+        let mut instruments = Instruments::fresh(spec);
+        let swapped = instruments.install();
+        let result = invariant::with_namespace_base(ns_base(i), task);
+        instruments.uninstall(spec, swapped);
+        *outputs[i].lock().expect("result slot poisoned") = Some(Done {
+            result,
+            instruments,
+        });
+    };
+    std::thread::scope(|s| {
+        for _ in 0..shards {
+            s.spawn(worker);
+        }
+    });
+    let mut results = Vec::with_capacity(n);
+    for slot in outputs {
+        let done = slot
+            .into_inner()
+            .expect("result slot poisoned")
+            .expect("worker loop fills every slot");
+        done.instruments.absorb_into_caller();
+        results.push(done.result);
+    }
+    results
+}
+
+/// A cross-shard message in flight: scheduled to arrive at `at` on LP
+/// `dst`, stamped with its sender and a per-sender sequence number so
+/// the global delivery order `(at, src, seq)` is total and independent
+/// of worker scheduling.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Arrival time at the destination (≥ epoch end, by lookahead).
+    pub at: SimTime,
+    /// Sending LP index.
+    pub src: usize,
+    /// Per-sender sequence number (FIFO among same-instant sends).
+    pub seq: u64,
+    /// Destination LP index.
+    pub dst: usize,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Per-LP staging area for cross-shard messages produced during one
+/// epoch. Exchanged and drained at the epoch barrier.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    src: usize,
+    seq: u64,
+    msgs: Vec<Envelope<M>>,
+}
+
+impl<M> Outbox<M> {
+    fn new(src: usize) -> Self {
+        Outbox {
+            src,
+            seq: 0,
+            msgs: Vec::new(),
+        }
+    }
+
+    /// Sends `msg` to LP `dst`, arriving at absolute time `at`. The
+    /// arrival must respect the fabric lookahead: `at` may not precede
+    /// the end of the epoch in which the send happens (checked at the
+    /// barrier).
+    pub fn send(&mut self, dst: usize, at: SimTime, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.msgs.push(Envelope {
+            at,
+            src: self.src,
+            seq,
+            dst,
+            msg,
+        });
+    }
+
+    /// Messages staged so far this epoch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// `true` when nothing is staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// One logical process of a sharded run: a coupling group advancing on
+/// its own event queue, exchanging messages with other LPs only through
+/// the latency-bounded fabric.
+pub trait ShardLp: Send {
+    /// Cross-shard message payload.
+    type Msg: Send;
+
+    /// Timestamp of the LP's next local event, if any.
+    fn next_event_time(&self) -> Option<SimTime>;
+
+    /// Processes every local event with timestamp **strictly below**
+    /// `horizon`, staging any cross-shard sends in `outbox`. An event
+    /// exactly on the horizon must be left pending — it belongs to the
+    /// next epoch (the epoch-edge rule the conformance tests pin down).
+    fn advance(&mut self, horizon: SimTime, outbox: &mut Outbox<Self::Msg>);
+
+    /// Accepts a message from another LP, scheduling it locally at
+    /// `at`. The executor guarantees `at` is not in the LP's past.
+    fn deliver(&mut self, at: SimTime, msg: Self::Msg);
+}
+
+/// Outcome of an epoch-synchronized run.
+#[derive(Debug)]
+pub struct EpochReport<L> {
+    /// The LPs, in their original order, advanced to the horizon.
+    pub lps: Vec<L>,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Cross-shard messages exchanged.
+    pub messages: u64,
+}
+
+/// Runs coupled LPs to `until` under conservative epoch synchronization
+/// with fixed `lookahead` (the minimum fabric latency between any two
+/// LPs), on `shards` workers.
+///
+/// Every epoch: `barrier = min(next_event_time)` over all LPs,
+/// `epoch_end = min(barrier + lookahead, until)`; each LP advances to
+/// `epoch_end` in parallel; staged messages are merged in
+/// `(at, src, seq)` order and delivered. The loop ends when no LP has
+/// an event before `until`. Events exactly at `until` stay pending.
+///
+/// # Panics
+///
+/// Panics when a staged message violates the lookahead contract
+/// (arrival before the end of its sending epoch) — that means two LPs
+/// actually share zero-lookahead state and belong in one coupling
+/// group.
+pub fn run_epochs<L: ShardLp>(
+    lps: Vec<L>,
+    lookahead: SimDuration,
+    until: SimTime,
+    shards: usize,
+    spec: IsolationSpec,
+) -> EpochReport<L> {
+    assert!(
+        lookahead > SimDuration::ZERO,
+        "zero lookahead cannot shard: the LPs form one coupling group"
+    );
+    struct Cell<L: ShardLp> {
+        lp: L,
+        instruments: Instruments,
+        outbox: Outbox<L::Msg>,
+    }
+    let n = lps.len();
+    let shards = shards.clamp(1, n.max(1));
+    let cells: Vec<Mutex<Cell<L>>> = lps
+        .into_iter()
+        .enumerate()
+        .map(|(i, lp)| {
+            Mutex::new(Cell {
+                lp,
+                instruments: Instruments::fresh(spec),
+                outbox: Outbox::new(i),
+            })
+        })
+        .collect();
+
+    let mut epochs = 0u64;
+    let mut messages = 0u64;
+
+    // One advance of every LP to `horizon`, fanned over the pool. The
+    // claiming order is racy; the per-LP instruments travel with the
+    // claim, so nothing observable depends on it.
+    let advance_all = |horizon: SimTime| {
+        let cursor = AtomicUsize::new(0);
+        let worker = || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                return;
+            }
+            let mut cell = cells[i].lock().expect("cell poisoned");
+            let swapped = cell.instruments.install();
+            let Cell { lp, outbox, .. } = &mut *cell;
+            lp.advance(horizon, outbox);
+            cell.instruments.uninstall(spec, swapped);
+        };
+        if shards == 1 {
+            worker();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..shards {
+                    s.spawn(worker);
+                }
+            });
+        }
+    };
+
+    loop {
+        // Barrier: the global minimum next event. Serial and cheap —
+        // one lock round over the LPs.
+        let barrier = cells
+            .iter()
+            .filter_map(|c| c.lock().expect("cell poisoned").lp.next_event_time())
+            .min();
+        let Some(barrier) = barrier else { break };
+        if barrier >= until {
+            break;
+        }
+        let epoch_end = barrier.saturating_add(lookahead).min(until);
+        advance_all(epoch_end);
+        epochs += 1;
+
+        // Exchange: merge every outbox, deliver in (at, src, seq) order.
+        let mut exchange: Vec<Envelope<L::Msg>> = Vec::new();
+        for cell in &cells {
+            let mut cell = cell.lock().expect("cell poisoned");
+            exchange.append(&mut cell.outbox.msgs);
+        }
+        if exchange.is_empty() {
+            continue;
+        }
+        exchange.sort_unstable_by_key(|e| (e.at, e.src, e.seq));
+        messages += exchange.len() as u64;
+        for env in exchange {
+            assert!(
+                env.at >= epoch_end,
+                "lookahead violation: LP {} scheduled a message at {:?} before \
+                 epoch end {:?} — these LPs share zero-lookahead state and must \
+                 be one coupling group",
+                env.src,
+                env.at,
+                epoch_end,
+            );
+            let mut cell = cells[env.dst].lock().expect("cell poisoned");
+            let swapped = cell.instruments.install();
+            cell.lp.deliver(env.at, env.msg);
+            cell.instruments.uninstall(spec, swapped);
+        }
+    }
+
+    // Absorb per-LP instruments into the caller's, strictly in LP order.
+    let mut lps = Vec::with_capacity(n);
+    for cell in cells {
+        let cell = cell.into_inner().expect("cell poisoned");
+        cell.instruments.absorb_into_caller();
+        lps.push(cell.lp);
+    }
+    EpochReport {
+        lps,
+        epochs,
+        messages,
+    }
+}
+
+/// Microbench helper: merges pre-staged envelopes the way the epoch
+/// barrier does, returning the delivery order. Exposed for
+/// `enginebench`'s `shard_merge` sample and the determinism tests.
+#[must_use]
+pub fn merge_order<M>(mut envelopes: Vec<Envelope<M>>) -> Vec<Envelope<M>> {
+    envelopes.sort_unstable_by_key(|e| (e.at, e.src, e.seq));
+    envelopes
+}
+
+// The Barrier/AtomicU64 imports back the persistent-pool variant of
+// `run_epochs` used when epochs are small relative to thread spawn
+// cost; see `EpochPool`.
+/// A persistent worker pool for epoch loops with many tiny epochs:
+/// workers are spawned once and coordinate through a [`Barrier`], so
+/// per-epoch cost is a barrier round, not a thread spawn.
+///
+/// Semantics are identical to [`run_epochs`]; only the scheduling
+/// differs, and scheduling is unobservable.
+pub struct EpochPool {
+    shards: usize,
+}
+
+impl EpochPool {
+    /// A pool of `shards` workers (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        EpochPool {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Runs the epoch loop on the persistent pool. See [`run_epochs`].
+    pub fn run<L: ShardLp>(
+        &self,
+        lps: Vec<L>,
+        lookahead: SimDuration,
+        until: SimTime,
+        spec: IsolationSpec,
+    ) -> EpochReport<L> {
+        let n = lps.len();
+        let shards = self.shards.clamp(1, n.max(1));
+        if shards == 1 || n == 0 {
+            return run_epochs(lps, lookahead, until, 1, spec);
+        }
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "zero lookahead cannot shard: the LPs form one coupling group"
+        );
+        struct Cell<L: ShardLp> {
+            lp: L,
+            instruments: Instruments,
+            outbox: Outbox<L::Msg>,
+        }
+        let cells: Vec<Mutex<Cell<L>>> = lps
+            .into_iter()
+            .enumerate()
+            .map(|(i, lp)| {
+                Mutex::new(Cell {
+                    lp,
+                    instruments: Instruments::fresh(spec),
+                    outbox: Outbox::new(i),
+                })
+            })
+            .collect();
+        let gate = Barrier::new(shards + 1);
+        // Epoch horizon in nanos; u64::MAX doubles as the stop signal.
+        let horizon = AtomicU64::new(0);
+        const STOP: u64 = u64::MAX;
+        let cursor = AtomicUsize::new(0);
+        let mut epochs = 0u64;
+        let mut messages = 0u64;
+
+        std::thread::scope(|s| {
+            for _ in 0..shards {
+                s.spawn(|| loop {
+                    gate.wait();
+                    let h = horizon.load(Ordering::Acquire);
+                    if h == STOP {
+                        return;
+                    }
+                    let epoch_end = SimTime::from_nanos(h);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut cell = cells[i].lock().expect("cell poisoned");
+                        let swapped = cell.instruments.install();
+                        let Cell { lp, outbox, .. } = &mut *cell;
+                        lp.advance(epoch_end, outbox);
+                        cell.instruments.uninstall(spec, swapped);
+                    }
+                    gate.wait();
+                });
+            }
+            // Coordinator (caller's thread).
+            loop {
+                let barrier = cells
+                    .iter()
+                    .filter_map(|c| c.lock().expect("cell poisoned").lp.next_event_time())
+                    .min();
+                let stop = match barrier {
+                    None => true,
+                    Some(b) => b >= until,
+                };
+                if stop {
+                    horizon.store(STOP, Ordering::Release);
+                    gate.wait();
+                    break;
+                }
+                let barrier = barrier.expect("checked above");
+                let epoch_end = barrier.saturating_add(lookahead).min(until);
+                cursor.store(0, Ordering::Relaxed);
+                horizon.store(epoch_end.as_nanos(), Ordering::Release);
+                gate.wait(); // release workers into the epoch
+                gate.wait(); // wait for the epoch to complete
+                epochs += 1;
+                let mut exchange: Vec<Envelope<L::Msg>> = Vec::new();
+                for cell in &cells {
+                    let mut cell = cell.lock().expect("cell poisoned");
+                    exchange.append(&mut cell.outbox.msgs);
+                }
+                if exchange.is_empty() {
+                    continue;
+                }
+                exchange.sort_unstable_by_key(|e| (e.at, e.src, e.seq));
+                messages += exchange.len() as u64;
+                for env in exchange {
+                    assert!(
+                        env.at >= epoch_end,
+                        "lookahead violation: LP {} message at {:?} before epoch \
+                         end {:?}",
+                        env.src,
+                        env.at,
+                        epoch_end,
+                    );
+                    let mut cell = cells[env.dst].lock().expect("cell poisoned");
+                    let swapped = cell.instruments.install();
+                    cell.lp.deliver(env.at, env.msg);
+                    cell.instruments.uninstall(spec, swapped);
+                }
+            }
+        });
+
+        let mut lps = Vec::with_capacity(n);
+        for cell in cells {
+            let cell = cell.into_inner().expect("cell poisoned");
+            cell.instruments.absorb_into_caller();
+            lps.push(cell.lp);
+        }
+        EpochReport {
+            lps,
+            epochs,
+            messages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+
+    /// A minimal LP: a queue of u64 payloads; processing payload `p`
+    /// appends `(time, p)` to a log, and payloads with the high bit set
+    /// are forwarded to the next LP over the fabric.
+    struct TestLp {
+        id: usize,
+        peers: usize,
+        queue: EventQueue<u64>,
+        log: Vec<(SimTime, u64)>,
+        fabric_latency: SimDuration,
+    }
+
+    const FWD: u64 = 1 << 63;
+
+    impl TestLp {
+        fn new(id: usize, peers: usize, fabric_latency: SimDuration) -> Self {
+            TestLp {
+                id,
+                peers,
+                queue: EventQueue::new(),
+                log: Vec::new(),
+                fabric_latency,
+            }
+        }
+    }
+
+    impl ShardLp for TestLp {
+        type Msg = u64;
+
+        fn next_event_time(&self) -> Option<SimTime> {
+            self.queue.next_time()
+        }
+
+        fn advance(&mut self, horizon: SimTime, outbox: &mut Outbox<u64>) {
+            while let Some(t) = self.queue.next_time() {
+                if t >= horizon {
+                    break;
+                }
+                let (at, p) = self.queue.pop().expect("peeked");
+                self.log.push((at, p));
+                if p & FWD != 0 {
+                    let dst = (self.id + 1) % self.peers;
+                    outbox.send(dst, at.saturating_add(self.fabric_latency), p & !FWD);
+                }
+            }
+        }
+
+        fn deliver(&mut self, at: SimTime, msg: u64) {
+            self.queue.schedule_at(at, msg);
+        }
+    }
+
+    fn build(n: usize, lookahead: SimDuration) -> Vec<TestLp> {
+        let mut lps: Vec<TestLp> = (0..n).map(|i| TestLp::new(i, n, lookahead)).collect();
+        // Seed: staggered local work plus a few cross-LP sends.
+        for (i, lp) in lps.iter_mut().enumerate() {
+            for k in 0..40u64 {
+                let at = SimTime::from_nanos(10 + k * 97 + i as u64 * 13);
+                let payload = if k % 5 == 0 { FWD | (k + 1) } else { k + 1 };
+                lp.queue.schedule_at(at, payload);
+            }
+        }
+        lps
+    }
+
+    fn full_log(lps: &[TestLp]) -> Vec<(usize, SimTime, u64)> {
+        let mut out = Vec::new();
+        for lp in lps {
+            for &(t, p) in &lp.log {
+                out.push((lp.id, t, p));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn epoch_run_is_shard_count_invariant() {
+        let la = SimDuration::from_nanos(50);
+        let until = SimTime::from_micros(100);
+        let a = run_epochs(build(4, la), la, until, 1, IsolationSpec::none());
+        let b = run_epochs(build(4, la), la, until, 2, IsolationSpec::none());
+        let c = run_epochs(build(4, la), la, until, 8, IsolationSpec::none());
+        assert_eq!(full_log(&a.lps), full_log(&b.lps));
+        assert_eq!(full_log(&a.lps), full_log(&c.lps));
+        assert!(a.messages > 0, "sends actually crossed shards");
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.epochs, c.epochs);
+    }
+
+    #[test]
+    fn persistent_pool_matches_scoped_spawns() {
+        let la = SimDuration::from_nanos(50);
+        let until = SimTime::from_micros(100);
+        let a = run_epochs(build(6, la), la, until, 3, IsolationSpec::none());
+        let pool = EpochPool::new(3);
+        let b = pool.run(build(6, la), la, until, IsolationSpec::none());
+        assert_eq!(full_log(&a.lps), full_log(&b.lps));
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn event_exactly_on_the_horizon_waits_for_the_next_epoch() {
+        // One LP, one event at t, another exactly at t + lookahead (the
+        // first epoch's end). The horizon event must not be processed
+        // in epoch 1 — strictly-less-than is the epoch-edge rule.
+        let la = SimDuration::from_nanos(100);
+        let mut lp = TestLp::new(0, 1, la);
+        lp.queue.schedule_at(SimTime::from_nanos(10), 1);
+        lp.queue.schedule_at(SimTime::from_nanos(110), 2); // == 10 + lookahead
+        let report = run_epochs(
+            vec![lp],
+            la,
+            SimTime::from_micros(1),
+            1,
+            IsolationSpec::none(),
+        );
+        let lp = &report.lps[0];
+        assert_eq!(
+            lp.log,
+            vec![(SimTime::from_nanos(10), 1), (SimTime::from_nanos(110), 2),]
+        );
+        // Epoch 1 covered [10, 110); the horizon event needed epoch 2.
+        assert_eq!(report.epochs, 2);
+    }
+
+    #[test]
+    fn events_at_until_stay_pending() {
+        let la = SimDuration::from_nanos(100);
+        let mut lp = TestLp::new(0, 1, la);
+        lp.queue.schedule_at(SimTime::from_nanos(10), 1);
+        lp.queue.schedule_at(SimTime::from_nanos(500), 2);
+        let report = run_epochs(
+            vec![lp],
+            la,
+            SimTime::from_nanos(500),
+            1,
+            IsolationSpec::none(),
+        );
+        let lp = &report.lps[0];
+        assert_eq!(lp.log, vec![(SimTime::from_nanos(10), 1)]);
+        assert_eq!(lp.queue.next_time(), Some(SimTime::from_nanos(500)));
+    }
+
+    #[test]
+    fn cross_shard_delivery_is_time_src_seq_ordered() {
+        let envs = vec![
+            Envelope {
+                at: SimTime::from_nanos(5),
+                src: 1,
+                seq: 0,
+                dst: 0,
+                msg: "b",
+            },
+            Envelope {
+                at: SimTime::from_nanos(5),
+                src: 0,
+                seq: 1,
+                dst: 1,
+                msg: "a1",
+            },
+            Envelope {
+                at: SimTime::from_nanos(3),
+                src: 2,
+                seq: 0,
+                dst: 0,
+                msg: "c",
+            },
+            Envelope {
+                at: SimTime::from_nanos(5),
+                src: 0,
+                seq: 0,
+                dst: 1,
+                msg: "a0",
+            },
+        ];
+        let order: Vec<&str> = merge_order(envs).into_iter().map(|e| e.msg).collect();
+        assert_eq!(order, vec!["c", "a0", "a1", "b"]);
+    }
+
+    #[test]
+    fn run_isolated_returns_results_in_task_order() {
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..16u64)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> u64 + Send>)
+            .collect();
+        let out = run_isolated(tasks, 4, IsolationSpec::none());
+        assert_eq!(out, (0..16u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_isolated_single_shard_runs_inline() {
+        // At shards <= 1 the caller's thread identity is preserved —
+        // today's serial path, byte for byte.
+        let caller = std::thread::current().id();
+        let tasks: Vec<Box<dyn FnOnce() -> std::thread::ThreadId + Send>> = (0..3)
+            .map(|_| {
+                Box::new(|| std::thread::current().id())
+                    as Box<dyn FnOnce() -> std::thread::ThreadId + Send>
+            })
+            .collect();
+        let out = run_isolated(tasks, 1, IsolationSpec::none());
+        assert!(out.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn run_isolated_absorbs_traces_in_task_order() {
+        // Caller runs with a recorder installed; the pool gives each
+        // task its own and absorbs them back in task order.
+        assert!(trace::install(TraceRecorder::new(1 << 10)).is_none());
+        let spec = IsolationSpec {
+            record: true,
+            ring_capacity: 1 << 10,
+            ..IsolationSpec::default()
+        };
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..6u64)
+            .map(|i| {
+                Box::new(move || {
+                    trace::span(
+                        SimTime::from_micros(i),
+                        SimDuration::from_micros(1),
+                        "shard",
+                        "task",
+                        vec![("i", crate::trace::ArgValue::U64(i))],
+                    );
+                    trace::metrics(|m| m.counter_add("shard.tasks", 1));
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        run_isolated(tasks, 3, spec);
+        let rec = trace::uninstall().expect("still installed");
+        assert_eq!(rec.metrics().counter("shard.tasks"), 6);
+        // Spans appear in task order after the ordered absorb.
+        let starts: Vec<SimTime> = rec
+            .spans()
+            .filter_map(|r| match r {
+                crate::trace::TraceRecord::Span { start, .. } => Some(*start),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            starts,
+            (0..6u64).map(SimTime::from_micros).collect::<Vec<_>>(),
+            "absorb preserved task order"
+        );
+    }
+}

@@ -551,6 +551,7 @@ impl EthTestbed {
 
             let mut app = app;
             if config.preload {
+                app.reserve_keys(config.working_set_keys);
                 // memaslap warmup: populate the working set so GETs hit
                 // from the start (steady state).
                 for key in 0..config.working_set_keys {
@@ -779,6 +780,25 @@ impl EthTestbed {
     #[must_use]
     pub fn now(&self) -> SimTime {
         self.queue.now()
+    }
+
+    /// Timestamp of the next pending event, if any (the shard executor
+    /// uses this to compute epoch horizons).
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.next_time()
+    }
+
+    /// Lifetime event-queue counters:
+    /// `(scheduled, popped, cancelled, pending)`.
+    #[must_use]
+    pub fn queue_stats(&self) -> (u64, u64, u64, usize) {
+        (
+            self.queue.scheduled_total(),
+            self.queue.popped_total(),
+            self.queue.cancelled_total(),
+            self.queue.len(),
+        )
     }
 
     /// Per-instance metrics.

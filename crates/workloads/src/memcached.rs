@@ -79,8 +79,9 @@ pub struct Memcached {
     config: MemcachedConfig,
     /// key -> (slot, lru tick)
     items: FxHashMap<u64, (u64, u64)>,
-    /// slot -> key (for eviction bookkeeping)
-    slots: FxHashMap<u64, u64>,
+    /// slot -> key (for eviction bookkeeping). Slot ids are dense
+    /// (0..max_items), so this is a flat table, not a map.
+    slots: Vec<u64>,
     free_slots: Vec<u64>,
     next_slot: u64,
     max_items: u64,
@@ -98,7 +99,7 @@ impl Memcached {
         Memcached {
             config,
             items: FxHashMap::default(),
-            slots: FxHashMap::default(),
+            slots: Vec::new(),
             free_slots: Vec::new(),
             next_slot: 0,
             max_items,
@@ -113,6 +114,15 @@ impl Memcached {
     #[must_use]
     pub fn config(&self) -> &MemcachedConfig {
         &self.config
+    }
+
+    /// Pre-sizes the item table for an expected number of distinct keys
+    /// (capped at capacity). A bulk preload that skips this pays for a
+    /// cascade of rehashes as the table doubles its way up.
+    pub fn reserve_keys(&mut self, keys: u64) {
+        let n = keys.min(self.max_items);
+        self.items.reserve(usize::try_from(n).unwrap_or(usize::MAX));
+        self.slots.reserve(usize::try_from(n).unwrap_or(usize::MAX));
     }
 
     /// Items currently cached.
@@ -195,8 +205,9 @@ impl Memcached {
                 }
             },
             KvOp::Set { key } => {
-                let slot = if let Some(&(slot, _)) = self.items.get(&key) {
-                    slot
+                let slot = if let Some(entry) = self.items.get_mut(&key) {
+                    entry.1 = self.tick;
+                    entry.0
                 } else {
                     let slot = if let Some(s) = self.free_slots.pop() {
                         s
@@ -205,22 +216,26 @@ impl Memcached {
                         self.next_slot += 1;
                         s
                     } else {
-                        // LRU eviction.
+                        // LRU eviction. Ticks are unique per operation,
+                        // so the minimum is unambiguous regardless of
+                        // map iteration order.
                         let (&victim_key, &(victim_slot, _)) = self
                             .items
                             .iter()
                             .min_by_key(|(_, &(_, t))| t)
                             .expect("cache full implies nonempty");
                         self.items.remove(&victim_key);
-                        self.slots.remove(&victim_slot);
                         self.evictions += 1;
                         victim_slot
                     };
                     self.items.insert(key, (slot, self.tick));
-                    self.slots.insert(slot, key);
+                    let idx = usize::try_from(slot).expect("slot fits usize");
+                    if idx >= self.slots.len() {
+                        self.slots.resize(idx + 1, u64::MAX);
+                    }
+                    self.slots[idx] = key;
                     slot
                 };
-                self.items.insert(key, (slot, self.tick));
                 KvOutcome {
                     hit: false,
                     touch: Some((self.slot_addr(slot), self.config.value_size, true)),

@@ -100,7 +100,7 @@ pub fn run_cell_chaos(backend: BackendKind, seed: u64, chaos: Option<ChaosConfig
             ..MemcachedConfig::default()
         })
         .working_set_keys(1_000)
-        .npf(npf_core::npf::NpfConfig::default().with_backend(BackendSelect::of(backend)))
+        .npf(crate::tracectl::npf_config().with_backend(BackendSelect::of(backend)))
         .seed(seed);
     if let Some(cfg) = chaos {
         scenario = scenario.chaos(cfg);

@@ -204,6 +204,94 @@ fn bench_sg_batch() -> Sample {
     })
 }
 
+/// Translation fast path through a folded superpage: the same 4096
+/// warm DMA checks as `translate_hit_4k`, but the mappings have been
+/// promoted to eight 2 MiB leaves, so every hit is served by an IOTLB
+/// superpage entry (one entry covers 512 pages).
+fn bench_translate_hit_2m() -> Sample {
+    let mut mmu = Iommu::new(8192);
+    mmu.set_huge_pages(true);
+    let d = mmu.create_domain(TableMode::PageFaultCapable);
+    // Contiguous ascending frames from each 2 MiB chunk base: the fold
+    // precondition, satisfied 8 chunks over.
+    let pairs: Vec<(Vpn, FrameId)> = (0..4096u64).map(|i| (Vpn(i), FrameId(i + 64))).collect();
+    mmu.map_batch(d, &pairs, true);
+    assert!(
+        mmu.huge_stats().0 >= 8,
+        "the fixture must fold its 8 chunks"
+    );
+    for i in 0..4096u64 {
+        mmu.check_dma(d, Vpn(i), true);
+    }
+    measure("translate_hit_2m", 4096, move || {
+        let mut sum = 0u64;
+        for i in 0..4096u64 {
+            if let iommu::DmaCheck::Ok(f) = mmu.check_dma(d, Vpn(i), true) {
+                sum = sum.wrapping_add(f.0);
+            }
+        }
+        std::hint::black_box(sum);
+    })
+}
+
+/// The fold itself: populate one 2 MiB chunk (512 contiguous PTEs) and
+/// promote it to a huge leaf — the bookkeeping a batched cold fault
+/// pays when huge pages are on.
+fn bench_promote_512() -> Sample {
+    let pairs: Vec<(Vpn, FrameId)> = (0..512u64).map(|i| (Vpn(i), FrameId(i + 64))).collect();
+    measure("promote_512", 512, move || {
+        let mut mmu = Iommu::new(1024);
+        mmu.set_huge_pages(true);
+        let d = mmu.create_domain(TableMode::PageFaultCapable);
+        mmu.map_batch(d, &pairs, true);
+        std::hint::black_box(mmu.huge_stats().0);
+    })
+}
+
+/// The speculative path: a stride stream of demand faults that trains
+/// the detector and issues depth-8 prefetches through the backend plan
+/// path (resolve + plan, no RNG, no arbiter slots).
+fn bench_prefetch_issue_8() -> Sample {
+    use memsim::manager::{MemConfig, MemoryManager};
+    use memsim::space::Backing;
+    use memsim::types::PageRange;
+    use npf_core::npf::{NpfConfig, NpfEngine};
+    use simcore::rng::SimRng;
+    use simcore::time::SimTime;
+    use simcore::units::ByteSize;
+
+    measure("prefetch_issue_8", 16, || {
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::mib(64),
+            ..MemConfig::default()
+        });
+        let mut engine = NpfEngine::new(
+            NpfConfig::default().with_prefetch_depth(8),
+            mm,
+            SimRng::new(1),
+        );
+        let space = engine.memory_mut().create_space();
+        engine
+            .memory_mut()
+            .mmap_fixed(space, PageRange::new(Vpn(0), 4096), Backing::Anonymous)
+            .expect("region");
+        let domain = engine.create_channel(space);
+        let mut issued = 0u64;
+        for w in 0..16u64 {
+            let addr = Vpn(w * 4).base();
+            if let Ok(rec) = engine.begin_fault(SimTime::ZERO, domain, addr, 4 * 4096, true, None) {
+                let id = rec.id;
+                engine.complete_fault(id);
+            }
+            for (id, _) in engine.drain_spawned_prefetches() {
+                issued += 1;
+                engine.complete_fault(id);
+            }
+        }
+        std::hint::black_box(issued);
+    })
+}
+
 /// LRU churn: touches over a working set with steady evictions — the
 /// reclaim bookkeeping that used to cost two `BTreeMap` updates per
 /// touch and now costs O(1) list splices.
@@ -337,6 +425,17 @@ fn figure_wall_clocks() -> Vec<(&'static str, f64)> {
                 npf_bench::tracectl::with_shards(4, || npf_bench::eth_experiments::fig4a(4))
             }),
         ),
+        // The huge-page + speculative-prefetch ablation of the same
+        // figure (depth 64): the perf tentpole's headline lever. CI
+        // byte-diffs this cell at --jobs 4 --shards 4 against serial.
+        (
+            "fig4a_prefetch",
+            task("fig4a_prefetch", || {
+                npf_bench::tracectl::with_mem_features(true, 64, None, || {
+                    npf_bench::eth_experiments::fig4a(4)
+                })
+            }),
+        ),
         (
             "fig8b",
             task("fig8b", || npf_bench::ib_experiments::fig8b(150)),
@@ -416,6 +515,14 @@ fn baseline_events_per_sec(json: &str, name: &str) -> Option<f64> {
 
 fn main() {
     let opts = npf_bench::tracectl::RunOpts::init(&["out", "check"]);
+    // Regression guard for the fig4a_shards4 fix: a single-core host
+    // must collapse any requested shard count to inline execution
+    // instead of spawning workers that contend for its one core.
+    assert_eq!(
+        simcore::shard::effective_shards(4, 3, 1),
+        1,
+        "single-core hosts must run shard pools inline"
+    );
     let out_path = opts.extra("out").unwrap_or("BENCH_engine.json").to_owned();
     let check_path = opts.extra("check").map(str::to_owned);
 
@@ -425,6 +532,9 @@ fn main() {
         bench_churn(),
         bench_metrics(),
         bench_translate_hit(),
+        bench_translate_hit_2m(),
+        bench_promote_512(),
+        bench_prefetch_issue_8(),
         bench_walk_miss_cold(),
         bench_sg_batch(),
         bench_lru_touch_evict(),

@@ -39,6 +39,8 @@ pub fn fig8a(total_ios: u64) -> Report {
                 access_latency: simcore::SimDuration::from_micros(500),
                 bandwidth: simcore::Bandwidth::mbytes_per_sec(500),
             },
+            tier: crate::tracectl::tier_config(),
+            npf: crate::tracectl::npf_config(),
             ..StorageBedConfig::default()
         };
         let npf = run_storage(cfg(true)).expect("npf run");
@@ -80,6 +82,8 @@ pub fn fig8b(total_ios_per_point: u64) -> Report {
             odp,
             pinned_headroom: ByteSize::ZERO,
             storage: StorageConfig::default(),
+            tier: crate::tracectl::tier_config(),
+            npf: crate::tracectl::npf_config(),
             ..StorageBedConfig::default()
         };
         let pin = run_storage(run_cfg(false, 512 * 1024)).expect("pin run");

@@ -113,7 +113,7 @@ pub fn run_cell_chaos(
         .working_set_keys(2_000)
         .tenant_skew(1.0)
         .npf(
-            npf_core::npf::NpfConfig::default()
+            crate::tracectl::npf_config()
                 .with_arbiter(policy)
                 .with_total_fault_slots(64),
         )

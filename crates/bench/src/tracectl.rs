@@ -40,6 +40,14 @@
 //!   style driver-level emulation), or `pinned` — consumed by the
 //!   binaries that compare backends (`backendbench`), accepted
 //!   uniformly by all.
+//! * `--hugepages <on|off>` / `--prefetch <depth>` / `--tier <mib>`:
+//!   the translation/backing-memory knobs — 2 MiB huge-page folding in
+//!   the IOMMU tables and IOTLB, speculative stride-stream NPF
+//!   prefetch (`depth` pages per issue, 0 disables), and an NVM
+//!   backing tier of `mib` MiB in front of the swap disk (0 disables).
+//!   All default off so every existing figure is byte-identical; the
+//!   experiment drivers splice them into [`npf_config`] and
+//!   [`tier_config`] uniformly.
 //!
 //! Traces are stamped exclusively with [`simcore::time::SimTime`], so
 //! the same seed produces byte-identical files.
@@ -48,10 +56,14 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
+use memsim::manager::TierConfig;
+use memsim::swap::DiskConfig;
+use npf_core::npf::NpfConfig;
 use npf_core::{ArbiterPolicy, BackendKind};
 use simcore::chaos::{invariant, ChaosConfig, ChaosProfile, InvariantChecker};
 use simcore::journal::{self, JournalRecorder};
 use simcore::trace::{self, TraceRecorder};
+use simcore::units::ByteSize;
 
 /// Default ring capacity for binary-driven traces: large enough to
 /// hold full experiment runs without wrapping.
@@ -93,6 +105,9 @@ const STANDARD_FLAGS: &[&str] = &[
     "arbiter",
     "quota",
     "backend",
+    "hugepages",
+    "prefetch",
+    "tier",
 ];
 
 /// The one parsed view of a bench binary's command line.
@@ -133,6 +148,15 @@ pub struct RunOpts {
     /// `--backend <kind>`: the ODP backend (`firmware`, `softemu`,
     /// `pinned`).
     pub backend: Option<BackendKind>,
+    /// `--hugepages <on|off>`: 2 MiB huge-page folding in the IOMMU
+    /// page tables and IOTLB.
+    pub huge_pages: bool,
+    /// `--prefetch <depth>`: speculative stride-stream NPF prefetch
+    /// depth in pages (0 disables).
+    pub prefetch: u32,
+    /// `--tier <mib>`: NVM backing-tier capacity in MiB (absent or 0
+    /// disables tiering).
+    pub tier_mib: Option<u64>,
     /// Values of the binary-specific flags registered with `init`.
     extras: BTreeMap<String, String>,
 }
@@ -159,7 +183,10 @@ fn usage(bin: &str, extra: &[&str]) -> String {
          \x20 --tenants <n>          tenant/IO-channel count for scale sweeps\n\
          \x20 --arbiter <policy>     cross-channel fault arbitration: channel, rr, wfq\n\
          \x20 --quota <entries>      per-tenant backup-ring quota\n\
-         \x20 --backend <kind>       ODP backend: firmware, softemu, pinned\n",
+         \x20 --backend <kind>       ODP backend: firmware, softemu, pinned\n\
+         \x20 --hugepages <on|off>   fold 2 MiB huge pages in the IOMMU tables + IOTLB\n\
+         \x20 --prefetch <depth>     speculative NPF prefetch depth in pages (0 = off)\n\
+         \x20 --tier <mib>           NVM backing tier of <mib> MiB before swap (0 = off)\n",
     );
     if !extra.is_empty() {
         out.push_str("\nbinary-specific flags:\n");
@@ -316,6 +343,27 @@ impl RunOpts {
             .remove("backend")
             .map(|v| BackendKind::parse(&v).map_err(|e| format!("--backend: {e}")))
             .transpose()?;
+        let huge_pages = values
+            .remove("hugepages")
+            .map(|v| parse_switch(&v).ok_or_else(|| format!("--hugepages must be on|off: {v:?}")))
+            .transpose()?
+            .unwrap_or(false);
+        let prefetch = values
+            .remove("prefetch")
+            .map(|v| {
+                v.parse::<u32>()
+                    .map_err(|e| format!("--prefetch must be an integer: {e}"))
+            })
+            .transpose()?
+            .unwrap_or(0);
+        let tier_mib = values
+            .remove("tier")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("--tier must be an integer (MiB): {e}"))
+            })
+            .transpose()?
+            .filter(|&mib| mib > 0);
         let trace = values.remove("trace").map(PathBuf::from);
         let metrics = values.remove("metrics").map(PathBuf::from);
         let journal = values.remove("journal").map(PathBuf::from);
@@ -332,6 +380,9 @@ impl RunOpts {
             arbiter,
             quota,
             backend,
+            huge_pages,
+            prefetch,
+            tier_mib,
             extras: values,
         })
     }
@@ -453,8 +504,104 @@ pub fn jobs() -> usize {
     jobs_from_args(std::env::args().skip(1))
 }
 
+/// Parses an on/off switch value (`on`, `true`, `1` / `off`, `false`,
+/// `0`).
+fn parse_switch(v: &str) -> Option<bool> {
+    match v {
+        "on" | "true" | "1" => Some(true),
+        "off" | "false" | "0" => Some(false),
+        _ => None,
+    }
+}
+
 thread_local! {
     static SHARDS_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+    /// `(huge_pages, prefetch_depth, tier_mib)` forced by
+    /// [`with_mem_features`] on this thread.
+    static MEM_FEATURES_OVERRIDE: std::cell::Cell<Option<(bool, u32, Option<u64>)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Runs `body` with [`huge_pages`], [`prefetch_depth`], and
+/// [`tier_mib`] forced on this thread — `enginebench` uses this to run
+/// the same figure with and without the memory features inside one
+/// process (the ablation cells).
+pub fn with_mem_features<R>(
+    huge: bool,
+    prefetch: u32,
+    tier_mib_override: Option<u64>,
+    body: impl FnOnce() -> R,
+) -> R {
+    let prev = MEM_FEATURES_OVERRIDE.with(|c| c.replace(Some((huge, prefetch, tier_mib_override))));
+    let out = body();
+    MEM_FEATURES_OVERRIDE.with(|c| c.set(prev));
+    out
+}
+
+/// `--hugepages on`: whether 2 MiB huge-page folding is enabled.
+/// Defaults to off, so existing figures stay byte-identical.
+#[must_use]
+pub fn huge_pages() -> bool {
+    if let Some((huge, _, _)) = MEM_FEATURES_OVERRIDE.with(std::cell::Cell::get) {
+        return huge;
+    }
+    if let Some(opts) = RunOpts::get() {
+        return opts.huge_pages;
+    }
+    flag_value(std::env::args().skip(1), "hugepages")
+        .and_then(|v| parse_switch(&v.to_string_lossy()))
+        .unwrap_or(false)
+}
+
+/// `--prefetch <depth>`: the speculative NPF prefetch depth in pages.
+/// Defaults to 0 (disabled).
+#[must_use]
+pub fn prefetch_depth() -> u32 {
+    if let Some((_, depth, _)) = MEM_FEATURES_OVERRIDE.with(std::cell::Cell::get) {
+        return depth;
+    }
+    if let Some(opts) = RunOpts::get() {
+        return opts.prefetch;
+    }
+    flag_value(std::env::args().skip(1), "prefetch")
+        .and_then(|v| v.to_string_lossy().parse::<u32>().ok())
+        .unwrap_or(0)
+}
+
+/// `--tier <mib>`: the NVM backing-tier capacity in MiB, if tiering is
+/// enabled.
+#[must_use]
+pub fn tier_mib() -> Option<u64> {
+    if let Some((_, _, tier)) = MEM_FEATURES_OVERRIDE.with(std::cell::Cell::get) {
+        return tier.filter(|&mib| mib > 0);
+    }
+    if let Some(opts) = RunOpts::get() {
+        return opts.tier_mib;
+    }
+    flag_value(std::env::args().skip(1), "tier")
+        .and_then(|v| v.to_string_lossy().parse::<u64>().ok())
+        .filter(|&mib| mib > 0)
+}
+
+/// The [`NpfConfig`] matching the command line's memory-feature flags:
+/// defaults plus `--hugepages` and `--prefetch`. Experiment drivers
+/// build on this (e.g. `.with_backend(...)`) so every binary honors
+/// the flags uniformly.
+#[must_use]
+pub fn npf_config() -> NpfConfig {
+    NpfConfig::default()
+        .with_huge_pages(huge_pages())
+        .with_prefetch_depth(prefetch_depth())
+}
+
+/// The [`TierConfig`] requested with `--tier <mib>`, if any: an
+/// Optane-class NVM device of that capacity in front of the swap disk.
+#[must_use]
+pub fn tier_config() -> Option<TierConfig> {
+    tier_mib().map(|mib| TierConfig {
+        capacity: ByteSize::mib(mib),
+        disk: DiskConfig::nvm(),
+    })
 }
 
 /// Runs `body` with [`shards`] forced to `n` on this thread —
@@ -783,6 +930,10 @@ mod tests {
                 "--backend=softemu",
                 "--chaos-seed",
                 "9",
+                "--hugepages=on",
+                "--prefetch=16",
+                "--tier",
+                "2048",
             ]),
             &[],
         )
@@ -796,6 +947,43 @@ mod tests {
         assert_eq!(opts.quota, Some(64));
         assert_eq!(opts.backend, Some(BackendKind::SoftEmu));
         assert_eq!(opts.chaos.expect("chaos on").seed, 9);
+        assert!(opts.huge_pages);
+        assert_eq!(opts.prefetch, 16);
+        assert_eq!(opts.tier_mib, Some(2048));
+    }
+
+    #[test]
+    fn mem_feature_flags_default_off_and_reject_junk() {
+        let opts = RunOpts::parse(&[], &[]).expect("empty argv");
+        assert!(!opts.huge_pages);
+        assert_eq!(opts.prefetch, 0);
+        assert_eq!(opts.tier_mib, None);
+        // `--tier 0` means "no tier", same as absent.
+        let opts = RunOpts::parse(&argv(&["--tier", "0"]), &[]).expect("tier 0");
+        assert_eq!(opts.tier_mib, None);
+        let bad = RunOpts::parse(&argv(&["--hugepages", "maybe"]), &[]).unwrap_err();
+        assert!(bad.contains("--hugepages"), "{bad}");
+        let bad = RunOpts::parse(&argv(&["--prefetch", "lots"]), &[]).unwrap_err();
+        assert!(bad.contains("--prefetch must be an integer"), "{bad}");
+    }
+
+    #[test]
+    fn mem_feature_overrides_scope_to_the_closure() {
+        assert!(!huge_pages());
+        assert_eq!(prefetch_depth(), 0);
+        assert_eq!(tier_mib(), None);
+        with_mem_features(true, 32, Some(1024), || {
+            assert!(huge_pages());
+            assert_eq!(prefetch_depth(), 32);
+            assert_eq!(tier_mib(), Some(1024));
+            let npf = npf_config();
+            assert!(npf.huge_pages);
+            assert_eq!(npf.prefetch_depth, 32);
+            let tier = tier_config().expect("tier on");
+            assert_eq!(tier.capacity, ByteSize::mib(1024));
+        });
+        assert!(!huge_pages());
+        assert!(tier_config().is_none());
     }
 
     #[test]

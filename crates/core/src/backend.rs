@@ -192,6 +192,16 @@ pub struct FaultRequest {
     pub write: bool,
     /// Firmware-bypass fast resume requested (firmware backend only).
     pub firmware_bypass: bool,
+    /// Driver-initiated speculative pre-fault (stride prefetch): no
+    /// NIC interrupt, no firmware resume, and — critically — no RNG
+    /// draws, so the speculative path leaves the engine's jitter
+    /// stream untouched and demand faults price identically whether
+    /// or not prefetch is on.
+    pub speculative: bool,
+    /// Share of `os_cost` spent fetching from the slow memory tier
+    /// (NVM); journalled as its own [`Phase::TierMigrate`] slice carved
+    /// out of the OS-translate span.
+    pub tier_cost: SimDuration,
 }
 
 /// A backend's service plan for one fault: ordered phase slices whose
@@ -271,6 +281,26 @@ pub const fn trace_child_name(phase: Phase) -> &'static str {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FirmwareBackend;
 
+/// Appends the OS-translate span, carving out the slow-tier fetch as
+/// its own slice when the memory manager reported one. The TierMigrate
+/// slice is only emitted when non-zero, so runs without tiering keep
+/// their exact golden slice lists.
+fn push_os_slices(
+    slices: &mut Vec<(Phase, SimDuration)>,
+    os_span: SimDuration,
+    tier_cost: SimDuration,
+) {
+    let tier = if tier_cost < os_span {
+        tier_cost
+    } else {
+        os_span
+    };
+    slices.push((Phase::OsTranslate, os_span - tier));
+    if tier > SimDuration::ZERO {
+        slices.push((Phase::TierMigrate, tier));
+    }
+}
+
 /// Builds the firmware service plan — shared with [`PinnedBackend`],
 /// whose unexpected-fault slow path services faults identically.
 fn firmware_plan(req: &FaultRequest, cost: &CostModel, rng: &mut SimRng) -> FaultPlan {
@@ -279,15 +309,38 @@ fn firmware_plan(req: &FaultRequest, cost: &CostModel, rng: &mut SimRng) -> Faul
     // blocks on; split so trace and journal show both.
     let driver_sw = breakdown.driver.saturating_sub(req.os_cost);
     let os_span = breakdown.driver - driver_sw;
+    let mut slices = vec![
+        (Phase::Trigger, breakdown.trigger_interrupt),
+        (Phase::DriverSw, driver_sw),
+    ];
+    push_os_slices(&mut slices, os_span, req.tier_cost);
+    slices.push((Phase::PtUpdate, breakdown.update_hw_pt));
+    slices.push((Phase::Resume, breakdown.resume));
+    FaultPlan { slices, breakdown }
+}
+
+/// Service plan for a driver-initiated speculative pre-fault. The
+/// driver pre-validates and pre-maps ahead of the DMA stream (the
+/// NP-RDMA idiom): no NIC interrupt, no firmware resume, no hardware
+/// jitter — and **no RNG draws**, shared by every backend so the
+/// speculative path is invisible to the demand faults' jitter stream.
+fn speculative_plan(req: &FaultRequest, cost: &CostModel) -> FaultPlan {
+    let pages = req.pages.max(1);
+    let issue = cost.prefetch_issue(pages);
+    let driver_sw = cost.driver_sw_base + cost.driver_sw_per_page * pages;
+    let os_span = req.os_cost;
+    let pt_update = cost.update_pt_base + cost.update_pt_per_page * pages;
+    let mut slices = vec![(Phase::Prefetch, issue), (Phase::DriverSw, driver_sw)];
+    push_os_slices(&mut slices, os_span, req.tier_cost);
+    slices.push((Phase::PtUpdate, pt_update));
     FaultPlan {
-        slices: vec![
-            (Phase::Trigger, breakdown.trigger_interrupt),
-            (Phase::DriverSw, driver_sw),
-            (Phase::OsTranslate, os_span),
-            (Phase::PtUpdate, breakdown.update_hw_pt),
-            (Phase::Resume, breakdown.resume),
-        ],
-        breakdown,
+        slices,
+        breakdown: NpfBreakdown {
+            trigger_interrupt: SimDuration::ZERO,
+            driver: issue + driver_sw + os_span,
+            update_hw_pt: pt_update,
+            resume: SimDuration::ZERO,
+        },
     }
 }
 
@@ -307,6 +360,12 @@ impl OdpBackend for FirmwareBackend {
         rng: &mut SimRng,
         counters: &mut Counters,
     ) -> FaultPlan {
+        if req.speculative {
+            // Driver-level pre-validation: the NIC never saw a fault,
+            // so the firmware event counter must not move.
+            counters.bump("fw_prefetch_events");
+            return speculative_plan(req, cost);
+        }
         counters.bump("fw_npf_events");
         firmware_plan(req, cost, rng)
     }
@@ -387,6 +446,12 @@ impl OdpBackend for SoftEmuBackend {
         counters: &mut Counters,
     ) -> FaultPlan {
         let _ = rng; // the software path is jitter-free by design
+        if req.speculative {
+            // Pre-validation needs no bounce buffer: no DMA is in
+            // flight, the driver is mapping ahead of the stream.
+            counters.bump("softemu_prefetches");
+            return speculative_plan(req, cost);
+        }
         counters.bump("softemu_bounces");
         let pages = req.pages.max(1);
         let validate = self.config.validate_base + self.config.validate_per_page * pages;
@@ -396,14 +461,12 @@ impl OdpBackend for SoftEmuBackend {
         // hardware jitter.
         let pt_update = cost.update_pt_base + cost.update_pt_per_page * pages;
         let copy_out = cost.memcpy(pages * 4096);
+        let mut slices = vec![(Phase::Validate, validate), (Phase::DriverSw, driver_sw)];
+        push_os_slices(&mut slices, os_span, req.tier_cost);
+        slices.push((Phase::PtUpdate, pt_update));
+        slices.push((Phase::CopyOut, copy_out));
         FaultPlan {
-            slices: vec![
-                (Phase::Validate, validate),
-                (Phase::DriverSw, driver_sw),
-                (Phase::OsTranslate, os_span),
-                (Phase::PtUpdate, pt_update),
-                (Phase::CopyOut, copy_out),
-            ],
+            slices,
             breakdown: NpfBreakdown {
                 trigger_interrupt: SimDuration::ZERO,
                 driver: validate + driver_sw + os_span,
@@ -461,6 +524,13 @@ impl OdpBackend for PinnedBackend {
         rng: &mut SimRng,
         counters: &mut Counters,
     ) -> FaultPlan {
+        if req.speculative {
+            // A pinned scenario has nothing to pre-map; price it as a
+            // plain speculative no-op plan without touching the
+            // unexpected-fault counter.
+            counters.bump("pinned_prefetches");
+            return speculative_plan(req, cost);
+        }
         counters.bump("pinned_unexpected_faults");
         firmware_plan(req, cost, rng)
     }
@@ -484,6 +554,8 @@ mod tests {
             os_cost: SimDuration::from_micros(3),
             write: true,
             firmware_bypass: false,
+            speculative: false,
+            tier_cost: SimDuration::ZERO,
         }
     }
 
@@ -598,6 +670,89 @@ mod tests {
         b.on_complete(5, 8, &mut counters);
         assert_eq!(counters.get("softemu_copyouts"), 5);
         assert_eq!(counters.get("softemu_copy_skipped"), 3);
+    }
+
+    #[test]
+    fn speculative_plans_draw_no_rng_and_skip_firmware_counters() {
+        let cost = CostModel::default();
+        let mut counters = Counters::new();
+        let mut rng = SimRng::new(99);
+        let mut witness = SimRng::new(99);
+        let spec = FaultRequest {
+            speculative: true,
+            ..req(8)
+        };
+        for select in [
+            BackendSelect::Firmware,
+            BackendSelect::SoftEmu(SoftEmuConfig::default()),
+            BackendSelect::Pinned,
+        ] {
+            let mut b = select.build();
+            let plan = b.plan(&spec, &cost, &mut rng, &mut counters);
+            let sum = plan
+                .slices
+                .iter()
+                .fold(SimDuration::ZERO, |acc, &(_, d)| acc + d);
+            assert_eq!(sum, plan.service_time(), "{select:?} tiles exactly");
+            assert_eq!(plan.breakdown.trigger_interrupt, SimDuration::ZERO);
+            assert_eq!(plan.breakdown.resume, SimDuration::ZERO);
+            assert_eq!(plan.slices[0].0, Phase::Prefetch);
+        }
+        // No backend consumed the engine's jitter stream.
+        let d = SimDuration::from_micros(100);
+        assert_eq!(
+            rng.lognormal_jitter(d, 0.08),
+            witness.lognormal_jitter(d, 0.08)
+        );
+        assert_eq!(counters.get("fw_npf_events"), 0);
+        assert_eq!(counters.get("fw_prefetch_events"), 1);
+        assert_eq!(counters.get("softemu_prefetches"), 1);
+        assert_eq!(counters.get("softemu_bounces"), 0);
+        assert_eq!(counters.get("pinned_unexpected_faults"), 0);
+    }
+
+    #[test]
+    fn tier_cost_is_carved_out_of_the_os_slice() {
+        let cost = CostModel::default();
+        let mut counters = Counters::new();
+        let mut rng = SimRng::new(5);
+        let mut fw = FirmwareBackend;
+        let tiered = FaultRequest {
+            os_cost: SimDuration::from_micros(90),
+            tier_cost: SimDuration::from_micros(80),
+            ..req(4)
+        };
+        let plan = fw.plan(&tiered, &cost, &mut rng, &mut counters);
+        let os = plan
+            .slices
+            .iter()
+            .find(|(p, _)| *p == Phase::OsTranslate)
+            .expect("os slice")
+            .1;
+        let tier = plan
+            .slices
+            .iter()
+            .find(|(p, _)| *p == Phase::TierMigrate)
+            .expect("tier slice")
+            .1;
+        assert_eq!(tier, SimDuration::from_micros(80));
+        assert_eq!(os + tier, SimDuration::from_micros(90));
+        // The breakdown (and thus total latency) is what it always
+        // was: the tier slice re-labels time, it does not add any.
+        let mut rng2 = SimRng::new(5);
+        let untier = fw.plan(
+            &FaultRequest {
+                os_cost: SimDuration::from_micros(90),
+                ..req(4)
+            },
+            &cost,
+            &mut rng2,
+            &mut counters,
+        );
+        assert_eq!(plan.breakdown, untier.breakdown);
+        // Without a tier cost, no TierMigrate slice appears at all
+        // (golden slice lists stay stable).
+        assert!(!untier.slices.iter().any(|(p, _)| *p == Phase::TierMigrate));
     }
 
     #[test]

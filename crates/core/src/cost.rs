@@ -95,6 +95,19 @@ pub struct CostModel {
     /// Multiplier applied on an outlier.
     pub hw_outlier_factor: f64,
 
+    // --- Huge pages / prefetch (ROADMAP §4-beyond optimizations) ---
+    /// Fixed driver cost of folding 512 resident 4 KiB PTEs into one
+    /// 2 MiB leaf (collapse scan + single PT rewrite + shadowed-entry
+    /// teardown). Per-page writes are priced at `update_pt_per_page`.
+    pub promote_2m_base: SimDuration,
+    /// Fixed driver cost of splitting a 2 MiB leaf back into 512
+    /// 4 KiB PTEs on partial unmap/eviction.
+    pub demote_2m_base: SimDuration,
+    /// Driver cost of issuing one speculative pre-fault (NP-RDMA-style
+    /// driver-level pre-validation: no NIC interrupt, no firmware
+    /// resume). Per-page resolution is priced at `driver_sw_per_page`.
+    pub prefetch_issue_base: SimDuration,
+
     // --- Invalidation path (Figure 3b) ---
     /// Driver mapping check.
     pub inv_checks: SimDuration,
@@ -142,6 +155,9 @@ impl Default for CostModel {
             hw_jitter_sigma: 0.08,
             hw_outlier_probability: 0.004,
             hw_outlier_factor: 2.1,
+            promote_2m_base: SimDuration::from_micros(15),
+            demote_2m_base: SimDuration::from_micros(8),
+            prefetch_issue_base: SimDuration::from_micros(2),
             // 5 + 15 + 5 = 25 us for a mapped 4 KB invalidation, ~65 us
             // at 4 MB (Figure 3b).
             inv_checks: SimDuration::from_micros(5),
@@ -214,6 +230,30 @@ impl CostModel {
             },
             updates: self.inv_updates,
         }
+    }
+
+    /// Deterministic cost of promoting one chunk of 512 resident
+    /// 4 KiB PTEs into a 2 MiB leaf. No jitter: promotion runs in
+    /// driver context off the fault critical path.
+    #[must_use]
+    pub fn huge_promote(&self) -> SimDuration {
+        self.promote_2m_base + self.update_pt_per_page * 512
+    }
+
+    /// Deterministic cost of demoting (splitting) one 2 MiB leaf back
+    /// into 512 4 KiB PTEs.
+    #[must_use]
+    pub fn huge_demote(&self) -> SimDuration {
+        self.demote_2m_base + self.update_pt_per_page * 512
+    }
+
+    /// Deterministic driver cost of issuing one speculative pre-fault
+    /// covering `pages` pages. Speculative faults are driver-initiated
+    /// (no NIC interrupt, no firmware resume), so only the software
+    /// components apply and no RNG is drawn.
+    #[must_use]
+    pub fn prefetch_issue(&self, pages: u64) -> SimDuration {
+        self.prefetch_issue_base + self.driver_sw_per_page * pages.max(1)
     }
 
     /// Cost of registering (pinning + mapping) `pages` pages.
@@ -321,6 +361,29 @@ mod tests {
         let m = CostModel::default();
         assert!(m.register_pinned(1024) > m.register_pinned(1) * 100);
         assert!(m.deregister_pinned(10) < m.register_pinned(10));
+    }
+
+    #[test]
+    fn huge_page_ops_are_deterministic_and_cheaper_than_a_fault() {
+        let m = CostModel::default();
+        // ~15 + 512*0.012 ≈ 21 us promote; ~8 + 6 ≈ 14 us demote.
+        assert_eq!(m.huge_promote(), m.huge_promote());
+        assert!((18.0..25.0).contains(&m.huge_promote().as_micros_f64()));
+        assert!((10.0..18.0).contains(&m.huge_demote().as_micros_f64()));
+        // Both are far below one 220 us NPF — the optimization pays off
+        // after a single avoided fault.
+        assert!(m.huge_promote().as_micros_f64() < 100.0);
+    }
+
+    #[test]
+    fn prefetch_issue_is_software_only_cheap() {
+        let m = CostModel::default();
+        let one = m.prefetch_issue(1);
+        let eight = m.prefetch_issue(8);
+        assert_eq!(one, m.prefetch_issue(1), "no RNG involved");
+        assert!(eight > one, "per-page component grows");
+        // Orders of magnitude below the 220 us demand fault it hides.
+        assert!(eight.as_micros_f64() < 10.0, "got {eight}");
     }
 
     #[test]

@@ -68,6 +68,16 @@ pub struct NpfConfig {
     /// path (default), the NP-RDMA-style driver-level software
     /// emulation, or the pinned-only baseline.
     pub backend: BackendSelect,
+    /// Fold runs of 512 resident 4 KiB pages into 2 MiB leaves in the
+    /// IOMMU page tables, with IOTLB superpage caching. Promotion and
+    /// demotion maintenance is charged to the next fault's OS span.
+    pub huge_pages: bool,
+    /// Speculative NPF prefetch depth in pages (0 disables). When a
+    /// per-channel stride detector trains on the fault stream, each
+    /// demand fault issues one bounded speculative pre-fault for the
+    /// predicted next window. Speculative faults never occupy arbiter
+    /// or per-channel fault slots and draw no RNG.
+    pub prefetch_depth: u32,
 }
 
 impl Default for NpfConfig {
@@ -81,6 +91,8 @@ impl Default for NpfConfig {
             total_fault_slots: 0,
             iotlb_entries: 4096,
             backend: BackendSelect::Firmware,
+            huge_pages: false,
+            prefetch_depth: 0,
         }
     }
 }
@@ -139,6 +151,20 @@ impl NpfConfig {
     #[must_use]
     pub fn with_backend(mut self, backend: BackendSelect) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Toggles 2 MiB huge-page folding in the IOMMU.
+    #[must_use]
+    pub fn with_huge_pages(mut self, on: bool) -> Self {
+        self.huge_pages = on;
+        self
+    }
+
+    /// Sets the speculative prefetch depth in pages (0 disables).
+    #[must_use]
+    pub fn with_prefetch_depth(mut self, pages: u32) -> Self {
+        self.prefetch_depth = pages;
         self
     }
 }
@@ -421,9 +447,27 @@ pub struct FaultRecord {
     pub ready_at: SimTime,
     /// Cost breakdown (for Figure 3 / Table 4).
     pub breakdown: NpfBreakdown,
+    /// Driver-initiated speculative pre-fault (no NIC event behind it).
+    pub speculative: bool,
     /// Mappings to install at completion.
     mappings: Vec<(Vpn, FrameId)>,
 }
+
+/// Per-channel stride detector state for speculative prefetch.
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideStream {
+    /// Whether `last_start` holds a real observation yet.
+    primed: bool,
+    /// Start page of the previous demand fault on this channel.
+    last_start: u64,
+    /// Last observed start-to-start stride in pages.
+    stride: i64,
+    /// Consecutive faults that repeated `stride`.
+    streak: u32,
+}
+
+/// Strides this large stop looking like a stream and are not prefetched.
+const MAX_PREFETCH_STRIDE: i64 = 64;
 
 /// The NPF engine.
 #[derive(Debug)]
@@ -456,6 +500,25 @@ pub struct NpfEngine {
     fault_latency: DurationHistogram,
     fault_latency_by_tag: HashMap<&'static str, DurationHistogram>,
     last_breakdown: Option<NpfBreakdown>,
+    /// Stride-detector state per dense domain id.
+    streams: Vec<StrideStream>,
+    /// Speculative faults issued since the last drain; the testbed
+    /// schedules a completion event for each.
+    spawned_prefetches: Vec<(u64, SimTime)>,
+    /// Pages mapped by completed speculative faults and not yet touched
+    /// by DMA, keyed `(domain, vpn)`. Interior mutability because hit
+    /// detection happens inside the read-only `dma_ready` probe; only
+    /// membership is ever queried, so iteration order cannot leak.
+    prefetched: std::cell::RefCell<std::collections::HashSet<(u32, u64)>>,
+    /// Hits observed by `dma_ready` awaiting transfer into `counters`.
+    prefetch_hits_pending: std::cell::Cell<u64>,
+    /// `Iommu::huge_stats` promotions seen and charged so far.
+    seen_promotions: u64,
+    /// `Iommu::huge_stats` demotions seen and charged so far.
+    seen_demotions: u64,
+    /// Page-table maintenance cost (folds/splits) accrued since the
+    /// last fault, drained into the next fault's OS span.
+    pending_huge_cost: SimDuration,
 }
 
 impl NpfEngine {
@@ -470,6 +533,7 @@ impl NpfEngine {
         mm.set_chaos_namespace(ns);
         let mut iommu = Iommu::new(config.iotlb_entries);
         iommu.set_chaos_namespace(ns);
+        iommu.set_huge_pages(config.huge_pages);
         NpfEngine {
             config,
             mm,
@@ -487,6 +551,13 @@ impl NpfEngine {
             fault_latency: DurationHistogram::new(),
             fault_latency_by_tag: HashMap::new(),
             last_breakdown: None,
+            streams: Vec::new(),
+            spawned_prefetches: Vec::new(),
+            prefetched: std::cell::RefCell::new(std::collections::HashSet::new()),
+            prefetch_hits_pending: std::cell::Cell::new(0),
+            seen_promotions: 0,
+            seen_demotions: 0,
+            pending_huge_cost: SimDuration::ZERO,
         }
     }
 
@@ -606,8 +677,48 @@ impl NpfEngine {
     /// Whether a DMA of `len` bytes at `addr` would currently succeed.
     #[must_use]
     pub fn dma_ready(&self, domain: DomainId, addr: VirtAddr, len: u64, write: bool) -> bool {
-        self.iommu
-            .probe_range(domain, PageRange::covering(addr, len.max(1)), write)
+        let range = PageRange::covering(addr, len.max(1));
+        let ready = self.iommu.probe_range(domain, range, write);
+        if ready {
+            // Prefetch-accuracy accounting: a successful probe of a page
+            // a speculative fault mapped is a hit (counted once — the
+            // page leaves the set). Interior mutability because probes
+            // are read-only to the simulation.
+            let mut set = self.prefetched.borrow_mut();
+            if !set.is_empty() {
+                let mut hits = 0;
+                for vpn in range.iter() {
+                    if set.remove(&(domain.0, vpn.0)) {
+                        hits += 1;
+                    }
+                }
+                if hits > 0 {
+                    self.prefetch_hits_pending
+                        .set(self.prefetch_hits_pending.get() + hits);
+                }
+            }
+        }
+        ready
+    }
+
+    /// Moves hit counts observed by the read-only `dma_ready` probe into
+    /// the counters (called on the mutating paths, so `counters()` is
+    /// up to date whenever the simulation can observe it).
+    fn sync_prefetch_hits(&mut self) {
+        let hits = self.prefetch_hits_pending.take();
+        if hits > 0 {
+            self.counters.add("prefetch_hits", hits);
+            if trace::enabled() {
+                trace::metrics(|m| m.counter_add("npf.prefetch_hits", hits));
+            }
+        }
+    }
+
+    /// Pages a completed speculative fault mapped that DMA has since
+    /// used (the prefetch-accuracy numerator).
+    #[must_use]
+    pub fn prefetch_hits(&self) -> u64 {
+        self.counters.get("prefetch_hits") + self.prefetch_hits_pending.get()
     }
 
     /// Is any pending fault already covering `addr..addr+len`? Returns
@@ -666,6 +777,7 @@ impl NpfEngine {
         write: bool,
         tag: Option<&'static str>,
     ) -> Result<&FaultRecord, MemError> {
+        self.sync_prefetch_hits();
         let space = self.space_of(domain);
         let full_range = PageRange::covering(addr, len.max(1));
         // ATS/PRI ablation: one page per fault event.
@@ -678,6 +790,7 @@ impl NpfEngine {
         // Resolve all non-resident pages and collect mappings for the
         // whole (possibly batched) range.
         let mut os_cost = SimDuration::ZERO;
+        let mut tier_cost = SimDuration::ZERO;
         let mut mappings = Vec::new();
         let mut invalidation_cost = SimDuration::ZERO;
         let mut major = false;
@@ -710,9 +823,13 @@ impl NpfEngine {
                 // (per-page translation, PT updates) come from the
                 // calibrated cost model below.
                 os_cost += res.io_cost;
+                tier_cost += res.tier_cost;
                 major |= res.kind == memsim::FaultKind::Major;
                 if res.kind == memsim::FaultKind::Major {
                     self.counters.bump("npf_major");
+                }
+                if res.tier_cost > SimDuration::ZERO {
+                    self.counters.bump("npf_tier_fetches");
                 }
                 // Reclaim may have revoked other pages: purge their
                 // IOMMU mappings now (Figure 2 a–d).
@@ -729,11 +846,18 @@ impl NpfEngine {
         // its hardware jitter from the engine RNG exactly where the
         // direct cost-model call used to, so firmware runs stay
         // byte-identical to the pre-refactor engine.
+        // Page-table maintenance from huge-page folds/splits since the
+        // last fault lands on this fault's OS span.
+        let huge_cost = std::mem::replace(&mut self.pending_huge_cost, SimDuration::ZERO);
         let request = FaultRequest {
-            pages: range.pages,
-            os_cost: os_cost + invalidation_cost,
+            // Charge for what the speculation will actually map, not the
+            // nominal window (which may have been clamped above).
+            pages: mappings.len() as u64,
+            os_cost: os_cost + invalidation_cost + huge_cost,
             write,
             firmware_bypass: self.config.firmware_bypass,
+            speculative: false,
+            tier_cost,
         };
         let plan = self.backend.plan(
             &request,
@@ -900,11 +1024,210 @@ impl NpfEngine {
             write,
             ready_at,
             breakdown,
+            speculative: false,
             mappings,
         };
         invariant::note_fault_begun((self.chaos_ns << 32) | id, now);
         self.pending.push(record); // ids are monotone: stays sorted
-        Ok(self.pending.last().expect("just pushed"))
+        let demand_idx = self.pending.len() - 1;
+        // The demand fault is fully recorded; train the stride detector
+        // and (possibly) issue one speculative pre-fault for the
+        // predicted next window. Prefetch ids are allocated after the
+        // demand id, so `pending` stays sorted.
+        self.maybe_prefetch(now, domain, range, write);
+        Ok(&self.pending[demand_idx])
+    }
+
+    /// Trains the per-channel stride detector on a demand fault and
+    /// issues a bounded speculative pre-fault once a stream is
+    /// established. Speculative faults skip the per-channel slots, the
+    /// arbiter, backend admission and chaos — they model driver-side
+    /// pre-validation, not NIC events — and draw no RNG, so enabling
+    /// prefetch never perturbs the demand path's draw sites.
+    fn maybe_prefetch(&mut self, now: SimTime, domain: DomainId, range: PageRange, write: bool) {
+        let depth = self.config.prefetch_depth;
+        if depth == 0 {
+            return;
+        }
+        let idx = domain.0 as usize;
+        if idx >= self.streams.len() {
+            self.streams.resize(idx + 1, StrideStream::default());
+        }
+        let s = &mut self.streams[idx];
+        let stride = range.start.0 as i64 - s.last_start as i64;
+        // A trained stream keeps its streak when the observed stride is
+        // a multiple of the base stride: our own prefetches absorb
+        // intermediate windows, so the next *demand* fault lands several
+        // strides ahead. That gap is continuation, not a new pattern.
+        let continuation = s.primed
+            && stride > 0
+            && stride <= MAX_PREFETCH_STRIDE
+            && (stride == s.stride || (s.streak >= 2 && s.stride > 0 && stride % s.stride == 0));
+        if continuation {
+            s.streak += 1;
+        } else {
+            s.stride = stride;
+            s.streak = 0;
+        }
+        s.last_start = range.start.0;
+        s.primed = true;
+        if s.streak < 2 {
+            return;
+        }
+        // Predicted next window: one stride ahead, but never inside the
+        // range the demand fault just resolved.
+        let stride = s.stride as u64;
+        let first = (range.start.0 + stride).max(range.start.0 + range.pages);
+        let target = PageRange::new(Vpn(first), u64::from(depth));
+        if self.iommu.probe_range(domain, target, write) {
+            return; // already mapped (e.g. by an earlier prefetch)
+        }
+        if self
+            .pending
+            .iter()
+            .any(|f| f.domain == domain && f.range.overlaps(target))
+        {
+            return; // a demand or speculative fault already covers it
+        }
+        if let Some((id, ready_at)) = self.issue_prefetch(now, domain, target, write) {
+            self.spawned_prefetches.push((id, ready_at));
+        }
+    }
+
+    /// Issues one speculative pre-fault over `range`. Returns `None`
+    /// (with no fault raised) when the range is unmapped VMA space or
+    /// memory cannot be found — speculation must never surface errors.
+    fn issue_prefetch(
+        &mut self,
+        now: SimTime,
+        domain: DomainId,
+        range: PageRange,
+        write: bool,
+    ) -> Option<(u64, SimTime)> {
+        let space = self.space_of(domain);
+        let mut ptes = Vec::with_capacity(range.pages as usize);
+        // The predicted window may run past the covering VMA (the end of
+        // an rx ring, say): `for_each_pte` reports the covered prefix
+        // before erroring, and speculation clamps to that prefix rather
+        // than giving up — it must never surface errors.
+        let _ = self
+            .mm
+            .space(space)
+            .ok()?
+            .for_each_pte(range, |vpn, pte| ptes.push((vpn, pte)));
+        if ptes.is_empty() {
+            return None;
+        }
+        let mut os_cost = SimDuration::ZERO;
+        let mut tier_cost = SimDuration::ZERO;
+        let mut invalidation_cost = SimDuration::ZERO;
+        let mut mappings = Vec::new();
+        for (vpn, pte) in ptes {
+            let frame = if let Some(f) = pte.frame() {
+                if write && pte.cow {
+                    // Never break COW speculatively: leave the page to a
+                    // demand fault that knows the write really happened.
+                    continue;
+                }
+                f
+            } else {
+                let Ok(res) = self.mm.resolve_fault(space, vpn, write) else {
+                    // Out of memory: stop speculating, keep what we have.
+                    break;
+                };
+                os_cost += res.io_cost;
+                tier_cost += res.tier_cost;
+                for inv in &res.invalidations {
+                    invalidation_cost += self.run_invalidation(*inv);
+                }
+                res.frame
+            };
+            mappings.push((vpn, frame));
+        }
+        if mappings.is_empty() {
+            return None;
+        }
+        let huge_cost = std::mem::replace(&mut self.pending_huge_cost, SimDuration::ZERO);
+        let request = FaultRequest {
+            // Charge for what the speculation will actually map, not the
+            // nominal window (which may have been clamped above).
+            pages: mappings.len() as u64,
+            os_cost: os_cost + invalidation_cost + huge_cost,
+            write,
+            firmware_bypass: self.config.firmware_bypass,
+            speculative: true,
+            tier_cost,
+        };
+        // Speculative plans draw no RNG (pinned by the backend tests),
+        // so the demand path's draw sites are untouched.
+        let plan = self.backend.plan(
+            &request,
+            &self.config.cost,
+            &mut self.rng,
+            &mut self.counters,
+        );
+        let breakdown = plan.breakdown;
+        let ready_at = now + breakdown.total();
+        let id = self.next_fault;
+        self.next_fault += 1;
+        self.counters.bump("prefetch_issued");
+        self.counters.add("prefetch_pages", mappings.len() as u64);
+
+        if trace::enabled() {
+            let parent = trace::span(
+                now,
+                breakdown.total(),
+                "npf",
+                "npf_prefetch",
+                vec![
+                    ("fault_id", ArgValue::U64(id)),
+                    ("pages", ArgValue::U64(range.pages)),
+                    ("write", ArgValue::Bool(write)),
+                ],
+            );
+            if let Some(parent) = parent {
+                let mut at = now;
+                for &(phase, d) in &plan.slices {
+                    trace::child_span(at, d, "npf", trace_child_name(phase), parent, Vec::new());
+                    at += d;
+                }
+            }
+            trace::metrics(|m| m.counter_add("npf.prefetches", 1));
+        }
+        if journal::enabled() {
+            // Same exact-tiling contract as demand faults: no waits and
+            // no chaos, so the plan slices alone tile `[now, ready_at]`.
+            let key = (self.chaos_ns << 32) | id;
+            let slices = &plan.slices;
+            journal::with(|j| {
+                j.fault_begun(key, u64::from(domain.0), range.pages, false, now, ready_at);
+                let mut at = now;
+                for &(phase, d) in slices {
+                    j.phase(key, phase, at, d);
+                    at += d;
+                }
+            });
+        }
+        let record = FaultRecord {
+            id,
+            domain,
+            space,
+            range,
+            write,
+            ready_at,
+            breakdown,
+            speculative: true,
+            mappings,
+        };
+        invariant::note_fault_begun((self.chaos_ns << 32) | id, now);
+        self.pending.push(record);
+        Some((id, ready_at))
+    }
+
+    /// Drains the speculative faults issued since the last call; the
+    /// testbed schedules `complete_fault(id)` at each `ready_at`.
+    pub fn drain_spawned_prefetches(&mut self) -> Vec<(u64, SimTime)> {
+        std::mem::take(&mut self.spawned_prefetches)
     }
 
     /// Completes a fault: installs the IOMMU mappings so subsequent DMA
@@ -914,6 +1237,7 @@ impl NpfEngine {
     ///
     /// Panics for unknown fault ids.
     pub fn complete_fault(&mut self, id: u64) -> FaultRecord {
+        self.sync_prefetch_hits();
         let idx = self
             .pending
             .binary_search_by_key(&id, |f| f.id)
@@ -950,16 +1274,55 @@ impl NpfEngine {
                 .collect(),
             Err(_) => Vec::new(),
         };
-        // Backend completion accounting: the software emulation copies
-        // bounced data out to the still-resident pages and skips the
-        // evicted ones (never a stale-frame copy).
-        self.backend.on_complete(
-            still_resident.len() as u64,
-            record.range.pages,
-            &mut self.counters,
-        );
+        if record.speculative {
+            // No NIC event and no bounce buffer behind a speculative
+            // fault: skip backend completion accounting, and remember
+            // the mapped pages for prefetch-accuracy hit detection.
+            let mut set = self.prefetched.borrow_mut();
+            for &(vpn, _) in &still_resident {
+                set.insert((record.domain.0, vpn.0));
+            }
+        } else {
+            // Backend completion accounting: the software emulation
+            // copies bounced data out to the still-resident pages and
+            // skips the evicted ones (never a stale-frame copy).
+            self.backend.on_complete(
+                still_resident.len() as u64,
+                record.range.pages,
+                &mut self.counters,
+            );
+        }
         self.iommu.map_batch(record.domain, &still_resident, true);
+        self.absorb_huge_deltas();
         record
+    }
+
+    /// Folds the IOMMU's promotion/demotion deltas since the last check
+    /// into counters and the pending maintenance cost (drained into the
+    /// next fault's OS span — deterministic, no RNG).
+    fn absorb_huge_deltas(&mut self) {
+        if !self.config.huge_pages {
+            return;
+        }
+        let (promotions, demotions) = self.iommu.huge_stats();
+        if promotions > self.seen_promotions {
+            let delta = promotions - self.seen_promotions;
+            self.seen_promotions = promotions;
+            self.counters.add("huge_promotions", delta);
+            self.pending_huge_cost += self.config.cost.huge_promote() * delta;
+            if trace::enabled() {
+                trace::metrics(|m| m.counter_add("npf.huge_promotions", delta));
+            }
+        }
+        if demotions > self.seen_demotions {
+            let delta = demotions - self.seen_demotions;
+            self.seen_demotions = demotions;
+            self.counters.add("huge_demotions", delta);
+            self.pending_huge_cost += self.config.cost.huge_demote() * delta;
+            if trace::enabled() {
+                trace::metrics(|m| m.counter_add("npf.huge_demotions", delta));
+            }
+        }
     }
 
     /// Arms the NPF-resolution fault injector. The engine draws one
@@ -1012,6 +1375,8 @@ impl NpfEngine {
             if was_mapped {
                 self.counters.bump("invalidations_mapped");
             }
+            // A revoked page can no longer be a prefetch hit.
+            self.prefetched.get_mut().remove(&(d.0, inv.vpn.0));
             cost += self.config.cost.invalidation(1, was_mapped).total();
             if trace::enabled() {
                 // No `now` in scope (invalidations arrive from MMU
@@ -1027,6 +1392,8 @@ impl NpfEngine {
                 trace::metrics(|m| m.counter_add("npf.invalidations", 1));
             }
         }
+        // Partial unmaps may have split folded leaves; price them.
+        self.absorb_huge_deltas();
         cost
     }
 
@@ -1143,6 +1510,7 @@ impl NpfEngine {
             }
         }
         self.iommu.map_batch(domain, &mappings, true);
+        self.absorb_huge_deltas();
         cost += self.config.cost.register_pinned(range.pages);
         Ok(cost)
     }
@@ -1160,6 +1528,7 @@ impl NpfEngine {
         let space = self.space_of(domain);
         self.mm.unpin_range(space, range)?;
         self.iommu.invalidate_range(domain, range);
+        self.absorb_huge_deltas();
         Ok(self.config.cost.deregister_pinned(range.pages))
     }
 }
@@ -1799,5 +2168,161 @@ mod cow_dma_tests {
         assert!(e.dma_ready(d, r.start.base(), 4096, true));
         assert!(e.counters().get("npf_events") >= 1);
         assert_eq!(e.memory().counters().get("cow_breaks"), 1);
+    }
+}
+
+#[cfg(test)]
+mod huge_prefetch_tests {
+    use super::*;
+    use memsim::manager::MemConfig;
+    use memsim::space::Backing;
+    use simcore::units::ByteSize;
+
+    fn engine_with(config: NpfConfig) -> (NpfEngine, SpaceId, DomainId, PageRange) {
+        let mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::mib(64),
+            ..MemConfig::default()
+        });
+        let mut e = NpfEngine::new(config, mm, SimRng::new(1));
+        let space = e.memory_mut().create_space();
+        let range = PageRange::new(Vpn(0), 4096); // 16 MiB, 2 MiB aligned
+        e.memory_mut()
+            .mmap_fixed(space, range, Backing::Anonymous)
+            .expect("mmap");
+        let domain = e.create_channel(space);
+        (e, space, domain, range)
+    }
+
+    #[test]
+    fn huge_fault_folds_chunk_and_charges_next_fault() {
+        let run = |huge: bool| {
+            let (mut e, _s, d, r) = engine_with(NpfConfig::default().with_huge_pages(huge));
+            // One batched 2 MiB fault: sequential frame allocation makes
+            // the chunk promotable at completion time.
+            let rec = e
+                .begin_fault(SimTime::ZERO, d, r.start.base(), 2 << 20, true, None)
+                .expect("fault")
+                .clone();
+            e.complete_fault(rec.id);
+            let folded = e.counters().get("huge_promotions");
+            // The next fault carries the fold's page-table maintenance.
+            let rec2 = e
+                .begin_fault(
+                    SimTime::from_micros(10_000),
+                    d,
+                    Vpn(512).base(),
+                    4096,
+                    true,
+                    None,
+                )
+                .expect("fault")
+                .clone();
+            let latency = rec2.ready_at.saturating_since(SimTime::from_micros(10_000));
+            (folded, latency)
+        };
+        let (folded_on, latency_on) = run(true);
+        let (folded_off, latency_off) = run(false);
+        assert_eq!(folded_on, 1, "512 resident siblings fold exactly once");
+        assert_eq!(folded_off, 0);
+        // Same RNG seed and draw sites: the only difference is the
+        // deterministic promotion charge (~21 us).
+        let delta = latency_on.saturating_sub(latency_off);
+        assert!(
+            delta >= SimDuration::from_micros(15) && delta <= SimDuration::from_micros(30),
+            "promotion charge out of range: {delta}"
+        );
+    }
+
+    #[test]
+    fn folded_translations_serve_dma_and_survive_partial_invalidation() {
+        let (mut e, s, d, r) = engine_with(NpfConfig::default().with_huge_pages(true));
+        let rec = e
+            .begin_fault(SimTime::ZERO, d, r.start.base(), 2 << 20, true, None)
+            .expect("fault")
+            .clone();
+        e.complete_fault(rec.id);
+        assert!(e.dma_ready(d, r.start.base(), 2 << 20, true));
+        // Revoking one page splits the leaf; the rest stay mapped.
+        let cost = e.touch(s, Vpn(7), true).expect("touch");
+        let _ = cost;
+        let n = e.chaos_evict(1);
+        assert!(n >= 1);
+        assert_eq!(e.counters().get("huge_demotions"), 1);
+        assert!(!e.dma_ready(d, r.start.base(), 2 << 20, true));
+    }
+
+    #[test]
+    fn stride_stream_prefetches_and_halves_demand_faults() {
+        let depth = 32;
+        let (mut e, _s, d, _r) = engine_with(NpfConfig::default().with_prefetch_depth(depth));
+        let pages_per_fault = 16u64;
+        let mut demand = 0u64;
+        let mut now = SimTime::ZERO;
+        for i in 0..32u64 {
+            let addr = Vpn(i * pages_per_fault).base();
+            let len = pages_per_fault * 4096;
+            now += SimDuration::from_millis(1);
+            if e.dma_ready(d, addr, len, true) {
+                continue; // prefetched: no NIC fault at all
+            }
+            if e.pending_fault_covering(d, addr, len).is_some() {
+                continue; // in-flight speculative fault absorbs it
+            }
+            let rec = e
+                .begin_fault(now, d, addr, len, true, None)
+                .expect("fault")
+                .clone();
+            demand += 1;
+            e.complete_fault(rec.id);
+            for (id, _ready) in e.drain_spawned_prefetches() {
+                e.complete_fault(id);
+            }
+        }
+        assert!(
+            e.counters().get("prefetch_issued") > 0,
+            "stride detector must train on a sequential stream"
+        );
+        assert!(
+            demand <= 16,
+            "prefetch must absorb at least half the faults: {demand}"
+        );
+        assert_eq!(e.counters().get("npf_events"), demand);
+        assert_eq!(
+            e.counters().get("fw_npf_events"),
+            demand,
+            "speculative faults must not raise firmware NPF events"
+        );
+        assert!(e.prefetch_hits() > 0);
+        e.sync_prefetch_hits();
+        assert!(e.counters().get("prefetch_hits") > 0);
+    }
+
+    #[test]
+    fn prefetch_draws_no_rng_and_skips_fault_slots() {
+        // Two identical engines, same seed: one prefetching, one not.
+        // The demand faults' jitter draws must align exactly.
+        let run = |depth: u32| {
+            let (mut e, _s, d, _r) = engine_with(NpfConfig::default().with_prefetch_depth(depth));
+            let mut latencies = Vec::new();
+            for i in 0..8u64 {
+                let now = SimTime::from_micros(i * 1000);
+                let rec = e
+                    .begin_fault(now, d, Vpn(i * 4).base(), 4 * 4096, true, None)
+                    .expect("fault")
+                    .clone();
+                latencies.push(rec.ready_at.saturating_since(now));
+                e.complete_fault(rec.id);
+                for (id, _ready) in e.drain_spawned_prefetches() {
+                    e.complete_fault(id);
+                }
+            }
+            latencies
+        };
+        let with_prefetch = run(8);
+        let without = run(0);
+        assert_eq!(
+            with_prefetch, without,
+            "speculative faults must not perturb demand draw sites or slots"
+        );
     }
 }

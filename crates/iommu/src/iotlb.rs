@@ -23,9 +23,18 @@ use simcore::fxhash::FxHashMap;
 
 use memsim::types::{FrameId, PageRange, Vpn};
 
-use crate::pagetable::DomainId;
+use crate::pagetable::{DomainId, HUGE_PAGES};
 
 const NIL: u32 = u32::MAX;
+
+const HUGE_MASK: u64 = HUGE_PAGES - 1;
+
+const HUGE_BITS: u32 = HUGE_PAGES.trailing_zeros();
+
+#[inline]
+fn chunk_of(vpn: Vpn) -> u64 {
+    vpn.0 >> HUGE_BITS
+}
 
 /// A cached translation: the frame plus the permission bit observed at
 /// walk time.
@@ -60,6 +69,10 @@ struct RunCache {
     /// Node slots of the run's pages in ascending-vpn order, so a level-0
     /// hit can promote its LRU node without consulting the hash index.
     slots: Vec<u32>,
+    /// Level-0 superpage: the most recently used 2 MiB entry of this
+    /// domain, keyed by chunk id. A hit is one shift-and-compare plus an
+    /// add — the fast path once a chunk has been folded.
+    huge: Option<(u64, TlbEntry)>,
 }
 
 impl RunCache {
@@ -69,6 +82,7 @@ impl RunCache {
             frame0: FrameId(0),
             writable: false,
             slots: Vec::new(),
+            huge: None,
         }
     }
 
@@ -91,7 +105,14 @@ pub struct IoTlb {
     tail: u32,
     /// Level 0, indexed by `DomainId.0` (domains are allotted densely).
     runs: Vec<RunCache>,
+    /// Level 1 superpage entries: one per folded 2 MiB chunk, keyed by
+    /// `(domain, chunk id)`, evicted FIFO at `super_capacity` (they are
+    /// few and enormous-reach, so recency tracking buys nothing).
+    supers: FxHashMap<(DomainId, u64), TlbEntry>,
+    super_order: Vec<(DomainId, u64)>,
+    super_capacity: usize,
     hits: u64,
+    super_hits: u64,
     misses: u64,
     invalidations: u64,
     evictions: u64,
@@ -114,7 +135,11 @@ impl IoTlb {
             head: NIL,
             tail: NIL,
             runs: Vec::new(),
+            supers: FxHashMap::default(),
+            super_order: Vec::new(),
+            super_capacity: (capacity / 8).max(8),
             hits: 0,
+            super_hits: 0,
             misses: 0,
             invalidations: 0,
             evictions: 0,
@@ -125,6 +150,19 @@ impl IoTlb {
     #[must_use]
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Hits served by a superpage (2 MiB) entry, a subset of
+    /// [`IoTlb::hits`].
+    #[must_use]
+    pub fn super_hits(&self) -> u64 {
+        self.super_hits
+    }
+
+    /// Superpage entries currently cached.
+    #[must_use]
+    pub fn super_len(&self) -> usize {
+        self.supers.len()
     }
 
     /// Cache misses so far.
@@ -165,6 +203,13 @@ impl IoTlb {
     #[must_use]
     pub fn pte_cached(&self, domain: DomainId, vpn: Vpn) -> bool {
         self.index.contains_key(&(domain, vpn))
+    }
+
+    /// Whether a superpage entry covering `vpn` is cached, without
+    /// promoting or counting.
+    #[must_use]
+    pub fn super_cached(&self, domain: DomainId, vpn: Vpn) -> bool {
+        self.supers.contains_key(&(domain, chunk_of(vpn)))
     }
 
     fn unlink(&mut self, slot: u32) {
@@ -272,6 +317,17 @@ impl IoTlb {
             self.hits += 1;
             return Some(entry);
         }
+        // Level-0 superpage: one compare against the domain's most
+        // recently used 2 MiB entry.
+        if let Some(run) = self.runs.get(domain.0 as usize) {
+            if let Some((chunk, base)) = run.huge {
+                if chunk == chunk_of(vpn) {
+                    self.hits += 1;
+                    self.super_hits += 1;
+                    return Some(Self::synth_super(base, vpn));
+                }
+            }
+        }
         match self.index.get(&(domain, vpn)) {
             Some(&slot) => {
                 self.promote(slot);
@@ -279,10 +335,89 @@ impl IoTlb {
                 Some(self.nodes[slot as usize].entry)
             }
             None => {
+                // Level-1 superpage store.
+                if let Some(&base) = self.supers.get(&(domain, chunk_of(vpn))) {
+                    self.set_l0_super(domain, chunk_of(vpn), base);
+                    self.hits += 1;
+                    self.super_hits += 1;
+                    return Some(Self::synth_super(base, vpn));
+                }
                 self.misses += 1;
                 None
             }
         }
+    }
+
+    /// The per-page translation a superpage base entry implies for `vpn`.
+    #[inline]
+    fn synth_super(base: TlbEntry, vpn: Vpn) -> TlbEntry {
+        TlbEntry {
+            frame: FrameId(base.frame.0 + (vpn.0 & HUGE_MASK)),
+            writable: base.writable,
+        }
+    }
+
+    fn set_l0_super(&mut self, domain: DomainId, chunk: u64, base: TlbEntry) {
+        let idx = domain.0 as usize;
+        if self.runs.len() <= idx {
+            self.runs.resize_with(idx + 1, RunCache::empty);
+        }
+        self.runs[idx].huge = Some((chunk, base));
+    }
+
+    fn drop_l0_super_covering(&mut self, domain: DomainId, chunk: u64) {
+        if let Some(run) = self.runs.get_mut(domain.0 as usize) {
+            if run.huge.is_some_and(|(c, _)| c == chunk) {
+                run.huge = None;
+            }
+        }
+    }
+
+    /// Inserts a superpage (2 MiB) entry covering `base_vpn`'s chunk:
+    /// `base_vpn + i` maps to `frame0 + i` for all 512 pages. Evicts the
+    /// oldest superpage at capacity and drops any now-shadowed 4 KiB
+    /// entries of the chunk (they would alias the fold).
+    pub fn insert_super(
+        &mut self,
+        domain: DomainId,
+        base_vpn: Vpn,
+        frame0: FrameId,
+        writable: bool,
+    ) {
+        let chunk = chunk_of(base_vpn);
+        let base = TlbEntry {
+            frame: frame0,
+            writable,
+        };
+        let key = (domain, chunk);
+        if self.supers.insert(key, base).is_none() {
+            if self.supers.len() > self.super_capacity {
+                let victim = self.super_order.remove(0);
+                self.supers.remove(&victim);
+                self.drop_l0_super_covering(victim.0, victim.1);
+                self.evictions += 1;
+            }
+            self.super_order.push(key);
+        }
+        // Shadowed 4 KiB entries of the folded chunk are dropped without
+        // counting invalidations: the translation they held stays
+        // servable (identically) through the superpage.
+        let first = Vpn(chunk << HUGE_BITS);
+        for i in 0..HUGE_PAGES {
+            let v = Vpn(first.0 + i);
+            if let Some(slot) = self.index.remove(&(domain, v)) {
+                self.unlink(slot);
+                self.free.push(slot);
+                if self
+                    .runs
+                    .get(domain.0 as usize)
+                    .is_some_and(|r| r.covers(v))
+                {
+                    self.drop_run(domain);
+                }
+            }
+        }
+        self.set_l0_super(domain, chunk, base);
     }
 
     /// Inserts a writable translation after a successful walk, evicting
@@ -368,10 +503,19 @@ impl IoTlb {
     }
 
     /// Invalidates one translation. Returns `true` when an entry was
-    /// dropped.
+    /// dropped. Invalidating *any* page covered by a superpage entry
+    /// drops the whole superpage (the fold can no longer be trusted).
     pub fn invalidate(&mut self, domain: DomainId, vpn: Vpn) -> bool {
+        let mut dropped = false;
+        let chunk = chunk_of(vpn);
+        if self.supers.remove(&(domain, chunk)).is_some() {
+            self.super_order.retain(|&k| k != (domain, chunk));
+            self.drop_l0_super_covering(domain, chunk);
+            self.invalidations += 1;
+            dropped = true;
+        }
         let Some(slot) = self.index.remove(&(domain, vpn)) else {
-            return false;
+            return dropped;
         };
         self.unlink(slot);
         self.free.push(slot);
@@ -399,14 +543,17 @@ impl IoTlb {
     /// Returns the number of entries dropped. Purely a performance
     /// event: the next access re-walks the page tables.
     pub fn flush(&mut self) -> u64 {
-        let n = self.index.len() as u64;
+        let n = (self.index.len() + self.supers.len()) as u64;
         self.index.clear();
         self.nodes.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.supers.clear();
+        self.super_order.clear();
         for r in &mut self.runs {
             r.slots.clear();
+            r.huge = None;
         }
         self.invalidations += n;
         n
@@ -424,12 +571,19 @@ impl IoTlb {
             }
             s = n.next;
         }
-        let n = victims.len() as u64;
+        let mut n = victims.len() as u64;
         for slot in victims {
             let node = self.nodes[slot as usize];
             self.index.remove(&(node.domain, node.vpn));
             self.unlink(slot);
             self.free.push(slot);
+        }
+        let before = self.supers.len();
+        self.supers.retain(|&(d, _), _| d != domain);
+        self.super_order.retain(|&(d, _)| d != domain);
+        n += (before - self.supers.len()) as u64;
+        if let Some(run) = self.runs.get_mut(domain.0 as usize) {
+            run.huge = None;
         }
         self.drop_run(domain);
         self.invalidations += n;
@@ -622,6 +776,65 @@ mod tests {
         // A refresh of an uncached page is a no-op.
         tlb.refresh(D1, Vpn(1), FrameId(1), true);
         assert!(!tlb.pte_cached(D1, Vpn(1)));
+    }
+
+    #[test]
+    fn superpage_covers_the_whole_chunk() {
+        let mut tlb = IoTlb::new(16);
+        tlb.insert_super(D0, Vpn(512), FrameId(7000), true);
+        assert_eq!(tlb.super_len(), 1);
+        for i in [0u64, 17, 511] {
+            let e = tlb.lookup_entry(D0, Vpn(512 + i)).expect("super hit");
+            assert_eq!(e.frame, FrameId(7000 + i));
+            assert!(e.writable);
+        }
+        assert_eq!(tlb.super_hits(), 3);
+        assert_eq!(tlb.misses(), 0);
+        assert_eq!(tlb.lookup(D0, Vpn(1024)), None, "next chunk misses");
+        assert_eq!(tlb.lookup(D1, Vpn(600)), None, "domains isolated");
+    }
+
+    #[test]
+    fn superpage_insert_drops_shadowed_small_entries() {
+        let mut tlb = IoTlb::new(1024);
+        for i in 0..HUGE_PAGES {
+            tlb.insert(D0, Vpn(512 + i), FrameId(7000 + i));
+        }
+        assert_eq!(tlb.len(), HUGE_PAGES as usize);
+        tlb.insert_super(D0, Vpn(512), FrameId(7000), true);
+        assert_eq!(tlb.len(), 0, "4 KiB entries are shadowed by the fold");
+        assert_eq!(tlb.invalidations(), 0, "shadowing is not an invalidation");
+        assert_eq!(tlb.lookup(D0, Vpn(700)), Some(FrameId(7188)));
+    }
+
+    #[test]
+    fn invalidating_any_covered_page_drops_the_superpage() {
+        let mut tlb = IoTlb::new(16);
+        tlb.insert_super(D0, Vpn(512), FrameId(7000), true);
+        assert!(tlb.invalidate(D0, Vpn(777)));
+        assert_eq!(tlb.super_len(), 0);
+        assert_eq!(tlb.lookup(D0, Vpn(512)), None);
+        assert_eq!(tlb.invalidations(), 1);
+        // Flush and domain teardown also purge superpages.
+        tlb.insert_super(D0, Vpn(512), FrameId(7000), true);
+        assert_eq!(tlb.invalidate_domain(D0), 1);
+        assert_eq!(tlb.super_len(), 0);
+        tlb.insert_super(D0, Vpn(512), FrameId(7000), true);
+        assert_eq!(tlb.flush(), 1);
+        assert_eq!(tlb.super_len(), 0);
+        assert_eq!(tlb.lookup(D0, Vpn(600)), None);
+    }
+
+    #[test]
+    fn superpages_evict_fifo_at_capacity() {
+        let mut tlb = IoTlb::new(64); // super capacity = 8
+        for c in 0..9u64 {
+            tlb.insert_super(D0, Vpn(c * 512), FrameId(c * 1000), true);
+        }
+        assert_eq!(tlb.super_len(), 8);
+        assert!(!tlb.super_cached(D0, Vpn(0)), "oldest superpage evicted");
+        assert!(tlb.super_cached(D0, Vpn(8 * 512)));
+        assert_eq!(tlb.evictions(), 1);
     }
 
     #[test]

@@ -9,8 +9,13 @@
 //! pinning; the modified firmware tolerates invalid entries and reports
 //! faults instead. [`TableMode`] captures both behaviours.
 
-use memsim::dense::PageMap;
+use memsim::dense::{PageMap, LEAF_LEN};
 use memsim::types::{FrameId, PageRange, Vpn};
+
+/// Pages covered by one huge (2 MiB) PTE.
+pub const HUGE_PAGES: u64 = LEAF_LEN as u64;
+
+const HUGE_MASK: u64 = HUGE_PAGES - 1;
 
 /// Identifier of a translation domain (one per IOchannel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -76,8 +81,16 @@ pub struct IoPageTable {
     domain: DomainId,
     mode: TableMode,
     entries: PageMap<IoPte>,
+    /// When set, 512 present 4 KiB siblings with contiguous frames and
+    /// uniform permissions fold into one 2 MiB PTE (and split back on
+    /// any partial unmap). Translations are byte-for-byte identical to
+    /// the 4 KiB-only table; only the PTE *shape* (and hence IOTLB
+    /// reach) changes.
+    huge_enabled: bool,
     walks: u64,
     faults: u64,
+    promotions: u64,
+    demotions: u64,
 }
 
 impl IoPageTable {
@@ -88,8 +101,11 @@ impl IoPageTable {
             domain,
             mode,
             entries: PageMap::new(),
+            huge_enabled: false,
             walks: 0,
             faults: 0,
+            promotions: 0,
+            demotions: 0,
         }
     }
 
@@ -105,10 +121,113 @@ impl IoPageTable {
         self.mode
     }
 
-    /// Number of present entries.
+    /// Number of present entries (huge PTEs count all 512 pages).
     #[must_use]
     pub fn present_pages(&self) -> usize {
-        self.entries.len()
+        self.entries.len() + self.entries.huge_len() * LEAF_LEN
+    }
+
+    /// Enables (or disables) 2 MiB PTE folding. Disabling splits every
+    /// existing huge PTE back to 4 KiB entries.
+    pub fn set_huge_pages(&mut self, enabled: bool) {
+        self.huge_enabled = enabled;
+        if !enabled {
+            let bases: Vec<Vpn> = self.entries.iter_huge().map(|(v, _)| v).collect();
+            for base in bases {
+                self.split_huge(base);
+            }
+        }
+    }
+
+    /// Whether 2 MiB folding is enabled.
+    #[must_use]
+    pub fn huge_pages_enabled(&self) -> bool {
+        self.huge_enabled
+    }
+
+    /// Number of huge PTEs currently installed.
+    #[must_use]
+    pub fn huge_ptes(&self) -> usize {
+        self.entries.huge_len()
+    }
+
+    /// Folds performed (512 siblings → one huge PTE).
+    #[must_use]
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Splits performed (huge PTE → 512 siblings).
+    #[must_use]
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// `true` when `vpn` is covered by a huge PTE.
+    #[must_use]
+    pub fn is_huge(&self, vpn: Vpn) -> bool {
+        self.entries.is_huge(vpn)
+    }
+
+    /// The per-page PTE synthesized from a huge PTE covering `vpn`.
+    fn synth_huge(huge: &IoPte, vpn: Vpn) -> IoPte {
+        IoPte {
+            frame: FrameId(huge.frame.0 + (vpn.0 & HUGE_MASK)),
+            writable: huge.writable,
+        }
+    }
+
+    /// Folds `vpn`'s chunk into a huge PTE when eligible: all 512
+    /// siblings present, frames contiguous from the aligned base, and
+    /// uniform writability. Returns `true` on promotion.
+    pub fn try_promote(&mut self, vpn: Vpn) -> bool {
+        if !self.huge_enabled
+            || self.entries.is_huge(vpn)
+            || self.entries.chunk_population(vpn) != LEAF_LEN
+        {
+            return false;
+        }
+        let base = PageMap::<IoPte>::chunk_base(vpn);
+        let mut eligible = true;
+        let mut anchor: Option<IoPte> = None;
+        self.entries
+            .scan_range(PageRange::new(base, HUGE_PAGES), |v, pte| {
+                let Some(pte) = pte else {
+                    eligible = false;
+                    return;
+                };
+                match anchor {
+                    None => anchor = Some(*pte),
+                    Some(a) => {
+                        eligible = eligible
+                            && pte.writable == a.writable
+                            && pte.frame.0 == a.frame.0 + (v.0 - base.0);
+                    }
+                }
+            });
+        let Some(anchor) = anchor else { return false };
+        if !eligible {
+            return false;
+        }
+        self.entries.take_chunk(base);
+        self.entries.insert_huge(base, anchor);
+        self.promotions += 1;
+        true
+    }
+
+    /// Splits the huge PTE covering `vpn` back into 512 4 KiB entries.
+    /// Returns `true` when a huge PTE was present.
+    pub fn split_huge(&mut self, vpn: Vpn) -> bool {
+        let Some(huge) = self.entries.remove_huge(vpn) else {
+            return false;
+        };
+        let base = PageMap::<IoPte>::chunk_base(vpn);
+        for i in 0..HUGE_PAGES {
+            let v = Vpn(base.0 + i);
+            self.entries.insert(v, Self::synth_huge(&huge, v));
+        }
+        self.demotions += 1;
+        true
     }
 
     /// Total walks performed.
@@ -123,15 +242,28 @@ impl IoPageTable {
         self.faults
     }
 
-    /// Installs (or updates) the entry for `vpn`.
+    /// Installs (or updates) the entry for `vpn`. With huge pages
+    /// enabled, a map that completes an eligible chunk folds it; a map
+    /// that contradicts a covering huge PTE splits it first.
     pub fn map(&mut self, vpn: Vpn, frame: FrameId, writable: bool) {
+        if let Some(huge) = self.entries.huge(vpn) {
+            if Self::synth_huge(huge, vpn) == (IoPte { frame, writable }) {
+                return; // re-map of an identical translation: keep the fold
+            }
+            self.split_huge(vpn);
+        }
         self.entries.insert(vpn, IoPte { frame, writable });
+        self.try_promote(vpn);
     }
 
     /// Removes the entry for `vpn`. Returns `true` when it was present —
     /// the paper notes invalidations of never-mapped pages cost nothing
-    /// extra (§4, Figure 3b).
+    /// extra (§4, Figure 3b). A partial unmap of a huge PTE demotes it
+    /// (split back to 4 KiB) first.
     pub fn unmap(&mut self, vpn: Vpn) -> bool {
+        if self.entries.is_huge(vpn) {
+            self.split_huge(vpn);
+        }
         self.entries.remove(vpn).is_some()
     }
 
@@ -143,19 +275,23 @@ impl IoPageTable {
     /// Whether `vpn` is currently mapped.
     #[must_use]
     pub fn is_mapped(&self, vpn: Vpn) -> bool {
-        self.entries.contains(vpn)
+        self.entries.contains(vpn) || self.entries.is_huge(vpn)
     }
 
-    /// The PTE for `vpn`, if present.
+    /// The PTE for `vpn`, if present (synthesized per-page from a huge
+    /// PTE when the chunk is folded).
     #[must_use]
     pub fn pte(&self, vpn: Vpn) -> Option<IoPte> {
-        self.entries.get(vpn).copied()
+        self.entries
+            .get(vpn)
+            .copied()
+            .or_else(|| self.entries.huge(vpn).map(|h| Self::synth_huge(h, vpn)))
     }
 
     /// Walks the table for a DMA access.
     pub fn translate(&mut self, vpn: Vpn, write: bool) -> Translation {
         self.walks += 1;
-        match self.entries.get(vpn) {
+        match self.pte(vpn) {
             Some(pte) if write && !pte.writable => Translation::Error,
             Some(pte) => Translation::Ok(pte.frame),
             None => {
@@ -175,11 +311,15 @@ impl IoPageTable {
     pub fn walk_range<F: FnMut(Vpn, Option<IoPte>)>(&mut self, range: PageRange, mut f: F) {
         self.walks += 1;
         let mut faults = 0u64;
-        self.entries.scan_range(range, |vpn, pte| {
+        let entries = &self.entries;
+        entries.scan_range(range, |vpn, pte| {
+            let pte = pte
+                .copied()
+                .or_else(|| entries.huge(vpn).map(|h| Self::synth_huge(h, vpn)));
             if pte.is_none() {
                 faults += 1;
             }
-            f(vpn, pte.copied());
+            f(vpn, pte);
         });
         self.faults += faults;
     }
@@ -212,10 +352,15 @@ impl IoPageTable {
     #[must_use]
     pub fn probe_range(&self, range: PageRange, write: bool) -> bool {
         let mut ok = true;
-        self.entries.scan_range(range, |_, pte| {
+        let entries = &self.entries;
+        entries.scan_range(range, |vpn, pte| {
+            let writable = match pte {
+                Some(p) => Some(p.writable),
+                None => entries.huge(vpn).map(|h| h.writable),
+            };
             ok = ok
-                && match pte {
-                    Some(p) => !write || p.writable,
+                && match writable {
+                    Some(w) => !write || w,
                     None => false,
                 };
         });
@@ -312,6 +457,98 @@ mod tests {
         assert!(!t.probe_range(PageRange::new(Vpn(0), 3), false), "hole");
         assert_eq!(t.walks(), 0);
         assert_eq!(t.faults(), 0);
+    }
+
+    fn fill_chunk(t: &mut IoPageTable, base: u64, frame0: u64) {
+        for i in 0..HUGE_PAGES {
+            t.map(Vpn(base + i), FrameId(frame0 + i), true);
+        }
+    }
+
+    #[test]
+    fn contiguous_full_chunk_promotes() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.set_huge_pages(true);
+        fill_chunk(&mut t, 512, 7000);
+        assert_eq!(t.huge_ptes(), 1);
+        assert_eq!(t.promotions(), 1);
+        assert!(t.is_huge(Vpn(700)));
+        assert_eq!(t.present_pages(), HUGE_PAGES as usize);
+        // Translations agree with the 4 KiB model.
+        assert_eq!(t.translate(Vpn(700), true), Translation::Ok(FrameId(7188)));
+        assert_eq!(t.pte(Vpn(1023)).expect("mapped").frame, FrameId(7511));
+    }
+
+    #[test]
+    fn non_contiguous_chunk_stays_small() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.set_huge_pages(true);
+        for i in 0..HUGE_PAGES {
+            // One discontinuity in the middle of the frame run.
+            let f = if i < 100 { 7000 + i } else { 9000 + i };
+            t.map(Vpn(512 + i), FrameId(f), true);
+        }
+        assert_eq!(t.huge_ptes(), 0);
+        assert_eq!(t.promotions(), 0);
+    }
+
+    #[test]
+    fn partial_unmap_demotes() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.set_huge_pages(true);
+        fill_chunk(&mut t, 512, 7000);
+        assert_eq!(t.huge_ptes(), 1);
+        assert!(t.unmap(Vpn(600)));
+        assert_eq!(t.huge_ptes(), 0);
+        assert_eq!(t.demotions(), 1);
+        assert_eq!(t.translate(Vpn(600), false), Translation::Fault);
+        assert_eq!(t.translate(Vpn(601), false), Translation::Ok(FrameId(7089)));
+        assert_eq!(t.present_pages(), HUGE_PAGES as usize - 1);
+    }
+
+    #[test]
+    fn identical_remap_keeps_fold_and_conflicting_remap_splits() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.set_huge_pages(true);
+        fill_chunk(&mut t, 512, 7000);
+        t.map(Vpn(700), FrameId(7188), true); // identical: stays folded
+        assert_eq!(t.huge_ptes(), 1);
+        t.map(Vpn(700), FrameId(1), true); // conflicting: splits
+        assert_eq!(t.huge_ptes(), 0);
+        assert_eq!(t.demotions(), 1);
+        assert_eq!(t.translate(Vpn(700), false), Translation::Ok(FrameId(1)));
+    }
+
+    #[test]
+    fn disabling_huge_pages_splits_existing_folds() {
+        let mut t = table(TableMode::PageFaultCapable);
+        t.set_huge_pages(true);
+        fill_chunk(&mut t, 512, 7000);
+        assert_eq!(t.huge_ptes(), 1);
+        t.set_huge_pages(false);
+        assert_eq!(t.huge_ptes(), 0);
+        assert_eq!(t.present_pages(), HUGE_PAGES as usize);
+        assert_eq!(t.translate(Vpn(900), false), Translation::Ok(FrameId(7388)));
+    }
+
+    #[test]
+    fn huge_walk_range_and_probe_agree_with_small_pages() {
+        let mut small = table(TableMode::PageFaultCapable);
+        let mut huge = table(TableMode::PageFaultCapable);
+        huge.set_huge_pages(true);
+        for i in 0..HUGE_PAGES {
+            small.map(Vpn(512 + i), FrameId(7000 + i), true);
+            huge.map(Vpn(512 + i), FrameId(7000 + i), true);
+        }
+        assert_eq!(huge.huge_ptes(), 1);
+        let range = PageRange::new(Vpn(500), 540);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        small.walk_range(range, |v, p| a.push((v, p)));
+        huge.walk_range(range, |v, p| b.push((v, p)));
+        assert_eq!(a, b, "huge walk is byte-identical to the 4 KiB walk");
+        assert!(huge.probe_range(PageRange::new(Vpn(512), HUGE_PAGES), true));
+        assert!(!huge.probe_range(PageRange::new(Vpn(511), 2), false));
     }
 
     #[test]

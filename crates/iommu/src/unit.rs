@@ -17,7 +17,7 @@ use simcore::journal;
 use simcore::trace::{self, ArgValue, MetricId};
 
 use crate::iotlb::IoTlb;
-use crate::pagetable::{DomainId, IoPageTable, TableMode, Translation};
+use crate::pagetable::{DomainId, IoPageTable, TableMode, Translation, HUGE_PAGES};
 
 /// An outstanding page request (the PRI analogue). The NIC hands the
 /// driver as much context as it can — the paper's third optimization
@@ -86,6 +86,9 @@ pub struct Iommu {
     /// Invariant-note namespace: distinguishes this unit's domain and
     /// frame ids from other nodes' units inside one global checker.
     chaos_ns: u64,
+    /// 2 MiB PTE folding: applied to every table and mirrored into the
+    /// IOTLB as superpage entries.
+    huge_enabled: bool,
     metric_ids: Option<MetricIds>,
     /// TLB evictions already exported as metrics.
     evictions_reported: u64,
@@ -101,9 +104,34 @@ impl Iommu {
             pending: Vec::new(),
             next_request: 0,
             chaos_ns: 0,
+            huge_enabled: false,
             metric_ids: None,
             evictions_reported: 0,
         }
+    }
+
+    /// Enables (or disables) 2 MiB huge-page folding on every domain,
+    /// present and future. Disabling splits existing folds.
+    pub fn set_huge_pages(&mut self, enabled: bool) {
+        self.huge_enabled = enabled;
+        for t in self.tables.iter_mut().flatten() {
+            t.set_huge_pages(enabled);
+        }
+    }
+
+    /// Whether huge-page folding is enabled.
+    #[must_use]
+    pub fn huge_pages_enabled(&self) -> bool {
+        self.huge_enabled
+    }
+
+    /// `(promotions, demotions)` summed over every live domain.
+    #[must_use]
+    pub fn huge_stats(&self) -> (u64, u64) {
+        self.tables
+            .iter()
+            .flatten()
+            .fold((0, 0), |(p, d), t| (p + t.promotions(), d + t.demotions()))
     }
 
     /// Sets the invariant-note namespace (see `invariant::fresh_namespace`).
@@ -114,7 +142,9 @@ impl Iommu {
     /// Creates a new translation domain.
     pub fn create_domain(&mut self, mode: TableMode) -> DomainId {
         let id = DomainId(u32::try_from(self.tables.len()).expect("domain ids fit in u32"));
-        self.tables.push(Some(IoPageTable::new(id, mode)));
+        let mut table = IoPageTable::new(id, mode);
+        table.set_huge_pages(self.huge_enabled);
+        self.tables.push(Some(table));
         id
     }
 
@@ -245,8 +275,13 @@ impl Iommu {
         let table = self.table_mut(domain);
         match table.translate(vpn, write) {
             Translation::Ok(frame) => {
-                let writable = table.pte(vpn).is_some_and(|p| p.writable);
-                self.tlb.insert_pte(domain, vpn, frame, writable);
+                if table.is_huge(vpn) {
+                    // Fill the whole 2 MiB reach instead of one page.
+                    self.sync_super(domain, vpn);
+                } else {
+                    let writable = table.pte(vpn).is_some_and(|p| p.writable);
+                    self.tlb.insert_pte(domain, vpn, frame, writable);
+                }
                 if trace::enabled() {
                     self.report_tlb(0, 1);
                 }
@@ -294,6 +329,18 @@ impl Iommu {
         let mut filled = 0u64;
         let walk_pages = if error { 0 } else { end.saturating_sub(vpn) };
         if !error && vpn < end {
+            // Chunks of the remainder that are already folded: their
+            // pages fill through one superpage entry after the walk
+            // instead of 512 individual fills.
+            let mut folded: Vec<u64> = Vec::new();
+            if self.huge_enabled {
+                let t = self.table(domain);
+                for c in (vpn / HUGE_PAGES)..=((end - 1) / HUGE_PAGES) {
+                    if t.is_huge(Vpn(c * HUGE_PAGES)) {
+                        folded.push(c);
+                    }
+                }
+            }
             // Single walk for the remainder. Pages the TLB did cache
             // past the first miss are simply re-filled — the table is
             // authoritative and coherent with the cache.
@@ -312,7 +359,9 @@ impl Iommu {
                 match pte {
                     Some(p) if write && !p.writable => error = true,
                     Some(p) => {
-                        tlb.insert_pte(domain, page, p.frame, p.writable);
+                        if folded.binary_search(&(page.0 / HUGE_PAGES)).is_err() {
+                            tlb.insert_pte(domain, page, p.frame, p.writable);
+                        }
                         filled += 1;
                     }
                     None => match mode {
@@ -321,6 +370,9 @@ impl Iommu {
                     },
                 }
             });
+            for c in folded {
+                self.sync_super(domain, Vpn(c * HUGE_PAGES));
+            }
         }
         if trace::enabled() {
             self.report_tlb(hits, misses);
@@ -380,6 +432,25 @@ impl Iommu {
         );
         self.table_mut(domain).map(vpn, frame, writable);
         self.tlb.refresh(domain, vpn, frame, writable);
+        if self.huge_enabled {
+            self.sync_super(domain, vpn);
+        }
+    }
+
+    /// Mirrors a fresh page-table fold covering `vpn` into the IOTLB as
+    /// a superpage entry (no-op when the chunk is not folded or the
+    /// superpage is already cached).
+    fn sync_super(&mut self, domain: DomainId, vpn: Vpn) {
+        let table = self.table(domain);
+        if !table.is_huge(vpn) || self.tlb.super_cached(domain, vpn) {
+            return;
+        }
+        let base = Vpn(vpn.0 & !(HUGE_PAGES - 1));
+        let pte = table.pte(base).expect("folded chunk has a base pte");
+        self.tlb.insert_super(domain, base, pte.frame, pte.writable);
+        if journal::enabled() {
+            journal::mark(journal::MarkKind::HugePromote, base.0);
+        }
     }
 
     /// Installs a run of mappings with consecutive frames. Used by the
@@ -391,6 +462,7 @@ impl Iommu {
             .get_mut(domain.0 as usize)
             .and_then(Option::as_mut)
             .expect("unknown IOMMU domain");
+        let promos_before = table.promotions();
         for &(vpn, frame) in mappings {
             invariant::note_frame_mapped(
                 (chaos_ns << 32) | u64::from(domain.0),
@@ -400,6 +472,18 @@ impl Iommu {
             table.map(vpn, frame, writable);
             self.tlb.refresh(domain, vpn, frame, writable);
         }
+        if self.huge_enabled && self.table(domain).promotions() > promos_before {
+            // One or more chunks folded during the batch: mirror each
+            // (distinct chunks in ascending mapping order) into the TLB.
+            let mut last_chunk = u64::MAX;
+            for &(vpn, _) in mappings {
+                let chunk = vpn.0 / HUGE_PAGES;
+                if chunk != last_chunk {
+                    last_chunk = chunk;
+                    self.sync_super(domain, vpn);
+                }
+            }
+        }
     }
 
     /// Invalidates one page: removes the PTE and purges the IOTLB.
@@ -408,7 +492,12 @@ impl Iommu {
     pub fn invalidate(&mut self, domain: DomainId, vpn: Vpn) -> bool {
         invariant::note_frame_unmapped((self.chaos_ns << 32) | u64::from(domain.0), vpn.0);
         self.tlb.invalidate(domain, vpn);
-        let was_mapped = self.table_mut(domain).unmap(vpn);
+        let table = self.table_mut(domain);
+        let demotions_before = table.demotions();
+        let was_mapped = table.unmap(vpn);
+        if journal::enabled() && self.table(domain).demotions() > demotions_before {
+            journal::mark(journal::MarkKind::HugeDemote, vpn.0 & !(HUGE_PAGES - 1));
+        }
         if trace::enabled() {
             if let Some(ids) = self.metric_ids() {
                 trace::metrics(|m| {
@@ -431,7 +520,15 @@ impl Iommu {
             }
         }
         self.tlb.invalidate_range(domain, range);
-        let mapped = self.table_mut(domain).unmap_range(range);
+        let table = self.table_mut(domain);
+        let demotions_before = table.demotions();
+        let mapped = table.unmap_range(range);
+        if journal::enabled() && self.table(domain).demotions() > demotions_before {
+            journal::mark(
+                journal::MarkKind::HugeDemote,
+                range.start.0 & !(HUGE_PAGES - 1),
+            );
+        }
         if trace::enabled() {
             if let Some(ids) = self.metric_ids() {
                 trace::metrics(|m| {
@@ -627,6 +724,76 @@ mod tests {
             mmu.check_dma_range(d, PageRange::new(Vpn(0), 2), false),
             RangeCheck::Ok
         );
+    }
+
+    #[test]
+    fn huge_mode_folds_batches_and_survives_partial_invalidation() {
+        let mut mmu = Iommu::new(64);
+        mmu.set_huge_pages(true);
+        let d = mmu.create_domain(TableMode::PageFaultCapable);
+        let mappings: Vec<(Vpn, FrameId)> = (0..crate::pagetable::HUGE_PAGES)
+            .map(|i| (Vpn(512 + i), FrameId(9000 + i)))
+            .collect();
+        mmu.map_batch(d, &mappings, true);
+        assert_eq!(mmu.table(d).huge_ptes(), 1, "batch folded the chunk");
+        assert_eq!(mmu.tlb().super_len(), 1, "fold mirrored into the TLB");
+        assert_eq!(mmu.huge_stats(), (1, 0));
+        // A DMA anywhere in the chunk hits through the superpage.
+        assert_eq!(
+            mmu.check_dma(d, Vpn(700), true),
+            DmaCheck::Ok(FrameId(9188))
+        );
+        assert_eq!(mmu.tlb().super_hits(), 1);
+        // One range check = pure TLB hits, no walk.
+        let walks = mmu.table(d).walks();
+        assert_eq!(
+            mmu.check_dma_range(d, PageRange::new(Vpn(512), 64), true),
+            RangeCheck::Ok
+        );
+        assert_eq!(mmu.table(d).walks(), walks, "superpage served the range");
+        // Partial invalidation demotes and purges the superpage.
+        assert!(mmu.invalidate(d, Vpn(600)));
+        assert_eq!(mmu.table(d).huge_ptes(), 0);
+        assert_eq!(mmu.tlb().super_len(), 0);
+        assert_eq!(mmu.huge_stats(), (1, 1));
+        assert!(matches!(
+            mmu.check_dma(d, Vpn(600), true),
+            DmaCheck::Fault(_)
+        ));
+        assert_eq!(
+            mmu.check_dma(d, Vpn(601), true),
+            DmaCheck::Ok(FrameId(9089))
+        );
+    }
+
+    #[test]
+    fn huge_mode_is_translation_equivalent_to_small_pages() {
+        // The differential property in miniature: same op sequence, one
+        // unit folding, one not — every check must agree.
+        let run = |huge: bool| {
+            let mut mmu = Iommu::new(64);
+            mmu.set_huge_pages(huge);
+            let d = mmu.create_domain(TableMode::PageFaultCapable);
+            let mappings: Vec<(Vpn, FrameId)> = (0..crate::pagetable::HUGE_PAGES)
+                .map(|i| (Vpn(512 + i), FrameId(9000 + i)))
+                .collect();
+            mmu.map_batch(d, &mappings, true);
+            let mut out = String::new();
+            for vpn in [512u64, 700, 1023, 1024] {
+                out.push_str(&format!("{:?};", mmu.check_dma(d, Vpn(vpn), true)));
+            }
+            mmu.invalidate(d, Vpn(700));
+            for vpn in [700u64, 701, 512] {
+                out.push_str(&format!("{:?};", mmu.check_dma(d, Vpn(vpn), false)));
+            }
+            out.push_str(&format!(
+                "{:?}",
+                mmu.check_dma_range(d, PageRange::new(Vpn(512), 8), true)
+            ));
+            out
+        };
+        // DmaCheck::Fault carries request ids which advance identically.
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

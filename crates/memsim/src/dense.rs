@@ -14,7 +14,7 @@
 //! sparse chunks sorted), so every observable traversal is deterministic
 //! by construction — unlike the `HashMap` storage this replaces.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::types::{PageRange, Vpn};
 
@@ -50,6 +50,14 @@ impl<T> Leaf<T> {
 }
 
 /// A map from [`Vpn`] to `T` backed by slab-allocated leaf chunks.
+///
+/// Besides the 4 KiB entries, a chunk can hold one *huge* (2 MiB) leaf
+/// entry covering all [`LEAF_LEN`] of its pages — the structural
+/// analogue of a superpage PTE. Huge entries live beside the 4 KiB
+/// entries (they never alias: callers fold the 512 base entries into one
+/// huge entry and split back on demotion) and are kept in a `BTreeMap`
+/// so every traversal stays deterministic. [`PageMap::len`] counts only
+/// 4 KiB entries; huge entries are counted by [`PageMap::huge_len`].
 #[derive(Debug, Clone)]
 pub struct PageMap<T> {
     leaves: Vec<Leaf<T>>,
@@ -58,6 +66,8 @@ pub struct PageMap<T> {
     direct: Vec<u32>,
     /// Fallback directory for chunks at or beyond [`DIRECT_CHUNKS`].
     sparse: HashMap<u64, u32>,
+    /// Huge (2 MiB) leaf entries, keyed by chunk id.
+    huge: BTreeMap<u64, T>,
     len: usize,
 }
 
@@ -76,6 +86,7 @@ impl<T> PageMap<T> {
             free: Vec::new(),
             direct: Vec::new(),
             sparse: HashMap::new(),
+            huge: BTreeMap::new(),
             len: 0,
         }
     }
@@ -227,6 +238,86 @@ impl<T> PageMap<T> {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Huge (2 MiB) leaf entries.
+    // ------------------------------------------------------------------
+
+    /// The base VPN of the 2 MiB chunk containing `vpn`.
+    #[inline]
+    #[must_use]
+    pub fn chunk_base(vpn: Vpn) -> Vpn {
+        Vpn(vpn.0 & !LEAF_MASK)
+    }
+
+    /// Number of 4 KiB entries present in `vpn`'s chunk (0–[`LEAF_LEN`]).
+    #[must_use]
+    pub fn chunk_population(&self, vpn: Vpn) -> usize {
+        self.slot_of(vpn.0 >> LEAF_BITS)
+            .map_or(0, |s| self.leaves[s as usize].used as usize)
+    }
+
+    /// The huge entry covering `vpn`, if its chunk is huge-mapped.
+    #[inline]
+    #[must_use]
+    pub fn huge(&self, vpn: Vpn) -> Option<&T> {
+        self.huge.get(&(vpn.0 >> LEAF_BITS))
+    }
+
+    /// `true` when `vpn`'s chunk holds a huge entry.
+    #[inline]
+    #[must_use]
+    pub fn is_huge(&self, vpn: Vpn) -> bool {
+        self.huge.contains_key(&(vpn.0 >> LEAF_BITS))
+    }
+
+    /// Number of huge entries present.
+    #[must_use]
+    pub fn huge_len(&self) -> usize {
+        self.huge.len()
+    }
+
+    /// Installs a huge entry covering `base`'s chunk, returning the
+    /// previous one if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base` is not 2 MiB-aligned.
+    pub fn insert_huge(&mut self, base: Vpn, value: T) -> Option<T> {
+        assert_eq!(base.0 & LEAF_MASK, 0, "huge entry base must be aligned");
+        self.huge.insert(base.0 >> LEAF_BITS, value)
+    }
+
+    /// Removes and returns the huge entry covering `vpn`, if any.
+    pub fn remove_huge(&mut self, vpn: Vpn) -> Option<T> {
+        self.huge.remove(&(vpn.0 >> LEAF_BITS))
+    }
+
+    /// Drains every 4 KiB entry of `vpn`'s chunk, returning them in
+    /// ascending VPN order (the promotion fold's input).
+    pub fn take_chunk(&mut self, vpn: Vpn) -> Vec<(Vpn, T)> {
+        let chunk = vpn.0 >> LEAF_BITS;
+        let Some(slot) = self.slot_of(chunk) else {
+            return Vec::new();
+        };
+        let leaf = &mut self.leaves[slot as usize];
+        let mut out = Vec::with_capacity(leaf.used as usize);
+        for (i, e) in leaf.slots.iter_mut().enumerate() {
+            if let Some(v) = e.take() {
+                out.push((Vpn((chunk << LEAF_BITS) | i as u64), v));
+            }
+        }
+        self.len -= out.len();
+        leaf.used = 0;
+        self.clear_dir(chunk);
+        self.free.push(slot);
+        out
+    }
+
+    /// Iterates the huge entries in ascending base-VPN order.
+    pub fn iter_huge(&self) -> impl Iterator<Item = (Vpn, &T)> + '_ {
+        self.huge.iter().map(|(&c, v)| (Vpn(c << LEAF_BITS), v))
+    }
+
     /// Iterates all entries in ascending VPN order.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, &T)> + '_ {
         let mut chunks: Vec<(u64, u32)> = self
@@ -341,6 +432,36 @@ mod tests {
             holes += 1;
         });
         assert_eq!(holes, 700);
+    }
+
+    #[test]
+    fn huge_entries_fold_and_split() {
+        let mut m: PageMap<u64> = PageMap::new();
+        for i in 0..LEAF_LEN as u64 {
+            m.insert(Vpn(512 + i), 1000 + i);
+        }
+        assert_eq!(m.chunk_population(Vpn(700)), LEAF_LEN);
+        let drained = m.take_chunk(Vpn(700));
+        assert_eq!(drained.len(), LEAF_LEN);
+        assert_eq!(drained[0], (Vpn(512), 1000));
+        assert!(m.is_empty());
+        assert_eq!(m.insert_huge(Vpn(512), 42), None);
+        assert!(m.is_huge(Vpn(900)));
+        assert!(!m.is_huge(Vpn(1024)));
+        assert_eq!(m.huge(Vpn(700)), Some(&42));
+        assert_eq!(m.huge_len(), 1);
+        assert_eq!(PageMap::<u64>::chunk_base(Vpn(700)), Vpn(512));
+        // Split: remove the huge entry; 4 KiB entries come back in.
+        assert_eq!(m.remove_huge(Vpn(600)), Some(42));
+        assert!(!m.is_huge(Vpn(600)));
+        assert_eq!(m.huge_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "huge entry base must be aligned")]
+    fn unaligned_huge_base_panics() {
+        let mut m: PageMap<u64> = PageMap::new();
+        m.insert_huge(Vpn(513), 1);
     }
 
     #[test]

@@ -29,6 +29,30 @@ use crate::types::{FileId, FrameId, PageRange, SpaceId, Vpn, PAGE_SIZE};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CgroupId(pub u32);
 
+/// Configuration of a slow byte-addressable memory tier (the hemem
+/// idiom: DRAM in front, NVM behind, with the OS migrating pages
+/// between them on fault/reclaim events).
+#[derive(Debug, Clone, Copy)]
+pub struct TierConfig {
+    /// Capacity of the slow tier.
+    pub capacity: ByteSize,
+    /// Device model for the slow tier (latency/bandwidth of NVM).
+    pub disk: DiskConfig,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            capacity: ByteSize::gib(2),
+            disk: DiskConfig::nvm(),
+        }
+    }
+}
+
+/// High bit of a swap-slot id marks a slot in the NVM tier rather than
+/// the swap device; [`PageState::SwappedOut`] carries either unchanged.
+const NVM_SLOT_TAG: u64 = 1 << 63;
+
 /// Configuration of the memory subsystem.
 #[derive(Debug, Clone, Copy)]
 pub struct MemConfig {
@@ -46,6 +70,11 @@ pub struct MemConfig {
     /// Per-space mlock limit (`RLIMIT_MEMLOCK`); `None` disables the
     /// check (privileged IOproviders).
     pub rlimit_memlock: Option<ByteSize>,
+    /// Optional slow memory tier. Cold dirty pages demote to NVM before
+    /// falling back to swap; re-faulting promotes them back to DRAM,
+    /// charging the (much cheaper) NVM fetch as
+    /// [`FaultResolution::tier_cost`].
+    pub tier: Option<TierConfig>,
 }
 
 impl Default for MemConfig {
@@ -57,6 +86,7 @@ impl Default for MemConfig {
             fault_sw_cost: SimDuration::from_micros(1),
             per_page_sw_cost: SimDuration::from_nanos(115),
             rlimit_memlock: None,
+            tier: None,
         }
     }
 }
@@ -94,6 +124,10 @@ pub struct FaultResolution {
     /// drivers charge this on top of their own software model rather
     /// than double-counting the CPU components.
     pub io_cost: SimDuration,
+    /// The share of `io_cost` spent fetching the page from the slow
+    /// memory tier (NVM promotion). NPF drivers re-label this slice of
+    /// their OS span as tier-migration time in the fault journal.
+    pub tier_cost: SimDuration,
     /// Pages revoked to make room.
     pub invalidations: Vec<Invalidation>,
 }
@@ -184,6 +218,9 @@ pub struct MemoryManager {
     group_resident: HashMap<CgroupId, u64>,
     group_members: HashMap<CgroupId, Vec<SpaceId>>,
     swap: SwapDevice,
+    /// The slow memory tier, when configured: demotion target for cold
+    /// dirty pages ahead of the swap device.
+    nvm: Option<SwapDevice>,
     cache: PageCache,
     lru: LruTracker,
     /// Reference counts of frames shared by COW (absent = 1 owner).
@@ -215,6 +252,9 @@ impl MemoryManager {
             group_resident: HashMap::new(),
             group_members: HashMap::new(),
             swap: SwapDevice::new(config.disk, swap_slots),
+            nvm: config
+                .tier
+                .map(|t| SwapDevice::new(t.disk, t.capacity.bytes() / PAGE_SIZE)),
             cache: PageCache::new(),
             lru: LruTracker::new(),
             frame_refs: HashMap::new(),
@@ -268,6 +308,13 @@ impl MemoryManager {
     #[must_use]
     pub fn cache_hit_ratio(&self) -> f64 {
         self.cache.hit_ratio()
+    }
+
+    /// Pages currently demoted to the slow memory tier (0 when no tier
+    /// is configured).
+    #[must_use]
+    pub fn tier_pages(&self) -> u64 {
+        self.nvm.as_ref().map_or(0, SwapDevice::used_slots)
     }
 
     /// Creates a new, unconstrained address space.
@@ -474,6 +521,7 @@ impl MemoryManager {
             frame,
             cost,
             io_cost: SimDuration::ZERO,
+            tier_cost: SimDuration::ZERO,
             invalidations,
         })
     }
@@ -529,6 +577,7 @@ impl MemoryManager {
 
         let mut cost = self.config.fault_sw_cost + self.config.per_page_sw_cost;
         let mut io_cost = SimDuration::ZERO;
+        let mut tier_cost = SimDuration::ZERO;
         let mut invalidations = Vec::new();
 
         // Respect the cgroup resident limit before taking a new frame.
@@ -549,9 +598,20 @@ impl MemoryManager {
         // Fill the page according to its backing.
         let kind = match (backing, pte.state) {
             (Backing::Anonymous, PageState::SwappedOut { slot }) => {
-                let io = self.swap.swap_in(slot);
-                cost += io;
-                io_cost += io;
+                if slot & NVM_SLOT_TAG != 0 {
+                    // Promotion from the slow tier back into DRAM.
+                    let nvm = self.nvm.as_mut().expect("tagged slot implies a tier");
+                    let io = nvm.swap_in(slot & !NVM_SLOT_TAG);
+                    cost += io;
+                    io_cost += io;
+                    tier_cost += io;
+                    self.counters.bump("tier_promotions");
+                    journal::mark(journal::MarkKind::TierMigrate, vpn.0);
+                } else {
+                    let io = self.swap.swap_in(slot);
+                    cost += io;
+                    io_cost += io;
+                }
                 self.counters.bump("major_faults");
                 FaultKind::Major
             }
@@ -630,6 +690,7 @@ impl MemoryManager {
             frame,
             cost,
             io_cost,
+            tier_cost,
             invalidations,
         })
     }
@@ -745,14 +806,28 @@ impl MemoryManager {
             .frame()
             .is_some_and(|f| self.frame_refs.get(&f).copied().unwrap_or(1) > 1);
         let (frame, _dirty) = if is_anon && pte.dirty && !shared {
-            let Some((slot, _io)) = self.swap.swap_out() else {
-                return Err(MemError::SwapFull);
-            };
+            // LRU victims are by construction the coldest mapped pages:
+            // demote them to the slow tier while it has room, and fall
+            // back to swap once NVM is full (the hemem policy).
+            let slot =
+                if let Some((nvm_slot, _io)) = self.nvm.as_mut().and_then(SwapDevice::swap_out) {
+                    self.counters.bump("tier_demotions");
+                    journal::mark(journal::MarkKind::TierMigrate, vpn.0);
+                    if trace::enabled() {
+                        trace::metrics(|m| m.counter_add("memsim.tier_demotions", 1));
+                    }
+                    nvm_slot | NVM_SLOT_TAG
+                } else {
+                    let Some((swap_slot, _io)) = self.swap.swap_out() else {
+                        return Err(MemError::SwapFull);
+                    };
+                    self.counters.bump("swap_outs");
+                    if trace::enabled() {
+                        trace::metrics(|m| m.counter_add("memsim.swap_outs", 1));
+                    }
+                    swap_slot
+                };
             cost += SimDuration::from_micros(3); // writeback queueing CPU
-            self.counters.bump("swap_outs");
-            if trace::enabled() {
-                trace::metrics(|m| m.counter_add("memsim.swap_outs", 1));
-            }
             s.evict(vpn, Some(slot))
         } else {
             // Clean anonymous pages are all-zero: drop and re-zero later.
@@ -1310,6 +1385,80 @@ mod cow_tests {
         // private pages may have swapped, but the shared frame survived.
         let f = mm.space(parent).unwrap().frame_of(r.start);
         assert!(f.is_some());
+    }
+}
+
+#[cfg(test)]
+mod tier_tests {
+    use super::*;
+    use crate::space::Backing;
+
+    fn tiered(ram_kib: u64, tier_kib: u64) -> MemoryManager {
+        MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(ram_kib),
+            tier: Some(TierConfig {
+                capacity: ByteSize::kib(tier_kib),
+                disk: DiskConfig::nvm(),
+            }),
+            ..MemConfig::default()
+        })
+    }
+
+    #[test]
+    fn cold_dirty_pages_demote_to_nvm_before_swap() {
+        // 4 frames of DRAM, 2 pages of NVM: walking 8 dirty pages must
+        // demote the coldest to the tier first, then fall back to swap.
+        let mut mm = tiered(16, 8);
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(32), Backing::Anonymous).unwrap();
+        for vpn in r.iter() {
+            mm.touch(s, vpn, true).unwrap();
+        }
+        assert_eq!(mm.counters().get("tier_demotions"), 2, "NVM fills first");
+        assert!(mm.counters().get("swap_outs") > 0, "overflow goes to swap");
+        assert_eq!(mm.tier_pages(), 2);
+    }
+
+    #[test]
+    fn refault_promotes_from_nvm_and_reports_tier_cost() {
+        // Plenty of tier space: every eviction lands in NVM, and the
+        // re-fault is a major fault whose I/O is entirely tier cost.
+        let mut mm = tiered(16, 64);
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(32), Backing::Anonymous).unwrap();
+        for vpn in r.iter() {
+            mm.touch(s, vpn, true).unwrap();
+        }
+        assert_eq!(mm.counters().get("swap_outs"), 0, "tier absorbs all");
+        let a = mm.touch(s, r.start, false).unwrap();
+        let f = a.fault.expect("evicted page re-faults");
+        assert_eq!(f.kind, FaultKind::Major);
+        assert!(f.tier_cost > SimDuration::ZERO);
+        assert_eq!(f.tier_cost, f.io_cost, "all I/O came from the tier");
+        assert!(
+            f.io_cost < SimDuration::from_micros(10),
+            "NVM promotion must be orders of magnitude under disk: {}",
+            f.io_cost
+        );
+        assert_eq!(mm.counters().get("tier_promotions"), 1);
+    }
+
+    #[test]
+    fn untiered_faults_report_zero_tier_cost() {
+        let mut mm = MemoryManager::new(MemConfig {
+            total_memory: ByteSize::kib(16),
+            ..MemConfig::default()
+        });
+        let s = mm.create_space();
+        let r = mm.mmap(s, ByteSize::kib(32), Backing::Anonymous).unwrap();
+        for vpn in r.iter() {
+            mm.touch(s, vpn, true).unwrap();
+        }
+        let a = mm.touch(s, r.start, false).unwrap();
+        let f = a.fault.expect("swapped page re-faults");
+        assert_eq!(f.kind, FaultKind::Major);
+        assert_eq!(f.tier_cost, SimDuration::ZERO);
+        assert!(f.io_cost >= SimDuration::from_millis(5), "HDD swap-in");
     }
 }
 

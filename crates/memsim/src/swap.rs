@@ -36,6 +36,17 @@ impl DiskConfig {
         }
     }
 
+    /// Byte-addressable non-volatile memory (Optane-class), used as the
+    /// slow tier of a DRAM/NVM hierarchy. Far faster than any block
+    /// device but still several times slower than DRAM.
+    #[must_use]
+    pub fn nvm() -> Self {
+        DiskConfig {
+            access_latency: SimDuration::from_micros(1),
+            bandwidth: Bandwidth::mbytes_per_sec(8000),
+        }
+    }
+
     /// Time to read or write `bytes` in one operation.
     #[must_use]
     pub fn io_time(&self, bytes: u64) -> SimDuration {

@@ -69,12 +69,15 @@ impl CauseId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JournalId(pub u64);
 
-/// One phase of a fault's lifecycle. The eleven phases tile the
+/// One phase of a fault's lifecycle. The thirteen phases tile the
 /// interval `[begun, resolved_at]` with no gaps or overlaps, so their
 /// durations sum exactly to the end-to-end latency. The firmware NPF
 /// backend uses the trigger/driver/translate/update/resume chain
 /// (Figure 3's (i)–(v)); the software-emulation backend replaces the
-/// hardware trigger and resume with validate/bounce/copy slices.
+/// hardware trigger and resume with validate/bounce/copy slices;
+/// speculative pre-faults open with a `Prefetch` issue slice and
+/// tier-migration fetches carve a `TierMigrate` slice out of the OS
+/// share.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// Waiting for a per-channel fault slot (outstanding-limit queue).
@@ -87,6 +90,9 @@ pub enum Phase {
     /// Waiting for a bounce buffer from the bounded pool (software
     /// emulation backpressure).
     BounceWait,
+    /// Driver-side issue of a speculative pre-fault (stride prefetch;
+    /// no NIC interrupt, no firmware resume).
+    Prefetch,
     /// Hardware fault trigger + interrupt delivery (Fig. 3 phase i).
     Trigger,
     /// IOprovider driver software, minus the OS part (phase ii).
@@ -94,6 +100,9 @@ pub enum Phase {
     /// OS page-in: page-table walk, backing-store fetch, invalidation
     /// (phases iii–iv's OS share).
     OsTranslate,
+    /// Fetching the page from the slow memory tier (NVM) instead of
+    /// swap — tiered backing store migration time.
+    TierMigrate,
     /// Updating the device page tables / IOTLB (phase iv's HW share).
     PtUpdate,
     /// Resuming the stalled DMA (phase v).
@@ -108,14 +117,16 @@ pub enum Phase {
 impl Phase {
     /// Every phase, in lifecycle order. Attribution tables iterate
     /// this, so column order is fixed.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 13] = [
         Phase::QueueWait,
         Phase::ArbWait,
         Phase::Validate,
         Phase::BounceWait,
+        Phase::Prefetch,
         Phase::Trigger,
         Phase::DriverSw,
         Phase::OsTranslate,
+        Phase::TierMigrate,
         Phase::PtUpdate,
         Phase::Resume,
         Phase::CopyOut,
@@ -130,9 +141,11 @@ impl Phase {
             Phase::ArbWait => "arb_wait",
             Phase::Validate => "validate",
             Phase::BounceWait => "bounce_wait",
+            Phase::Prefetch => "prefetch",
             Phase::Trigger => "trigger",
             Phase::DriverSw => "driver_sw",
             Phase::OsTranslate => "os_translate",
+            Phase::TierMigrate => "tier_migrate",
             Phase::PtUpdate => "pt_update",
             Phase::Resume => "resume",
             Phase::CopyOut => "copy_out",
@@ -176,6 +189,14 @@ pub enum MarkKind {
     /// The backup-ring driver merged a parked packet back (replay
     /// drain; detail = packet length).
     ReplayDrain,
+    /// 512 resident 4 KiB siblings were folded into a 2 MiB leaf
+    /// (detail = chunk base vpn).
+    HugePromote,
+    /// A 2 MiB leaf was split back into 4 KiB PTEs (detail = chunk
+    /// base vpn).
+    HugeDemote,
+    /// A page migrated between memory tiers (detail = vpn).
+    TierMigrate,
 }
 
 impl MarkKind {
@@ -191,6 +212,9 @@ impl MarkKind {
             MarkKind::BackingFetch => "backing_fetch",
             MarkKind::Eviction => "eviction",
             MarkKind::ReplayDrain => "replay_drain",
+            MarkKind::HugePromote => "huge_promote",
+            MarkKind::HugeDemote => "huge_demote",
+            MarkKind::TierMigrate => "tier_migrate",
         }
     }
 }
@@ -689,7 +713,7 @@ impl JournalRecorder {
         tenants.sort_unstable();
         let _ = writeln!(
             out,
-            "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>11} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}  dominant",
+            "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>11} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}  dominant",
             "tenant",
             "pct",
             "fault",
@@ -697,9 +721,11 @@ impl JournalRecorder {
             "arb",
             "validate",
             "bounce_wait",
+            "prefetch",
             "trigger",
             "driver",
             "os_translate",
+            "tier_migrate",
             "pt_upd",
             "resume",
             "copy_out",
@@ -722,7 +748,7 @@ impl JournalRecorder {
                 };
                 let _ = writeln!(
                     out,
-                    "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>11} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}  {}",
+                    "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>11} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}  {}",
                     tenant_label,
                     label,
                     f.id.0,
@@ -730,9 +756,11 @@ impl JournalRecorder {
                     f.phase_total(Phase::ArbWait).as_nanos(),
                     f.phase_total(Phase::Validate).as_nanos(),
                     f.phase_total(Phase::BounceWait).as_nanos(),
+                    f.phase_total(Phase::Prefetch).as_nanos(),
                     f.phase_total(Phase::Trigger).as_nanos(),
                     f.phase_total(Phase::DriverSw).as_nanos(),
                     f.phase_total(Phase::OsTranslate).as_nanos(),
+                    f.phase_total(Phase::TierMigrate).as_nanos(),
                     f.phase_total(Phase::PtUpdate).as_nanos(),
                     f.phase_total(Phase::Resume).as_nanos(),
                     f.phase_total(Phase::CopyOut).as_nanos(),
@@ -884,7 +912,7 @@ mod tests {
         key: u64,
         tenant: u32,
         begun_ns: u64,
-        phase_ns: [u64; 11],
+        phase_ns: [u64; 13],
     ) {
         j.set_cause(CauseId::tenant(tenant));
         let begun = SimTime::from_nanos(begun_ns);
@@ -903,8 +931,20 @@ mod tests {
     #[test]
     fn phase_sums_equal_latency_exactly() {
         let mut j = JournalRecorder::new();
-        record_fault(&mut j, 1, 0, 100, [5, 0, 0, 0, 100, 10, 250, 20, 90, 0, 0]);
-        record_fault(&mut j, 2, 1, 900, [0, 40, 0, 0, 100, 10, 0, 20, 90, 0, 7]);
+        record_fault(
+            &mut j,
+            1,
+            0,
+            100,
+            [5, 0, 0, 0, 0, 100, 10, 250, 0, 20, 90, 0, 0],
+        );
+        record_fault(
+            &mut j,
+            2,
+            1,
+            900,
+            [0, 40, 0, 0, 0, 100, 10, 0, 0, 20, 90, 0, 7],
+        );
         assert_eq!(j.unbalanced_faults(), 0);
         assert_eq!(j.incomplete_faults(), 0);
         let f = &j.faults()[0];
@@ -916,7 +956,13 @@ mod tests {
     #[test]
     fn critical_path_drops_empty_slices_keeps_order() {
         let mut j = JournalRecorder::new();
-        record_fault(&mut j, 1, 0, 0, [5, 0, 0, 0, 100, 10, 250, 20, 90, 0, 0]);
+        record_fault(
+            &mut j,
+            1,
+            0,
+            0,
+            [5, 0, 0, 0, 0, 100, 10, 250, 0, 20, 90, 0, 0],
+        );
         let path = j.faults()[0].critical_path();
         let names: Vec<&str> = path.iter().map(|p| p.phase.name()).collect();
         assert_eq!(
@@ -939,10 +985,10 @@ mod tests {
     #[test]
     fn absorb_rebases_ids_and_seq_in_task_order() {
         let mut a = JournalRecorder::new();
-        record_fault(&mut a, 1, 0, 0, [1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut a, 1, 0, 0, [1, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0]);
         a.mark_at(SimTime::from_nanos(1), MarkKind::IotlbFill, 7);
         let mut b = JournalRecorder::new();
-        record_fault(&mut b, 1, 1, 50, [0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut b, 1, 1, 50, [0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0]);
         b.mark_at(SimTime::from_nanos(51), MarkKind::BackingFetch, 9);
 
         let mut merged = JournalRecorder::new();
@@ -968,8 +1014,8 @@ mod tests {
         j.set_watchdog(JournalWatchdog {
             budget: SimDuration::from_nanos(100),
         });
-        record_fault(&mut j, 1, 3, 0, [0, 0, 0, 0, 50, 0, 0, 0, 0, 0, 0]); // under
-        record_fault(&mut j, 2, 4, 0, [0, 200, 0, 0, 50, 0, 0, 0, 0, 0, 0]); // over
+        record_fault(&mut j, 1, 3, 0, [0, 0, 0, 0, 0, 50, 0, 0, 0, 0, 0, 0, 0]); // under
+        record_fault(&mut j, 2, 4, 0, [0, 200, 0, 0, 0, 50, 0, 0, 0, 0, 0, 0, 0]); // over
         assert_eq!(j.slo_hits().len(), 1);
         let hit = j.slo_hits()[0];
         assert_eq!(hit.cause.tenant, 4);
@@ -1000,7 +1046,13 @@ mod tests {
             packet: 77,
         });
         j.mark_at(SimTime::ZERO, MarkKind::PacketArrival, 1500);
-        record_fault(&mut j, 1, 2, 10, [0, 0, 0, 0, 100, 10, 250, 20, 90, 0, 0]);
+        record_fault(
+            &mut j,
+            1,
+            2,
+            10,
+            [0, 0, 0, 0, 0, 100, 10, 250, 0, 20, 90, 0, 0],
+        );
         let json = j.export_chrome_json();
         assert!(json.contains("\"ph\":\"s\""), "{json}");
         assert!(json.contains("\"ph\":\"f\""), "{json}");
@@ -1029,9 +1081,9 @@ mod tests {
     #[test]
     fn attribution_report_groups_tenants_in_order() {
         let mut j = JournalRecorder::new();
-        record_fault(&mut j, 1, 1, 0, [0, 0, 0, 0, 100, 0, 0, 0, 0, 0, 0]);
-        record_fault(&mut j, 2, 0, 0, [0, 0, 0, 0, 300, 0, 0, 0, 0, 0, 0]);
-        record_fault(&mut j, 3, 0, 0, [0, 0, 0, 0, 200, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut j, 1, 1, 0, [0, 0, 0, 0, 0, 100, 0, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut j, 2, 0, 0, [0, 0, 0, 0, 0, 300, 0, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut j, 3, 0, 0, [0, 0, 0, 0, 0, 200, 0, 0, 0, 0, 0, 0, 0]);
         let report = j.attribution_report();
         let t0 = report.find("\n      0 ").expect("tenant 0 row");
         let t1 = report.find("\n      1 ").expect("tenant 1 row");
@@ -1044,11 +1096,54 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_and_tier_phases_balance_and_report() {
+        let mut j = JournalRecorder::new();
+        // A speculative pre-fault: prefetch issue + driver/OS work, no
+        // trigger/resume (driver-initiated, no NIC interrupt).
+        record_fault(
+            &mut j,
+            1,
+            0,
+            0,
+            [0, 0, 0, 0, 2000, 0, 10, 250, 0, 20, 0, 0, 0],
+        );
+        // A demand fault whose backing fetch hit the slow tier.
+        record_fault(
+            &mut j,
+            2,
+            0,
+            0,
+            [5, 0, 0, 0, 0, 100, 10, 50, 80000, 20, 90, 0, 0],
+        );
+        assert_eq!(j.unbalanced_faults(), 0);
+        let spec = &j.faults()[0];
+        assert_eq!(
+            spec.phase_total(Phase::Prefetch),
+            SimDuration::from_nanos(2000)
+        );
+        assert_eq!(spec.phase_total(Phase::Trigger), SimDuration::ZERO);
+        let tiered = &j.faults()[1];
+        assert_eq!(tiered.dominant_phase(), Phase::TierMigrate);
+        let report = j.attribution_report();
+        assert!(report.contains("prefetch"), "{report}");
+        assert!(report.contains("tier_migrate"), "{report}");
+        let json = j.export_chrome_json();
+        assert!(json.contains("\"name\":\"prefetch\""), "{json}");
+        assert!(json.contains("\"name\":\"tier_migrate\""), "{json}");
+    }
+
+    #[test]
     fn softemu_phases_balance_and_report() {
         let mut j = JournalRecorder::new();
         // A software-emulation chain: validate, bounce-pool wait,
         // driver + OS work, PT update, copy-out — no trigger/resume.
-        record_fault(&mut j, 1, 0, 0, [5, 0, 30, 120, 0, 10, 250, 20, 0, 80, 0]);
+        record_fault(
+            &mut j,
+            1,
+            0,
+            0,
+            [5, 0, 30, 120, 0, 0, 10, 250, 0, 20, 0, 80, 0],
+        );
         assert_eq!(j.unbalanced_faults(), 0);
         let f = &j.faults()[0];
         assert_eq!(f.phase_total(Phase::Validate), SimDuration::from_nanos(30));

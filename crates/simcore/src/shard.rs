@@ -164,6 +164,31 @@ fn ns_base(i: usize) -> u64 {
 /// A boxed isolated task, as [`run_isolated`] consumes them.
 pub type Task<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
 
+/// Hardware threads available to this process (1 when unknown).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The worker count a pool actually uses for `requested` shards over
+/// `tasks` work items on a host with `host` hardware threads.
+///
+/// Beyond the obvious clamp to `[1, tasks]`, a single-hardware-thread
+/// host always runs inline: spawned workers would time-slice the one
+/// core the caller's thread already owns, so the pool pays spawn,
+/// mutex, and scheduling overhead to execute the exact same serial
+/// order (output is byte-identical either way — the per-task
+/// instrument isolation does not depend on worker count — so only
+/// wall-clock changes). This is the `fig4a_shards4` fix: on 1-core CI
+/// runners, `--shards 4` used to run slower than `--shards 1` for no
+/// benefit.
+#[must_use]
+pub fn effective_shards(requested: usize, tasks: usize, host: usize) -> usize {
+    if host <= 1 {
+        return 1;
+    }
+    requested.clamp(1, tasks.max(1))
+}
+
 /// Runs independent closures on a pool of `shards` workers and returns
 /// their results in task order.
 ///
@@ -182,14 +207,16 @@ pub type Task<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
 /// between tasks on any path.
 ///
 /// `shards <= 1` executes the tasks sequentially on the caller's own
-/// thread (no spawns); `shards > 1` fans them over scoped workers.
+/// thread (no spawns); `shards > 1` fans them over scoped workers —
+/// except on a single-hardware-thread host, where the pool always runs
+/// inline (see [`effective_shards`]).
 pub fn run_isolated<T: Send>(
     tasks: Vec<Task<'_, T>>,
     shards: usize,
     spec: IsolationSpec,
 ) -> Vec<T> {
     let n = tasks.len();
-    let shards = shards.clamp(1, n.max(1));
+    let shards = effective_shards(shards, n, host_parallelism());
     if shards <= 1 {
         let mut results = Vec::with_capacity(n);
         let mut collected = Vec::with_capacity(n);
@@ -379,7 +406,7 @@ pub fn run_epochs<L: ShardLp>(
         outbox: Outbox<L::Msg>,
     }
     let n = lps.len();
-    let shards = shards.clamp(1, n.max(1));
+    let shards = effective_shards(shards, n, host_parallelism());
     let cells: Vec<Mutex<Cell<L>>> = lps
         .into_iter()
         .enumerate()
@@ -519,7 +546,7 @@ impl EpochPool {
         spec: IsolationSpec,
     ) -> EpochReport<L> {
         let n = lps.len();
-        let shards = self.shards.clamp(1, n.max(1));
+        let shards = effective_shards(self.shards, n, host_parallelism());
         if shards == 1 || n == 0 {
             return run_epochs(lps, lookahead, until, 1, spec);
         }
@@ -819,6 +846,20 @@ mod tests {
         ];
         let order: Vec<&str> = merge_order(envs).into_iter().map(|e| e.msg).collect();
         assert_eq!(order, vec!["c", "a0", "a1", "b"]);
+    }
+
+    #[test]
+    fn single_core_hosts_always_run_inline() {
+        // The fig4a_shards4 fix: `--shards 4` on a 1-core runner must
+        // not spawn contending workers.
+        assert_eq!(effective_shards(4, 16, 1), 1);
+        assert_eq!(effective_shards(0, 16, 1), 1);
+        // Multi-core hosts keep the requested count, clamped to the
+        // task count.
+        assert_eq!(effective_shards(4, 16, 8), 4);
+        assert_eq!(effective_shards(8, 3, 8), 3);
+        assert_eq!(effective_shards(0, 3, 8), 1);
+        assert_eq!(effective_shards(2, 0, 8), 1);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! assert!(bed.total_ops() > 0);
 //! ```
 
-use memsim::manager::MemError;
+use memsim::manager::{MemError, TierConfig};
 use memsim::swap::DiskConfig;
 use npf_core::npf::{ArbiterPolicy, NpfConfig};
 use npf_core::{BackendKind, BackendSelect};
@@ -517,6 +517,13 @@ impl EthScenario {
         self
     }
 
+    /// Adds an NVM backing tier in front of the swap disk.
+    #[must_use]
+    pub fn tier(mut self, tier: TierConfig) -> Self {
+        self.config.tier = Some(tier);
+        self
+    }
+
     /// Skews tenant popularity with a Zipf exponent.
     #[must_use]
     pub fn tenant_skew(mut self, skew: f64) -> Self {
@@ -634,6 +641,14 @@ impl IbScenario {
     #[must_use]
     pub fn disk(mut self, disk: DiskConfig) -> Self {
         self.config.disk = disk;
+        self
+    }
+
+    /// Adds an NVM backing tier in front of the swap disk on every
+    /// node.
+    #[must_use]
+    pub fn tier(mut self, tier: TierConfig) -> Self {
+        self.config.tier = Some(tier);
         self
     }
 

@@ -16,7 +16,7 @@
 use simcore::fxhash::FxHashMap;
 use std::collections::VecDeque;
 
-use memsim::manager::{MemConfig, MemError, MemoryManager};
+use memsim::manager::{MemConfig, MemError, MemoryManager, TierConfig};
 use memsim::space::Backing;
 use memsim::swap::DiskConfig;
 use memsim::types::{PageRange, SpaceId, VirtAddr};
@@ -110,6 +110,9 @@ pub struct EthConfig {
     /// NPF engine configuration (cost model, per-channel concurrency,
     /// cross-channel fault arbiter).
     pub npf: NpfConfig,
+    /// Optional NVM backing tier in front of the swap disk (cold dirty
+    /// pages demote there first; re-faults promote them back cheaply).
+    pub tier: Option<TierConfig>,
     /// Per-tenant backup-ring quota: `Some(q)` partitions the shared
     /// backup ring so no IOchannel holds more than `q` entries at once;
     /// `None` keeps the ring fully shared (first-come first-served).
@@ -146,6 +149,7 @@ impl Default for EthConfig {
             seed: 1,
             chaos: ChaosConfig::disabled(),
             npf: NpfConfig::default(),
+            tier: None,
             backup_quota: None,
             tenant_skew: None,
         }
@@ -297,6 +301,13 @@ impl EthConfig {
     #[must_use]
     pub fn with_npf(mut self, npf: NpfConfig) -> Self {
         self.npf = npf;
+        self
+    }
+
+    /// Sets (or clears) the NVM backing tier.
+    #[must_use]
+    pub fn with_tier(mut self, tier: Option<TierConfig>) -> Self {
+        self.tier = tier;
         self
     }
 
@@ -473,6 +484,7 @@ impl EthTestbed {
         let mm = MemoryManager::new(MemConfig {
             total_memory: config.host_memory,
             disk: config.disk,
+            tier: config.tier,
             ..MemConfig::default()
         });
         let mut engine = NpfEngine::new(config.npf, mm, rng.fork(1));
@@ -1087,6 +1099,9 @@ impl EthTestbed {
                                     self.rx.note_bounced_fault();
                                 }
                                 self.queue.schedule_at(ready_at, EthEvent::FaultDone(id));
+                                for (pid, at) in self.engine.drain_spawned_prefetches() {
+                                    self.queue.schedule_at(at, EthEvent::FaultDone(pid));
+                                }
                             }
                             Err(_) => { /* OOM under pressure: stays faulted */ }
                         }
@@ -1211,7 +1226,18 @@ impl EthTestbed {
                     .schedule_in(SimDuration::from_millis(1), EthEvent::ResolverStep(ring));
             }
         }
+        self.schedule_prefetch_completions();
         journal::clear_cause();
+    }
+
+    /// Schedules completion events for any speculative pre-faults the
+    /// engine issued while resolving demand faults. The `FaultDone`
+    /// handler tolerates already-completed ids, so prefetches reuse the
+    /// demand completion path unchanged.
+    fn schedule_prefetch_completions(&mut self) {
+        for (id, ready_at) in self.engine.drain_spawned_prefetches() {
+            self.queue.schedule_at(ready_at, EthEvent::FaultDone(id));
+        }
     }
 
     fn handle_server_outputs(&mut self, now: SimTime, idx: u32, cid: ConnId, outs: Vec<TcpOutput>) {

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use memsim::manager::{MemConfig, MemoryManager};
+use memsim::manager::{MemConfig, MemoryManager, TierConfig};
 use memsim::space::Backing;
 use memsim::swap::DiskConfig;
 use memsim::types::{SpaceId, VirtAddr};
@@ -54,6 +54,9 @@ pub struct IbConfig {
     pub npf: NpfConfig,
     /// Secondary-storage model of every node.
     pub disk: DiskConfig,
+    /// Optional NVM backing tier of every node (cold dirty pages
+    /// demote there before the swap device).
+    pub tier: Option<TierConfig>,
     /// RNG seed.
     pub seed: u64,
     /// Fault injection (disabled by default; a disabled config draws
@@ -71,6 +74,7 @@ impl Default for IbConfig {
             rc: RcConfig::default(),
             npf: NpfConfig::default(),
             disk: DiskConfig::hard_drive(),
+            tier: None,
             seed: 1,
             chaos: ChaosConfig::disabled(),
         }
@@ -124,6 +128,13 @@ impl IbConfig {
     #[must_use]
     pub fn with_disk(mut self, disk: DiskConfig) -> Self {
         self.disk = disk;
+        self
+    }
+
+    /// Sets (or clears) the NVM backing tier.
+    #[must_use]
+    pub fn with_tier(mut self, tier: Option<TierConfig>) -> Self {
+        self.tier = tier;
         self
     }
 
@@ -367,6 +378,7 @@ impl IbCluster {
                 let mm = MemoryManager::new(MemConfig {
                     total_memory: config.node_memory,
                     disk: config.disk,
+                    tier: config.tier,
                     ..MemConfig::default()
                 });
                 let mut engine = NpfEngine::new(config.npf, mm, rng.fork(u64::from(i)));
@@ -713,7 +725,13 @@ impl IbCluster {
         let new_synth = std::mem::take(&mut gate.new_synthetic);
         drop(gate);
 
-        for (id, ready) in new_faults {
+        // Speculative pre-faults issued alongside the demand faults
+        // complete through the same FaultDone path (the handler
+        // tolerates ids no QP is waiting on).
+        let spawned = self.nodes[node_idx as usize]
+            .engine
+            .drain_spawned_prefetches();
+        for (id, ready) in new_faults.into_iter().chain(spawned) {
             self.queue.schedule_at(
                 ready,
                 IbEvent::FaultDone {

@@ -7,7 +7,7 @@
 //! (pages materialize on use). Whatever memory the buffers do not
 //! occupy, the page cache uses — that competition is Figure 8(a).
 
-use memsim::manager::MemError;
+use memsim::manager::{MemError, TierConfig};
 use memsim::space::Backing;
 use memsim::swap::DiskConfig;
 use memsim::types::{PageRange, VirtAddr};
@@ -48,6 +48,10 @@ pub struct StorageBedConfig {
     pub storage: StorageConfig,
     /// Disk model (the paper's "high-performance hard drive").
     pub disk: DiskConfig,
+    /// Optional NVM backing tier in front of the swap disk.
+    pub tier: Option<TierConfig>,
+    /// NPF engine configuration (huge pages, prefetch, backend).
+    pub npf: NpfConfig,
     /// Warm the page cache to steady state before measuring (fio runs
     /// for minutes; the measured window is steady state).
     pub warm_cache: bool,
@@ -68,6 +72,8 @@ impl Default for StorageBedConfig {
             pinned_headroom: ByteSize::gib(3),
             storage: StorageConfig::default(),
             disk: DiskConfig::hard_drive(),
+            tier: None,
+            npf: NpfConfig::default(),
             warm_cache: false,
             seed: 1,
         }
@@ -104,8 +110,9 @@ pub fn run_storage(config: StorageBedConfig) -> Result<StorageBedResult, MemErro
             .with_nodes(2)
             .with_node_memory(config.target_memory)
             .with_seed(config.seed)
-            .with_npf(NpfConfig::default())
-            .with_disk(config.disk),
+            .with_npf(config.npf)
+            .with_disk(config.disk)
+            .with_tier(config.tier),
     );
 
     // OS + daemon baseline: pinned, unreclaimable.

@@ -859,3 +859,139 @@ fn disabled_chaos_injects_nothing_and_stays_deterministic() {
     assert_eq!(t1, t2, "disabled chaos must not perturb the clock");
     assert_eq!(c1, c2, "disabled chaos must not perturb completions");
 }
+
+/// Speculative pre-faults under chaos: with huge pages, stride prefetch
+/// and tiered backing all enabled, every fault — demand *and*
+/// speculative — must leave a complete, exactly-balanced journal chain,
+/// every raised NPF must resolve exactly once (the invariant checker's
+/// `finish()` certifies no lost or double resolution), and the service
+/// must stay live. A speculative chain is distinguishable by its
+/// `prefetch` issue slice, so the test also proves the sweep actually
+/// exercised the prefetcher rather than vacuously passing.
+#[test]
+fn prefetched_faults_leave_complete_journal_chains() {
+    use npf::prelude::NpfConfig;
+    use npf::simcore::journal::{self, JournalRecorder, Phase};
+    let base = seed_base();
+    for s in 0..2u64 {
+        let chaos = ChaosConfig::profile(ChaosProfile::All, base + 0x6000 + s);
+        assert!(
+            invariant::install(InvariantChecker::new(chaos.seed)).is_none(),
+            "stale checker"
+        );
+        assert!(
+            journal::install(JournalRecorder::new()).is_none(),
+            "stale journal"
+        );
+        let mut bed = EthTestbed::new(
+            EthConfig::default()
+                .with_mode(RxMode::Backup)
+                .with_instances(2)
+                .with_conns_per_instance(2)
+                .with_ring_entries(64)
+                .with_host_memory(ByteSize::mib(512))
+                .with_disk(npf::memsim::swap::DiskConfig::nvme())
+                .with_tier(Some(npf::memsim::manager::TierConfig {
+                    capacity: ByteSize::mib(256),
+                    disk: npf::memsim::swap::DiskConfig::nvm(),
+                }))
+                .with_memcached(MemcachedConfig {
+                    max_bytes: ByteSize::mib(64),
+                    value_size: 1024,
+                    ..MemcachedConfig::default()
+                })
+                .with_working_set_keys(1000)
+                .with_npf(
+                    NpfConfig::default()
+                        .with_huge_pages(true)
+                        .with_prefetch_depth(64),
+                )
+                .with_chaos(chaos),
+        )
+        .expect("setup");
+        bed.run_until(SimTime::from_millis(250));
+
+        // Hunt a quiescent cut so "incomplete" below means "lost",
+        // never "still in flight" — speculative faults included.
+        let mut outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+        let mut tries = 0;
+        while outstanding > 0 && tries < 2000 {
+            let next = bed.now() + SimDuration::from_micros(500);
+            bed.run_until(next);
+            outstanding = invariant::with(|c| c.outstanding_faults()).unwrap_or(0);
+            tries += 1;
+        }
+        assert_eq!(
+            outstanding, 0,
+            "all faults, speculative included, must resolve (chaos seed {})",
+            chaos.seed
+        );
+        assert_eq!(
+            bed.total_failed_conns(),
+            0,
+            "no connection may die under chaos seed {}",
+            chaos.seed
+        );
+        // 250 ms horizon (not the sweeps' full second), so the liveness
+        // bar is proportionally lower.
+        assert!(
+            bed.total_ops() > 25,
+            "the service must stay live under chaos seed {}: {} ops",
+            chaos.seed,
+            bed.total_ops()
+        );
+        // The prefetcher actually fired; otherwise the chain checks
+        // below only cover demand faults.
+        let c = bed.engine().counters();
+        assert!(
+            c.get("prefetch_issued") > 0,
+            "the stride prefetcher never triggered under chaos seed {}",
+            chaos.seed
+        );
+
+        let j = journal::uninstall().expect("journal installed");
+        let mut checker = invariant::uninstall().expect("checker installed");
+        let end = checker.finish();
+        assert!(
+            end.is_empty(),
+            "invariant violations (lost or double-resolved faults) at chaos seed {}: {:?}",
+            chaos.seed,
+            end
+        );
+        assert!(
+            !j.faults().is_empty(),
+            "the bed never faulted under chaos seed {}",
+            chaos.seed
+        );
+        assert_eq!(
+            j.incomplete_faults(),
+            0,
+            "journal chains without a resolve at chaos seed {}",
+            chaos.seed
+        );
+        assert_eq!(
+            j.unbalanced_faults(),
+            0,
+            "journal slices must tile each fault at chaos seed {}",
+            chaos.seed
+        );
+        let mut speculative = 0u64;
+        for f in j.faults() {
+            assert_eq!(
+                f.phase_sum(),
+                f.latency(),
+                "inexact attribution for fault {:?} at chaos seed {}",
+                f.id,
+                chaos.seed
+            );
+            if f.phase_total(Phase::Prefetch) > SimDuration::ZERO {
+                speculative += 1;
+            }
+        }
+        assert!(
+            speculative > 0,
+            "no journal chain carried a prefetch slice at chaos seed {}",
+            chaos.seed
+        );
+    }
+}

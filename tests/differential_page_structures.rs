@@ -9,14 +9,21 @@
 //! * [`iommu::IoTlb`] (two-level: run cache + LRU slab) vs a
 //!   `Vec`-ordered reference LRU,
 //! * [`memsim::lru::LruTracker`] (intrusive slab lists) vs a
-//!   `VecDeque`-ordered reference.
+//!   `VecDeque`-ordered reference,
+//! * huge-page [`iommu::IoPageTable`] (2 MiB folds, promote/demote) vs
+//!   a flat 4 KiB-only `BTreeMap` reference,
+//! * [`iommu::IoTlb`] superpage store (FIFO eviction, shadow drops) vs
+//!   a `Vec`-ordered reference,
+//! * a huge-enabled [`iommu::Iommu`] vs a 4 KiB-only unit: DMA verdicts
+//!   must be identical — folding is a pure performance transform.
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use proptest::prelude::*;
 
-use iommu::IoTlb;
+use iommu::pagetable::HUGE_PAGES;
+use iommu::{DmaCheck, IoPageTable, IoTlb, Iommu, TableMode, Translation};
 use memsim::dense::PageMap;
 use memsim::lru::LruTracker;
 use memsim::types::{FrameId, PageRange, SpaceId, Vpn};
@@ -364,5 +371,389 @@ proptest! {
                 break;
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Huge-page IoPageTable vs a 4 KiB-only flat reference
+// ---------------------------------------------------------------------
+
+/// Chunks the huge-table universe spans: enough to fold several 2 MiB
+/// leaves while unmaps split them back.
+const HP_CHUNKS: u64 = 3;
+
+/// Contiguous-frame scheme: `vpn`'s "natural" frame. A chunk mapped
+/// entirely through this scheme (uniform writability) is fold-eligible.
+fn natural_frame(vpn: u64) -> u64 {
+    10_000 + vpn
+}
+
+/// Scattered-frame scheme: breaks contiguity, so a chunk holding any of
+/// these can never fold.
+fn scattered_frame(vpn: u64) -> u64 {
+    100_000 + vpn * 3
+}
+
+/// `true` when the reference says `chunk` satisfies the fold invariant:
+/// all 512 siblings present, frames contiguous from the aligned base,
+/// uniform writability.
+fn ref_chunk_eligible(entries: &BTreeMap<u64, (u64, bool)>, chunk: u64) -> bool {
+    let base = chunk * HUGE_PAGES;
+    let Some(&(f0, w0)) = entries.get(&base) else {
+        return false;
+    };
+    (1..HUGE_PAGES).all(|i| entries.get(&(base + i)) == Some(&(f0 + i, w0)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A huge-enabled page table is observably a plain 4 KiB table: maps,
+    /// unmaps, translations, and probes all match a flat `BTreeMap`
+    /// reference exactly, while folding stays an internal transform.
+    /// Additionally the fold state itself is pinned: a chunk is folded
+    /// *iff* the reference says it is fold-eligible, and
+    /// `promotions - demotions` always equals the live fold count.
+    #[test]
+    fn huge_page_table_matches_flat_reference(
+        ops in proptest::collection::vec(
+            (0u8..6, 0u64..HP_CHUNKS, 0u64..HUGE_PAGES, 1u64..96, any::<bool>(), any::<bool>()),
+            1..160,
+        ),
+    ) {
+        let universe = HP_CHUNKS * HUGE_PAGES;
+        let mut fast = IoPageTable::new(iommu::DomainId(0), TableMode::PageFaultCapable);
+        fast.set_huge_pages(true);
+        let mut reference: BTreeMap<u64, (u64, bool)> = BTreeMap::new();
+        let mut ref_faults = 0u64;
+        for &(op, chunk, offset, len, flag, contiguous) in &ops {
+            let v = chunk * HUGE_PAGES + offset;
+            match op {
+                0 => {
+                    // Single-page map, either frame scheme.
+                    let frame = if contiguous { natural_frame(v) } else { scattered_frame(v) };
+                    fast.map(Vpn(v), FrameId(frame), flag);
+                    reference.insert(v, (frame, flag));
+                }
+                1 => {
+                    // A contiguous run — partial chunk fills that later
+                    // maps may complete into a fold.
+                    let end = (v + len).min(universe);
+                    for p in v..end {
+                        fast.map(Vpn(p), FrameId(natural_frame(p)), flag);
+                        reference.insert(p, (natural_frame(p), flag));
+                    }
+                }
+                2 => {
+                    // Map the whole chunk fold-eligibly: this must always
+                    // leave it folded (promotion is deterministic).
+                    let base = chunk * HUGE_PAGES;
+                    for p in base..base + HUGE_PAGES {
+                        fast.map(Vpn(p), FrameId(natural_frame(p)), flag);
+                        reference.insert(p, (natural_frame(p), flag));
+                    }
+                    prop_assert!(fast.is_huge(Vpn(base)), "eligible chunk {} did not fold", chunk);
+                }
+                3 => {
+                    prop_assert_eq!(fast.unmap(Vpn(v)), reference.remove(&v).is_some());
+                }
+                4 => {
+                    let end = (v + len).min(universe);
+                    let range = PageRange::new(Vpn(v), end - v);
+                    let want = (v..end).filter(|p| reference.remove(p).is_some()).count() as u64;
+                    prop_assert_eq!(fast.unmap_range(range), want);
+                }
+                _ => {
+                    // Translate for read (flag=false) or write (flag=true).
+                    let want = match reference.get(&v) {
+                        Some(&(_, w)) if flag && !w => Translation::Error,
+                        Some(&(f, _)) => Translation::Ok(FrameId(f)),
+                        None => {
+                            ref_faults += 1;
+                            Translation::Fault
+                        }
+                    };
+                    prop_assert_eq!(fast.translate(Vpn(v), flag), want);
+                    // Probes are side-effect-free and must agree too.
+                    let end = (v + len).min(universe);
+                    let range = PageRange::new(Vpn(v), end - v);
+                    let want_probe = (v..end).all(|p| {
+                        reference.get(&p).is_some_and(|&(_, w)| !flag || w)
+                    });
+                    prop_assert_eq!(fast.probe_range(range, flag), want_probe);
+                }
+            }
+            prop_assert_eq!(fast.present_pages(), reference.len());
+            prop_assert_eq!(fast.faults(), ref_faults);
+            // Fold state == reference eligibility, chunk by chunk, and the
+            // promote/demote counters account for every live fold.
+            let mut folded = 0u64;
+            for c in 0..HP_CHUNKS {
+                let eligible = ref_chunk_eligible(&reference, c);
+                prop_assert_eq!(
+                    fast.is_huge(Vpn(c * HUGE_PAGES)),
+                    eligible,
+                    "fold state diverged at chunk {}", c
+                );
+                folded += u64::from(eligible);
+            }
+            prop_assert_eq!(fast.promotions() - fast.demotions(), folded);
+        }
+        // Full synthesized-PTE sweep: folded chunks must serve per-page
+        // translations identical to the flat reference.
+        for v in 0..universe {
+            let got = fast.pte(Vpn(v)).map(|p| (p.frame.0, p.writable));
+            prop_assert_eq!(got, reference.get(&v).copied(), "PTE sweep diverged at vpn {}", v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// IoTlb superpage store vs a Vec-ordered FIFO reference
+// ---------------------------------------------------------------------
+
+/// Reference model of the TLB's superpage tier: FIFO order as literal
+/// `Vec` order (oldest first), alongside the surviving 4 KiB present
+/// set. Frames follow one fixed per-(domain, chunk) scheme so every
+/// lookup path (run cache, level-0 super, hash index, super store)
+/// synthesizes the same entry — the *presence* and *order* observables
+/// are what this model pins down.
+#[derive(Default)]
+struct RefSuperTlb {
+    cap: usize,
+    supers: Vec<((u32, u64), u64)>,
+    fourk: Vec<(u32, u64)>,
+    invalidations: u64,
+    evictions: u64,
+}
+
+impl RefSuperTlb {
+    fn super_pos(&self, key: (u32, u64)) -> Option<usize> {
+        self.supers.iter().position(|&(k, _)| k == key)
+    }
+
+    fn insert_super(&mut self, d: u32, chunk: u64, frame0: u64) {
+        match self.super_pos((d, chunk)) {
+            Some(i) => self.supers[i].1 = frame0,
+            None => {
+                if self.supers.len() >= self.cap {
+                    self.supers.remove(0);
+                    self.evictions += 1;
+                }
+                self.supers.push(((d, chunk), frame0));
+            }
+        }
+        // Shadowed 4 KiB entries drop silently (still servable through
+        // the fold), so they never count as invalidations.
+        self.fourk
+            .retain(|&(dd, v)| dd != d || v / HUGE_PAGES != chunk);
+    }
+
+    fn insert_pte(&mut self, d: u32, v: u64) {
+        if !self.fourk.contains(&(d, v)) {
+            self.fourk.push((d, v));
+        }
+    }
+
+    fn invalidate(&mut self, d: u32, v: u64) -> bool {
+        let mut dropped = false;
+        if let Some(i) = self.super_pos((d, v / HUGE_PAGES)) {
+            self.supers.remove(i);
+            self.invalidations += 1;
+            dropped = true;
+        }
+        if let Some(i) = self.fourk.iter().position(|&k| k == (d, v)) {
+            self.fourk.remove(i);
+            self.invalidations += 1;
+            dropped = true;
+        }
+        dropped
+    }
+
+    fn lookup(&self, d: u32, v: u64) -> Option<u64> {
+        if self.fourk.contains(&(d, v)) {
+            return Some(super_frame0(d, v / HUGE_PAGES) + v % HUGE_PAGES);
+        }
+        self.super_pos((d, v / HUGE_PAGES))
+            .map(|i| self.supers[i].1 + v % HUGE_PAGES)
+    }
+}
+
+/// The one frame scheme of the superpage differential: every chunk's
+/// base frame, from which both 4 KiB and superpage entries derive.
+fn super_frame0(d: u32, chunk: u64) -> u64 {
+    50_000 + u64::from(d) * 10_000 + chunk * HUGE_PAGES
+}
+
+const SUPER_DOMAINS: u32 = 2;
+const SUPER_CHUNKS: u64 = 12;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The superpage tier of the IOTLB behaves exactly like a FIFO
+    /// reference: insertion order decides eviction, re-inserting a cached
+    /// chunk refreshes in place without moving it, shadowed 4 KiB entries
+    /// drop silently, and invalidating any covered page drops the fold.
+    /// `IoTlb::new(64)` gives a super-capacity of 8, so 2x12 candidate
+    /// chunks force steady FIFO eviction.
+    #[test]
+    fn iotlb_superpage_store_matches_fifo_reference(
+        ops in proptest::collection::vec(
+            (0u8..5, 0u32..SUPER_DOMAINS, 0u64..SUPER_CHUNKS, 0u64..HUGE_PAGES, 1u64..700),
+            1..250,
+        ),
+    ) {
+        let mut fast = IoTlb::new(64);
+        let mut reference = RefSuperTlb { cap: 8, ..RefSuperTlb::default() };
+        for &(op, d, chunk, offset, len) in &ops {
+            let domain = iommu::DomainId(d);
+            let v = chunk * HUGE_PAGES + offset;
+            match op {
+                0 => {
+                    let base = Vpn(chunk * HUGE_PAGES);
+                    fast.insert_super(domain, base, FrameId(super_frame0(d, chunk)), true);
+                    reference.insert_super(d, chunk, super_frame0(d, chunk));
+                }
+                1 => {
+                    fast.insert_pte(domain, Vpn(v), FrameId(super_frame0(d, chunk) + offset), true);
+                    reference.insert_pte(d, v);
+                }
+                2 => {
+                    prop_assert_eq!(fast.invalidate(domain, Vpn(v)), reference.invalidate(d, v));
+                }
+                3 => {
+                    let end = (v + len).min(SUPER_CHUNKS * HUGE_PAGES);
+                    let range = PageRange::new(Vpn(v), end - v);
+                    let want = (v..end).filter(|&p| reference.invalidate(d, p)).count() as u64;
+                    prop_assert_eq!(fast.invalidate_range(domain, range), want);
+                }
+                _ => {
+                    let got = fast.lookup_entry(domain, Vpn(v)).map(|e| e.frame.0);
+                    prop_assert_eq!(got, reference.lookup(d, v), "lookup diverged at dom{} vpn{}", d, v);
+                }
+            }
+            prop_assert_eq!(fast.super_len(), reference.supers.len());
+            prop_assert_eq!(fast.len(), reference.fourk.len());
+            prop_assert_eq!(fast.invalidations(), reference.invalidations);
+            prop_assert_eq!(fast.evictions(), reference.evictions);
+            // The full present set pins the FIFO eviction order: evicting
+            // the wrong superpage shows up as a divergence here.
+            for dd in 0..SUPER_DOMAINS {
+                for cc in 0..SUPER_CHUNKS {
+                    prop_assert_eq!(
+                        fast.super_cached(iommu::DomainId(dd), Vpn(cc * HUGE_PAGES)),
+                        reference.super_pos((dd, cc)).is_some(),
+                        "superpage present set diverged at dom{} chunk{}", dd, cc
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Huge-enabled Iommu vs a 4 KiB-only unit: identical DMA verdicts
+// ---------------------------------------------------------------------
+
+/// Normalizes a [`DmaCheck`] for cross-unit comparison: request ids are
+/// per-unit allocator state, so faults compare by (vpn, write) only.
+fn dma_verdict(check: &DmaCheck) -> (u8, u64, bool) {
+    match check {
+        DmaCheck::Ok(frame) => (0, frame.0, false),
+        DmaCheck::Fault(req) => (1, req.vpn.0, req.write),
+        DmaCheck::Error => (2, 0, false),
+    }
+}
+
+const UNIT_CHUNKS: u64 = 2;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Folding is translation-transparent end to end: a huge-enabled
+    /// IOMMU (page-table folds + IOTLB superpages + TLB coherence on
+    /// invalidate) returns exactly the DMA verdicts of a 4 KiB-only
+    /// unit under any interleaving of maps, batched maps, invalidations,
+    /// and checks. Only the performance counters may differ.
+    #[test]
+    fn huge_iommu_matches_plain_iommu_verdicts(
+        ops in proptest::collection::vec(
+            (0u8..6, 0u64..UNIT_CHUNKS, 0u64..HUGE_PAGES, 1u64..600, any::<bool>(), any::<bool>()),
+            1..120,
+        ),
+    ) {
+        let universe = UNIT_CHUNKS * HUGE_PAGES;
+        let mut huge = Iommu::new(256);
+        huge.set_huge_pages(true);
+        let mut plain = Iommu::new(256);
+        let dh = huge.create_domain(TableMode::PageFaultCapable);
+        let dp = plain.create_domain(TableMode::PageFaultCapable);
+        for &(op, chunk, offset, len, flag, contiguous) in &ops {
+            let v = chunk * HUGE_PAGES + offset;
+            match op {
+                0 => {
+                    let frame = if contiguous { natural_frame(v) } else { scattered_frame(v) };
+                    huge.map(dh, Vpn(v), FrameId(frame), flag);
+                    plain.map(dp, Vpn(v), FrameId(frame), flag);
+                }
+                1 => {
+                    // Batched contiguous map — the fold-triggering path.
+                    let end = (v + len).min(universe);
+                    let mappings: Vec<(Vpn, FrameId)> =
+                        (v..end).map(|p| (Vpn(p), FrameId(natural_frame(p)))).collect();
+                    huge.map_batch(dh, &mappings, flag);
+                    plain.map_batch(dp, &mappings, flag);
+                }
+                2 => {
+                    prop_assert_eq!(huge.invalidate(dh, Vpn(v)), plain.invalidate(dp, Vpn(v)));
+                }
+                3 => {
+                    let end = (v + len).min(universe);
+                    let range = PageRange::new(Vpn(v), end - v);
+                    prop_assert_eq!(huge.invalidate_range(dh, range), plain.invalidate_range(dp, range));
+                }
+                4 => {
+                    let got = dma_verdict(&huge.check_dma(dh, Vpn(v), flag));
+                    let want = dma_verdict(&plain.check_dma(dp, Vpn(v), flag));
+                    prop_assert_eq!(got, want, "DMA verdict diverged at vpn {}", v);
+                }
+                _ => {
+                    let end = (v + len).min(universe);
+                    let range = PageRange::new(Vpn(v), end - v);
+                    prop_assert_eq!(
+                        huge.probe_range(dh, range, flag),
+                        plain.probe_range(dp, range, flag)
+                    );
+                }
+            }
+            // Per-page probe sweep of the op's chunk: presence and
+            // permissions must agree page-for-page right away.
+            let base = chunk * HUGE_PAGES;
+            for p in base..base + HUGE_PAGES {
+                let one = PageRange::new(Vpn(p), 1);
+                prop_assert_eq!(
+                    huge.probe_range(dh, one, false),
+                    plain.probe_range(dp, one, false),
+                    "read probe diverged at vpn {}", p
+                );
+                prop_assert_eq!(
+                    huge.probe_range(dh, one, true),
+                    plain.probe_range(dp, one, true),
+                    "write probe diverged at vpn {}", p
+                );
+            }
+        }
+        // Closing sweep over the whole universe, plus the fold ledger:
+        // promotions minus demotions is the live fold count.
+        let (promos, demos) = huge.huge_stats();
+        prop_assert!(promos >= demos);
+        for p in 0..universe {
+            let one = PageRange::new(Vpn(p), 1);
+            prop_assert_eq!(huge.probe_range(dh, one, false), plain.probe_range(dp, one, false));
+            prop_assert_eq!(huge.probe_range(dh, one, true), plain.probe_range(dp, one, true));
+        }
+        let (p2, d2) = plain.huge_stats();
+        prop_assert_eq!((p2, d2), (0, 0), "huge-disabled unit must never fold");
     }
 }

@@ -160,3 +160,78 @@ fn stream_isolation_faulting_channel_does_not_slow_others() {
         "a faulting neighbour must not steal throughput: solo {solo}, shared {with_neighbor} ({ratio:.2})"
     );
 }
+
+#[test]
+fn prefetch_and_huge_pages_cut_firmware_npf_events() {
+    // The ISSUE's acceptance bar for the memory fast paths: with huge
+    // pages and stride prefetch on, the cold-ring startup (the fig4a
+    // scenario, scaled down) must raise at least 2x fewer firmware NPF
+    // events than the baseline, while serving at least as many ops.
+    let run = |huge: bool, depth: u32| {
+        let mut cfg = small(RxMode::Backup);
+        cfg.npf = NpfConfig::default()
+            .with_huge_pages(huge)
+            .with_prefetch_depth(depth);
+        let mut bed = EthTestbed::new(cfg).expect("setup");
+        bed.run_until(SimTime::from_millis(800));
+        let c = bed.engine().counters();
+        (
+            bed.total_ops(),
+            c.get("fw_npf_events"),
+            c.get("prefetch_issued"),
+            c.get("prefetch_hits"),
+        )
+    };
+    let (base_ops, base_fw, base_issued, _) = run(false, 0);
+    let (fast_ops, fast_fw, fast_issued, fast_hits) = run(true, 64);
+    assert_eq!(base_issued, 0, "prefetch off must never speculate");
+    assert!(base_fw > 0, "the cold ring must fault at baseline");
+    assert!(
+        fast_fw * 2 <= base_fw,
+        "huge+prefetch must cut firmware NPFs at least 2x: {base_fw} -> {fast_fw}"
+    );
+    assert!(
+        fast_issued > 0,
+        "the stride prefetcher must fire on the cold ring"
+    );
+    assert!(
+        fast_hits > 0,
+        "speculative windows must absorb later demand faults"
+    );
+    assert!(
+        fast_ops * 100 >= base_ops * 99,
+        "the fast path may not cost throughput: {base_ops} -> {fast_ops}"
+    );
+}
+
+#[test]
+fn tiered_backing_serves_and_migrates() {
+    // A DRAM tier smaller than the working set forces demote-on-evict
+    // traffic to the NVM tier; the service must stay live and the
+    // engine must book tier migrations.
+    let mut cfg = small(RxMode::Backup);
+    cfg.instances = 2;
+    cfg.host_memory = ByteSize::mib(256);
+    cfg.memcached.max_bytes = ByteSize::mib(160);
+    cfg.working_set_keys = 150_000;
+    cfg.tier = Some(npf::memsim::manager::TierConfig {
+        capacity: ByteSize::mib(256),
+        disk: npf::memsim::swap::DiskConfig::nvm(),
+    });
+    let mut bed = EthTestbed::new(cfg).expect("setup");
+    bed.run_until(SimTime::from_millis(800));
+    assert!(bed.total_ops() > 300, "{} ops", bed.total_ops());
+    assert_eq!(bed.total_failed_conns(), 0);
+    assert!(bed.engine().counters().get("npf_events") > 0);
+    // The tier actually moved pages: LRU evictions demote into NVM, and
+    // re-faults on demoted pages promote back with a tier cost.
+    let m = bed.engine().memory().counters();
+    assert!(
+        m.get("tier_demotions") > 0,
+        "an overcommitted DRAM tier must demote: {m:?}"
+    );
+    assert!(
+        m.get("tier_promotions") > 0,
+        "re-faults on demoted pages must promote: {m:?}"
+    );
+}

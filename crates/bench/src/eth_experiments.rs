@@ -35,6 +35,7 @@ fn base_config(mode: RxMode) -> EthConfig {
         })
         .with_working_set_keys(1_800_000)
         .with_chaos(crate::tracectl::chaos_or_disabled())
+        .with_profile(crate::tracectl::fabric_profile())
         .with_npf(crate::tracectl::npf_config())
         .with_tier(crate::tracectl::tier_config())
 }

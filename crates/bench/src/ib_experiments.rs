@@ -298,6 +298,8 @@ pub fn fig10_infiniband(messages: u64) -> Report {
             IbConfig::default()
                 .with_nodes(2)
                 .with_seed(5)
+                .with_profile(crate::tracectl::fabric_profile())
+                .with_transport(crate::tracectl::transport_config())
                 .with_chaos(crate::tracectl::chaos_or_disabled()),
         );
         let (qa, qb) = c.connect(0, 1);

@@ -17,6 +17,7 @@ pub mod ablations;
 pub mod backends;
 pub mod eth_experiments;
 pub mod ib_experiments;
+pub mod lossy;
 pub mod micro;
 pub mod par_runner;
 pub mod report;

@@ -112,6 +112,7 @@ pub fn run_cell_chaos(
         })
         .working_set_keys(2_000)
         .tenant_skew(1.0)
+        .profile(crate::tracectl::fabric_profile())
         .npf(
             crate::tracectl::npf_config()
                 .with_arbiter(policy)

@@ -48,6 +48,14 @@
 //!   All default off so every existing figure is byte-identical; the
 //!   experiment drivers splice them into [`npf_config`] and
 //!   [`tier_config`] uniformly.
+//! * `--transport <gbn|irn>` / `--loss <p>` / `--pfc <on|off>` /
+//!   `--ecn <on|off>`: the lossy-fabric knobs — RC loss-recovery
+//!   discipline (go-back-N or IRN-style selective repeat), random
+//!   per-packet loss probability, 802.1Qbb priority flow control on
+//!   the switch, and ECN marking. All default to the legacy lossless
+//!   go-back-N fabric so every existing figure is byte-identical; the
+//!   experiment drivers splice them in via [`fabric_profile`] and
+//!   [`transport_config`].
 //!
 //! Traces are stamped exclusively with [`simcore::time::SimTime`], so
 //! the same seed produces byte-identical files.
@@ -58,6 +66,7 @@ use std::sync::OnceLock;
 
 use memsim::manager::TierConfig;
 use memsim::swap::DiskConfig;
+use netsim::profile::{FabricProfile, RdmaTransport, TransportConfig};
 use npf_core::npf::NpfConfig;
 use npf_core::{ArbiterPolicy, BackendKind};
 use simcore::chaos::{invariant, ChaosConfig, ChaosProfile, InvariantChecker};
@@ -108,6 +117,10 @@ const STANDARD_FLAGS: &[&str] = &[
     "hugepages",
     "prefetch",
     "tier",
+    "transport",
+    "loss",
+    "pfc",
+    "ecn",
 ];
 
 /// The one parsed view of a bench binary's command line.
@@ -157,6 +170,15 @@ pub struct RunOpts {
     /// `--tier <mib>`: NVM backing-tier capacity in MiB (absent or 0
     /// disables tiering).
     pub tier_mib: Option<u64>,
+    /// `--transport <gbn|irn>`: the RC loss-recovery discipline.
+    pub transport: RdmaTransport,
+    /// `--loss <p>`: random per-packet loss probability in `[0, 1)`.
+    pub loss: f64,
+    /// `--pfc <on|off>`: 802.1Qbb priority flow control at the switch.
+    pub pfc: bool,
+    /// `--ecn <on|off>`: ECN marking when the queueing delay crosses
+    /// the profile's threshold.
+    pub ecn: bool,
     /// Values of the binary-specific flags registered with `init`.
     extras: BTreeMap<String, String>,
 }
@@ -186,7 +208,12 @@ fn usage(bin: &str, extra: &[&str]) -> String {
          \x20 --backend <kind>       ODP backend: firmware, softemu, pinned\n\
          \x20 --hugepages <on|off>   fold 2 MiB huge pages in the IOMMU tables + IOTLB\n\
          \x20 --prefetch <depth>     speculative NPF prefetch depth in pages (0 = off)\n\
-         \x20 --tier <mib>           NVM backing tier of <mib> MiB before swap (0 = off)\n",
+         \x20 --tier <mib>           NVM backing tier of <mib> MiB before swap (0 = off)\n\
+         \x20 --transport <t>        RC loss recovery: gbn (go-back-N, default), irn\n\
+         \x20                        (selective repeat with a BDP cap)\n\
+         \x20 --loss <p>             random per-packet loss probability (default 0)\n\
+         \x20 --pfc <on|off>         802.1Qbb priority flow control at the switch\n\
+         \x20 --ecn <on|off>         ECN marking above the queueing-delay threshold\n",
     );
     if !extra.is_empty() {
         out.push_str("\nbinary-specific flags:\n");
@@ -364,6 +391,42 @@ impl RunOpts {
             })
             .transpose()?
             .filter(|&mib| mib > 0);
+        let transport = values
+            .remove("transport")
+            .map(|v| {
+                RdmaTransport::from_name(&v)
+                    .ok_or_else(|| format!("--transport must be gbn|irn: {v:?}"))
+            })
+            .transpose()?
+            .unwrap_or_default();
+        let loss = values
+            .remove("loss")
+            .map(|v| {
+                let p = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("--loss must be a probability: {e}"))?;
+                if !p.is_finite() || !(0.0..1.0).contains(&p) {
+                    return Err(format!("--loss must be in [0, 1): {v:?}"));
+                }
+                Ok(p)
+            })
+            .transpose()?
+            .unwrap_or(0.0);
+        let pfc = values
+            .remove("pfc")
+            .map(|v| parse_switch(&v).ok_or_else(|| format!("--pfc must be on|off: {v:?}")))
+            .transpose()?
+            .unwrap_or(false);
+        let ecn = values
+            .remove("ecn")
+            .map(|v| parse_switch(&v).ok_or_else(|| format!("--ecn must be on|off: {v:?}")))
+            .transpose()?
+            .unwrap_or(false);
+        if pfc && loss > 0.0 {
+            return Err(format!(
+                "--pfc models a lossless fabric; it cannot be combined with --loss {loss}"
+            ));
+        }
         let trace = values.remove("trace").map(PathBuf::from);
         let metrics = values.remove("metrics").map(PathBuf::from);
         let journal = values.remove("journal").map(PathBuf::from);
@@ -383,6 +446,10 @@ impl RunOpts {
             huge_pages,
             prefetch,
             tier_mib,
+            transport,
+            loss,
+            pfc,
+            ecn,
             extras: values,
         })
     }
@@ -602,6 +669,48 @@ pub fn tier_config() -> Option<TierConfig> {
         capacity: ByteSize::mib(mib),
         disk: DiskConfig::nvm(),
     })
+}
+
+/// The [`FabricProfile`] matching the command line's lossy-fabric
+/// flags: lossless by default, `--loss <p>` for random loss, `--pfc on`
+/// for 802.1Qbb flow control, `--ecn on` for marking at the default
+/// queueing-delay threshold. The lenient fallback (test contexts) scans
+/// argv the same way the strict parser does.
+#[must_use]
+pub fn fabric_profile() -> FabricProfile {
+    let (loss, pfc, ecn) = match RunOpts::get() {
+        Some(opts) => (opts.loss, opts.pfc, opts.ecn),
+        None => {
+            let loss = flag_value(std::env::args().skip(1), "loss")
+                .and_then(|v| v.to_string_lossy().parse::<f64>().ok())
+                .unwrap_or(0.0);
+            let pfc = flag_value(std::env::args().skip(1), "pfc")
+                .and_then(|v| parse_switch(&v.to_string_lossy()))
+                .unwrap_or(false);
+            let ecn = flag_value(std::env::args().skip(1), "ecn")
+                .and_then(|v| parse_switch(&v.to_string_lossy()))
+                .unwrap_or(false);
+            (loss, pfc, ecn)
+        }
+    };
+    let mut profile = FabricProfile::default().with_loss(loss).with_pfc(pfc);
+    if ecn {
+        profile = profile.with_ecn(Some(simcore::time::SimDuration::from_micros(20)));
+    }
+    profile
+}
+
+/// The [`TransportConfig`] matching `--transport <gbn|irn>`: the
+/// default BDP cap with the requested discipline.
+#[must_use]
+pub fn transport_config() -> TransportConfig {
+    let transport = match RunOpts::get() {
+        Some(opts) => opts.transport,
+        None => flag_value(std::env::args().skip(1), "transport")
+            .and_then(|v| RdmaTransport::from_name(&v.to_string_lossy()))
+            .unwrap_or_default(),
+    };
+    TransportConfig::default().with_transport(transport)
 }
 
 /// Runs `body` with [`shards`] forced to `n` on this thread —
@@ -984,6 +1093,42 @@ mod tests {
         });
         assert!(!huge_pages());
         assert!(tier_config().is_none());
+    }
+
+    #[test]
+    fn transport_flags_parse_and_validate() {
+        let opts = RunOpts::parse(
+            &argv(&["--transport", "irn", "--loss=0.01", "--ecn=on"]),
+            &[],
+        )
+        .expect("lossy transport flags");
+        assert_eq!(opts.transport, RdmaTransport::SelectiveRepeat);
+        assert!((opts.loss - 0.01).abs() < 1e-12);
+        assert!(opts.ecn);
+        assert!(!opts.pfc);
+
+        let opts = RunOpts::parse(&argv(&["--pfc", "on"]), &[]).expect("pfc alone");
+        assert!(opts.pfc);
+        assert_eq!(opts.transport, RdmaTransport::GoBackN);
+
+        let bad = RunOpts::parse(&argv(&["--transport", "tcp"]), &[]).unwrap_err();
+        assert!(bad.contains("--transport must be gbn|irn"), "{bad}");
+        let bad = RunOpts::parse(&argv(&["--loss", "1.5"]), &[]).unwrap_err();
+        assert!(bad.contains("--loss must be in [0, 1)"), "{bad}");
+        let bad = RunOpts::parse(&argv(&["--pfc=on", "--loss=0.01"]), &[]).unwrap_err();
+        assert!(bad.contains("cannot be combined"), "{bad}");
+    }
+
+    #[test]
+    fn transport_defaults_reproduce_the_legacy_fabric() {
+        let opts = RunOpts::parse(&[], &[]).expect("empty argv");
+        assert_eq!(opts.transport, RdmaTransport::GoBackN);
+        assert_eq!(opts.loss, 0.0);
+        assert!(!opts.pfc);
+        assert!(!opts.ecn);
+        // The accessor view: a transparent profile and a GBN transport.
+        assert!(fabric_profile().is_lossless_default());
+        assert_eq!(transport_config().transport, RdmaTransport::GoBackN);
     }
 
     #[test]

@@ -27,7 +27,9 @@
 pub mod fabric;
 pub mod link;
 pub mod packet;
+pub mod profile;
 
 pub use fabric::Fabric;
 pub use link::{Link, LinkConfig, SendOutcome};
 pub use packet::{NodeId, Packet};
+pub use profile::{FabricProfile, RdmaTransport, TransportConfig};

@@ -146,6 +146,26 @@ impl Link {
             .sum()
     }
 
+    /// Earliest instant at which the backlog has drained to at most
+    /// `target` bytes, assuming nothing else is enqueued. Returns
+    /// [`SimTime::ZERO`] when it is already there. The PFC machinery
+    /// uses this to size pause frames: pause until the congested queue
+    /// crosses back below XON.
+    #[must_use]
+    pub fn drains_below(&self, target: u64) -> SimTime {
+        let mut remaining = self.queued_bytes;
+        if remaining <= target {
+            return SimTime::ZERO;
+        }
+        for &(done, bytes) in &self.queue {
+            remaining -= bytes;
+            if remaining <= target {
+                return done;
+            }
+        }
+        SimTime::ZERO
+    }
+
     fn drain_queue(&mut self, now: SimTime) {
         while let Some(&(done, bytes)) = self.queue.front() {
             if done > now {
@@ -194,7 +214,14 @@ impl Link {
             self.dropped_packets += 1;
             return SendOutcome::Dropped;
         }
+        let natural_start = self.horizon.max(now);
         let start = self.effective_horizon().max(now);
+        // A pause frame (802.3x/PFC or chaos-injected) is holding the
+        // transmitter beyond its natural serialization horizon: journal
+        // the stall as a standalone tile-exact slice.
+        if start > natural_start {
+            journal::wait_event(journal::Phase::PauseWait, natural_start, start);
+        }
         let wait = start.saturating_since(now);
         let mut ecn_marked = false;
         if let Some(threshold) = self.config.ecn_threshold {

@@ -39,6 +39,6 @@ pub use mr::{MemoryRegion, MrKey, MrMode, MrTable};
 pub use rc::{RcQp, RcStats};
 pub use types::{
     Completion, DmaGate, GateDecision, MessageRange, PinnedGate, QpId, QpOutput, QpTimer, RcConfig,
-    RcPacket, RcPacketKind, RecvWqe, SendOp, WcOpcode, WcStatus, WrId,
+    RcPacket, RcPacketKind, RdmaTransport, RecvWqe, SendOp, WcOpcode, WcStatus, WrId,
 };
 pub use ud::{UdDatagram, UdQp, UdRecvOutcome};

@@ -185,6 +185,17 @@ pub enum RcPacketKind {
         /// Requested pause before the responder resumes.
         wait: SimDuration,
     },
+    /// IRN-style cumulative + selective acknowledgment
+    /// ([`RdmaTransport::SelectiveRepeat`] only). The packet's own `psn`
+    /// field names the *expected* (first missing) PSN: everything below
+    /// it is cumulatively acknowledged. Bit `i` of `bitmap` set means
+    /// PSN `psn + 1 + i` was received out of order and must not be
+    /// retransmitted. The legacy go-back-N path never emits this kind,
+    /// keeping its wire traces byte-identical.
+    SelectiveAck {
+        /// Out-of-order reception bitmap relative to `psn + 1`.
+        bitmap: u64,
+    },
 }
 
 /// A packet on an RC connection.
@@ -332,6 +343,13 @@ pub enum QpOutput {
     },
 }
 
+/// Loss-recovery discipline of an RC QP. The canonical definition
+/// lives in [`netsim::profile`] so the typed scenario surface
+/// ([`netsim::profile::TransportConfig`]) can name it without a
+/// dependency cycle; re-exported here because the QP state machine is
+/// where it takes effect.
+pub use netsim::profile::RdmaTransport;
+
 /// Tuning knobs of an RC QP.
 #[derive(Debug, Clone, Copy)]
 pub struct RcConfig {
@@ -356,6 +374,14 @@ pub struct RcConfig {
     /// control for RDMA read responses (§4). Off by default — standard
     /// RC drops and rewinds.
     pub rnr_for_reads: bool,
+    /// Loss-recovery discipline. Defaults to the legacy go-back-N path
+    /// so existing scenarios stay byte-identical.
+    pub transport: RdmaTransport,
+    /// Bandwidth-delay-product cap on in-flight request packets,
+    /// honoured only by [`RdmaTransport::SelectiveRepeat`] (IRN bounds
+    /// outstanding data to one BDP instead of relying on PFC). The
+    /// effective cap is `min(window_packets, bdp_packets)`.
+    pub bdp_packets: u64,
 }
 
 impl Default for RcConfig {
@@ -369,6 +395,10 @@ impl Default for RcConfig {
             max_rnr_retries: 1000,
             ack_every: 16,
             rnr_for_reads: false,
+            transport: RdmaTransport::GoBackN,
+            // 56 Gb/s × ~10 us RTT ≈ 70 KB ≈ 17 MTU packets; default to a
+            // round 32 so a single QP can still fill a longer pipe.
+            bdp_packets: 32,
         }
     }
 }

@@ -188,6 +188,32 @@ impl IommuChaos {
     }
 }
 
+/// PFC pause storms injected at the fabric (`netsim::fabric`): a rogue
+/// peer spraying 802.3x/PFC pause frames, stalling a victim's egress.
+/// Evaluated once per chaos tick per node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PauseChaos {
+    /// Probability that a pause storm hits a given node this tick.
+    pub storm: f64,
+    /// Longest single pause a storm imposes (drawn uniformly in
+    /// `(0, max_pause]`).
+    pub max_pause: SimDuration,
+}
+
+impl PauseChaos {
+    /// No pause storms.
+    pub const OFF: PauseChaos = PauseChaos {
+        storm: 0.0,
+        max_pause: SimDuration::ZERO,
+    };
+
+    /// `true` when a pause storm can fire.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.storm > 0.0
+    }
+}
+
 /// Full chaos configuration: one seed plus per-class fault rates.
 ///
 /// The seed is *independent* of the simulation seed: a testbed with
@@ -210,6 +236,8 @@ pub struct ChaosConfig {
     pub memory: MemChaos,
     /// IOTLB shootdowns.
     pub iommu: IommuChaos,
+    /// PFC pause storms.
+    pub pause: PauseChaos,
 }
 
 impl Default for ChaosConfig {
@@ -230,6 +258,7 @@ impl ChaosConfig {
             npf: NpfChaos::OFF,
             memory: MemChaos::OFF,
             iommu: IommuChaos::OFF,
+            pause: PauseChaos::OFF,
         }
     }
 
@@ -241,6 +270,7 @@ impl ChaosConfig {
             || self.npf.active()
             || self.memory.active()
             || self.iommu.active()
+            || self.pause.active()
     }
 
     /// Sets the chaos-schedule seed.
@@ -289,6 +319,13 @@ impl ChaosConfig {
     #[must_use]
     pub fn with_iommu(mut self, iommu: IommuChaos) -> Self {
         self.iommu = iommu;
+        self
+    }
+
+    /// Sets the PFC pause-storm fault class.
+    #[must_use]
+    pub fn with_pause(mut self, pause: PauseChaos) -> Self {
+        self.pause = pause;
         self
     }
 
@@ -498,6 +535,18 @@ pub enum IommuFate {
     ShootdownAll,
 }
 
+/// PFC pause decision for one node at one chaos tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PauseFate {
+    /// No pause storm this tick.
+    Calm,
+    /// Stall the node's egress for `pause` (a burst of pause frames).
+    Storm {
+        /// How long the egress stays paused.
+        pause: SimDuration,
+    },
+}
+
 /// A typed fault decision, one variant per injection class. Each is
 /// derived from that class's private [`SimRng`] stream, so a seed
 /// replays the exact same fault schedule regardless of how classes
@@ -514,6 +563,8 @@ pub enum FaultPlan {
     Memory(MemoryFate),
     /// IOTLB decision.
     Iommu(IommuFate),
+    /// PFC pause decision.
+    Pause(PauseFate),
 }
 
 // ---------------------------------------------------------------------
@@ -530,6 +581,7 @@ pub struct ChaosEngine {
     npf_rng: SimRng,
     mem_rng: SimRng,
     iommu_rng: SimRng,
+    pause_rng: SimRng,
     counters: Counters,
 }
 
@@ -546,6 +598,7 @@ impl ChaosEngine {
             npf_rng: root.fork(3),
             mem_rng: root.fork(4),
             iommu_rng: root.fork(5),
+            pause_rng: root.fork(6),
             counters: Counters::new(),
         }
     }
@@ -714,6 +767,23 @@ impl ChaosEngine {
             return fate;
         }
         IommuFate::None
+    }
+
+    /// Draws the PFC pause decision for one node at one chaos tick.
+    pub fn pause_fate(&mut self) -> PauseFate {
+        let c = self.cfg.pause;
+        if !c.active() {
+            return PauseFate::Calm;
+        }
+        if self.pause_rng.chance(c.storm) {
+            self.counters.bump("pause_storm");
+            let fate = PauseFate::Storm {
+                pause: Self::jitter(&mut self.pause_rng, c.max_pause),
+            };
+            self.trace_injection("pause", &FaultPlan::Pause(fate));
+            return fate;
+        }
+        PauseFate::Calm
     }
 
     fn trace_injection(&self, class: &'static str, plan: &FaultPlan) {

@@ -69,7 +69,7 @@ impl CauseId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JournalId(pub u64);
 
-/// One phase of a fault's lifecycle. The thirteen phases tile the
+/// One phase of a fault's lifecycle. The fifteen phases tile the
 /// interval `[begun, resolved_at]` with no gaps or overlaps, so their
 /// durations sum exactly to the end-to-end latency. The firmware NPF
 /// backend uses the trigger/driver/translate/update/resume chain
@@ -77,7 +77,10 @@ pub struct JournalId(pub u64);
 /// hardware trigger and resume with validate/bounce/copy slices;
 /// speculative pre-faults open with a `Prefetch` issue slice and
 /// tier-migration fetches carve a `TierMigrate` slice out of the OS
-/// share.
+/// share. Transport stalls (retransmission timeouts, PFC pauses) are
+/// journalled as standalone single-slice records through
+/// [`JournalRecorder::wait_event`], so they keep the tile-exactly
+/// contract trivially.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// Waiting for a per-channel fault slot (outstanding-limit queue).
@@ -110,6 +113,13 @@ pub enum Phase {
     /// Copying bounced data out to the now-resident target pages
     /// (software emulation only).
     CopyOut,
+    /// Time a QP spent stalled on a loss-driven retransmission timeout
+    /// (selective-repeat or go-back-N); recorded as a standalone
+    /// single-slice journal record, not part of an NPF chain.
+    RetransmitWait,
+    /// Time a link spent paused by PFC back-pressure (802.3x-style
+    /// pause frames); also a standalone single-slice record.
+    PauseWait,
     /// Chaos-injected perturbation (delays, transient retries).
     ChaosExtra,
 }
@@ -117,7 +127,7 @@ pub enum Phase {
 impl Phase {
     /// Every phase, in lifecycle order. Attribution tables iterate
     /// this, so column order is fixed.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 15] = [
         Phase::QueueWait,
         Phase::ArbWait,
         Phase::Validate,
@@ -130,6 +140,8 @@ impl Phase {
         Phase::PtUpdate,
         Phase::Resume,
         Phase::CopyOut,
+        Phase::RetransmitWait,
+        Phase::PauseWait,
         Phase::ChaosExtra,
     ];
 
@@ -149,6 +161,8 @@ impl Phase {
             Phase::PtUpdate => "pt_update",
             Phase::Resume => "resume",
             Phase::CopyOut => "copy_out",
+            Phase::RetransmitWait => "retransmit_wait",
+            Phase::PauseWait => "pause_wait",
             Phase::ChaosExtra => "chaos_extra",
         }
     }
@@ -533,6 +547,39 @@ impl JournalRecorder {
         }
     }
 
+    /// Records a standalone transport stall — a retransmission timeout
+    /// or a PFC pause — as a born-resolved journal record with a single
+    /// phase slice spanning exactly `[start, end]`. The slice tiles its
+    /// own interval, so the tile-exactly invariant holds trivially and
+    /// the stall shows up in phase totals and the attribution table
+    /// without joining any NPF chain. Zero-length stalls are dropped.
+    /// The watchdog does not apply: stalls are not faults with an SLO.
+    pub fn wait_event(&mut self, phase: Phase, start: SimTime, end: SimTime) {
+        if end <= start {
+            return;
+        }
+        let id = JournalId(self.next_id);
+        self.next_id += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        self.faults.push(FaultJournal {
+            id,
+            cause: self.cause,
+            domain: 0,
+            pages: 0,
+            major: false,
+            seq,
+            begun: start,
+            ready_at: end,
+            resolved: true,
+            phases: vec![PhaseSlice {
+                phase,
+                start,
+                duration: end.saturating_since(start),
+            }],
+        });
+    }
+
     /// Emits a causal annotation at `time` under the current cause.
     pub fn mark_at(&mut self, time: SimTime, kind: MarkKind, detail: u64) {
         let seq = self.seq;
@@ -713,7 +760,7 @@ impl JournalRecorder {
         tenants.sort_unstable();
         let _ = writeln!(
             out,
-            "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>11} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}  dominant",
+            "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>11} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10} {:>12}  dominant",
             "tenant",
             "pct",
             "fault",
@@ -729,6 +776,8 @@ impl JournalRecorder {
             "pt_upd",
             "resume",
             "copy_out",
+            "retrans_wait",
+            "pause_wait",
             "chaos",
             "total_ns"
         );
@@ -748,7 +797,7 @@ impl JournalRecorder {
                 };
                 let _ = writeln!(
                     out,
-                    "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>11} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}  {}",
+                    "{:>7} {:>5} {:>6} {:>10} {:>10} {:>10} {:>11} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10} {:>12}  {}",
                     tenant_label,
                     label,
                     f.id.0,
@@ -764,6 +813,8 @@ impl JournalRecorder {
                     f.phase_total(Phase::PtUpdate).as_nanos(),
                     f.phase_total(Phase::Resume).as_nanos(),
                     f.phase_total(Phase::CopyOut).as_nanos(),
+                    f.phase_total(Phase::RetransmitWait).as_nanos(),
+                    f.phase_total(Phase::PauseWait).as_nanos(),
                     f.phase_total(Phase::ChaosExtra).as_nanos(),
                     f.latency().as_nanos(),
                     f.dominant_phase().name()
@@ -895,6 +946,15 @@ pub fn mark(kind: MarkKind, detail: u64) {
     }
 }
 
+/// Records a standalone transport stall (retransmission timeout or PFC
+/// pause) spanning `[start, end]` on the installed recorder, if any.
+#[inline]
+pub fn wait_event(phase: Phase, start: SimTime, end: SimTime) {
+    if enabled() {
+        with(|j| j.wait_event(phase, start, end));
+    }
+}
+
 /// Emits a causal annotation at `time`.
 #[inline]
 pub fn mark_at(time: SimTime, kind: MarkKind, detail: u64) {
@@ -912,7 +972,7 @@ mod tests {
         key: u64,
         tenant: u32,
         begun_ns: u64,
-        phase_ns: [u64; 13],
+        phase_ns: [u64; 15],
     ) {
         j.set_cause(CauseId::tenant(tenant));
         let begun = SimTime::from_nanos(begun_ns);
@@ -936,14 +996,14 @@ mod tests {
             1,
             0,
             100,
-            [5, 0, 0, 0, 0, 100, 10, 250, 0, 20, 90, 0, 0],
+            [5, 0, 0, 0, 0, 100, 10, 250, 0, 20, 90, 0, 0, 0, 0],
         );
         record_fault(
             &mut j,
             2,
             1,
             900,
-            [0, 40, 0, 0, 0, 100, 10, 0, 0, 20, 90, 0, 7],
+            [0, 40, 0, 0, 0, 100, 10, 0, 0, 20, 90, 0, 0, 0, 7],
         );
         assert_eq!(j.unbalanced_faults(), 0);
         assert_eq!(j.incomplete_faults(), 0);
@@ -961,7 +1021,7 @@ mod tests {
             1,
             0,
             0,
-            [5, 0, 0, 0, 0, 100, 10, 250, 0, 20, 90, 0, 0],
+            [5, 0, 0, 0, 0, 100, 10, 250, 0, 20, 90, 0, 0, 0, 0],
         );
         let path = j.faults()[0].critical_path();
         let names: Vec<&str> = path.iter().map(|p| p.phase.name()).collect();
@@ -985,10 +1045,10 @@ mod tests {
     #[test]
     fn absorb_rebases_ids_and_seq_in_task_order() {
         let mut a = JournalRecorder::new();
-        record_fault(&mut a, 1, 0, 0, [1, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut a, 1, 0, 0, [1, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
         a.mark_at(SimTime::from_nanos(1), MarkKind::IotlbFill, 7);
         let mut b = JournalRecorder::new();
-        record_fault(&mut b, 1, 1, 50, [0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut b, 1, 1, 50, [0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
         b.mark_at(SimTime::from_nanos(51), MarkKind::BackingFetch, 9);
 
         let mut merged = JournalRecorder::new();
@@ -1014,8 +1074,8 @@ mod tests {
         j.set_watchdog(JournalWatchdog {
             budget: SimDuration::from_nanos(100),
         });
-        record_fault(&mut j, 1, 3, 0, [0, 0, 0, 0, 0, 50, 0, 0, 0, 0, 0, 0, 0]); // under
-        record_fault(&mut j, 2, 4, 0, [0, 200, 0, 0, 0, 50, 0, 0, 0, 0, 0, 0, 0]); // over
+        record_fault(&mut j, 1, 3, 0, [0, 0, 0, 0, 0, 50, 0, 0, 0, 0, 0, 0, 0, 0, 0]); // under
+        record_fault(&mut j, 2, 4, 0, [0, 200, 0, 0, 0, 50, 0, 0, 0, 0, 0, 0, 0, 0, 0]); // over
         assert_eq!(j.slo_hits().len(), 1);
         let hit = j.slo_hits()[0];
         assert_eq!(hit.cause.tenant, 4);
@@ -1051,7 +1111,7 @@ mod tests {
             1,
             2,
             10,
-            [0, 0, 0, 0, 0, 100, 10, 250, 0, 20, 90, 0, 0],
+            [0, 0, 0, 0, 0, 100, 10, 250, 0, 20, 90, 0, 0, 0, 0],
         );
         let json = j.export_chrome_json();
         assert!(json.contains("\"ph\":\"s\""), "{json}");
@@ -1081,9 +1141,9 @@ mod tests {
     #[test]
     fn attribution_report_groups_tenants_in_order() {
         let mut j = JournalRecorder::new();
-        record_fault(&mut j, 1, 1, 0, [0, 0, 0, 0, 0, 100, 0, 0, 0, 0, 0, 0, 0]);
-        record_fault(&mut j, 2, 0, 0, [0, 0, 0, 0, 0, 300, 0, 0, 0, 0, 0, 0, 0]);
-        record_fault(&mut j, 3, 0, 0, [0, 0, 0, 0, 0, 200, 0, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut j, 1, 1, 0, [0, 0, 0, 0, 0, 100, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut j, 2, 0, 0, [0, 0, 0, 0, 0, 300, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        record_fault(&mut j, 3, 0, 0, [0, 0, 0, 0, 0, 200, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
         let report = j.attribution_report();
         let t0 = report.find("\n      0 ").expect("tenant 0 row");
         let t1 = report.find("\n      1 ").expect("tenant 1 row");
@@ -1105,7 +1165,7 @@ mod tests {
             1,
             0,
             0,
-            [0, 0, 0, 0, 2000, 0, 10, 250, 0, 20, 0, 0, 0],
+            [0, 0, 0, 0, 2000, 0, 10, 250, 0, 20, 0, 0, 0, 0, 0],
         );
         // A demand fault whose backing fetch hit the slow tier.
         record_fault(
@@ -1113,7 +1173,7 @@ mod tests {
             2,
             0,
             0,
-            [5, 0, 0, 0, 0, 100, 10, 50, 80000, 20, 90, 0, 0],
+            [5, 0, 0, 0, 0, 100, 10, 50, 80000, 20, 90, 0, 0, 0, 0],
         );
         assert_eq!(j.unbalanced_faults(), 0);
         let spec = &j.faults()[0];
@@ -1142,7 +1202,7 @@ mod tests {
             1,
             0,
             0,
-            [5, 0, 30, 120, 0, 0, 10, 250, 0, 20, 0, 80, 0],
+            [5, 0, 30, 120, 0, 0, 10, 250, 0, 20, 0, 80, 0, 0, 0],
         );
         assert_eq!(j.unbalanced_faults(), 0);
         let f = &j.faults()[0];
@@ -1172,5 +1232,49 @@ mod tests {
         let json = j.export_chrome_json();
         assert!(json.contains("\"name\":\"validate\""), "{json}");
         assert!(json.contains("\"name\":\"copy_out\""), "{json}");
+    }
+
+    #[test]
+    fn wait_events_tile_exactly_and_report() {
+        let mut j = JournalRecorder::new();
+        j.set_cause(CauseId::tenant(3));
+        j.wait_event(
+            Phase::RetransmitWait,
+            SimTime::from_nanos(100),
+            SimTime::from_nanos(600),
+        );
+        j.wait_event(
+            Phase::PauseWait,
+            SimTime::from_nanos(700),
+            SimTime::from_nanos(900),
+        );
+        // Zero-length stalls are dropped.
+        j.wait_event(
+            Phase::PauseWait,
+            SimTime::from_nanos(900),
+            SimTime::from_nanos(900),
+        );
+        assert_eq!(j.faults().len(), 2);
+        assert_eq!(j.incomplete_faults(), 0);
+        assert_eq!(j.unbalanced_faults(), 0);
+        let retx = &j.faults()[0];
+        assert_eq!(retx.latency(), SimDuration::from_nanos(500));
+        assert_eq!(
+            retx.phase_total(Phase::RetransmitWait),
+            SimDuration::from_nanos(500)
+        );
+        assert_eq!(retx.dominant_phase(), Phase::RetransmitWait);
+        assert_eq!(retx.cause.tenant, 3);
+        let report = j.attribution_report();
+        assert!(report.contains("retransmit_wait=500"), "{report}");
+        assert!(report.contains("pause_wait=200"), "{report}");
+        assert!(report.contains("retrans_wait"), "{report}");
+        // Wait events never trip the SLO watchdog.
+        let mut w = JournalRecorder::new();
+        w.set_watchdog(JournalWatchdog {
+            budget: SimDuration::from_nanos(10),
+        });
+        w.wait_event(Phase::RetransmitWait, SimTime::ZERO, SimTime::from_nanos(500));
+        assert!(w.slo_hits().is_empty());
     }
 }

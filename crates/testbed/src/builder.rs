@@ -28,6 +28,7 @@
 
 use memsim::manager::{MemError, TierConfig};
 use memsim::swap::DiskConfig;
+use netsim::profile::{FabricProfile, RdmaTransport, TransportConfig};
 use npf_core::npf::{ArbiterPolicy, NpfConfig};
 use npf_core::{BackendKind, BackendSelect};
 use simcore::chaos::ChaosConfig;
@@ -117,6 +118,21 @@ pub enum ScenarioError {
     },
     /// The InfiniBand cluster needs at least one node.
     NoNodes,
+    /// PFC emulates a lossless fabric; combining it with random loss
+    /// contradicts itself (IRN's lossy regimes must disarm PFC).
+    PfcNeedsLossless {
+        /// The configured loss probability.
+        loss: String,
+    },
+    /// The selective-repeat transport caps in-flight data at the BDP;
+    /// a zero cap would never send anything.
+    BdpCapZero,
+    /// A loss probability outside `[0, 1)`.
+    LossOutOfRange {
+        /// The offending probability (stringified so the error stays
+        /// `Eq`).
+        loss: String,
+    },
     /// Construction failed in the memory subsystem (e.g. pinning under
     /// [`RxMode::Pin`] with insufficient host memory — Table 5's "N/A").
     Mem(MemError),
@@ -190,6 +206,16 @@ impl std::fmt::Display for ScenarioError {
                 "{connections} connections across {instances} instances exhaust the port space"
             ),
             ScenarioError::NoNodes => write!(f, "cluster has zero nodes"),
+            ScenarioError::PfcNeedsLossless { loss } => write!(
+                f,
+                "PFC armed on a lossy fabric (loss={loss}); disarm PFC for lossy regimes"
+            ),
+            ScenarioError::BdpCapZero => {
+                write!(f, "selective-repeat transport with a zero BDP cap")
+            }
+            ScenarioError::LossOutOfRange { loss } => {
+                write!(f, "loss probability {loss} is outside [0, 1)")
+            }
             ScenarioError::Mem(e) => write!(f, "{e}"),
         }
     }
@@ -251,6 +277,7 @@ pub(crate) fn validate_eth(cfg: &EthConfig) -> Result<(), ScenarioError> {
             });
         }
     }
+    validate_profile(&cfg.profile)?;
     validate_npf(&cfg.npf)?;
     // Port-space geometry: server listeners live at 11211 + instance,
     // client locals at 20000 + connection; both must stay within u16
@@ -290,7 +317,26 @@ pub(crate) fn validate_ib(cfg: &IbConfig) -> Result<(), ScenarioError> {
             available: ByteSize::ZERO,
         });
     }
+    validate_profile(&cfg.profile)?;
+    if cfg.rc.transport == RdmaTransport::SelectiveRepeat && cfg.rc.bdp_packets == 0 {
+        return Err(ScenarioError::BdpCapZero);
+    }
     validate_npf(&cfg.npf)
+}
+
+/// Whole-config validation of a fabric profile.
+pub(crate) fn validate_profile(profile: &FabricProfile) -> Result<(), ScenarioError> {
+    if !profile.loss.is_finite() || profile.loss < 0.0 || profile.loss >= 1.0 {
+        return Err(ScenarioError::LossOutOfRange {
+            loss: profile.loss.to_string(),
+        });
+    }
+    if profile.pfc && profile.loss > 0.0 {
+        return Err(ScenarioError::PfcNeedsLossless {
+            loss: profile.loss.to_string(),
+        });
+    }
+    Ok(())
 }
 
 fn validate_npf(cfg: &NpfConfig) -> Result<(), ScenarioError> {
@@ -502,6 +548,15 @@ impl EthScenario {
         self
     }
 
+    /// Sets the fabric profile (loss regime, ECN marking). The
+    /// Ethernet edge is a point-to-point link, so the PFC switch
+    /// thresholds have nothing to arm; loss and ECN apply as on IB.
+    #[must_use]
+    pub fn profile(mut self, profile: FabricProfile) -> Self {
+        self.config.profile = profile;
+        self
+    }
+
     /// Sets the fault-injection configuration.
     #[must_use]
     pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
@@ -666,6 +721,21 @@ impl IbScenario {
         self
     }
 
+    /// Sets the fabric profile (loss regime, PFC, ECN).
+    #[must_use]
+    pub fn profile(mut self, profile: FabricProfile) -> Self {
+        self.config = self.config.with_profile(profile);
+        self
+    }
+
+    /// Sets the RC transport discipline (go-back-N or IRN-style
+    /// selective repeat) and its BDP cap.
+    #[must_use]
+    pub fn transport(mut self, transport: TransportConfig) -> Self {
+        self.config = self.config.with_transport(transport);
+        self
+    }
+
     /// Validates the scenario without building it.
     ///
     /// # Errors
@@ -697,6 +767,48 @@ mod tests {
     fn zero_nodes_is_a_typed_error_not_a_panic() {
         let err = ScenarioBuilder::infiniband().nodes(0).build().err();
         assert_eq!(err, Some(ScenarioError::NoNodes));
+    }
+
+    #[test]
+    fn transport_validation_matrix() {
+        // PFC + loss contradict each other.
+        assert_eq!(
+            ScenarioBuilder::infiniband()
+                .profile(FabricProfile::lossless_pfc().with_loss(0.01))
+                .validate()
+                .err(),
+            Some(ScenarioError::PfcNeedsLossless {
+                loss: "0.01".to_string()
+            })
+        );
+        // Selective repeat with a zero BDP cap would never send.
+        assert_eq!(
+            ScenarioBuilder::infiniband()
+                .transport(TransportConfig::irn().with_bdp_packets(0))
+                .validate()
+                .err(),
+            Some(ScenarioError::BdpCapZero)
+        );
+        // Loss probabilities outside [0, 1) are rejected.
+        assert_eq!(
+            ScenarioBuilder::infiniband()
+                .profile(FabricProfile::default().with_loss(1.5))
+                .validate()
+                .err(),
+            Some(ScenarioError::LossOutOfRange {
+                loss: "1.5".to_string()
+            })
+        );
+        // The sensible combinations pass.
+        assert!(ScenarioBuilder::infiniband()
+            .profile(FabricProfile::lossless_pfc())
+            .validate()
+            .is_ok());
+        assert!(ScenarioBuilder::infiniband()
+            .profile(FabricProfile::lossy(0.01))
+            .transport(TransportConfig::irn())
+            .validate()
+            .is_ok());
     }
 
     #[test]

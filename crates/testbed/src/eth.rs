@@ -21,6 +21,7 @@ use memsim::space::Backing;
 use memsim::swap::DiskConfig;
 use memsim::types::{PageRange, SpaceId, VirtAddr};
 use netsim::link::{Link, LinkConfig, SendOutcome};
+use netsim::profile::FabricProfile;
 use nicsim::interrupt::{InterruptDecision, InterruptModerator};
 use nicsim::rx::{BackupPolicy, RingId, RxDescriptor, RxEngine, RxFaultMode, RxVerdict};
 use nicsim::sriov::ChannelTable;
@@ -121,6 +122,10 @@ pub struct EthConfig {
     /// connection allocation so low-numbered instances receive more
     /// load; `None` spreads connections uniformly.
     pub tenant_skew: Option<f64>,
+    /// Fabric profile (loss regime / ECN marking). The Ethernet testbed
+    /// models a flow-controlled datacenter edge, so the default is
+    /// lossless; PFC thresholds are ignored on this point-to-point link.
+    pub profile: FabricProfile,
 }
 
 impl Default for EthConfig {
@@ -152,6 +157,7 @@ impl Default for EthConfig {
             tier: None,
             backup_quota: None,
             tenant_skew: None,
+            profile: FabricProfile::default(),
         }
     }
 }
@@ -315,6 +321,13 @@ impl EthConfig {
     #[must_use]
     pub fn with_tenant_skew(mut self, skew: Option<f64>) -> Self {
         self.tenant_skew = skew;
+        self
+    }
+
+    /// Sets the fabric profile (loss regime / ECN marking).
+    #[must_use]
+    pub fn with_profile(mut self, profile: FabricProfile) -> Self {
+        self.profile = profile;
         self
     }
 }
@@ -609,7 +622,7 @@ impl EthTestbed {
         };
         let conn_alloc = popularity.allocate(config.instances * config.conns_per_instance);
 
-        let link_cfg = LinkConfig {
+        let link_cfg = config.profile.apply_link(LinkConfig {
             bandwidth: config.bandwidth,
             propagation: SimDuration::from_micros(1),
             // Flow control enabled (§6): queues absorb bursts instead of
@@ -617,7 +630,7 @@ impl EthTestbed {
             queue_capacity: 8 << 20,
             ecn_threshold: None,
             loss_probability: 0.0,
-        };
+        });
         let metrics = vec![InstanceMetrics::default(); config.instances as usize];
 
         let mut bed = EthTestbed {

@@ -15,13 +15,14 @@ use memsim::types::{SpaceId, VirtAddr};
 use netsim::fabric::{ChaosSendOutcome, Fabric};
 use netsim::link::{LinkConfig, SendOutcome};
 use netsim::packet::NodeId;
+use netsim::profile::{FabricProfile, TransportConfig};
 use npf_core::npf::{NpfConfig, NpfEngine};
 use rdmasim::rc::RcQp;
 use rdmasim::types::{
     Completion, DmaGate, GateDecision, MessageRange, QpId, QpOutput, QpTimer, RcConfig, RcPacket,
     RecvWqe, SendOp, WrId,
 };
-use simcore::chaos::{invariant, ChaosConfig, ChaosEngine, IommuFate, MemoryFate};
+use simcore::chaos::{invariant, ChaosConfig, ChaosEngine, IommuFate, MemoryFate, PauseFate};
 use simcore::event::{EventQueue, EventToken};
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
@@ -62,6 +63,9 @@ pub struct IbConfig {
     /// Fault injection (disabled by default; a disabled config draws
     /// nothing from any RNG, so traces stay byte-identical).
     pub chaos: ChaosConfig,
+    /// What the wire does: loss, PFC, ECN. Defaults to the paper's
+    /// idealised lossless fabric, keeping legacy goldens byte-identical.
+    pub profile: FabricProfile,
 }
 
 impl Default for IbConfig {
@@ -77,6 +81,7 @@ impl Default for IbConfig {
             tier: None,
             seed: 1,
             chaos: ChaosConfig::disabled(),
+            profile: FabricProfile::default(),
         }
     }
 }
@@ -149,6 +154,23 @@ impl IbConfig {
     #[must_use]
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = chaos;
+        self
+    }
+
+    /// Sets the fabric profile (loss, PFC, ECN).
+    #[must_use]
+    pub fn with_profile(mut self, profile: FabricProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Applies a typed transport configuration onto the RC tuning: the
+    /// loss-recovery discipline and its BDP cap. Equivalent to editing
+    /// [`IbConfig::rc`] directly; last writer wins.
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.rc.transport = transport.transport;
+        self.rc.bdp_packets = transport.bdp_packets;
         self
     }
 }
@@ -368,11 +390,16 @@ impl IbCluster {
         // does not span testbeds.
         invariant::note_timeline_reset();
         let mut rng = SimRng::new(config.seed);
-        let mut link = LinkConfig::datacenter(config.bandwidth);
-        // Lossless fabric: credit-based flow control means queues never
-        // tail-drop.
+        let mut link = config
+            .profile
+            .apply_link(LinkConfig::datacenter(config.bandwidth));
+        // Queues never tail-drop: IB's credit-based flow control means
+        // the only losses are the profile's random loss (and chaos).
         link.queue_capacity = u64::MAX / 4;
-        let fabric = Fabric::star(link, config.nodes, config.switch_latency, &mut rng);
+        let mut fabric = Fabric::star(link, config.nodes, config.switch_latency, &mut rng);
+        if config.profile.pfc {
+            fabric.set_pfc(config.profile.pfc_xoff, config.profile.pfc_xon);
+        }
         let mut nodes: Vec<IbNode> = (0..config.nodes)
             .map(|i| {
                 let mm = MemoryManager::new(MemConfig {
@@ -431,6 +458,13 @@ impl IbCluster {
         self.fabric.chaos_drops()
     }
 
+    /// The switched fabric: drop/mark/PFC-pause tallies for the lossy
+    /// experiments.
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
     /// Schedules the next chaos heartbeat, if chaos is on and none is
     /// pending.
     fn arm_chaos_tick(&mut self) {
@@ -441,13 +475,13 @@ impl IbCluster {
         }
     }
 
-    /// Applies one round of memory-pressure and IOTLB-shootdown chaos
-    /// to every node.
-    fn chaos_tick(&mut self) {
+    /// Applies one round of memory-pressure, IOTLB-shootdown, and PFC
+    /// pause-storm chaos to every node.
+    fn chaos_tick(&mut self, now: SimTime) {
         let Some(engine) = self.chaos.as_mut() else {
             return;
         };
-        for node in &mut self.nodes {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
             match engine.memory_fate() {
                 MemoryFate::Calm => {}
                 MemoryFate::PressureBurst { pages } | MemoryFate::EvictionStorm { pages } => {
@@ -458,6 +492,15 @@ impl IbCluster {
                 IommuFate::None => {}
                 IommuFate::ShootdownAll => {
                     node.engine.chaos_shootdown();
+                }
+            }
+            match engine.pause_fate() {
+                PauseFate::Calm => {}
+                PauseFate::Storm { pause } => {
+                    // A rogue peer sprays pause frames at this node's
+                    // ingress: the switch downlink stalls, backing
+                    // traffic up behind it.
+                    self.fabric.pause_toward(NodeId(i as u32), now + pause);
                 }
             }
         }
@@ -690,7 +733,7 @@ impl IbCluster {
             IbEvent::Nop => {}
             IbEvent::ChaosTick => {
                 self.chaos_tick_armed = false;
-                self.chaos_tick();
+                self.chaos_tick(now);
                 // Keep ticking only while other work is pending, so
                 // quiescence is still reachable.
                 if !self.queue.is_empty() {
@@ -760,10 +803,13 @@ impl IbCluster {
                             .send_chaos(now, NodeId(node_idx), to, size, chaos)
                         {
                             ChaosSendOutcome::Dropped { injected } => {
-                                // The fabric itself is lossless; only
-                                // the injector drops. Transport-level
-                                // retransmission recovers.
-                                assert!(injected, "lossless IB fabric dropped a packet");
+                                // Only the injector or a lossy profile
+                                // drops; transport-level retransmission
+                                // recovers either way.
+                                assert!(
+                                    injected || self.config.profile.loss > 0.0,
+                                    "lossless IB fabric dropped a packet"
+                                );
                             }
                             ChaosSendOutcome::Delivered {
                                 arrives_at,
@@ -806,7 +852,13 @@ impl IbCluster {
                                 );
                             }
                             SendOutcome::Dropped => {
-                                unreachable!("lossless IB fabric dropped a packet")
+                                // Random loss from a lossy profile: the
+                                // packet vanishes and the transport's
+                                // timeout/NAK machinery recovers.
+                                assert!(
+                                    self.config.profile.loss > 0.0,
+                                    "lossless IB fabric dropped a packet"
+                                );
                             }
                         }
                     }

@@ -14,6 +14,7 @@ use memsim::manager::{MemConfig, MemoryManager};
 use memsim::space::Backing;
 use memsim::types::{PageRange, VirtAddr};
 use netsim::link::{Link, LinkConfig, SendOutcome};
+use netsim::profile::FabricProfile;
 use nicsim::rx::{RingId, RxDescriptor, RxEngine, RxFaultMode, RxVerdict};
 use npf_core::npf::{NpfConfig, NpfEngine};
 use npf_core::RX_BUFFER_BASE;
@@ -50,6 +51,8 @@ pub struct StreamBedConfig {
     pub duration: SimDuration,
     /// RNG seed.
     pub seed: u64,
+    /// Fabric profile (loss regime / ECN marking) of the stream link.
+    pub profile: FabricProfile,
 }
 
 impl Default for StreamBedConfig {
@@ -62,6 +65,7 @@ impl Default for StreamBedConfig {
             ring_entries: 512,
             duration: SimDuration::from_secs(2),
             seed: 1,
+            profile: FabricProfile::default(),
         }
     }
 }
@@ -153,13 +157,13 @@ pub fn run_stream(config: StreamBedConfig) -> StreamBedResult {
     let mut server = TcpStack::new();
     server.listen(PORT, TcpConfig::lwip());
     let mut client = TcpStack::new();
-    let link_cfg = LinkConfig {
+    let link_cfg = config.profile.apply_link(LinkConfig {
         bandwidth: config.bandwidth,
         propagation: SimDuration::from_micros(1),
         queue_capacity: 8 << 20,
         ecn_threshold: None,
         loss_probability: 0.0,
-    };
+    });
     let mut link_c2s = Link::new(link_cfg, rng.fork(3));
     let mut link_s2c = Link::new(link_cfg, rng.fork(4));
 

@@ -6,6 +6,7 @@
 use memsim::types::VirtAddr;
 use netsim::link::{Link, LinkConfig};
 use netsim::packet::NodeId;
+use netsim::profile::{FabricProfile, RdmaTransport};
 use rdmasim::rc::RcQp;
 use rdmasim::types::{
     PinnedGate, QpId, QpOutput, QpTimer, RcConfig, RcPacket, RecvWqe, SendOp, WcOpcode,
@@ -23,14 +24,24 @@ enum Ev {
 
 #[test]
 fn rc_survives_random_loss() {
+    rc_survives_random_loss_with(RdmaTransport::GoBackN);
+}
+
+#[test]
+fn irn_survives_random_loss() {
+    rc_survives_random_loss_with(RdmaTransport::SelectiveRepeat);
+}
+
+fn rc_survives_random_loss_with(transport: RdmaTransport) {
     let mut rng = SimRng::new(1234);
-    let mut link_cfg = LinkConfig::datacenter(Bandwidth::gbps(56));
-    link_cfg.loss_probability = 0.05; // 5% of packets vanish
+    // 5% of packets vanish
+    let link_cfg = FabricProfile::lossy(0.05).apply_link(LinkConfig::datacenter(Bandwidth::gbps(56)));
     let mut ab = Link::new(link_cfg, rng.fork(1));
     let mut ba = Link::new(link_cfg, rng.fork(2));
 
     let cfg = RcConfig {
         ack_every: 4,
+        transport,
         ..RcConfig::default()
     };
     let mut a = RcQp::new(cfg, QpId(1), QpId(2), NodeId(1));
